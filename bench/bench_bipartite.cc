@@ -1,0 +1,50 @@
+/// \file bench_bipartite.cc
+/// Experiment E6 (Theorem 4.5.1): bipartiteness maintenance in Dyn-FO vs.
+/// BFS 2-coloring from scratch per update.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "programs/bipartite.h"
+
+namespace dynfo {
+namespace {
+
+relational::RequestSequence Workload(size_t n) {
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = 64;
+  options.seed = 17;
+  options.undirected = true;
+  return dyn::MakeGraphWorkload(*programs::BipartiteInputVocabulary(), "E", n, options);
+}
+
+void BM_BipartiteDynFo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = Workload(n);
+  for (auto _ : state) {
+    dyn::Engine engine(programs::MakeBipartiteProgram(), n);
+    for (const relational::Request& request : requests) {
+      engine.Apply(request);
+      benchmark::DoNotOptimize(engine.QueryBool());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_BipartiteDynFo)->DenseRange(8, 32, 8);
+
+void BM_BipartiteStaticColoring(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = Workload(n);
+  for (auto _ : state) {
+    relational::Structure input(programs::BipartiteInputVocabulary(), n);
+    for (const relational::Request& request : requests) {
+      relational::ApplyRequest(&input, request);
+      benchmark::DoNotOptimize(programs::BipartiteOracle(input));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_BipartiteStaticColoring)->DenseRange(8, 32, 8);
+
+}  // namespace
+}  // namespace dynfo

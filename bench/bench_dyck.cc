@@ -1,0 +1,60 @@
+/// \file bench_dyck.cc
+/// Experiment E12 (Proposition 4.8): Dyck languages under character edits —
+/// level-relation maintenance + FO membership query vs. the linear stack
+/// scan, for k in {1, 2, 4} parenthesis types.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "programs/dyck.h"
+
+namespace dynfo {
+namespace {
+
+std::vector<std::string> Relations(int types) {
+  std::vector<std::string> out;
+  for (int j = 0; j < types; ++j) out.push_back("Open_" + std::to_string(j));
+  for (int j = 0; j < types; ++j) out.push_back("Close_" + std::to_string(j));
+  return out;
+}
+
+relational::RequestSequence Workload(size_t n, int types) {
+  dyn::SlotStringWorkloadOptions options;
+  options.num_requests = 48;
+  options.seed = 19;
+  options.max_chars = n / 2 - 2;
+  return dyn::MakeSlotStringWorkload(Relations(types), n, options);
+}
+
+void BM_DyckDynFo(benchmark::State& state) {
+  const size_t n = 24;
+  const int types = static_cast<int>(state.range(0));
+  relational::RequestSequence requests = Workload(n, types);
+  for (auto _ : state) {
+    dyn::Engine engine(programs::MakeDyckProgram(types, n), n);
+    for (const relational::Request& request : requests) {
+      engine.Apply(request);
+      benchmark::DoNotOptimize(engine.QueryBool());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_DyckDynFo)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_DyckStackRecompute(benchmark::State& state) {
+  const size_t n = 24;
+  const int types = static_cast<int>(state.range(0));
+  relational::RequestSequence requests = Workload(n, types);
+  for (auto _ : state) {
+    relational::Structure input(programs::DyckInputVocabulary(types), n);
+    for (const relational::Request& request : requests) {
+      relational::ApplyRequest(&input, request);
+      benchmark::DoNotOptimize(programs::DyckOracle(input, types));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_DyckStackRecompute)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace dynfo

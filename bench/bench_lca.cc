@@ -1,0 +1,51 @@
+/// \file bench_lca.cc
+/// Experiment E9 (Theorem 4.5.4): LCA maintenance in directed forests —
+/// ancestor-relation upkeep + FO query vs. static ancestor-chain walks.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "graph/algorithms.h"
+#include "programs/lca.h"
+
+namespace dynfo {
+namespace {
+
+relational::RequestSequence Workload(size_t n) {
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = 64;
+  options.seed = 29;
+  options.forest_shape = true;
+  return dyn::MakeGraphWorkload(*programs::LcaInputVocabulary(), "E", n, options);
+}
+
+void BM_LcaDynFo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = Workload(n);
+  for (auto _ : state) {
+    dyn::Engine engine(programs::MakeLcaProgram(), n);
+    for (const relational::Request& request : requests) {
+      engine.Apply(request);
+      benchmark::DoNotOptimize(engine.QueryBool());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_LcaDynFo)->DenseRange(8, 32, 8);
+
+void BM_LcaStaticChainWalk(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = Workload(n);
+  for (auto _ : state) {
+    relational::Structure input(programs::LcaInputVocabulary(), n);
+    for (const relational::Request& request : requests) {
+      relational::ApplyRequest(&input, request);
+      benchmark::DoNotOptimize(programs::LcaOracle(input));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_LcaStaticChainWalk)->DenseRange(8, 32, 8);
+
+}  // namespace
+}  // namespace dynfo

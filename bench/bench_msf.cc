@@ -1,0 +1,52 @@
+/// \file bench_msf.cc
+/// Experiment E5 (Theorem 4.4): minimum spanning forest maintenance in
+/// Dyn-FO vs. Kruskal from scratch per update.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "graph/mst.h"
+#include "programs/msf.h"
+
+namespace dynfo {
+namespace {
+
+relational::RequestSequence Workload(size_t n) {
+  dyn::WeightedGraphWorkloadOptions options;
+  options.num_requests = 48;
+  options.seed = 33;
+  return dyn::MakeWeightedGraphWorkload(*programs::MsfInputVocabulary(), "W", n, options);
+}
+
+void BM_MsfDynFo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = Workload(n);
+  for (auto _ : state) {
+    dyn::Engine engine(programs::MakeMsfProgram(), n);
+    for (const relational::Request& request : requests) {
+      engine.Apply(request);
+      benchmark::DoNotOptimize(engine.data().relation("F").size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_MsfDynFo)->DenseRange(8, 24, 8);
+
+void BM_MsfKruskalRecompute(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = Workload(n);
+  for (auto _ : state) {
+    relational::Structure input(programs::MsfInputVocabulary(), n);
+    for (const relational::Request& request : requests) {
+      relational::ApplyRequest(&input, request);
+      std::vector<graph::WeightedEdge> edges =
+          graph::EdgesFromWeightRelation(input.relation("W"));
+      benchmark::DoNotOptimize(graph::KruskalMsf(n, std::move(edges)).size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_MsfKruskalRecompute)->DenseRange(8, 24, 8);
+
+}  // namespace
+}  // namespace dynfo

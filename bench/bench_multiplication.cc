@@ -1,0 +1,60 @@
+/// \file bench_multiplication.cc
+/// Experiment E11 (Proposition 4.7): multiplication under bit edits — the
+/// FO shift-and-add/subtract maintenance vs. full bignum recomputation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/rng.h"
+#include "programs/multiplication.h"
+
+namespace dynfo {
+namespace {
+
+relational::RequestSequence BitEdits(size_t n, size_t count, uint64_t seed) {
+  core::Rng rng(seed);
+  relational::RequestSequence out;
+  relational::Structure shadow(programs::MultiplicationInputVocabulary(), n);
+  for (size_t i = 0; i < count; ++i) {
+    const char* rel = rng.Chance(1, 2) ? "X" : "Y";
+    relational::Element bit = static_cast<relational::Element>(rng.Below(n / 2));
+    bool present = shadow.relation(rel).Contains({bit});
+    relational::Request request = present ? relational::Request::Delete(rel, {bit})
+                                          : relational::Request::Insert(rel, {bit});
+    relational::ApplyRequest(&shadow, request);
+    out.push_back(request);
+  }
+  return out;
+}
+
+void BM_MultiplicationDynFo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = BitEdits(n, 48, 11);
+  for (auto _ : state) {
+    dyn::Engine engine(programs::MakeMultiplicationProgram(false), n);
+    programs::InstallPlusRelation(&engine);
+    for (const relational::Request& request : requests) {
+      engine.Apply(request);
+      benchmark::DoNotOptimize(engine.data().relation("Prod").size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_MultiplicationDynFo)->RangeMultiplier(2)->Range(16, 64);
+
+void BM_MultiplicationBignumRecompute(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = BitEdits(n, 48, 11);
+  for (auto _ : state) {
+    relational::Structure input(programs::MultiplicationInputVocabulary(), n);
+    for (const relational::Request& request : requests) {
+      relational::ApplyRequest(&input, request);
+      benchmark::DoNotOptimize(programs::MultiplicationOracle(input).size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_MultiplicationBignumRecompute)->RangeMultiplier(2)->Range(16, 64);
+
+}  // namespace
+}  // namespace dynfo

@@ -1,0 +1,56 @@
+/// \file bench_parity.cc
+/// Experiment E1 (Example 3.2): PARITY in Dyn-FO.
+///
+/// Measures amortized cost per request of the Dyn-FO program (quantifier-free
+/// updates — constant parallel time, constant sequential work) against the
+/// static-FO-style recount baseline (O(n) per query). The paper's point:
+/// PARITY is not in static FO at all, yet its *dynamic* maintenance is
+/// trivial.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "programs/parity.h"
+
+namespace dynfo {
+namespace {
+
+relational::RequestSequence MakeWorkload(size_t n, size_t requests, uint64_t seed) {
+  dyn::GenericWorkloadOptions options;
+  options.num_requests = requests;
+  options.seed = seed;
+  return dyn::MakeGenericWorkload(*programs::ParityInputVocabulary(), n, options);
+}
+
+/// Dyn-FO engine: apply request, then answer the boolean query.
+void BM_ParityDynFO(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = MakeWorkload(n, 256, 42);
+  for (auto _ : state) {
+    dyn::Engine engine(programs::MakeParityProgram(), n);
+    for (const relational::Request& request : requests) {
+      engine.Apply(request);
+      benchmark::DoNotOptimize(engine.QueryBool());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_ParityDynFO)->RangeMultiplier(4)->Range(64, 4096);
+
+/// Baseline: maintain only the raw string; recount ones on every query.
+void BM_ParityStaticRecount(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = MakeWorkload(n, 256, 42);
+  for (auto _ : state) {
+    relational::Structure input(programs::ParityInputVocabulary(), n);
+    for (const relational::Request& request : requests) {
+      relational::ApplyRequest(&input, request);
+      benchmark::DoNotOptimize(programs::ParityOracle(input));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_ParityStaticRecount)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+}  // namespace dynfo

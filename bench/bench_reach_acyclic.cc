@@ -1,0 +1,92 @@
+/// \file bench_reach_acyclic.cc
+/// Experiment E3 (Theorem 4.2): REACH(acyclic) and REACH_d in Dyn-FO.
+///
+/// Left series: the path-relation program under acyclicity-preserving churn
+/// vs. per-query BFS recomputation. Right series: REACH_d through the
+/// Example 2.1 reduction (Proposition 5.3 composition) vs. its direct
+/// deterministic-walk oracle.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "programs/reach_acyclic.h"
+#include "programs/reach_d.h"
+
+namespace dynfo {
+namespace {
+
+relational::RequestSequence AcyclicWorkload(size_t n) {
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = 64;
+  options.seed = 7;
+  options.preserve_acyclic = true;
+  return dyn::MakeGraphWorkload(*programs::ReachAcyclicInputVocabulary(), "E", n,
+                                options);
+}
+
+void BM_ReachAcyclicDynFo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = AcyclicWorkload(n);
+  for (auto _ : state) {
+    dyn::Engine engine(programs::MakeReachAcyclicProgram(), n);
+    for (const relational::Request& request : requests) {
+      engine.Apply(request);
+      benchmark::DoNotOptimize(engine.QueryBool());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_ReachAcyclicDynFo)->DenseRange(8, 32, 8);
+
+void BM_ReachAcyclicStaticBfs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = AcyclicWorkload(n);
+  for (auto _ : state) {
+    relational::Structure input(programs::ReachAcyclicInputVocabulary(), n);
+    for (const relational::Request& request : requests) {
+      relational::ApplyRequest(&input, request);
+      benchmark::DoNotOptimize(programs::ReachAcyclicOracle(input));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_ReachAcyclicStaticBfs)->DenseRange(8, 32, 8);
+
+void BM_ReachDViaReduction(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = 48;
+  options.seed = 9;
+  relational::RequestSequence requests =
+      dyn::MakeGraphWorkload(*programs::ReachDInputVocabulary(), "E", n, options);
+  for (auto _ : state) {
+    auto engine = programs::MakeReachDEngine(n);
+    for (const relational::Request& request : requests) {
+      engine->Apply(request);
+      benchmark::DoNotOptimize(engine->QueryBool());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_ReachDViaReduction)->DenseRange(8, 24, 8);
+
+void BM_ReachDDirectWalk(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = 48;
+  options.seed = 9;
+  relational::RequestSequence requests =
+      dyn::MakeGraphWorkload(*programs::ReachDInputVocabulary(), "E", n, options);
+  for (auto _ : state) {
+    relational::Structure input(programs::ReachDInputVocabulary(), n);
+    for (const relational::Request& request : requests) {
+      relational::ApplyRequest(&input, request);
+      benchmark::DoNotOptimize(programs::ReachDOracle(input));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_ReachDDirectWalk)->DenseRange(8, 24, 8);
+
+}  // namespace
+}  // namespace dynfo

@@ -1,0 +1,85 @@
+/// \file bench_reach_u.cc
+/// Experiment E2 (Theorem 4.1): REACH_u in Dyn-FO.
+///
+/// Compares, per request (update + connectivity query):
+///   * the Dyn-FO program with delta application (the paper's construction,
+///     sequentialized with only changed tuples touched);
+///   * the Dyn-FO program recomputing every auxiliary relation per request
+///     (the literal "constant parallel time, polynomial work" reading);
+///   * static recomputation: BFS from scratch at every query.
+/// The expected shape: static BFS wins at tiny n (tiny constants), the
+/// delta engine's advantage is bounded auxiliary-tuple churn, and the full
+/// recompute shows the polynomial-work cost of simulating the parallel
+/// update sequentially.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "graph/algorithms.h"
+#include "programs/reach_u.h"
+#include "programs/reach_u2.h"
+
+namespace dynfo {
+namespace {
+
+relational::RequestSequence MakeWorkload(size_t n) {
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = 64;
+  options.seed = 42;
+  options.undirected = true;
+  options.set_fraction = 0.05;
+  return dyn::MakeGraphWorkload(*programs::ReachUInputVocabulary(), "E", n, options);
+}
+
+void RunDynFo(benchmark::State& state, bool use_delta) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = MakeWorkload(n);
+  for (auto _ : state) {
+    dyn::Engine engine(programs::MakeReachUProgram(), n,
+                       {dyn::EvalMode::kAlgebra, use_delta});
+    for (const relational::Request& request : requests) {
+      engine.Apply(request);
+      benchmark::DoNotOptimize(engine.QueryBool());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+
+void BM_ReachUDynFoDelta(benchmark::State& state) { RunDynFo(state, true); }
+BENCHMARK(BM_ReachUDynFoDelta)->DenseRange(8, 32, 8);
+
+void BM_ReachUDynFoRecompute(benchmark::State& state) { RunDynFo(state, false); }
+BENCHMARK(BM_ReachUDynFoRecompute)->DenseRange(8, 32, 8);
+
+/// The [DS95] arity-2 variant: DF^2 + DP^2 instead of PV^3. Same queries;
+/// auxiliary state is quadratic instead of cubic — the arity ablation.
+void BM_ReachUArity2DynFo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = MakeWorkload(n);
+  for (auto _ : state) {
+    dyn::Engine engine(programs::MakeReachU2Program(), n);
+    for (const relational::Request& request : requests) {
+      engine.Apply(request);
+      benchmark::DoNotOptimize(engine.QueryBool());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_ReachUArity2DynFo)->DenseRange(8, 32, 8);
+
+void BM_ReachUStaticBfs(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = MakeWorkload(n);
+  for (auto _ : state) {
+    relational::Structure input(programs::ReachUInputVocabulary(), n);
+    for (const relational::Request& request : requests) {
+      relational::ApplyRequest(&input, request);
+      benchmark::DoNotOptimize(programs::ReachUOracle(input));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_ReachUStaticBfs)->DenseRange(8, 32, 8);
+
+}  // namespace
+}  // namespace dynfo

@@ -1,0 +1,103 @@
+/// \file bench_reductions.cc
+/// Experiment E13 (§5): dynamic reductions and padding.
+///
+/// Series 1 — Proposition 5.3: per-request cost of REACH_d through the
+/// bounded-expansion reduction, and the observed fan-out (inner requests per
+/// outer request), which stays O(1) as n grows.
+/// Series 2 — Theorem 5.14: PAD(REACH_a) — cost of one *real* change (n
+/// per-copy requests funding n FO steps) vs. recomputing the alternating
+/// fixpoint from scratch.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/rng.h"
+#include "programs/pad_reach_a.h"
+#include "programs/reach_d.h"
+#include "reductions/pad.h"
+
+namespace dynfo {
+namespace {
+
+void BM_ReachDReductionFanout(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = 32;
+  options.seed = 23;
+  relational::RequestSequence requests =
+      dyn::MakeGraphWorkload(*programs::ReachDInputVocabulary(), "E", n, options);
+  size_t max_fanout = 0;
+  for (auto _ : state) {
+    auto engine = programs::MakeReachDEngine(n);
+    for (const relational::Request& request : requests) {
+      engine->Apply(request);
+      benchmark::DoNotOptimize(engine->QueryBool());
+    }
+    max_fanout = engine->stats().max_fanout;
+  }
+  state.counters["max_fanout"] = static_cast<double>(max_fanout);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_ReachDReductionFanout)->DenseRange(8, 24, 8);
+
+relational::RequestSequence UnderlyingChurn(size_t n, size_t count) {
+  core::Rng rng(41);
+  relational::RequestSequence out;
+  relational::Structure shadow(programs::ReachAUnderlyingVocabulary(), n);
+  for (size_t i = 0; i < count; ++i) {
+    if (rng.Chance(1, 4)) {
+      relational::Element v = static_cast<relational::Element>(rng.Below(n));
+      bool present = shadow.relation("A").Contains({v});
+      relational::Request r = present ? relational::Request::Delete("A", {v})
+                                      : relational::Request::Insert("A", {v});
+      relational::ApplyRequest(&shadow, r);
+      out.push_back(r);
+      continue;
+    }
+    relational::Element u = static_cast<relational::Element>(rng.Below(n));
+    relational::Element v = static_cast<relational::Element>(rng.Below(n));
+    bool present = shadow.relation("E").Contains({u, v});
+    relational::Request r = present ? relational::Request::Delete("E", {u, v})
+                                    : relational::Request::Insert("E", {u, v});
+    relational::ApplyRequest(&shadow, r);
+    out.push_back(r);
+  }
+  return out;
+}
+
+void BM_PadReachADynFo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence underlying = UnderlyingChurn(n, 16);
+  for (auto _ : state) {
+    dyn::Engine engine(programs::MakePadReachAProgram(), n);
+    engine.Apply(relational::Request::SetConstant("t", static_cast<uint32_t>(n - 1)));
+    for (const relational::Request& real_change : underlying) {
+      for (const relational::Request& request :
+           reductions::PadRequests(real_change, n)) {
+        engine.Apply(request);
+      }
+      benchmark::DoNotOptimize(engine.QueryBool());
+    }
+  }
+  // Items = real changes (each costs n engine requests).
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * underlying.size()));
+}
+BENCHMARK(BM_PadReachADynFo)->DenseRange(6, 12, 3);
+
+void BM_PadReachAFixpointRecompute(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence underlying = UnderlyingChurn(n, 16);
+  for (auto _ : state) {
+    relational::Structure input(programs::ReachAUnderlyingVocabulary(), n);
+    input.set_constant("t", static_cast<uint32_t>(n - 1));
+    for (const relational::Request& real_change : underlying) {
+      relational::ApplyRequest(&input, real_change);
+      benchmark::DoNotOptimize(programs::ReachAOracle(input));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * underlying.size()));
+}
+BENCHMARK(BM_PadReachAFixpointRecompute)->DenseRange(6, 12, 3);
+
+}  // namespace
+}  // namespace dynfo

@@ -1,0 +1,68 @@
+/// \file bench_regular.cc
+/// Experiment E10 (Theorem 4.6): regular languages under character edits.
+///
+/// The tree-of-transition-maps auxiliary structure (what the paper's FO
+/// formula maintains) costs O(log n) map compositions per edit; the static
+/// baseline re-runs the DFA over the whole string. The crossover and the
+/// log-vs-linear scaling are the shape to observe; n runs to 65536.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/dynamic_string.h"
+#include "automata/regex.h"
+#include "core/rng.h"
+
+namespace dynfo {
+namespace {
+
+using automata::Dfa;
+using automata::DynamicRegularLanguage;
+using automata::Symbol;
+
+Dfa TestDfa() { return automata::CompileRegex("(a|b)*abb", 2).value(); }
+
+void BM_RegularTreeMaintenance(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dfa dfa = TestDfa();
+  DynamicRegularLanguage dynamic(dfa, n);
+  core::Rng rng(3);
+  // Pre-populate half the positions.
+  for (size_t i = 0; i < n / 2; ++i) {
+    dynamic.SetChar(rng.Below(n), static_cast<Symbol>(rng.Below(2)));
+  }
+  for (auto _ : state) {
+    size_t position = rng.Below(n);
+    std::optional<Symbol> symbol;
+    if (rng.Chance(2, 3)) symbol = static_cast<Symbol>(rng.Below(2));
+    dynamic.SetChar(position, symbol);
+    benchmark::DoNotOptimize(dynamic.Accepts());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegularTreeMaintenance)->RangeMultiplier(4)->Range(64, 65536);
+
+void BM_RegularStaticRerun(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dfa dfa = TestDfa();
+  std::vector<std::optional<Symbol>> text(n);
+  core::Rng rng(3);
+  for (size_t i = 0; i < n / 2; ++i) {
+    text[rng.Below(n)] = static_cast<Symbol>(rng.Below(2));
+  }
+  for (auto _ : state) {
+    size_t position = rng.Below(n);
+    std::optional<Symbol> symbol;
+    if (rng.Chance(2, 3)) symbol = static_cast<Symbol>(rng.Below(2));
+    text[position] = symbol;
+    automata::State q = dfa.start;
+    for (const auto& c : text) {
+      if (c.has_value()) q = dfa.Step(q, *c);
+    }
+    benchmark::DoNotOptimize(dfa.accepting[q]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegularStaticRerun)->RangeMultiplier(4)->Range(64, 65536);
+
+}  // namespace
+}  // namespace dynfo

@@ -1,0 +1,52 @@
+/// \file bench_transitive_reduction.cc
+/// Experiment E4 (Corollary 4.3): transitive reduction in memoryless Dyn-FO
+/// vs. static recomputation (full closure + redundancy scan per update).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "graph/algorithms.h"
+#include "programs/transitive_reduction.h"
+
+namespace dynfo {
+namespace {
+
+relational::RequestSequence Workload(size_t n) {
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = 64;
+  options.seed = 21;
+  options.preserve_acyclic = true;
+  return dyn::MakeGraphWorkload(*programs::TransitiveReductionInputVocabulary(), "E", n,
+                                options);
+}
+
+void BM_TransitiveReductionDynFo(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = Workload(n);
+  for (auto _ : state) {
+    dyn::Engine engine(programs::MakeTransitiveReductionProgram(), n);
+    for (const relational::Request& request : requests) {
+      engine.Apply(request);
+      benchmark::DoNotOptimize(engine.QueryBool());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_TransitiveReductionDynFo)->DenseRange(8, 32, 8);
+
+void BM_TransitiveReductionStatic(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  relational::RequestSequence requests = Workload(n);
+  for (auto _ : state) {
+    relational::Structure input(programs::TransitiveReductionInputVocabulary(), n);
+    for (const relational::Request& request : requests) {
+      relational::ApplyRequest(&input, request);
+      benchmark::DoNotOptimize(programs::TransitiveReductionOracle(input));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+BENCHMARK(BM_TransitiveReductionStatic)->DenseRange(8, 32, 8);
+
+}  // namespace
+}  // namespace dynfo

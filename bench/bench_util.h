@@ -1,0 +1,30 @@
+/// \file bench_util.h
+/// Shared benchmark plumbing: replay helpers and baseline drivers.
+
+#ifndef DYNFO_BENCH_BENCH_UTIL_H_
+#define DYNFO_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "dynfo/engine.h"
+#include "dynfo/verifier.h"
+#include "dynfo/workload.h"
+
+namespace dynfo::bench {
+
+/// Replays a workload through a fresh engine once; returns the engine so the
+/// caller can asserts stats. The workload is applied fully per benchmark
+/// iteration (steady-state amortized cost per request = time / requests).
+inline void ReplayWorkload(dyn::Engine* engine,
+                           const relational::RequestSequence& requests) {
+  for (const relational::Request& request : requests) {
+    engine->Apply(request);
+    benchmark::DoNotOptimize(engine->stats().requests);
+  }
+}
+
+}  // namespace dynfo::bench
+
+#endif  // DYNFO_BENCH_BENCH_UTIL_H_

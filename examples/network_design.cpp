@@ -1,0 +1,81 @@
+/// \file network_design.cpp
+/// Weighted-network maintenance: minimum spanning forest + redundancy.
+///
+/// Scenario: an ISP's backbone links come and go with per-link costs. The
+/// operator wants the cheapest connecting forest at every instant (Theorem
+/// 4.4) and, for critical site pairs, whether connectivity survives any
+/// single-link failure (2-edge connectivity, Theorem 4.5.2).
+///
+/// Build & run:  build/examples/network_design
+
+#include <cstdio>
+
+#include "dynfo/engine.h"
+#include "graph/mst.h"
+#include "programs/k_edge.h"
+#include "programs/msf.h"
+
+namespace {
+
+using dynfo::dyn::Engine;
+using dynfo::relational::Request;
+
+constexpr size_t kSites = 10;
+
+void PrintForest(const Engine& msf) {
+  dynfo::relational::Relation forest = msf.QueryRelation("forest");
+  uint64_t total = 0;
+  std::printf("  MSF edges:");
+  for (const dynfo::relational::Tuple& t : msf.data().relation("W").SortedTuples()) {
+    if (t[0] < t[1] && forest.Contains({t[0], t[1]})) {
+      std::printf(" %u-%u($%u)", t[0], t[1], t[2]);
+      total += t[2];
+    }
+  }
+  std::printf("  | total cost $%llu\n", static_cast<unsigned long long>(total));
+}
+
+}  // namespace
+
+int main() {
+  Engine msf(dynfo::programs::MakeMsfProgram(), kSites);
+  dynfo::programs::KEdgeEngine reliability(kSites);
+
+  auto link = [&](uint32_t u, uint32_t v, uint32_t cost) {
+    msf.Apply(Request::Insert("W", {u, v, cost}));
+    reliability.Apply(Request::Insert("E", {u, v}));
+    std::printf("+ link %u-%u at cost $%u\n", u, v, cost);
+  };
+  auto drop = [&](uint32_t u, uint32_t v, uint32_t cost) {
+    msf.Apply(Request::Delete("W", {u, v, cost}));
+    reliability.Apply(Request::Delete("E", {u, v}));
+    std::printf("- link %u-%u\n", u, v);
+  };
+
+  // A ring 0..4 plus spurs.
+  link(0, 1, 3);
+  link(1, 2, 5);
+  link(2, 3, 2);
+  link(3, 4, 7);
+  link(4, 0, 4);
+  link(2, 5, 1);
+  link(5, 6, 8);
+  PrintForest(msf);
+  std::printf("  sites 0 and 3 survive any single link failure: %s\n",
+              reliability.Query(0, 3, 2) ? "yes" : "no");
+  std::printf("  sites 0 and 6 survive any single link failure: %s\n",
+              reliability.Query(0, 6, 2) ? "yes" : "no");
+
+  // A cheaper cross-link displaces the most expensive ring edge.
+  std::printf("\n");
+  link(1, 3, 1);
+  PrintForest(msf);
+
+  // Losing a forest edge splices in the best replacement automatically.
+  std::printf("\n");
+  drop(2, 3, 2);
+  PrintForest(msf);
+  std::printf("  sites 0 and 3 survive any single link failure: %s\n",
+              reliability.Query(0, 3, 2) ? "yes" : "no");
+  return 0;
+}

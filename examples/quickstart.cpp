@@ -1,0 +1,72 @@
+/// \file quickstart.cpp
+/// Tour of the library in two acts:
+///   1. PARITY (Example 3.2) — the smallest Dyn-FO program;
+///   2. REACH_u (Theorem 4.1) — undirected reachability, the paper's
+///      headline construction, maintained by first-order update formulas.
+///
+/// Build & run:  build/examples/quickstart
+
+#include <cstdio>
+
+#include "dynfo/engine.h"
+#include "programs/parity.h"
+#include "programs/reach_u.h"
+
+namespace {
+
+using dynfo::dyn::Engine;
+using dynfo::relational::Request;
+
+void RunParity() {
+  std::printf("== PARITY (Example 3.2) ==\n");
+  Engine engine(dynfo::programs::MakeParityProgram(), /*universe_size=*/16);
+  std::printf("empty string            -> odd? %s\n",
+              engine.QueryBool() ? "yes" : "no");
+  engine.Apply(Request::Insert("M", {3}));
+  engine.Apply(Request::Insert("M", {7}));
+  engine.Apply(Request::Insert("M", {11}));
+  std::printf("set bits 3, 7, 11       -> odd? %s\n",
+              engine.QueryBool() ? "yes" : "no");
+  engine.Apply(Request::Delete("M", {7}));
+  std::printf("clear bit 7             -> odd? %s\n",
+              engine.QueryBool() ? "yes" : "no");
+}
+
+void RunReachability() {
+  std::printf("\n== REACH_u (Theorem 4.1) ==\n");
+  Engine engine(dynfo::programs::MakeReachUProgram(), /*universe_size=*/8);
+  engine.Apply(Request::SetConstant("s", 0));
+  engine.Apply(Request::SetConstant("t", 4));
+
+  // Build a path 0 - 1 - 2 - 3 - 4 and a shortcut 1 - 4.
+  for (uint32_t v = 0; v + 1 <= 4; ++v) {
+    engine.Apply(Request::Insert("E", {v, v + 1}));
+  }
+  engine.Apply(Request::Insert("E", {1, 4}));
+  std::printf("path + shortcut         -> 0~4? %s\n",
+              engine.QueryBool() ? "yes" : "no");
+
+  // Deleting a forest edge must reroute through the shortcut.
+  engine.Apply(Request::Delete("E", {2, 3}));
+  std::printf("cut edge (2,3)          -> 0~4? %s\n",
+              engine.QueryBool() ? "yes" : "no");
+
+  engine.Apply(Request::Delete("E", {1, 4}));
+  std::printf("cut shortcut (1,4)      -> 0~4? %s\n",
+              engine.QueryBool() ? "yes" : "no");
+
+  // The spanning forest and connectivity are plain relations — inspect them.
+  auto forest = engine.QueryRelation("forest");
+  std::printf("forest edges now: %s\n", forest.ToString().c_str());
+  std::printf("engine stats: %llu requests, %llu delta applications\n",
+              static_cast<unsigned long long>(engine.stats().requests),
+              static_cast<unsigned long long>(engine.stats().delta_applications));
+}
+
+}  // namespace
+
+int main() {
+  RunParity();
+  RunReachability();
+  return 0;
+}

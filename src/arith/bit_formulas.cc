@@ -1,0 +1,44 @@
+#include "arith/bit_formulas.h"
+
+namespace dynfo::arith {
+
+using fo::BitT;
+using fo::EqT;
+using fo::F;
+using fo::Forall;
+using fo::Implies;
+using fo::LtT;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+
+F Xor3(const F& a, const F& b, const F& c) {
+  return (a && b && c) || (a && !b && !c) || (!a && b && !c) || (!a && !b && c);
+}
+
+F PlusFormula(const Term& i, const Term& j, const Term& k, const std::string& prefix) {
+  const std::string tn = prefix + "_t";
+  const std::string sn = prefix + "_s";
+  const std::string rn = prefix + "_r";
+  Term t = V(tn), s = V(sn), r = V(rn);
+
+  // Carry into bit position t: some lower position s generates a carry
+  // (both addend bits set) and every position strictly between propagates
+  // (at least one bit set).
+  F carry = fo::Exists(
+      {sn}, LtT(s, t) && BitT(i, s) && BitT(j, s) &&
+                Forall({rn}, Implies(LtT(s, r) && LtT(r, t), BitT(i, r) || BitT(j, r))));
+
+  // i + j = k iff every bit of k is the 3-way parity of i's bit, j's bit,
+  // and the carry. Bit positions range over the whole universe, which is
+  // comfortably wider than log n.
+  return Forall({tn}, fo::Iff(BitT(k, t), Xor3(BitT(i, t), BitT(j, t), carry)));
+}
+
+F SuccFormula(const Term& v, const Term& w, const std::string& prefix) {
+  const std::string rn = prefix + "_r";
+  Term r = V(rn);
+  return LtT(v, w) && Forall({rn}, !(LtT(v, r) && LtT(r, w)));
+}
+
+}  // namespace dynfo::arith

@@ -1,0 +1,32 @@
+/// \file bit_formulas.h
+/// First-order arithmetic over BIT (paper §2's numeric predicate).
+///
+/// These builders return FO formulas — evaluated by the ordinary engine —
+/// that define arithmetic on universe elements from the BIT predicate via
+/// carry-lookahead, the standard FO trick. They are the substrate for
+/// Proposition 4.7 (multiplication) and Proposition 4.8 (Dyck languages).
+
+#ifndef DYNFO_ARITH_BIT_FORMULAS_H_
+#define DYNFO_ARITH_BIT_FORMULAS_H_
+
+#include <string>
+
+#include "fo/builder.h"
+
+namespace dynfo::arith {
+
+/// { (i, j, k) : i + j = k } via carry-lookahead over BIT. The three terms
+/// are typically variables; `prefix` disambiguates the internal bound
+/// variables when the formula is nested.
+fo::F PlusFormula(const fo::Term& i, const fo::Term& j, const fo::Term& k,
+                  const std::string& prefix = "pl");
+
+/// w = v + 1, expressed order-theoretically (v's immediate successor).
+fo::F SuccFormula(const fo::Term& v, const fo::Term& w, const std::string& prefix = "sc");
+
+/// Parity of three booleans: exactly one or all three hold.
+fo::F Xor3(const fo::F& a, const fo::F& b, const fo::F& c);
+
+}  // namespace dynfo::arith
+
+#endif  // DYNFO_ARITH_BIT_FORMULAS_H_

@@ -1,0 +1,104 @@
+#include "automata/dfa.h"
+
+namespace dynfo::automata {
+
+TransitionMap TransitionMap::Identity(int num_states) {
+  std::vector<State> image(num_states);
+  for (int q = 0; q < num_states; ++q) image[q] = static_cast<State>(q);
+  return TransitionMap(std::move(image));
+}
+
+TransitionMap TransitionMap::Then(const TransitionMap& after) const {
+  DYNFO_CHECK(num_states() == after.num_states());
+  std::vector<State> image(image_.size());
+  for (size_t q = 0; q < image_.size(); ++q) image[q] = after.Apply(image_[q]);
+  return TransitionMap(std::move(image));
+}
+
+std::string TransitionMap::ToString() const {
+  std::string s = "[";
+  for (size_t q = 0; q < image_.size(); ++q) {
+    if (q > 0) s += " ";
+    s += std::to_string(image_[q]);
+  }
+  return s + "]";
+}
+
+bool Dfa::Accepts(const std::vector<Symbol>& word) const {
+  State q = start;
+  for (Symbol a : word) q = Step(q, a);
+  return accepting[q];
+}
+
+TransitionMap Dfa::MapOf(Symbol a) const {
+  std::vector<State> image(num_states);
+  for (int q = 0; q < num_states; ++q) image[q] = Step(static_cast<State>(q), a);
+  return TransitionMap(std::move(image));
+}
+
+bool Dfa::Valid() const {
+  if (num_states <= 0 || num_symbols <= 0) return false;
+  if (accepting.size() != static_cast<size_t>(num_states)) return false;
+  if (transitions.size() != static_cast<size_t>(num_states) * num_symbols) return false;
+  for (State q : transitions) {
+    if (q >= num_states) return false;
+  }
+  return start < num_states;
+}
+
+Dfa MakeParityDfa() { return MakeModKDfa(2, 1); }
+
+Dfa MakeModKDfa(int k, int residue) {
+  DYNFO_CHECK(k >= 1 && residue >= 0 && residue < k);
+  Dfa dfa;
+  dfa.num_states = k;
+  dfa.num_symbols = 2;
+  dfa.start = 0;
+  dfa.accepting.assign(k, false);
+  dfa.accepting[residue] = true;
+  dfa.transitions.resize(static_cast<size_t>(k) * 2);
+  for (int q = 0; q < k; ++q) {
+    dfa.transitions[q * 2 + 0] = static_cast<State>(q);            // '0' keeps count
+    dfa.transitions[q * 2 + 1] = static_cast<State>((q + 1) % k);  // '1' increments
+  }
+  DYNFO_CHECK(dfa.Valid());
+  return dfa;
+}
+
+Dfa MakeContainsSubstringDfa(const std::string& pattern, int alphabet_size) {
+  DYNFO_CHECK(!pattern.empty());
+  const int m = static_cast<int>(pattern.size());
+  DYNFO_CHECK(m + 1 <= 255);
+  // KMP automaton: state = length of the longest pattern prefix matched.
+  std::vector<int> failure(m, 0);
+  for (int i = 1; i < m; ++i) {
+    int j = failure[i - 1];
+    while (j > 0 && pattern[i] != pattern[j]) j = failure[j - 1];
+    if (pattern[i] == pattern[j]) ++j;
+    failure[i] = j;
+  }
+  Dfa dfa;
+  dfa.num_states = m + 1;
+  dfa.num_symbols = alphabet_size;
+  dfa.start = 0;
+  dfa.accepting.assign(m + 1, false);
+  dfa.accepting[m] = true;
+  dfa.transitions.resize(static_cast<size_t>(m + 1) * alphabet_size);
+  for (int q = 0; q <= m; ++q) {
+    for (int a = 0; a < alphabet_size; ++a) {
+      if (q == m) {
+        dfa.transitions[q * alphabet_size + a] = static_cast<State>(m);  // absorbing
+        continue;
+      }
+      int j = q;
+      char c = static_cast<char>('a' + a);
+      while (j > 0 && c != pattern[j]) j = failure[j - 1];
+      if (c == pattern[j]) ++j;
+      dfa.transitions[q * alphabet_size + a] = static_cast<State>(j);
+    }
+  }
+  DYNFO_CHECK(dfa.Valid());
+  return dfa;
+}
+
+}  // namespace dynfo::automata

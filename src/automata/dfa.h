@@ -1,0 +1,77 @@
+/// \file dfa.h
+/// Deterministic finite automata and transition maps (the monoid elements
+/// composed by Theorem 4.6's tree construction).
+
+#ifndef DYNFO_AUTOMATA_DFA_H_
+#define DYNFO_AUTOMATA_DFA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+
+namespace dynfo::automata {
+
+using State = uint8_t;
+using Symbol = uint8_t;
+
+/// A total function Q -> Q: the effect of reading some string. These are
+/// the values stored at tree nodes; composition is the monoid operation.
+class TransitionMap {
+ public:
+  /// The identity map (effect of the empty string) on `num_states` states.
+  static TransitionMap Identity(int num_states);
+
+  explicit TransitionMap(std::vector<State> image) : image_(std::move(image)) {}
+
+  int num_states() const { return static_cast<int>(image_.size()); }
+
+  State Apply(State q) const {
+    DYNFO_CHECK(q < image_.size());
+    return image_[q];
+  }
+
+  /// The map "first *this, then `after`" (left-to-right reading order).
+  TransitionMap Then(const TransitionMap& after) const;
+
+  bool operator==(const TransitionMap& other) const { return image_ == other.image_; }
+  bool operator!=(const TransitionMap& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<State> image_;
+};
+
+/// A complete DFA over the alphabet {0..num_symbols-1}.
+struct Dfa {
+  int num_states = 0;
+  int num_symbols = 0;
+  State start = 0;
+  std::vector<bool> accepting;          // size num_states
+  std::vector<State> transitions;       // [state * num_symbols + symbol]
+
+  State Step(State q, Symbol a) const {
+    DYNFO_CHECK(q < num_states && a < num_symbols);
+    return transitions[static_cast<size_t>(q) * num_symbols + a];
+  }
+
+  /// Runs the DFA over a string of symbols.
+  bool Accepts(const std::vector<Symbol>& word) const;
+
+  /// The transition map of a single symbol.
+  TransitionMap MapOf(Symbol a) const;
+
+  /// Structural sanity (sizes agree, transitions in range).
+  bool Valid() const;
+};
+
+/// Handy fixed automata for tests and benchmarks.
+Dfa MakeParityDfa();                 ///< binary strings with an odd number of 1s
+Dfa MakeModKDfa(int k, int residue); ///< #1s ≡ residue (mod k), alphabet {0,1}
+Dfa MakeContainsSubstringDfa(const std::string& pattern, int alphabet_size);
+
+}  // namespace dynfo::automata
+
+#endif  // DYNFO_AUTOMATA_DFA_H_

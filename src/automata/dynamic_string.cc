@@ -1,0 +1,59 @@
+#include "automata/dynamic_string.h"
+
+namespace dynfo::automata {
+
+DynamicRegularLanguage::DynamicRegularLanguage(Dfa dfa, size_t capacity)
+    : dfa_(std::move(dfa)) {
+  DYNFO_CHECK(dfa_.Valid());
+  DYNFO_CHECK(capacity >= 1);
+  leaves_ = 1;
+  while (leaves_ < capacity) leaves_ *= 2;
+  chars_.assign(leaves_, std::nullopt);
+  tree_.assign(2 * leaves_, TransitionMap::Identity(dfa_.num_states));
+}
+
+TransitionMap DynamicRegularLanguage::LeafMap(size_t position) const {
+  if (!chars_[position].has_value()) return TransitionMap::Identity(dfa_.num_states);
+  return dfa_.MapOf(*chars_[position]);
+}
+
+size_t DynamicRegularLanguage::SetChar(size_t position, std::optional<Symbol> symbol) {
+  DYNFO_CHECK(position < leaves_);
+  if (symbol.has_value()) {
+    DYNFO_CHECK(*symbol < dfa_.num_symbols);
+  }
+  chars_[position] = symbol;
+  size_t node = leaves_ + position;
+  tree_[node] = LeafMap(position);
+  size_t touched = 1;
+  // Recompute the log n ancestors — the set the paper's formula guesses.
+  for (node /= 2; node >= 1; node /= 2) {
+    tree_[node] = tree_[2 * node].Then(tree_[2 * node + 1]);
+    ++touched;
+  }
+  nodes_recomputed_ += touched;
+  return touched;
+}
+
+std::optional<Symbol> DynamicRegularLanguage::CharAt(size_t position) const {
+  DYNFO_CHECK(position < leaves_);
+  return chars_[position];
+}
+
+State DynamicRegularLanguage::RunFrom(State q) const { return tree_[1].Apply(q); }
+
+bool DynamicRegularLanguage::Accepts() const {
+  return dfa_.accepting[RunFrom(dfa_.start)];
+}
+
+bool DynamicRegularLanguage::VerifyLocalConsistency() const {
+  for (size_t position = 0; position < leaves_; ++position) {
+    if (tree_[leaves_ + position] != LeafMap(position)) return false;
+  }
+  for (size_t node = leaves_ - 1; node >= 1; --node) {
+    if (tree_[node] != tree_[2 * node].Then(tree_[2 * node + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace dynfo::automata

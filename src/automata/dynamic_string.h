@@ -1,0 +1,81 @@
+/// \file dynamic_string.h
+/// Theorem 4.6's data structure: a complete binary tree of composed
+/// transition maps over an editable string.
+///
+/// Every regular language is in Dyn-FO: the auxiliary structure stores, for
+/// each node of a complete binary tree over the n positions, the transition
+/// map delta*(., w_v) of the subword below it; a character edit changes only
+/// the log n maps on the leaf-to-root path, and membership is
+/// "root map applied to the start state lands in F".
+///
+/// The paper's update formula *guesses* the O(log n) changed bits with O(1)
+/// quantified variables and *verifies* them by asserting exactly the local
+/// consistency f_v = f_left ∘ f_right at every node. This class maintains
+/// the same structure explicitly (the guessed certificate is the path it
+/// recomputes); VerifyLocalConsistency() is the paper's verification
+/// predicate, and tests assert it after every edit. DESIGN.md discusses why
+/// the literal ∃-formula is not evaluated naively (its satisfying-set search
+/// is n^{Θ(1)} with an impractical exponent).
+///
+/// Unoccupied positions hold the identity map (the empty string), so the
+/// structure also models insert/delete of characters at fixed slots.
+
+#ifndef DYNFO_AUTOMATA_DYNAMIC_STRING_H_
+#define DYNFO_AUTOMATA_DYNAMIC_STRING_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/dfa.h"
+
+namespace dynfo::automata {
+
+class DynamicRegularLanguage {
+ public:
+  /// Capacity is rounded up to a power of two.
+  DynamicRegularLanguage(Dfa dfa, size_t capacity);
+
+  size_t capacity() const { return leaves_; }
+  const Dfa& dfa() const { return dfa_; }
+
+  /// Sets or clears the character at a position; returns the number of tree
+  /// nodes recomputed (the path length, O(log n)).
+  size_t SetChar(size_t position, std::optional<Symbol> symbol);
+
+  std::optional<Symbol> CharAt(size_t position) const;
+
+  /// Membership of the current string (occupied slots in order).
+  bool Accepts() const;
+
+  /// The root's transition map applied to `q`.
+  State RunFrom(State q) const;
+
+  /// The paper's verification predicate: every internal node equals the
+  /// composition of its children, and every leaf matches its character.
+  /// Returns true iff the certificate is locally consistent everywhere.
+  bool VerifyLocalConsistency() const;
+
+  /// Total nodes recomputed since construction (work counter for benches).
+  uint64_t nodes_recomputed() const { return nodes_recomputed_; }
+
+  /// Read access to the stored maps (1-indexed heap; 1 is the root, node v's
+  /// children are 2v and 2v+1, leaves are leaves()..2*leaves()-1). Used by
+  /// the FO encoding in tree_fo.h.
+  const TransitionMap& NodeMap(size_t node) const {
+    DYNFO_CHECK(node >= 1 && node < tree_.size());
+    return tree_[node];
+  }
+
+ private:
+  TransitionMap LeafMap(size_t position) const;
+
+  Dfa dfa_;
+  size_t leaves_;                          // power of two
+  std::vector<std::optional<Symbol>> chars_;
+  std::vector<TransitionMap> tree_;        // 1-indexed heap; [1] is the root
+  uint64_t nodes_recomputed_ = 0;
+};
+
+}  // namespace dynfo::automata
+
+#endif  // DYNFO_AUTOMATA_DYNAMIC_STRING_H_

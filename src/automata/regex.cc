@@ -1,0 +1,197 @@
+#include "automata/regex.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dynfo::automata {
+
+namespace {
+
+/// Thompson NFA: states with epsilon edges and at most one labeled edge.
+struct Nfa {
+  struct NfaState {
+    int labeled_to = -1;
+    Symbol label = 0;
+    std::vector<int> epsilon;
+  };
+  std::vector<NfaState> states;
+  int NewState() {
+    states.emplace_back();
+    return static_cast<int>(states.size()) - 1;
+  }
+};
+
+/// A fragment with one entry and one exit state.
+struct Fragment {
+  int entry;
+  int exit;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& pattern, int alphabet_size, Nfa* nfa)
+      : pattern_(pattern), alphabet_size_(alphabet_size), nfa_(nfa) {}
+
+  core::Result<Fragment> Parse() {
+    core::Result<Fragment> result = ParseAlt();
+    if (!result.ok()) return result;
+    if (position_ != pattern_.size()) {
+      return core::Status::Error("unexpected '" + std::string(1, pattern_[position_]) +
+                                 "' at offset " + std::to_string(position_));
+    }
+    return result;
+  }
+
+ private:
+  bool AtEnd() const { return position_ >= pattern_.size(); }
+  char Peek() const { return pattern_[position_]; }
+
+  Fragment Epsilon() {
+    Fragment f{nfa_->NewState(), nfa_->NewState()};
+    nfa_->states[f.entry].epsilon.push_back(f.exit);
+    return f;
+  }
+
+  core::Result<Fragment> ParseAlt() {
+    core::Result<Fragment> first = ParseConcat();
+    if (!first.ok()) return first;
+    Fragment acc = first.value();
+    while (!AtEnd() && Peek() == '|') {
+      ++position_;
+      core::Result<Fragment> next = ParseConcat();
+      if (!next.ok()) return next;
+      Fragment alt{nfa_->NewState(), nfa_->NewState()};
+      nfa_->states[alt.entry].epsilon = {acc.entry, next.value().entry};
+      nfa_->states[acc.exit].epsilon.push_back(alt.exit);
+      nfa_->states[next.value().exit].epsilon.push_back(alt.exit);
+      acc = alt;
+    }
+    return acc;
+  }
+
+  core::Result<Fragment> ParseConcat() {
+    // Empty alternatives denote the empty string.
+    if (AtEnd() || Peek() == '|' || Peek() == ')') return Epsilon();
+    core::Result<Fragment> first = ParseRepeat();
+    if (!first.ok()) return first;
+    Fragment acc = first.value();
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      core::Result<Fragment> next = ParseRepeat();
+      if (!next.ok()) return next;
+      nfa_->states[acc.exit].epsilon.push_back(next.value().entry);
+      acc = Fragment{acc.entry, next.value().exit};
+    }
+    return acc;
+  }
+
+  core::Result<Fragment> ParseRepeat() {
+    core::Result<Fragment> base = ParsePrimary();
+    if (!base.ok()) return base;
+    Fragment acc = base.value();
+    while (!AtEnd() && (Peek() == '*' || Peek() == '+' || Peek() == '?')) {
+      char op = Peek();
+      ++position_;
+      Fragment wrapped{nfa_->NewState(), nfa_->NewState()};
+      nfa_->states[wrapped.entry].epsilon.push_back(acc.entry);
+      nfa_->states[acc.exit].epsilon.push_back(wrapped.exit);
+      if (op == '*' || op == '?') {
+        nfa_->states[wrapped.entry].epsilon.push_back(wrapped.exit);
+      }
+      if (op == '*' || op == '+') {
+        nfa_->states[acc.exit].epsilon.push_back(acc.entry);
+      }
+      acc = wrapped;
+    }
+    return acc;
+  }
+
+  core::Result<Fragment> ParsePrimary() {
+    if (AtEnd()) return core::Status::Error("unexpected end of pattern");
+    char c = Peek();
+    if (c == '(') {
+      ++position_;
+      core::Result<Fragment> inner = ParseAlt();
+      if (!inner.ok()) return inner;
+      if (AtEnd() || Peek() != ')') return core::Status::Error("missing ')'");
+      ++position_;
+      return inner;
+    }
+    if (c < 'a' || c >= 'a' + alphabet_size_) {
+      return core::Status::Error("literal '" + std::string(1, c) +
+                                 "' outside the alphabet");
+    }
+    ++position_;
+    Fragment f{nfa_->NewState(), nfa_->NewState()};
+    nfa_->states[f.entry].labeled_to = f.exit;
+    nfa_->states[f.entry].label = static_cast<Symbol>(c - 'a');
+    return f;
+  }
+
+  const std::string& pattern_;
+  int alphabet_size_;
+  Nfa* nfa_;
+  size_t position_ = 0;
+};
+
+std::set<int> EpsilonClosure(const Nfa& nfa, std::set<int> states) {
+  std::vector<int> frontier(states.begin(), states.end());
+  while (!frontier.empty()) {
+    int s = frontier.back();
+    frontier.pop_back();
+    for (int next : nfa.states[s].epsilon) {
+      if (states.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return states;
+}
+
+}  // namespace
+
+core::Result<Dfa> CompileRegex(const std::string& pattern, int alphabet_size) {
+  if (alphabet_size < 1 || alphabet_size > 26) {
+    return core::Status::Error("alphabet size must be in [1, 26]");
+  }
+  Nfa nfa;
+  Parser parser(pattern, alphabet_size, &nfa);
+  core::Result<Fragment> fragment = parser.Parse();
+  if (!fragment.ok()) return fragment.status();
+
+  // Subset construction.
+  std::map<std::set<int>, State> ids;
+  std::vector<std::set<int>> subsets;
+  std::vector<State> transitions;
+  auto intern = [&](std::set<int> subset) -> State {
+    auto [it, fresh] = ids.emplace(std::move(subset), static_cast<State>(subsets.size()));
+    if (fresh) {
+      DYNFO_CHECK(subsets.size() < 255) << "DFA too large (255-state cap)";
+      subsets.push_back(it->first);
+    }
+    return it->second;
+  };
+  State start = intern(EpsilonClosure(nfa, {fragment.value().entry}));
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    for (int a = 0; a < alphabet_size; ++a) {
+      std::set<int> next;
+      for (int s : subsets[i]) {
+        const auto& state = nfa.states[s];
+        if (state.labeled_to >= 0 && state.label == a) next.insert(state.labeled_to);
+      }
+      transitions.push_back(intern(EpsilonClosure(nfa, std::move(next))));
+    }
+  }
+
+  Dfa dfa;
+  dfa.num_states = static_cast<int>(subsets.size());
+  dfa.num_symbols = alphabet_size;
+  dfa.start = start;
+  dfa.accepting.resize(subsets.size());
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    dfa.accepting[i] = subsets[i].count(fragment.value().exit) > 0;
+  }
+  dfa.transitions = std::move(transitions);
+  DYNFO_CHECK(dfa.Valid());
+  return dfa;
+}
+
+}  // namespace dynfo::automata

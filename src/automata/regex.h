@@ -1,0 +1,31 @@
+/// \file regex.h
+/// Regular expressions -> Thompson NFA -> subset-construction DFA.
+///
+/// A small, self-contained pipeline so examples can monitor arbitrary
+/// regular languages (Theorem 4.6 holds for every regular language; the
+/// DFA is the finite ingredient its construction stores at tree leaves).
+///
+/// Grammar (alphabet 'a'..'z', mapped to symbols 0..25):
+///   regex  := alt
+///   alt    := concat ('|' concat)*
+///   concat := repeat+
+///   repeat := primary ('*' | '+' | '?')*
+///   primary:= literal | '(' alt ')'
+
+#ifndef DYNFO_AUTOMATA_REGEX_H_
+#define DYNFO_AUTOMATA_REGEX_H_
+
+#include <string>
+
+#include "automata/dfa.h"
+#include "core/status.h"
+
+namespace dynfo::automata {
+
+/// Compiles a regex to a complete DFA over an alphabet of `alphabet_size`
+/// letters ('a' upward). Fails on syntax errors or out-of-alphabet literals.
+core::Result<Dfa> CompileRegex(const std::string& pattern, int alphabet_size);
+
+}  // namespace dynfo::automata
+
+#endif  // DYNFO_AUTOMATA_REGEX_H_

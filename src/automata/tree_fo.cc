@@ -1,0 +1,77 @@
+#include "automata/tree_fo.h"
+
+#include "arith/bit_formulas.h"
+#include "fo/builder.h"
+
+namespace dynfo::automata {
+
+using fo::EqT;
+using fo::Exists;
+using fo::F;
+using fo::Forall;
+using fo::Iff;
+using fo::Implies;
+using fo::LeT;
+using fo::LtT;
+using fo::N;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+
+std::shared_ptr<const relational::Vocabulary> TreeVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("Map", 3);
+  vocabulary->AddRelation("Acc", 1);
+  vocabulary->AddConstant("start");
+  return vocabulary;
+}
+
+relational::Structure EncodeTree(const DynamicRegularLanguage& dynamic,
+                                 size_t universe_size) {
+  const size_t leaves = dynamic.capacity();
+  const int states = dynamic.dfa().num_states;
+  DYNFO_CHECK(universe_size >= 2 * leaves)
+      << "universe must cover node ids 1..2L-1";
+  DYNFO_CHECK(universe_size > static_cast<size_t>(states));
+
+  relational::Structure out(TreeVocabulary(), universe_size);
+  relational::Relation& map = out.relation("Map");
+  for (size_t node = 1; node < 2 * leaves; ++node) {
+    const TransitionMap& f = dynamic.NodeMap(node);
+    for (int q = 0; q < states; ++q) {
+      map.Insert({static_cast<relational::Element>(node),
+                  static_cast<relational::Element>(q),
+                  static_cast<relational::Element>(f.Apply(static_cast<State>(q)))});
+    }
+  }
+  for (int q = 0; q < states; ++q) {
+    if (dynamic.dfa().accepting[q]) {
+      out.relation("Acc").Insert({static_cast<relational::Element>(q)});
+    }
+  }
+  out.set_constant("start", dynamic.dfa().start);
+  return out;
+}
+
+fo::FormulaPtr TreeConsistencySentence(size_t leaves, int num_states) {
+  Term v = V("v"), q = V("q"), qq = V("qq"), l = V("l"), r = V("r"), m = V("m");
+  // Composition: node v's map sends q to qq iff the left child sends q to
+  // some m and the right child sends m to qq. Child indices are first-order
+  // arithmetic on node ids: l = v + v (BIT carry-lookahead), r = l + 1
+  // (order-theoretic successor).
+  F rhs = Exists({"l", "r", "m"},
+                 arith::PlusFormula(v, v, l) && arith::SuccFormula(l, r) &&
+                     Rel("Map", {l, q, m}) && Rel("Map", {r, m, qq}));
+  F internal = LeT(N(1), v) && LtT(v, N(static_cast<relational::Element>(leaves)));
+  F states_ok = LtT(q, N(static_cast<relational::Element>(num_states))) &&
+                LtT(qq, N(static_cast<relational::Element>(num_states)));
+  return Forall({"v", "q", "qq"},
+                Implies(internal && states_ok, Iff(Rel("Map", {v, q, qq}), rhs)));
+}
+
+fo::FormulaPtr TreeAcceptSentence() {
+  Term q = V("q");
+  return Exists({"q"}, Rel("Map", {N(1), fo::C("start"), q}) && Rel("Acc", {q}));
+}
+
+}  // namespace dynfo::automata

@@ -1,0 +1,55 @@
+/// \file tree_fo.h
+/// Theorem 4.6's verification predicate as literal first-order formulas.
+///
+/// The paper's Dyn-FO program for a regular language L(D) stores the
+/// function-composition tree as a relation and, on each update,
+/// existentially guesses the O(log n) changed maps (packed into O(1)
+/// variables) while *universally verifying local consistency*:
+/// every internal node's map is the composition of its children's.
+///
+/// This header provides the pieces needed to exhibit that formula as an
+/// executable object: an encoding of a DynamicRegularLanguage's tree into a
+/// finite structure — Map(v, q, q') over node ids 1..2L-1 — and the two
+/// first-order sentences of the construction:
+///   * TreeConsistencySentence: the certificate check (children indices are
+///     arithmetic on node ids: left = v + v via the BIT-defined Plus
+///     formula, right = left + 1 via the order-defined successor);
+///   * TreeAcceptSentence: "the root map sends the start state into F".
+///
+/// Tests evaluate both with the generic FO evaluators: consistency holds
+/// exactly for honestly-maintained trees (and is falsified by corrupting a
+/// single Map tuple), and acceptance agrees with the data structure. The
+/// *update* formula itself — guess + verify — is not evaluated naively; see
+/// DESIGN.md for the cost analysis of why, and for how this pair of
+/// sentences covers the construction's logical content.
+
+#ifndef DYNFO_AUTOMATA_TREE_FO_H_
+#define DYNFO_AUTOMATA_TREE_FO_H_
+
+#include <memory>
+
+#include "automata/dynamic_string.h"
+#include "fo/formula.h"
+#include "relational/structure.h"
+
+namespace dynfo::automata {
+
+/// The vocabulary <Map^3, Acc^1; start>.
+std::shared_ptr<const relational::Vocabulary> TreeVocabulary();
+
+/// Encodes the tree: universe {0..universe_size-1} must cover node ids
+/// 1..2L-1 and the DFA's states. Map(v, q, q') iff node v's map sends q to
+/// q'; Acc(q) iff q is accepting; constant start = the DFA's start state.
+relational::Structure EncodeTree(const DynamicRegularLanguage& dynamic,
+                                 size_t universe_size);
+
+/// The local-consistency sentence for a tree with `leaves` leaves (a power
+/// of two) over a DFA with `num_states` states.
+fo::FormulaPtr TreeConsistencySentence(size_t leaves, int num_states);
+
+/// "The string is in L(D)": exists q (Map(1, start, q) & Acc(q)).
+fo::FormulaPtr TreeAcceptSentence();
+
+}  // namespace dynfo::automata
+
+#endif  // DYNFO_AUTOMATA_TREE_FO_H_

@@ -1,0 +1,13 @@
+#include "core/check.h"
+
+namespace dynfo::core {
+
+void CheckFailure(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::fprintf(stderr, "DYNFO_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dynfo::core

@@ -1,0 +1,62 @@
+/// \file check.h
+/// Internal invariant-checking macros.
+///
+/// DYNFO_CHECK is always on (release included): this library manipulates
+/// logical structures whose invariants, once violated, silently corrupt every
+/// downstream answer; failing fast is the only safe behaviour.
+
+#ifndef DYNFO_CORE_CHECK_H_
+#define DYNFO_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dynfo::core {
+
+[[noreturn]] void CheckFailure(const char* file, int line, const char* expr,
+                               const std::string& message);
+
+namespace internal {
+
+/// Accumulates a streamed failure message, then aborts in the destructor of
+/// the temporary. Used by the DYNFO_CHECK macro below.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailure(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] inline void Unreachable(const char* file, int line) {
+  CheckFailure(file, line, "false", "unreachable");
+}
+
+}  // namespace internal
+}  // namespace dynfo::core
+
+/// Aborts with a diagnostic if `cond` is false. Additional context may be
+/// streamed: DYNFO_CHECK(x < n) << "x=" << x;
+#define DYNFO_CHECK(cond)                                                       \
+  if (cond) {                                                                   \
+  } else /* NOLINT */                                                           \
+    ::dynfo::core::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+/// Marks unreachable code paths ([[noreturn]], so the compiler knows).
+#define DYNFO_UNREACHABLE() ::dynfo::core::internal::Unreachable(__FILE__, __LINE__)
+
+#endif  // DYNFO_CORE_CHECK_H_

@@ -1,0 +1,57 @@
+/// \file rng.h
+/// Deterministic pseudo-random number generation for workloads and tests.
+///
+/// All randomized workloads in the library (request generators, property
+/// tests, benchmarks) draw from this generator so that every experiment is
+/// reproducible from a seed.
+
+#ifndef DYNFO_CORE_RNG_H_
+#define DYNFO_CORE_RNG_H_
+
+#include <cstdint>
+
+#include "core/check.h"
+
+namespace dynfo::core {
+
+/// SplitMix64: a tiny, high-quality, seedable PRNG. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). Requires bound > 0.
+  uint64_t Below(uint64_t bound) {
+    DYNFO_CHECK(bound > 0);
+    // Rejection-free modulo is fine here: bias is negligible for our bounds.
+    return Next() % bound;
+  }
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    DYNFO_CHECK(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  /// Uniform double in [0, 1).
+  double UnitDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dynfo::core
+
+#endif  // DYNFO_CORE_RNG_H_

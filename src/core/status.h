@@ -1,0 +1,80 @@
+/// \file status.h
+/// Error handling for recoverable failures (parse errors, schema mismatches).
+///
+/// Following the style of large C++ database codebases, the public API does
+/// not throw: fallible operations return Status or Result<T>. Programming
+/// errors (violated preconditions) use DYNFO_CHECK instead.
+
+#ifndef DYNFO_CORE_STATUS_H_
+#define DYNFO_CORE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace dynfo::core {
+
+/// Success-or-error discriminant. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+
+  /// Creates an error status with a human-readable message.
+  static Status Error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return !message_.has_value(); }
+
+  /// Error message; empty string when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+  std::string ToString() const { return ok() ? "OK" : "Error: " + *message_; }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+
+  std::optional<std::string> message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. CHECK-fails if the status is OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    DYNFO_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. CHECK-fails on error.
+  const T& value() const& {
+    DYNFO_CHECK(ok()) << status_.message();
+    return *value_;
+  }
+  T& value() & {
+    DYNFO_CHECK(ok()) << status_.message();
+    return *value_;
+  }
+  T&& value() && {
+    DYNFO_CHECK(ok()) << status_.message();
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dynfo::core
+
+#endif  // DYNFO_CORE_STATUS_H_

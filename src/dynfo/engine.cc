@@ -1,0 +1,247 @@
+#include "dynfo/engine.h"
+
+#include <set>
+#include <utility>
+
+#include "fo/eval_naive.h"
+
+namespace dynfo::dyn {
+
+namespace {
+
+bool IsQuantifierFree(const fo::Formula& f) {
+  if (f.kind() == fo::FormulaKind::kExists || f.kind() == fo::FormulaKind::kForall) {
+    return false;
+  }
+  for (const fo::FormulaPtr& child : f.children()) {
+    if (!IsQuantifierFree(*child)) return false;
+  }
+  return true;
+}
+
+/// True iff `f` is Atom(target, x1, ..., xk) with args exactly the tuple
+/// variables, in order.
+bool IsTargetAtom(const fo::Formula& f, const UpdateRule& rule) {
+  if (f.kind() != fo::FormulaKind::kAtom || f.relation() != rule.target) return false;
+  if (f.args().size() != rule.tuple_variables.size()) return false;
+  for (size_t i = 0; i < f.args().size(); ++i) {
+    const fo::Term& t = f.args()[i];
+    if (!t.is_variable() || t.name() != rule.tuple_variables[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Engine::Engine(std::shared_ptr<const DynProgram> program, size_t universe_size,
+               EngineOptions options)
+    : program_(std::move(program)),
+      options_(options),
+      data_(program_->data_vocabulary(), universe_size) {
+  core::Status status = program_->Validate();
+  DYNFO_CHECK(status.ok()) << status.message();
+  // First-order initialization (f_n(empty), paper condition 4): rules run in
+  // order, each seeing the results of the previous ones.
+  for (const UpdateRule& rule : program_->init_rules()) {
+    fo::EvalContext ctx(data_);
+    data_.relation(rule.target) = EvalRuleFull(rule, ctx);
+  }
+}
+
+relational::Relation Engine::EvalRuleFull(const UpdateRule& rule,
+                                          const fo::EvalContext& ctx) const {
+  if (options_.eval_mode == EvalMode::kNaive) {
+    return fo::NaiveEvaluator::EvaluateAsRelation(rule.formula, rule.tuple_variables,
+                                                  ctx);
+  }
+  return algebra_.EvaluateAsRelation(rule.formula, rule.tuple_variables, ctx);
+}
+
+const Engine::DeltaPlan& Engine::PlanFor(const UpdateRule& rule) {
+  auto it = plans_.find(&rule);
+  if (it != plans_.end()) return it->second;
+
+  DeltaPlan plan;
+  std::vector<fo::FormulaPtr> disjuncts;
+  if (rule.formula->kind() == fo::FormulaKind::kOr) {
+    disjuncts = rule.formula->children();
+  } else {
+    disjuncts = {rule.formula};
+  }
+  for (size_t i = 0; i < disjuncts.size() && !plan.applicable; ++i) {
+    std::vector<fo::FormulaPtr> conjuncts;
+    if (disjuncts[i]->kind() == fo::FormulaKind::kAnd) {
+      conjuncts = disjuncts[i]->children();
+    } else {
+      conjuncts = {disjuncts[i]};
+    }
+    for (size_t j = 0; j < conjuncts.size(); ++j) {
+      if (!IsTargetAtom(*conjuncts[j], rule)) continue;
+      std::vector<fo::FormulaPtr> keep(conjuncts);
+      keep.erase(keep.begin() + static_cast<ptrdiff_t>(j));
+      std::vector<fo::FormulaPtr> additions(disjuncts);
+      additions.erase(additions.begin() + static_cast<ptrdiff_t>(i));
+      plan.applicable = true;
+      plan.keep = fo::Formula::And(std::move(keep));
+      plan.additions = fo::Formula::Or(std::move(additions));
+      break;
+    }
+  }
+  return plans_.emplace(&rule, std::move(plan)).first->second;
+}
+
+void Engine::Apply(const relational::Request& request) {
+  DYNFO_CHECK(!(program_->semi_dynamic() &&
+                request.kind == relational::RequestKind::kDelete))
+      << program_->name() << " is semi-dynamic (Dyn_s): deletes are not supported";
+  ++stats_.requests;
+  std::vector<relational::Element> params;
+  if (request.kind == relational::RequestKind::kSetConstant) {
+    params = {request.value};
+  } else {
+    for (int i = 0; i < request.tuple.size(); ++i) params.push_back(request.tuple[i]);
+  }
+  fo::EvalContext ctx(data_, params);
+
+  const RequestRules* rules = program_->RulesFor(request.kind, request.target);
+
+  // Temporaries: evaluated in order, committed immediately so later rules in
+  // this same request can read them. They never shadow non-let relations'
+  // old values because validated programs use distinct let targets.
+  if (rules != nullptr) {
+    for (const UpdateRule& rule : rules->lets) {
+      relational::Relation result = EvalRuleFull(rule, ctx);
+      ++stats_.relations_recomputed;
+      stats_.tuples_written += result.size();
+      data_.relation(rule.target) = std::move(result);
+    }
+  }
+
+  // Main updates: evaluate everything against the pre-request state (plus
+  // lets), then commit atomically.
+  struct Staged {
+    const UpdateRule* rule;
+    bool full;
+    relational::Relation replacement{0};
+    std::vector<relational::Tuple> removals;
+    relational::Relation additions{0};
+  };
+  std::vector<Staged> staged;
+  std::set<std::string> targeted;
+  if (rules != nullptr) {
+    for (const UpdateRule& rule : rules->updates) {
+      DYNFO_CHECK(targeted.insert(rule.target).second)
+          << "two update rules target " << rule.target << " in one request";
+      Staged s;
+      s.rule = &rule;
+      const DeltaPlan& plan = PlanFor(rule);
+      const bool delta = options_.use_delta &&
+                         options_.eval_mode == EvalMode::kAlgebra && plan.applicable;
+      if (!delta) {
+        s.full = true;
+        s.replacement = EvalRuleFull(rule, ctx);
+        ++stats_.relations_recomputed;
+        stats_.tuples_written += s.replacement.size();
+        staged.push_back(std::move(s));
+        continue;
+      }
+      s.full = false;
+      ++stats_.delta_applications;
+      const relational::Relation& old = data_.relation(rule.target);
+      // Removals: old tuples failing the keep-filter.
+      if (plan.keep->kind() != fo::FormulaKind::kTrue) {
+        if (IsQuantifierFree(*plan.keep)) {
+          for (const relational::Tuple& t : old) {
+            fo::Env env;
+            for (size_t i = 0; i < rule.tuple_variables.size(); ++i) {
+              env.Push(rule.tuple_variables[i], t[static_cast<int>(i)]);
+            }
+            if (!fo::NaiveEvaluator::Holds(*plan.keep, ctx, &env)) s.removals.push_back(t);
+          }
+        } else {
+          relational::Relation keep_set =
+              algebra_.EvaluateAsRelation(plan.keep, rule.tuple_variables, ctx);
+          for (const relational::Tuple& t : old) {
+            if (!keep_set.Contains(t)) s.removals.push_back(t);
+          }
+        }
+      }
+      // Additions.
+      if (plan.additions->kind() != fo::FormulaKind::kFalse) {
+        s.additions =
+            algebra_.EvaluateAsRelation(plan.additions, rule.tuple_variables, ctx);
+      } else {
+        s.additions = relational::Relation(static_cast<int>(rule.tuple_variables.size()));
+      }
+      staged.push_back(std::move(s));
+    }
+  }
+
+  // Commit.
+  for (Staged& s : staged) {
+    relational::Relation& target = data_.relation(s.rule->target);
+    if (s.full) {
+      target = std::move(s.replacement);
+      continue;
+    }
+    for (const relational::Tuple& t : s.removals) {
+      if (target.Erase(t)) ++stats_.tuples_erased;
+    }
+    for (const relational::Tuple& t : s.additions) {
+      if (target.Insert(t)) ++stats_.tuples_inserted;
+    }
+  }
+
+  // Mirror the raw input change into a same-named data symbol unless the
+  // program redefined it explicitly.
+  switch (request.kind) {
+    case relational::RequestKind::kInsert:
+    case relational::RequestKind::kDelete: {
+      if (targeted.count(request.target) > 0) break;
+      int index = data_.vocabulary().RelationIndex(request.target);
+      if (index < 0) break;
+      relational::Relation& rel = data_.relation(index);
+      DYNFO_CHECK(rel.arity() == request.tuple.size());
+      if (request.kind == relational::RequestKind::kInsert) {
+        if (rel.Insert(request.tuple)) ++stats_.tuples_inserted;
+      } else {
+        if (rel.Erase(request.tuple)) ++stats_.tuples_erased;
+      }
+      break;
+    }
+    case relational::RequestKind::kSetConstant: {
+      int index = data_.vocabulary().ConstantIndex(request.target);
+      if (index >= 0) data_.set_constant(index, request.value);
+      break;
+    }
+  }
+}
+
+bool Engine::QueryBool(std::vector<relational::Element> params) const {
+  const fo::FormulaPtr& query = program_->bool_query();
+  DYNFO_CHECK(query != nullptr) << program_->name() << " has no boolean query";
+  return QuerySentence(query, std::move(params));
+}
+
+bool Engine::QuerySentence(const fo::FormulaPtr& sentence,
+                           std::vector<relational::Element> params) const {
+  fo::EvalContext ctx(data_, std::move(params));
+  if (options_.eval_mode == EvalMode::kNaive) {
+    return fo::NaiveEvaluator::HoldsSentence(sentence, ctx);
+  }
+  return algebra_.HoldsSentence(sentence, ctx);
+}
+
+relational::Relation Engine::QueryRelation(const std::string& name,
+                                           std::vector<relational::Element> params) const {
+  const NamedQuery* query = program_->FindNamedQuery(name);
+  DYNFO_CHECK(query != nullptr) << program_->name() << " has no query named " << name;
+  fo::EvalContext ctx(data_, std::move(params));
+  if (options_.eval_mode == EvalMode::kNaive) {
+    return fo::NaiveEvaluator::EvaluateAsRelation(query->formula, query->tuple_variables,
+                                                  ctx);
+  }
+  return algebra_.EvaluateAsRelation(query->formula, query->tuple_variables, ctx);
+}
+
+}  // namespace dynfo::dyn

@@ -1,0 +1,47 @@
+#include "dynfo/verifier.h"
+
+namespace dynfo::dyn {
+
+VerifierResult VerifyProgram(std::shared_ptr<const DynProgram> program, Oracle oracle,
+                             size_t universe_size,
+                             const relational::RequestSequence& requests,
+                             const VerifierOptions& options) {
+  VerifierResult result;
+  Engine engine(program, universe_size, options.engine_options);
+  relational::Structure input(program->input_vocabulary(), universe_size);
+
+  auto check = [&](const relational::Request* last) -> bool {
+    bool expected = oracle(input);
+    bool actual = engine.QueryBool();
+    if (expected != actual) {
+      result.ok = false;
+      result.failure = "query mismatch (expected " +
+                       std::string(expected ? "true" : "false") + ", got " +
+                       std::string(actual ? "true" : "false") + ")";
+      if (last != nullptr) result.failure += " after " + last->ToString();
+      return false;
+    }
+    if (options.invariant) {
+      std::string violation = options.invariant(input, engine);
+      if (!violation.empty()) {
+        result.ok = false;
+        result.failure = "invariant violated: " + violation;
+        if (last != nullptr) result.failure += " after " + last->ToString();
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!check(nullptr)) return result;  // initial state must agree too
+  for (const relational::Request& request : requests) {
+    engine.Apply(request);
+    relational::ApplyRequest(&input, request);
+    ++result.steps_executed;
+    if (options.check_every_step && !check(&request)) return result;
+  }
+  if (!options.check_every_step) check(nullptr);
+  return result;
+}
+
+}  // namespace dynfo::dyn

@@ -1,0 +1,59 @@
+/// \file verifier.h
+/// Oracle-checked execution: the correctness harness for Dyn-FO programs.
+///
+/// A Verifier replays a request sequence into (a) the dynamic Engine and
+/// (b) the plain input structure (the paper's eval_{n,sigma}), and after
+/// every request compares the program's boolean query against an
+/// independent static oracle. This is how each theorem's construction is
+/// validated over long random histories.
+
+#ifndef DYNFO_DYNFO_VERIFIER_H_
+#define DYNFO_DYNFO_VERIFIER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dynfo/engine.h"
+#include "relational/request.h"
+
+namespace dynfo::dyn {
+
+/// Ground truth for a boolean query, computed from scratch on the input.
+using Oracle = std::function<bool(const relational::Structure&)>;
+
+/// An optional deeper check run after every request (e.g. auxiliary-relation
+/// invariants: "F is a spanning forest", "PV matches forest paths"). Returns
+/// an empty string when satisfied, else a description of the violation.
+using InvariantCheck =
+    std::function<std::string(const relational::Structure& input, const Engine& engine)>;
+
+struct VerifierResult {
+  bool ok = true;
+  size_t steps_executed = 0;
+  std::string failure;  ///< empty when ok
+
+  std::string ToString() const {
+    return ok ? "OK after " + std::to_string(steps_executed) + " steps"
+              : "FAILED at step " + std::to_string(steps_executed) + ": " + failure;
+  }
+};
+
+struct VerifierOptions {
+  EngineOptions engine_options;
+  /// Check the boolean query after every request (vs. only at the end).
+  bool check_every_step = true;
+  /// Additional structural invariant, may be null.
+  InvariantCheck invariant;
+};
+
+/// Replays `requests` at universe size `universe_size`, cross-checking the
+/// program against the oracle. Stops at the first divergence.
+VerifierResult VerifyProgram(std::shared_ptr<const DynProgram> program, Oracle oracle,
+                             size_t universe_size,
+                             const relational::RequestSequence& requests,
+                             const VerifierOptions& options = {});
+
+}  // namespace dynfo::dyn
+
+#endif  // DYNFO_DYNFO_VERIFIER_H_

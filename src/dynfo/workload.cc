@@ -1,0 +1,225 @@
+#include "dynfo/workload.h"
+
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+
+namespace dynfo::dyn {
+
+relational::RequestSequence MakeGenericWorkload(const relational::Vocabulary& input,
+                                                size_t universe_size,
+                                                const GenericWorkloadOptions& options) {
+  DYNFO_CHECK(input.num_relations() > 0);
+  core::Rng rng(options.seed);
+  relational::RequestSequence out;
+  out.reserve(options.num_requests);
+  auto element = [&] {
+    return static_cast<relational::Element>(rng.Below(universe_size));
+  };
+  for (size_t i = 0; i < options.num_requests; ++i) {
+    double roll = rng.UnitDouble();
+    if (input.num_constants() > 0 && roll < options.set_fraction) {
+      int index = static_cast<int>(rng.Below(input.num_constants()));
+      out.push_back(relational::Request::SetConstant(input.constant(index), element()));
+      continue;
+    }
+    int rel_index = static_cast<int>(rng.Below(input.num_relations()));
+    const relational::RelationSymbol& symbol = input.relation(rel_index);
+    relational::Tuple t;
+    for (int j = 0; j < symbol.arity; ++j) t = t.Append(element());
+    bool insert = rng.UnitDouble() < options.insert_fraction;
+    out.push_back(insert ? relational::Request::Insert(symbol.name, t)
+                         : relational::Request::Delete(symbol.name, t));
+  }
+  return out;
+}
+
+relational::RequestSequence MakeGraphWorkload(const relational::Vocabulary& input,
+                                              const std::string& edge_relation,
+                                              size_t universe_size,
+                                              const GraphWorkloadOptions& options) {
+  DYNFO_CHECK(input.ArityOf(edge_relation) == 2);
+  core::Rng rng(options.seed);
+  relational::RequestSequence out;
+  out.reserve(options.num_requests);
+
+  // Shadow digraph tracking the current edge set (one orientation per
+  // request; programs that symmetrize do so themselves).
+  graph::Digraph shadow(universe_size);
+  std::vector<std::pair<graph::Vertex, graph::Vertex>> present;
+
+  std::vector<int> indegree(universe_size, 0);
+  std::vector<int> degree(universe_size, 0);
+
+  auto insert_ok = [&](graph::Vertex u, graph::Vertex v) {
+    if (!options.allow_self_loops && u == v) return false;
+    if (shadow.HasEdge(u, v)) return false;
+    if (options.forest_shape && indegree[v] >= 1) return false;
+    if (options.max_degree >= 0 &&
+        (degree[u] >= options.max_degree || degree[v] >= options.max_degree)) {
+      return false;
+    }
+    if ((options.preserve_acyclic || options.forest_shape) &&
+        graph::Reachable(shadow, v, u)) {
+      return false;  // edge u -> v would close a cycle
+    }
+    return true;
+  };
+
+  for (size_t i = 0; i < options.num_requests; ++i) {
+    if (options.set_fraction > 0 && input.num_constants() > 0 &&
+        rng.UnitDouble() < options.set_fraction) {
+      int index = static_cast<int>(rng.Below(input.num_constants()));
+      out.push_back(relational::Request::SetConstant(
+          input.constant(index),
+          static_cast<relational::Element>(rng.Below(universe_size))));
+      continue;
+    }
+    bool want_insert = rng.UnitDouble() < options.insert_fraction;
+    if (!want_insert && present.empty()) want_insert = true;
+
+    if (want_insert) {
+      // Rejection-sample an insertable edge; fall back to delete after a
+      // bounded number of misses (the graph may be saturated).
+      bool inserted = false;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        graph::Vertex u = static_cast<graph::Vertex>(rng.Below(universe_size));
+        graph::Vertex v = static_cast<graph::Vertex>(rng.Below(universe_size));
+        if (options.undirected && u > v) std::swap(u, v);
+        if (!insert_ok(u, v)) continue;
+        shadow.AddEdge(u, v);
+        ++indegree[v];
+        ++degree[u];
+        ++degree[v];
+        present.emplace_back(u, v);
+        out.push_back(relational::Request::Insert(edge_relation, {u, v}));
+        inserted = true;
+        break;
+      }
+      if (inserted) continue;
+      // Saturated: fall back to a delete — unless the caller asked for an
+      // insert-only (semi-dynamic) workload.
+      if (present.empty() || options.insert_fraction >= 1.0) continue;
+    }
+    // Delete a uniformly random present edge.
+    size_t pick = rng.Below(present.size());
+    auto [u, v] = present[pick];
+    present[pick] = present.back();
+    present.pop_back();
+    shadow.RemoveEdge(u, v);
+    --indegree[v];
+    --degree[u];
+    --degree[v];
+    out.push_back(relational::Request::Delete(edge_relation, {u, v}));
+  }
+  return out;
+}
+
+relational::RequestSequence MakeWeightedGraphWorkload(
+    const relational::Vocabulary& input, const std::string& weight_relation,
+    size_t universe_size, const WeightedGraphWorkloadOptions& options) {
+  DYNFO_CHECK(input.ArityOf(weight_relation) == 3);
+  core::Rng rng(options.seed);
+  relational::RequestSequence out;
+  out.reserve(options.num_requests);
+
+  struct LiveEdge {
+    graph::Vertex u, v;
+    relational::Element weight;
+  };
+  std::vector<LiveEdge> present;
+  std::vector<bool> pair_used(universe_size * universe_size, false);
+  std::vector<bool> weight_used(universe_size, false);
+
+  for (size_t i = 0; i < options.num_requests; ++i) {
+    if (options.set_fraction > 0 && input.num_constants() > 0 &&
+        rng.UnitDouble() < options.set_fraction) {
+      int index = static_cast<int>(rng.Below(input.num_constants()));
+      out.push_back(relational::Request::SetConstant(
+          input.constant(index),
+          static_cast<relational::Element>(rng.Below(universe_size))));
+      continue;
+    }
+    bool want_insert = rng.UnitDouble() < options.insert_fraction;
+    if (present.empty()) want_insert = true;
+    // Keep strictly fewer live edges than distinct weights.
+    if (present.size() + 1 >= universe_size) want_insert = false;
+
+    if (want_insert) {
+      bool inserted = false;
+      for (int attempt = 0; attempt < 64 && !inserted; ++attempt) {
+        graph::Vertex u = static_cast<graph::Vertex>(rng.Below(universe_size));
+        graph::Vertex v = static_cast<graph::Vertex>(rng.Below(universe_size));
+        if (u > v) std::swap(u, v);
+        if (u == v || pair_used[u * universe_size + v]) continue;
+        relational::Element weight =
+            static_cast<relational::Element>(rng.Below(universe_size));
+        if (weight_used[weight]) continue;
+        pair_used[u * universe_size + v] = true;
+        weight_used[weight] = true;
+        present.push_back({u, v, weight});
+        out.push_back(relational::Request::Insert(weight_relation, {u, v, weight}));
+        inserted = true;
+      }
+      if (inserted) continue;
+      if (present.empty()) continue;
+    }
+    size_t pick = rng.Below(present.size());
+    LiveEdge e = present[pick];
+    present[pick] = present.back();
+    present.pop_back();
+    pair_used[e.u * universe_size + e.v] = false;
+    weight_used[e.weight] = false;
+    out.push_back(relational::Request::Delete(weight_relation, {e.u, e.v, e.weight}));
+  }
+  return out;
+}
+
+relational::RequestSequence MakeSlotStringWorkload(
+    const std::vector<std::string>& character_relations, size_t universe_size,
+    const SlotStringWorkloadOptions& options) {
+  DYNFO_CHECK(!character_relations.empty());
+  core::Rng rng(options.seed);
+  const size_t max_chars =
+      options.max_chars == 0 ? universe_size : options.max_chars;
+  relational::RequestSequence out;
+  out.reserve(options.num_requests);
+
+  // slot_char[p] = index into character_relations, or -1 when free.
+  std::vector<int> slot_char(universe_size, -1);
+  std::vector<relational::Element> occupied;
+
+  for (size_t i = 0; i < options.num_requests; ++i) {
+    bool want_insert = rng.UnitDouble() < options.insert_fraction;
+    if (occupied.empty()) want_insert = true;
+    if (occupied.size() >= max_chars) want_insert = false;
+
+    if (want_insert) {
+      bool inserted = false;
+      for (int attempt = 0; attempt < 64 && !inserted; ++attempt) {
+        relational::Element p =
+            static_cast<relational::Element>(rng.Below(universe_size));
+        if (slot_char[p] >= 0) continue;
+        int c = static_cast<int>(rng.Below(character_relations.size()));
+        slot_char[p] = c;
+        occupied.push_back(p);
+        out.push_back(relational::Request::Insert(character_relations[c], {p}));
+        inserted = true;
+      }
+      if (inserted) continue;
+      if (occupied.empty()) continue;
+    }
+    size_t pick = rng.Below(occupied.size());
+    relational::Element p = occupied[pick];
+    occupied[pick] = occupied.back();
+    occupied.pop_back();
+    int c = slot_char[p];
+    slot_char[p] = -1;
+    out.push_back(relational::Request::Delete(character_relations[c], {p}));
+  }
+  return out;
+}
+
+}  // namespace dynfo::dyn

@@ -1,0 +1,96 @@
+/// \file workload.h
+/// Reproducible random request-sequence generators.
+///
+/// Two flavours: a fully generic generator over any input vocabulary, and a
+/// graph-aware generator producing realistic edge churn (inserting edges
+/// that are absent, deleting edges that exist) with optional structural
+/// constraints — acyclicity preservation for REACH(acyclic) and Corollary
+/// 4.3, forest shape for LCA, degree bounds for matching workloads.
+
+#ifndef DYNFO_DYNFO_WORKLOAD_H_
+#define DYNFO_DYNFO_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/rng.h"
+#include "relational/request.h"
+#include "relational/vocabulary.h"
+
+namespace dynfo::dyn {
+
+struct GenericWorkloadOptions {
+  size_t num_requests = 100;
+  double insert_fraction = 0.6;  ///< remaining mass splits delete/set
+  double set_fraction = 0.05;    ///< probability of a set(constant) request
+  uint64_t seed = 1;
+};
+
+/// Uniformly random requests over all relations/constants of the vocabulary.
+relational::RequestSequence MakeGenericWorkload(const relational::Vocabulary& input,
+                                                size_t universe_size,
+                                                const GenericWorkloadOptions& options);
+
+struct GraphWorkloadOptions {
+  size_t num_requests = 100;
+  double insert_fraction = 0.6;
+  double set_fraction = 0.0;  ///< probability of set(s)/set(t) requests
+  bool allow_self_loops = false;
+  /// Canonicalize edges to u <= v: the convention for undirected problems
+  /// (the program symmetrizes internally; the raw input then never holds two
+  /// orientations of one edge, keeping program and oracle views aligned).
+  bool undirected = false;
+  /// Inserts must keep the digraph acyclic (checked against a shadow graph).
+  bool preserve_acyclic = false;
+  /// Inserts must keep the graph a directed forest (indegree <= 1, acyclic).
+  bool forest_shape = false;
+  /// If >= 0, inserts keep every vertex degree at most this bound.
+  int max_degree = -1;
+  uint64_t seed = 1;
+};
+
+/// Edge churn on the binary relation `edge_relation`: inserts draw from the
+/// currently-absent edges (subject to the structural constraints), deletes
+/// from the currently-present ones. Degenerate steps (nothing insertable /
+/// deletable) fall back to the other action.
+relational::RequestSequence MakeGraphWorkload(const relational::Vocabulary& input,
+                                              const std::string& edge_relation,
+                                              size_t universe_size,
+                                              const GraphWorkloadOptions& options);
+
+struct WeightedGraphWorkloadOptions {
+  size_t num_requests = 100;
+  double insert_fraction = 0.6;
+  double set_fraction = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Churn on a ternary weighted-edge relation W(u, v, w) honoring Theorem
+/// 4.4's memoryless contract: weights are distinct across live edges, each
+/// unordered pair u < v carries at most one weight, no self loops. Deletes
+/// quote the edge's true weight. Edge count stays below the number of
+/// distinct weights (= universe size).
+relational::RequestSequence MakeWeightedGraphWorkload(
+    const relational::Vocabulary& input, const std::string& weight_relation,
+    size_t universe_size, const WeightedGraphWorkloadOptions& options);
+
+struct SlotStringWorkloadOptions {
+  size_t num_requests = 100;
+  double insert_fraction = 0.6;
+  /// Upper bound on simultaneously occupied positions (e.g. the Dyck
+  /// program needs < n/2 - 1 so offset-encoded surpluses stay in range).
+  size_t max_chars = 0;  ///< 0 = universe_size
+  uint64_t seed = 1;
+};
+
+/// Edits to a string living on position slots: each unary relation in
+/// `character_relations` marks the positions holding that character; at most
+/// one character occupies a slot. Inserts target free slots; deletes remove
+/// the character actually present.
+relational::RequestSequence MakeSlotStringWorkload(
+    const std::vector<std::string>& character_relations, size_t universe_size,
+    const SlotStringWorkloadOptions& options);
+
+}  // namespace dynfo::dyn
+
+#endif  // DYNFO_DYNFO_WORKLOAD_H_

@@ -1,0 +1,80 @@
+/// \file builder.h
+/// A small combinator DSL for constructing formulas in C++.
+///
+/// Wraps FormulaPtr in a value type `F` overloading &&, ||, ! so update
+/// formulas read close to the paper's notation:
+///
+///   Term x = V("x"), y = V("y");
+///   F f = Rel("F", {x, y}) || (EqT(x, P0()) && !Rel("P", {P0(), P1()}));
+
+#ifndef DYNFO_FO_BUILDER_H_
+#define DYNFO_FO_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "fo/formula.h"
+
+namespace dynfo::fo {
+
+/// A formula wrapper enabling operator syntax. Converts implicitly *to*
+/// FormulaPtr but only explicitly *from* it — an implicit converting
+/// constructor would make `!some_formula_ptr` ambiguous everywhere.
+struct F {
+  FormulaPtr ptr;
+
+  explicit F(FormulaPtr p) : ptr(std::move(p)) {}
+  operator FormulaPtr() const { return ptr; }
+  const Formula& operator*() const { return *ptr; }
+  const Formula* operator->() const { return ptr.get(); }
+};
+
+inline F operator&&(const F& a, const F& b) { return F(Formula::And({a.ptr, b.ptr})); }
+inline F operator||(const F& a, const F& b) { return F(Formula::Or({a.ptr, b.ptr})); }
+inline F operator!(const F& a) { return F(Formula::Not(a.ptr)); }
+
+/// Variable term shorthand.
+inline Term V(const std::string& name) { return Term::Var(name); }
+/// Constant-symbol term shorthand.
+inline Term C(const std::string& name) { return Term::Const(name); }
+/// Request parameters: P0 is the paper's `a`, P1 its `b`, etc.
+inline Term P0() { return Term::Param(0); }
+inline Term P1() { return Term::Param(1); }
+inline Term P2() { return Term::Param(2); }
+/// Numeric literal term.
+inline Term N(relational::Element value) { return Term::Number(value); }
+
+inline F Rel(const std::string& name, std::vector<Term> args) {
+  return F(Formula::Atom(name, std::move(args)));
+}
+inline F EqT(Term a, Term b) { return F(Formula::Eq(std::move(a), std::move(b))); }
+inline F LeT(Term a, Term b) { return F(Formula::Le(std::move(a), std::move(b))); }
+inline F BitT(Term a, Term b) { return F(Formula::Bit(std::move(a), std::move(b))); }
+inline F LtT(Term a, Term b) {
+  return F(Formula::And({Formula::Le(a, b), Formula::Not(Formula::Eq(a, b))}));
+}
+inline F TrueF() { return F(Formula::True()); }
+inline F FalseF() { return F(Formula::False()); }
+
+inline F Exists(std::vector<std::string> vars, const F& body) {
+  return F(Formula::Exists(std::move(vars), body.ptr));
+}
+inline F Forall(std::vector<std::string> vars, const F& body) {
+  return F(Formula::Forall(std::move(vars), body.ptr));
+}
+inline F Implies(const F& a, const F& b) { return F(Formula::Implies(a.ptr, b.ptr)); }
+inline F Iff(const F& a, const F& b) { return F(Formula::Iff(a.ptr, b.ptr)); }
+
+/// n-ary conveniences.
+inline F AndAll(std::vector<FormulaPtr> fs) { return F(Formula::And(std::move(fs))); }
+inline F OrAll(std::vector<FormulaPtr> fs) { return F(Formula::Or(std::move(fs))); }
+
+/// The paper's Eq(x, y, c, d) abbreviation:
+/// (x = c & y = d) | (x = d & y = c) — "edge {x,y} is the edge {c,d}".
+inline F EqEdge(const Term& x, const Term& y, const Term& c, const Term& d) {
+  return (EqT(x, c) && EqT(y, d)) || (EqT(x, d) && EqT(y, c));
+}
+
+}  // namespace dynfo::fo
+
+#endif  // DYNFO_FO_BUILDER_H_

@@ -1,0 +1,88 @@
+/// \file eval_algebra.h
+/// The optimized evaluator: compiles formulas to relational algebra.
+///
+/// Satisfying sets are computed bottom-up as NamedRelations: atoms scan
+/// stored relations, conjunctions are planned greedily (filters first, then
+/// the cheapest generator — hash joins on shared variables, constant-time
+/// equality extensions, filtered extensions), disjunctions pad-and-union,
+/// quantifiers project (exists) or group-count (forall). Negations become
+/// anti-semi-joins inside conjunctions and complements only as a last
+/// resort.
+///
+/// The evaluator is observationally equivalent to NaiveEvaluator (enforced
+/// by property tests) but asymptotically faster on the paper's update
+/// formulas, whose bounded "request locality" the planner exploits: atoms
+/// like Eq(u, v, a, b) pin quantified variables to the request parameters.
+
+#ifndef DYNFO_FO_EVAL_ALGEBRA_H_
+#define DYNFO_FO_EVAL_ALGEBRA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fo/eval_context.h"
+#include "fo/formula.h"
+#include "fo/named_relation.h"
+#include "relational/relation.h"
+
+namespace dynfo::fo {
+
+class AlgebraEvaluator {
+ public:
+  /// Work counters, exposed for the evaluator-ablation benchmark.
+  struct Stats {
+    uint64_t joins = 0;
+    uint64_t semi_joins = 0;
+    uint64_t equality_extensions = 0;
+    uint64_t filtered_extensions = 0;
+    uint64_t filter_row_evals = 0;
+    uint64_t complements = 0;
+    uint64_t pads = 0;
+  };
+
+  AlgebraEvaluator() = default;
+
+  /// The satisfying set of `formula`: one row per assignment of its free
+  /// variables (columns == free variables, order unspecified) that makes the
+  /// formula true. Parameters/constants are resolved through `ctx`.
+  NamedRelation Sat(const FormulaPtr& formula, const EvalContext& ctx) const;
+
+  /// Truth of a sentence (no free variables).
+  bool HoldsSentence(const FormulaPtr& formula, const EvalContext& ctx) const;
+
+  /// Materializes { x-bar : formula(x-bar) } with x-bar = `tuple_variables`
+  /// in order; same contract as NaiveEvaluator::EvaluateAsRelation.
+  relational::Relation EvaluateAsRelation(const FormulaPtr& formula,
+                                          const std::vector<std::string>& tuple_variables,
+                                          const EvalContext& ctx) const;
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  NamedRelation SatAtom(const Formula& formula, const EvalContext& ctx) const;
+  NamedRelation SatNumeric(const Formula& formula, const EvalContext& ctx) const;
+  NamedRelation SatAnd(const Formula& formula, const EvalContext& ctx) const;
+  NamedRelation SatOr(const Formula& formula, const EvalContext& ctx) const;
+  NamedRelation SatNot(const Formula& formula, const EvalContext& ctx) const;
+  NamedRelation SatExists(const Formula& formula, const EvalContext& ctx) const;
+  NamedRelation SatForall(const Formula& formula, const EvalContext& ctx) const;
+
+  /// Extends `acc` with unbound variable `var` := value of `term` per row.
+  NamedRelation ExtendByEquality(const NamedRelation& acc, const std::string& var,
+                                 const Term& term, const EvalContext& ctx) const;
+  /// Extends `acc` with `var` ranging over the universe, keeping rows where
+  /// `conjunct` holds (naive per-row evaluation).
+  NamedRelation ExtendByFilter(const NamedRelation& acc, const std::string& var,
+                               const FormulaPtr& conjunct, const EvalContext& ctx) const;
+  /// Keeps rows of `acc` where the fully-bound `conjunct` holds.
+  NamedRelation FilterRows(const NamedRelation& acc, const FormulaPtr& conjunct,
+                           const EvalContext& ctx) const;
+
+  mutable Stats stats_;
+};
+
+}  // namespace dynfo::fo
+
+#endif  // DYNFO_FO_EVAL_ALGEBRA_H_

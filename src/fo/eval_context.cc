@@ -1,0 +1,36 @@
+#include "fo/eval_context.h"
+
+namespace dynfo::fo {
+
+relational::Element EvalTerm(const Term& term, const EvalContext& ctx, const Env& env) {
+  switch (term.kind()) {
+    case TermKind::kVariable: {
+      std::optional<relational::Element> value = env.Lookup(term.name());
+      DYNFO_CHECK(value.has_value()) << "unbound variable: " << term.name();
+      return *value;
+    }
+    case TermKind::kConstantSymbol:
+      return ctx.structure->constant(term.name());
+    case TermKind::kParameter:
+      DYNFO_CHECK(term.index() < static_cast<int>(ctx.parameters.size()))
+          << "request parameter $" << term.index() << " not bound";
+      return ctx.parameters[term.index()];
+    case TermKind::kMin:
+      return 0;
+    case TermKind::kMax:
+      return static_cast<relational::Element>(ctx.universe_size() - 1);
+    case TermKind::kNumber:
+      DYNFO_CHECK(term.value() < ctx.universe_size())
+          << "numeric literal outside universe";
+      return term.value();
+  }
+  DYNFO_UNREACHABLE();
+}
+
+std::optional<relational::Element> GroundTerm(const Term& term, const EvalContext& ctx) {
+  if (term.is_variable()) return std::nullopt;
+  static const Env kEmptyEnv;
+  return EvalTerm(term, ctx, kEmptyEnv);
+}
+
+}  // namespace dynfo::fo

@@ -1,0 +1,61 @@
+/// \file eval_context.h
+/// Shared evaluation context: the structure under evaluation plus the
+/// request-parameter binding, and variable environments.
+
+#ifndef DYNFO_FO_EVAL_CONTEXT_H_
+#define DYNFO_FO_EVAL_CONTEXT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fo/term.h"
+#include "relational/structure.h"
+
+namespace dynfo::fo {
+
+/// What a formula is evaluated against: a structure (universe, relations,
+/// constants) and the values of the request parameters $0, $1, ...
+struct EvalContext {
+  const relational::Structure* structure = nullptr;
+  std::vector<relational::Element> parameters;
+
+  explicit EvalContext(const relational::Structure& s,
+                       std::vector<relational::Element> params = {})
+      : structure(&s), parameters(std::move(params)) {}
+
+  size_t universe_size() const { return structure->universe_size(); }
+};
+
+/// A stack-shaped variable environment (push on quantifier entry, pop on
+/// exit). Lookups scan from the top so shadowing works naturally.
+class Env {
+ public:
+  void Push(const std::string& name, relational::Element value) {
+    bindings_.emplace_back(name, value);
+  }
+  void Pop() { bindings_.pop_back(); }
+  void Set(relational::Element value) { bindings_.back().second = value; }
+
+  std::optional<relational::Element> Lookup(const std::string& name) const {
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+      if (it->first == name) return it->second;
+    }
+    return std::nullopt;
+  }
+
+  size_t size() const { return bindings_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, relational::Element>> bindings_;
+};
+
+/// Evaluates a term. CHECK-fails on unbound variables or missing parameters.
+relational::Element EvalTerm(const Term& term, const EvalContext& ctx, const Env& env);
+
+/// Evaluates a term that contains no variables; nullopt if it is a variable.
+std::optional<relational::Element> GroundTerm(const Term& term, const EvalContext& ctx);
+
+}  // namespace dynfo::fo
+
+#endif  // DYNFO_FO_EVAL_CONTEXT_H_

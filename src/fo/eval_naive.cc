@@ -1,0 +1,124 @@
+#include "fo/eval_naive.h"
+
+#include <algorithm>
+
+namespace dynfo::fo {
+
+namespace {
+
+/// Backtracking search over a quantifier block: returns true iff some
+/// (kExists) / every (kForall) assignment of variables[index..] satisfies the
+/// body.
+bool QuantifierSearch(const Formula& quantifier, size_t index, const EvalContext& ctx,
+                      Env* env) {
+  const std::vector<std::string>& variables = quantifier.variables();
+  if (index == variables.size()) {
+    return NaiveEvaluator::Holds(*quantifier.children()[0], ctx, env);
+  }
+  const bool existential = quantifier.kind() == FormulaKind::kExists;
+  const size_t n = ctx.universe_size();
+  env->Push(variables[index], 0);
+  for (size_t value = 0; value < n; ++value) {
+    env->Set(static_cast<relational::Element>(value));
+    bool result = QuantifierSearch(quantifier, index + 1, ctx, env);
+    if (result == existential) {
+      env->Pop();
+      return existential;
+    }
+  }
+  env->Pop();
+  return !existential;
+}
+
+}  // namespace
+
+bool NaiveEvaluator::Holds(const Formula& formula, const EvalContext& ctx, Env* env) {
+  switch (formula.kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAtom: {
+      const relational::Relation& rel = ctx.structure->relation(formula.relation());
+      DYNFO_CHECK(static_cast<int>(formula.args().size()) == rel.arity())
+          << "atom arity mismatch for " << formula.relation();
+      relational::Tuple t;
+      for (const Term& term : formula.args()) {
+        t = t.Append(EvalTerm(term, ctx, *env));
+      }
+      return rel.Contains(t);
+    }
+    case FormulaKind::kEq:
+      return EvalTerm(formula.left(), ctx, *env) == EvalTerm(formula.right(), ctx, *env);
+    case FormulaKind::kLe:
+      return EvalTerm(formula.left(), ctx, *env) <= EvalTerm(formula.right(), ctx, *env);
+    case FormulaKind::kBit: {
+      relational::Element x = EvalTerm(formula.left(), ctx, *env);
+      relational::Element y = EvalTerm(formula.right(), ctx, *env);
+      return y < 32 && ((x >> y) & 1u) != 0;
+    }
+    case FormulaKind::kNot:
+      return !Holds(*formula.children()[0], ctx, env);
+    case FormulaKind::kAnd:
+      for (const FormulaPtr& child : formula.children()) {
+        if (!Holds(*child, ctx, env)) return false;
+      }
+      return true;
+    case FormulaKind::kOr:
+      for (const FormulaPtr& child : formula.children()) {
+        if (Holds(*child, ctx, env)) return true;
+      }
+      return false;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return QuantifierSearch(formula, 0, ctx, env);
+  }
+  DYNFO_UNREACHABLE();
+}
+
+bool NaiveEvaluator::HoldsSentence(const FormulaPtr& formula, const EvalContext& ctx) {
+  DYNFO_CHECK(formula != nullptr);
+  DYNFO_CHECK(formula->FreeVariables().empty())
+      << "sentence expected, but free variables remain: " << formula->ToString();
+  Env env;
+  return Holds(*formula, ctx, &env);
+}
+
+relational::Relation NaiveEvaluator::EvaluateAsRelation(
+    const FormulaPtr& formula, const std::vector<std::string>& tuple_variables,
+    const EvalContext& ctx) {
+  DYNFO_CHECK(formula != nullptr);
+  // Every free variable of the formula must be one of the tuple variables.
+  std::vector<std::string> free = formula->FreeVariables();
+  for (const std::string& v : free) {
+    DYNFO_CHECK(std::find(tuple_variables.begin(), tuple_variables.end(), v) !=
+                tuple_variables.end())
+        << "free variable " << v << " not among the tuple variables";
+  }
+  const int arity = static_cast<int>(tuple_variables.size());
+  DYNFO_CHECK(arity <= relational::Tuple::kMaxArity);
+  relational::Relation out(arity);
+  const size_t n = ctx.universe_size();
+
+  // Odometer enumeration of n^arity assignments.
+  std::vector<relational::Element> point(arity, 0);
+  while (true) {
+    Env local;
+    for (int i = 0; i < arity; ++i) local.Push(tuple_variables[i], point[i]);
+    if (Holds(*formula, ctx, &local)) {
+      relational::Tuple t;
+      for (int i = 0; i < arity; ++i) t = t.Append(point[i]);
+      out.Insert(t);
+    }
+    int i = arity - 1;
+    while (i >= 0 && point[i] + 1 == n) {
+      point[i] = 0;
+      --i;
+    }
+    if (i < 0) break;
+    ++point[i];
+  }
+  return out;
+}
+
+}  // namespace dynfo::fo

@@ -1,0 +1,40 @@
+/// \file eval_naive.h
+/// The reference evaluator: textbook substitute-and-test semantics.
+///
+/// Deliberately simple — a direct transcription of the Tarskian truth
+/// definition with backtracking over quantified variables — so that it can
+/// serve as the oracle the optimized algebra evaluator is property-tested
+/// against. Complexity: O(n^q) per point where q is the number of nested
+/// quantified variables.
+
+#ifndef DYNFO_FO_EVAL_NAIVE_H_
+#define DYNFO_FO_EVAL_NAIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "fo/eval_context.h"
+#include "fo/formula.h"
+#include "relational/relation.h"
+
+namespace dynfo::fo {
+
+class NaiveEvaluator {
+ public:
+  /// Truth of `formula` under `env` (must bind all free variables).
+  static bool Holds(const Formula& formula, const EvalContext& ctx, Env* env);
+
+  /// Truth of a sentence (no free variables).
+  static bool HoldsSentence(const FormulaPtr& formula, const EvalContext& ctx);
+
+  /// Materializes { x-bar in n^k : formula(x-bar) } where x-bar is
+  /// `tuple_variables` in order. Variables of the formula not listed must not
+  /// be free; listed variables need not occur (they are then unconstrained).
+  static relational::Relation EvaluateAsRelation(
+      const FormulaPtr& formula, const std::vector<std::string>& tuple_variables,
+      const EvalContext& ctx);
+};
+
+}  // namespace dynfo::fo
+
+#endif  // DYNFO_FO_EVAL_NAIVE_H_

@@ -1,0 +1,100 @@
+/// \file named_relation.h
+/// Intermediate results of set-based formula evaluation.
+///
+/// A NamedRelation is a set of rows over *named* columns (variable names) —
+/// the working representation of the algebra evaluator, like an intermediate
+/// result in a relational query plan. Unlike relational::Relation, rows may
+/// be wider than Tuple::kMaxArity (joins accumulate columns).
+
+#ifndef DYNFO_FO_NAMED_RELATION_H_
+#define DYNFO_FO_NAMED_RELATION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/check.h"
+#include "relational/tuple.h"
+
+namespace dynfo::fo {
+
+using Row = std::vector<relational::Element>;
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ row.size();
+    for (relational::Element e : row) {
+      h ^= e + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using RowSet = std::unordered_set<Row, RowHash>;
+
+/// A deduplicated set of rows over named columns. Column names are distinct.
+class NamedRelation {
+ public:
+  /// An empty-schema relation containing one empty row: the identity of the
+  /// natural join, i.e. "true".
+  static NamedRelation Unit() {
+    NamedRelation unit({});
+    unit.rows_.insert(Row{});
+    return unit;
+  }
+
+  /// No rows over the given columns: "false".
+  explicit NamedRelation(std::vector<std::string> columns);
+
+  /// All of {0..n-1}^k over the given columns.
+  static NamedRelation FullUniverse(std::vector<std::string> columns, size_t n);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  int width() const { return static_cast<int>(columns_.size()); }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const RowSet& rows() const { return rows_; }
+
+  /// Index of a column, or -1.
+  int ColumnIndex(const std::string& name) const;
+  bool HasColumn(const std::string& name) const { return ColumnIndex(name) >= 0; }
+
+  /// Adds a row (width must match). Returns true if newly inserted.
+  bool AddRow(Row row);
+
+  /// Projection onto `keep` (a subset of columns), deduplicated.
+  NamedRelation Project(const std::vector<std::string>& keep) const;
+
+  /// Natural join on the shared columns (cross product when none shared).
+  NamedRelation Join(const NamedRelation& other) const;
+
+  /// Semi-join: rows of *this matching some row of `other` on the shared
+  /// columns. Requires other's columns ⊆ this's columns.
+  NamedRelation SemiJoin(const NamedRelation& other, bool anti) const;
+
+  /// Set union; the two column sets must be equal (order may differ).
+  NamedRelation Union(const NamedRelation& other) const;
+
+  /// Rows of the full universe^k not in *this.
+  NamedRelation ComplementWithin(size_t n) const;
+
+  /// Extends with new columns ranging over the whole universe (cross
+  /// product). New columns must be fresh.
+  NamedRelation PadWithUniverse(const std::vector<std::string>& new_columns,
+                                size_t n) const;
+
+  /// Reorders columns to `order` (a permutation of columns()).
+  NamedRelation Reorder(const std::vector<std::string>& order) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> columns_;
+  RowSet rows_;
+};
+
+}  // namespace dynfo::fo
+
+#endif  // DYNFO_FO_NAMED_RELATION_H_

@@ -1,0 +1,104 @@
+#include "fo/normalize.h"
+
+namespace dynfo::fo {
+
+namespace {
+
+FormulaPtr Nnf(const FormulaPtr& f, bool negated);
+
+FormulaPtr NnfChildren(const FormulaPtr& f, bool negated) {
+  std::vector<FormulaPtr> children;
+  children.reserve(f->children().size());
+  for (const FormulaPtr& child : f->children()) {
+    children.push_back(Nnf(child, negated));
+  }
+  // Under negation, And and Or dualize (De Morgan).
+  const bool conjunctive = (f->kind() == FormulaKind::kAnd) != negated;
+  return conjunctive ? Formula::And(std::move(children))
+                     : Formula::Or(std::move(children));
+}
+
+FormulaPtr Nnf(const FormulaPtr& f, bool negated) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return negated ? Formula::False() : Formula::True();
+    case FormulaKind::kFalse:
+      return negated ? Formula::True() : Formula::False();
+    case FormulaKind::kAtom:
+    case FormulaKind::kEq:
+    case FormulaKind::kLe:
+    case FormulaKind::kBit:
+      return negated ? Formula::Not(f) : f;
+    case FormulaKind::kNot:
+      return Nnf(f->children()[0], !negated);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      return NnfChildren(f, negated);
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      FormulaPtr body = Nnf(f->children()[0], negated);
+      const bool existential = (f->kind() == FormulaKind::kExists) != negated;
+      return existential ? Formula::Exists(f->variables(), body)
+                         : Formula::Forall(f->variables(), body);
+    }
+  }
+  DYNFO_UNREACHABLE();
+}
+
+}  // namespace
+
+FormulaPtr ToNnf(const FormulaPtr& formula) {
+  DYNFO_CHECK(formula != nullptr);
+  return Nnf(formula, /*negated=*/false);
+}
+
+bool IsNnf(const FormulaPtr& formula) {
+  DYNFO_CHECK(formula != nullptr);
+  if (formula->kind() == FormulaKind::kNot) {
+    FormulaKind inner = formula->children()[0]->kind();
+    return inner == FormulaKind::kAtom || inner == FormulaKind::kEq ||
+           inner == FormulaKind::kLe || inner == FormulaKind::kBit;
+  }
+  for (const FormulaPtr& child : formula->children()) {
+    if (!IsNnf(child)) return false;
+  }
+  return true;
+}
+
+bool StructurallyEqual(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return true;
+    case FormulaKind::kAtom:
+      if (a->relation() != b->relation() || a->args().size() != b->args().size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a->args().size(); ++i) {
+        if (a->args()[i] != b->args()[i]) return false;
+      }
+      return true;
+    case FormulaKind::kEq:
+    case FormulaKind::kLe:
+    case FormulaKind::kBit:
+      return a->left() == b->left() && a->right() == b->right();
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      if (a->variables() != b->variables()) return false;
+      [[fallthrough]];
+    case FormulaKind::kNot:
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      if (a->children().size() != b->children().size()) return false;
+      for (size_t i = 0; i < a->children().size(); ++i) {
+        if (!StructurallyEqual(a->children()[i], b->children()[i])) return false;
+      }
+      return true;
+    }
+  }
+  DYNFO_UNREACHABLE();
+}
+
+}  // namespace dynfo::fo

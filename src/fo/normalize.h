@@ -1,0 +1,31 @@
+/// \file normalize.h
+/// Formula normal forms and structural transformations.
+///
+/// NNF (negation normal form) pushes every negation down to atoms/numeric
+/// predicates, dualizing connectives and quantifiers on the way — the
+/// standard preprocessing for set-based evaluation. Provided as a library
+/// utility with equivalence guaranteed by property tests; the algebra
+/// evaluator's planner handles negation contextually and does not require
+/// it.
+
+#ifndef DYNFO_FO_NORMALIZE_H_
+#define DYNFO_FO_NORMALIZE_H_
+
+#include "fo/formula.h"
+
+namespace dynfo::fo {
+
+/// Negation normal form: negations appear only directly above atoms and
+/// numeric predicates. Logically equivalent to the input on every
+/// structure (property-tested against both evaluators).
+FormulaPtr ToNnf(const FormulaPtr& formula);
+
+/// True iff negations appear only directly above atoms/=/<=/BIT.
+bool IsNnf(const FormulaPtr& formula);
+
+/// Structural equality of formulas (same tree up to shared subterms).
+bool StructurallyEqual(const FormulaPtr& a, const FormulaPtr& b);
+
+}  // namespace dynfo::fo
+
+#endif  // DYNFO_FO_NORMALIZE_H_

@@ -1,0 +1,250 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace dynfo::graph {
+
+bool Reachable(const UndirectedGraph& g, Vertex source, Vertex target) {
+  if (source == target) return true;
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<Vertex> frontier{source};
+  seen[source] = true;
+  while (!frontier.empty()) {
+    Vertex u = frontier.front();
+    frontier.pop_front();
+    for (Vertex v : g.Neighbors(u)) {
+      if (v == target) return true;
+      if (!seen[v]) {
+        seen[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+bool Reachable(const Digraph& g, Vertex source, Vertex target) {
+  if (source == target) return true;
+  std::vector<bool> seen = ReachableSet(g, source);
+  return seen[target];
+}
+
+std::vector<Vertex> ConnectedComponents(const UndirectedGraph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<Vertex> component(n, 0);
+  std::vector<bool> seen(n, false);
+  for (Vertex start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    std::deque<Vertex> frontier{start};
+    seen[start] = true;
+    component[start] = start;
+    while (!frontier.empty()) {
+      Vertex u = frontier.front();
+      frontier.pop_front();
+      for (Vertex v : g.Neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          component[v] = start;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+size_t CountComponents(const UndirectedGraph& g) {
+  std::vector<Vertex> component = ConnectedComponents(g);
+  size_t count = 0;
+  for (Vertex v = 0; v < component.size(); ++v) {
+    if (component[v] == v) ++count;
+  }
+  return count;
+}
+
+bool IsBipartite(const UndirectedGraph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<int> color(n, -1);
+  for (Vertex start = 0; start < n; ++start) {
+    if (color[start] >= 0) continue;
+    color[start] = 0;
+    std::deque<Vertex> frontier{start};
+    while (!frontier.empty()) {
+      Vertex u = frontier.front();
+      frontier.pop_front();
+      for (Vertex v : g.Neighbors(u)) {
+        if (color[v] < 0) {
+          color[v] = 1 - color[u];
+          frontier.push_back(v);
+        } else if (color[v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// One augmenting-path step of unit-capacity max flow on the residual graph.
+bool Augment(std::vector<std::vector<int>>& capacity, Vertex source, Vertex target) {
+  const size_t n = capacity.size();
+  std::vector<int> parent(n, -1);
+  std::deque<Vertex> frontier{source};
+  parent[source] = static_cast<int>(source);
+  while (!frontier.empty() && parent[target] < 0) {
+    Vertex u = frontier.front();
+    frontier.pop_front();
+    for (Vertex v = 0; v < n; ++v) {
+      if (capacity[u][v] > 0 && parent[v] < 0) {
+        parent[v] = static_cast<int>(u);
+        frontier.push_back(v);
+      }
+    }
+  }
+  if (parent[target] < 0) return false;
+  Vertex v = target;
+  while (v != source) {
+    Vertex u = static_cast<Vertex>(parent[v]);
+    --capacity[u][v];
+    ++capacity[v][u];
+    v = u;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool KEdgeConnected(const UndirectedGraph& g, Vertex source, Vertex target, int k) {
+  DYNFO_CHECK(k >= 1);
+  if (source == target) return true;
+  const size_t n = g.num_vertices();
+  // Undirected unit-capacity edges: capacity 1 in both directions.
+  std::vector<std::vector<int>> capacity(n, std::vector<int>(n, 0));
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : g.Neighbors(u)) capacity[u][v] = 1;
+  }
+  int flow = 0;
+  while (flow < k && Augment(capacity, source, target)) ++flow;
+  return flow >= k;
+}
+
+std::vector<bool> ReachableSet(const Digraph& g, Vertex source) {
+  std::vector<bool> seen(g.num_vertices(), false);
+  std::deque<Vertex> frontier{source};
+  seen[source] = true;
+  while (!frontier.empty()) {
+    Vertex u = frontier.front();
+    frontier.pop_front();
+    for (Vertex v : g.OutNeighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> TransitiveClosure(const Digraph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<bool> closure(n * n, false);
+  for (Vertex u = 0; u < n; ++u) {
+    std::vector<bool> seen = ReachableSet(g, u);
+    for (Vertex v = 0; v < n; ++v) closure[u * n + v] = seen[v];
+  }
+  return closure;
+}
+
+bool IsAcyclic(const Digraph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<int> indegree(n, 0);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : g.OutNeighbors(u)) ++indegree[v];
+  }
+  std::deque<Vertex> frontier;
+  for (Vertex v = 0; v < n; ++v) {
+    if (indegree[v] == 0) frontier.push_back(v);
+  }
+  size_t removed = 0;
+  while (!frontier.empty()) {
+    Vertex u = frontier.front();
+    frontier.pop_front();
+    ++removed;
+    for (Vertex v : g.OutNeighbors(u)) {
+      if (--indegree[v] == 0) frontier.push_back(v);
+    }
+  }
+  return removed == n;
+}
+
+Digraph TransitiveReduction(const Digraph& g) {
+  DYNFO_CHECK(IsAcyclic(g)) << "transitive reduction oracle requires a DAG";
+  const size_t n = g.num_vertices();
+  std::vector<bool> closure = TransitiveClosure(g);
+  auto reaches = [&](Vertex u, Vertex v) { return closure[u * n + v]; };
+  Digraph out(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : g.OutNeighbors(u)) {
+      // (u, v) is redundant iff some other successor w of u reaches v.
+      bool redundant = false;
+      for (Vertex w : g.OutNeighbors(u)) {
+        if (w != v && reaches(w, v)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) out.AddEdge(u, v);
+    }
+  }
+  return out;
+}
+
+bool IsMaximalMatching(const UndirectedGraph& g,
+                       const std::vector<std::pair<Vertex, Vertex>>& matching) {
+  const size_t n = g.num_vertices();
+  std::vector<bool> matched(n, false);
+  for (const auto& [u, v] : matching) {
+    if (!g.HasEdge(u, v)) return false;          // not a subset of the edges
+    if (matched[u] || matched[v]) return false;  // not vertex-disjoint
+    matched[u] = true;
+    matched[v] = true;
+  }
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : g.Neighbors(u)) {
+      if (u != v && !matched[u] && !matched[v]) return false;  // extendable
+    }
+  }
+  return true;
+}
+
+std::optional<Vertex> LowestCommonAncestor(const Digraph& forest, Vertex x, Vertex y) {
+  const size_t n = forest.num_vertices();
+  // Verify forest shape: indegree <= 1 and acyclic.
+  for (Vertex v = 0; v < n; ++v) {
+    DYNFO_CHECK(forest.InNeighbors(v).size() <= 1) << "not a forest: indegree > 1";
+  }
+  DYNFO_CHECK(IsAcyclic(forest)) << "not a forest: cycle present";
+
+  auto ancestors = [&](Vertex v) {
+    std::vector<Vertex> chain{v};
+    Vertex current = v;
+    while (!forest.InNeighbors(current).empty()) {
+      current = *forest.InNeighbors(current).begin();
+      chain.push_back(current);
+    }
+    return chain;
+  };
+  std::vector<Vertex> ax = ancestors(x);
+  std::vector<Vertex> ay = ancestors(y);
+  // Deepest vertex on both chains = first element of ax contained in ay.
+  for (Vertex candidate : ax) {
+    if (std::find(ay.begin(), ay.end(), candidate) != ay.end()) return candidate;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dynfo::graph

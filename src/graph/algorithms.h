@@ -1,0 +1,64 @@
+/// \file algorithms.h
+/// Classical static graph algorithms: the ground-truth oracles for the
+/// paper's Dyn-FO constructions, and the "recompute from scratch" baselines
+/// the benchmarks compare against.
+
+#ifndef DYNFO_GRAPH_ALGORITHMS_H_
+#define DYNFO_GRAPH_ALGORITHMS_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dynfo::graph {
+
+/// BFS reachability in an undirected graph.
+bool Reachable(const UndirectedGraph& g, Vertex source, Vertex target);
+
+/// BFS reachability in a digraph.
+bool Reachable(const Digraph& g, Vertex source, Vertex target);
+
+/// Component id per vertex (ids are the smallest vertex of the component).
+std::vector<Vertex> ConnectedComponents(const UndirectedGraph& g);
+
+/// Number of connected components.
+size_t CountComponents(const UndirectedGraph& g);
+
+/// 2-colorability (ignores self loops: a self loop makes a graph non-bipartite,
+/// which this reports correctly).
+bool IsBipartite(const UndirectedGraph& g);
+
+/// Whether every pair of vertices in the same component stays connected after
+/// removing any k-1 edges — i.e. the component is k-edge-connected between
+/// source and target. This is the query form used by Theorem 4.5.2: "are
+/// source and target connected by k edge-disjoint paths?", decided via
+/// max-flow (edge capacity 1, Ford-Fulkerson on the undirected graph).
+bool KEdgeConnected(const UndirectedGraph& g, Vertex source, Vertex target, int k);
+
+/// All vertices reachable from `source`.
+std::vector<bool> ReachableSet(const Digraph& g, Vertex source);
+
+/// Full transitive closure as a boolean matrix (n x n, row-major).
+std::vector<bool> TransitiveClosure(const Digraph& g);
+
+/// Whether the digraph is acyclic.
+bool IsAcyclic(const Digraph& g);
+
+/// Transitive reduction of a DAG: the unique minimal subgraph with the same
+/// transitive closure. CHECK-fails on cyclic input.
+Digraph TransitiveReduction(const Digraph& g);
+
+/// Whether `matching` (a set of disjoint edges) is a *maximal* matching of g:
+/// no edge of g has both endpoints unmatched.
+bool IsMaximalMatching(const UndirectedGraph& g,
+                       const std::vector<std::pair<Vertex, Vertex>>& matching);
+
+/// Lowest common ancestor of x and y in a directed forest with edges parent
+/// -> child; nullopt when they share no ancestor. CHECK-fails if the graph is
+/// not a forest.
+std::optional<Vertex> LowestCommonAncestor(const Digraph& forest, Vertex x, Vertex y);
+
+}  // namespace dynfo::graph
+
+#endif  // DYNFO_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,49 @@
+#include "graph/alternating.h"
+
+namespace dynfo::graph {
+
+std::vector<bool> AlternatingReachSet(const Digraph& g,
+                                      const std::vector<bool>& universal, Vertex t) {
+  const size_t n = g.num_vertices();
+  DYNFO_CHECK(universal.size() == n);
+  std::vector<bool> reach(n, false);
+  reach[t] = true;
+  // Monotone fixpoint: at most n rounds, each adding >= 1 vertex.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Vertex x = 0; x < n; ++x) {
+      if (reach[x]) continue;
+      const auto& successors = g.OutNeighbors(x);
+      if (successors.empty()) continue;
+      bool value;
+      if (universal[x]) {
+        value = true;
+        for (Vertex y : successors) value = value && reach[y];
+      } else {
+        value = false;
+        for (Vertex y : successors) value = value || reach[y];
+      }
+      if (value) {
+        reach[x] = true;
+        changed = true;
+      }
+    }
+  }
+  return reach;
+}
+
+bool AlternatingReachable(const Digraph& g, const std::vector<bool>& universal,
+                          Vertex s, Vertex t) {
+  return AlternatingReachSet(g, universal, t)[s];
+}
+
+bool MonotoneCircuit::Eval(Vertex output) const {
+  Digraph g(num_nodes);
+  for (const auto& [from, to] : wires) g.AddEdge(from, to);
+  std::vector<bool> universal(num_nodes, false);
+  for (Vertex v = 0; v < num_nodes; ++v) universal[v] = is_and[v];
+  return AlternatingReachable(g, universal, output, /*t=*/0);
+}
+
+}  // namespace dynfo::graph

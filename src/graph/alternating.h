@@ -1,0 +1,46 @@
+/// \file alternating.h
+/// Alternating graph reachability — REACH_a, the paper's P-complete problem
+/// (Proposition 5.5), equivalent to the monotone circuit value problem.
+///
+/// In an alternating graph some vertices are *universal*. Vertex x "reaches"
+/// t inductively: t reaches t; an existential x reaches t if some successor
+/// does; a universal x reaches t if it has at least one successor and all
+/// successors do. REACH_a asks whether s reaches t. The fixpoint needs at
+/// most n iterations of a first-order operator — REACH_a ∈ FO[n] — which is
+/// exactly what Theorem 5.14's PAD construction exploits.
+
+#ifndef DYNFO_GRAPH_ALTERNATING_H_
+#define DYNFO_GRAPH_ALTERNATING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dynfo::graph {
+
+/// Computes the set { x : x reaches t } by fixpoint iteration.
+std::vector<bool> AlternatingReachSet(const Digraph& g,
+                                      const std::vector<bool>& universal, Vertex t);
+
+/// REACH_a: does s reach t?
+bool AlternatingReachable(const Digraph& g, const std::vector<bool>& universal,
+                          Vertex s, Vertex t);
+
+/// A monotone boolean circuit evaluated through AlternatingReachable
+/// (CVAL ≡ REACH_a, Proposition 5.5): gate g is an AND (universal) or OR
+/// (existential) over its input wires; inputs are 0-successor vertices,
+/// where a true input is modeled as the target t itself... concretely:
+/// value(g) = AlternatingReachable from g to the distinguished true-node.
+/// Provided as a convenience for tests/examples.
+struct MonotoneCircuit {
+  size_t num_nodes = 0;          ///< node 0 is the distinguished TRUE input
+  std::vector<bool> is_and;      ///< per node; ORs otherwise
+  std::vector<std::pair<Vertex, Vertex>> wires;  ///< gate -> operand edges
+
+  /// Evaluates the gate `output` (true inputs must wire to node 0).
+  bool Eval(Vertex output) const;
+};
+
+}  // namespace dynfo::graph
+
+#endif  // DYNFO_GRAPH_ALTERNATING_H_

@@ -1,0 +1,74 @@
+#include "graph/dynamic_connectivity.h"
+
+#include <deque>
+
+namespace dynfo::graph {
+
+DynamicConnectivity::DynamicConnectivity(size_t n)
+    : edges_(n), forest_(n), components_(n) {}
+
+Vertex DynamicConnectivity::Root(Vertex v) const {
+  Vertex best = v;
+  std::vector<bool> seen(forest_.num_vertices(), false);
+  std::deque<Vertex> frontier{v};
+  seen[v] = true;
+  while (!frontier.empty()) {
+    Vertex u = frontier.front();
+    frontier.pop_front();
+    if (u < best) best = u;
+    for (Vertex w : forest_.Neighbors(u)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return best;
+}
+
+bool DynamicConnectivity::Connected(Vertex u, Vertex v) const {
+  if (u == v) return true;
+  return Root(u) == Root(v);
+}
+
+bool DynamicConnectivity::AddEdge(Vertex u, Vertex v) {
+  if (!edges_.AddEdge(u, v)) return false;
+  if (u == v || Connected(u, v)) return false;
+  forest_.AddEdge(u, v);
+  --components_;
+  return true;
+}
+
+bool DynamicConnectivity::RemoveEdge(Vertex u, Vertex v) {
+  if (!edges_.RemoveEdge(u, v)) return false;
+  if (!forest_.RemoveEdge(u, v)) return false;  // non-tree edge: done
+
+  // Collect u's side of the split tree.
+  std::vector<bool> side(forest_.num_vertices(), false);
+  std::deque<Vertex> frontier{u};
+  side[u] = true;
+  while (!frontier.empty()) {
+    Vertex x = frontier.front();
+    frontier.pop_front();
+    for (Vertex w : forest_.Neighbors(x)) {
+      if (!side[w]) {
+        side[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+  // Scan u's side for a replacement edge into the other side.
+  for (Vertex x = 0; x < forest_.num_vertices(); ++x) {
+    if (!side[x]) continue;
+    for (Vertex w : edges_.Neighbors(x)) {
+      if (!side[w]) {
+        forest_.AddEdge(x, w);
+        return false;  // spliced back together
+      }
+    }
+  }
+  ++components_;
+  return true;
+}
+
+}  // namespace dynfo::graph

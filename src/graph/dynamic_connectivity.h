@@ -1,0 +1,54 @@
+/// \file dynamic_connectivity.h
+/// A classical fully dynamic connectivity baseline.
+///
+/// Maintains a spanning forest with parent pointers; inserts use find-root
+/// (amortized cheap), deletes of forest edges BFS the smaller side for a
+/// replacement among the non-tree edges. This is the textbook
+/// O(sqrt-ish / linear worst case) structure the benchmarks pit against the
+/// Dyn-FO program — the hand-coded counterpart of Theorem 4.1's relations F
+/// and PV.
+
+#ifndef DYNFO_GRAPH_DYNAMIC_CONNECTIVITY_H_
+#define DYNFO_GRAPH_DYNAMIC_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dynfo::graph {
+
+class DynamicConnectivity {
+ public:
+  explicit DynamicConnectivity(size_t n);
+
+  size_t num_vertices() const { return forest_.num_vertices(); }
+
+  /// Adds an undirected edge; no-op if present. Returns true if the edge
+  /// joined two components.
+  bool AddEdge(Vertex u, Vertex v);
+
+  /// Removes an undirected edge; no-op if absent. Returns true if the edge
+  /// removal split a component (no replacement edge was found).
+  bool RemoveEdge(Vertex u, Vertex v);
+
+  bool HasEdge(Vertex u, Vertex v) const { return edges_.HasEdge(u, v); }
+
+  bool Connected(Vertex u, Vertex v) const;
+
+  size_t num_components() const { return components_; }
+
+ private:
+  /// Representative of v's tree (BFS to the smallest vertex — forest edges
+  /// only). Kept simple on purpose: this is a baseline, not the contender.
+  Vertex Root(Vertex v) const;
+
+  UndirectedGraph edges_;   // all edges
+  UndirectedGraph forest_;  // spanning forest subset
+  size_t components_;
+};
+
+}  // namespace dynfo::graph
+
+#endif  // DYNFO_GRAPH_DYNAMIC_CONNECTIVITY_H_

@@ -1,0 +1,24 @@
+#include "graph/graph.h"
+
+namespace dynfo::graph {
+
+UndirectedGraph UndirectedGraph::FromRelation(const relational::Relation& edges,
+                                              size_t n) {
+  DYNFO_CHECK(edges.arity() == 2);
+  UndirectedGraph g(n);
+  for (const relational::Tuple& t : edges) {
+    g.AddEdge(t[0], t[1]);
+  }
+  return g;
+}
+
+Digraph Digraph::FromRelation(const relational::Relation& edges, size_t n) {
+  DYNFO_CHECK(edges.arity() == 2);
+  Digraph g(n);
+  for (const relational::Tuple& t : edges) {
+    g.AddEdge(t[0], t[1]);
+  }
+  return g;
+}
+
+}  // namespace dynfo::graph

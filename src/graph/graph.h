@@ -1,0 +1,133 @@
+/// \file graph.h
+/// Plain graph containers used by static oracles and baselines.
+///
+/// These are deliberately ordinary adjacency-set graphs: the point of the
+/// library is that the *Dyn-FO programs* answer dynamic queries; the graph
+/// module supplies the independent ground truth they are checked against and
+/// the classical baselines they are benchmarked against.
+
+#ifndef DYNFO_GRAPH_GRAPH_H_
+#define DYNFO_GRAPH_GRAPH_H_
+
+#include <set>
+#include <vector>
+
+#include "core/check.h"
+#include "relational/relation.h"
+
+namespace dynfo::graph {
+
+using Vertex = uint32_t;
+
+/// A simple undirected graph on vertices {0..n-1} (no parallel edges; self
+/// loops allowed but ignored by most algorithms).
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(size_t n) : adjacency_(n) {}
+
+  size_t num_vertices() const { return adjacency_.size(); }
+
+  bool HasEdge(Vertex u, Vertex v) const {
+    CheckVertex(u);
+    CheckVertex(v);
+    return adjacency_[u].count(v) > 0;
+  }
+
+  /// Returns true if the edge was new.
+  bool AddEdge(Vertex u, Vertex v) {
+    CheckVertex(u);
+    CheckVertex(v);
+    bool fresh = adjacency_[u].insert(v).second;
+    adjacency_[v].insert(u);
+    return fresh;
+  }
+
+  /// Returns true if the edge was present.
+  bool RemoveEdge(Vertex u, Vertex v) {
+    CheckVertex(u);
+    CheckVertex(v);
+    bool present = adjacency_[u].erase(v) > 0;
+    adjacency_[v].erase(u);
+    return present;
+  }
+
+  const std::set<Vertex>& Neighbors(Vertex u) const {
+    CheckVertex(u);
+    return adjacency_[u];
+  }
+
+  size_t num_edges() const {
+    size_t twice = 0;
+    for (const auto& adj : adjacency_) twice += adj.size();
+    return twice / 2;  // self loops undercount; acceptable for diagnostics
+  }
+
+  /// Builds from a symmetric (or to-be-symmetrized) binary relation.
+  static UndirectedGraph FromRelation(const relational::Relation& edges, size_t n);
+
+ private:
+  void CheckVertex(Vertex v) const {
+    DYNFO_CHECK(v < adjacency_.size()) << "vertex out of range";
+  }
+
+  std::vector<std::set<Vertex>> adjacency_;
+};
+
+/// A simple directed graph on {0..n-1}.
+class Digraph {
+ public:
+  explicit Digraph(size_t n) : out_(n), in_(n) {}
+
+  size_t num_vertices() const { return out_.size(); }
+
+  bool HasEdge(Vertex u, Vertex v) const {
+    CheckVertex(u);
+    CheckVertex(v);
+    return out_[u].count(v) > 0;
+  }
+
+  bool AddEdge(Vertex u, Vertex v) {
+    CheckVertex(u);
+    CheckVertex(v);
+    bool fresh = out_[u].insert(v).second;
+    in_[v].insert(u);
+    return fresh;
+  }
+
+  bool RemoveEdge(Vertex u, Vertex v) {
+    CheckVertex(u);
+    CheckVertex(v);
+    bool present = out_[u].erase(v) > 0;
+    in_[v].erase(u);
+    return present;
+  }
+
+  const std::set<Vertex>& OutNeighbors(Vertex u) const {
+    CheckVertex(u);
+    return out_[u];
+  }
+  const std::set<Vertex>& InNeighbors(Vertex u) const {
+    CheckVertex(u);
+    return in_[u];
+  }
+
+  size_t num_edges() const {
+    size_t count = 0;
+    for (const auto& adj : out_) count += adj.size();
+    return count;
+  }
+
+  static Digraph FromRelation(const relational::Relation& edges, size_t n);
+
+ private:
+  void CheckVertex(Vertex v) const {
+    DYNFO_CHECK(v < out_.size()) << "vertex out of range";
+  }
+
+  std::vector<std::set<Vertex>> out_;
+  std::vector<std::set<Vertex>> in_;
+};
+
+}  // namespace dynfo::graph
+
+#endif  // DYNFO_GRAPH_GRAPH_H_

@@ -1,0 +1,39 @@
+#include "graph/mst.h"
+
+#include <algorithm>
+
+#include "graph/union_find.h"
+
+namespace dynfo::graph {
+
+std::vector<WeightedEdge> KruskalMsf(size_t n, std::vector<WeightedEdge> edges) {
+  std::sort(edges.begin(), edges.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  UnionFind components(n);
+  std::vector<WeightedEdge> forest;
+  for (const WeightedEdge& e : edges) {
+    if (e.u == e.v) continue;
+    if (components.Union(e.u, e.v)) forest.push_back(e);
+  }
+  return forest;
+}
+
+std::vector<WeightedEdge> EdgesFromWeightRelation(const relational::Relation& w) {
+  DYNFO_CHECK(w.arity() == 3);
+  std::vector<WeightedEdge> edges;
+  for (const relational::Tuple& t : w) {
+    if (t[0] < t[1]) edges.push_back({t[0], t[1], t[2]});
+  }
+  return edges;
+}
+
+uint64_t TotalWeight(const std::vector<WeightedEdge>& edges) {
+  uint64_t total = 0;
+  for (const WeightedEdge& e : edges) total += e.weight;
+  return total;
+}
+
+}  // namespace dynfo::graph

@@ -1,0 +1,33 @@
+/// \file mst.h
+/// Minimum spanning forests (static oracle for Theorem 4.4).
+
+#ifndef DYNFO_GRAPH_MST_H_
+#define DYNFO_GRAPH_MST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace dynfo::graph {
+
+struct WeightedEdge {
+  uint32_t u;
+  uint32_t v;
+  uint32_t weight;
+};
+
+/// Kruskal's algorithm. With distinct weights the result is the unique
+/// minimum spanning forest; ties break by (weight, u, v) order.
+std::vector<WeightedEdge> KruskalMsf(size_t n, std::vector<WeightedEdge> edges);
+
+/// Reads weighted edges out of a ternary relation W(u, v, w), dropping
+/// mirrored orientations (keeps u <= v) and self loops.
+std::vector<WeightedEdge> EdgesFromWeightRelation(const relational::Relation& w);
+
+/// Total weight of an edge list.
+uint64_t TotalWeight(const std::vector<WeightedEdge>& edges);
+
+}  // namespace dynfo::graph
+
+#endif  // DYNFO_GRAPH_MST_H_

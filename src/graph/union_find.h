@@ -1,0 +1,54 @@
+/// \file union_find.h
+/// Disjoint-set forest with path halving and union by size — the classical
+/// incremental-connectivity baseline the benchmarks compare Dyn-FO against
+/// (union-find handles inserts only; the fully dynamic baseline in
+/// dynamic_connectivity.h handles deletes by rebuilding).
+
+#ifndef DYNFO_GRAPH_UNION_FIND_H_
+#define DYNFO_GRAPH_UNION_FIND_H_
+
+#include <numeric>
+#include <vector>
+
+#include "core/check.h"
+
+namespace dynfo::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t num_elements() const { return parent_.size(); }
+
+  uint32_t Find(uint32_t x) {
+    DYNFO_CHECK(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a);
+    uint32_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return true;
+  }
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace dynfo::graph
+
+#endif  // DYNFO_GRAPH_UNION_FIND_H_

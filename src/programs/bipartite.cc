@@ -1,0 +1,87 @@
+#include "programs/bipartite.h"
+
+#include "fo/builder.h"
+#include "graph/algorithms.h"
+#include "programs/forest_rules.h"
+
+namespace dynfo::programs {
+
+using fo::EqEdge;
+using fo::Exists;
+using fo::F;
+using fo::Forall;
+using fo::Implies;
+using fo::P0;
+using fo::P1;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+std::shared_ptr<const relational::Vocabulary> BipartiteInputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  return vocabulary;
+}
+
+std::shared_ptr<const dyn::DynProgram> MakeBipartiteProgram() {
+  auto input = BipartiteInputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  DeclareForestData(data.get());
+  data->AddRelation("Odd", 2);
+
+  auto program = std::make_shared<dyn::DynProgram>("bipartite", input, data);
+  AddForestRules(program.get());
+
+  Term x = V("x"), y = V("y"), u = V("u"), v = V("v");
+
+  // Parity agreement: the new path x..u + edge + v..y is odd iff the two
+  // halves have equal parity (both odd or both even).
+  F halves_agree = (Rel("Odd", {x, u}) && Rel("Odd", {y, v})) ||
+                   (!Rel("Odd", {x, u}) && !Rel("Odd", {y, v}));
+
+  // Insert(E, a, b): new Odd pairs appear only when two trees merge.
+  // Odd'(x, y) = Odd(x, y) | [ !P(a, b) & exists u v (Eq(u, v, a, b)
+  //              & P(x, u) & P(y, v) & parity-agreement) ].
+  program->AddUpdate(
+      RequestKind::kInsert, "E",
+      {"Odd",
+       {"x", "y"},
+       Rel("Odd", {x, y}) ||
+           (!SameTree(P0(), P1()) &&
+            Exists({"u", "v"}, EqEdge(u, v, P0(), P1()) && SameTree(x, u) &&
+                                   SameTree(y, v) && halves_agree))});
+
+  // Delete(E, a, b): keep Odd for pairs still T-connected; re-derive pairs
+  // reconnected through the replacement edge New (the lets T/New come from
+  // the shared forest rules).
+  F halves_agree_t = (Rel("Odd", {x, u}) && Rel("Odd", {y, v})) ||
+                     (!Rel("Odd", {x, u}) && !Rel("Odd", {y, v}));
+  program->AddUpdate(
+      RequestKind::kDelete, "E",
+      {"Odd",
+       {"x", "y"},
+       (Rel("Odd", {x, y}) && SameTreeT(x, y)) ||
+           Exists({"u", "v"}, (Rel("New", {u, v}) || Rel("New", {v, u})) &&
+                                  SameTreeT(x, u) && SameTreeT(y, v) &&
+                                  halves_agree_t)});
+
+  // Bipartite iff every edge spans the two color classes.
+  program->SetBoolQuery(
+      Forall({"x", "y"}, Implies(Rel("E", {x, y}), Rel("Odd", {x, y}))));
+  program->AddNamedQuery("odd", {{"x", "y"}, Rel("Odd", {x, y})});
+  return program;
+}
+
+bool BipartiteOracle(const relational::Structure& input) {
+  graph::UndirectedGraph g = graph::UndirectedGraph::FromRelation(
+      input.relation("E"), input.universe_size());
+  // A self loop is non-bipartite; FromRelation keeps it, IsBipartite must see
+  // it. UndirectedGraph stores self loops; BFS coloring flags u == v edges.
+  for (const relational::Tuple& t : input.relation("E")) {
+    if (t[0] == t[1]) return false;
+  }
+  return graph::IsBipartite(g);
+}
+
+}  // namespace dynfo::programs

@@ -1,0 +1,32 @@
+/// \file bipartite.h
+/// Theorem 4.5(1): Bipartiteness is in Dyn-FO.
+///
+/// On top of the Theorem 4.1 spanning-forest relations, the program
+/// maintains Odd(x, y): "the forest path from x to y has odd length". The
+/// graph is bipartite iff every edge closes an odd forest path:
+/// forall x y (E(x, y) -> Odd(x, y)). A self loop E(x, x) correctly reports
+/// non-bipartite since Odd(x, x) never holds.
+
+#ifndef DYNFO_PROGRAMS_BIPARTITE_H_
+#define DYNFO_PROGRAMS_BIPARTITE_H_
+
+#include <memory>
+
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <E^2>.
+std::shared_ptr<const relational::Vocabulary> BipartiteInputVocabulary();
+
+/// The Dyn-FO program of Theorem 4.5(1). Boolean query: "the graph is
+/// bipartite". Named query "odd"(x, y).
+std::shared_ptr<const dyn::DynProgram> MakeBipartiteProgram();
+
+/// Static oracle: BFS 2-coloring.
+bool BipartiteOracle(const relational::Structure& input);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_BIPARTITE_H_

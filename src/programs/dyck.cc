@@ -1,0 +1,152 @@
+#include "programs/dyck.h"
+
+#include <vector>
+
+#include "arith/bit_formulas.h"
+#include "fo/builder.h"
+
+namespace dynfo::programs {
+
+using arith::SuccFormula;
+using fo::EqT;
+using fo::Exists;
+using fo::F;
+using fo::Forall;
+using fo::Implies;
+using fo::LeT;
+using fo::LtT;
+using fo::N;
+using fo::P0;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+namespace {
+
+std::string OpenName(int j) { return "Open_" + std::to_string(j); }
+std::string CloseName(int j) { return "Close_" + std::to_string(j); }
+
+/// Some character occupies position `p`.
+F Occupied(const Term& p, int num_types) {
+  std::vector<fo::FormulaPtr> cases;
+  for (int j = 0; j < num_types; ++j) {
+    cases.push_back(Rel(OpenName(j), {p}));
+    cases.push_back(Rel(CloseName(j), {p}));
+  }
+  return fo::OrAll(std::move(cases));
+}
+
+}  // namespace
+
+std::shared_ptr<const relational::Vocabulary> DyckInputVocabulary(int num_types) {
+  DYNFO_CHECK(num_types >= 1);
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  for (int j = 0; j < num_types; ++j) vocabulary->AddRelation(OpenName(j), 1);
+  for (int j = 0; j < num_types; ++j) vocabulary->AddRelation(CloseName(j), 1);
+  return vocabulary;
+}
+
+std::shared_ptr<const dyn::DynProgram> MakeDyckProgram(int num_types,
+                                                       size_t universe_size) {
+  DYNFO_CHECK(universe_size >= 4);
+  auto input = DyckInputVocabulary(num_types);
+  auto data = std::make_shared<relational::Vocabulary>();
+  for (int j = 0; j < num_types; ++j) data->AddRelation(OpenName(j), 1);
+  for (int j = 0; j < num_types; ++j) data->AddRelation(CloseName(j), 1);
+  data->AddRelation("Lev", 2);  // Lev(p, v): prefix surplus after p, offset n/2
+
+  auto program = std::make_shared<dyn::DynProgram>(
+      "dyck_" + std::to_string(num_types), input, data);
+
+  const relational::Element offset =
+      static_cast<relational::Element>(universe_size / 2);
+  Term p = V("p"), v = V("v"), u = V("u"), q = V("q"), w = V("w"), r = V("r");
+
+  // All surpluses start at the offset (empty string).
+  program->AddInit({"Lev", {"p", "v"}, EqT(v, N(offset))});
+
+  // Shift rules: positions >= the edit point move up/down by one; an edit on
+  // an occupied slot (insert) or an absent character (delete) is a no-op.
+  F up = (LtT(p, P0()) && Rel("Lev", {p, v})) ||
+         (LeT(P0(), p) && Exists({"u"}, Rel("Lev", {p, u}) && SuccFormula(u, v)));
+  F down = (LtT(p, P0()) && Rel("Lev", {p, v})) ||
+           (LeT(P0(), p) && Exists({"u"}, Rel("Lev", {p, u}) && SuccFormula(v, u)));
+  F occ = Occupied(P0(), num_types);
+  for (int j = 0; j < num_types; ++j) {
+    F open_present = Rel(OpenName(j), {P0()});
+    F close_present = Rel(CloseName(j), {P0()});
+    program->AddUpdate(RequestKind::kInsert, OpenName(j),
+                       {"Lev", {"p", "v"}, (occ && Rel("Lev", {p, v})) || (!occ && up)});
+    program->AddUpdate(
+        RequestKind::kDelete, OpenName(j),
+        {"Lev", {"p", "v"}, (!open_present && Rel("Lev", {p, v})) ||
+                                (open_present && down)});
+    program->AddUpdate(RequestKind::kInsert, CloseName(j),
+                       {"Lev", {"p", "v"},
+                        (occ && Rel("Lev", {p, v})) || (!occ && down)});
+    program->AddUpdate(
+        RequestKind::kDelete, CloseName(j),
+        {"Lev", {"p", "v"}, (!close_present && Rel("Lev", {p, v})) ||
+                                (close_present && up)});
+  }
+
+  // ---- The membership query ----------------------------------------------
+  std::vector<fo::FormulaPtr> conditions;
+  // (1) Total balance: the final surplus is the offset.
+  conditions.push_back(Rel("Lev", {Term::Max(), N(offset)}));
+  // (2) Positivity: openers sit strictly above the offset, closers at or
+  // above it (paper: "all parentheses have a positive level").
+  std::vector<fo::FormulaPtr> any_open_cases, any_close_cases;
+  for (int j = 0; j < num_types; ++j) {
+    any_open_cases.push_back(Rel(OpenName(j), {p}));
+    any_close_cases.push_back(Rel(CloseName(j), {p}));
+  }
+  F any_open = fo::OrAll(std::move(any_open_cases));
+  F any_close = fo::OrAll(std::move(any_close_cases));
+  conditions.push_back(Forall(
+      {"p", "v"}, Implies(any_open && Rel("Lev", {p, v}), LtT(N(offset), v))));
+  conditions.push_back(Forall(
+      {"p", "v"}, Implies(any_close && Rel("Lev", {p, v}), LeT(N(offset), v))));
+  // (3) Typed matching: each opener's first surplus-drop position holds a
+  // closer of the same type.
+  for (int j = 0; j < num_types; ++j) {
+    F match =
+        LtT(p, q) && Rel(CloseName(j), {q}) &&
+        Exists({"v", "w"}, Rel("Lev", {p, v}) && Rel("Lev", {q, w}) &&
+                               SuccFormula(w, v) &&
+                               Forall({"r"}, Implies(LtT(p, r) && LtT(r, q),
+                                                     Exists({"u"}, Rel("Lev", {r, u}) &&
+                                                                       LeT(v, u)))));
+    conditions.push_back(
+        Forall({"p"}, Implies(Rel(OpenName(j), {p}), Exists({"q"}, match))));
+  }
+  program->SetBoolQuery(fo::AndAll(std::move(conditions)));
+  program->AddNamedQuery("level", {{"p", "v"}, Rel("Lev", {p, v})});
+  return program;
+}
+
+bool DyckOracle(const relational::Structure& input, int num_types) {
+  const size_t n = input.universe_size();
+  // Character at each position: -1 empty, j opener, ~j (negative) closer.
+  std::vector<int> stack;
+  for (size_t p = 0; p < n; ++p) {
+    relational::Element e = static_cast<relational::Element>(p);
+    int found = 0;
+    for (int j = 0; j < num_types; ++j) {
+      if (input.relation(OpenName(j)).Contains({e})) {
+        stack.push_back(j);
+        ++found;
+      }
+      if (input.relation(CloseName(j)).Contains({e})) {
+        if (stack.empty() || stack.back() != j) return false;
+        stack.pop_back();
+        ++found;
+      }
+    }
+    DYNFO_CHECK(found <= 1) << "two characters share position " << p;
+  }
+  return stack.empty();
+}
+
+}  // namespace dynfo::programs

@@ -1,0 +1,50 @@
+/// \file dyck.h
+/// Proposition 4.8: the Dyck language D^k on k parenthesis types is in
+/// Dyn-FO, via the paper's level trick.
+///
+/// The string lives on the fixed position universe {0..n-1}: position p
+/// holds at most one character, given by the input relations Open_j(p) /
+/// Close_j(p) for type j < k (an unoccupied position is "the empty string",
+/// matching the paper's reading of deletion). The program maintains
+/// Lev(p, v): the *prefix surplus* after position p — #opens at positions
+/// <= p minus #closes at positions <= p — stored with offset n/2 so
+/// negative intermediate surpluses are representable. Inserting an opener
+/// at q adds one to the surplus of every p >= q (successor is first-order
+/// from the ordering); closers subtract; deletes undo.
+///
+/// Membership: every opener has positive level and a matching closer of its
+/// type ("the closest position to the right on the same level"), every
+/// closer has nonnegative surplus... concretely the boolean query checks
+/// (1) per-position level positivity, (2) total balance Lev(max) = offset,
+/// (3) typed matching — all first-order over Lev.
+///
+/// Contract (workload-enforced, see DESIGN.md): at most one character per
+/// position; the character count stays below n/2 - 1 so surpluses fit the
+/// offset encoding.
+
+#ifndef DYNFO_PROGRAMS_DYCK_H_
+#define DYNFO_PROGRAMS_DYCK_H_
+
+#include <memory>
+#include <string>
+
+#include "dynfo/engine.h"
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <Open_0..Open_{k-1}, Close_0..Close_{k-1}> (unary).
+std::shared_ptr<const relational::Vocabulary> DyckInputVocabulary(int num_types);
+
+/// The Dyn-FO program of Proposition 4.8 for D^k at a fixed universe size
+/// (the offset n/2 is baked into the formulas).
+std::shared_ptr<const dyn::DynProgram> MakeDyckProgram(int num_types,
+                                                       size_t universe_size);
+
+/// Static oracle: extract the string and run the classic stack check.
+bool DyckOracle(const relational::Structure& input, int num_types);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_DYCK_H_

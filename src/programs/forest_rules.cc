@@ -1,0 +1,114 @@
+#include "programs/forest_rules.h"
+
+namespace dynfo::programs {
+
+using fo::EqEdge;
+using fo::EqT;
+using fo::Exists;
+using fo::F;
+using fo::Forall;
+using fo::Implies;
+using fo::LeT;
+using fo::LtT;
+using fo::P0;
+using fo::P1;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+F SameTree(const Term& x, const Term& y) {
+  return EqT(x, y) || Rel("PV", {x, y, x});
+}
+
+F SameTreeT(const Term& x, const Term& y) {
+  return EqT(x, y) || Rel("T", {x, y, x});
+}
+
+namespace {
+
+/// Cross(p, q): after the split, (p, q) is a surviving input edge from a's
+/// side to b's side. Used inside New.
+F Cross(const Term& p, const Term& q) {
+  return Rel("E", {p, q}) && !EqEdge(p, q, P0(), P1()) && SameTreeT(p, P0()) &&
+         SameTreeT(q, P1());
+}
+
+}  // namespace
+
+void DeclareForestData(relational::Vocabulary* data) {
+  data->AddRelation("E", 2);    // mirrored input (kept symmetric)
+  data->AddRelation("F", 2);    // spanning-forest edges
+  data->AddRelation("PV", 3);   // forest path from x to y via u
+  data->AddRelation("T", 3);    // temporary: PV after the split (delete only)
+  data->AddRelation("New", 2);  // temporary: the replacement edge (delete only)
+}
+
+void AddForestRules(dyn::DynProgram* program) {
+  Term x = V("x"), y = V("y"), z = V("z"), u = V("u"), v = V("v"), w = V("w");
+
+  // PV is reflexive from the start: PV := {(x, y, z) : x = y = z}.
+  program->AddInit({"PV", {"x", "y", "z"}, EqT(x, y) && EqT(y, z)});
+
+  // ---- Insert(E, a, b); a = $0, b = $1 ----------------------------------
+  // E'(x, y) = E(x, y) | Eq(x, y, a, b): both orientations enter E.
+  program->AddUpdate(RequestKind::kInsert, "E",
+                     {"E", {"x", "y"}, Rel("E", {x, y}) || EqEdge(x, y, P0(), P1())});
+  // F'(x, y) = F(x, y) | (Eq(x, y, a, b) & !P(a, b)).
+  program->AddUpdate(
+      RequestKind::kInsert, "E",
+      {"F",
+       {"x", "y"},
+       Rel("F", {x, y}) || (EqEdge(x, y, P0(), P1()) && !SameTree(P0(), P1()))});
+  // PV'(x, y, z) = PV(x, y, z) | (!P(a, b) & exists u v [Eq(u, v, a, b)
+  //                & P(x, u) & P(v, y) & (PV(x, u, z) | PV(v, y, z))]).
+  program->AddUpdate(
+      RequestKind::kInsert, "E",
+      {"PV",
+       {"x", "y", "z"},
+       Rel("PV", {x, y, z}) ||
+           (!SameTree(P0(), P1()) &&
+            Exists({"u", "v"}, EqEdge(u, v, P0(), P1()) && SameTree(x, u) &&
+                                   SameTree(v, y) &&
+                                   (Rel("PV", {x, u, z}) || Rel("PV", {v, y, z}))))});
+
+  // ---- Delete(E, a, b) ---------------------------------------------------
+  // T(x, y, z): the forest paths surviving the removal (all of PV when
+  // (a, b) is not a forest edge).
+  program->AddLet(RequestKind::kDelete, "E",
+                  {"T",
+                   {"x", "y", "z"},
+                   Rel("PV", {x, y, z}) &&
+                       !(Rel("F", {P0(), P1()}) && Rel("PV", {x, y, P0()}) &&
+                         Rel("PV", {x, y, P1()}))});
+  // New(x, y): the lexicographically least surviving edge reconnecting a's
+  // side to b's side — present only when a forest edge was deleted.
+  program->AddLet(
+      RequestKind::kDelete, "E",
+      {"New",
+       {"x", "y"},
+       Rel("F", {P0(), P1()}) && Cross(x, y) &&
+           Forall({"u", "w"},
+                  Implies(Cross(u, w), LtT(x, u) || (EqT(x, u) && LeT(y, w))))});
+  // E'(x, y) = E(x, y) & !Eq(x, y, a, b).
+  program->AddUpdate(RequestKind::kDelete, "E",
+                     {"E", {"x", "y"}, Rel("E", {x, y}) && !EqEdge(x, y, P0(), P1())});
+  // F'(x, y) = (F(x, y) & !Eq(x, y, a, b)) | New(x, y) | New(y, x).
+  program->AddUpdate(RequestKind::kDelete, "E",
+                     {"F",
+                      {"x", "y"},
+                      (Rel("F", {x, y}) && !EqEdge(x, y, P0(), P1())) ||
+                          Rel("New", {x, y}) || Rel("New", {y, x})});
+  // PV'(x, y, z) = T(x, y, z) | exists u v [(New(u, v) | New(v, u))
+  //                & T(x, u, x) & T(y, v, y) & (T(x, u, z) | T(y, v, z))].
+  program->AddUpdate(
+      RequestKind::kDelete, "E",
+      {"PV",
+       {"x", "y", "z"},
+       Rel("T", {x, y, z}) ||
+           Exists({"u", "v"},
+                  (Rel("New", {u, v}) || Rel("New", {v, u})) && SameTreeT(x, u) &&
+                      SameTreeT(y, v) && (Rel("T", {x, u, z}) || Rel("T", {y, v, z})))});
+}
+
+}  // namespace dynfo::programs

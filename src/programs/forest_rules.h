@@ -1,0 +1,34 @@
+/// \file forest_rules.h
+/// The spanning-forest machinery of Theorem 4.1, factored out for reuse.
+///
+/// Several constructions in the paper (REACH_u, bipartiteness, k-edge
+/// connectivity) maintain the same auxiliary relations — E (symmetric
+/// mirror), F (forest edges), PV (forest paths), and the delete-time
+/// temporaries T and New. This header declares them into a data vocabulary
+/// and installs the Theorem 4.1 update rules into a program; callers add
+/// their own relations/rules on top (e.g. Odd for bipartiteness).
+
+#ifndef DYNFO_PROGRAMS_FOREST_RULES_H_
+#define DYNFO_PROGRAMS_FOREST_RULES_H_
+
+#include "dynfo/program.h"
+#include "fo/builder.h"
+
+namespace dynfo::programs {
+
+/// Adds E^2, F^2, PV^3, T^3, New^2 to `data`.
+void DeclareForestData(relational::Vocabulary* data);
+
+/// Installs the Theorem 4.1 init/insert/delete rules for relation "E".
+/// Callers may add further rules for the same requests (e.g. Odd updates);
+/// those can read the lets T and New.
+void AddForestRules(dyn::DynProgram* program);
+
+/// The paper's P(x, y) abbreviation over PV: same tree of the forest.
+fo::F SameTree(const fo::Term& x, const fo::Term& y);
+/// Same abbreviation over the temporary T (mid-delete forest).
+fo::F SameTreeT(const fo::Term& x, const fo::Term& y);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_FOREST_RULES_H_

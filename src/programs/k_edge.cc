@@ -1,0 +1,70 @@
+#include "programs/k_edge.h"
+
+#include <functional>
+#include <vector>
+
+#include "fo/builder.h"
+#include "graph/algorithms.h"
+#include "programs/reach_u.h"
+
+namespace dynfo::programs {
+
+using fo::EqT;
+using fo::P0;
+using fo::P1;
+using fo::Rel;
+
+KEdgeEngine::KEdgeEngine(size_t universe_size, dyn::EngineOptions options)
+    : engine_(MakeReachUProgram(), universe_size, options),
+      connected_query_(EqT(P0(), P1()) || Rel("PV", {P0(), P1(), P0()})) {}
+
+void KEdgeEngine::Apply(const relational::Request& request) { engine_.Apply(request); }
+
+bool KEdgeEngine::Connected(const dyn::Engine& engine, relational::Element x,
+                            relational::Element y) const {
+  return engine.QuerySentence(connected_query_, {x, y});
+}
+
+bool KEdgeEngine::Query(relational::Element x, relational::Element y, int k) const {
+  DYNFO_CHECK(k >= 1);
+  if (!Connected(engine_, x, y)) return false;
+  if (k == 1) return true;
+
+  // Candidate cut edges: the current edge set, one orientation each (self
+  // loops never separate anything).
+  std::vector<relational::Tuple> edges;
+  for (const relational::Tuple& t : engine_.data().relation("E")) {
+    if (t[0] < t[1]) edges.push_back(t);
+  }
+
+  // Universally quantify over (k-1)-subsets; compose the FO delete update
+  // per chosen edge on a scratch engine.
+  std::vector<size_t> chosen;
+  std::function<bool(size_t, size_t)> survives = [&](size_t start,
+                                                     size_t remaining) -> bool {
+    if (remaining == 0) {
+      dyn::Engine scratch = engine_;  // copy of the full data structure
+      for (size_t index : chosen) {
+        scratch.Apply(relational::Request::Delete("E", edges[index]));
+      }
+      return Connected(scratch, x, y);
+    }
+    for (size_t i = start; i + remaining <= edges.size() + 1 && i < edges.size(); ++i) {
+      chosen.push_back(i);
+      bool ok = survives(i + 1, remaining - 1);
+      chosen.pop_back();
+      if (!ok) return false;
+    }
+    return true;
+  };
+  return survives(0, static_cast<size_t>(k - 1));
+}
+
+bool KEdgeOracle(const relational::Structure& input, relational::Element x,
+                 relational::Element y, int k) {
+  graph::UndirectedGraph g = graph::UndirectedGraph::FromRelation(
+      input.relation("E"), input.universe_size());
+  return graph::KEdgeConnected(g, x, y, k);
+}
+
+}  // namespace dynfo::programs

@@ -1,0 +1,85 @@
+#include "programs/lca.h"
+
+#include "fo/builder.h"
+#include "graph/algorithms.h"
+
+namespace dynfo::programs {
+
+using fo::C;
+using fo::EqT;
+using fo::Exists;
+using fo::F;
+using fo::Forall;
+using fo::Implies;
+using fo::P0;
+using fo::P1;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+std::shared_ptr<const relational::Vocabulary> LcaInputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  vocabulary->AddConstant("s");
+  vocabulary->AddConstant("t");
+  return vocabulary;
+}
+
+namespace {
+
+/// a is the lowest common ancestor of x and y (P is reflexive, so a vertex
+/// is its own ancestor, matching the usual LCA convention).
+F LcaFormula(const Term& x, const Term& y, const Term& a) {
+  Term z = V("z");
+  return Rel("P", {a, x}) && Rel("P", {a, y}) &&
+         Forall({"z"},
+                Implies(Rel("P", {z, x}) && Rel("P", {z, y}), Rel("P", {z, a})));
+}
+
+}  // namespace
+
+std::shared_ptr<const dyn::DynProgram> MakeLcaProgram() {
+  auto input = LcaInputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  data->AddRelation("E", 2);
+  data->AddRelation("P", 2);
+  data->AddConstant("s");
+  data->AddConstant("t");
+
+  auto program = std::make_shared<dyn::DynProgram>("lca", input, data);
+
+  Term x = V("x"), y = V("y"), u = V("u"), v = V("v");
+
+  // P maintained exactly as Theorem 4.2 (a forest is acyclic).
+  program->AddInit({"P", {"x", "y"}, EqT(x, y)});
+  program->AddUpdate(RequestKind::kInsert, "E",
+                     {"P",
+                      {"x", "y"},
+                      Rel("P", {x, y}) || (Rel("P", {x, P0()}) && Rel("P", {P1(), y}))});
+  program->AddUpdate(
+      RequestKind::kDelete, "E",
+      {"P",
+       {"x", "y"},
+       Rel("P", {x, y}) &&
+           (!Rel("E", {P0(), P1()}) || !Rel("P", {x, P0()}) || !Rel("P", {P1(), y}) ||
+            Exists({"u", "v"},
+                   Rel("P", {x, u}) && Rel("P", {u, P0()}) && Rel("E", {u, v}) &&
+                       !Rel("P", {v, P0()}) && Rel("P", {v, y}) &&
+                       (!EqT(v, P1()) || !EqT(u, P0()))))});
+
+  program->SetBoolQuery(
+      Exists({"a"}, LcaFormula(C("s"), C("t"), V("a"))));
+  program->AddNamedQuery("lca", {{"x", "y", "a"}, LcaFormula(x, y, V("a"))});
+  program->AddNamedQuery("ancestor", {{"x", "y"}, Rel("P", {x, y})});
+  return program;
+}
+
+bool LcaOracle(const relational::Structure& input) {
+  graph::Digraph g =
+      graph::Digraph::FromRelation(input.relation("E"), input.universe_size());
+  return graph::LowestCommonAncestor(g, input.constant("s"), input.constant("t"))
+      .has_value();
+}
+
+}  // namespace dynfo::programs

@@ -1,0 +1,32 @@
+/// \file lca.h
+/// Theorem 4.5(4): Lowest Common Ancestors in directed forests are in Dyn-FO.
+///
+/// The input is a directed forest with edges parent -> child (the workload
+/// keeps indegree <= 1 and acyclicity). The program maintains the ancestor
+/// relation P exactly as Theorem 4.2; vertex a is the LCA of x and y iff
+///   P(a, x) & P(a, y) & forall z ((P(z, x) & P(z, y)) -> P(z, a)).
+
+#ifndef DYNFO_PROGRAMS_LCA_H_
+#define DYNFO_PROGRAMS_LCA_H_
+
+#include <memory>
+
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <E^2; s, t> (edges parent -> child).
+std::shared_ptr<const relational::Vocabulary> LcaInputVocabulary();
+
+/// The Dyn-FO program of Theorem 4.5(4).
+/// Boolean query: "s and t have a common ancestor".
+/// Named query "lca"(x, y, a): a is the lowest common ancestor of x and y.
+std::shared_ptr<const dyn::DynProgram> MakeLcaProgram();
+
+/// Static oracle for the boolean query.
+bool LcaOracle(const relational::Structure& input);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_LCA_H_

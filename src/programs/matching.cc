@@ -1,0 +1,130 @@
+#include "programs/matching.h"
+
+#include <utility>
+#include <vector>
+
+#include "fo/builder.h"
+#include "graph/algorithms.h"
+
+namespace dynfo::programs {
+
+using fo::EqEdge;
+using fo::EqT;
+using fo::Exists;
+using fo::F;
+using fo::Forall;
+using fo::Implies;
+using fo::LeT;
+using fo::P0;
+using fo::P1;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+std::shared_ptr<const relational::Vocabulary> MatchingInputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  return vocabulary;
+}
+
+std::shared_ptr<const dyn::DynProgram> MakeMatchingProgram() {
+  auto input = MatchingInputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  data->AddRelation("E", 2);      // mirrored input (kept symmetric)
+  data->AddRelation("Match", 2);  // the maintained matching (symmetric)
+  // Delete-time temporaries: the paper's "remove, then rematch a, then b".
+  data->AddRelation("M0", 2);  // matching after removing (a, b)
+  data->AddRelation("CA", 1);  // free neighbors of a
+  data->AddRelation("NA", 1);  // the minimum free neighbor of a
+  data->AddRelation("M1", 2);  // matching after rematching a
+  data->AddRelation("CB", 1);  // free neighbors of b (w.r.t. M1)
+  data->AddRelation("NB", 1);  // the minimum free neighbor of b
+
+  auto program = std::make_shared<dyn::DynProgram>("matching", input, data);
+
+  Term x = V("x"), y = V("y"), z = V("z"), w = V("w");
+
+  // ---- Insert(E, a, b) ----------------------------------------------------
+  program->AddUpdate(RequestKind::kInsert, "E",
+                     {"E", {"x", "y"}, Rel("E", {x, y}) || EqEdge(x, y, P0(), P1())});
+  // Match'(x, y) = Match(x, y) | (Eq(x, y, a, b) & a != b & !MP(a) & !MP(b)).
+  F mp_a = Exists({"z"}, Rel("Match", {P0(), z}));
+  F mp_b = Exists({"z"}, Rel("Match", {P1(), z}));
+  program->AddUpdate(RequestKind::kInsert, "E",
+                     {"Match",
+                      {"x", "y"},
+                      Rel("Match", {x, y}) || (EqEdge(x, y, P0(), P1()) &&
+                                               !EqT(P0(), P1()) && !mp_a && !mp_b)});
+
+  // ---- Delete(E, a, b) ----------------------------------------------------
+  F was_matched = Rel("Match", {P0(), P1()});
+  // M0: the matching with (a, b) removed.
+  program->AddLet(RequestKind::kDelete, "E",
+                  {"M0", {"x", "y"}, Rel("Match", {x, y}) && !EqEdge(x, y, P0(), P1())});
+  // CA(x): x is a surviving neighbor of a, unmatched in M0. The Eq-edge
+  // exclusion drops x = b (their edge is being deleted); x = a is excluded
+  // separately (no self-matching).
+  program->AddLet(RequestKind::kDelete, "E",
+                  {"CA",
+                   {"x"},
+                   was_matched && Rel("E", {P0(), x}) && !EqEdge(P0(), x, P0(), P1()) &&
+                       !EqT(x, P0()) && !Exists({"z"}, Rel("M0", {x, z}))});
+  // NA: the minimum element of CA.
+  program->AddLet(RequestKind::kDelete, "E",
+                  {"NA",
+                   {"x"},
+                   Rel("CA", {x}) &&
+                       Forall({"w"}, Implies(Rel("CA", {w}), LeT(x, w)))});
+  // M1: a rematched to NA (if any).
+  program->AddLet(RequestKind::kDelete, "E",
+                  {"M1",
+                   {"x", "y"},
+                   Rel("M0", {x, y}) || (EqT(x, P0()) && Rel("NA", {y})) ||
+                       (EqT(y, P0()) && Rel("NA", {x}))});
+  // CB(x): free neighbor of b w.r.t. M1 (a is excluded by the Eq-edge test,
+  // and anyone a just matched is no longer free).
+  program->AddLet(RequestKind::kDelete, "E",
+                  {"CB",
+                   {"x"},
+                   was_matched && Rel("E", {P1(), x}) && !EqEdge(P1(), x, P0(), P1()) &&
+                       !EqT(x, P1()) && !Exists({"z"}, Rel("M1", {x, z}))});
+  program->AddLet(RequestKind::kDelete, "E",
+                  {"NB",
+                   {"x"},
+                   Rel("CB", {x}) &&
+                       Forall({"w"}, Implies(Rel("CB", {w}), LeT(x, w)))});
+  program->AddUpdate(RequestKind::kDelete, "E",
+                     {"E", {"x", "y"}, Rel("E", {x, y}) && !EqEdge(x, y, P0(), P1())});
+  program->AddUpdate(RequestKind::kDelete, "E",
+                     {"Match",
+                      {"x", "y"},
+                      Rel("M1", {x, y}) || (EqT(x, P1()) && Rel("NB", {y})) ||
+                          (EqT(y, P1()) && Rel("NB", {x}))});
+
+  program->SetBoolQuery(Exists({"x", "y"}, Rel("Match", {x, y})));
+  program->AddNamedQuery("match", {{"x", "y"}, Rel("Match", {x, y})});
+  return program;
+}
+
+std::string MatchingInvariant(const relational::Structure& input,
+                              const dyn::Engine& engine) {
+  const size_t n = input.universe_size();
+  graph::UndirectedGraph g =
+      graph::UndirectedGraph::FromRelation(input.relation("E"), n);
+  const relational::Relation& match = engine.data().relation("Match");
+  std::vector<std::pair<graph::Vertex, graph::Vertex>> edges;
+  for (const relational::Tuple& t : match) {
+    if (!match.Contains({t[1], t[0]})) {
+      return "Match not symmetric at " + t.ToString();
+    }
+    if (t[0] < t[1]) edges.emplace_back(t[0], t[1]);
+    if (t[0] == t[1]) return "self-matched vertex " + std::to_string(t[0]);
+  }
+  if (!graph::IsMaximalMatching(g, edges)) {
+    return "Match is not a maximal matching of the input graph";
+  }
+  return "";
+}
+
+}  // namespace dynfo::programs

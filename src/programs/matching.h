@@ -1,0 +1,38 @@
+/// \file matching.h
+/// Theorem 4.5(3): Maximal Matching is in Dyn-FO.
+///
+/// The program maintains a maximal (not maximum) matching Match(x, y) under
+/// edge churn. Inserts greedily match the new edge when both endpoints are
+/// free; deleting a matched edge frees its endpoints, and each is re-matched
+/// to its minimum free neighbor (first a, then b — sequenced through the
+/// paper's temporary relations, modeled as `let` rules). The maintained
+/// matching is history-dependent (not memoryless), which the paper permits.
+
+#ifndef DYNFO_PROGRAMS_MATCHING_H_
+#define DYNFO_PROGRAMS_MATCHING_H_
+
+#include <memory>
+#include <string>
+
+#include "dynfo/engine.h"
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <E^2>.
+std::shared_ptr<const relational::Vocabulary> MatchingInputVocabulary();
+
+/// The Dyn-FO program of Theorem 4.5(3). Boolean query: "the matching is
+/// nonempty". Named query "match"(x, y). Correctness is the *maximality
+/// invariant*, checked by tests via graph::IsMaximalMatching.
+std::shared_ptr<const dyn::DynProgram> MakeMatchingProgram();
+
+/// Invariant oracle: the engine's Match relation is a maximal matching of
+/// the input graph. Returns an empty string when satisfied.
+std::string MatchingInvariant(const relational::Structure& input,
+                              const dyn::Engine& engine);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_MATCHING_H_

@@ -1,0 +1,221 @@
+#include "programs/msf.h"
+
+#include <algorithm>
+
+#include "fo/builder.h"
+#include "graph/algorithms.h"
+#include "graph/mst.h"
+
+namespace dynfo::programs {
+
+using fo::C;
+using fo::EqEdge;
+using fo::EqT;
+using fo::Exists;
+using fo::F;
+using fo::Forall;
+using fo::Implies;
+using fo::LeT;
+using fo::LtT;
+using fo::P0;
+using fo::P1;
+using fo::P2;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+namespace {
+
+F SameTree(const Term& x, const Term& y) {
+  return EqT(x, y) || Rel("PV", {x, y, x});
+}
+F SameTreeT(const Term& x, const Term& y) {
+  return EqT(x, y) || Rel("T", {x, y, x});
+}
+F SameTreeT2(const Term& x, const Term& y) {
+  return EqT(x, y) || Rel("T2", {x, y, x});
+}
+
+/// weight(p, q) <= weight(r, s), via fresh weight variables.
+F WtLe(const Term& p, const Term& q, const Term& r, const Term& s,
+       const std::string& wp, const std::string& wr) {
+  return Exists({wp, wr}, Rel("W", {p, q, V(wp)}) && Rel("W", {r, s, V(wr)}) &&
+                              LeT(V(wp), V(wr)));
+}
+
+}  // namespace
+
+std::shared_ptr<const relational::Vocabulary> MsfInputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("W", 3);
+  vocabulary->AddConstant("s");
+  vocabulary->AddConstant("t");
+  return vocabulary;
+}
+
+std::shared_ptr<const dyn::DynProgram> MakeMsfProgram() {
+  auto input = MsfInputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  data->AddRelation("W", 3);     // mirrored weighted edges (kept symmetric)
+  data->AddRelation("F", 2);     // minimum-spanning-forest edges
+  data->AddRelation("PV", 3);    // forest path from x to y via u
+  data->AddRelation("Swap", 2);  // temporary (insert): path edge to evict
+  data->AddRelation("T2", 3);    // temporary (insert): PV after the eviction
+  data->AddRelation("T", 3);     // temporary (delete): PV after the split
+  data->AddRelation("New", 2);   // temporary (delete): min-weight replacement
+  data->AddConstant("s");
+  data->AddConstant("t");
+
+  auto program = std::make_shared<dyn::DynProgram>("msf", input, data);
+
+  Term x = V("x"), y = V("y"), z = V("z"), u = V("u"), v = V("v");
+  Term c = V("c"), d = V("d"), p = V("p"), q = V("q");
+
+  program->AddInit({"PV", {"x", "y", "z"}, EqT(x, y) && EqT(y, z)});
+
+  // ---- Insert(W, a, b, w); a = $0, b = $1, w = $2 -------------------------
+  program->AddUpdate(RequestKind::kInsert, "W",
+                     {"W",
+                      {"x", "y", "z"},
+                      Rel("W", {x, y, z}) ||
+                          (EqEdge(x, y, P0(), P1()) && EqT(z, P2()))});
+
+  // Swap(c, d): the unique maximum-weight edge on the forest path a..b, when
+  // it is heavier than the new edge (then (a, b) enters the forest in its
+  // place). A forest edge with both endpoints on the a..b path *is* a path
+  // edge.
+  F on_path_cd = Rel("F", {c, d}) && Rel("PV", {P0(), P1(), c}) &&
+                 Rel("PV", {P0(), P1(), d});
+  F on_path_pq = Rel("F", {p, q}) && Rel("PV", {P0(), P1(), p}) &&
+                 Rel("PV", {P0(), P1(), q});
+  program->AddLet(
+      RequestKind::kInsert, "W",
+      {"Swap",
+       {"c", "d"},
+       on_path_cd &&
+           Forall({"p", "q"}, Implies(on_path_pq, WtLe(p, q, c, d, "wp", "wc"))) &&
+           Exists({"wc"}, Rel("W", {c, d, V("wc")}) && LtT(P2(), V("wc")))});
+  // T2: the forest paths after evicting the Swap edge (all of PV when no
+  // swap happens).
+  program->AddLet(RequestKind::kInsert, "W",
+                  {"T2",
+                   {"x", "y", "z"},
+                   Rel("PV", {x, y, z}) &&
+                       !Exists({"c", "d"}, Rel("Swap", {c, d}) && Rel("PV", {x, y, c}) &&
+                                               Rel("PV", {x, y, d}))});
+
+  F has_swap = Exists({"c", "d"}, Rel("Swap", {c, d}));
+  F same_tree_ab = SameTree(P0(), P1());
+
+  // F': three cases — fuse two trees / swap against the heaviest path edge /
+  // no structural change.
+  program->AddUpdate(
+      RequestKind::kInsert, "W",
+      {"F",
+       {"x", "y"},
+       (!same_tree_ab && (Rel("F", {x, y}) || EqEdge(x, y, P0(), P1()))) ||
+           (same_tree_ab && has_swap &&
+            ((Rel("F", {x, y}) && !Rel("Swap", {x, y})) || EqEdge(x, y, P0(), P1()))) ||
+           (same_tree_ab && !has_swap && Rel("F", {x, y}))});
+
+  // PV': mirror the three cases. The fuse case is Theorem 4.1's insert; the
+  // swap case is a split (T2) followed by reconnection through (a, b).
+  program->AddUpdate(
+      RequestKind::kInsert, "W",
+      {"PV",
+       {"x", "y", "z"},
+       (!same_tree_ab &&
+        (Rel("PV", {x, y, z}) ||
+         Exists({"u", "v"}, EqEdge(u, v, P0(), P1()) && SameTree(x, u) &&
+                                SameTree(v, y) &&
+                                (Rel("PV", {x, u, z}) || Rel("PV", {v, y, z}))))) ||
+           (same_tree_ab && !has_swap && Rel("PV", {x, y, z})) ||
+           (same_tree_ab && has_swap &&
+            (Rel("T2", {x, y, z}) ||
+             Exists({"u", "v"}, EqEdge(u, v, P0(), P1()) && SameTreeT2(x, u) &&
+                                    SameTreeT2(v, y) &&
+                                    (Rel("T2", {x, u, z}) || Rel("T2", {v, y, z})))))});
+
+  // ---- Delete(W, a, b, w) -------------------------------------------------
+  // The delete only restructures the forest when it removes a *forest* edge
+  // with its correct weight.
+  F genuine = Rel("W", {P0(), P1(), P2()}) && Rel("F", {P0(), P1()});
+
+  program->AddLet(RequestKind::kDelete, "W",
+                  {"T",
+                   {"x", "y", "z"},
+                   Rel("PV", {x, y, z}) && !(genuine && Rel("PV", {x, y, P0()}) &&
+                                             Rel("PV", {x, y, P1()}))});
+  // New: the minimum-weight surviving edge across the split.
+  F cross_xy = Exists({"wx"}, Rel("W", {x, y, V("wx")})) &&
+               !EqEdge(x, y, P0(), P1()) && SameTreeT(x, P0()) && SameTreeT(y, P1());
+  F cross_pq = Exists({"wq"}, Rel("W", {p, q, V("wq")})) &&
+               !EqEdge(p, q, P0(), P1()) && SameTreeT(p, P0()) && SameTreeT(q, P1());
+  program->AddLet(
+      RequestKind::kDelete, "W",
+      {"New",
+       {"x", "y"},
+       genuine && cross_xy &&
+           Forall({"p", "q"}, Implies(cross_pq, WtLe(x, y, p, q, "wp", "wr")))});
+  program->AddUpdate(RequestKind::kDelete, "W",
+                     {"W",
+                      {"x", "y", "z"},
+                      Rel("W", {x, y, z}) &&
+                          !(EqEdge(x, y, P0(), P1()) && EqT(z, P2()))});
+  program->AddUpdate(RequestKind::kDelete, "W",
+                     {"F",
+                      {"x", "y"},
+                      (Rel("F", {x, y}) && !(genuine && EqEdge(x, y, P0(), P1()))) ||
+                          Rel("New", {x, y}) || Rel("New", {y, x})});
+  program->AddUpdate(
+      RequestKind::kDelete, "W",
+      {"PV",
+       {"x", "y", "z"},
+       Rel("T", {x, y, z}) ||
+           Exists({"u", "v"},
+                  (Rel("New", {u, v}) || Rel("New", {v, u})) && SameTreeT(x, u) &&
+                      SameTreeT(y, v) && (Rel("T", {x, u, z}) || Rel("T", {y, v, z})))});
+
+  program->SetBoolQuery(SameTree(C("s"), C("t")));
+  program->AddNamedQuery("forest", {{"x", "y"}, Rel("F", {x, y})});
+  program->AddNamedQuery("connected", {{"x", "y"}, SameTree(x, y)});
+  return program;
+}
+
+bool MsfOracle(const relational::Structure& input) {
+  graph::UndirectedGraph g(input.universe_size());
+  for (const relational::Tuple& t : input.relation("W")) {
+    if (t[0] != t[1]) g.AddEdge(t[0], t[1]);
+  }
+  return graph::Reachable(g, input.constant("s"), input.constant("t"));
+}
+
+std::string MsfInvariant(const relational::Structure& input, const dyn::Engine& engine) {
+  std::vector<graph::WeightedEdge> edges;
+  for (const relational::Tuple& t : input.relation("W")) {
+    graph::WeightedEdge e{std::min(t[0], t[1]), std::max(t[0], t[1]), t[2]};
+    if (e.u != e.v) edges.push_back(e);
+  }
+  std::vector<graph::WeightedEdge> expected =
+      graph::KruskalMsf(input.universe_size(), std::move(edges));
+
+  const relational::Relation& f_rel = engine.data().relation("F");
+  std::vector<std::pair<uint32_t, uint32_t>> actual;
+  for (const relational::Tuple& t : f_rel) {
+    if (!f_rel.Contains({t[1], t[0]})) return "F not symmetric at " + t.ToString();
+    if (t[0] < t[1]) actual.emplace_back(t[0], t[1]);
+  }
+  std::sort(actual.begin(), actual.end());
+  std::vector<std::pair<uint32_t, uint32_t>> want;
+  for (const graph::WeightedEdge& e : expected) want.emplace_back(e.u, e.v);
+  std::sort(want.begin(), want.end());
+  if (actual != want) {
+    std::string msg = "F != Kruskal MSF; F has " + std::to_string(actual.size()) +
+                      " edges, Kruskal " + std::to_string(want.size());
+    return msg;
+  }
+  return "";
+}
+
+}  // namespace dynfo::programs

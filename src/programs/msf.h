@@ -1,0 +1,48 @@
+/// \file msf.h
+/// Theorem 4.4: Minimum Spanning Forests are in Dyn-FO.
+///
+/// The input is a weighted undirected graph given as a ternary relation
+/// W(u, v, w) — "edge {u, v} has weight w" — with weights drawn from the
+/// universe (the ordering on the universe is the weight order). The program
+/// maintains the forest relations F and PV of Theorem 4.1, but:
+///   * deleting a forest edge splices in the *minimum-weight* crossing edge
+///     (not the lexicographically least one), and
+///   * inserting an edge into a connected pair swaps it against the
+///     maximum-weight edge on the forest path when that improves the forest.
+///
+/// Contract (documented in DESIGN.md): weights are distinct and each
+/// unordered pair carries at most one weight — the paper's own memoryless
+/// case ("if the weights are all distinct ... this construction is
+/// memoryless"); the workload generator enforces it. With distinct weights
+/// the minimum spanning forest is unique, so tests compare F against
+/// Kruskal exactly.
+
+#ifndef DYNFO_PROGRAMS_MSF_H_
+#define DYNFO_PROGRAMS_MSF_H_
+
+#include <memory>
+#include <string>
+
+#include "dynfo/engine.h"
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <W^3; s, t>.
+std::shared_ptr<const relational::Vocabulary> MsfInputVocabulary();
+
+/// The Dyn-FO program of Theorem 4.4. Boolean query: "s and t connected".
+/// Named queries: "forest"(x, y), "connected"(x, y).
+std::shared_ptr<const dyn::DynProgram> MakeMsfProgram();
+
+/// Boolean-query oracle (connectivity).
+bool MsfOracle(const relational::Structure& input);
+
+/// Invariant: the engine's F equals the unique minimum spanning forest of
+/// the input (as computed by Kruskal). Empty string when satisfied.
+std::string MsfInvariant(const relational::Structure& input, const dyn::Engine& engine);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_MSF_H_

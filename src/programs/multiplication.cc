@@ -1,0 +1,144 @@
+#include "programs/multiplication.h"
+
+#include "arith/bit_formulas.h"
+#include "fo/builder.h"
+
+namespace dynfo::programs {
+
+using arith::Xor3;
+using fo::Exists;
+using fo::F;
+using fo::Forall;
+using fo::LtT;
+using fo::P0;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+std::shared_ptr<const relational::Vocabulary> MultiplicationInputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("X", 1);
+  vocabulary->AddRelation("Y", 1);
+  return vocabulary;
+}
+
+namespace {
+
+/// Registers the update rules for changing a bit of `operand`, where `other`
+/// is the unchanged factor that gets shifted and added/subtracted.
+void AddOperandRules(dyn::DynProgram* program, const std::string& operand,
+                     const std::string& other) {
+  Term t = V("t"), s = V("s"), r = V("r"), j = V("j");
+  F bit_already = Rel(operand, {P0()});
+
+  // Sh(t): bit t of (other << i), i.e. other has bit j with j + i = t.
+  fo::F shifted = Exists({"j"}, Rel(other, {j}) && Rel("Plus", {j, P0(), t}));
+  for (RequestKind kind : {RequestKind::kInsert, RequestKind::kDelete}) {
+    program->AddLet(kind, operand, {"Sh", {"t"}, shifted});
+  }
+
+  // Carry (addition) and borrow (subtraction) lookahead over Prod and Sh.
+  F carry = Exists({"s"}, LtT(s, t) && Rel("Prod", {s}) && Rel("Sh", {s}) &&
+                              Forall({"r"}, !(LtT(s, r) && LtT(r, t)) ||
+                                                Rel("Prod", {r}) || Rel("Sh", {r})));
+  F borrow = Exists({"s"}, LtT(s, t) && !Rel("Prod", {s}) && Rel("Sh", {s}) &&
+                               Forall({"r"}, !(LtT(s, r) && LtT(r, t)) ||
+                                                 !Rel("Prod", {r}) || Rel("Sh", {r})));
+  program->AddLet(RequestKind::kInsert, operand, {"Car", {"t"}, carry});
+  program->AddLet(RequestKind::kDelete, operand, {"Car", {"t"}, borrow});
+
+  // ins: Prod += Sh unless the bit was already set; del: Prod -= Sh unless
+  // the bit was already clear. (The input relation mirrors automatically.)
+  program->AddUpdate(
+      RequestKind::kInsert, operand,
+      {"Prod",
+       {"t"},
+       (bit_already && Rel("Prod", {t})) ||
+           (!bit_already && Xor3(Rel("Prod", {t}), Rel("Sh", {t}), Rel("Car", {t})))});
+  program->AddUpdate(
+      RequestKind::kDelete, operand,
+      {"Prod",
+       {"t"},
+       (!bit_already && Rel("Prod", {t})) ||
+           (bit_already && Xor3(Rel("Prod", {t}), Rel("Sh", {t}), Rel("Car", {t})))});
+}
+
+}  // namespace
+
+std::shared_ptr<const dyn::DynProgram> MakeMultiplicationProgram(bool fo_plus_init) {
+  auto input = MultiplicationInputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  data->AddRelation("X", 1);
+  data->AddRelation("Y", 1);
+  data->AddRelation("Prod", 1);  // the product's bit array
+  data->AddRelation("Plus", 3);  // i + j = k (FO from BIT; see header)
+  data->AddRelation("Sh", 1);    // temporary: the shifted operand
+  data->AddRelation("Car", 1);   // temporary: carry/borrow lookahead
+
+  auto program = std::make_shared<dyn::DynProgram>("multiplication", input, data);
+  if (fo_plus_init) {
+    program->AddInit({"Plus",
+                      {"i", "j", "k"},
+                      arith::PlusFormula(V("i"), V("j"), V("k"))});
+  }
+  AddOperandRules(program.get(), "X", "Y");
+  AddOperandRules(program.get(), "Y", "X");
+
+  program->SetBoolQuery(Exists({"t"}, Rel("Prod", {V("t")})));
+  program->AddNamedQuery("prod", {{"t"}, Rel("Prod", {V("t")})});
+  return program;
+}
+
+void InstallPlusRelation(dyn::Engine* engine) {
+  relational::Structure* data = engine->mutable_data();
+  const size_t n = data->universe_size();
+  relational::Relation& plus = data->relation("Plus");
+  plus.Clear();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; i + j < n; ++j) {
+      plus.Insert({static_cast<relational::Element>(i),
+                   static_cast<relational::Element>(j),
+                   static_cast<relational::Element>(i + j)});
+    }
+  }
+}
+
+std::vector<bool> MultiplicationOracle(const relational::Structure& input) {
+  const size_t n = input.universe_size();
+  // Schoolbook bignum multiply over bit vectors.
+  std::vector<bool> x(n, false), y(n, false);
+  for (const relational::Tuple& t : input.relation("X")) x[t[0]] = true;
+  for (const relational::Tuple& t : input.relation("Y")) y[t[0]] = true;
+  std::vector<uint32_t> acc(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (!x[i]) continue;
+    for (size_t j = 0; j < n && i + j < n; ++j) {
+      if (y[j]) ++acc[i + j];
+    }
+  }
+  std::vector<bool> prod(n, false);
+  uint64_t carry = 0;
+  for (size_t t = 0; t < n; ++t) {
+    uint64_t total = acc[t] + carry;
+    prod[t] = (total & 1) != 0;
+    carry = total >> 1;
+  }
+  return prod;
+}
+
+std::string MultiplicationInvariant(const relational::Structure& input,
+                                    const dyn::Engine& engine) {
+  std::vector<bool> expected = MultiplicationOracle(input);
+  const relational::Relation& prod = engine.data().relation("Prod");
+  for (size_t t = 0; t < expected.size(); ++t) {
+    bool actual = prod.Contains({static_cast<relational::Element>(t)});
+    if (actual != expected[t]) {
+      return "Prod bit " + std::to_string(t) + " = " + (actual ? "1" : "0") +
+             ", expected " + (expected[t] ? "1" : "0");
+    }
+  }
+  return "";
+}
+
+}  // namespace dynfo::programs

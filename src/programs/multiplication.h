@@ -1,0 +1,56 @@
+/// \file multiplication.h
+/// Proposition 4.7: Multiplication is in Dyn-FO.
+///
+/// The inputs are two binary numbers given as bit relations X(i), Y(i)
+/// (bit i set). The data structure maintains the product's bit array
+/// Prod(t). Setting a bit of X adds the shifted operand Y << i to Prod;
+/// clearing subtracts it (the paper's 2's-complement step, realized here as
+/// direct borrow-lookahead subtraction — the product can never underflow,
+/// since clearing bit i of x removes exactly the contribution y·2^i).
+///
+/// Conventions:
+///   * bit positions are universe elements; the workload keeps X and Y
+///     inside the low half of the universe so Prod (up to 2·bits wide)
+///     always fits;
+///   * the auxiliary relation Plus(i, j, k) — i + j = k — is first-order
+///     from BIT (arith::PlusFormula) and installed by an init rule; because
+///     its literal evaluation costs n^3 formula points, callers may instead
+///     request native initialization (semantically identical, verified
+///     equal by tests).
+
+#ifndef DYNFO_PROGRAMS_MULTIPLICATION_H_
+#define DYNFO_PROGRAMS_MULTIPLICATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "dynfo/engine.h"
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <X^1, Y^1>.
+std::shared_ptr<const relational::Vocabulary> MultiplicationInputVocabulary();
+
+/// The Dyn-FO program of Proposition 4.7. If `fo_plus_init` is true the
+/// Plus relation is initialized by its literal FO definition (slow —
+/// use small universes); otherwise install it with InstallPlusRelation
+/// right after constructing the Engine.
+std::shared_ptr<const dyn::DynProgram> MakeMultiplicationProgram(bool fo_plus_init);
+
+/// Fills Plus(i, j, k) := i + j = k directly (the native equivalent of the
+/// FO init; Dyn-FO+-style precomputation through Engine::mutable_data()).
+void InstallPlusRelation(dyn::Engine* engine);
+
+/// Oracle: the product bits of X * Y as a bignum bit vector of length
+/// universe_size.
+std::vector<bool> MultiplicationOracle(const relational::Structure& input);
+
+/// Invariant: Prod equals the oracle's product bits. Empty when satisfied.
+std::string MultiplicationInvariant(const relational::Structure& input,
+                                    const dyn::Engine& engine);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_MULTIPLICATION_H_

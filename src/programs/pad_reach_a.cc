@@ -1,0 +1,83 @@
+#include "programs/pad_reach_a.h"
+
+#include "fo/builder.h"
+#include "graph/alternating.h"
+#include "reductions/pad.h"
+
+namespace dynfo::programs {
+
+using fo::C;
+using fo::EqT;
+using fo::Exists;
+using fo::F;
+using fo::Forall;
+using fo::Implies;
+using fo::P0;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+std::shared_ptr<const relational::Vocabulary> ReachAUnderlyingVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  vocabulary->AddRelation("A", 1);
+  vocabulary->AddConstant("s");
+  vocabulary->AddConstant("t");
+  return vocabulary;
+}
+
+std::shared_ptr<const relational::Vocabulary> PadReachAInputVocabulary() {
+  return reductions::PadVocabulary(*ReachAUnderlyingVocabulary());
+}
+
+std::shared_ptr<const dyn::DynProgram> MakePadReachAProgram() {
+  auto input = PadReachAInputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  data->AddRelation("E", 3);  // mirrored padded edges
+  data->AddRelation("A", 2);  // mirrored padded universal marks
+  data->AddRelation("S", 1);  // the current iterate of Theta
+  data->AddConstant("s");
+  data->AddConstant("t");
+
+  auto program = std::make_shared<dyn::DynProgram>("pad_reach_a", input, data);
+
+  Term x = V("x"), y = V("y");
+  // Copy 0's relations (min is the numeric constant 0).
+  auto e0 = [&](const Term& from, const Term& to) {
+    return Rel("E", {Term::Min(), from, to});
+  };
+  F a0 = Rel("A", {Term::Min(), x});
+
+  // One step of the inductive definition, over copy 0.
+  F theta = EqT(x, C("t")) ||
+            (!a0 && Exists({"y"}, e0(x, y) && Rel("S", {y}))) ||
+            (a0 && Exists({"y"}, e0(x, y)) &&
+             Forall({"y"}, Implies(e0(x, y), Rel("S", {y}))));
+
+  // A request whose copy index is 0 resets the iteration (the rules read the
+  // pre-request copy 0, so resetting to Theta(empty) = {t} is the only sound
+  // choice); any other copy funds one Theta step against the already-updated
+  // copy 0.
+  F step = (EqT(P0(), Term::Min()) && EqT(x, C("t"))) ||
+           (!EqT(P0(), Term::Min()) && theta);
+  for (RequestKind kind : {RequestKind::kInsert, RequestKind::kDelete}) {
+    program->AddUpdate(kind, "E", {"S", {"x"}, step});
+    program->AddUpdate(kind, "A", {"S", {"x"}, step});
+  }
+
+  program->SetBoolQuery(Rel("S", {C("s")}));
+  program->AddNamedQuery("reaches", {{"x"}, Rel("S", {V("x")})});
+  return program;
+}
+
+bool ReachAOracle(const relational::Structure& underlying) {
+  const size_t n = underlying.universe_size();
+  graph::Digraph g = graph::Digraph::FromRelation(underlying.relation("E"), n);
+  std::vector<bool> universal(n, false);
+  for (const relational::Tuple& t : underlying.relation("A")) universal[t[0]] = true;
+  return graph::AlternatingReachable(g, universal, underlying.constant("s"),
+                                     underlying.constant("t"));
+}
+
+}  // namespace dynfo::programs

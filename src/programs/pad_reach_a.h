@@ -1,0 +1,47 @@
+/// \file pad_reach_a.h
+/// Theorem 5.14: PAD(REACH_a) is in Dyn-FO.
+///
+/// REACH_a (alternating reachability) is P-complete, yet its padded version
+/// is dynamic first-order: a real change to the underlying structure costs
+/// n requests (one per copy), and each request funds one first-order step
+/// of REACH_a's inductive definition — n steps reach the fixpoint, since
+/// REACH_a ∈ FO[n].
+///
+/// Input (padded vocabulary): E(c, x, y) and A(c, x) — edge/universal
+/// relations of copy c — with shared constants s, t. The program maintains
+/// S(x) = the current iterate of
+///   Theta(S)(x) = x = t
+///                | (!A0(x) & exists y (E0(x, y) & S(y)))
+///                | (A0(x) & exists y E0(x, y) & forall y (E0(x, y) -> S(y)))
+/// over copy 0's relations. Ordered update discipline (DESIGN.md): a real
+/// change updates copies 0, 1, ..., n-1 in order (reductions::PadRequests
+/// emits exactly this); a request touching copy 0 resets S to Theta(∅) =
+/// {t}, every other request applies Theta once. After the n-th request
+/// S = Theta^n(∅) = the fixpoint for the *new* structure, so queries are
+/// correct at every valid pad.
+
+#ifndef DYNFO_PROGRAMS_PAD_REACH_A_H_
+#define DYNFO_PROGRAMS_PAD_REACH_A_H_
+
+#include <memory>
+
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The *underlying* (unpadded) vocabulary <E^2, A^1; s, t>.
+std::shared_ptr<const relational::Vocabulary> ReachAUnderlyingVocabulary();
+
+/// The padded input vocabulary <E^3, A^2; s, t> (copy index first).
+std::shared_ptr<const relational::Vocabulary> PadReachAInputVocabulary();
+
+/// The Dyn-FO program of Theorem 5.14. Boolean query: S(s).
+std::shared_ptr<const dyn::DynProgram> MakePadReachAProgram();
+
+/// Static oracle on the *underlying* structure: alternating reachability.
+bool ReachAOracle(const relational::Structure& underlying);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_PAD_REACH_A_H_

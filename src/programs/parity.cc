@@ -1,0 +1,46 @@
+#include "programs/parity.h"
+
+#include "fo/builder.h"
+
+namespace dynfo::programs {
+
+using fo::F;
+using fo::P0;
+using fo::Rel;
+using relational::RequestKind;
+
+std::shared_ptr<const relational::Vocabulary> ParityInputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("M", 1);
+  return vocabulary;
+}
+
+std::shared_ptr<const dyn::DynProgram> MakeParityProgram() {
+  auto input = ParityInputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  data->AddRelation("M", 1);  // mirrored input ("we also remember the input string")
+  data->AddRelation("B", 0);  // the paper's boolean b
+
+  auto program = std::make_shared<dyn::DynProgram>("parity", input, data);
+
+  F b = Rel("B", {});
+  F m_at_a = Rel("M", {P0()});
+
+  // ins(a, M): b' = (b & M(a)) | (!b & !M(a)) — reading M *before* the
+  // update, exactly as in the paper (a no-op insert leaves b unchanged).
+  program->AddUpdate(RequestKind::kInsert, "M",
+                     {"B", {}, (b && m_at_a) || (!b && !m_at_a)});
+  // del(a, M): b' = (b & !M(a)) | (!b & M(a)).
+  program->AddUpdate(RequestKind::kDelete, "M",
+                     {"B", {}, (b && !m_at_a) || (!b && m_at_a)});
+  // M itself is auto-mirrored by the engine.
+
+  program->SetBoolQuery(Rel("B", {}));
+  return program;
+}
+
+bool ParityOracle(const relational::Structure& input) {
+  return input.relation("M").size() % 2 == 1;
+}
+
+}  // namespace dynfo::programs

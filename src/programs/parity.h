@@ -1,0 +1,30 @@
+/// \file parity.h
+/// Example 3.2: PARITY is in Dyn-FO.
+///
+/// Input vocabulary sigma = <M^1> codes a binary string: M(i) iff bit i is 1.
+/// The data structure adds a nullary relation B — the paper's boolean
+/// constant b — toggled by a quantifier-free formula on every change.
+
+#ifndef DYNFO_PROGRAMS_PARITY_H_
+#define DYNFO_PROGRAMS_PARITY_H_
+
+#include <memory>
+
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <M^1>.
+std::shared_ptr<const relational::Vocabulary> ParityInputVocabulary();
+
+/// The Dyn-FO program of Example 3.2. Boolean query: "the string has an odd
+/// number of ones".
+std::shared_ptr<const dyn::DynProgram> MakeParityProgram();
+
+/// Static oracle: recount the ones.
+bool ParityOracle(const relational::Structure& input);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_PARITY_H_

@@ -1,0 +1,80 @@
+#include "programs/reach_acyclic.h"
+
+#include "fo/builder.h"
+#include "graph/algorithms.h"
+
+namespace dynfo::programs {
+
+using fo::C;
+using fo::EqT;
+using fo::Exists;
+using fo::F;
+using fo::P0;
+using fo::P1;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+std::shared_ptr<const relational::Vocabulary> ReachAcyclicInputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  vocabulary->AddConstant("s");
+  vocabulary->AddConstant("t");
+  return vocabulary;
+}
+
+std::shared_ptr<const dyn::DynProgram> MakeReachAcyclicProgram() {
+  auto input = ReachAcyclicInputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  data->AddRelation("E", 2);  // mirrored input (directed)
+  data->AddRelation("P", 2);  // the path relation (reflexive transitive closure)
+  data->AddConstant("s");
+  data->AddConstant("t");
+
+  auto program = std::make_shared<dyn::DynProgram>("reach_acyclic", input, data);
+
+  Term x = V("x"), y = V("y"), u = V("u"), v = V("v");
+
+  // P starts as the identity: length-0 paths.
+  program->AddInit({"P", {"x", "y"}, EqT(x, y)});
+
+  // Insert(E, a, b): P'(x, y) = P(x, y) | (P(x, a) & P(b, y)).
+  // (E is auto-mirrored by the engine.)
+  program->AddUpdate(RequestKind::kInsert, "E",
+                     {"P",
+                      {"x", "y"},
+                      Rel("P", {x, y}) || (Rel("P", {x, P0()}) && Rel("P", {P1(), y}))});
+
+  // Delete(E, a, b) — the paper's formula, plus the guard E(a, b): deleting
+  // an edge that is not present must be a no-op, but without the guard the
+  // witness clause can fail for pairs that only *look* affected (e.g. when
+  // P(y, a) holds, which a genuine edge (a, b) would make impossible by
+  // acyclicity).
+  //
+  //   P'(x, y) = P(x, y) & [ !E(a,b) | !P(x, a) | !P(b, y) |
+  //     exists u v (P(x, u) & P(u, a) & E(u, v) & !P(v, a) & P(v, y)
+  //                 & (v != b | u != a)) ]
+  program->AddUpdate(
+      RequestKind::kDelete, "E",
+      {"P",
+       {"x", "y"},
+       Rel("P", {x, y}) &&
+           (!Rel("E", {P0(), P1()}) || !Rel("P", {x, P0()}) || !Rel("P", {P1(), y}) ||
+            Exists({"u", "v"},
+                   Rel("P", {x, u}) && Rel("P", {u, P0()}) && Rel("E", {u, v}) &&
+                       !Rel("P", {v, P0()}) && Rel("P", {v, y}) &&
+                       (!EqT(v, P1()) || !EqT(u, P0()))))});
+
+  program->SetBoolQuery(Rel("P", {C("s"), C("t")}));
+  program->AddNamedQuery("path", {{"x", "y"}, Rel("P", {x, y})});
+  return program;
+}
+
+bool ReachAcyclicOracle(const relational::Structure& input) {
+  graph::Digraph g =
+      graph::Digraph::FromRelation(input.relation("E"), input.universe_size());
+  return graph::Reachable(g, input.constant("s"), input.constant("t"));
+}
+
+}  // namespace dynfo::programs

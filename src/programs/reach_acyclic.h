@@ -1,0 +1,36 @@
+/// \file reach_acyclic.h
+/// Theorem 4.2 ([DS93]): REACH restricted to acyclic graphs is in Dyn-FO.
+///
+/// The program maintains the full path (transitive-closure) relation
+/// P(x, y). Inserts extend paths through the new edge; deletes use the
+/// paper's "last vertex from which a is reachable" argument, which is where
+/// acyclicity is essential. The workload/oracle contract: every insert
+/// preserves acyclicity (the paper: "the inserts are assumed to always
+/// preserve acyclicity").
+
+#ifndef DYNFO_PROGRAMS_REACH_ACYCLIC_H_
+#define DYNFO_PROGRAMS_REACH_ACYCLIC_H_
+
+#include <memory>
+
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <E^2; s, t>.
+std::shared_ptr<const relational::Vocabulary> ReachAcyclicInputVocabulary();
+
+/// The Dyn-FO program of Theorem 4.2. P is maintained *reflexively*
+/// (P(x, x) for all x — "there is a path from x to x" of length 0), matching
+/// the formulas' use of P(x, a) with x = a.
+///
+/// Boolean query: P(s, t). Named query "path"(x, y).
+std::shared_ptr<const dyn::DynProgram> MakeReachAcyclicProgram();
+
+/// Static oracle: directed BFS.
+bool ReachAcyclicOracle(const relational::Structure& input);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_REACH_ACYCLIC_H_

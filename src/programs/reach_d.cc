@@ -1,0 +1,68 @@
+#include "programs/reach_d.h"
+
+#include "fo/builder.h"
+#include "graph/graph.h"
+#include "programs/reach_u.h"
+
+namespace dynfo::programs {
+
+using fo::C;
+using fo::EqT;
+using fo::F;
+using fo::Forall;
+using fo::Implies;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+
+std::shared_ptr<const relational::Vocabulary> ReachDInputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  vocabulary->AddConstant("s");
+  vocabulary->AddConstant("t");
+  return vocabulary;
+}
+
+namespace {
+
+/// alpha(x, y) = E(x, y) & x != t & forall z (E(x, z) -> z = y).
+F Alpha(const Term& x, const Term& y) {
+  Term z = V("z");
+  return Rel("E", {x, y}) && !EqT(x, C("t")) &&
+         Forall({"z"}, Implies(Rel("E", {x, z}), EqT(z, y)));
+}
+
+}  // namespace
+
+std::shared_ptr<const reductions::FirstOrderReduction> MakeReachDtoUReduction() {
+  auto reduction = std::make_shared<reductions::FirstOrderReduction>(
+      "I_d-u", /*k=*/1, ReachDInputVocabulary(), ReachUInputVocabulary());
+  Term x = V("x"), y = V("y");
+  reduction->DefineRelation({"E", {"x", "y"}, Alpha(x, y) || Alpha(y, x)});
+  reduction->DefineConstant({"s", {fo::Term::Const("s")}});
+  reduction->DefineConstant({"t", {fo::Term::Const("t")}});
+  DYNFO_CHECK(reduction->Validate().ok());
+  return reduction;
+}
+
+std::unique_ptr<reductions::ReducedEngine> MakeReachDEngine(size_t universe_size,
+                                                            dyn::EngineOptions options) {
+  return std::make_unique<reductions::ReducedEngine>(
+      MakeReachDtoUReduction(), MakeReachUProgram(), universe_size, options);
+}
+
+bool ReachDOracle(const relational::Structure& input) {
+  const size_t n = input.universe_size();
+  graph::Digraph g = graph::Digraph::FromRelation(input.relation("E"), n);
+  graph::Vertex current = input.constant("s");
+  const graph::Vertex target = input.constant("t");
+  for (size_t step = 0; step <= n; ++step) {
+    if (current == target) return true;
+    const auto& successors = g.OutNeighbors(current);
+    if (successors.size() != 1) return false;
+    current = *successors.begin();
+  }
+  return false;  // walked n steps without reaching t: stuck in a cycle
+}
+
+}  // namespace dynfo::programs

@@ -1,0 +1,41 @@
+/// \file reach_d.h
+/// Theorem 4.2 (first half): REACH_d is in Dyn-FO, via Example 2.1's
+/// bounded-expansion first-order reduction to REACH_u and Proposition 5.3.
+///
+/// REACH_d asks for a *deterministic* path from s to t: each edge (u, v) on
+/// the path must be the unique edge leaving u. The reduction I_{d-u} builds
+/// the undirected graph G' with
+///   alpha(x, y) = E(x, y) & x != t & forall z (E(x, z) -> z = y)
+///   E'(x, y)    = alpha(x, y) | alpha(y, x)
+/// and maps s, t to themselves; a deterministic path exists in G iff s and
+/// t are connected in G'. Each single-edge change to G affects at most two
+/// edges of G' (bounded expansion), so feeding the image's diff to the
+/// Theorem 4.1 engine costs O(1) inner requests per update.
+
+#ifndef DYNFO_PROGRAMS_REACH_D_H_
+#define DYNFO_PROGRAMS_REACH_D_H_
+
+#include <memory>
+
+#include "reductions/fo_reduction.h"
+#include "reductions/reduced_engine.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <E^2; s, t> (directed).
+std::shared_ptr<const relational::Vocabulary> ReachDInputVocabulary();
+
+/// Example 2.1's reduction I_{d-u} (unary, bounded expansion).
+std::shared_ptr<const reductions::FirstOrderReduction> MakeReachDtoUReduction();
+
+/// The Proposition 5.3 composition: I_{d-u} feeding the REACH_u engine.
+std::unique_ptr<reductions::ReducedEngine> MakeReachDEngine(
+    size_t universe_size, dyn::EngineOptions options = {});
+
+/// Static oracle: follow unique out-edges from s for at most n steps.
+bool ReachDOracle(const relational::Structure& input);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_REACH_D_H_

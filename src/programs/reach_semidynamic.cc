@@ -1,0 +1,52 @@
+#include "programs/reach_semidynamic.h"
+
+#include "fo/builder.h"
+#include "graph/algorithms.h"
+
+namespace dynfo::programs {
+
+using fo::C;
+using fo::EqT;
+using fo::P0;
+using fo::P1;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+std::shared_ptr<const relational::Vocabulary> ReachSemiDynamicInputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  vocabulary->AddConstant("s");
+  vocabulary->AddConstant("t");
+  return vocabulary;
+}
+
+std::shared_ptr<const dyn::DynProgram> MakeReachSemiDynamicProgram() {
+  auto input = ReachSemiDynamicInputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  data->AddRelation("E", 2);
+  data->AddRelation("P", 2);
+  data->AddConstant("s");
+  data->AddConstant("t");
+
+  auto program = std::make_shared<dyn::DynProgram>("reach_semidynamic", input, data);
+  Term x = V("x"), y = V("y");
+  program->AddInit({"P", {"x", "y"}, EqT(x, y)});
+  program->AddUpdate(RequestKind::kInsert, "E",
+                     {"P",
+                      {"x", "y"},
+                      Rel("P", {x, y}) || (Rel("P", {x, P0()}) && Rel("P", {P1(), y}))});
+  program->SetBoolQuery(Rel("P", {C("s"), C("t")}));
+  program->AddNamedQuery("path", {{"x", "y"}, Rel("P", {x, y})});
+  program->SetSemiDynamic(true);
+  return program;
+}
+
+bool ReachSemiDynamicOracle(const relational::Structure& input) {
+  graph::Digraph g =
+      graph::Digraph::FromRelation(input.relation("E"), input.universe_size());
+  return graph::Reachable(g, input.constant("s"), input.constant("t"));
+}
+
+}  // namespace dynfo::programs

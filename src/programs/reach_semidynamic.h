@@ -1,0 +1,34 @@
+/// \file reach_semidynamic.h
+/// The semi-dynamic class Dyn_s-FO (paper §3.1: "if no deletes are allowed
+/// we get the class Dyn_s-C"): full directed reachability — REACH, whose
+/// membership in (fully dynamic) Dyn-FO the paper leaves as its central
+/// open problem (Conclusion, question 2) — is easily in Dyn_s-FO.
+///
+/// Under inserts only, the paths relation closes transitively through the
+/// new edge exactly as in the acyclic case, with no acyclicity needed:
+///   P'(x, y) = P(x, y) | (P(x, a) & P(b, y)).
+/// The engine CHECK-refuses deletes (no delete rules are registered, and
+/// the boolean query would silently go stale; tests assert the refusal).
+
+#ifndef DYNFO_PROGRAMS_REACH_SEMIDYNAMIC_H_
+#define DYNFO_PROGRAMS_REACH_SEMIDYNAMIC_H_
+
+#include <memory>
+
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <E^2; s, t>.
+std::shared_ptr<const relational::Vocabulary> ReachSemiDynamicInputVocabulary();
+
+/// The Dyn_s-FO program for directed REACH (inserts only).
+std::shared_ptr<const dyn::DynProgram> MakeReachSemiDynamicProgram();
+
+/// Static oracle: directed BFS.
+bool ReachSemiDynamicOracle(const relational::Structure& input);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_REACH_SEMIDYNAMIC_H_

@@ -1,0 +1,45 @@
+#include "programs/reach_u.h"
+
+#include "fo/builder.h"
+#include "graph/algorithms.h"
+#include "programs/forest_rules.h"
+
+namespace dynfo::programs {
+
+using fo::C;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+
+std::shared_ptr<const relational::Vocabulary> ReachUInputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  vocabulary->AddConstant("s");
+  vocabulary->AddConstant("t");
+  return vocabulary;
+}
+
+std::shared_ptr<const dyn::DynProgram> MakeReachUProgram() {
+  auto input = ReachUInputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  DeclareForestData(data.get());
+  data->AddConstant("s");
+  data->AddConstant("t");
+
+  auto program = std::make_shared<dyn::DynProgram>("reach_u", input, data);
+  AddForestRules(program.get());
+
+  Term x = V("x"), y = V("y");
+  program->SetBoolQuery(SameTree(C("s"), C("t")));
+  program->AddNamedQuery("connected", {{"x", "y"}, SameTree(x, y)});
+  program->AddNamedQuery("forest", {{"x", "y"}, Rel("F", {x, y})});
+  return program;
+}
+
+bool ReachUOracle(const relational::Structure& input) {
+  graph::UndirectedGraph g = graph::UndirectedGraph::FromRelation(
+      input.relation("E"), input.universe_size());
+  return graph::Reachable(g, input.constant("s"), input.constant("t"));
+}
+
+}  // namespace dynfo::programs

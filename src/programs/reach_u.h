@@ -1,0 +1,51 @@
+/// \file reach_u.h
+/// Theorem 4.1: REACH_u (undirected reachability) is in Dyn-FO.
+///
+/// The program maintains a spanning forest of the graph through auxiliary
+/// relations F(x, y) ("(x, y) is a forest edge") and PV(x, y, u) ("the
+/// unique forest path from x to y passes through u"), exactly as in the
+/// paper's proof. Edge inserts either do nothing structural (same
+/// component) or fuse two trees; deletes of forest edges split a tree and
+/// splice it back with the lexicographically least replacement edge, using
+/// the paper's temporary relations T and New.
+///
+/// Conventions made explicit here (the paper leaves them implicit):
+///   * PV is reflexive — PV(x, x, x) holds for every x. This is first-order
+///     initializable (PV := {(x,y,z) : x=y=z}) and is what makes the paper's
+///     abbreviation P(x, y) ≡ (x=y ∨ PV(x, y, x)) interact correctly with
+///     endpoint cases in the insert formula.
+///   * The insert delta carries the guard ¬P(a, b): the paper states "[PV]
+///     changes iff edge (a, b) connects two formerly disconnected trees";
+///     without the guard, re-inserting an existing edge would pollute PV.
+///   * The delete formulas are guarded by F(a, b): deleting a non-forest
+///     edge must leave F and PV untouched.
+///   * New(x, y) picks the lexicographically least replacement edge (the
+///     paper's footnote 2 orders edges by the vertex ordering).
+
+#ifndef DYNFO_PROGRAMS_REACH_U_H_
+#define DYNFO_PROGRAMS_REACH_U_H_
+
+#include <memory>
+
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <E^2; s, t>.
+std::shared_ptr<const relational::Vocabulary> ReachUInputVocabulary();
+
+/// The Dyn-FO program of Theorem 4.1.
+///
+/// Boolean query: "s and t are connected".
+/// Named queries:
+///   "connected"(x, y)  — x and y lie in the same component;
+///   "forest"(x, y)     — (x, y) is a spanning-forest edge.
+std::shared_ptr<const dyn::DynProgram> MakeReachUProgram();
+
+/// Static oracle: BFS over the input edge relation.
+bool ReachUOracle(const relational::Structure& input);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_REACH_U_H_

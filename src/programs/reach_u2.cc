@@ -1,0 +1,162 @@
+#include "programs/reach_u2.h"
+
+#include "fo/builder.h"
+
+namespace dynfo::programs {
+
+using fo::EqEdge;
+using fo::EqT;
+using fo::Exists;
+using fo::F;
+using fo::Forall;
+using fo::Implies;
+using fo::LeT;
+using fo::LtT;
+using fo::P0;
+using fo::P1;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+namespace {
+
+/// Conn(x, y): x and y share an ancestor (same tree). `r` must be fresh.
+F Conn(const Term& x, const Term& y, const std::string& r) {
+  return Exists({r}, Rel("DP", {x, V(r)}) && Rel("DP", {y, V(r)}));
+}
+
+/// y lies on the tree path x..a, over the given ancestor relation.
+F OnPath(const std::string& dp, const Term& x, const Term& a, const Term& y,
+         const std::string& z) {
+  return (Rel(dp, {x, y}) || Rel(dp, {a, y})) &&
+         Forall({z}, Implies(Rel(dp, {x, V(z)}) && Rel(dp, {a, V(z)}),
+                             Rel(dp, {y, V(z)})));
+}
+
+}  // namespace
+
+std::shared_ptr<const relational::Vocabulary> ReachU2InputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  vocabulary->AddConstant("s");
+  vocabulary->AddConstant("t");
+  return vocabulary;
+}
+
+std::shared_ptr<const dyn::DynProgram> MakeReachU2Program() {
+  auto input = ReachU2InputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  data->AddRelation("E", 2);    // mirrored input (kept symmetric)
+  data->AddRelation("DF", 2);   // parent pointers of the rooted forest
+  data->AddRelation("DP", 2);   // ancestor relation (refl. trans. closure)
+  data->AddRelation("Cc", 1);   // temporary (delete): the detached child
+  data->AddRelation("DF1", 2);  // temporary (delete): DF after the split
+  data->AddRelation("DP1", 2);  // temporary (delete): DP after the split
+  data->AddRelation("New", 2);  // temporary (delete): replacement edge
+
+  data->AddConstant("s");
+  data->AddConstant("t");
+
+  auto program = std::make_shared<dyn::DynProgram>("reach_u2", input, data);
+
+  Term x = V("x"), y = V("y"), u = V("u"), v = V("v"), c = V("c");
+
+  // Every vertex starts as its own root: DP is the identity, DF empty.
+  program->AddInit({"DP", {"x", "y"}, EqT(x, y)});
+
+  // ---- Insert(E, a, b); a = $0, b = $1 ----------------------------------
+  F linked = Conn(P0(), P1(), "r");  // already same tree (incl. a = b)
+  program->AddUpdate(RequestKind::kInsert, "E",
+                     {"E", {"x", "y"}, Rel("E", {x, y}) || EqEdge(x, y, P0(), P1())});
+  // DF: flip a's ancestor-path edges (rerooting a's tree at a), hang a
+  // under b. a's ancestor path is {x : DP(a, x)}.
+  program->AddUpdate(
+      RequestKind::kInsert, "E",
+      {"DF",
+       {"x", "y"},
+       (Rel("DF", {x, y}) && (linked || !Rel("DP", {P0(), x}))) ||
+           (!linked && Rel("DF", {y, x}) && Rel("DP", {P0(), y})) ||
+           (!linked && EqT(x, P0()) && EqT(y, P1()))});
+  // DP: unaffected trees keep their ancestors; a's tree vertices now climb
+  // the path x..a and then b's ancestor chain.
+  program->AddUpdate(
+      RequestKind::kInsert, "E",
+      {"DP",
+       {"x", "y"},
+       (!Conn(x, P0(), "r") && Rel("DP", {x, y})) ||
+           (linked && Conn(x, P0(), "r") && Rel("DP", {x, y})) ||
+           (!linked && Conn(x, P0(), "r") &&
+            (OnPath("DP", x, P0(), y, "z") || Rel("DP", {P1(), y})))});
+
+  // ---- Delete(E, a, b) ---------------------------------------------------
+  // Cc: the child endpoint when (a, b) is a tree edge (in either
+  // orientation); empty otherwise — which makes every later step a no-op.
+  program->AddLet(RequestKind::kDelete, "E",
+                  {"Cc",
+                   {"x"},
+                   (Rel("DF", {P0(), P1()}) && EqT(x, P0())) ||
+                       (Rel("DF", {P1(), P0()}) && EqT(x, P1()))});
+  // Post-split relations: the subtree under the child keeps its (already
+  // correctly rooted) structure; ancestor pairs leaving the subtree die.
+  program->AddLet(RequestKind::kDelete, "E",
+                  {"DF1", {"x", "y"}, Rel("DF", {x, y}) && !EqEdge(x, y, P0(), P1())});
+  program->AddLet(
+      RequestKind::kDelete, "E",
+      {"DP1",
+       {"x", "y"},
+       Rel("DP", {x, y}) &&
+           !Exists({"c"}, Rel("Cc", {c}) && Rel("DP", {x, c}) && !Rel("DP", {y, c}))});
+  // New: the lexicographically least surviving edge from the detached
+  // subtree back to the rest of the old tree.
+  F cross_xy = Rel("E", {x, y}) && !EqEdge(x, y, P0(), P1()) &&
+               Exists({"c"}, Rel("Cc", {c}) && Rel("DP", {x, c}) &&
+                                 Conn(y, c, "r") && !Rel("DP", {y, c}));
+  F cross_uv = Rel("E", {u, v}) && !EqEdge(u, v, P0(), P1()) &&
+               Exists({"c"}, Rel("Cc", {c}) && Rel("DP", {u, c}) &&
+                                 Conn(v, c, "r") && !Rel("DP", {v, c}));
+  program->AddLet(
+      RequestKind::kDelete, "E",
+      {"New",
+       {"x", "y"},
+       cross_xy && Forall({"u", "v"},
+                          Implies(cross_uv, LtT(x, u) || (EqT(x, u) && LeT(y, v))))});
+
+  F has_new = Exists({"u", "v"}, Rel("New", {u, v}));
+  F in_subtree = Exists({"c"}, Rel("Cc", {c}) && Rel("DP1", {x, c}));
+  program->AddUpdate(RequestKind::kDelete, "E",
+                     {"E", {"x", "y"}, Rel("E", {x, y}) && !EqEdge(x, y, P0(), P1())});
+  // DF: reroot the subtree at New's endpoint u (flip u's ancestor path in
+  // DF1) and hang u under v.
+  program->AddUpdate(
+      RequestKind::kDelete, "E",
+      {"DF",
+       {"x", "y"},
+       (Rel("DF1", {x, y}) &&
+        !Exists({"u"}, Exists({"v"}, Rel("New", {u, v})) && Rel("DP1", {u, x}))) ||
+           Exists({"u"},
+                  Exists({"v"}, Rel("New", {u, v})) && Rel("DF1", {y, x}) &&
+                      Rel("DP1", {u, y})) ||
+           Rel("New", {x, y})});
+  // DP: outside the subtree (or with no replacement) the split relations
+  // stand; inside, the rerooted ancestors are the path x..u plus v's chain.
+  program->AddUpdate(
+      RequestKind::kDelete, "E",
+      {"DP",
+       {"x", "y"},
+       (!in_subtree && Rel("DP1", {x, y})) ||
+           (in_subtree && !has_new && Rel("DP1", {x, y})) ||
+           (in_subtree && has_new &&
+            Exists({"u", "v"}, Rel("New", {u, v}) &&
+                                   (OnPath("DP1", x, u, y, "z") ||
+                                    Rel("DP1", {v, y}))))});
+
+  Term s = fo::C("s"), t = fo::C("t");
+  program->SetBoolQuery(Conn(s, t, "r"));
+  program->AddNamedQuery("connected", {{"x", "y"}, Conn(x, y, "r")});
+  program->AddNamedQuery("parent", {{"x", "y"}, Rel("DF", {x, y})});
+  program->AddNamedQuery("ancestor", {{"x", "y"}, Rel("DP", {x, y})});
+  return program;
+}
+
+}  // namespace dynfo::programs

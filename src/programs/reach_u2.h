@@ -1,0 +1,44 @@
+/// \file reach_u2.h
+/// REACH_u with binary auxiliary relations — the [DS95] improvement the
+/// paper reports after Theorem 4.1: "the arity three construction of PV can
+/// be replaced by a directed version of F and its transitive closure"
+/// (and arity one provably does not suffice).
+///
+/// Auxiliary relations:
+///   DF(x, y) — x's parent in a rooted orientation of the spanning forest;
+///   DP(x, y) — y is an ancestor of x (the reflexive transitive closure of
+///              DF; initialized to the identity).
+///
+/// Connectivity is "sharing an ancestor": Conn(x, y) ≡ ∃r (DP(x, r) ∧
+/// DP(y, r)). Linking two trees re-roots a's tree at a by flipping the
+/// DF edges along a's ancestor path (first-order: the path is exactly
+/// {x : DP(a, x)}) and hangs a under b; the rerooted ancestor sets are the
+/// tree paths x..a, expressed as
+///   OnPath(x, a, y) ≡ (DP(x, y) ∨ DP(a, y)) ∧
+///                     ∀z ((DP(x, z) ∧ DP(a, z)) → DP(y, z)).
+/// Deleting a tree edge detaches the child's subtree (whose orientation is
+/// already correct), then splices the lexicographically least surviving
+/// crossing edge back in by the same reroot-and-hang step over the
+/// post-split relations (sequenced with `let` temporaries).
+
+#ifndef DYNFO_PROGRAMS_REACH_U2_H_
+#define DYNFO_PROGRAMS_REACH_U2_H_
+
+#include <memory>
+
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <E^2; s, t> (same as REACH_u).
+std::shared_ptr<const relational::Vocabulary> ReachU2InputVocabulary();
+
+/// The arity-2 Dyn-FO program for undirected reachability.
+/// Boolean query: "s and t are connected". Named queries: "connected",
+/// "parent" (the DF relation), "ancestor" (the DP relation).
+std::shared_ptr<const dyn::DynProgram> MakeReachU2Program();
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_REACH_U2_H_

@@ -1,0 +1,105 @@
+#include "programs/transitive_reduction.h"
+
+#include "fo/builder.h"
+#include "graph/algorithms.h"
+
+namespace dynfo::programs {
+
+using fo::C;
+using fo::EqT;
+using fo::Exists;
+using fo::F;
+using fo::Forall;
+using fo::P0;
+using fo::P1;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::RequestKind;
+
+std::shared_ptr<const relational::Vocabulary> TransitiveReductionInputVocabulary() {
+  auto vocabulary = std::make_shared<relational::Vocabulary>();
+  vocabulary->AddRelation("E", 2);
+  vocabulary->AddConstant("s");
+  vocabulary->AddConstant("t");
+  return vocabulary;
+}
+
+std::shared_ptr<const dyn::DynProgram> MakeTransitiveReductionProgram() {
+  auto input = TransitiveReductionInputVocabulary();
+  auto data = std::make_shared<relational::Vocabulary>();
+  data->AddRelation("E", 2);
+  data->AddRelation("P", 2);
+  data->AddRelation("TR", 2);
+  data->AddRelation("New", 2);  // temporary (delete only)
+  data->AddConstant("s");
+  data->AddConstant("t");
+
+  auto program = std::make_shared<dyn::DynProgram>("transitive_reduction", input, data);
+
+  Term x = V("x"), y = V("y"), u = V("u"), v = V("v");
+
+  program->AddInit({"P", {"x", "y"}, EqT(x, y)});
+
+  // ---- Insert(E, a, b) ----------------------------------------------------
+  // P as in Theorem 4.2.
+  program->AddUpdate(RequestKind::kInsert, "E",
+                     {"P",
+                      {"x", "y"},
+                      Rel("P", {x, y}) || (Rel("P", {x, P0()}) && Rel("P", {P1(), y}))});
+  // TR'(x, y) = (!P(a, b) & x = a & y = b)
+  //           | [TR(x, y) & (!(P(x, a) & P(b, y)) | (x = a & y = b))].
+  program->AddUpdate(
+      RequestKind::kInsert, "E",
+      {"TR",
+       {"x", "y"},
+       (!Rel("P", {P0(), P1()}) && EqT(x, P0()) && EqT(y, P1())) ||
+           (Rel("TR", {x, y}) && (!(Rel("P", {x, P0()}) && Rel("P", {P1(), y})) ||
+                                  (EqT(x, P0()) && EqT(y, P1()))))});
+
+  // ---- Delete(E, a, b) ----------------------------------------------------
+  // New(x, y): (x, y) is a surviving redundant edge whose every length->=2
+  // path went through (a, b); it re-enters TR.
+  program->AddLet(
+      RequestKind::kDelete, "E",
+      {"New",
+       {"x", "y"},
+       Rel("E", {P0(), P1()}) && !(EqT(x, P0()) && EqT(y, P1())) && Rel("E", {x, y}) &&
+           !Rel("TR", {x, y}) && Rel("P", {x, P0()}) && Rel("P", {P1(), y}) &&
+           Forall({"u", "v"},
+                  !(Rel("P", {x, u}) && Rel("P", {u, P0()}) && Rel("E", {u, v}) &&
+                    !Rel("P", {v, P0()}) && Rel("P", {v, y}) &&
+                    (!EqT(v, P1()) || !EqT(u, P0())) &&
+                    (!EqT(u, x) || !EqT(v, y))))});
+  // P as in Theorem 4.2 (guarded).
+  program->AddUpdate(
+      RequestKind::kDelete, "E",
+      {"P",
+       {"x", "y"},
+       Rel("P", {x, y}) &&
+           (!Rel("E", {P0(), P1()}) || !Rel("P", {x, P0()}) || !Rel("P", {P1(), y}) ||
+            Exists({"u", "v"},
+                   Rel("P", {x, u}) && Rel("P", {u, P0()}) && Rel("E", {u, v}) &&
+                       !Rel("P", {v, P0()}) && Rel("P", {v, y}) &&
+                       (!EqT(v, P1()) || !EqT(u, P0()))))});
+  // TR'(x, y) = (TR(x, y) & !(x = a & y = b)) | New(x, y).
+  program->AddUpdate(RequestKind::kDelete, "E",
+                     {"TR",
+                      {"x", "y"},
+                      (Rel("TR", {x, y}) && !(EqT(x, P0()) && EqT(y, P1()))) ||
+                          Rel("New", {x, y})});
+
+  program->SetBoolQuery(Rel("TR", {C("s"), C("t")}));
+  program->AddNamedQuery("tr", {{"x", "y"}, Rel("TR", {x, y})});
+  program->AddNamedQuery("path", {{"x", "y"}, Rel("P", {x, y})});
+  return program;
+}
+
+bool TransitiveReductionOracle(const relational::Structure& input) {
+  graph::Digraph g =
+      graph::Digraph::FromRelation(input.relation("E"), input.universe_size());
+  graph::Digraph tr = graph::TransitiveReduction(g);
+  return tr.HasEdge(input.constant("s"), input.constant("t"));
+}
+
+}  // namespace dynfo::programs

@@ -1,0 +1,39 @@
+/// \file transitive_reduction.h
+/// Corollary 4.3: Transitive Reduction of DAGs is in memoryless Dyn-FO.
+///
+/// Maintains the path relation P (as in Theorem 4.2) together with TR, the
+/// unique minimal subgraph with the same transitive closure. Two guards are
+/// added to the paper's formulas (both implicit in its "genuine update"
+/// reading):
+///   * re-inserting an existing edge must not evict it from TR — the
+///     redundancy test P(x, a) & P(b, y) is vacuously true for (a, b)
+///     itself, so the tuple (a, b) is exempted;
+///   * New (the edges re-entering TR on a delete) requires E(a, b) — for a
+///     spurious delete of a non-edge the witness clause can fail even
+///     though nothing changed — and must exclude the deleted tuple and the
+///     single-edge witness (u, v) = (x, y), which would otherwise mask
+///     every genuine promotion.
+
+#ifndef DYNFO_PROGRAMS_TRANSITIVE_REDUCTION_H_
+#define DYNFO_PROGRAMS_TRANSITIVE_REDUCTION_H_
+
+#include <memory>
+
+#include "dynfo/program.h"
+#include "relational/structure.h"
+
+namespace dynfo::programs {
+
+/// The input vocabulary <E^2; s, t>.
+std::shared_ptr<const relational::Vocabulary> TransitiveReductionInputVocabulary();
+
+/// The Dyn-FO program of Corollary 4.3. Boolean query: TR(s, t).
+/// Named queries: "tr"(x, y), "path"(x, y).
+std::shared_ptr<const dyn::DynProgram> MakeTransitiveReductionProgram();
+
+/// Static oracle for the boolean query: (s, t) in the transitive reduction.
+bool TransitiveReductionOracle(const relational::Structure& input);
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_TRANSITIVE_REDUCTION_H_

@@ -1,0 +1,75 @@
+#include "reductions/color_reach.h"
+
+#include <deque>
+
+namespace dynfo::reductions {
+
+bool ColorReachInstance::Valid() const {
+  if (zero_edge.size() != num_vertices || one_edge.size() != num_vertices ||
+      vertex_class.size() != num_vertices) {
+    return false;
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    if (zero_edge[v] >= static_cast<int>(num_vertices)) return false;
+    if (one_edge[v] >= static_cast<int>(num_vertices)) return false;
+    int c = vertex_class[v];
+    if (c < 0 || (c > 0 && static_cast<size_t>(c) >= colors.size())) return false;
+  }
+  return source < num_vertices && target < num_vertices;
+}
+
+namespace {
+
+/// The edges vertex v may follow under the coloring.
+std::vector<int> AllowedSuccessors(const ColorReachInstance& instance, size_t v) {
+  std::vector<int> out;
+  int c = instance.vertex_class[v];
+  if (c == 0) {
+    if (instance.zero_edge[v] >= 0) out.push_back(instance.zero_edge[v]);
+    if (instance.one_edge[v] >= 0) out.push_back(instance.one_edge[v]);
+  } else {
+    int next = instance.colors[c] ? instance.one_edge[v] : instance.zero_edge[v];
+    if (next >= 0) out.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool SolveColorReach(const ColorReachInstance& instance) {
+  DYNFO_CHECK(instance.Valid());
+  std::vector<bool> seen(instance.num_vertices, false);
+  std::deque<graph::Vertex> frontier{instance.source};
+  seen[instance.source] = true;
+  while (!frontier.empty()) {
+    graph::Vertex v = frontier.front();
+    frontier.pop_front();
+    if (v == instance.target) return true;
+    for (int next : AllowedSuccessors(instance, v)) {
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push_back(static_cast<graph::Vertex>(next));
+      }
+    }
+  }
+  return false;
+}
+
+bool SolveColorReachDeterministic(const ColorReachInstance& instance) {
+  DYNFO_CHECK(instance.Valid());
+  for (size_t v = 0; v < instance.num_vertices; ++v) {
+    DYNFO_CHECK(instance.vertex_class[v] != 0)
+        << "COLOR-REACH_d requires V_0 to be empty";
+  }
+  graph::Vertex current = instance.source;
+  for (size_t step = 0; step <= instance.num_vertices; ++step) {
+    if (current == instance.target) return true;
+    std::vector<int> next = AllowedSuccessors(instance, current);
+    DYNFO_CHECK(next.size() <= 1);
+    if (next.empty()) return false;
+    current = static_cast<graph::Vertex>(next[0]);
+  }
+  return false;
+}
+
+}  // namespace dynfo::reductions

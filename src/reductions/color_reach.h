@@ -1,0 +1,54 @@
+/// \file color_reach.h
+/// COLOR-REACH ([MSV94], paper Fact 5.11 / Corollary 5.12).
+///
+/// The device that makes REACH-style problems complete under
+/// bounded-expansion reductions: a digraph of outdegree <= 2 with outgoing
+/// edges labeled 0/1, a partition V_0, V_1, ..., V_r of the vertices, and a
+/// color vector C[1..r]. Vertices in V_0 may follow either edge; a vertex in
+/// V_i (i >= 1) follows only its C[i]-labeled edge. Flipping one bit C[i]
+/// redirects *all* of V_i at once — which is why the standard
+/// Turing-machine-to-REACH reduction becomes bounded expansion: the class
+/// V_i collects every configuration that reads input bit i.
+///
+/// COLOR-REACH is complete for NL, COLOR-REACH_d (V_0 empty) for L, via
+/// bfo+ reductions — structural theorems; this module supplies the problem
+/// itself (the executable object of those statements) and its solver.
+
+#ifndef DYNFO_REDUCTIONS_COLOR_REACH_H_
+#define DYNFO_REDUCTIONS_COLOR_REACH_H_
+
+#include <vector>
+
+#include "core/check.h"
+#include "graph/graph.h"
+
+namespace dynfo::reductions {
+
+struct ColorReachInstance {
+  size_t num_vertices = 0;
+  /// Per vertex: targets of the 0-labeled and 1-labeled edges (-1 = absent).
+  std::vector<int> zero_edge;
+  std::vector<int> one_edge;
+  /// Partition class per vertex; class 0 is the free (uncolored) class.
+  std::vector<int> vertex_class;
+  /// C[i] for classes i >= 1 (index 0 unused).
+  std::vector<bool> colors;
+
+  graph::Vertex source = 0;
+  graph::Vertex target = 0;
+
+  bool Valid() const;
+};
+
+/// Decides the instance: is `target` reachable from `source` following the
+/// color-selected edges (both edges for class-0 vertices)?
+bool SolveColorReach(const ColorReachInstance& instance);
+
+/// The deterministic restriction (Corollary 5.12): CHECK-fails unless no
+/// vertex is in class 0; then every vertex has outdegree <= 1 under C and
+/// the walk is unique.
+bool SolveColorReachDeterministic(const ColorReachInstance& instance);
+
+}  // namespace dynfo::reductions
+
+#endif  // DYNFO_REDUCTIONS_COLOR_REACH_H_

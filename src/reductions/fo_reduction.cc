@@ -1,0 +1,178 @@
+#include "reductions/fo_reduction.h"
+
+#include <algorithm>
+
+#include "fo/eval_algebra.h"
+#include "fo/eval_context.h"
+
+namespace dynfo::reductions {
+
+FirstOrderReduction::FirstOrderReduction(
+    std::string name, int k, std::shared_ptr<const relational::Vocabulary> input,
+    std::shared_ptr<const relational::Vocabulary> output)
+    : name_(std::move(name)), k_(k), input_(std::move(input)), output_(std::move(output)) {
+  DYNFO_CHECK(k_ >= 1);
+  DYNFO_CHECK(input_ != nullptr);
+  DYNFO_CHECK(output_ != nullptr);
+}
+
+void FirstOrderReduction::DefineRelation(RelationDefinition definition) {
+  relations_.push_back(std::move(definition));
+}
+
+void FirstOrderReduction::DefineConstant(ConstantDefinition definition) {
+  constants_.push_back(std::move(definition));
+}
+
+core::Status FirstOrderReduction::Validate() const {
+  for (int i = 0; i < output_->num_relations(); ++i) {
+    const relational::RelationSymbol& symbol = output_->relation(i);
+    auto it = std::find_if(relations_.begin(), relations_.end(),
+                           [&](const RelationDefinition& d) {
+                             return d.output == symbol.name;
+                           });
+    if (it == relations_.end()) {
+      return core::Status::Error(name_ + ": output relation " + symbol.name +
+                                 " has no definition");
+    }
+    size_t want = static_cast<size_t>(k_) * symbol.arity;
+    if (it->tuple_variables.size() != want) {
+      return core::Status::Error(name_ + ": definition of " + symbol.name + " binds " +
+                                 std::to_string(it->tuple_variables.size()) +
+                                 " variables, expected " + std::to_string(want));
+    }
+    if (want > relational::Tuple::kMaxArity) {
+      return core::Status::Error(name_ + ": k * arity(" + symbol.name +
+                                 ") exceeds the supported tuple width");
+    }
+  }
+  for (int j = 0; j < output_->num_constants(); ++j) {
+    const std::string& symbol = output_->constant(j);
+    auto it = std::find_if(constants_.begin(), constants_.end(),
+                           [&](const ConstantDefinition& d) { return d.output == symbol; });
+    if (it == constants_.end()) {
+      return core::Status::Error(name_ + ": output constant " + symbol +
+                                 " has no definition");
+    }
+    if (it->terms.size() != static_cast<size_t>(k_)) {
+      return core::Status::Error(name_ + ": constant " + symbol + " needs a " +
+                                 std::to_string(k_) + "-tuple");
+    }
+  }
+  return core::Status();
+}
+
+size_t FirstOrderReduction::OutputUniverseSize(size_t input_universe_size) const {
+  size_t result = 1;
+  for (int i = 0; i < k_; ++i) result *= input_universe_size;
+  return result;
+}
+
+relational::Structure FirstOrderReduction::Apply(
+    const relational::Structure& input) const {
+  DYNFO_CHECK(Validate().ok());
+  const size_t n = input.universe_size();
+  relational::Structure out(output_, OutputUniverseSize(n));
+  fo::AlgebraEvaluator evaluator;
+  fo::EvalContext ctx(input);
+
+  // Codes <u1..uk> with u1 most significant (paper Definition 2.2).
+  auto encode = [&](const relational::Tuple& flat, int offset) {
+    uint64_t code = 0;
+    for (int i = 0; i < k_; ++i) code = code * n + flat[offset + i];
+    return static_cast<relational::Element>(code);
+  };
+
+  for (const RelationDefinition& definition : relations_) {
+    relational::Relation flat =
+        evaluator.EvaluateAsRelation(definition.formula, definition.tuple_variables, ctx);
+    relational::Relation& target = out.relation(definition.output);
+    const int arity = target.arity();
+    for (const relational::Tuple& t : flat) {
+      relational::Tuple coded;
+      for (int position = 0; position < arity; ++position) {
+        coded = coded.Append(encode(t, position * k_));
+      }
+      target.Insert(coded);
+    }
+  }
+  for (const ConstantDefinition& definition : constants_) {
+    uint64_t code = 0;
+    for (const fo::Term& term : definition.terms) {
+      std::optional<relational::Element> value = fo::GroundTerm(term, ctx);
+      DYNFO_CHECK(value.has_value()) << "constant definitions must use ground terms";
+      code = code * n + *value;
+    }
+    out.set_constant(definition.output, static_cast<relational::Element>(code));
+  }
+  return out;
+}
+
+relational::RequestSequence StructureDiff(const relational::Structure& before,
+                                          const relational::Structure& after) {
+  DYNFO_CHECK(before.universe_size() == after.universe_size());
+  const relational::Vocabulary& vocab = before.vocabulary();
+  relational::RequestSequence out;
+  for (int i = 0; i < vocab.num_relations(); ++i) {
+    const std::string& name = vocab.relation(i).name;
+    for (const relational::Tuple& t : before.relation(i)) {
+      if (!after.relation(i).Contains(t)) {
+        out.push_back(relational::Request::Delete(name, t));
+      }
+    }
+    for (const relational::Tuple& t : after.relation(i)) {
+      if (!before.relation(i).Contains(t)) {
+        out.push_back(relational::Request::Insert(name, t));
+      }
+    }
+  }
+  for (int j = 0; j < vocab.num_constants(); ++j) {
+    if (before.constant(j) != after.constant(j)) {
+      out.push_back(relational::Request::SetConstant(vocab.constant(j), after.constant(j)));
+    }
+  }
+  return out;
+}
+
+ExpansionReport MeasureExpansion(const FirstOrderReduction& reduction,
+                                 size_t universe_size, size_t trials, uint64_t seed) {
+  core::Rng rng(seed);
+  ExpansionReport report;
+  const relational::Vocabulary& vocab = *reduction.input_vocabulary();
+  DYNFO_CHECK(vocab.num_relations() > 0);
+  for (size_t trial = 0; trial < trials; ++trial) {
+    relational::Structure base(reduction.input_vocabulary(), universe_size);
+    // Random base structure: a handful of random tuples per relation.
+    for (int i = 0; i < vocab.num_relations(); ++i) {
+      const relational::RelationSymbol& symbol = vocab.relation(i);
+      size_t count = rng.Below(2 * universe_size + 1);
+      for (size_t c = 0; c < count; ++c) {
+        relational::Tuple t;
+        for (int a = 0; a < symbol.arity; ++a) {
+          t = t.Append(static_cast<relational::Element>(rng.Below(universe_size)));
+        }
+        base.relation(i).Insert(t);
+      }
+    }
+    // One random single-tuple change.
+    int i = static_cast<int>(rng.Below(vocab.num_relations()));
+    const relational::RelationSymbol& symbol = vocab.relation(i);
+    relational::Tuple t;
+    for (int a = 0; a < symbol.arity; ++a) {
+      t = t.Append(static_cast<relational::Element>(rng.Below(universe_size)));
+    }
+    relational::Structure changed = base;
+    if (changed.relation(i).Contains(t)) {
+      changed.relation(i).Erase(t);
+    } else {
+      changed.relation(i).Insert(t);
+    }
+    relational::RequestSequence diff =
+        StructureDiff(reduction.Apply(base), reduction.Apply(changed));
+    report.max_affected = std::max(report.max_affected, diff.size());
+    ++report.trials;
+  }
+  return report;
+}
+
+}  // namespace dynfo::reductions

@@ -1,0 +1,97 @@
+/// \file fo_reduction.h
+/// k-ary first-order reductions (paper Definition 2.2) and the
+/// bounded-expansion property (Definition 5.1).
+///
+/// A reduction I maps STRUC[sigma] -> STRUC[tau]: the output universe is
+/// {0..n^k - 1} with tuples coded <u1..uk> = u_k + u_{k-1} n + ... +
+/// u_1 n^{k-1}; each output relation is defined by a first-order formula
+/// over the input, each output constant by a k-tuple of input ground terms.
+
+#ifndef DYNFO_REDUCTIONS_FO_REDUCTION_H_
+#define DYNFO_REDUCTIONS_FO_REDUCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "fo/formula.h"
+#include "relational/request.h"
+#include "relational/structure.h"
+
+namespace dynfo::reductions {
+
+/// Defines one output relation R_i := { x-bar : phi_i(x-bar) } where x-bar
+/// lists k * arity(R_i) input-universe variables (k-tuples per output
+/// position, most-significant first).
+struct RelationDefinition {
+  std::string output;
+  std::vector<std::string> tuple_variables;
+  fo::FormulaPtr formula;
+};
+
+/// Defines one output constant as a k-tuple of ground input terms.
+struct ConstantDefinition {
+  std::string output;
+  std::vector<fo::Term> terms;
+};
+
+/// An executable k-ary first-order reduction.
+///
+/// Implementation limit: k * arity(output relation) <= Tuple::kMaxArity,
+/// which covers every reduction in the paper that we execute (all are unary
+/// or map binary relations with k <= 2).
+class FirstOrderReduction {
+ public:
+  FirstOrderReduction(std::string name, int k,
+                      std::shared_ptr<const relational::Vocabulary> input,
+                      std::shared_ptr<const relational::Vocabulary> output);
+
+  void DefineRelation(RelationDefinition definition);
+  void DefineConstant(ConstantDefinition definition);
+
+  const std::string& name() const { return name_; }
+  int k() const { return k_; }
+  std::shared_ptr<const relational::Vocabulary> input_vocabulary() const {
+    return input_;
+  }
+  std::shared_ptr<const relational::Vocabulary> output_vocabulary() const {
+    return output_;
+  }
+
+  core::Status Validate() const;
+
+  /// Materializes I(A). Output universe size = n^k.
+  relational::Structure Apply(const relational::Structure& input) const;
+
+  /// Output universe size for input size n.
+  size_t OutputUniverseSize(size_t input_universe_size) const;
+
+ private:
+  std::string name_;
+  int k_;
+  std::shared_ptr<const relational::Vocabulary> input_;
+  std::shared_ptr<const relational::Vocabulary> output_;
+  std::vector<RelationDefinition> relations_;
+  std::vector<ConstantDefinition> constants_;
+};
+
+/// The tuple-level difference between two structures over one vocabulary,
+/// expressed as the requests transforming `before` into `after`.
+relational::RequestSequence StructureDiff(const relational::Structure& before,
+                                          const relational::Structure& after);
+
+/// Empirical bounded-expansion measurement (Definition 5.1): replay random
+/// single-tuple changes against random base structures and report the
+/// largest number of output tuples/constants affected by one input change.
+struct ExpansionReport {
+  size_t max_affected = 0;
+  size_t trials = 0;
+};
+ExpansionReport MeasureExpansion(const FirstOrderReduction& reduction,
+                                 size_t universe_size, size_t trials, uint64_t seed);
+
+}  // namespace dynfo::reductions
+
+#endif  // DYNFO_REDUCTIONS_FO_REDUCTION_H_

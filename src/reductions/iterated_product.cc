@@ -1,0 +1,75 @@
+#include "reductions/iterated_product.h"
+
+namespace dynfo::reductions {
+
+Perm5 Perm5::Identity() { return Perm5({0, 1, 2, 3, 4}); }
+
+Perm5::Perm5(std::array<uint8_t, 5> image) : image_(image) {
+  bool seen[5] = {false, false, false, false, false};
+  for (uint8_t v : image_) {
+    DYNFO_CHECK(v < 5) << "image out of range";
+    DYNFO_CHECK(!seen[v]) << "not a permutation";
+    seen[v] = true;
+  }
+}
+
+Perm5 Perm5::Cycle(const std::vector<uint8_t>& elements) {
+  std::array<uint8_t, 5> image = {0, 1, 2, 3, 4};
+  if (!elements.empty()) {
+    for (size_t i = 0; i < elements.size(); ++i) {
+      uint8_t from = elements[i];
+      uint8_t to = elements[(i + 1) % elements.size()];
+      DYNFO_CHECK(from < 5 && to < 5);
+      image[from] = to;
+    }
+  }
+  return Perm5(image);
+}
+
+Perm5 Perm5::Then(const Perm5& after) const {
+  std::array<uint8_t, 5> image;
+  for (uint8_t x = 0; x < 5; ++x) image[x] = after.Apply(image_[x]);
+  return Perm5(image);
+}
+
+Perm5 Perm5::Inverse() const {
+  std::array<uint8_t, 5> image = {0, 1, 2, 3, 4};
+  for (uint8_t x = 0; x < 5; ++x) image[image_[x]] = x;
+  return Perm5(image);
+}
+
+std::string Perm5::ToString() const {
+  std::string s = "(";
+  for (uint8_t x = 0; x < 5; ++x) {
+    if (x > 0) s += " ";
+    s += std::to_string(image_[x]);
+  }
+  return s + ")";
+}
+
+bool ColorProductInstance::Valid() const {
+  if (position_class.size() != positions.size()) return false;
+  for (int c : position_class) {
+    if (c < 0 || (c > 0 && static_cast<size_t>(c) >= colors.size())) return false;
+  }
+  return true;
+}
+
+Perm5 SolveColorProduct(const ColorProductInstance& instance) {
+  DYNFO_CHECK(instance.Valid());
+  Perm5 product = Perm5::Identity();
+  for (size_t i = 0; i < instance.positions.size(); ++i) {
+    int c = instance.position_class[i];
+    bool pick_one = c > 0 && instance.colors[c];
+    const Perm5& sigma =
+        pick_one ? instance.positions[i].second : instance.positions[i].first;
+    product = product.Then(sigma);
+  }
+  return product;
+}
+
+bool ColorProductIsIdentity(const ColorProductInstance& instance) {
+  return SolveColorProduct(instance).IsIdentity();
+}
+
+}  // namespace dynfo::reductions

@@ -1,0 +1,76 @@
+/// \file iterated_product.h
+/// COLOR-Π(S5) — Corollary 5.12's second device: the colorized iterated
+/// multiplication of permutations of five objects.
+///
+/// Π(S5) is Barrington's NC^1-complete problem [B89]; the paper colorizes
+/// it the same way as COLOR-REACH: every position i holds a *pair* of
+/// permutations (sigma_0, sigma_1), positions are partitioned into classes
+/// P_1..P_r, and the color bit C[j] selects which permutation every
+/// position of class P_j contributes. Flipping one input bit re-selects a
+/// whole class at once — which is what makes the standard reduction
+/// bounded-expansion (bfo+), Corollary 5.12.
+///
+/// This module supplies the executable object of that statement: S5
+/// permutations with composition, the colorized instance, and its solver
+/// (the completeness itself is a structural theorem, not code).
+
+#ifndef DYNFO_REDUCTIONS_ITERATED_PRODUCT_H_
+#define DYNFO_REDUCTIONS_ITERATED_PRODUCT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+
+namespace dynfo::reductions {
+
+/// A permutation of {0..4}.
+class Perm5 {
+ public:
+  static Perm5 Identity();
+  /// From an image vector: image[i] = where i goes. CHECK-validates.
+  explicit Perm5(std::array<uint8_t, 5> image);
+  /// A cycle over the listed elements, e.g. Cycle({0,1,2}) maps 0->1->2->0.
+  static Perm5 Cycle(const std::vector<uint8_t>& elements);
+
+  uint8_t Apply(uint8_t x) const {
+    DYNFO_CHECK(x < 5);
+    return image_[x];
+  }
+
+  /// First *this, then `after`.
+  Perm5 Then(const Perm5& after) const;
+  Perm5 Inverse() const;
+
+  bool IsIdentity() const { return *this == Identity(); }
+  bool operator==(const Perm5& other) const { return image_ == other.image_; }
+  bool operator!=(const Perm5& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::array<uint8_t, 5> image_;
+};
+
+/// A COLOR-Π(S5) instance: per position a pair of permutations, a class
+/// per position, a color bit per class (class 0 is uncolored and always
+/// contributes sigma_0, mirroring COLOR-REACH's free class V_0).
+struct ColorProductInstance {
+  std::vector<std::pair<Perm5, Perm5>> positions;
+  std::vector<int> position_class;  // parallel to positions
+  std::vector<bool> colors;         // indexed by class; [0] unused
+
+  bool Valid() const;
+};
+
+/// The selected product, left to right.
+Perm5 SolveColorProduct(const ColorProductInstance& instance);
+
+/// The decision form: does the selected product equal the identity?
+bool ColorProductIsIdentity(const ColorProductInstance& instance);
+
+}  // namespace dynfo::reductions
+
+#endif  // DYNFO_REDUCTIONS_ITERATED_PRODUCT_H_

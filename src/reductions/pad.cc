@@ -1,0 +1,67 @@
+#include "reductions/pad.h"
+
+namespace dynfo::reductions {
+
+std::shared_ptr<const relational::Vocabulary> PadVocabulary(
+    const relational::Vocabulary& base) {
+  auto padded = std::make_shared<relational::Vocabulary>();
+  for (int i = 0; i < base.num_relations(); ++i) {
+    const relational::RelationSymbol& symbol = base.relation(i);
+    padded->AddRelation(symbol.name, symbol.arity + 1);
+  }
+  for (int j = 0; j < base.num_constants(); ++j) {
+    padded->AddConstant(base.constant(j));
+  }
+  return padded;
+}
+
+relational::RequestSequence PadRequests(const relational::Request& request, size_t n) {
+  relational::RequestSequence out;
+  if (request.kind == relational::RequestKind::kSetConstant) {
+    out.push_back(request);
+    return out;
+  }
+  out.reserve(n);
+  for (size_t copy = 0; copy < n; ++copy) {
+    relational::Tuple padded{static_cast<relational::Element>(copy)};
+    padded = padded.Concat(request.tuple);
+    if (request.kind == relational::RequestKind::kInsert) {
+      out.push_back(relational::Request::Insert(request.target, padded));
+    } else {
+      out.push_back(relational::Request::Delete(request.target, padded));
+    }
+  }
+  return out;
+}
+
+relational::Structure UnpadCopy(const relational::Structure& padded,
+                                std::shared_ptr<const relational::Vocabulary> base,
+                                relational::Element index) {
+  relational::Structure out(base, padded.universe_size());
+  for (int i = 0; i < base->num_relations(); ++i) {
+    const std::string& name = base->relation(i).name;
+    for (const relational::Tuple& t : padded.relation(name)) {
+      if (t[0] != index) continue;
+      relational::Tuple projected;
+      for (int p = 1; p < t.size(); ++p) projected = projected.Append(t[p]);
+      out.relation(i).Insert(projected);
+    }
+  }
+  for (int j = 0; j < base->num_constants(); ++j) {
+    out.set_constant(j, padded.constant(base->constant(j)));
+  }
+  return out;
+}
+
+bool IsValidPad(const relational::Structure& padded,
+                std::shared_ptr<const relational::Vocabulary> base) {
+  relational::Structure first = UnpadCopy(padded, base, 0);
+  for (size_t copy = 1; copy < padded.universe_size(); ++copy) {
+    if (UnpadCopy(padded, base, static_cast<relational::Element>(copy)) != first) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dynfo::reductions

@@ -1,0 +1,46 @@
+/// \file pad.h
+/// The padding construction of Definition 5.13.
+///
+/// PAD(S) = { w_1 ... w_n : |w_1| = n, w_1 = ... = w_n, w_1 in S }: the
+/// input is n identical copies of a structure. Computationally PAD(S) ≡ S,
+/// but dynamically one real change costs n requests — giving a Dyn-FO
+/// program n first-order steps per change, which is how PAD(REACH_a), a
+/// P-complete problem, lands in Dyn-FO (Theorem 5.14).
+///
+/// Encoding: a sigma-relation R of arity a becomes a (1+a)-ary relation over
+/// the padded vocabulary, the first position being the copy index; constants
+/// are shared. The *ordered update discipline* (documented in DESIGN.md)
+/// updates copies 0, 1, ..., n-1 in order: PadRequests performs it.
+
+#ifndef DYNFO_REDUCTIONS_PAD_H_
+#define DYNFO_REDUCTIONS_PAD_H_
+
+#include <memory>
+
+#include "relational/request.h"
+#include "relational/vocabulary.h"
+
+namespace dynfo::reductions {
+
+/// The padded vocabulary: each relation's arity grows by one (copy index);
+/// constants carry over. CHECK-fails if any arity would exceed the tuple cap.
+std::shared_ptr<const relational::Vocabulary> PadVocabulary(
+    const relational::Vocabulary& base);
+
+/// Expands one request against the base structure into the n per-copy
+/// requests of the ordered update discipline (copy 0 first). Set requests
+/// pass through unchanged (constants are shared).
+relational::RequestSequence PadRequests(const relational::Request& request, size_t n);
+
+/// Projects copy `index` of a padded structure back to the base vocabulary.
+relational::Structure UnpadCopy(const relational::Structure& padded,
+                                std::shared_ptr<const relational::Vocabulary> base,
+                                relational::Element index);
+
+/// True iff all n copies agree (the input is a valid pad).
+bool IsValidPad(const relational::Structure& padded,
+                std::shared_ptr<const relational::Vocabulary> base);
+
+}  // namespace dynfo::reductions
+
+#endif  // DYNFO_REDUCTIONS_PAD_H_

@@ -1,0 +1,38 @@
+#include "reductions/reduced_engine.h"
+
+#include <algorithm>
+
+namespace dynfo::reductions {
+
+ReducedEngine::ReducedEngine(std::shared_ptr<const FirstOrderReduction> reduction,
+                             std::shared_ptr<const dyn::DynProgram> inner_program,
+                             size_t universe_size, dyn::EngineOptions options)
+    : reduction_(std::move(reduction)),
+      input_(reduction_->input_vocabulary(), universe_size),
+      image_(reduction_->Apply(input_)),
+      inner_(std::move(inner_program), reduction_->OutputUniverseSize(universe_size),
+             options) {
+  // Align the inner engine with I(empty input): a bfo reduction maps the
+  // initial structure to a structure with only boundedly many tuples
+  // (Definition 5.1), so this replay is O(1) requests; for bfo+ it is the
+  // polynomial precomputation.
+  relational::Structure blank(reduction_->output_vocabulary(), image_.universe_size());
+  for (const relational::Request& request : StructureDiff(blank, image_)) {
+    inner_.Apply(request);
+  }
+}
+
+void ReducedEngine::Apply(const relational::Request& request) {
+  ++stats_.requests;
+  relational::ApplyRequest(&input_, request);
+  relational::Structure next_image = reduction_->Apply(input_);
+  relational::RequestSequence diff = StructureDiff(image_, next_image);
+  stats_.inner_requests += diff.size();
+  stats_.max_fanout = std::max(stats_.max_fanout, diff.size());
+  for (const relational::Request& inner_request : diff) {
+    inner_.Apply(inner_request);
+  }
+  image_ = std::move(next_image);
+}
+
+}  // namespace dynfo::reductions

@@ -1,0 +1,56 @@
+/// \file reduced_engine.h
+/// Proposition 5.3 in executable form: if S <=_bfo T and T in Dyn-FO, then
+/// S in Dyn-FO.
+///
+/// A ReducedEngine answers requests against the sigma-structure A by keeping
+/// the tau-structure I(A) maintained inside an ordinary Engine for T's
+/// program: each sigma-request is translated into the (boundedly many, when
+/// I has bounded expansion) tau-requests it induces, which are then fed to
+/// the inner engine. The translation here recomputes I and diffs — the
+/// general, always-correct implementation; the bounded-expansion property
+/// is what guarantees the *inner* engine sees O(1) requests per update, and
+/// the stats expose the observed per-request fan-out so tests assert it.
+
+#ifndef DYNFO_REDUCTIONS_REDUCED_ENGINE_H_
+#define DYNFO_REDUCTIONS_REDUCED_ENGINE_H_
+
+#include <memory>
+
+#include "dynfo/engine.h"
+#include "reductions/fo_reduction.h"
+
+namespace dynfo::reductions {
+
+class ReducedEngine {
+ public:
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t inner_requests = 0;
+    size_t max_fanout = 0;  ///< most inner requests induced by one request
+  };
+
+  ReducedEngine(std::shared_ptr<const FirstOrderReduction> reduction,
+                std::shared_ptr<const dyn::DynProgram> inner_program,
+                size_t universe_size, dyn::EngineOptions options = {});
+
+  /// Responds to one request against the sigma input.
+  void Apply(const relational::Request& request);
+
+  /// Answers S's boolean query through T's query on I(A).
+  bool QueryBool() const { return inner_.QueryBool(); }
+
+  const relational::Structure& input() const { return input_; }
+  const dyn::Engine& inner() const { return inner_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<const FirstOrderReduction> reduction_;
+  relational::Structure input_;  ///< A
+  relational::Structure image_;  ///< I(A), tracked for diffing
+  dyn::Engine inner_;            ///< T's Dyn-FO engine over I(A)
+  Stats stats_;
+};
+
+}  // namespace dynfo::reductions
+
+#endif  // DYNFO_REDUCTIONS_REDUCED_ENGINE_H_

@@ -1,0 +1,25 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+namespace dynfo::relational {
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out(tuples_.begin(), tuples_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::string s = "{";
+  bool first = true;
+  for (const Tuple& t : SortedTuples()) {
+    if (!first) s += ", ";
+    first = false;
+    s += t.ToString();
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace dynfo::relational

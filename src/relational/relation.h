@@ -1,0 +1,67 @@
+/// \file relation.h
+/// A finite relation: a set of tuples of fixed arity over {0..n-1}.
+
+#ifndef DYNFO_RELATIONAL_RELATION_H_
+#define DYNFO_RELATIONAL_RELATION_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace dynfo::relational {
+
+/// Mutable tuple set with O(1) expected membership/insert/erase. Iteration
+/// order is unspecified; use SortedTuples() where determinism matters.
+class Relation {
+ public:
+  explicit Relation(int arity) : arity_(arity) {
+    DYNFO_CHECK(arity >= 0 && arity <= Tuple::kMaxArity);
+  }
+
+  int arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  bool Contains(const Tuple& t) const {
+    DYNFO_CHECK(t.size() == arity_);
+    return tuples_.find(t) != tuples_.end();
+  }
+
+  /// Inserts a tuple; returns true if it was not already present.
+  bool Insert(const Tuple& t) {
+    DYNFO_CHECK(t.size() == arity_);
+    return tuples_.insert(t).second;
+  }
+
+  /// Erases a tuple; returns true if it was present.
+  bool Erase(const Tuple& t) {
+    DYNFO_CHECK(t.size() == arity_);
+    return tuples_.erase(t) > 0;
+  }
+
+  void Clear() { tuples_.clear(); }
+
+  auto begin() const { return tuples_.begin(); }
+  auto end() const { return tuples_.end(); }
+
+  /// All tuples in lexicographic order (deterministic).
+  std::vector<Tuple> SortedTuples() const;
+
+  /// Set equality (arity and contents).
+  bool operator==(const Relation& other) const {
+    return arity_ == other.arity_ && tuples_ == other.tuples_;
+  }
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+  /// E.g. "{(0, 1), (1, 2)}".
+  std::string ToString() const;
+
+ private:
+  int arity_;
+  std::unordered_set<Tuple, TupleHash> tuples_;
+};
+
+}  // namespace dynfo::relational
+
+#endif  // DYNFO_RELATIONAL_RELATION_H_

@@ -1,0 +1,52 @@
+#include "relational/request.h"
+
+namespace dynfo::relational {
+
+std::string Request::ToString() const {
+  switch (kind) {
+    case RequestKind::kInsert:
+      return "ins(" + target + ", " + tuple.ToString() + ")";
+    case RequestKind::kDelete:
+      return "del(" + target + ", " + tuple.ToString() + ")";
+    case RequestKind::kSetConstant:
+      return "set(" + target + ", " + std::to_string(value) + ")";
+  }
+  DYNFO_UNREACHABLE();
+}
+
+void ApplyRequest(Structure* structure, const Request& request) {
+  DYNFO_CHECK(structure != nullptr);
+  const size_t n = structure->universe_size();
+  switch (request.kind) {
+    case RequestKind::kInsert:
+    case RequestKind::kDelete: {
+      Relation& rel = structure->relation(request.target);
+      DYNFO_CHECK(request.tuple.size() == rel.arity())
+          << "arity mismatch for " << request.target;
+      for (int i = 0; i < request.tuple.size(); ++i) {
+        DYNFO_CHECK(request.tuple[i] < n) << "element outside universe";
+      }
+      if (request.kind == RequestKind::kInsert) {
+        rel.Insert(request.tuple);
+      } else {
+        rel.Erase(request.tuple);
+      }
+      return;
+    }
+    case RequestKind::kSetConstant:
+      structure->set_constant(request.target, request.value);
+      return;
+  }
+  DYNFO_UNREACHABLE();
+}
+
+Structure EvalRequests(std::shared_ptr<const Vocabulary> vocabulary, size_t universe_size,
+                       const RequestSequence& requests) {
+  Structure structure(std::move(vocabulary), universe_size);
+  for (const Request& request : requests) {
+    ApplyRequest(&structure, request);
+  }
+  return structure;
+}
+
+}  // namespace dynfo::relational

@@ -1,0 +1,66 @@
+/// \file request.h
+/// The dynamic request model of the paper (Equation 3.1).
+///
+/// R_{n,sigma} = { ins(i, a-bar), del(i, a-bar), set(j, a) }: single-tuple
+/// inserts and deletes on input relations, and assignments to constants.
+/// eval_{n,sigma} replays a request sequence from the empty initial
+/// structure; it is the ground truth that dynamic programs are checked
+/// against.
+
+#ifndef DYNFO_RELATIONAL_REQUEST_H_
+#define DYNFO_RELATIONAL_REQUEST_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/structure.h"
+
+namespace dynfo::relational {
+
+enum class RequestKind {
+  kInsert,       ///< ins(i, a-bar): add tuple to input relation i
+  kDelete,       ///< del(i, a-bar): remove tuple from input relation i
+  kSetConstant,  ///< set(j, a): assign constant j the value a
+};
+
+/// One request against an input structure.
+struct Request {
+  RequestKind kind;
+  std::string target;  ///< relation name (ins/del) or constant name (set)
+  Tuple tuple;         ///< tuple for ins/del; unused for set
+  Element value = 0;   ///< value for set; unused for ins/del
+
+  static Request Insert(std::string relation, Tuple t) {
+    return Request{RequestKind::kInsert, std::move(relation), t, 0};
+  }
+  static Request Delete(std::string relation, Tuple t) {
+    return Request{RequestKind::kDelete, std::move(relation), t, 0};
+  }
+  static Request SetConstant(std::string constant, Element value) {
+    return Request{RequestKind::kSetConstant, std::move(constant), Tuple{}, value};
+  }
+
+  bool operator==(const Request& other) const {
+    return kind == other.kind && target == other.target && tuple == other.tuple &&
+           value == other.value;
+  }
+
+  /// E.g. "ins(E, (1, 2))".
+  std::string ToString() const;
+};
+
+using RequestSequence = std::vector<Request>;
+
+/// Applies one request to a structure in place (the step function of
+/// eval_{n,sigma}). Inserting a present tuple / deleting an absent one is a
+/// no-op, as in the paper. CHECK-fails on unknown names, arity mismatches,
+/// or out-of-universe elements.
+void ApplyRequest(Structure* structure, const Request& request);
+
+/// Replays a whole sequence from the empty structure: eval_{n,sigma}(r-bar).
+Structure EvalRequests(std::shared_ptr<const Vocabulary> vocabulary, size_t universe_size,
+                       const RequestSequence& requests);
+
+}  // namespace dynfo::relational
+
+#endif  // DYNFO_RELATIONAL_REQUEST_H_

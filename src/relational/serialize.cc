@@ -1,0 +1,114 @@
+#include "relational/serialize.h"
+
+#include <sstream>
+#include <vector>
+
+namespace dynfo::relational {
+
+std::string WriteStructure(const Structure& structure) {
+  std::ostringstream out;
+  out << "structure n=" << structure.universe_size() << "\n";
+  const Vocabulary& vocab = structure.vocabulary();
+  for (int i = 0; i < vocab.num_relations(); ++i) {
+    const std::string& name = vocab.relation(i).name;
+    for (const Tuple& t : structure.relation(i).SortedTuples()) {
+      out << "rel " << name;
+      for (int p = 0; p < t.size(); ++p) out << " " << t[p];
+      out << "\n";
+    }
+  }
+  for (int j = 0; j < vocab.num_constants(); ++j) {
+    out << "const " << vocab.constant(j) << " " << structure.constant(j) << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+namespace {
+
+core::Status Err(size_t line, const std::string& message) {
+  return core::Status::Error("line " + std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+core::Result<Structure> ReadStructure(const std::string& text,
+                                      std::shared_ptr<const Vocabulary> vocabulary) {
+  std::istringstream in(text);
+  std::string line;
+  size_t line_number = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  std::unique_ptr<Structure> structure;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream words(line);
+    std::string keyword;
+    if (!(words >> keyword)) continue;
+    if (saw_end) return Err(line_number, "content after 'end'");
+
+    if (keyword == "structure") {
+      std::string size_field;
+      if (saw_header || !(words >> size_field) || size_field.rfind("n=", 0) != 0) {
+        return Err(line_number, "expected a single 'structure n=<size>' header");
+      }
+      size_t n = 0;
+      try {
+        n = std::stoul(size_field.substr(2));
+      } catch (...) {
+        return Err(line_number, "bad universe size: " + size_field);
+      }
+      if (n == 0) return Err(line_number, "universes are nonempty");
+      structure = std::make_unique<Structure>(vocabulary, n);
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) return Err(line_number, "missing 'structure n=...' header");
+
+    if (keyword == "rel") {
+      std::string name;
+      if (!(words >> name)) return Err(line_number, "rel needs a relation name");
+      int index = vocabulary->RelationIndex(name);
+      if (index < 0) return Err(line_number, "unknown relation " + name);
+      const int arity = vocabulary->relation(index).arity;
+      Tuple t;
+      uint64_t value = 0;
+      for (int p = 0; p < arity; ++p) {
+        if (!(words >> value)) return Err(line_number, name + " tuple too short");
+        if (value >= structure->universe_size()) {
+          return Err(line_number, "element outside universe");
+        }
+        t = t.Append(static_cast<Element>(value));
+      }
+      if (words >> value) return Err(line_number, name + " tuple too long");
+      structure->relation(index).Insert(t);
+      continue;
+    }
+    if (keyword == "const") {
+      std::string name;
+      uint64_t value = 0;
+      if (!(words >> name >> value)) return Err(line_number, "const needs name value");
+      if (vocabulary->ConstantIndex(name) < 0) {
+        return Err(line_number, "unknown constant " + name);
+      }
+      if (value >= structure->universe_size()) {
+        return Err(line_number, "constant outside universe");
+      }
+      structure->set_constant(name, static_cast<Element>(value));
+      continue;
+    }
+    if (keyword == "end") {
+      saw_end = true;
+      continue;
+    }
+    return Err(line_number, "unrecognized keyword " + keyword);
+  }
+  if (!saw_header) return core::Status::Error("empty input");
+  if (!saw_end) return core::Status::Error("missing 'end'");
+  return std::move(*structure);
+}
+
+}  // namespace dynfo::relational

@@ -1,0 +1,37 @@
+/// \file serialize.h
+/// A plain-text serialization for finite structures, so sessions can be
+/// saved and restored (used by tools/dynfo_cli's save/load commands) and
+/// golden-tested.
+///
+/// Format (line oriented, '#' comments):
+///   structure n=<universe size>
+///   rel <name> <e1> <e2> ...      # one line per tuple
+///   const <name> <value>
+///   end
+///
+/// Relations/constants absent from the text are empty/zero; unknown names
+/// or out-of-universe elements are errors. The vocabulary itself is not
+/// serialized — the reader supplies it, and the text is validated against
+/// it (a structure is only meaningful relative to its schema).
+
+#ifndef DYNFO_RELATIONAL_SERIALIZE_H_
+#define DYNFO_RELATIONAL_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/status.h"
+#include "relational/structure.h"
+
+namespace dynfo::relational {
+
+/// Serializes the structure (deterministic: tuples in sorted order).
+std::string WriteStructure(const Structure& structure);
+
+/// Parses a structure over the given vocabulary.
+core::Result<Structure> ReadStructure(const std::string& text,
+                                      std::shared_ptr<const Vocabulary> vocabulary);
+
+}  // namespace dynfo::relational
+
+#endif  // DYNFO_RELATIONAL_SERIALIZE_H_

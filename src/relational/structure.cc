@@ -1,0 +1,67 @@
+#include "relational/structure.h"
+
+namespace dynfo::relational {
+
+Structure::Structure(std::shared_ptr<const Vocabulary> vocabulary, size_t universe_size)
+    : vocabulary_(std::move(vocabulary)), universe_size_(universe_size) {
+  DYNFO_CHECK(vocabulary_ != nullptr);
+  DYNFO_CHECK(universe_size_ > 0) << "universes are nonempty by definition";
+  relations_.reserve(vocabulary_->num_relations());
+  for (int i = 0; i < vocabulary_->num_relations(); ++i) {
+    relations_.emplace_back(vocabulary_->relation(i).arity);
+  }
+  constants_.assign(vocabulary_->num_constants(), 0);
+}
+
+Relation& Structure::relation(const std::string& name) {
+  int index = vocabulary_->RelationIndex(name);
+  DYNFO_CHECK(index >= 0) << "unknown relation: " << name;
+  return relations_[index];
+}
+
+const Relation& Structure::relation(const std::string& name) const {
+  int index = vocabulary_->RelationIndex(name);
+  DYNFO_CHECK(index >= 0) << "unknown relation: " << name;
+  return relations_[index];
+}
+
+Element Structure::constant(const std::string& name) const {
+  int index = vocabulary_->ConstantIndex(name);
+  DYNFO_CHECK(index >= 0) << "unknown constant: " << name;
+  return constants_[index];
+}
+
+void Structure::set_constant(int index, Element value) {
+  DYNFO_CHECK(index >= 0 && index < static_cast<int>(constants_.size()));
+  DYNFO_CHECK(value < universe_size_) << "constant value outside universe";
+  constants_[index] = value;
+}
+
+void Structure::set_constant(const std::string& name, Element value) {
+  int index = vocabulary_->ConstantIndex(name);
+  DYNFO_CHECK(index >= 0) << "unknown constant: " << name;
+  set_constant(index, value);
+}
+
+bool Structure::operator==(const Structure& other) const {
+  if (universe_size_ != other.universe_size_) return false;
+  if (relations_.size() != other.relations_.size()) return false;
+  if (constants_ != other.constants_) return false;
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i] != other.relations_[i]) return false;
+  }
+  return true;
+}
+
+std::string Structure::ToString() const {
+  std::string s = "Structure(n=" + std::to_string(universe_size_) + ")\n";
+  for (int i = 0; i < vocabulary_->num_relations(); ++i) {
+    s += "  " + vocabulary_->relation(i).name + " = " + relations_[i].ToString() + "\n";
+  }
+  for (int i = 0; i < vocabulary_->num_constants(); ++i) {
+    s += "  " + vocabulary_->constant(i) + " = " + std::to_string(constants_[i]) + "\n";
+  }
+  return s;
+}
+
+}  // namespace dynfo::relational

@@ -1,0 +1,73 @@
+/// \file structure.h
+/// Finite logical structures (relational database instances).
+///
+/// A structure A = <{0..n-1}, R1^A, ..., Rr^A, c1^A, ..., cs^A> over a
+/// vocabulary (paper §2). The universe is always an initial segment of the
+/// naturals, so the numeric predicates <=, BIT and constants min/max are
+/// available "for free" as in the paper's logic L(tau).
+
+#ifndef DYNFO_RELATIONAL_STRUCTURE_H_
+#define DYNFO_RELATIONAL_STRUCTURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/vocabulary.h"
+
+namespace dynfo::relational {
+
+/// A finite structure: universe {0..n-1}, one Relation per relation symbol,
+/// one element per constant symbol. Copyable (relations are value types).
+class Structure {
+ public:
+  /// Creates the structure with all relations empty and all constants 0 —
+  /// this is the paper's initial structure A_0^n (modulo the active-domain
+  /// relation, which problems that need it add themselves).
+  Structure(std::shared_ptr<const Vocabulary> vocabulary, size_t universe_size);
+
+  size_t universe_size() const { return universe_size_; }
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
+  std::shared_ptr<const Vocabulary> vocabulary_ptr() const { return vocabulary_; }
+
+  Relation& relation(int index) {
+    DYNFO_CHECK(index >= 0 && index < static_cast<int>(relations_.size()));
+    return relations_[index];
+  }
+  const Relation& relation(int index) const {
+    DYNFO_CHECK(index >= 0 && index < static_cast<int>(relations_.size()));
+    return relations_[index];
+  }
+
+  /// Named accessors; CHECK-fail on unknown names.
+  Relation& relation(const std::string& name);
+  const Relation& relation(const std::string& name) const;
+
+  Element constant(int index) const {
+    DYNFO_CHECK(index >= 0 && index < static_cast<int>(constants_.size()));
+    return constants_[index];
+  }
+  Element constant(const std::string& name) const;
+
+  void set_constant(int index, Element value);
+  void set_constant(const std::string& name, Element value);
+
+  /// Structures are equal iff same universe size and identical relation
+  /// contents and constant values (vocabularies must be compatible).
+  bool operator==(const Structure& other) const;
+  bool operator!=(const Structure& other) const { return !(*this == other); }
+
+  /// Multi-line dump for debugging and golden tests.
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const Vocabulary> vocabulary_;
+  size_t universe_size_;
+  std::vector<Relation> relations_;
+  std::vector<Element> constants_;
+};
+
+}  // namespace dynfo::relational
+
+#endif  // DYNFO_RELATIONAL_STRUCTURE_H_

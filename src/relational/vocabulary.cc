@@ -1,0 +1,77 @@
+#include "relational/vocabulary.h"
+
+#include "core/check.h"
+#include "relational/tuple.h"
+
+namespace dynfo::relational {
+
+void Vocabulary::CheckNameFresh(const std::string& name) const {
+  DYNFO_CHECK(!name.empty()) << "symbol names must be nonempty";
+  DYNFO_CHECK(relation_index_.find(name) == relation_index_.end())
+      << "duplicate symbol name: " << name;
+  DYNFO_CHECK(constant_index_.find(name) == constant_index_.end())
+      << "duplicate symbol name: " << name;
+}
+
+int Vocabulary::AddRelation(const std::string& name, int arity) {
+  CheckNameFresh(name);
+  DYNFO_CHECK(arity >= 0 && arity <= Tuple::kMaxArity)
+      << "relation " << name << " has unsupported arity " << arity;
+  int index = num_relations();
+  relations_.push_back(RelationSymbol{name, arity});
+  relation_index_[name] = index;
+  return index;
+}
+
+int Vocabulary::AddConstant(const std::string& name) {
+  CheckNameFresh(name);
+  int index = num_constants();
+  constants_.push_back(name);
+  constant_index_[name] = index;
+  return index;
+}
+
+const RelationSymbol& Vocabulary::relation(int index) const {
+  DYNFO_CHECK(index >= 0 && index < num_relations());
+  return relations_[index];
+}
+
+const std::string& Vocabulary::constant(int index) const {
+  DYNFO_CHECK(index >= 0 && index < num_constants());
+  return constants_[index];
+}
+
+int Vocabulary::RelationIndex(const std::string& name) const {
+  auto it = relation_index_.find(name);
+  return it == relation_index_.end() ? -1 : it->second;
+}
+
+int Vocabulary::ConstantIndex(const std::string& name) const {
+  auto it = constant_index_.find(name);
+  return it == constant_index_.end() ? -1 : it->second;
+}
+
+int Vocabulary::ArityOf(const std::string& name) const {
+  int index = RelationIndex(name);
+  DYNFO_CHECK(index >= 0) << "unknown relation: " << name;
+  return relations_[index].arity;
+}
+
+std::string Vocabulary::ToString() const {
+  std::string s = "<";
+  for (int i = 0; i < num_relations(); ++i) {
+    if (i > 0) s += ", ";
+    s += relations_[i].name + "^" + std::to_string(relations_[i].arity);
+  }
+  if (num_constants() > 0) {
+    s += "; ";
+    for (int i = 0; i < num_constants(); ++i) {
+      if (i > 0) s += ", ";
+      s += constants_[i];
+    }
+  }
+  s += ">";
+  return s;
+}
+
+}  // namespace dynfo::relational

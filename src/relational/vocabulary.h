@@ -1,0 +1,63 @@
+/// \file vocabulary.h
+/// Relational vocabularies (database schemas).
+///
+/// A vocabulary tau = <R1^{a1}, ..., Rr^{ar}, c1, ..., cs> is a tuple of
+/// relation symbols with fixed arities plus constant symbols (paper §2).
+
+#ifndef DYNFO_RELATIONAL_VOCABULARY_H_
+#define DYNFO_RELATIONAL_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dynfo::relational {
+
+/// A relation symbol: a name and an arity.
+struct RelationSymbol {
+  std::string name;
+  int arity;
+};
+
+/// A finite vocabulary of relation and constant symbols. Immutable once
+/// shared with a Structure; build it fully before constructing structures.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Declares a relation symbol; returns its index. Names must be unique
+  /// across relations and constants. Arity must be in [0, Tuple::kMaxArity].
+  int AddRelation(const std::string& name, int arity);
+
+  /// Declares a constant symbol; returns its index.
+  int AddConstant(const std::string& name);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  int num_constants() const { return static_cast<int>(constants_.size()); }
+
+  const RelationSymbol& relation(int index) const;
+  const std::string& constant(int index) const;
+
+  /// Index of the named relation, or -1 if absent.
+  int RelationIndex(const std::string& name) const;
+  /// Index of the named constant, or -1 if absent.
+  int ConstantIndex(const std::string& name) const;
+
+  /// Arity of the named relation. CHECK-fails if absent.
+  int ArityOf(const std::string& name) const;
+
+  /// E.g. "<E^2, F^2, PV^3; s, t>".
+  std::string ToString() const;
+
+ private:
+  void CheckNameFresh(const std::string& name) const;
+
+  std::vector<RelationSymbol> relations_;
+  std::vector<std::string> constants_;
+  std::unordered_map<std::string, int> relation_index_;
+  std::unordered_map<std::string, int> constant_index_;
+};
+
+}  // namespace dynfo::relational
+
+#endif  // DYNFO_RELATIONAL_VOCABULARY_H_

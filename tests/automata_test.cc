@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "automata/dfa.h"
+#include "automata/dynamic_string.h"
+#include "automata/regex.h"
+#include "core/rng.h"
+
+namespace dynfo::automata {
+namespace {
+
+std::vector<Symbol> Word(const std::string& letters) {
+  std::vector<Symbol> out;
+  for (char c : letters) out.push_back(static_cast<Symbol>(c - 'a'));
+  return out;
+}
+
+TEST(TransitionMapTest, IdentityAndComposition) {
+  TransitionMap id = TransitionMap::Identity(3);
+  EXPECT_EQ(id.Apply(2), 2);
+  TransitionMap swap01({1, 0, 2});
+  EXPECT_EQ(swap01.Then(swap01), id);
+  TransitionMap cycle({1, 2, 0});
+  EXPECT_EQ(cycle.Then(cycle).Apply(0), 2);
+  EXPECT_EQ(cycle.Then(id), cycle);
+}
+
+TEST(DfaTest, ParityDfa) {
+  Dfa dfa = MakeParityDfa();
+  EXPECT_FALSE(dfa.Accepts({}));
+  EXPECT_TRUE(dfa.Accepts({1}));
+  EXPECT_FALSE(dfa.Accepts({1, 0, 1}));
+  EXPECT_TRUE(dfa.Accepts({1, 0, 1, 1}));
+}
+
+TEST(DfaTest, ModKDfa) {
+  Dfa dfa = MakeModKDfa(3, 2);
+  EXPECT_FALSE(dfa.Accepts({1}));
+  EXPECT_TRUE(dfa.Accepts({1, 1}));
+  EXPECT_FALSE(dfa.Accepts({1, 1, 1}));
+  EXPECT_TRUE(dfa.Accepts({1, 0, 1, 1, 1, 1}));  // five ones ≡ 2 (mod 3)
+}
+
+TEST(DfaTest, SubstringDfa) {
+  Dfa dfa = MakeContainsSubstringDfa("aba", 2);
+  EXPECT_TRUE(dfa.Accepts(Word("aba")));
+  EXPECT_TRUE(dfa.Accepts(Word("bbabab")));
+  EXPECT_FALSE(dfa.Accepts(Word("abba")));
+  EXPECT_TRUE(dfa.Accepts(Word("abababb")));  // absorbing accept
+}
+
+TEST(RegexTest, BasicConstructs) {
+  Dfa dfa = CompileRegex("(ab)*", 2).value();
+  EXPECT_TRUE(dfa.Accepts({}));
+  EXPECT_TRUE(dfa.Accepts(Word("abab")));
+  EXPECT_FALSE(dfa.Accepts(Word("aba")));
+
+  Dfa alt = CompileRegex("a|bb", 2).value();
+  EXPECT_TRUE(alt.Accepts(Word("a")));
+  EXPECT_TRUE(alt.Accepts(Word("bb")));
+  EXPECT_FALSE(alt.Accepts(Word("ab")));
+
+  Dfa plus = CompileRegex("a+b?", 2).value();
+  EXPECT_TRUE(plus.Accepts(Word("aa")));
+  EXPECT_TRUE(plus.Accepts(Word("aab")));
+  EXPECT_FALSE(plus.Accepts(Word("b")));
+  EXPECT_FALSE(plus.Accepts(Word("abb")));
+}
+
+TEST(RegexTest, SyntaxErrors) {
+  EXPECT_FALSE(CompileRegex("(ab", 2).ok());
+  EXPECT_FALSE(CompileRegex("a)b", 2).ok());
+  EXPECT_FALSE(CompileRegex("xz", 2).ok());  // outside alphabet of size 2
+  EXPECT_FALSE(CompileRegex("*", 2).ok());
+}
+
+TEST(DynamicStringTest, EditsTrackDirectRuns) {
+  DynamicRegularLanguage dynamic(MakeParityDfa(), 8);
+  EXPECT_FALSE(dynamic.Accepts());
+  dynamic.SetChar(3, Symbol{1});
+  EXPECT_TRUE(dynamic.Accepts());
+  dynamic.SetChar(5, Symbol{1});
+  EXPECT_FALSE(dynamic.Accepts());
+  dynamic.SetChar(3, std::nullopt);  // delete the character
+  EXPECT_TRUE(dynamic.Accepts());
+  EXPECT_TRUE(dynamic.VerifyLocalConsistency());
+}
+
+TEST(DynamicStringTest, PathLengthIsLogarithmic) {
+  DynamicRegularLanguage dynamic(MakeParityDfa(), 1024);
+  size_t touched = dynamic.SetChar(513, Symbol{1});
+  EXPECT_EQ(touched, 11u);  // leaf + 10 ancestors for 1024 leaves
+}
+
+TEST(DynamicStringTest, CapacityRoundsUp) {
+  DynamicRegularLanguage dynamic(MakeParityDfa(), 5);
+  EXPECT_EQ(dynamic.capacity(), 8u);
+}
+
+struct DynParam {
+  uint64_t seed;
+  size_t capacity;
+  const char* regex;
+  int alphabet;
+};
+
+class DynamicStringEquivalence : public ::testing::TestWithParam<DynParam> {};
+
+TEST_P(DynamicStringEquivalence, AgreesWithDirectDfaRun) {
+  const DynParam param = GetParam();
+  Dfa dfa = CompileRegex(param.regex, param.alphabet).value();
+  DynamicRegularLanguage dynamic(dfa, param.capacity);
+  std::vector<std::optional<Symbol>> shadow(dynamic.capacity(), std::nullopt);
+  core::Rng rng(param.seed);
+  for (int step = 0; step < 300; ++step) {
+    size_t position = rng.Below(dynamic.capacity());
+    std::optional<Symbol> symbol;
+    if (rng.Chance(2, 3)) {
+      symbol = static_cast<Symbol>(rng.Below(param.alphabet));
+    }
+    dynamic.SetChar(position, symbol);
+    shadow[position] = symbol;
+
+    std::vector<Symbol> word;
+    for (const auto& c : shadow) {
+      if (c.has_value()) word.push_back(*c);
+    }
+    ASSERT_EQ(dynamic.Accepts(), dfa.Accepts(word)) << "step " << step;
+    ASSERT_TRUE(dynamic.VerifyLocalConsistency()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DynamicStringEquivalence,
+    ::testing::Values(DynParam{1, 16, "(ab)*", 2}, DynParam{2, 32, "a*b*", 2},
+                      DynParam{3, 64, "(a|b)*abb", 2},
+                      DynParam{4, 16, "(abc)+", 3}, DynParam{5, 128, "b*(ab*ab*)*", 2}),
+    [](const ::testing::TestParamInfo<DynParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_cap" +
+             std::to_string(param_info.param.capacity);
+    });
+
+}  // namespace
+}  // namespace dynfo::automata

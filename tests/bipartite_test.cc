@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "dynfo/verifier.h"
+#include "dynfo/workload.h"
+#include "programs/bipartite.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using dyn::EvalMode;
+using relational::Request;
+
+TEST(BipartiteTest, ProgramValidates) {
+  EXPECT_TRUE(MakeBipartiteProgram()->Validate().ok());
+}
+
+TEST(BipartiteTest, OddCycleFlipsToNonBipartite) {
+  Engine engine(MakeBipartiteProgram(), 5);
+  EXPECT_TRUE(engine.QueryBool());  // empty graph
+  engine.Apply(Request::Insert("E", {0, 1}));
+  engine.Apply(Request::Insert("E", {1, 2}));
+  EXPECT_TRUE(engine.QueryBool());  // a path
+  engine.Apply(Request::Insert("E", {2, 0}));  // triangle
+  EXPECT_FALSE(engine.QueryBool());
+  engine.Apply(Request::Delete("E", {1, 2}));
+  EXPECT_TRUE(engine.QueryBool());
+}
+
+TEST(BipartiteTest, EvenCycleStaysBipartite) {
+  Engine engine(MakeBipartiteProgram(), 4);
+  engine.Apply(Request::Insert("E", {0, 1}));
+  engine.Apply(Request::Insert("E", {1, 2}));
+  engine.Apply(Request::Insert("E", {2, 3}));
+  engine.Apply(Request::Insert("E", {3, 0}));
+  EXPECT_TRUE(engine.QueryBool());
+}
+
+TEST(BipartiteTest, SelfLoopIsNonBipartite) {
+  Engine engine(MakeBipartiteProgram(), 3);
+  engine.Apply(Request::Insert("E", {1, 1}));
+  EXPECT_FALSE(engine.QueryBool());
+  engine.Apply(Request::Delete("E", {1, 1}));
+  EXPECT_TRUE(engine.QueryBool());
+}
+
+TEST(BipartiteTest, DeleteForestEdgeReroutesParity) {
+  // Two odd-parity routes; delete a forest edge so Odd must be rebuilt
+  // through the replacement edge.
+  Engine engine(MakeBipartiteProgram(), 6);
+  engine.Apply(Request::Insert("E", {0, 1}));
+  engine.Apply(Request::Insert("E", {1, 2}));
+  engine.Apply(Request::Insert("E", {0, 3}));
+  engine.Apply(Request::Insert("E", {3, 4}));
+  engine.Apply(Request::Insert("E", {4, 2}));  // 0..2 via 1 (len 2), via 3,4 (len 3)
+  EXPECT_FALSE(engine.QueryBool());            // odd cycle of length 5
+  engine.Apply(Request::Delete("E", {0, 1}));
+  EXPECT_TRUE(engine.QueryBool());  // now a path, bipartite again
+}
+
+struct BipParam {
+  uint64_t seed;
+  size_t universe;
+  size_t requests;
+  EvalMode mode;
+  bool delta;
+};
+
+class BipartiteVerification : public ::testing::TestWithParam<BipParam> {};
+
+TEST_P(BipartiteVerification, MatchesOracleOnRandomChurn) {
+  const BipParam param = GetParam();
+  dyn::GraphWorkloadOptions workload;
+  workload.num_requests = param.requests;
+  workload.seed = param.seed;
+  workload.undirected = true;
+  relational::RequestSequence requests = dyn::MakeGraphWorkload(
+      *BipartiteInputVocabulary(), "E", param.universe, workload);
+
+  dyn::VerifierOptions options;
+  options.engine_options = {param.mode, param.delta};
+  dyn::VerifierResult result = dyn::VerifyProgram(
+      MakeBipartiteProgram(), BipartiteOracle, param.universe, requests, options);
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BipartiteVerification,
+    ::testing::Values(BipParam{1, 8, 150, EvalMode::kAlgebra, true},
+                      BipParam{2, 10, 150, EvalMode::kAlgebra, true},
+                      BipParam{3, 8, 100, EvalMode::kAlgebra, false},
+                      BipParam{4, 6, 60, EvalMode::kNaive, false},
+                      BipParam{5, 12, 180, EvalMode::kAlgebra, true},
+                      BipParam{6, 9, 150, EvalMode::kAlgebra, true}),
+    [](const ::testing::TestParamInfo<BipParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.universe) + "_" +
+             (param_info.param.mode == EvalMode::kNaive ? "naive" : "algebra") +
+             (param_info.param.delta ? "_delta" : "_full");
+    });
+
+}  // namespace
+}  // namespace dynfo::programs

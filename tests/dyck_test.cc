@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dynfo/engine.h"
+#include "dynfo/workload.h"
+#include "programs/dyck.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using dyn::EvalMode;
+using relational::Request;
+using relational::Structure;
+
+/// Writes a parenthesis string onto consecutive slots: 'a'/'A' = open/close
+/// type 0, 'b'/'B' = type 1, etc. (uppercase closes).
+void WriteString(Engine* engine, Structure* input, const std::string& text) {
+  for (size_t p = 0; p < text.size(); ++p) {
+    char c = text[p];
+    std::string rel = (c >= 'a' && c <= 'z')
+                          ? "Open_" + std::to_string(c - 'a')
+                          : "Close_" + std::to_string(c - 'A');
+    Request request =
+        Request::Insert(rel, {static_cast<relational::Element>(p)});
+    engine->Apply(request);
+    relational::ApplyRequest(input, request);
+  }
+}
+
+TEST(DyckTest, ProgramValidates) {
+  EXPECT_TRUE(MakeDyckProgram(1, 16)->Validate().ok());
+  EXPECT_TRUE(MakeDyckProgram(2, 16)->Validate().ok());
+}
+
+TEST(DyckTest, HandStringsOneType) {
+  const size_t n = 16;
+  Engine engine(MakeDyckProgram(1, n), n);
+  Structure input(DyckInputVocabulary(1), n);
+  EXPECT_TRUE(engine.QueryBool());  // empty string
+
+  WriteString(&engine, &input, "aaAA");  // ( ( ) )
+  EXPECT_TRUE(engine.QueryBool());
+  EXPECT_TRUE(DyckOracle(input, 1));
+
+  // Delete the first opener: ( ) ) — invalid.
+  engine.Apply(Request::Delete("Open_0", {0}));
+  relational::ApplyRequest(&input, Request::Delete("Open_0", {0}));
+  EXPECT_FALSE(engine.QueryBool());
+  EXPECT_FALSE(DyckOracle(input, 1));
+
+  // Put it back.
+  engine.Apply(Request::Insert("Open_0", {0}));
+  EXPECT_TRUE(engine.QueryBool());
+}
+
+TEST(DyckTest, TypedMismatchDetected) {
+  const size_t n = 16;
+  Engine engine(MakeDyckProgram(2, n), n);
+  Structure input(DyckInputVocabulary(2), n);
+  WriteString(&engine, &input, "abBA");  // ( [ ] )
+  EXPECT_TRUE(engine.QueryBool());
+
+  Engine crossed(MakeDyckProgram(2, n), n);
+  Structure crossed_input(DyckInputVocabulary(2), n);
+  WriteString(&crossed, &crossed_input, "abAB");  // ( [ ) ] — crossing
+  EXPECT_FALSE(crossed.QueryBool());
+  EXPECT_FALSE(DyckOracle(crossed_input, 2));
+}
+
+TEST(DyckTest, CloseBeforeOpenRejected) {
+  const size_t n = 12;
+  Engine engine(MakeDyckProgram(1, n), n);
+  Structure input(DyckInputVocabulary(1), n);
+  WriteString(&engine, &input, "Aa");  // ) (
+  EXPECT_FALSE(engine.QueryBool());
+  EXPECT_FALSE(DyckOracle(input, 1));
+}
+
+TEST(DyckTest, GapsBetweenCharactersAreFine) {
+  const size_t n = 16;
+  Engine engine(MakeDyckProgram(1, n), n);
+  // Characters at scattered positions: ( at 2, ( at 5, ) at 9, ) at 14.
+  engine.Apply(Request::Insert("Open_0", {2}));
+  engine.Apply(Request::Insert("Open_0", {5}));
+  engine.Apply(Request::Insert("Close_0", {9}));
+  engine.Apply(Request::Insert("Close_0", {14}));
+  EXPECT_TRUE(engine.QueryBool());
+}
+
+struct DyckParam {
+  uint64_t seed;
+  size_t universe;
+  int types;
+  EvalMode mode;
+};
+
+class DyckVerification : public ::testing::TestWithParam<DyckParam> {};
+
+TEST_P(DyckVerification, MatchesStackOracleOnRandomEdits) {
+  const DyckParam param = GetParam();
+  std::vector<std::string> relations;
+  for (int j = 0; j < param.types; ++j) relations.push_back("Open_" + std::to_string(j));
+  for (int j = 0; j < param.types; ++j) {
+    relations.push_back("Close_" + std::to_string(j));
+  }
+  dyn::SlotStringWorkloadOptions workload;
+  workload.num_requests = 150;
+  workload.seed = param.seed;
+  workload.max_chars = param.universe / 2 - 2;
+  relational::RequestSequence requests =
+      dyn::MakeSlotStringWorkload(relations, param.universe, workload);
+
+  Engine engine(MakeDyckProgram(param.types, param.universe), param.universe,
+                {param.mode, true});
+  Structure input(DyckInputVocabulary(param.types), param.universe);
+  size_t step = 0;
+  for (const Request& request : requests) {
+    engine.Apply(request);
+    relational::ApplyRequest(&input, request);
+    ++step;
+    ASSERT_EQ(engine.QueryBool(), DyckOracle(input, param.types))
+        << "diverged at step " << step << " after " << request.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DyckVerification,
+    ::testing::Values(DyckParam{1, 16, 1, EvalMode::kAlgebra},
+                      DyckParam{2, 16, 2, EvalMode::kAlgebra},
+                      DyckParam{3, 24, 2, EvalMode::kAlgebra},
+                      DyckParam{4, 10, 1, EvalMode::kNaive},
+                      DyckParam{5, 20, 4, EvalMode::kAlgebra},
+                      DyckParam{6, 32, 2, EvalMode::kAlgebra}),
+    [](const ::testing::TestParamInfo<DyckParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.universe) + "_k" +
+             std::to_string(param_info.param.types) + "_" +
+             (param_info.param.mode == EvalMode::kNaive ? "naive" : "algebra");
+    });
+
+}  // namespace
+}  // namespace dynfo::programs

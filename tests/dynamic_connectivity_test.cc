@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "graph/algorithms.h"
+#include "graph/dynamic_connectivity.h"
+
+namespace dynfo::graph {
+namespace {
+
+TEST(DynamicConnectivityTest, BasicJoinAndSplit) {
+  DynamicConnectivity dc(5);
+  EXPECT_EQ(dc.num_components(), 5u);
+  EXPECT_TRUE(dc.AddEdge(0, 1));
+  EXPECT_TRUE(dc.AddEdge(1, 2));
+  EXPECT_EQ(dc.num_components(), 3u);
+  EXPECT_TRUE(dc.Connected(0, 2));
+  EXPECT_FALSE(dc.Connected(0, 3));
+
+  // Redundant edge, then removing the bridge reroutes through it.
+  EXPECT_FALSE(dc.AddEdge(0, 2));
+  EXPECT_FALSE(dc.RemoveEdge(1, 2));  // no split: replacement (0,2) exists
+  EXPECT_TRUE(dc.Connected(1, 2));
+  EXPECT_TRUE(dc.RemoveEdge(0, 2));  // now it splits... (0,1) remains
+  EXPECT_TRUE(dc.Connected(0, 1));
+  EXPECT_FALSE(dc.Connected(0, 2));
+  EXPECT_EQ(dc.num_components(), 4u);
+}
+
+TEST(DynamicConnectivityTest, NoOpsAreSafe) {
+  DynamicConnectivity dc(3);
+  EXPECT_FALSE(dc.RemoveEdge(0, 1));
+  dc.AddEdge(0, 1);
+  EXPECT_FALSE(dc.AddEdge(1, 0));  // duplicate (symmetric)
+  EXPECT_EQ(dc.num_components(), 2u);
+}
+
+TEST(DynamicConnectivityTest, RandomChurnMatchesBfs) {
+  const size_t n = 20;
+  DynamicConnectivity dc(n);
+  UndirectedGraph shadow(n);
+  core::Rng rng(99);
+  std::vector<std::pair<Vertex, Vertex>> present;
+  for (int step = 0; step < 400; ++step) {
+    if (present.empty() || rng.Chance(3, 5)) {
+      Vertex u = static_cast<Vertex>(rng.Below(n));
+      Vertex v = static_cast<Vertex>(rng.Below(n));
+      if (u == v || shadow.HasEdge(u, v)) continue;
+      shadow.AddEdge(u, v);
+      dc.AddEdge(u, v);
+      present.emplace_back(u, v);
+    } else {
+      size_t pick = rng.Below(present.size());
+      auto [u, v] = present[pick];
+      present[pick] = present.back();
+      present.pop_back();
+      shadow.RemoveEdge(u, v);
+      dc.RemoveEdge(u, v);
+    }
+    // Spot-check connectivity and component count.
+    Vertex a = static_cast<Vertex>(rng.Below(n));
+    Vertex b = static_cast<Vertex>(rng.Below(n));
+    ASSERT_EQ(dc.Connected(a, b), Reachable(shadow, a, b)) << "step " << step;
+    ASSERT_EQ(dc.num_components(), CountComponents(shadow)) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace dynfo::graph

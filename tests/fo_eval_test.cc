@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fo/builder.h"
+#include "fo/eval_algebra.h"
+#include "fo/eval_naive.h"
+#include "test_util.h"
+
+namespace dynfo::fo {
+namespace {
+
+using relational::Relation;
+using relational::Structure;
+using relational::Tuple;
+using relational::Vocabulary;
+
+std::shared_ptr<const Vocabulary> TestVocabulary() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  v->AddRelation("U", 1);
+  v->AddConstant("s");
+  return v;
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() : structure_(TestVocabulary(), 5) {
+    // E = a small directed path 0 -> 1 -> 2 -> 3 plus a self loop on 4.
+    structure_.relation("E").Insert({0, 1});
+    structure_.relation("E").Insert({1, 2});
+    structure_.relation("E").Insert({2, 3});
+    structure_.relation("E").Insert({4, 4});
+    structure_.relation("U").Insert({1});
+    structure_.relation("U").Insert({3});
+    structure_.set_constant("s", 2);
+  }
+
+  bool NaiveHolds(const FormulaPtr& f) {
+    EvalContext ctx(structure_);
+    return NaiveEvaluator::HoldsSentence(f, ctx);
+  }
+  bool AlgebraHolds(const FormulaPtr& f) {
+    EvalContext ctx(structure_);
+    return algebra_.HoldsSentence(f, ctx);
+  }
+
+  Structure structure_;
+  AlgebraEvaluator algebra_;
+};
+
+TEST_F(EvalTest, AtomLookup) {
+  EXPECT_TRUE(NaiveHolds(Rel("E", {N(0), N(1)})));
+  EXPECT_FALSE(NaiveHolds(Rel("E", {N(1), N(0)})));
+  EXPECT_TRUE(AlgebraHolds(Rel("E", {N(0), N(1)})));
+  EXPECT_FALSE(AlgebraHolds(Rel("E", {N(1), N(0)})));
+}
+
+TEST_F(EvalTest, ConstantsMinMax) {
+  // s = 2, min = 0, max = 4.
+  EXPECT_TRUE(NaiveHolds(EqT(C("s"), N(2))));
+  EXPECT_TRUE(NaiveHolds(EqT(Term::Min(), N(0))));
+  EXPECT_TRUE(NaiveHolds(EqT(Term::Max(), N(4))));
+  EXPECT_TRUE(AlgebraHolds(EqT(C("s"), N(2))));
+  EXPECT_TRUE(AlgebraHolds(EqT(Term::Max(), N(4))));
+}
+
+TEST_F(EvalTest, BitSemantics) {
+  // BIT(x, y): bit y of x. 5 = 101b.
+  EXPECT_TRUE(NaiveHolds(BitT(N(5 % 5 + 1), N(0))));  // BIT(1,0)
+  EXPECT_TRUE(NaiveHolds(BitT(N(4), N(2))));
+  EXPECT_FALSE(NaiveHolds(BitT(N(4), N(0))));
+  EXPECT_TRUE(AlgebraHolds(BitT(N(4), N(2))));
+  EXPECT_FALSE(AlgebraHolds(BitT(N(4), N(1))));
+}
+
+TEST_F(EvalTest, ExistsAndForall) {
+  // Some edge leaves 0; no edge leaves 3.
+  EXPECT_TRUE(NaiveHolds(Exists({"y"}, Rel("E", {N(0), V("y")}))));
+  EXPECT_FALSE(NaiveHolds(Exists({"y"}, Rel("E", {N(3), V("y")}))));
+  EXPECT_TRUE(AlgebraHolds(Exists({"y"}, Rel("E", {N(0), V("y")}))));
+  EXPECT_FALSE(AlgebraHolds(Exists({"y"}, Rel("E", {N(3), V("y")}))));
+  // Every U-element is >= 1.
+  F all = Forall({"x"}, Implies(Rel("U", {V("x")}), LeT(N(1), V("x"))));
+  EXPECT_TRUE(NaiveHolds(all));
+  EXPECT_TRUE(AlgebraHolds(all));
+}
+
+TEST_F(EvalTest, MultiVariableQuantifierBlock) {
+  // exists x y: E(x, y) & U(y) — edge (0,1) qualifies.
+  F f = Exists({"x", "y"}, Rel("E", {V("x"), V("y")}) && Rel("U", {V("y")}));
+  EXPECT_TRUE(NaiveHolds(f));
+  EXPECT_TRUE(AlgebraHolds(f));
+  // forall x y: E(x, y) -> U(y): edge (2,3) ok, (0,1) ok, (1,2): U(2) false.
+  F g = Forall({"x", "y"}, Implies(Rel("E", {V("x"), V("y")}), Rel("U", {V("y")})));
+  EXPECT_FALSE(NaiveHolds(g));
+  EXPECT_FALSE(AlgebraHolds(g));
+}
+
+TEST_F(EvalTest, ParametersResolve) {
+  EvalContext ctx(structure_, {0, 1});
+  F f = Rel("E", {P0(), P1()});
+  EXPECT_TRUE(NaiveEvaluator::HoldsSentence(f, ctx));
+  EXPECT_TRUE(algebra_.HoldsSentence(f, ctx));
+  EvalContext ctx2(structure_, {1, 0});
+  EXPECT_FALSE(NaiveEvaluator::HoldsSentence(f, ctx2));
+  EXPECT_FALSE(algebra_.HoldsSentence(f, ctx2));
+}
+
+TEST_F(EvalTest, EvaluateAsRelationMatchesManualSet) {
+  // Successors-of-successors: { (x, z) : exists y. E(x, y) & E(y, z) }.
+  F f = Exists({"y"}, Rel("E", {V("x"), V("y")}) && Rel("E", {V("y"), V("z")}));
+  EvalContext ctx(structure_);
+  Relation naive = NaiveEvaluator::EvaluateAsRelation(f, {"x", "z"}, ctx);
+  Relation algebra = algebra_.EvaluateAsRelation(f, {"x", "z"}, ctx);
+  Relation expected(2);
+  expected.Insert({0, 2});
+  expected.Insert({1, 3});
+  expected.Insert({4, 4});
+  EXPECT_EQ(naive, expected);
+  EXPECT_EQ(algebra, expected);
+}
+
+TEST_F(EvalTest, UnconstrainedTupleVariablePads) {
+  // { (x, w) : U(x) } — w unconstrained ranges over the universe.
+  F f = Rel("U", {V("x")});
+  EvalContext ctx(structure_);
+  Relation naive = NaiveEvaluator::EvaluateAsRelation(f, {"x", "w"}, ctx);
+  Relation algebra = algebra_.EvaluateAsRelation(f, {"x", "w"}, ctx);
+  EXPECT_EQ(naive.size(), 10u);  // 2 U-elements x 5 universe values
+  EXPECT_EQ(naive, algebra);
+}
+
+TEST_F(EvalTest, NullaryRelationEvaluation) {
+  F f = Exists({"x"}, Rel("U", {V("x")}));
+  EvalContext ctx(structure_);
+  Relation naive = NaiveEvaluator::EvaluateAsRelation(f, {}, ctx);
+  Relation algebra = algebra_.EvaluateAsRelation(f, {}, ctx);
+  EXPECT_EQ(naive.size(), 1u);
+  EXPECT_EQ(naive, algebra);
+}
+
+TEST_F(EvalTest, RepeatedVariableInAtom) {
+  // { x : E(x, x) } = {4}.
+  F f = Rel("E", {V("x"), V("x")});
+  EvalContext ctx(structure_);
+  Relation naive = NaiveEvaluator::EvaluateAsRelation(f, {"x"}, ctx);
+  Relation algebra = algebra_.EvaluateAsRelation(f, {"x"}, ctx);
+  Relation expected(1);
+  expected.Insert({4});
+  EXPECT_EQ(naive, expected);
+  EXPECT_EQ(algebra, expected);
+}
+
+TEST_F(EvalTest, NegationInsideConjunction) {
+  // { (x, y) : E(x, y) & !U(y) } = {(1, 2), (4, 4)}.
+  F f = Rel("E", {V("x"), V("y")}) && !Rel("U", {V("y")});
+  EvalContext ctx(structure_);
+  Relation naive = NaiveEvaluator::EvaluateAsRelation(f, {"x", "y"}, ctx);
+  Relation algebra = algebra_.EvaluateAsRelation(f, {"x", "y"}, ctx);
+  Relation expected(2);
+  expected.Insert({1, 2});
+  expected.Insert({4, 4});
+  EXPECT_EQ(naive, expected);
+  EXPECT_EQ(algebra, expected);
+}
+
+TEST_F(EvalTest, TopLevelNegationComplements) {
+  F f = !Rel("U", {V("x")});
+  EvalContext ctx(structure_);
+  Relation naive = NaiveEvaluator::EvaluateAsRelation(f, {"x"}, ctx);
+  Relation algebra = algebra_.EvaluateAsRelation(f, {"x"}, ctx);
+  EXPECT_EQ(naive.size(), 3u);  // {0, 2, 4}
+  EXPECT_EQ(naive, algebra);
+}
+
+TEST_F(EvalTest, DisjunctionWithDifferentFreeVariables) {
+  // { (x, y) : U(x) | E(x, y) }.
+  F f = Rel("U", {V("x")}) || Rel("E", {V("x"), V("y")});
+  EvalContext ctx(structure_);
+  Relation naive = NaiveEvaluator::EvaluateAsRelation(f, {"x", "y"}, ctx);
+  Relation algebra = algebra_.EvaluateAsRelation(f, {"x", "y"}, ctx);
+  EXPECT_EQ(naive, algebra);
+  EXPECT_TRUE(naive.Contains({1, 4}));  // from U(1) padded
+  EXPECT_TRUE(naive.Contains({2, 3}));  // from E
+  EXPECT_FALSE(naive.Contains({0, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: the two evaluators agree on random formulas over random
+// structures. This is the central evaluator-correctness guarantee.
+// ---------------------------------------------------------------------------
+
+struct SweepParam {
+  uint64_t seed;
+  size_t universe;
+  int depth;
+  double density;
+};
+
+class EvaluatorEquivalence : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(EvaluatorEquivalence, SentencesAgree) {
+  const SweepParam param = GetParam();
+  core::Rng rng(param.seed);
+  auto vocab = TestVocabulary();
+  Structure structure(vocab, param.universe);
+  dynfo::testing::RandomizeStructure(&structure, &rng, param.density);
+  AlgebraEvaluator algebra;
+  int fresh = 0;
+  for (int i = 0; i < 40; ++i) {
+    FormulaPtr f = dynfo::testing::RandomFormula(&rng, *vocab, {}, param.universe,
+                                                 param.depth, &fresh);
+    EvalContext ctx(structure);
+    EXPECT_EQ(NaiveEvaluator::HoldsSentence(f, ctx), algebra.HoldsSentence(f, ctx))
+        << "formula: " << f->ToString();
+  }
+}
+
+TEST_P(EvaluatorEquivalence, RelationsAgree) {
+  const SweepParam param = GetParam();
+  core::Rng rng(param.seed * 7919 + 13);
+  auto vocab = TestVocabulary();
+  Structure structure(vocab, param.universe);
+  dynfo::testing::RandomizeStructure(&structure, &rng, param.density);
+  AlgebraEvaluator algebra;
+  int fresh = 0;
+  for (int i = 0; i < 25; ++i) {
+    FormulaPtr f = dynfo::testing::RandomFormula(&rng, *vocab, {"x", "y"},
+                                                 param.universe, param.depth, &fresh);
+    EvalContext ctx(structure);
+    Relation naive = NaiveEvaluator::EvaluateAsRelation(f, {"x", "y"}, ctx);
+    Relation fast = algebra.EvaluateAsRelation(f, {"x", "y"}, ctx);
+    EXPECT_EQ(naive, fast) << "formula: " << f->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EvaluatorEquivalence,
+    ::testing::Values(SweepParam{1, 3, 2, 0.3}, SweepParam{2, 4, 2, 0.5},
+                      SweepParam{3, 5, 3, 0.2}, SweepParam{4, 6, 2, 0.1},
+                      SweepParam{5, 4, 3, 0.4}, SweepParam{6, 7, 2, 0.3},
+                      SweepParam{7, 5, 2, 0.6}, SweepParam{8, 3, 4, 0.5}),
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.universe) + "_d" +
+             std::to_string(param_info.param.depth);
+    });
+
+}  // namespace
+}  // namespace dynfo::fo

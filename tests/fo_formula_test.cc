@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "fo/builder.h"
+#include "fo/formula.h"
+
+namespace dynfo::fo {
+namespace {
+
+TEST(TermTest, Kinds) {
+  EXPECT_EQ(Term::Var("x").kind(), TermKind::kVariable);
+  EXPECT_EQ(Term::Const("s").kind(), TermKind::kConstantSymbol);
+  EXPECT_EQ(Term::Param(1).kind(), TermKind::kParameter);
+  EXPECT_EQ(Term::Min().kind(), TermKind::kMin);
+  EXPECT_EQ(Term::Max().kind(), TermKind::kMax);
+  EXPECT_EQ(Term::Number(5).kind(), TermKind::kNumber);
+}
+
+TEST(TermTest, ToString) {
+  EXPECT_EQ(Term::Var("x").ToString(), "x");
+  EXPECT_EQ(Term::Param(0).ToString(), "$0");
+  EXPECT_EQ(Term::Min().ToString(), "min");
+  EXPECT_EQ(Term::Number(7).ToString(), "7");
+}
+
+TEST(TermTest, Equality) {
+  EXPECT_EQ(Term::Var("x"), Term::Var("x"));
+  EXPECT_NE(Term::Var("x"), Term::Var("y"));
+  EXPECT_NE(Term::Var("x"), Term::Const("x"));
+  EXPECT_EQ(Term::Param(2), Term::Param(2));
+  EXPECT_NE(Term::Number(1), Term::Number(2));
+}
+
+TEST(FormulaTest, AndSimplification) {
+  FormulaPtr t = Formula::True();
+  FormulaPtr atom = Formula::Atom("R", {Term::Var("x")});
+  EXPECT_EQ(Formula::And({}), Formula::True());
+  EXPECT_EQ(Formula::And({t, atom}), atom);  // identity dropped, singleton unwrapped
+  EXPECT_EQ(Formula::And({atom, Formula::False()})->kind(), FormulaKind::kFalse);
+}
+
+TEST(FormulaTest, OrSimplification) {
+  FormulaPtr atom = Formula::Atom("R", {Term::Var("x")});
+  EXPECT_EQ(Formula::Or({}), Formula::False());
+  EXPECT_EQ(Formula::Or({Formula::False(), atom}), atom);
+  EXPECT_EQ(Formula::Or({atom, Formula::True()})->kind(), FormulaKind::kTrue);
+}
+
+TEST(FormulaTest, NestedAndFlattens) {
+  FormulaPtr a = Formula::Atom("R", {Term::Var("x")});
+  FormulaPtr b = Formula::Atom("S", {Term::Var("y")});
+  FormulaPtr c = Formula::Atom("Q", {Term::Var("z")});
+  FormulaPtr nested = Formula::And({Formula::And({a, b}), c});
+  EXPECT_EQ(nested->children().size(), 3u);
+}
+
+TEST(FormulaTest, NotOfConstantsFolds) {
+  EXPECT_EQ(Formula::Not(Formula::True())->kind(), FormulaKind::kFalse);
+  EXPECT_EQ(Formula::Not(Formula::False())->kind(), FormulaKind::kTrue);
+}
+
+TEST(FormulaTest, FreeVariablesBasic) {
+  F f = Rel("E", {V("x"), V("y")}) && EqT(V("x"), Term::Min());
+  EXPECT_EQ(f->FreeVariables(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(FormulaTest, QuantifierBindsVariables) {
+  F f = Exists({"y"}, Rel("E", {V("x"), V("y")}));
+  EXPECT_EQ(f->FreeVariables(), (std::vector<std::string>{"x"}));
+}
+
+TEST(FormulaTest, ShadowingInNestedQuantifiers) {
+  // exists x. (E(x, y) & forall x. R(x)) — outer free vars: {y}.
+  F inner = Rel("E", {V("x"), V("y")}) && Forall({"x"}, Rel("R", {V("x")}));
+  F f = Exists({"x"}, inner);
+  EXPECT_EQ(f->FreeVariables(), (std::vector<std::string>{"y"}));
+}
+
+TEST(FormulaTest, QuantifierDepth) {
+  F atom = Rel("R", {V("x")});
+  EXPECT_EQ(atom->QuantifierDepth(), 0);
+  F one = Exists({"x"}, atom);
+  EXPECT_EQ(one->QuantifierDepth(), 1);
+  F two = Forall({"y"}, Rel("E", {V("y"), V("y")}) && one);
+  EXPECT_EQ(two->QuantifierDepth(), 2);
+  // Sibling quantifiers do not add depth.
+  F siblings = one && Exists({"z"}, Rel("R", {V("z")}));
+  EXPECT_EQ(siblings->QuantifierDepth(), 1);
+}
+
+TEST(FormulaTest, MaxParameterIndex) {
+  EXPECT_EQ(Rel("R", {V("x")})->MaxParameterIndex(), -1);
+  F f = Rel("E", {P0(), V("x")}) || EqT(V("x"), P1());
+  EXPECT_EQ(f->MaxParameterIndex(), 1);
+}
+
+TEST(FormulaTest, MentionedRelations) {
+  F f = Rel("E", {V("x"), V("y")}) && !Rel("F", {V("x"), V("y")});
+  std::set<std::string> expected{"E", "F"};
+  EXPECT_EQ(f->MentionedRelations(), expected);
+}
+
+TEST(FormulaTest, SizeCountsNodes) {
+  F f = Rel("R", {V("x")}) && Rel("S", {V("x")});
+  EXPECT_EQ(f->Size(), 3);
+}
+
+TEST(SubstituteTest, ReplacesFreeOccurrences) {
+  F f = Rel("E", {V("x"), V("y")});
+  FormulaPtr g = Formula::Substitute(f, {{"x", Term::Param(0)}});
+  EXPECT_EQ(g->ToString(), "E($0, y)");
+}
+
+TEST(SubstituteTest, BoundOccurrencesUntouched) {
+  F f = Exists({"x"}, Rel("E", {V("x"), V("y")}));
+  FormulaPtr g = Formula::Substitute(f, {{"x", Term::Number(3)}});
+  EXPECT_EQ(g->ToString(), f->ToString());
+}
+
+TEST(SubstituteTest, AvoidsCapture) {
+  // (exists y. E(x, y))[x := y] must not capture the substituted y.
+  F f = Exists({"y"}, Rel("E", {V("x"), V("y")}));
+  FormulaPtr g = Formula::Substitute(f, {{"x", Term::Var("y")}});
+  // The bound y must have been renamed; the free y appears as first arg.
+  std::vector<std::string> free = g->FreeVariables();
+  EXPECT_EQ(free, (std::vector<std::string>{"y"}));
+  EXPECT_NE(g->ToString(), "(exists y. E(y, y))");
+}
+
+TEST(SubstituteTest, SimultaneousSwap) {
+  F f = Rel("E", {V("x"), V("y")});
+  FormulaPtr g = Formula::Substitute(f, {{"x", Term::Var("y")}, {"y", Term::Var("x")}});
+  EXPECT_EQ(g->ToString(), "E(y, x)");
+}
+
+TEST(BuilderTest, OperatorsBuildExpectedShapes) {
+  F f = (Rel("A", {}) && Rel("B", {})) || !Rel("C", {});
+  EXPECT_EQ(f->kind(), FormulaKind::kOr);
+  EXPECT_EQ(f->children()[0]->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f->children()[1]->kind(), FormulaKind::kNot);
+}
+
+TEST(BuilderTest, EqEdgeExpands) {
+  F f = EqEdge(V("x"), V("y"), P0(), P1());
+  EXPECT_EQ(f->ToString(), "((x = $0 & y = $1) | (x = $1 & y = $0))");
+}
+
+TEST(BuilderTest, ImpliesAndIff) {
+  F a = Rel("A", {});
+  F b = Rel("B", {});
+  EXPECT_EQ(Implies(a, b)->ToString(), "(!(A()) | B())");
+  EXPECT_EQ(Iff(a, b)->kind(), FormulaKind::kAnd);
+}
+
+TEST(PrinterTest, QuantifiersAndNumerics) {
+  F f = Forall({"u", "w"}, LeT(V("u"), V("w")) || BitT(V("u"), Term::Min()));
+  EXPECT_EQ(f->ToString(), "(forall u w. (u <= w | BIT(u, min)))");
+}
+
+}  // namespace
+}  // namespace dynfo::fo

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "fo/builder.h"
+#include "fo/eval_algebra.h"
+#include "fo/eval_naive.h"
+#include "fo/normalize.h"
+#include "fo/parser.h"
+#include "test_util.h"
+
+namespace dynfo::fo {
+namespace {
+
+using relational::Structure;
+using relational::Vocabulary;
+
+std::shared_ptr<const Vocabulary> TestVocabulary() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  v->AddRelation("U", 1);
+  v->AddConstant("s");
+  return v;
+}
+
+TEST(NnfTest, DeMorganOverConnectives) {
+  auto f = ParseFormula("!(E(x, y) & U(x))", TestVocabulary()).value();
+  FormulaPtr nnf = ToNnf(f);
+  EXPECT_TRUE(IsNnf(nnf));
+  EXPECT_EQ(nnf->ToString(), "(!(E(x, y)) | !(U(x)))");
+}
+
+TEST(NnfTest, QuantifierDualization) {
+  auto f = ParseFormula("!(exists x. (forall y. E(x, y)))", TestVocabulary()).value();
+  FormulaPtr nnf = ToNnf(f);
+  EXPECT_TRUE(IsNnf(nnf));
+  EXPECT_EQ(nnf->ToString(), "(forall x. (exists y. !(E(x, y))))");
+}
+
+TEST(NnfTest, DoubleNegationCancels) {
+  auto f = ParseFormula("!!U(x)", TestVocabulary()).value();
+  FormulaPtr nnf = ToNnf(f);
+  EXPECT_EQ(nnf->ToString(), "U(x)");
+}
+
+TEST(NnfTest, FixedPointOnNnfInput) {
+  auto f = ParseFormula("!U(x) | (E(x, y) & !E(y, x))", TestVocabulary()).value();
+  EXPECT_TRUE(IsNnf(f));
+  EXPECT_TRUE(StructurallyEqual(ToNnf(f), f));
+}
+
+TEST(NnfTest, IsNnfRejectsBuriedNegation) {
+  auto f = ParseFormula("!(U(x) | U(y))", TestVocabulary()).value();
+  EXPECT_FALSE(IsNnf(f));
+}
+
+TEST(StructurallyEqualTest, DistinguishesShapes) {
+  auto vocab = TestVocabulary();
+  auto a = ParseFormula("E(x, y) & U(x)", vocab).value();
+  auto b = ParseFormula("E(x, y) & U(x)", vocab).value();
+  auto c = ParseFormula("E(x, y) & U(y)", vocab).value();
+  EXPECT_TRUE(StructurallyEqual(a, b));
+  EXPECT_FALSE(StructurallyEqual(a, c));
+}
+
+// Property sweep: NNF preserves semantics on random formulas, under both
+// evaluators; and printing + reparsing preserves semantics too.
+struct NnfParam {
+  uint64_t seed;
+  size_t universe;
+  int depth;
+};
+
+class NnfEquivalence : public ::testing::TestWithParam<NnfParam> {};
+
+TEST_P(NnfEquivalence, NnfAndRoundTripPreserveSemantics) {
+  const NnfParam param = GetParam();
+  core::Rng rng(param.seed);
+  auto vocab = TestVocabulary();
+  Structure structure(vocab, param.universe);
+  dynfo::testing::RandomizeStructure(&structure, &rng, 0.35);
+  AlgebraEvaluator algebra;
+  ParserEnvironment parser(vocab);
+  int fresh = 0;
+  for (int i = 0; i < 30; ++i) {
+    FormulaPtr f = dynfo::testing::RandomFormula(&rng, *vocab, {"x", "y"},
+                                                 param.universe, param.depth, &fresh);
+    EvalContext ctx(structure);
+    relational::Relation reference =
+        NaiveEvaluator::EvaluateAsRelation(f, {"x", "y"}, ctx);
+
+    FormulaPtr nnf = ToNnf(f);
+    ASSERT_TRUE(IsNnf(nnf)) << f->ToString();
+    EXPECT_EQ(NaiveEvaluator::EvaluateAsRelation(nnf, {"x", "y"}, ctx), reference)
+        << "NNF changed semantics of " << f->ToString();
+    EXPECT_EQ(algebra.EvaluateAsRelation(nnf, {"x", "y"}, ctx), reference)
+        << "NNF+algebra changed semantics of " << f->ToString();
+
+    // Printer/parser round trip (random formulas have no macros/params).
+    auto reparsed = parser.Parse(f->ToString());
+    ASSERT_TRUE(reparsed.ok()) << f->ToString() << ": "
+                               << reparsed.status().message();
+    EXPECT_EQ(
+        NaiveEvaluator::EvaluateAsRelation(reparsed.value(), {"x", "y"}, ctx),
+        reference)
+        << "round trip changed semantics of " << f->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NnfEquivalence,
+    ::testing::Values(NnfParam{1, 3, 2}, NnfParam{2, 4, 3}, NnfParam{3, 5, 2},
+                      NnfParam{4, 4, 4}, NnfParam{5, 6, 2}),
+    [](const ::testing::TestParamInfo<NnfParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.universe) + "_d" +
+             std::to_string(param_info.param.depth);
+    });
+
+}  // namespace
+}  // namespace dynfo::fo

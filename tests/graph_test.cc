@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+
+namespace dynfo::graph {
+namespace {
+
+TEST(UndirectedGraphTest, AddRemoveSymmetric) {
+  UndirectedGraph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(1, 0));  // same edge
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.RemoveEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+}
+
+TEST(DigraphTest, AddRemoveDirected) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.InNeighbors(1).size(), 1u);
+  g.RemoveEdge(0, 1);
+  EXPECT_TRUE(g.InNeighbors(1).empty());
+}
+
+TEST(ReachableTest, UndirectedPathAndIsolation) {
+  UndirectedGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(Reachable(g, 0, 2));
+  EXPECT_TRUE(Reachable(g, 2, 0));
+  EXPECT_FALSE(Reachable(g, 0, 3));
+  EXPECT_TRUE(Reachable(g, 4, 4));
+}
+
+TEST(ReachableTest, DirectedRespectsOrientation) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(Reachable(g, 0, 2));
+  EXPECT_FALSE(Reachable(g, 2, 0));
+}
+
+TEST(ComponentsTest, CountsAndIds) {
+  UndirectedGraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  EXPECT_EQ(CountComponents(g), 3u);  // {0,1}, {2,3,4}, {5}
+  std::vector<Vertex> component = ConnectedComponents(g);
+  EXPECT_EQ(component[1], 0u);
+  EXPECT_EQ(component[4], 2u);
+  EXPECT_EQ(component[5], 5u);
+}
+
+TEST(BipartiteTest, EvenCycleYesOddCycleNo) {
+  UndirectedGraph even(4);
+  even.AddEdge(0, 1);
+  even.AddEdge(1, 2);
+  even.AddEdge(2, 3);
+  even.AddEdge(3, 0);
+  EXPECT_TRUE(IsBipartite(even));
+
+  UndirectedGraph odd(3);
+  odd.AddEdge(0, 1);
+  odd.AddEdge(1, 2);
+  odd.AddEdge(2, 0);
+  EXPECT_FALSE(IsBipartite(odd));
+}
+
+TEST(BipartiteTest, ForestAlwaysBipartite) {
+  UndirectedGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  EXPECT_TRUE(IsBipartite(g));
+}
+
+TEST(KEdgeConnectedTest, BridgeVsCycle) {
+  // 0-1 bridge: 1-edge-connected but not 2.
+  UndirectedGraph bridge(2);
+  bridge.AddEdge(0, 1);
+  EXPECT_TRUE(KEdgeConnected(bridge, 0, 1, 1));
+  EXPECT_FALSE(KEdgeConnected(bridge, 0, 1, 2));
+  // A 4-cycle gives exactly 2 edge-disjoint paths.
+  UndirectedGraph cycle(4);
+  cycle.AddEdge(0, 1);
+  cycle.AddEdge(1, 2);
+  cycle.AddEdge(2, 3);
+  cycle.AddEdge(3, 0);
+  EXPECT_TRUE(KEdgeConnected(cycle, 0, 2, 2));
+  EXPECT_FALSE(KEdgeConnected(cycle, 0, 2, 3));
+}
+
+TEST(KEdgeConnectedTest, DisconnectedIsZeroConnected) {
+  UndirectedGraph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_FALSE(KEdgeConnected(g, 0, 2, 1));
+}
+
+TEST(TransitiveClosureTest, PathClosure) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  std::vector<bool> closure = TransitiveClosure(g);
+  EXPECT_TRUE(closure[0 * 4 + 3]);
+  EXPECT_TRUE(closure[1 * 4 + 3]);
+  EXPECT_FALSE(closure[3 * 4 + 0]);
+  EXPECT_TRUE(closure[2 * 4 + 2]);  // reflexive by ReachableSet convention
+}
+
+TEST(IsAcyclicTest, DetectsCycles) {
+  Digraph dag(3);
+  dag.AddEdge(0, 1);
+  dag.AddEdge(1, 2);
+  dag.AddEdge(0, 2);
+  EXPECT_TRUE(IsAcyclic(dag));
+  dag.AddEdge(2, 0);
+  EXPECT_FALSE(IsAcyclic(dag));
+}
+
+TEST(TransitiveReductionTest, RemovesShortcuts) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);  // implied by 0 -> 1 -> 2
+  Digraph tr = TransitiveReduction(g);
+  EXPECT_TRUE(tr.HasEdge(0, 1));
+  EXPECT_TRUE(tr.HasEdge(1, 2));
+  EXPECT_FALSE(tr.HasEdge(0, 2));
+}
+
+TEST(TransitiveReductionTest, DiamondKeepsAllNonRedundant) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  Digraph tr = TransitiveReduction(g);
+  EXPECT_EQ(tr.num_edges(), 4u);
+}
+
+TEST(MaximalMatchingTest, Checker) {
+  UndirectedGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_TRUE(IsMaximalMatching(g, {{0, 1}, {2, 3}}));
+  // {1,2} alone is maximal: every remaining edge touches 1 or 2.
+  EXPECT_TRUE(IsMaximalMatching(g, {{1, 2}}));
+  EXPECT_FALSE(IsMaximalMatching(g, {}));                // (0,1) extendable
+  EXPECT_FALSE(IsMaximalMatching(g, {{0, 2}}));          // not an edge
+  EXPECT_FALSE(IsMaximalMatching(g, {{0, 1}, {1, 2}}));  // overlapping
+}
+
+TEST(LcaTest, SimpleTree) {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 1 -> 4 (parent -> child).
+  Digraph forest(5);
+  forest.AddEdge(0, 1);
+  forest.AddEdge(0, 2);
+  forest.AddEdge(1, 3);
+  forest.AddEdge(1, 4);
+  EXPECT_EQ(LowestCommonAncestor(forest, 3, 4), std::optional<Vertex>(1));
+  EXPECT_EQ(LowestCommonAncestor(forest, 3, 2), std::optional<Vertex>(0));
+  EXPECT_EQ(LowestCommonAncestor(forest, 3, 1), std::optional<Vertex>(1));
+  EXPECT_EQ(LowestCommonAncestor(forest, 2, 2), std::optional<Vertex>(2));
+}
+
+TEST(LcaTest, SeparateTreesHaveNoLca) {
+  Digraph forest(4);
+  forest.AddEdge(0, 1);
+  forest.AddEdge(2, 3);
+  EXPECT_EQ(LowestCommonAncestor(forest, 1, 3), std::nullopt);
+}
+
+TEST(FromRelationTest, BuildsGraphs) {
+  relational::Relation edges(2);
+  edges.Insert({0, 1});
+  edges.Insert({1, 2});
+  UndirectedGraph ug = UndirectedGraph::FromRelation(edges, 3);
+  EXPECT_TRUE(ug.HasEdge(1, 0));
+  Digraph dg = Digraph::FromRelation(edges, 3);
+  EXPECT_FALSE(dg.HasEdge(1, 0));
+  EXPECT_TRUE(dg.HasEdge(0, 1));
+}
+
+}  // namespace
+}  // namespace dynfo::graph

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "reductions/iterated_product.h"
+
+namespace dynfo::reductions {
+namespace {
+
+TEST(Perm5Test, IdentityAndComposition) {
+  EXPECT_TRUE(Perm5::Identity().IsIdentity());
+  Perm5 abc = Perm5::Cycle({0, 1, 2});
+  EXPECT_EQ(abc.Apply(0), 1);
+  EXPECT_EQ(abc.Apply(2), 0);
+  EXPECT_EQ(abc.Apply(4), 4);
+  // A 3-cycle has order 3.
+  EXPECT_FALSE(abc.Then(abc).IsIdentity());
+  EXPECT_TRUE(abc.Then(abc).Then(abc).IsIdentity());
+}
+
+TEST(Perm5Test, InverseCancels) {
+  core::Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random permutation via random transposition products.
+    Perm5 p = Perm5::Identity();
+    for (int i = 0; i < 6; ++i) {
+      uint8_t a = static_cast<uint8_t>(rng.Below(5));
+      uint8_t b = static_cast<uint8_t>(rng.Below(5));
+      if (a != b) p = p.Then(Perm5::Cycle({a, b}));
+    }
+    EXPECT_TRUE(p.Then(p.Inverse()).IsIdentity()) << p.ToString();
+    EXPECT_TRUE(p.Inverse().Then(p).IsIdentity()) << p.ToString();
+  }
+}
+
+TEST(Perm5Test, S5IsNonabelian) {
+  // The whole point of Barrington's construction: S5 has non-commuting
+  // elements (a nonsolvable group).
+  Perm5 a = Perm5::Cycle({0, 1, 2});
+  Perm5 b = Perm5::Cycle({2, 3, 4});
+  EXPECT_NE(a.Then(b), b.Then(a));
+}
+
+TEST(Perm5DeathTest, RejectsNonPermutations) {
+  EXPECT_DEATH(Perm5({0, 0, 2, 3, 4}), "not a permutation");
+  EXPECT_DEATH(Perm5({0, 1, 2, 3, 7}), "out of range");
+}
+
+TEST(ColorProductTest, ColorBitSteersWholeClass) {
+  // Two positions in the same class: both contribute sigma_0 or both
+  // sigma_1 — one bit flip rewrites the whole word, the paper's
+  // bounded-expansion device.
+  Perm5 abc = Perm5::Cycle({0, 1, 2});
+  ColorProductInstance instance;
+  instance.positions = {{abc, abc.Inverse()}, {abc.Then(abc), abc}};
+  instance.position_class = {1, 1};
+  instance.colors = {false, false};
+  // C[1]=0: abc * abc^2 = abc^3 = id.
+  EXPECT_TRUE(ColorProductIsIdentity(instance));
+  // C[1]=1: abc^-1 * abc = id as well — pick a sharper pair:
+  instance.positions = {{abc, abc}, {abc.Then(abc), abc}};
+  EXPECT_TRUE(ColorProductIsIdentity(instance));  // C=0: abc * abc^2
+  instance.colors[1] = true;
+  EXPECT_FALSE(ColorProductIsIdentity(instance));  // C=1: abc * abc = abc^2
+}
+
+TEST(ColorProductTest, FreeClassAlwaysTakesSigmaZero) {
+  Perm5 swap = Perm5::Cycle({0, 1});
+  ColorProductInstance instance;
+  instance.positions = {{swap, Perm5::Identity()}, {swap, Perm5::Identity()}};
+  instance.position_class = {0, 0};  // class 0: always sigma_0
+  instance.colors = {true};          // irrelevant
+  EXPECT_TRUE(ColorProductIsIdentity(instance));  // swap * swap = id
+}
+
+TEST(ColorProductTest, RandomWordsEvaluateConsistently) {
+  core::Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t m = 1 + rng.Below(10);
+    const int classes = 1 + static_cast<int>(rng.Below(3));
+    ColorProductInstance instance;
+    instance.colors.assign(classes + 1, false);
+    for (int c = 1; c <= classes; ++c) instance.colors[c] = rng.Chance(1, 2);
+    Perm5 expected = Perm5::Identity();
+    for (size_t i = 0; i < m; ++i) {
+      auto random_perm = [&] {
+        Perm5 p = Perm5::Identity();
+        for (int k = 0; k < 4; ++k) {
+          uint8_t a = static_cast<uint8_t>(rng.Below(5));
+          uint8_t b = static_cast<uint8_t>(rng.Below(5));
+          if (a != b) p = p.Then(Perm5::Cycle({a, b}));
+        }
+        return p;
+      };
+      Perm5 s0 = random_perm(), s1 = random_perm();
+      int c = static_cast<int>(rng.Below(classes + 1));
+      instance.positions.emplace_back(s0, s1);
+      instance.position_class.push_back(c);
+      bool one = c > 0 && instance.colors[c];
+      expected = expected.Then(one ? s1 : s0);
+    }
+    EXPECT_EQ(SolveColorProduct(instance), expected) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace dynfo::reductions

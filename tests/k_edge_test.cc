@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "dynfo/workload.h"
+#include "programs/k_edge.h"
+
+namespace dynfo::programs {
+namespace {
+
+using relational::Request;
+using relational::Structure;
+
+TEST(KEdgeTest, BridgeVersusCycle) {
+  KEdgeEngine engine(5);
+  engine.Apply(Request::Insert("E", {0, 1}));
+  EXPECT_TRUE(engine.Query(0, 1, 1));
+  EXPECT_FALSE(engine.Query(0, 1, 2));  // a bridge
+
+  engine.Apply(Request::Insert("E", {1, 2}));
+  engine.Apply(Request::Insert("E", {2, 3}));
+  engine.Apply(Request::Insert("E", {3, 0}));  // 4-cycle
+  EXPECT_TRUE(engine.Query(0, 2, 2));
+  EXPECT_FALSE(engine.Query(0, 2, 3));
+}
+
+TEST(KEdgeTest, DisconnectedPairs) {
+  KEdgeEngine engine(4);
+  engine.Apply(Request::Insert("E", {0, 1}));
+  EXPECT_FALSE(engine.Query(0, 3, 1));
+  EXPECT_TRUE(engine.Query(3, 3, 2));  // trivially self-connected
+}
+
+TEST(KEdgeTest, ThreeEdgeConnectivity) {
+  // K4 is 3-edge-connected between every pair.
+  KEdgeEngine engine(4);
+  for (uint32_t u = 0; u < 4; ++u) {
+    for (uint32_t v = u + 1; v < 4; ++v) {
+      engine.Apply(Request::Insert("E", {u, v}));
+    }
+  }
+  EXPECT_TRUE(engine.Query(0, 3, 3));
+  EXPECT_FALSE(engine.Query(0, 3, 4));
+  engine.Apply(Request::Delete("E", {0, 3}));
+  EXPECT_FALSE(engine.Query(0, 3, 3));
+  EXPECT_TRUE(engine.Query(0, 3, 2));
+}
+
+TEST(KEdgeTest, MatchesMaxFlowOracleOnChurn) {
+  const size_t n = 7;
+  dyn::GraphWorkloadOptions workload;
+  workload.num_requests = 60;
+  workload.seed = 5;
+  workload.undirected = true;
+  relational::RequestSequence requests = dyn::MakeGraphWorkload(
+      *(KEdgeEngine(n).engine().program().input_vocabulary()), "E", n, workload);
+
+  KEdgeEngine engine(n);
+  Structure input(engine.engine().program().input_vocabulary(), n);
+  size_t step = 0;
+  for (const relational::Request& request : requests) {
+    engine.Apply(request);
+    relational::ApplyRequest(&input, request);
+    ++step;
+    if (step % 5 != 0) continue;  // queries are the expensive part
+    for (int k = 1; k <= 3; ++k) {
+      ASSERT_EQ(engine.Query(1, 5, k), KEdgeOracle(input, 1, 5, k))
+          << "k=" << k << " at step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynfo::programs

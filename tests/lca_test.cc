@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "dynfo/verifier.h"
+#include "dynfo/workload.h"
+#include "graph/algorithms.h"
+#include "programs/lca.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using dyn::EvalMode;
+using relational::Request;
+using relational::Structure;
+
+/// The named lca query must agree with the oracle for every vertex pair.
+std::string LcaInvariant(const Structure& input, const Engine& engine) {
+  const size_t n = input.universe_size();
+  graph::Digraph forest = graph::Digraph::FromRelation(input.relation("E"), n);
+  relational::Relation lca = engine.QueryRelation("lca");
+  for (uint32_t x = 0; x < n; ++x) {
+    for (uint32_t y = 0; y < n; ++y) {
+      std::optional<graph::Vertex> expected =
+          graph::LowestCommonAncestor(forest, x, y);
+      for (uint32_t a = 0; a < n; ++a) {
+        bool want = expected.has_value() && *expected == a;
+        if (want != lca.Contains({x, y, a})) {
+          return "lca(" + std::to_string(x) + "," + std::to_string(y) + ") = " +
+                 std::to_string(a) + " should be " + (want ? "true" : "false");
+        }
+      }
+    }
+  }
+  return "";
+}
+
+TEST(LcaTest, ProgramValidates) {
+  EXPECT_TRUE(MakeLcaProgram()->Validate().ok());
+}
+
+TEST(LcaTest, HandTree) {
+  Engine engine(MakeLcaProgram(), 6);
+  // 0 -> 1, 0 -> 2, 1 -> 3, 1 -> 4.
+  engine.Apply(Request::Insert("E", {0, 1}));
+  engine.Apply(Request::Insert("E", {0, 2}));
+  engine.Apply(Request::Insert("E", {1, 3}));
+  engine.Apply(Request::Insert("E", {1, 4}));
+  relational::Relation lca = engine.QueryRelation("lca");
+  EXPECT_TRUE(lca.Contains({3, 4, 1}));
+  EXPECT_TRUE(lca.Contains({3, 2, 0}));
+  EXPECT_TRUE(lca.Contains({3, 1, 1}));  // ancestor of itself
+  EXPECT_FALSE(lca.Contains({3, 4, 0}));  // 0 is common but not lowest
+  EXPECT_FALSE(lca.Contains({3, 5, 0}));  // 5 is in another tree
+
+  engine.Apply(Request::SetConstant("s", 3));
+  engine.Apply(Request::SetConstant("t", 5));
+  EXPECT_FALSE(engine.QueryBool());
+  engine.Apply(Request::Insert("E", {2, 5}));
+  EXPECT_TRUE(engine.QueryBool());
+}
+
+TEST(LcaTest, DeletingEdgeSplitsSubtree) {
+  Engine engine(MakeLcaProgram(), 5);
+  engine.Apply(Request::Insert("E", {0, 1}));
+  engine.Apply(Request::Insert("E", {1, 2}));
+  engine.Apply(Request::SetConstant("s", 2));
+  engine.Apply(Request::SetConstant("t", 0));
+  EXPECT_TRUE(engine.QueryBool());
+  engine.Apply(Request::Delete("E", {0, 1}));
+  EXPECT_FALSE(engine.QueryBool());  // 2's tree no longer contains 0
+}
+
+struct LcaParam {
+  uint64_t seed;
+  size_t universe;
+  size_t requests;
+  EvalMode mode;
+  bool delta;
+};
+
+class LcaVerification : public ::testing::TestWithParam<LcaParam> {};
+
+TEST_P(LcaVerification, MatchesOracleOnForestChurn) {
+  const LcaParam param = GetParam();
+  dyn::GraphWorkloadOptions workload;
+  workload.num_requests = param.requests;
+  workload.seed = param.seed;
+  workload.forest_shape = true;
+  workload.set_fraction = 0.1;
+  relational::RequestSequence requests =
+      dyn::MakeGraphWorkload(*LcaInputVocabulary(), "E", param.universe, workload);
+
+  dyn::VerifierOptions options;
+  options.engine_options = {param.mode, param.delta};
+  options.invariant = LcaInvariant;
+  dyn::VerifierResult result = dyn::VerifyProgram(MakeLcaProgram(), LcaOracle,
+                                                  param.universe, requests, options);
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LcaVerification,
+    ::testing::Values(LcaParam{1, 8, 150, EvalMode::kAlgebra, true},
+                      LcaParam{2, 10, 150, EvalMode::kAlgebra, true},
+                      LcaParam{3, 8, 100, EvalMode::kAlgebra, false},
+                      LcaParam{4, 6, 60, EvalMode::kNaive, false},
+                      LcaParam{5, 12, 180, EvalMode::kAlgebra, true}),
+    [](const ::testing::TestParamInfo<LcaParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.universe) + "_" +
+             (param_info.param.mode == EvalMode::kNaive ? "naive" : "algebra") +
+             (param_info.param.delta ? "_delta" : "_full");
+    });
+
+}  // namespace
+}  // namespace dynfo::programs

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "dynfo/verifier.h"
+#include "dynfo/workload.h"
+#include "programs/matching.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using dyn::EvalMode;
+using relational::Request;
+
+/// The maximality invariant is the correctness statement; the boolean query
+/// ("matching nonempty") is checked against this derived oracle: a maximal
+/// matching is empty iff the graph has no non-loop edge.
+bool NonemptyOracle(const relational::Structure& input) {
+  for (const relational::Tuple& t : input.relation("E")) {
+    if (t[0] != t[1]) return true;
+  }
+  return false;
+}
+
+TEST(MatchingTest, ProgramValidates) {
+  EXPECT_TRUE(MakeMatchingProgram()->Validate().ok());
+}
+
+TEST(MatchingTest, GreedyInsertAndRematchOnDelete) {
+  Engine engine(MakeMatchingProgram(), 6);
+  engine.Apply(Request::Insert("E", {0, 1}));
+  relational::Relation match = engine.QueryRelation("match");
+  EXPECT_TRUE(match.Contains({0, 1}));
+  EXPECT_TRUE(match.Contains({1, 0}));
+
+  // 1 is taken, so (1, 2) stays unmatched, and (2, 3) gets matched.
+  engine.Apply(Request::Insert("E", {1, 2}));
+  engine.Apply(Request::Insert("E", {2, 3}));
+  match = engine.QueryRelation("match");
+  EXPECT_FALSE(match.Contains({1, 2}));
+  EXPECT_TRUE(match.Contains({2, 3}));
+
+  // Deleting (0, 1) frees 1; it must rematch with its min free neighbor.
+  // 1's neighbors: 2 (matched to 3) — no free neighbor, so 1 stays free.
+  engine.Apply(Request::Delete("E", {0, 1}));
+  match = engine.QueryRelation("match");
+  EXPECT_FALSE(match.Contains({0, 1}));
+  EXPECT_TRUE(match.Contains({2, 3}));
+
+  // Now delete (2, 3): 2 rematches with its min free neighbor 1.
+  engine.Apply(Request::Delete("E", {2, 3}));
+  match = engine.QueryRelation("match");
+  EXPECT_TRUE(match.Contains({1, 2}));
+}
+
+TEST(MatchingTest, DeleteUnmatchedEdgeKeepsMatching) {
+  Engine engine(MakeMatchingProgram(), 4);
+  engine.Apply(Request::Insert("E", {0, 1}));
+  engine.Apply(Request::Insert("E", {1, 2}));  // unmatched (1 taken)
+  engine.Apply(Request::Delete("E", {1, 2}));
+  relational::Relation match = engine.QueryRelation("match");
+  EXPECT_TRUE(match.Contains({0, 1}));
+  EXPECT_EQ(match.size(), 2u);  // the two orientations of (0, 1)
+}
+
+struct MatchParam {
+  uint64_t seed;
+  size_t universe;
+  size_t requests;
+  EvalMode mode;
+  bool delta;
+  int max_degree;
+};
+
+class MatchingVerification : public ::testing::TestWithParam<MatchParam> {};
+
+TEST_P(MatchingVerification, MaximalityHoldsUnderChurn) {
+  const MatchParam param = GetParam();
+  dyn::GraphWorkloadOptions workload;
+  workload.num_requests = param.requests;
+  workload.seed = param.seed;
+  workload.undirected = true;
+  workload.max_degree = param.max_degree;
+  relational::RequestSequence requests = dyn::MakeGraphWorkload(
+      *MatchingInputVocabulary(), "E", param.universe, workload);
+
+  dyn::VerifierOptions options;
+  options.engine_options = {param.mode, param.delta};
+  options.invariant = MatchingInvariant;
+  dyn::VerifierResult result = dyn::VerifyProgram(
+      MakeMatchingProgram(), NonemptyOracle, param.universe, requests, options);
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatchingVerification,
+    ::testing::Values(MatchParam{1, 8, 150, EvalMode::kAlgebra, true, 3},
+                      MatchParam{2, 10, 150, EvalMode::kAlgebra, true, -1},
+                      MatchParam{3, 8, 100, EvalMode::kAlgebra, false, 3},
+                      MatchParam{4, 6, 60, EvalMode::kNaive, false, -1},
+                      MatchParam{5, 12, 180, EvalMode::kAlgebra, true, 4},
+                      MatchParam{6, 9, 150, EvalMode::kAlgebra, true, 2}),
+    [](const ::testing::TestParamInfo<MatchParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.universe) + "_" +
+             (param_info.param.mode == EvalMode::kNaive ? "naive" : "algebra") +
+             (param_info.param.delta ? "_delta" : "_full") + "_deg" +
+             std::to_string(param_info.param.max_degree + 1);
+    });
+
+}  // namespace
+}  // namespace dynfo::programs

@@ -1,0 +1,125 @@
+/// The paper's *memoryless* notion (§3): f is memoryless when f(r-bar)
+/// depends only on eval(r-bar) — the data structure is a function of the
+/// current input, not of the request history. These tests operationalize
+/// it: drive two different histories to the same input structure and
+/// compare the engines' data structures.
+///
+///   * REACH(acyclic) and transitive reduction are memoryless (Cor. 4.3
+///     says so explicitly): identical state, always.
+///   * MSF with distinct weights is memoryless (Thm 4.4's closing remark).
+///   * REACH_u's forest is history-dependent (footnote 2: edges are chosen
+///     by insertion order unless an ordering is imposed) — we exhibit a
+///     concrete pair of histories with identical inputs but different
+///     forests, while the *answers* still agree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "dynfo/engine.h"
+#include "programs/msf.h"
+#include "programs/reach_acyclic.h"
+#include "programs/reach_u.h"
+#include "programs/transitive_reduction.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using relational::Request;
+using relational::RequestSequence;
+
+/// Builds two histories with the same final edge set: the base inserts, vs.
+/// a shuffled order interleaved with insert+delete detours.
+std::pair<RequestSequence, RequestSequence> TwoHistories(
+    const std::vector<relational::Tuple>& final_edges,
+    const std::vector<relational::Tuple>& detour_edges, uint64_t seed) {
+  RequestSequence direct;
+  for (const relational::Tuple& t : final_edges) direct.push_back(Request::Insert("E", t));
+
+  RequestSequence scenic;
+  std::vector<relational::Tuple> shuffled = final_edges;
+  core::Rng rng(seed);
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.Below(i)]);
+  }
+  for (size_t i = 0; i < shuffled.size(); ++i) {
+    if (i < detour_edges.size()) {
+      scenic.push_back(Request::Insert("E", detour_edges[i]));
+    }
+    scenic.push_back(Request::Insert("E", shuffled[i]));
+    if (i < detour_edges.size()) {
+      scenic.push_back(Request::Delete("E", detour_edges[i]));
+    }
+  }
+  return {direct, scenic};
+}
+
+TEST(MemorylessTest, ReachAcyclicIsMemoryless) {
+  std::vector<relational::Tuple> edges = {{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 3}};
+  std::vector<relational::Tuple> detours = {{5, 6}, {6, 7}, {5, 7}};
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    auto [direct, scenic] = TwoHistories(edges, detours, seed);
+    Engine a(MakeReachAcyclicProgram(), 8);
+    Engine b(MakeReachAcyclicProgram(), 8);
+    for (const Request& r : direct) a.Apply(r);
+    for (const Request& r : scenic) b.Apply(r);
+    EXPECT_EQ(a.data(), b.data()) << "seed " << seed;
+  }
+}
+
+TEST(MemorylessTest, TransitiveReductionIsMemoryless) {
+  // Corollary 4.3 claims memoryless Dyn-FO; TR must not remember order.
+  std::vector<relational::Tuple> edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {1, 3}};
+  std::vector<relational::Tuple> detours = {{4, 5}, {0, 3}};
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    auto [direct, scenic] = TwoHistories(edges, detours, seed);
+    Engine a(MakeTransitiveReductionProgram(), 6);
+    Engine b(MakeTransitiveReductionProgram(), 6);
+    for (const Request& r : direct) a.Apply(r);
+    for (const Request& r : scenic) b.Apply(r);
+    EXPECT_EQ(a.data(), b.data()) << "seed " << seed;
+  }
+}
+
+TEST(MemorylessTest, MsfWithDistinctWeightsIsMemoryless) {
+  // Theorem 4.4: "if the weights are all distinct ... this construction is
+  // memoryless." Same weighted edges, different insertion orders.
+  std::vector<relational::Tuple> edges = {{0, 1, 3}, {1, 2, 5}, {0, 2, 1}, {2, 3, 2}};
+  RequestSequence direct, reversed;
+  for (const relational::Tuple& t : edges) direct.push_back(Request::Insert("W", t));
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+    reversed.push_back(Request::Insert("W", *it));
+  }
+  Engine a(MakeMsfProgram(), 8);
+  Engine b(MakeMsfProgram(), 8);
+  for (const Request& r : direct) a.Apply(r);
+  for (const Request& r : reversed) b.Apply(r);
+  // The persistent auxiliary relations must agree; the delete/insert
+  // temporaries (T, T2, Swap, New) are per-update scratch and legitimately
+  // hold whatever the *last* request computed.
+  for (const char* name : {"W", "F", "PV"}) {
+    EXPECT_EQ(a.data().relation(name), b.data().relation(name)) << name;
+  }
+}
+
+TEST(MemorylessTest, ReachUForestIsHistoryDependentButAnswersAgree) {
+  // A triangle: whichever two edges arrive first span the forest, so the
+  // forest remembers the order (the paper's footnote 2) — but connectivity
+  // answers are identical.
+  RequestSequence order1 = {Request::Insert("E", {0, 1}), Request::Insert("E", {1, 2}),
+                            Request::Insert("E", {0, 2})};
+  RequestSequence order2 = {Request::Insert("E", {0, 2}), Request::Insert("E", {1, 2}),
+                            Request::Insert("E", {0, 1})};
+  Engine a(MakeReachUProgram(), 4);
+  Engine b(MakeReachUProgram(), 4);
+  for (const Request& r : order1) a.Apply(r);
+  for (const Request& r : order2) b.Apply(r);
+  EXPECT_NE(a.data().relation("F"), b.data().relation("F"))
+      << "expected the forest to remember insertion order";
+  EXPECT_EQ(a.QueryRelation("connected"), b.QueryRelation("connected"));
+}
+
+}  // namespace
+}  // namespace dynfo::programs

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "arith/bit_formulas.h"
+#include "core/rng.h"
+#include "dynfo/verifier.h"
+#include "fo/eval_algebra.h"
+#include "fo/eval_naive.h"
+#include "programs/multiplication.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using dyn::EvalMode;
+using relational::Request;
+using relational::Structure;
+
+TEST(BitFormulasTest, PlusFormulaMatchesArithmetic) {
+  // Evaluate the carry-lookahead formula over a bare universe and compare
+  // with integer addition.
+  auto vocab = std::make_shared<relational::Vocabulary>();
+  vocab->AddRelation("Dummy", 1);  // vocabularies need >= 0 relations; keep one
+  Structure s(vocab, 9);
+  fo::EvalContext ctx(s);
+  fo::FormulaPtr plus =
+      arith::PlusFormula(fo::V("i"), fo::V("j"), fo::V("k"));
+  relational::Relation sat =
+      fo::NaiveEvaluator::EvaluateAsRelation(plus, {"i", "j", "k"}, ctx);
+  for (uint32_t i = 0; i < 9; ++i) {
+    for (uint32_t j = 0; j < 9; ++j) {
+      for (uint32_t k = 0; k < 9; ++k) {
+        EXPECT_EQ(sat.Contains({i, j, k}), i + j == k)
+            << i << " + " << j << " = " << k;
+      }
+    }
+  }
+  // And the algebra evaluator agrees.
+  fo::AlgebraEvaluator algebra;
+  EXPECT_EQ(algebra.EvaluateAsRelation(plus, {"i", "j", "k"}, ctx), sat);
+}
+
+TEST(BitFormulasTest, SuccFormulaIsSuccessor) {
+  auto vocab = std::make_shared<relational::Vocabulary>();
+  vocab->AddRelation("Dummy", 1);
+  Structure s(vocab, 6);
+  fo::EvalContext ctx(s);
+  fo::FormulaPtr succ = arith::SuccFormula(fo::V("v"), fo::V("w"));
+  relational::Relation sat =
+      fo::NaiveEvaluator::EvaluateAsRelation(succ, {"v", "w"}, ctx);
+  EXPECT_EQ(sat.size(), 5u);
+  EXPECT_TRUE(sat.Contains({2, 3}));
+  EXPECT_FALSE(sat.Contains({3, 2}));
+  EXPECT_FALSE(sat.Contains({2, 4}));
+}
+
+TEST(MultiplicationTest, ProgramValidates) {
+  EXPECT_TRUE(MakeMultiplicationProgram(true)->Validate().ok());
+  EXPECT_TRUE(MakeMultiplicationProgram(false)->Validate().ok());
+}
+
+TEST(MultiplicationTest, FoInitEqualsNativeInit) {
+  const size_t n = 12;
+  Engine fo_engine(MakeMultiplicationProgram(true), n);
+  Engine native_engine(MakeMultiplicationProgram(false), n);
+  InstallPlusRelation(&native_engine);
+  EXPECT_EQ(fo_engine.data().relation("Plus"), native_engine.data().relation("Plus"));
+}
+
+TEST(MultiplicationTest, SmallProducts) {
+  const size_t n = 16;  // operands use bits < 8
+  Engine engine(MakeMultiplicationProgram(false), n);
+  InstallPlusRelation(&engine);
+
+  auto set_number = [&](const std::string& rel, uint32_t value) {
+    for (uint32_t bit = 0; bit < 8; ++bit) {
+      bool want = ((value >> bit) & 1) != 0;
+      bool have = engine.data().relation(rel).Contains({bit});
+      if (want && !have) engine.Apply(Request::Insert(rel, {bit}));
+      if (!want && have) engine.Apply(Request::Delete(rel, {bit}));
+    }
+  };
+  auto product = [&] {
+    uint32_t value = 0;
+    for (const relational::Tuple& t : engine.data().relation("Prod")) {
+      value |= 1u << t[0];
+    }
+    return value;
+  };
+
+  set_number("X", 5);
+  set_number("Y", 7);
+  EXPECT_EQ(product(), 35u);
+  set_number("X", 12);  // flip bits incrementally: 5 -> 12
+  EXPECT_EQ(product(), 84u);
+  set_number("Y", 0);
+  EXPECT_EQ(product(), 0u);
+  set_number("Y", 9);
+  EXPECT_EQ(product(), 108u);
+  set_number("X", 0);
+  EXPECT_EQ(product(), 0u);
+}
+
+struct MulParam {
+  uint64_t seed;
+  size_t universe;
+  EvalMode mode;
+};
+
+class MultiplicationVerification : public ::testing::TestWithParam<MulParam> {};
+
+TEST_P(MultiplicationVerification, ProductBitsMatchBignumOracle) {
+  const MulParam param = GetParam();
+  const size_t n = param.universe;
+  core::Rng rng(param.seed);
+
+  std::shared_ptr<const dyn::DynProgram> program = MakeMultiplicationProgram(false);
+  Engine engine(program, n, {param.mode, true});
+  InstallPlusRelation(&engine);
+  Structure input(program->input_vocabulary(), n);
+
+  for (int step = 0; step < 120; ++step) {
+    // Random bit edits confined to the low half of the universe.
+    const char* rel = rng.Chance(1, 2) ? "X" : "Y";
+    relational::Element bit = static_cast<relational::Element>(rng.Below(n / 2));
+    bool present = input.relation(rel).Contains({bit});
+    Request request = present ? Request::Delete(rel, {bit}) : Request::Insert(rel, {bit});
+    // Occasionally issue a no-op (re-insert / spurious delete).
+    if (rng.Chance(1, 8)) {
+      request = present ? Request::Insert(rel, {bit}) : Request::Delete(rel, {bit});
+    }
+    engine.Apply(request);
+    relational::ApplyRequest(&input, request);
+    std::string violation = MultiplicationInvariant(input, engine);
+    ASSERT_EQ(violation, "") << "at step " << step << " after " << request.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiplicationVerification,
+    ::testing::Values(MulParam{1, 16, EvalMode::kAlgebra},
+                      MulParam{2, 24, EvalMode::kAlgebra},
+                      MulParam{3, 12, EvalMode::kNaive},
+                      MulParam{4, 32, EvalMode::kAlgebra}),
+    [](const ::testing::TestParamInfo<MulParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.universe) + "_" +
+             (param_info.param.mode == EvalMode::kNaive ? "naive" : "algebra");
+    });
+
+}  // namespace
+}  // namespace dynfo::programs

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "dynfo/engine.h"
+#include "dynfo/workload.h"
+#include "graph/alternating.h"
+#include "programs/pad_reach_a.h"
+#include "reductions/pad.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using dyn::EvalMode;
+using relational::Request;
+using relational::Structure;
+
+/// Drives the padded engine with one *real* (underlying) request: expands it
+/// into n per-copy requests under the ordered update discipline.
+void ApplyUnderlying(Engine* engine, Structure* underlying, Structure* padded,
+                     const Request& request) {
+  relational::ApplyRequest(underlying, request);
+  for (const Request& padded_request :
+       reductions::PadRequests(request, underlying->universe_size())) {
+    engine->Apply(padded_request);
+    relational::ApplyRequest(padded, padded_request);
+  }
+}
+
+TEST(PadReachATest, ProgramValidates) {
+  EXPECT_TRUE(MakePadReachAProgram()->Validate().ok());
+}
+
+TEST(PadReachATest, AndOrLadder) {
+  const size_t n = 6;
+  Engine engine(MakePadReachAProgram(), n);
+  Structure underlying(ReachAUnderlyingVocabulary(), n);
+  Structure padded(PadReachAInputVocabulary(), n);
+
+  auto apply = [&](const Request& r) {
+    ApplyUnderlying(&engine, &underlying, &padded, r);
+  };
+
+  // s = 0 is a universal vertex with successors 1 and 2; t = 3.
+  engine.Apply(Request::SetConstant("s", 0));
+  engine.Apply(Request::SetConstant("t", 3));
+  underlying.set_constant("s", 0);
+  underlying.set_constant("t", 3);
+
+  apply(Request::Insert("A", {0}));     // 0 is universal (an AND node)
+  apply(Request::Insert("E", {0, 1}));
+  apply(Request::Insert("E", {0, 2}));
+  apply(Request::Insert("E", {1, 3}));
+  EXPECT_TRUE(reductions::IsValidPad(padded, ReachAUnderlyingVocabulary()));
+  // 0 needs *both* successors to reach t; 2 is a dead end.
+  EXPECT_FALSE(engine.QueryBool());
+  EXPECT_FALSE(ReachAOracle(underlying));
+
+  apply(Request::Insert("E", {2, 3}));
+  EXPECT_TRUE(engine.QueryBool());
+  EXPECT_TRUE(ReachAOracle(underlying));
+
+  // Remove the universal mark: 0 becomes existential, one branch suffices.
+  apply(Request::Delete("E", {2, 3}));
+  EXPECT_FALSE(engine.QueryBool());
+  apply(Request::Delete("A", {0}));
+  EXPECT_TRUE(engine.QueryBool());
+}
+
+TEST(PadReachATest, MatchesFixpointOracleOnRandomChurn) {
+  const size_t n = 7;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Engine engine(MakePadReachAProgram(), n, {EvalMode::kAlgebra, true});
+    Structure underlying(ReachAUnderlyingVocabulary(), n);
+    Structure padded(PadReachAInputVocabulary(), n);
+
+    engine.Apply(Request::SetConstant("s", 0));
+    engine.Apply(Request::SetConstant("t", n - 1));
+    underlying.set_constant("s", 0);
+    underlying.set_constant("t", static_cast<relational::Element>(n - 1));
+
+    core::Rng rng(seed);
+    graph::Digraph shadow(n);
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (int step = 0; step < 60; ++step) {
+      Request request = Request::Insert("A", {0});
+      if (rng.Chance(1, 4)) {
+        // Toggle a universal mark.
+        relational::Element v = static_cast<relational::Element>(rng.Below(n));
+        bool present = underlying.relation("A").Contains({v});
+        request = present ? Request::Delete("A", {v}) : Request::Insert("A", {v});
+      } else if (!edges.empty() && rng.Chance(2, 5)) {
+        size_t pick = rng.Below(edges.size());
+        auto [u, v] = edges[pick];
+        edges[pick] = edges.back();
+        edges.pop_back();
+        shadow.RemoveEdge(u, v);
+        request = Request::Delete("E", {u, v});
+      } else {
+        uint32_t u = static_cast<uint32_t>(rng.Below(n));
+        uint32_t v = static_cast<uint32_t>(rng.Below(n));
+        if (shadow.HasEdge(u, v)) continue;
+        shadow.AddEdge(u, v);
+        edges.emplace_back(u, v);
+        request = Request::Insert("E", {u, v});
+      }
+      ApplyUnderlying(&engine, &underlying, &padded, request);
+      ASSERT_TRUE(reductions::IsValidPad(padded, ReachAUnderlyingVocabulary()));
+      ASSERT_EQ(engine.QueryBool(), ReachAOracle(underlying))
+          << "seed " << seed << " step " << step << " after " << request.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynfo::programs

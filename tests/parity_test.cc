@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "dynfo/verifier.h"
+#include "dynfo/workload.h"
+#include "programs/parity.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using dyn::EngineOptions;
+using dyn::EvalMode;
+using relational::Request;
+
+TEST(ParityTest, HandSequence) {
+  Engine engine(MakeParityProgram(), 8);
+  EXPECT_FALSE(engine.QueryBool());  // empty string: even
+  engine.Apply(Request::Insert("M", {3}));
+  EXPECT_TRUE(engine.QueryBool());
+  engine.Apply(Request::Insert("M", {5}));
+  EXPECT_FALSE(engine.QueryBool());
+  engine.Apply(Request::Insert("M", {3}));  // no-op: bit already set
+  EXPECT_FALSE(engine.QueryBool());
+  engine.Apply(Request::Delete("M", {5}));
+  EXPECT_TRUE(engine.QueryBool());
+  engine.Apply(Request::Delete("M", {0}));  // no-op: bit already clear
+  EXPECT_TRUE(engine.QueryBool());
+}
+
+TEST(ParityTest, ProgramValidates) {
+  EXPECT_TRUE(MakeParityProgram()->Validate().ok());
+}
+
+TEST(ParityTest, QuantifierFreeUpdates) {
+  // Example 3.2's updates are quantifier-free: parallel time "0".
+  EXPECT_EQ(MakeParityProgram()->MaxQuantifierDepth(), 0);
+}
+
+struct ParityParam {
+  uint64_t seed;
+  size_t universe;
+  EvalMode mode;
+  bool delta;
+};
+
+class ParityVerification : public ::testing::TestWithParam<ParityParam> {};
+
+TEST_P(ParityVerification, MatchesOracleOnRandomWorkload) {
+  const ParityParam param = GetParam();
+  dyn::GenericWorkloadOptions workload;
+  workload.num_requests = 300;
+  workload.seed = param.seed;
+  workload.insert_fraction = 0.55;
+  relational::RequestSequence requests =
+      dyn::MakeGenericWorkload(*ParityInputVocabulary(), param.universe, workload);
+
+  dyn::VerifierOptions options;
+  options.engine_options = {param.mode, param.delta};
+  dyn::VerifierResult result = dyn::VerifyProgram(
+      MakeParityProgram(), ParityOracle, param.universe, requests, options);
+  EXPECT_TRUE(result.ok) << result.ToString();
+  EXPECT_EQ(result.steps_executed, 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParityVerification,
+    ::testing::Values(ParityParam{1, 8, EvalMode::kAlgebra, true},
+                      ParityParam{2, 16, EvalMode::kAlgebra, true},
+                      ParityParam{3, 8, EvalMode::kAlgebra, false},
+                      ParityParam{4, 8, EvalMode::kNaive, false},
+                      ParityParam{5, 32, EvalMode::kAlgebra, true},
+                      ParityParam{6, 5, EvalMode::kNaive, false}),
+    [](const ::testing::TestParamInfo<ParityParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.universe) + "_" +
+             (param_info.param.mode == EvalMode::kNaive ? "naive" : "algebra") +
+             (param_info.param.delta ? "_delta" : "_full");
+    });
+
+}  // namespace
+}  // namespace dynfo::programs

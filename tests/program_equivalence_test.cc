@@ -1,0 +1,169 @@
+/// Cross-cutting property: for EVERY program in the library, the three
+/// execution strategies (naive reference, algebra, algebra+delta) produce
+/// bit-identical data structures after every request. This pins the
+/// optimized engine to the textbook semantics across all of the paper's
+/// constructions at once.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dynfo/engine.h"
+#include "dynfo/workload.h"
+#include "programs/bipartite.h"
+#include "programs/dyck.h"
+#include "programs/lca.h"
+#include "programs/matching.h"
+#include "programs/msf.h"
+#include "programs/multiplication.h"
+#include "programs/pad_reach_a.h"
+#include "programs/parity.h"
+#include "programs/reach_acyclic.h"
+#include "programs/reach_u.h"
+#include "programs/reach_u2.h"
+#include "programs/transitive_reduction.h"
+#include "reductions/pad.h"
+
+namespace dynfo::programs {
+namespace {
+
+struct Scenario {
+  std::string name;
+  std::function<std::shared_ptr<const dyn::DynProgram>()> program;
+  std::function<relational::RequestSequence(size_t)> workload;
+  size_t universe;
+};
+
+relational::RequestSequence GraphChurn(
+    std::shared_ptr<const relational::Vocabulary> vocab, size_t n, bool undirected,
+    bool acyclic, bool forest) {
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = 60;
+  options.seed = 77;
+  options.undirected = undirected;
+  options.preserve_acyclic = acyclic;
+  options.forest_shape = forest;
+  options.set_fraction = vocab->num_constants() > 0 ? 0.05 : 0.0;
+  return dyn::MakeGraphWorkload(*vocab, "E", n, options);
+}
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> out;
+  out.push_back({"parity", [] { return MakeParityProgram(); },
+                 [](size_t n) {
+                   dyn::GenericWorkloadOptions o;
+                   o.num_requests = 80;
+                   o.seed = 7;
+                   return dyn::MakeGenericWorkload(*ParityInputVocabulary(), n, o);
+                 },
+                 9});
+  out.push_back({"reach_u", [] { return MakeReachUProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(ReachUInputVocabulary(), n, true, false, false);
+                 },
+                 8});
+  out.push_back({"reach_u2", [] { return MakeReachU2Program(); },
+                 [](size_t n) {
+                   return GraphChurn(ReachU2InputVocabulary(), n, true, false, false);
+                 },
+                 8});
+  out.push_back({"reach_acyclic", [] { return MakeReachAcyclicProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(ReachAcyclicInputVocabulary(), n, false, true,
+                                     false);
+                 },
+                 8});
+  out.push_back({"transitive_reduction", [] { return MakeTransitiveReductionProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(TransitiveReductionInputVocabulary(), n, false,
+                                     true, false);
+                 },
+                 8});
+  out.push_back({"bipartite", [] { return MakeBipartiteProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(BipartiteInputVocabulary(), n, true, false, false);
+                 },
+                 8});
+  out.push_back({"lca", [] { return MakeLcaProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(LcaInputVocabulary(), n, false, false, true);
+                 },
+                 8});
+  out.push_back({"matching", [] { return MakeMatchingProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(MatchingInputVocabulary(), n, true, false, false);
+                 },
+                 8});
+  out.push_back({"msf", [] { return MakeMsfProgram(); },
+                 [](size_t n) {
+                   dyn::WeightedGraphWorkloadOptions o;
+                   o.num_requests = 50;
+                   o.seed = 7;
+                   return dyn::MakeWeightedGraphWorkload(*MsfInputVocabulary(), "W", n,
+                                                         o);
+                 },
+                 8});
+  out.push_back({"dyck", [] { return MakeDyckProgram(2, 12); },
+                 [](size_t n) {
+                   dyn::SlotStringWorkloadOptions o;
+                   o.num_requests = 60;
+                   o.seed = 7;
+                   o.max_chars = n / 2 - 2;
+                   return dyn::MakeSlotStringWorkload(
+                       {"Open_0", "Open_1", "Close_0", "Close_1"}, n, o);
+                 },
+                 12});
+  out.push_back({"pad_reach_a", [] { return MakePadReachAProgram(); },
+                 [](size_t n) {
+                   dyn::GraphWorkloadOptions o;
+                   o.num_requests = 6;
+                   o.seed = 7;
+                   relational::RequestSequence underlying = dyn::MakeGraphWorkload(
+                       *ReachAUnderlyingVocabulary(), "E", n, o);
+                   relational::RequestSequence padded;
+                   for (const relational::Request& r : underlying) {
+                     for (const relational::Request& p : reductions::PadRequests(r, n)) {
+                       padded.push_back(p);
+                     }
+                   }
+                   return padded;
+                 },
+                 6});
+  return out;
+}
+
+class ProgramEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ProgramEquivalence, AllEngineModesProduceIdenticalState) {
+  const Scenario scenario = Scenarios()[GetParam()];
+  auto program = scenario.program();
+  relational::RequestSequence requests = scenario.workload(scenario.universe);
+
+  dyn::Engine naive(program, scenario.universe, {dyn::EvalMode::kNaive, false});
+  dyn::Engine algebra(program, scenario.universe, {dyn::EvalMode::kAlgebra, false});
+  dyn::Engine delta(program, scenario.universe, {dyn::EvalMode::kAlgebra, true});
+  size_t step = 0;
+  for (const relational::Request& request : requests) {
+    naive.Apply(request);
+    algebra.Apply(request);
+    delta.Apply(request);
+    ++step;
+    ASSERT_EQ(naive.data(), algebra.data())
+        << scenario.name << " diverged (algebra) at step " << step << " after "
+        << request.ToString();
+    ASSERT_EQ(naive.data(), delta.data())
+        << scenario.name << " diverged (delta) at step " << step << " after "
+        << request.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, ProgramEquivalence,
+                         ::testing::Range<size_t>(0, 11),
+                         [](const ::testing::TestParamInfo<size_t>& param_info) {
+                           return Scenarios()[param_info.param].name;
+                         });
+
+}  // namespace
+}  // namespace dynfo::programs

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "dynfo/verifier.h"
+#include "dynfo/workload.h"
+#include "graph/algorithms.h"
+#include "programs/reach_acyclic.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using dyn::EvalMode;
+using relational::Request;
+using relational::Structure;
+
+/// The P relation must equal the reflexive transitive closure of E.
+std::string PathInvariant(const Structure& input, const Engine& engine) {
+  const size_t n = input.universe_size();
+  graph::Digraph g = graph::Digraph::FromRelation(input.relation("E"), n);
+  std::vector<bool> closure = graph::TransitiveClosure(g);
+  const relational::Relation& p = engine.data().relation("P");
+  for (uint32_t x = 0; x < n; ++x) {
+    for (uint32_t y = 0; y < n; ++y) {
+      bool expected = closure[x * n + y];
+      if (expected != p.Contains({x, y})) {
+        return "P(" + std::to_string(x) + "," + std::to_string(y) + ") should be " +
+               (expected ? "true" : "false");
+      }
+    }
+  }
+  return "";
+}
+
+TEST(ReachAcyclicTest, ProgramValidates) {
+  EXPECT_TRUE(MakeReachAcyclicProgram()->Validate().ok());
+}
+
+TEST(ReachAcyclicTest, DiamondSurvivesSingleDeletion) {
+  Engine engine(MakeReachAcyclicProgram(), 5);
+  engine.Apply(Request::SetConstant("s", 0));
+  engine.Apply(Request::SetConstant("t", 3));
+  // Diamond 0 -> {1, 2} -> 3.
+  engine.Apply(Request::Insert("E", {0, 1}));
+  engine.Apply(Request::Insert("E", {0, 2}));
+  engine.Apply(Request::Insert("E", {1, 3}));
+  engine.Apply(Request::Insert("E", {2, 3}));
+  EXPECT_TRUE(engine.QueryBool());
+  engine.Apply(Request::Delete("E", {1, 3}));
+  EXPECT_TRUE(engine.QueryBool());  // still via 2
+  engine.Apply(Request::Delete("E", {2, 3}));
+  EXPECT_FALSE(engine.QueryBool());
+}
+
+TEST(ReachAcyclicTest, DirectionMatters) {
+  Engine engine(MakeReachAcyclicProgram(), 4);
+  engine.Apply(Request::SetConstant("s", 2));
+  engine.Apply(Request::SetConstant("t", 0));
+  engine.Apply(Request::Insert("E", {0, 1}));
+  engine.Apply(Request::Insert("E", {1, 2}));
+  EXPECT_FALSE(engine.QueryBool());  // 2 cannot reach 0
+  engine.Apply(Request::SetConstant("s", 0));
+  engine.Apply(Request::SetConstant("t", 2));
+  EXPECT_TRUE(engine.QueryBool());
+}
+
+TEST(ReachAcyclicTest, SpuriousDeleteIsNoOp) {
+  // Deleting a non-existent edge must not disturb P — this exercises the
+  // E(a, b) guard added to the paper's delete formula.
+  Engine engine(MakeReachAcyclicProgram(), 6);
+  engine.Apply(Request::SetConstant("s", 0));
+  engine.Apply(Request::SetConstant("t", 3));
+  // y -> a pattern from the guard analysis: edges b->y, y->a, x->y with
+  // x=0, y=3, a=4, b=5 ... plus path 0 -> 3.
+  engine.Apply(Request::Insert("E", {5, 3}));
+  engine.Apply(Request::Insert("E", {3, 4}));
+  engine.Apply(Request::Insert("E", {0, 3}));
+  EXPECT_TRUE(engine.QueryBool());
+  engine.Apply(Request::Delete("E", {4, 5}));  // not an edge
+  EXPECT_TRUE(engine.QueryBool()) << "spurious delete must not clear P(0, 3)";
+}
+
+struct AcyclicParam {
+  uint64_t seed;
+  size_t universe;
+  size_t requests;
+  EvalMode mode;
+  bool delta;
+};
+
+class ReachAcyclicVerification : public ::testing::TestWithParam<AcyclicParam> {};
+
+TEST_P(ReachAcyclicVerification, MatchesOracleOnAcyclicChurn) {
+  const AcyclicParam param = GetParam();
+  dyn::GraphWorkloadOptions workload;
+  workload.num_requests = param.requests;
+  workload.seed = param.seed;
+  workload.preserve_acyclic = true;
+  workload.set_fraction = 0.1;
+  relational::RequestSequence requests = dyn::MakeGraphWorkload(
+      *ReachAcyclicInputVocabulary(), "E", param.universe, workload);
+
+  dyn::VerifierOptions options;
+  options.engine_options = {param.mode, param.delta};
+  options.invariant = PathInvariant;
+  dyn::VerifierResult result = dyn::VerifyProgram(
+      MakeReachAcyclicProgram(), ReachAcyclicOracle, param.universe, requests, options);
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReachAcyclicVerification,
+    ::testing::Values(AcyclicParam{1, 8, 150, EvalMode::kAlgebra, true},
+                      AcyclicParam{2, 10, 150, EvalMode::kAlgebra, true},
+                      AcyclicParam{3, 8, 100, EvalMode::kAlgebra, false},
+                      AcyclicParam{4, 6, 80, EvalMode::kNaive, false},
+                      AcyclicParam{5, 14, 200, EvalMode::kAlgebra, true},
+                      AcyclicParam{6, 12, 150, EvalMode::kAlgebra, true}),
+    [](const ::testing::TestParamInfo<AcyclicParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.universe) + "_" +
+             (param_info.param.mode == EvalMode::kNaive ? "naive" : "algebra") +
+             (param_info.param.delta ? "_delta" : "_full");
+    });
+
+}  // namespace
+}  // namespace dynfo::programs

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "dynfo/workload.h"
+#include "programs/reach_d.h"
+
+namespace dynfo::programs {
+namespace {
+
+using relational::Request;
+using relational::Structure;
+
+TEST(ReachDTest, ReductionIsBoundedExpansion) {
+  // Example 2.1: one edge change touches at most a handful of G' edges (the
+  // new/removed alpha edges at its endpoints).
+  reductions::ExpansionReport report =
+      reductions::MeasureExpansion(*MakeReachDtoUReduction(), 6, 60, 11);
+  EXPECT_EQ(report.trials, 60u);
+  EXPECT_LE(report.max_affected, 4u);
+  EXPECT_GT(report.max_affected, 0u);
+}
+
+TEST(ReachDTest, DeterministicPathFollowsUniqueEdges) {
+  auto engine = MakeReachDEngine(6);
+  engine->Apply(Request::SetConstant("s", 0));
+  engine->Apply(Request::SetConstant("t", 3));
+  engine->Apply(Request::Insert("E", {0, 1}));
+  engine->Apply(Request::Insert("E", {1, 2}));
+  engine->Apply(Request::Insert("E", {2, 3}));
+  EXPECT_TRUE(engine->QueryBool());
+
+  // Branching at 1 destroys determinism: 1 no longer has a unique out-edge.
+  engine->Apply(Request::Insert("E", {1, 4}));
+  EXPECT_FALSE(engine->QueryBool());
+  engine->Apply(Request::Delete("E", {1, 4}));
+  EXPECT_TRUE(engine->QueryBool());
+}
+
+TEST(ReachDTest, OracleHandlesCyclesAndSelf) {
+  Structure input(ReachDInputVocabulary(), 4);
+  input.set_constant("s", 0);
+  input.set_constant("t", 3);
+  input.relation("E").Insert({0, 1});
+  input.relation("E").Insert({1, 0});  // 0 <-> 1 cycle, t unreachable
+  EXPECT_FALSE(ReachDOracle(input));
+  input.set_constant("t", 0);
+  EXPECT_TRUE(ReachDOracle(input));  // s == t
+}
+
+TEST(ReachDTest, MatchesOracleOnRandomChurn) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const size_t n = 6;
+    dyn::GraphWorkloadOptions workload;
+    workload.num_requests = 80;
+    workload.seed = seed;
+    relational::RequestSequence requests =
+        dyn::MakeGraphWorkload(*ReachDInputVocabulary(), "E", n, workload);
+
+    auto engine = MakeReachDEngine(n);
+    Structure input(ReachDInputVocabulary(), n);
+    // Pin s and t to interesting values first.
+    for (const Request& r :
+         {Request::SetConstant("s", 0), Request::SetConstant("t", 4)}) {
+      engine->Apply(r);
+      relational::ApplyRequest(&input, r);
+    }
+    size_t step = 0;
+    for (const Request& request : requests) {
+      engine->Apply(request);
+      relational::ApplyRequest(&input, request);
+      ++step;
+      ASSERT_EQ(engine->QueryBool(), ReachDOracle(input))
+          << "seed " << seed << " diverged at step " << step << " after "
+          << request.ToString();
+    }
+    // The reduction engine's per-request fan-out stays bounded (Prop. 5.3).
+    EXPECT_LE(engine->stats().max_fanout, 8u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dynfo::programs

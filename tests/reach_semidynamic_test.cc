@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "dynfo/verifier.h"
+#include "dynfo/workload.h"
+#include "programs/reach_semidynamic.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using relational::Request;
+
+TEST(ReachSemiDynamicTest, ProgramValidates) {
+  EXPECT_TRUE(MakeReachSemiDynamicProgram()->Validate().ok());
+  EXPECT_TRUE(MakeReachSemiDynamicProgram()->semi_dynamic());
+}
+
+TEST(ReachSemiDynamicTest, HandlesCyclesUnlikeTheAcyclicProgram) {
+  Engine engine(MakeReachSemiDynamicProgram(), 5);
+  engine.Apply(Request::SetConstant("s", 0));
+  engine.Apply(Request::SetConstant("t", 3));
+  // Build a cycle 0 -> 1 -> 2 -> 0 and then leave it to 3.
+  engine.Apply(Request::Insert("E", {0, 1}));
+  engine.Apply(Request::Insert("E", {1, 2}));
+  engine.Apply(Request::Insert("E", {2, 0}));
+  EXPECT_FALSE(engine.QueryBool());
+  engine.Apply(Request::Insert("E", {2, 3}));
+  EXPECT_TRUE(engine.QueryBool());
+}
+
+TEST(ReachSemiDynamicDeathTest, DeletesRefused) {
+  Engine engine(MakeReachSemiDynamicProgram(), 4);
+  engine.Apply(Request::Insert("E", {0, 1}));
+  EXPECT_DEATH(engine.Apply(Request::Delete("E", {0, 1})), "semi-dynamic");
+}
+
+TEST(ReachSemiDynamicTest, MatchesOracleOnInsertOnlyChurn) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    dyn::GraphWorkloadOptions workload;
+    workload.num_requests = 120;
+    workload.seed = seed;
+    workload.insert_fraction = 1.0;  // inserts only
+    workload.set_fraction = 0.1;
+    relational::RequestSequence requests = dyn::MakeGraphWorkload(
+        *ReachSemiDynamicInputVocabulary(), "E", 10, workload);
+
+    dyn::VerifierResult result = dyn::VerifyProgram(
+        MakeReachSemiDynamicProgram(), ReachSemiDynamicOracle, 10, requests, {});
+    EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dynfo::programs

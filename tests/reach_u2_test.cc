@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "dynfo/verifier.h"
+#include "dynfo/workload.h"
+#include "graph/algorithms.h"
+#include "programs/reach_u.h"
+#include "programs/reach_u2.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using dyn::EvalMode;
+using graph::Digraph;
+using graph::UndirectedGraph;
+using graph::Vertex;
+using relational::Request;
+using relational::Structure;
+
+/// Deep invariant for the arity-2 construction: DF is a rooted spanning
+/// forest of E (parent-functional, acyclic, component-spanning) and DP is
+/// exactly its reflexive ancestor closure.
+std::string ReachU2Invariant(const Structure& input, const Engine& engine) {
+  const size_t n = input.universe_size();
+  const relational::Relation& df = engine.data().relation("DF");
+  const relational::Relation& dp = engine.data().relation("DP");
+
+  Digraph parents(n);
+  for (const relational::Tuple& t : df) {
+    if (!input.relation("E").Contains(t) && !input.relation("E").Contains({t[1], t[0]})) {
+      return "DF edge not in E: " + t.ToString();
+    }
+    parents.AddEdge(t[0], t[1]);
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (parents.OutNeighbors(v).size() > 1) {
+      return "vertex " + std::to_string(v) + " has two parents";
+    }
+  }
+  if (!graph::IsAcyclic(parents)) return "DF has a cycle";
+
+  // Spanning: DF-components == E-components (as undirected graphs).
+  UndirectedGraph forest(n), g = UndirectedGraph::FromRelation(input.relation("E"), n);
+  for (const relational::Tuple& t : df) forest.AddEdge(t[0], t[1]);
+  std::vector<Vertex> fc = graph::ConnectedComponents(forest);
+  std::vector<Vertex> gc = graph::ConnectedComponents(g);
+  for (Vertex a = 0; a < n; ++a) {
+    for (Vertex b = a + 1; b < n; ++b) {
+      if ((fc[a] == fc[b]) != (gc[a] == gc[b])) {
+        return "DF does not span: " + std::to_string(a) + "," + std::to_string(b);
+      }
+    }
+  }
+
+  // DP = reflexive transitive closure of DF.
+  std::vector<bool> closure = graph::TransitiveClosure(parents);
+  for (Vertex a = 0; a < n; ++a) {
+    for (Vertex b = 0; b < n; ++b) {
+      bool expected = closure[a * n + b];
+      if (expected != dp.Contains({a, b})) {
+        return "DP(" + std::to_string(a) + "," + std::to_string(b) + ") should be " +
+               (expected ? "true" : "false");
+      }
+    }
+  }
+  return "";
+}
+
+TEST(ReachU2Test, ProgramValidates) {
+  EXPECT_TRUE(MakeReachU2Program()->Validate().ok());
+}
+
+TEST(ReachU2Test, BinaryAuxiliariesOnly) {
+  // The point of [DS95]: every auxiliary relation has arity <= 2.
+  auto program = MakeReachU2Program();
+  const relational::Vocabulary& data = *program->data_vocabulary();
+  for (int i = 0; i < data.num_relations(); ++i) {
+    EXPECT_LE(data.relation(i).arity, 2) << data.relation(i).name;
+  }
+}
+
+TEST(ReachU2Test, HandSequenceWithRerootingAndSplicing) {
+  Engine engine(MakeReachU2Program(), 6);
+  engine.Apply(Request::SetConstant("s", 0));
+  engine.Apply(Request::SetConstant("t", 3));
+  engine.Apply(Request::Insert("E", {0, 1}));
+  engine.Apply(Request::Insert("E", {2, 3}));
+  EXPECT_FALSE(engine.QueryBool());
+  // Linking 1-2 re-roots one side.
+  engine.Apply(Request::Insert("E", {1, 2}));
+  EXPECT_TRUE(engine.QueryBool());
+  // Parallel route, then cut the tree edge: must splice.
+  engine.Apply(Request::Insert("E", {0, 4}));
+  engine.Apply(Request::Insert("E", {4, 3}));
+  engine.Apply(Request::Delete("E", {1, 2}));
+  EXPECT_TRUE(engine.QueryBool());
+  engine.Apply(Request::Delete("E", {4, 3}));
+  EXPECT_FALSE(engine.QueryBool());
+}
+
+struct U2Param {
+  uint64_t seed;
+  size_t universe;
+  size_t requests;
+  EvalMode mode;
+  bool delta;
+};
+
+class ReachU2Verification : public ::testing::TestWithParam<U2Param> {};
+
+TEST_P(ReachU2Verification, MatchesOracleWithDeepInvariant) {
+  const U2Param param = GetParam();
+  dyn::GraphWorkloadOptions workload;
+  workload.num_requests = param.requests;
+  workload.seed = param.seed;
+  workload.undirected = true;
+  workload.set_fraction = 0.1;
+  relational::RequestSequence requests = dyn::MakeGraphWorkload(
+      *ReachU2InputVocabulary(), "E", param.universe, workload);
+
+  dyn::VerifierOptions options;
+  options.engine_options = {param.mode, param.delta};
+  options.invariant = ReachU2Invariant;
+  dyn::VerifierResult result = dyn::VerifyProgram(
+      MakeReachU2Program(), ReachUOracle, param.universe, requests, options);
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReachU2Verification,
+    ::testing::Values(U2Param{1, 8, 150, EvalMode::kAlgebra, true},
+                      U2Param{2, 10, 150, EvalMode::kAlgebra, true},
+                      U2Param{3, 8, 100, EvalMode::kAlgebra, false},
+                      U2Param{4, 6, 60, EvalMode::kNaive, false},
+                      U2Param{5, 14, 180, EvalMode::kAlgebra, true},
+                      U2Param{6, 12, 150, EvalMode::kAlgebra, true}),
+    [](const ::testing::TestParamInfo<U2Param>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.universe) + "_" +
+             (param_info.param.mode == EvalMode::kNaive ? "naive" : "algebra") +
+             (param_info.param.delta ? "_delta" : "_full");
+    });
+
+TEST(ReachU2Test, AgreesWithArity3ProgramOnConnectivity) {
+  // Both constructions answer the same queries; their auxiliary structures
+  // differ (PV^3 vs DF^2 + DP^2), their answers must not.
+  dyn::GraphWorkloadOptions workload;
+  workload.num_requests = 120;
+  workload.seed = 21;
+  workload.undirected = true;
+  relational::RequestSequence requests =
+      dyn::MakeGraphWorkload(*ReachU2InputVocabulary(), "E", 9, workload);
+
+  Engine arity3(MakeReachUProgram(), 9);
+  Engine arity2(MakeReachU2Program(), 9);
+  for (const Request& request : requests) {
+    arity3.Apply(request);
+    arity2.Apply(request);
+    ASSERT_EQ(arity3.QueryRelation("connected"), arity2.QueryRelation("connected"))
+        << "after " << request.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dynfo::programs

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "fo/builder.h"
+#include "reductions/color_reach.h"
+#include "reductions/fo_reduction.h"
+#include "reductions/pad.h"
+
+namespace dynfo::reductions {
+namespace {
+
+using fo::EqT;
+using fo::Rel;
+using fo::Term;
+using fo::V;
+using relational::Request;
+using relational::Structure;
+using relational::Tuple;
+using relational::Vocabulary;
+
+std::shared_ptr<const Vocabulary> EdgeVocabulary() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  v->AddConstant("s");
+  v->AddConstant("t");
+  return v;
+}
+
+TEST(FoReductionTest, ValidateCatchesMissingDefinition) {
+  FirstOrderReduction reduction("partial", 1, EdgeVocabulary(), EdgeVocabulary());
+  EXPECT_FALSE(reduction.Validate().ok());
+}
+
+TEST(FoReductionTest, IdentityReduction) {
+  FirstOrderReduction reduction("id", 1, EdgeVocabulary(), EdgeVocabulary());
+  reduction.DefineRelation({"E", {"x", "y"}, Rel("E", {V("x"), V("y")})});
+  reduction.DefineConstant({"s", {Term::Const("s")}});
+  reduction.DefineConstant({"t", {Term::Const("t")}});
+  ASSERT_TRUE(reduction.Validate().ok());
+
+  Structure input(EdgeVocabulary(), 4);
+  input.relation("E").Insert({1, 2});
+  input.set_constant("s", 3);
+  Structure image = reduction.Apply(input);
+  EXPECT_EQ(image.universe_size(), 4u);
+  EXPECT_TRUE(image.relation("E").Contains({1, 2}));
+  EXPECT_EQ(image.relation("E").size(), 1u);
+  EXPECT_EQ(image.constant("s"), 3u);
+}
+
+TEST(FoReductionTest, BinaryReductionSquaresUniverse) {
+  // Unary output relation over pairs: D(<x, y>) iff E(x, y); k = 2.
+  auto out_vocab = std::make_shared<Vocabulary>();
+  out_vocab->AddRelation("D", 1);
+  FirstOrderReduction reduction("pairs", 2, EdgeVocabulary(), out_vocab);
+  reduction.DefineRelation({"D", {"x", "y"}, Rel("E", {V("x"), V("y")})});
+  ASSERT_TRUE(reduction.Validate().ok());
+
+  Structure input(EdgeVocabulary(), 3);
+  input.relation("E").Insert({1, 2});
+  Structure image = reduction.Apply(input);
+  EXPECT_EQ(image.universe_size(), 9u);
+  // <1, 2> = 1 * 3 + 2 = 5 (u1 most significant).
+  EXPECT_TRUE(image.relation("D").Contains({5}));
+  EXPECT_EQ(image.relation("D").size(), 1u);
+}
+
+TEST(StructureDiffTest, ProducesMinimalRequests) {
+  Structure before(EdgeVocabulary(), 4);
+  before.relation("E").Insert({0, 1});
+  Structure after = before;
+  after.relation("E").Erase({0, 1});
+  after.relation("E").Insert({2, 3});
+  after.set_constant("t", 2);
+  relational::RequestSequence diff = StructureDiff(before, after);
+  ASSERT_EQ(diff.size(), 3u);
+  // Replaying the diff transforms before into after.
+  for (const Request& request : diff) relational::ApplyRequest(&before, request);
+  EXPECT_EQ(before, after);
+}
+
+TEST(MeasureExpansionTest, IdentityIsOneExpanding) {
+  FirstOrderReduction reduction("id", 1, EdgeVocabulary(), EdgeVocabulary());
+  reduction.DefineRelation({"E", {"x", "y"}, Rel("E", {V("x"), V("y")})});
+  reduction.DefineConstant({"s", {Term::Const("s")}});
+  reduction.DefineConstant({"t", {Term::Const("t")}});
+  ExpansionReport report = MeasureExpansion(reduction, 5, 40, 7);
+  EXPECT_EQ(report.trials, 40u);
+  EXPECT_LE(report.max_affected, 1u);
+}
+
+TEST(PadTest, VocabularyGrowsArity) {
+  auto padded = PadVocabulary(*EdgeVocabulary());
+  EXPECT_EQ(padded->ArityOf("E"), 3);
+  EXPECT_EQ(padded->ConstantIndex("s"), 0);
+}
+
+TEST(PadTest, PadRequestsReplicatePerCopy) {
+  relational::RequestSequence padded =
+      PadRequests(Request::Insert("E", {1, 2}), 3);
+  ASSERT_EQ(padded.size(), 3u);
+  EXPECT_EQ(padded[0], Request::Insert("E", {0, 1, 2}));
+  EXPECT_EQ(padded[2], Request::Insert("E", {2, 1, 2}));
+  // Set requests pass through.
+  relational::RequestSequence set = PadRequests(Request::SetConstant("s", 1), 3);
+  ASSERT_EQ(set.size(), 1u);
+}
+
+TEST(PadTest, UnpadAndValidity) {
+  auto base = EdgeVocabulary();
+  auto padded_vocab = PadVocabulary(*base);
+  Structure padded(padded_vocab, 3);
+  for (const Request& r : PadRequests(Request::Insert("E", {0, 1}), 3)) {
+    relational::ApplyRequest(&padded, r);
+  }
+  EXPECT_TRUE(IsValidPad(padded, base));
+  Structure copy1 = UnpadCopy(padded, base, 1);
+  EXPECT_TRUE(copy1.relation("E").Contains({0, 1}));
+
+  // Break one copy: no longer a valid pad.
+  relational::ApplyRequest(&padded, Request::Delete("E", {2, 0, 1}));
+  EXPECT_FALSE(IsValidPad(padded, base));
+}
+
+TEST(ColorReachTest, ColorsSteerTheWalk) {
+  // 0 -> 1 (label 0) / 0 -> 2 (label 1); vertex 0 in class 1.
+  ColorReachInstance instance;
+  instance.num_vertices = 3;
+  instance.zero_edge = {1, -1, -1};
+  instance.one_edge = {2, -1, -1};
+  instance.vertex_class = {1, 1, 1};
+  instance.colors = {false, false};  // C[1] = 0: follow the 0-edge
+  instance.source = 0;
+  instance.target = 2;
+  EXPECT_FALSE(SolveColorReach(instance));
+  instance.colors[1] = true;  // flip one bit: all of V_1 rewires
+  EXPECT_TRUE(SolveColorReach(instance));
+  EXPECT_TRUE(SolveColorReachDeterministic(instance));
+}
+
+TEST(ColorReachTest, FreeClassExploresBothEdges) {
+  ColorReachInstance instance;
+  instance.num_vertices = 3;
+  instance.zero_edge = {1, -1, -1};
+  instance.one_edge = {2, -1, -1};
+  instance.vertex_class = {0, 0, 0};  // all free
+  instance.colors = {false};
+  instance.source = 0;
+  instance.target = 2;
+  EXPECT_TRUE(SolveColorReach(instance));
+}
+
+}  // namespace
+}  // namespace dynfo::reductions

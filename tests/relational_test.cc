@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "relational/relation.h"
+#include "relational/request.h"
+#include "relational/structure.h"
+#include "relational/tuple.h"
+#include "relational/vocabulary.h"
+
+namespace dynfo::relational {
+namespace {
+
+TEST(TupleTest, BasicAccess) {
+  Tuple t{3, 1, 4};
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(t[0], 3u);
+  EXPECT_EQ(t[1], 1u);
+  EXPECT_EQ(t[2], 4u);
+  EXPECT_EQ(t.ToString(), "(3, 1, 4)");
+}
+
+TEST(TupleTest, EmptyTuple) {
+  Tuple t;
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.ToString(), "()");
+  EXPECT_EQ(t, (Tuple{}));
+}
+
+TEST(TupleTest, AppendAndConcat) {
+  Tuple t = Tuple{1}.Append(2);
+  EXPECT_EQ(t, (Tuple{1, 2}));
+  EXPECT_EQ((Tuple{1, 2}.Concat(Tuple{3})), (Tuple{1, 2, 3}));
+}
+
+TEST(TupleTest, Project) {
+  Tuple t{5, 6, 7};
+  EXPECT_EQ(t.Project({2, 0}), (Tuple{7, 5}));
+  EXPECT_EQ(t.Project({1, 1}), (Tuple{6, 6}));
+}
+
+TEST(TupleTest, EqualityAndOrder) {
+  EXPECT_EQ((Tuple{1, 2}), (Tuple{1, 2}));
+  EXPECT_NE((Tuple{1, 2}), (Tuple{2, 1}));
+  EXPECT_NE((Tuple{1}), (Tuple{1, 0}));
+  EXPECT_LT((Tuple{1}), (Tuple{0, 0}));  // shorter first
+  EXPECT_LT((Tuple{1, 2}), (Tuple{1, 3}));
+}
+
+TEST(TupleTest, HashDistinguishes) {
+  EXPECT_NE((Tuple{1, 2}).Hash(), (Tuple{2, 1}).Hash());
+  EXPECT_EQ((Tuple{1, 2}).Hash(), (Tuple{1, 2}).Hash());
+}
+
+TEST(TupleTest, FromSpan) {
+  Element data[] = {9, 8};
+  EXPECT_EQ(Tuple::FromSpan(data, 2), (Tuple{9, 8}));
+}
+
+TEST(TupleDeathTest, ArityCap) {
+  Tuple t{1, 2, 3, 4};
+  EXPECT_DEATH(t.Append(5), "kMaxArity");
+}
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary v;
+  EXPECT_EQ(v.AddRelation("E", 2), 0);
+  EXPECT_EQ(v.AddRelation("F", 2), 1);
+  EXPECT_EQ(v.AddConstant("s"), 0);
+  EXPECT_EQ(v.RelationIndex("E"), 0);
+  EXPECT_EQ(v.RelationIndex("missing"), -1);
+  EXPECT_EQ(v.ConstantIndex("s"), 0);
+  EXPECT_EQ(v.ArityOf("F"), 2);
+  EXPECT_EQ(v.ToString(), "<E^2, F^2; s>");
+}
+
+TEST(VocabularyDeathTest, DuplicateNamesRejected) {
+  Vocabulary v;
+  v.AddRelation("E", 2);
+  EXPECT_DEATH(v.AddRelation("E", 1), "duplicate");
+  EXPECT_DEATH(v.AddConstant("E"), "duplicate");
+}
+
+TEST(RelationTest, InsertEraseContains) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));  // already present
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({2, 1}));
+  EXPECT_TRUE(r.Erase({1, 2}));
+  EXPECT_FALSE(r.Erase({1, 2}));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RelationTest, NullaryRelationActsAsBoolean) {
+  Relation b(0);
+  EXPECT_FALSE(b.Contains({}));
+  EXPECT_TRUE(b.Insert({}));
+  EXPECT_TRUE(b.Contains({}));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_FALSE(b.Insert({}));
+}
+
+TEST(RelationTest, SortedTuplesDeterministic) {
+  Relation r(2);
+  r.Insert({2, 0});
+  r.Insert({0, 1});
+  r.Insert({0, 0});
+  std::vector<Tuple> sorted = r.SortedTuples();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0], (Tuple{0, 0}));
+  EXPECT_EQ(sorted[1], (Tuple{0, 1}));
+  EXPECT_EQ(sorted[2], (Tuple{2, 0}));
+  EXPECT_EQ(r.ToString(), "{(0, 0), (0, 1), (2, 0)}");
+}
+
+TEST(RelationTest, Equality) {
+  Relation a(1), b(1);
+  a.Insert({3});
+  EXPECT_NE(a, b);
+  b.Insert({3});
+  EXPECT_EQ(a, b);
+}
+
+std::shared_ptr<const Vocabulary> GraphVocabulary() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  v->AddConstant("s");
+  v->AddConstant("t");
+  return v;
+}
+
+TEST(StructureTest, StartsEmpty) {
+  Structure s(GraphVocabulary(), 5);
+  EXPECT_EQ(s.universe_size(), 5u);
+  EXPECT_TRUE(s.relation("E").empty());
+  EXPECT_EQ(s.constant("s"), 0u);
+  EXPECT_EQ(s.constant("t"), 0u);
+}
+
+TEST(StructureTest, NamedAccessAndEquality) {
+  auto vocab = GraphVocabulary();
+  Structure a(vocab, 4), b(vocab, 4);
+  EXPECT_EQ(a, b);
+  a.relation("E").Insert({1, 2});
+  EXPECT_NE(a, b);
+  b.relation("E").Insert({1, 2});
+  EXPECT_EQ(a, b);
+  a.set_constant("t", 3);
+  EXPECT_NE(a, b);
+}
+
+TEST(StructureDeathTest, ConstantOutsideUniverse) {
+  Structure s(GraphVocabulary(), 4);
+  EXPECT_DEATH(s.set_constant("s", 4), "outside universe");
+}
+
+TEST(RequestTest, ToStringForms) {
+  EXPECT_EQ(Request::Insert("E", {1, 2}).ToString(), "ins(E, (1, 2))");
+  EXPECT_EQ(Request::Delete("E", {1, 2}).ToString(), "del(E, (1, 2))");
+  EXPECT_EQ(Request::SetConstant("s", 3).ToString(), "set(s, 3)");
+}
+
+TEST(RequestTest, ApplySemantics) {
+  Structure s(GraphVocabulary(), 4);
+  ApplyRequest(&s, Request::Insert("E", {1, 2}));
+  EXPECT_TRUE(s.relation("E").Contains({1, 2}));
+  // Inserting again is a no-op; deleting an absent tuple is a no-op.
+  ApplyRequest(&s, Request::Insert("E", {1, 2}));
+  EXPECT_EQ(s.relation("E").size(), 1u);
+  ApplyRequest(&s, Request::Delete("E", {0, 0}));
+  EXPECT_EQ(s.relation("E").size(), 1u);
+  ApplyRequest(&s, Request::Delete("E", {1, 2}));
+  EXPECT_TRUE(s.relation("E").empty());
+  ApplyRequest(&s, Request::SetConstant("t", 2));
+  EXPECT_EQ(s.constant("t"), 2u);
+}
+
+TEST(RequestTest, EvalRequestsReplaysSequence) {
+  RequestSequence requests = {
+      Request::Insert("E", {0, 1}),
+      Request::Insert("E", {1, 2}),
+      Request::Delete("E", {0, 1}),
+      Request::SetConstant("s", 1),
+  };
+  Structure s = EvalRequests(GraphVocabulary(), 4, requests);
+  EXPECT_FALSE(s.relation("E").Contains({0, 1}));
+  EXPECT_TRUE(s.relation("E").Contains({1, 2}));
+  EXPECT_EQ(s.constant("s"), 1u);
+}
+
+TEST(RequestDeathTest, OutOfUniverseElement) {
+  Structure s(GraphVocabulary(), 4);
+  EXPECT_DEATH(ApplyRequest(&s, Request::Insert("E", {1, 4})), "outside universe");
+}
+
+}  // namespace
+}  // namespace dynfo::relational

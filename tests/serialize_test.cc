@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "relational/serialize.h"
+#include "test_util.h"
+
+namespace dynfo::relational {
+namespace {
+
+std::shared_ptr<const Vocabulary> GraphVocabulary() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  v->AddRelation("U", 1);
+  v->AddConstant("s");
+  return v;
+}
+
+TEST(SerializeTest, GoldenFormat) {
+  Structure s(GraphVocabulary(), 4);
+  s.relation("E").Insert({1, 2});
+  s.relation("E").Insert({0, 1});
+  s.relation("U").Insert({3});
+  s.set_constant("s", 2);
+  EXPECT_EQ(WriteStructure(s),
+            "structure n=4\n"
+            "rel E 0 1\n"
+            "rel E 1 2\n"
+            "rel U 3\n"
+            "const s 2\n"
+            "end\n");
+}
+
+TEST(SerializeTest, RoundTripRandomStructures) {
+  auto vocab = GraphVocabulary();
+  core::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    Structure original(vocab, 3 + rng.Below(6));
+    dynfo::testing::RandomizeStructure(&original, &rng, 0.4);
+    core::Result<Structure> reread = ReadStructure(WriteStructure(original), vocab);
+    ASSERT_TRUE(reread.ok()) << reread.status().message();
+    EXPECT_EQ(reread.value(), original);
+  }
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  auto parsed = ReadStructure(
+      "# a saved session\n"
+      "structure n=3\n"
+      "\n"
+      "rel E 0 1  # the only edge\n"
+      "end\n",
+      GraphVocabulary());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_TRUE(parsed.value().relation("E").Contains({0, 1}));
+  EXPECT_EQ(parsed.value().relation("E").size(), 1u);
+}
+
+TEST(SerializeTest, Diagnostics) {
+  auto vocab = GraphVocabulary();
+  EXPECT_FALSE(ReadStructure("", vocab).ok());
+  EXPECT_FALSE(ReadStructure("structure n=3\n", vocab).ok());  // missing end
+  EXPECT_FALSE(ReadStructure("rel E 0 1\nend\n", vocab).ok());  // missing header
+  EXPECT_FALSE(ReadStructure("structure n=0\nend\n", vocab).ok());
+  EXPECT_FALSE(
+      ReadStructure("structure n=3\nrel Ghost 0\nend\n", vocab).ok());
+  EXPECT_FALSE(ReadStructure("structure n=3\nrel E 0\nend\n", vocab).ok());  // short
+  EXPECT_FALSE(
+      ReadStructure("structure n=3\nrel E 0 1 2\nend\n", vocab).ok());  // long
+  EXPECT_FALSE(ReadStructure("structure n=3\nrel E 0 7\nend\n", vocab).ok());
+  EXPECT_FALSE(ReadStructure("structure n=3\nconst t 1\nend\n", vocab).ok());
+  EXPECT_FALSE(
+      ReadStructure("structure n=3\nend\nrel E 0 1\n", vocab).ok());  // after end
+}
+
+}  // namespace
+}  // namespace dynfo::relational

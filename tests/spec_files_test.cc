@@ -1,0 +1,58 @@
+/// The shipped .dynfo spec files must load and behave like their C++
+/// counterparts — these are the files users start from.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "dynfo/engine.h"
+#include "dynfo/loader.h"
+#include "dynfo/verifier.h"
+#include "dynfo/workload.h"
+#include "programs/parity.h"
+#include "programs/reach_acyclic.h"
+
+namespace dynfo::dyn {
+namespace {
+
+std::string ReadSpec(const std::string& name) {
+  std::ifstream in(std::string(DYNFO_SPEC_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing spec " << name;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(SpecFilesTest, ParitySpecMatchesOracle) {
+  auto program = LoadProgramFromText(ReadSpec("parity.dynfo"));
+  ASSERT_TRUE(program.ok()) << program.status().message();
+
+  GenericWorkloadOptions workload;
+  workload.num_requests = 200;
+  workload.seed = 4;
+  relational::RequestSequence requests =
+      MakeGenericWorkload(*program.value()->input_vocabulary(), 16, workload);
+  VerifierResult result =
+      VerifyProgram(program.value(), programs::ParityOracle, 16, requests, {});
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+TEST(SpecFilesTest, ReachAcyclicSpecMatchesOracle) {
+  auto program = LoadProgramFromText(ReadSpec("reach_acyclic.dynfo"));
+  ASSERT_TRUE(program.ok()) << program.status().message();
+
+  GraphWorkloadOptions workload;
+  workload.num_requests = 120;
+  workload.seed = 4;
+  workload.preserve_acyclic = true;
+  workload.set_fraction = 0.1;
+  relational::RequestSequence requests =
+      MakeGraphWorkload(*program.value()->input_vocabulary(), "E", 8, workload);
+  VerifierResult result =
+      VerifyProgram(program.value(), programs::ReachAcyclicOracle, 8, requests, {});
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+}  // namespace
+}  // namespace dynfo::dyn

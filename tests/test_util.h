@@ -1,0 +1,126 @@
+/// \file test_util.h
+/// Shared helpers for tests: random structures and random formulas for
+/// property-based cross-checks between the two evaluators.
+
+#ifndef DYNFO_TESTS_TEST_UTIL_H_
+#define DYNFO_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "fo/formula.h"
+#include "relational/structure.h"
+
+namespace dynfo::testing {
+
+/// Fills every relation of `structure` with independent random tuples
+/// (density = expected fraction of possible tuples present) and randomizes
+/// constants.
+inline void RandomizeStructure(relational::Structure* structure, core::Rng* rng,
+                               double density) {
+  const size_t n = structure->universe_size();
+  const relational::Vocabulary& vocab = structure->vocabulary();
+  for (int r = 0; r < vocab.num_relations(); ++r) {
+    relational::Relation& rel = structure->relation(r);
+    rel.Clear();
+    const int arity = rel.arity();
+    uint64_t total = 1;
+    for (int i = 0; i < arity; ++i) total *= n;
+    for (uint64_t code = 0; code < total; ++code) {
+      if (rng->UnitDouble() >= density) continue;
+      relational::Tuple t;
+      uint64_t rest = code;
+      for (int i = 0; i < arity; ++i) {
+        t = t.Append(static_cast<relational::Element>(rest % n));
+        rest /= n;
+      }
+      rel.Insert(t);
+    }
+  }
+  for (int c = 0; c < vocab.num_constants(); ++c) {
+    structure->set_constant(c, static_cast<relational::Element>(rng->Below(n)));
+  }
+}
+
+/// A random term over the given variable names and the structure's
+/// vocabulary constants.
+inline fo::Term RandomTerm(core::Rng* rng, const relational::Vocabulary& vocab,
+                           const std::vector<std::string>& variables,
+                           size_t universe_size) {
+  switch (rng->Below(variables.empty() ? 4 : 6)) {
+    case 0:
+      return fo::Term::Min();
+    case 1:
+      return fo::Term::Max();
+    case 2:
+      return fo::Term::Number(
+          static_cast<relational::Element>(rng->Below(universe_size)));
+    case 3:
+      if (vocab.num_constants() > 0) {
+        return fo::Term::Const(
+            vocab.constant(static_cast<int>(rng->Below(vocab.num_constants()))));
+      }
+      return fo::Term::Min();
+    default:
+      return fo::Term::Var(variables[rng->Below(variables.size())]);
+  }
+}
+
+/// A random formula of bounded depth whose free variables are drawn from
+/// `variables`. Quantifiers introduce fresh names (q0, q1, ...).
+inline fo::FormulaPtr RandomFormula(core::Rng* rng, const relational::Vocabulary& vocab,
+                                    std::vector<std::string> variables,
+                                    size_t universe_size, int depth,
+                                    int* fresh_counter) {
+  using fo::Formula;
+  auto term = [&] { return RandomTerm(rng, vocab, variables, universe_size); };
+  if (depth <= 0 || rng->Chance(1, 4)) {
+    // Leaf: atom or numeric predicate.
+    switch (rng->Below(4)) {
+      case 0: {
+        if (vocab.num_relations() == 0) return Formula::Eq(term(), term());
+        int r = static_cast<int>(rng->Below(vocab.num_relations()));
+        const relational::RelationSymbol& symbol = vocab.relation(r);
+        std::vector<fo::Term> args;
+        for (int i = 0; i < symbol.arity; ++i) args.push_back(term());
+        return Formula::Atom(symbol.name, std::move(args));
+      }
+      case 1:
+        return Formula::Eq(term(), term());
+      case 2:
+        return Formula::Le(term(), term());
+      default:
+        return Formula::Bit(term(), term());
+    }
+  }
+  switch (rng->Below(5)) {
+    case 0:
+      return Formula::Not(RandomFormula(rng, vocab, variables, universe_size, depth - 1,
+                                        fresh_counter));
+    case 1:
+      return Formula::And(
+          {RandomFormula(rng, vocab, variables, universe_size, depth - 1, fresh_counter),
+           RandomFormula(rng, vocab, variables, universe_size, depth - 1,
+                         fresh_counter)});
+    case 2:
+      return Formula::Or(
+          {RandomFormula(rng, vocab, variables, universe_size, depth - 1, fresh_counter),
+           RandomFormula(rng, vocab, variables, universe_size, depth - 1,
+                         fresh_counter)});
+    default: {
+      std::string fresh = "q" + std::to_string((*fresh_counter)++);
+      std::vector<std::string> extended = variables;
+      extended.push_back(fresh);
+      fo::FormulaPtr body = RandomFormula(rng, vocab, std::move(extended), universe_size,
+                                          depth - 1, fresh_counter);
+      return rng->Chance(1, 2) ? Formula::Exists({fresh}, body)
+                               : Formula::Forall({fresh}, body);
+    }
+  }
+}
+
+}  // namespace dynfo::testing
+
+#endif  // DYNFO_TESTS_TEST_UTIL_H_

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "dynfo/verifier.h"
+#include "dynfo/workload.h"
+#include "graph/algorithms.h"
+#include "programs/transitive_reduction.h"
+
+namespace dynfo::programs {
+namespace {
+
+using dyn::Engine;
+using dyn::EvalMode;
+using relational::Request;
+using relational::Structure;
+
+/// TR must equal the oracle's transitive reduction (memoryless — Cor. 4.3),
+/// and P the reflexive transitive closure.
+std::string TrInvariant(const Structure& input, const Engine& engine) {
+  const size_t n = input.universe_size();
+  graph::Digraph g = graph::Digraph::FromRelation(input.relation("E"), n);
+  graph::Digraph expected = graph::TransitiveReduction(g);
+  const relational::Relation& tr = engine.data().relation("TR");
+  for (uint32_t x = 0; x < n; ++x) {
+    for (uint32_t y = 0; y < n; ++y) {
+      bool want = expected.HasEdge(x, y);
+      if (want != tr.Contains({x, y})) {
+        return "TR(" + std::to_string(x) + "," + std::to_string(y) + ") should be " +
+               (want ? "true" : "false");
+      }
+    }
+  }
+  return "";
+}
+
+TEST(TransitiveReductionTest, ProgramValidates) {
+  EXPECT_TRUE(MakeTransitiveReductionProgram()->Validate().ok());
+}
+
+TEST(TransitiveReductionTest, ShortcutLeavesOnInsertReturnsOnDelete) {
+  Engine engine(MakeTransitiveReductionProgram(), 4);
+  engine.Apply(Request::SetConstant("s", 0));
+  engine.Apply(Request::SetConstant("t", 2));
+  engine.Apply(Request::Insert("E", {0, 2}));  // shortcut first
+  EXPECT_TRUE(engine.QueryBool());             // TR(0, 2): the only path
+  engine.Apply(Request::Insert("E", {0, 1}));
+  engine.Apply(Request::Insert("E", {1, 2}));
+  EXPECT_FALSE(engine.QueryBool());  // 0 -> 1 -> 2 makes (0, 2) redundant
+  engine.Apply(Request::Delete("E", {1, 2}));
+  EXPECT_TRUE(engine.QueryBool());  // shortcut is essential again
+}
+
+TEST(TransitiveReductionTest, ReinsertKeepsEdgeInTr) {
+  Engine engine(MakeTransitiveReductionProgram(), 4);
+  engine.Apply(Request::SetConstant("s", 0));
+  engine.Apply(Request::SetConstant("t", 1));
+  engine.Apply(Request::Insert("E", {0, 1}));
+  EXPECT_TRUE(engine.QueryBool());
+  engine.Apply(Request::Insert("E", {0, 1}));  // duplicate insert
+  EXPECT_TRUE(engine.QueryBool()) << "re-insert must not evict (0,1) from TR";
+}
+
+struct TrParam {
+  uint64_t seed;
+  size_t universe;
+  size_t requests;
+  EvalMode mode;
+  bool delta;
+};
+
+class TrVerification : public ::testing::TestWithParam<TrParam> {};
+
+TEST_P(TrVerification, MatchesOracleOnAcyclicChurn) {
+  const TrParam param = GetParam();
+  dyn::GraphWorkloadOptions workload;
+  workload.num_requests = param.requests;
+  workload.seed = param.seed;
+  workload.preserve_acyclic = true;
+  workload.set_fraction = 0.1;
+  relational::RequestSequence requests = dyn::MakeGraphWorkload(
+      *TransitiveReductionInputVocabulary(), "E", param.universe, workload);
+
+  dyn::VerifierOptions options;
+  options.engine_options = {param.mode, param.delta};
+  options.invariant = TrInvariant;
+  dyn::VerifierResult result =
+      dyn::VerifyProgram(MakeTransitiveReductionProgram(), TransitiveReductionOracle,
+                         param.universe, requests, options);
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TrVerification,
+    ::testing::Values(TrParam{1, 8, 150, EvalMode::kAlgebra, true},
+                      TrParam{2, 10, 150, EvalMode::kAlgebra, true},
+                      TrParam{3, 8, 100, EvalMode::kAlgebra, false},
+                      TrParam{4, 6, 60, EvalMode::kNaive, false},
+                      TrParam{5, 12, 180, EvalMode::kAlgebra, true}),
+    [](const ::testing::TestParamInfo<TrParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.universe) + "_" +
+             (param_info.param.mode == EvalMode::kNaive ? "naive" : "algebra") +
+             (param_info.param.delta ? "_delta" : "_full");
+    });
+
+}  // namespace
+}  // namespace dynfo::programs

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "automata/tree_fo.h"
+#include "core/rng.h"
+#include "fo/eval_algebra.h"
+#include "fo/eval_naive.h"
+
+namespace dynfo::automata {
+namespace {
+
+TEST(TreeFoTest, HonestTreeSatisfiesConsistency) {
+  const size_t leaves = 8;
+  DynamicRegularLanguage dynamic(MakeParityDfa(), leaves);
+  dynamic.SetChar(2, Symbol{1});
+  dynamic.SetChar(5, Symbol{0});
+  dynamic.SetChar(7, Symbol{1});
+
+  relational::Structure tree = EncodeTree(dynamic, 2 * leaves);
+  fo::FormulaPtr consistency =
+      TreeConsistencySentence(leaves, dynamic.dfa().num_states);
+  fo::EvalContext ctx(tree);
+  fo::AlgebraEvaluator algebra;
+  EXPECT_TRUE(algebra.HoldsSentence(consistency, ctx));
+}
+
+TEST(TreeFoTest, CorruptedNodeIsDetected) {
+  const size_t leaves = 8;
+  DynamicRegularLanguage dynamic(MakeParityDfa(), leaves);
+  dynamic.SetChar(1, Symbol{1});
+
+  relational::Structure tree = EncodeTree(dynamic, 2 * leaves);
+  // Flip one internal node's map value: the certificate must fail.
+  relational::Relation& map = tree.relation("Map");
+  ASSERT_TRUE(map.Contains({3, 0, 0}));
+  map.Erase({3, 0, 0});
+  map.Insert({3, 0, 1});
+
+  fo::FormulaPtr consistency =
+      TreeConsistencySentence(leaves, dynamic.dfa().num_states);
+  fo::EvalContext ctx(tree);
+  fo::AlgebraEvaluator algebra;
+  EXPECT_FALSE(algebra.HoldsSentence(consistency, ctx));
+}
+
+TEST(TreeFoTest, AcceptSentenceMatchesDataStructure) {
+  const size_t leaves = 8;
+  DynamicRegularLanguage dynamic(MakeParityDfa(), leaves);
+  fo::FormulaPtr accept = TreeAcceptSentence();
+  fo::AlgebraEvaluator algebra;
+  core::Rng rng(5);
+  for (int step = 0; step < 30; ++step) {
+    size_t position = rng.Below(leaves);
+    std::optional<Symbol> symbol;
+    if (rng.Chance(2, 3)) symbol = static_cast<Symbol>(rng.Below(2));
+    dynamic.SetChar(position, symbol);
+
+    relational::Structure tree = EncodeTree(dynamic, 2 * leaves);
+    fo::EvalContext ctx(tree);
+    ASSERT_EQ(algebra.HoldsSentence(accept, ctx), dynamic.Accepts())
+        << "step " << step;
+    ASSERT_EQ(fo::NaiveEvaluator::HoldsSentence(accept, ctx), dynamic.Accepts())
+        << "step " << step;
+  }
+}
+
+TEST(TreeFoTest, ConsistencyHoldsAcrossEditsAndDfas) {
+  const size_t leaves = 4;
+  for (int k : {2, 3}) {
+    DynamicRegularLanguage dynamic(MakeModKDfa(k, 1), leaves);
+    fo::FormulaPtr consistency = TreeConsistencySentence(leaves, k);
+    fo::AlgebraEvaluator algebra;
+    core::Rng rng(31);
+    for (int step = 0; step < 10; ++step) {
+      size_t position = rng.Below(leaves);
+      std::optional<Symbol> symbol;
+      if (rng.Chance(1, 2)) symbol = static_cast<Symbol>(rng.Below(2));
+      dynamic.SetChar(position, symbol);
+      relational::Structure tree = EncodeTree(dynamic, 2 * leaves + k);
+      fo::EvalContext ctx(tree);
+      ASSERT_TRUE(algebra.HoldsSentence(consistency, ctx))
+          << "k=" << k << " step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynfo::automata

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dynfo/workload.h"
+#include "graph/algorithms.h"
+
+namespace dynfo::dyn {
+namespace {
+
+using relational::Request;
+using relational::RequestKind;
+using relational::Structure;
+using relational::Vocabulary;
+
+std::shared_ptr<const Vocabulary> EdgeVocabulary() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  v->AddConstant("s");
+  return v;
+}
+
+TEST(GenericWorkloadTest, DeterministicAndInRange) {
+  GenericWorkloadOptions options;
+  options.num_requests = 200;
+  options.seed = 3;
+  options.set_fraction = 0.1;
+  auto a = MakeGenericWorkload(*EdgeVocabulary(), 7, options);
+  auto b = MakeGenericWorkload(*EdgeVocabulary(), 7, options);
+  ASSERT_EQ(a.size(), 200u);
+  EXPECT_EQ(a, b);  // same seed, same sequence
+  bool saw_set = false;
+  for (const Request& r : a) {
+    if (r.kind == RequestKind::kSetConstant) {
+      saw_set = true;
+      EXPECT_LT(r.value, 7u);
+    } else {
+      for (int i = 0; i < r.tuple.size(); ++i) EXPECT_LT(r.tuple[i], 7u);
+    }
+  }
+  EXPECT_TRUE(saw_set);
+}
+
+TEST(GraphWorkloadTest, DeletesOnlyPresentEdges) {
+  GraphWorkloadOptions options;
+  options.num_requests = 300;
+  options.seed = 5;
+  auto requests = MakeGraphWorkload(*EdgeVocabulary(), "E", 8, options);
+  Structure shadow(EdgeVocabulary(), 8);
+  for (const Request& r : requests) {
+    if (r.kind == RequestKind::kDelete) {
+      EXPECT_TRUE(shadow.relation("E").Contains(r.tuple)) << r.ToString();
+    }
+    if (r.kind == RequestKind::kInsert) {
+      EXPECT_FALSE(shadow.relation("E").Contains(r.tuple)) << r.ToString();
+    }
+    relational::ApplyRequest(&shadow, r);
+  }
+}
+
+TEST(GraphWorkloadTest, AcyclicityPreserved) {
+  GraphWorkloadOptions options;
+  options.num_requests = 250;
+  options.seed = 11;
+  options.preserve_acyclic = true;
+  auto requests = MakeGraphWorkload(*EdgeVocabulary(), "E", 9, options);
+  Structure shadow(EdgeVocabulary(), 9);
+  for (const Request& r : requests) {
+    relational::ApplyRequest(&shadow, r);
+    graph::Digraph g = graph::Digraph::FromRelation(shadow.relation("E"), 9);
+    ASSERT_TRUE(graph::IsAcyclic(g)) << "after " << r.ToString();
+  }
+}
+
+TEST(GraphWorkloadTest, ForestShapePreserved) {
+  GraphWorkloadOptions options;
+  options.num_requests = 250;
+  options.seed = 13;
+  options.forest_shape = true;
+  auto requests = MakeGraphWorkload(*EdgeVocabulary(), "E", 9, options);
+  Structure shadow(EdgeVocabulary(), 9);
+  for (const Request& r : requests) {
+    relational::ApplyRequest(&shadow, r);
+    std::vector<int> indegree(9, 0);
+    for (const relational::Tuple& t : shadow.relation("E")) ++indegree[t[1]];
+    for (int d : indegree) ASSERT_LE(d, 1);
+    graph::Digraph g = graph::Digraph::FromRelation(shadow.relation("E"), 9);
+    ASSERT_TRUE(graph::IsAcyclic(g));
+  }
+}
+
+TEST(GraphWorkloadTest, DegreeBoundRespected) {
+  GraphWorkloadOptions options;
+  options.num_requests = 200;
+  options.seed = 17;
+  options.max_degree = 2;
+  options.undirected = true;
+  auto requests = MakeGraphWorkload(*EdgeVocabulary(), "E", 10, options);
+  std::vector<int> degree(10, 0);
+  for (const Request& r : requests) {
+    if (r.kind == RequestKind::kInsert) {
+      ++degree[r.tuple[0]];
+      ++degree[r.tuple[1]];
+    } else if (r.kind == RequestKind::kDelete) {
+      --degree[r.tuple[0]];
+      --degree[r.tuple[1]];
+    }
+    for (int d : degree) ASSERT_LE(d, 2);
+  }
+}
+
+TEST(WeightedWorkloadTest, DistinctWeightsOneWeightPerPair) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("W", 3);
+  WeightedGraphWorkloadOptions options;
+  options.num_requests = 300;
+  options.seed = 19;
+  auto requests = MakeWeightedGraphWorkload(*vocab, "W", 10, options);
+  std::set<uint32_t> live_weights;
+  std::set<std::pair<uint32_t, uint32_t>> live_pairs;
+  for (const Request& r : requests) {
+    if (r.kind == RequestKind::kInsert) {
+      EXPECT_LT(r.tuple[0], r.tuple[1]);  // canonical, no self loops
+      EXPECT_TRUE(live_weights.insert(r.tuple[2]).second) << "weight reuse";
+      EXPECT_TRUE(live_pairs.insert({r.tuple[0], r.tuple[1]}).second);
+    } else if (r.kind == RequestKind::kDelete) {
+      EXPECT_EQ(live_weights.erase(r.tuple[2]), 1u);
+      EXPECT_EQ(live_pairs.erase({r.tuple[0], r.tuple[1]}), 1u);
+    }
+  }
+}
+
+TEST(SlotStringWorkloadTest, OneCharacterPerSlotAndCap) {
+  SlotStringWorkloadOptions options;
+  options.num_requests = 300;
+  options.seed = 23;
+  options.max_chars = 5;
+  auto requests = MakeSlotStringWorkload({"A", "B"}, 12, options);
+  std::vector<int> slot(12, -1);
+  size_t occupied = 0;
+  for (const Request& r : requests) {
+    uint32_t p = r.tuple[0];
+    int c = r.target == "A" ? 0 : 1;
+    if (r.kind == RequestKind::kInsert) {
+      ASSERT_EQ(slot[p], -1) << "double occupancy";
+      slot[p] = c;
+      ++occupied;
+    } else {
+      ASSERT_EQ(slot[p], c) << "deleting the wrong character";
+      slot[p] = -1;
+      --occupied;
+    }
+    ASSERT_LE(occupied, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace dynfo::dyn

@@ -1,0 +1,209 @@
+/// \file dynfo_cli.cc
+/// A command-line driver for Dyn-FO programs: load a text spec, feed it
+/// requests, ask first-order questions — the relational calculus as a
+/// dynamic query shell.
+///
+/// Usage:
+///   dynfo_cli <program.dynfo> <universe-size> [script-file]
+///
+/// Commands (one per line, from the script or stdin; '#' comments):
+///   ins <relation> <e1> <e2> ...     insert a tuple
+///   del <relation> <e1> <e2> ...     delete a tuple
+///   set <constant> <value>           assign a constant
+///   query                            evaluate the boolean query
+///   show <name> [params...]          print a named query / data relation
+///   eval <formula>                   evaluate an ad-hoc FO sentence
+///   stats                            engine counters
+///   dump                             the whole data structure
+///   save <file>                      serialize the data structure
+///   load <file>                      restore a previously saved structure
+///   quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dynfo/engine.h"
+#include "dynfo/loader.h"
+#include "fo/parser.h"
+#include "relational/serialize.h"
+
+namespace {
+
+using dynfo::dyn::Engine;
+using dynfo::relational::Element;
+using dynfo::relational::Request;
+using dynfo::relational::Tuple;
+
+std::vector<std::string> Split(const std::string& line) {
+  std::vector<std::string> out;
+  std::stringstream ss(line);
+  std::string word;
+  while (ss >> word) out.push_back(word);
+  return out;
+}
+
+bool ParseElements(const std::vector<std::string>& words, size_t start,
+                   std::vector<Element>* out) {
+  for (size_t i = start; i < words.size(); ++i) {
+    try {
+      out->push_back(static_cast<Element>(std::stoul(words[i])));
+    } catch (...) {
+      std::printf("error: '%s' is not a universe element\n", words[i].c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(Engine* engine, std::istream& in, bool interactive) {
+  auto program = engine->program().data_vocabulary();
+  dynfo::fo::ParserEnvironment formulas(program);
+  std::string line;
+  if (interactive) std::printf("dynfo> ");
+  while (std::getline(in, line)) {
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::vector<std::string> words = Split(line);
+    if (words.empty()) {
+      if (interactive) std::printf("dynfo> ");
+      continue;
+    }
+    const std::string& command = words[0];
+    if (command == "quit" || command == "exit") break;
+
+    if (command == "ins" || command == "del") {
+      if (words.size() < 2) {
+        std::printf("error: %s needs a relation name\n", command.c_str());
+      } else {
+        std::vector<Element> elements;
+        if (ParseElements(words, 2, &elements)) {
+          Tuple t;
+          for (Element e : elements) t = t.Append(e);
+          Request request = command == "ins" ? Request::Insert(words[1], t)
+                                             : Request::Delete(words[1], t);
+          engine->Apply(request);
+          std::printf("ok: %s\n", request.ToString().c_str());
+        }
+      }
+    } else if (command == "set") {
+      std::vector<Element> elements;
+      if (words.size() == 3 && ParseElements(words, 2, &elements)) {
+        engine->Apply(Request::SetConstant(words[1], elements[0]));
+        std::printf("ok: set(%s, %u)\n", words[1].c_str(), elements[0]);
+      } else {
+        std::printf("error: usage: set <constant> <value>\n");
+      }
+    } else if (command == "query") {
+      std::printf("%s\n", engine->QueryBool() ? "true" : "false");
+    } else if (command == "show") {
+      if (words.size() < 2) {
+        std::printf("error: show needs a name\n");
+      } else if (engine->program().FindNamedQuery(words[1]) != nullptr) {
+        std::vector<Element> params;
+        if (ParseElements(words, 2, &params)) {
+          std::printf("%s = %s\n", words[1].c_str(),
+                      engine->QueryRelation(words[1], params).ToString().c_str());
+        }
+      } else if (program->RelationIndex(words[1]) >= 0) {
+        std::printf("%s = %s\n", words[1].c_str(),
+                    engine->data().relation(words[1]).ToString().c_str());
+      } else {
+        std::printf("error: no query or relation named %s\n", words[1].c_str());
+      }
+    } else if (command == "eval") {
+      std::string text = line.substr(line.find("eval") + 4);
+      auto parsed = formulas.Parse(text);
+      if (!parsed.ok()) {
+        std::printf("error: %s\n", parsed.status().message().c_str());
+      } else if (!parsed.value()->FreeVariables().empty()) {
+        std::printf("error: eval needs a sentence (no free variables)\n");
+      } else {
+        std::printf("%s\n", engine->QuerySentence(parsed.value()) ? "true" : "false");
+      }
+    } else if (command == "stats") {
+      const Engine::Stats& stats = engine->stats();
+      std::printf("requests=%llu recomputed=%llu delta=%llu +%llu/-%llu tuples\n",
+                  static_cast<unsigned long long>(stats.requests),
+                  static_cast<unsigned long long>(stats.relations_recomputed),
+                  static_cast<unsigned long long>(stats.delta_applications),
+                  static_cast<unsigned long long>(stats.tuples_inserted),
+                  static_cast<unsigned long long>(stats.tuples_erased));
+    } else if (command == "dump") {
+      std::printf("%s", engine->data().ToString().c_str());
+    } else if (command == "save" && words.size() == 2) {
+      std::ofstream out(words[1]);
+      if (!out) {
+        std::printf("error: cannot write %s\n", words[1].c_str());
+      } else {
+        out << dynfo::relational::WriteStructure(engine->data());
+        std::printf("saved to %s\n", words[1].c_str());
+      }
+    } else if (command == "load" && words.size() == 2) {
+      std::ifstream file(words[1]);
+      if (!file) {
+        std::printf("error: cannot read %s\n", words[1].c_str());
+      } else {
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        auto restored =
+            dynfo::relational::ReadStructure(buffer.str(), program);
+        if (!restored.ok()) {
+          std::printf("error: %s\n", restored.status().message().c_str());
+        } else if (restored.value().universe_size() !=
+                   engine->data().universe_size()) {
+          std::printf("error: saved universe size %zu != engine's %zu\n",
+                      restored.value().universe_size(),
+                      engine->data().universe_size());
+        } else {
+          *engine->mutable_data() = std::move(restored).value();
+          std::printf("loaded %s\n", words[1].c_str());
+        }
+      }
+    } else {
+      std::printf("error: unknown command '%s'\n", command.c_str());
+    }
+    if (interactive) std::printf("dynfo> ");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr, "usage: %s <program.dynfo> <universe-size> [script]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream spec(argv[1]);
+  if (!spec) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << spec.rdbuf();
+  auto program = dynfo::dyn::LoadProgramFromText(buffer.str());
+  if (!program.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", argv[1],
+                 program.status().message().c_str());
+    return 2;
+  }
+  size_t n = std::stoul(argv[2]);
+  Engine engine(program.value(), n);
+  std::printf("loaded program '%s' (universe %zu)\n",
+              program.value()->name().c_str(), n);
+
+  if (argc == 4) {
+    std::ifstream script(argv[3]);
+    if (!script) {
+      std::fprintf(stderr, "error: cannot open %s\n", argv[3]);
+      return 2;
+    }
+    return Run(&engine, script, /*interactive=*/false);
+  }
+  return Run(&engine, std::cin, /*interactive=*/true);
+}
