@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bipartite.dir/bench_bipartite.cc.o"
+  "CMakeFiles/bench_bipartite.dir/bench_bipartite.cc.o.d"
+  "bench_bipartite"
+  "bench_bipartite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bipartite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dyck.dir/bench_dyck.cc.o"
+  "CMakeFiles/bench_dyck.dir/bench_dyck.cc.o.d"
+  "bench_dyck"
+  "bench_dyck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dyck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

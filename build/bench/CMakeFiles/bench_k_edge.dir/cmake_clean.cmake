@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_k_edge.dir/bench_k_edge.cc.o"
+  "CMakeFiles/bench_k_edge.dir/bench_k_edge.cc.o.d"
+  "bench_k_edge"
+  "bench_k_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_k_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lca.dir/bench_lca.cc.o"
+  "CMakeFiles/bench_lca.dir/bench_lca.cc.o.d"
+  "bench_lca"
+  "bench_lca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msf.dir/bench_msf.cc.o"
+  "CMakeFiles/bench_msf.dir/bench_msf.cc.o.d"
+  "bench_msf"
+  "bench_msf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiplication.dir/bench_multiplication.cc.o"
+  "CMakeFiles/bench_multiplication.dir/bench_multiplication.cc.o.d"
+  "bench_multiplication"
+  "bench_multiplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reach_acyclic.dir/bench_reach_acyclic.cc.o"
+  "CMakeFiles/bench_reach_acyclic.dir/bench_reach_acyclic.cc.o.d"
+  "bench_reach_acyclic"
+  "bench_reach_acyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reach_acyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reach_u.dir/bench_reach_u.cc.o"
+  "CMakeFiles/bench_reach_u.dir/bench_reach_u.cc.o.d"
+  "bench_reach_u"
+  "bench_reach_u.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reach_u.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regular.dir/bench_regular.cc.o"
+  "CMakeFiles/bench_regular.dir/bench_regular.cc.o.d"
+  "bench_regular"
+  "bench_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transitive_reduction.dir/bench_transitive_reduction.cc.o"
+  "CMakeFiles/bench_transitive_reduction.dir/bench_transitive_reduction.cc.o.d"
+  "bench_transitive_reduction"
+  "bench_transitive_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transitive_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_monitor.dir/text_monitor.cpp.o"
+  "CMakeFiles/text_monitor.dir/text_monitor.cpp.o.d"
+  "text_monitor"
+  "text_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

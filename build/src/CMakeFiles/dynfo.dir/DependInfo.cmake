@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arith/bit_formulas.cc" "src/CMakeFiles/dynfo.dir/arith/bit_formulas.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/arith/bit_formulas.cc.o.d"
+  "/root/repo/src/automata/dfa.cc" "src/CMakeFiles/dynfo.dir/automata/dfa.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/automata/dfa.cc.o.d"
+  "/root/repo/src/automata/dynamic_string.cc" "src/CMakeFiles/dynfo.dir/automata/dynamic_string.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/automata/dynamic_string.cc.o.d"
+  "/root/repo/src/automata/regex.cc" "src/CMakeFiles/dynfo.dir/automata/regex.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/automata/regex.cc.o.d"
+  "/root/repo/src/automata/tree_fo.cc" "src/CMakeFiles/dynfo.dir/automata/tree_fo.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/automata/tree_fo.cc.o.d"
+  "/root/repo/src/core/check.cc" "src/CMakeFiles/dynfo.dir/core/check.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/core/check.cc.o.d"
+  "/root/repo/src/dynfo/engine.cc" "src/CMakeFiles/dynfo.dir/dynfo/engine.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/dynfo/engine.cc.o.d"
+  "/root/repo/src/dynfo/loader.cc" "src/CMakeFiles/dynfo.dir/dynfo/loader.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/dynfo/loader.cc.o.d"
+  "/root/repo/src/dynfo/program.cc" "src/CMakeFiles/dynfo.dir/dynfo/program.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/dynfo/program.cc.o.d"
+  "/root/repo/src/dynfo/verifier.cc" "src/CMakeFiles/dynfo.dir/dynfo/verifier.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/dynfo/verifier.cc.o.d"
+  "/root/repo/src/dynfo/workload.cc" "src/CMakeFiles/dynfo.dir/dynfo/workload.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/dynfo/workload.cc.o.d"
+  "/root/repo/src/fo/eval_algebra.cc" "src/CMakeFiles/dynfo.dir/fo/eval_algebra.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/fo/eval_algebra.cc.o.d"
+  "/root/repo/src/fo/eval_context.cc" "src/CMakeFiles/dynfo.dir/fo/eval_context.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/fo/eval_context.cc.o.d"
+  "/root/repo/src/fo/eval_naive.cc" "src/CMakeFiles/dynfo.dir/fo/eval_naive.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/fo/eval_naive.cc.o.d"
+  "/root/repo/src/fo/formula.cc" "src/CMakeFiles/dynfo.dir/fo/formula.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/fo/formula.cc.o.d"
+  "/root/repo/src/fo/named_relation.cc" "src/CMakeFiles/dynfo.dir/fo/named_relation.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/fo/named_relation.cc.o.d"
+  "/root/repo/src/fo/normalize.cc" "src/CMakeFiles/dynfo.dir/fo/normalize.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/fo/normalize.cc.o.d"
+  "/root/repo/src/fo/parser.cc" "src/CMakeFiles/dynfo.dir/fo/parser.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/fo/parser.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/dynfo.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/alternating.cc" "src/CMakeFiles/dynfo.dir/graph/alternating.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/graph/alternating.cc.o.d"
+  "/root/repo/src/graph/dynamic_connectivity.cc" "src/CMakeFiles/dynfo.dir/graph/dynamic_connectivity.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/graph/dynamic_connectivity.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/dynfo.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/mst.cc" "src/CMakeFiles/dynfo.dir/graph/mst.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/graph/mst.cc.o.d"
+  "/root/repo/src/programs/bipartite.cc" "src/CMakeFiles/dynfo.dir/programs/bipartite.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/bipartite.cc.o.d"
+  "/root/repo/src/programs/dyck.cc" "src/CMakeFiles/dynfo.dir/programs/dyck.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/dyck.cc.o.d"
+  "/root/repo/src/programs/forest_rules.cc" "src/CMakeFiles/dynfo.dir/programs/forest_rules.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/forest_rules.cc.o.d"
+  "/root/repo/src/programs/k_edge.cc" "src/CMakeFiles/dynfo.dir/programs/k_edge.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/k_edge.cc.o.d"
+  "/root/repo/src/programs/lca.cc" "src/CMakeFiles/dynfo.dir/programs/lca.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/lca.cc.o.d"
+  "/root/repo/src/programs/matching.cc" "src/CMakeFiles/dynfo.dir/programs/matching.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/matching.cc.o.d"
+  "/root/repo/src/programs/msf.cc" "src/CMakeFiles/dynfo.dir/programs/msf.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/msf.cc.o.d"
+  "/root/repo/src/programs/multiplication.cc" "src/CMakeFiles/dynfo.dir/programs/multiplication.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/multiplication.cc.o.d"
+  "/root/repo/src/programs/pad_reach_a.cc" "src/CMakeFiles/dynfo.dir/programs/pad_reach_a.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/pad_reach_a.cc.o.d"
+  "/root/repo/src/programs/parity.cc" "src/CMakeFiles/dynfo.dir/programs/parity.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/parity.cc.o.d"
+  "/root/repo/src/programs/reach_acyclic.cc" "src/CMakeFiles/dynfo.dir/programs/reach_acyclic.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/reach_acyclic.cc.o.d"
+  "/root/repo/src/programs/reach_d.cc" "src/CMakeFiles/dynfo.dir/programs/reach_d.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/reach_d.cc.o.d"
+  "/root/repo/src/programs/reach_semidynamic.cc" "src/CMakeFiles/dynfo.dir/programs/reach_semidynamic.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/reach_semidynamic.cc.o.d"
+  "/root/repo/src/programs/reach_u.cc" "src/CMakeFiles/dynfo.dir/programs/reach_u.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/reach_u.cc.o.d"
+  "/root/repo/src/programs/reach_u2.cc" "src/CMakeFiles/dynfo.dir/programs/reach_u2.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/reach_u2.cc.o.d"
+  "/root/repo/src/programs/transitive_reduction.cc" "src/CMakeFiles/dynfo.dir/programs/transitive_reduction.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/programs/transitive_reduction.cc.o.d"
+  "/root/repo/src/reductions/color_reach.cc" "src/CMakeFiles/dynfo.dir/reductions/color_reach.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/reductions/color_reach.cc.o.d"
+  "/root/repo/src/reductions/fo_reduction.cc" "src/CMakeFiles/dynfo.dir/reductions/fo_reduction.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/reductions/fo_reduction.cc.o.d"
+  "/root/repo/src/reductions/iterated_product.cc" "src/CMakeFiles/dynfo.dir/reductions/iterated_product.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/reductions/iterated_product.cc.o.d"
+  "/root/repo/src/reductions/pad.cc" "src/CMakeFiles/dynfo.dir/reductions/pad.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/reductions/pad.cc.o.d"
+  "/root/repo/src/reductions/reduced_engine.cc" "src/CMakeFiles/dynfo.dir/reductions/reduced_engine.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/reductions/reduced_engine.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/dynfo.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/request.cc" "src/CMakeFiles/dynfo.dir/relational/request.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/relational/request.cc.o.d"
+  "/root/repo/src/relational/serialize.cc" "src/CMakeFiles/dynfo.dir/relational/serialize.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/relational/serialize.cc.o.d"
+  "/root/repo/src/relational/structure.cc" "src/CMakeFiles/dynfo.dir/relational/structure.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/relational/structure.cc.o.d"
+  "/root/repo/src/relational/vocabulary.cc" "src/CMakeFiles/dynfo.dir/relational/vocabulary.cc.o" "gcc" "src/CMakeFiles/dynfo.dir/relational/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

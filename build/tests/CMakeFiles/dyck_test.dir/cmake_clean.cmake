@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyck_test.dir/dyck_test.cc.o"
+  "CMakeFiles/dyck_test.dir/dyck_test.cc.o.d"
+  "dyck_test"
+  "dyck_test.pdb"
+  "dyck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

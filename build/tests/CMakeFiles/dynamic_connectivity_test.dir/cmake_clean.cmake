@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_connectivity_test.dir/dynamic_connectivity_test.cc.o"
+  "CMakeFiles/dynamic_connectivity_test.dir/dynamic_connectivity_test.cc.o.d"
+  "dynamic_connectivity_test"
+  "dynamic_connectivity_test.pdb"
+  "dynamic_connectivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_connectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

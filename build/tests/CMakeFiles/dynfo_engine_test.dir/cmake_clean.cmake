@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynfo_engine_test.dir/dynfo_engine_test.cc.o"
+  "CMakeFiles/dynfo_engine_test.dir/dynfo_engine_test.cc.o.d"
+  "dynfo_engine_test"
+  "dynfo_engine_test.pdb"
+  "dynfo_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynfo_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

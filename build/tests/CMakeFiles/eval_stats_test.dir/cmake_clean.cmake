@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_stats_test.dir/eval_stats_test.cc.o"
+  "CMakeFiles/eval_stats_test.dir/eval_stats_test.cc.o.d"
+  "eval_stats_test"
+  "eval_stats_test.pdb"
+  "eval_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

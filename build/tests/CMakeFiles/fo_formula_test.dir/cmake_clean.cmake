@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo_formula_test.dir/fo_formula_test.cc.o"
+  "CMakeFiles/fo_formula_test.dir/fo_formula_test.cc.o.d"
+  "fo_formula_test"
+  "fo_formula_test.pdb"
+  "fo_formula_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo_formula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo_normalize_test.dir/fo_normalize_test.cc.o"
+  "CMakeFiles/fo_normalize_test.dir/fo_normalize_test.cc.o.d"
+  "fo_normalize_test"
+  "fo_normalize_test.pdb"
+  "fo_normalize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo_normalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterated_product_test.dir/iterated_product_test.cc.o"
+  "CMakeFiles/iterated_product_test.dir/iterated_product_test.cc.o.d"
+  "iterated_product_test"
+  "iterated_product_test.pdb"
+  "iterated_product_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterated_product_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

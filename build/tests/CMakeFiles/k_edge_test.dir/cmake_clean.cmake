@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_edge_test.dir/k_edge_test.cc.o"
+  "CMakeFiles/k_edge_test.dir/k_edge_test.cc.o.d"
+  "k_edge_test"
+  "k_edge_test.pdb"
+  "k_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

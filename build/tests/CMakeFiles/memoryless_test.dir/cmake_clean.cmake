@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memoryless_test.dir/memoryless_test.cc.o"
+  "CMakeFiles/memoryless_test.dir/memoryless_test.cc.o.d"
+  "memoryless_test"
+  "memoryless_test.pdb"
+  "memoryless_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memoryless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msf_test.dir/msf_test.cc.o"
+  "CMakeFiles/msf_test.dir/msf_test.cc.o.d"
+  "msf_test"
+  "msf_test.pdb"
+  "msf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplication_test.dir/multiplication_test.cc.o"
+  "CMakeFiles/multiplication_test.dir/multiplication_test.cc.o.d"
+  "multiplication_test"
+  "multiplication_test.pdb"
+  "multiplication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/named_relation_test.dir/named_relation_test.cc.o"
+  "CMakeFiles/named_relation_test.dir/named_relation_test.cc.o.d"
+  "named_relation_test"
+  "named_relation_test.pdb"
+  "named_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/named_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

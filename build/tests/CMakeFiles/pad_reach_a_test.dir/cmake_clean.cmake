@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_reach_a_test.dir/pad_reach_a_test.cc.o"
+  "CMakeFiles/pad_reach_a_test.dir/pad_reach_a_test.cc.o.d"
+  "pad_reach_a_test"
+  "pad_reach_a_test.pdb"
+  "pad_reach_a_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_reach_a_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

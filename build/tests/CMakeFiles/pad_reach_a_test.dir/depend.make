@@ -1,0 +1,2 @@
+# Empty dependencies file for pad_reach_a_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_acyclic_test.dir/reach_acyclic_test.cc.o"
+  "CMakeFiles/reach_acyclic_test.dir/reach_acyclic_test.cc.o.d"
+  "reach_acyclic_test"
+  "reach_acyclic_test.pdb"
+  "reach_acyclic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_acyclic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_d_test.dir/reach_d_test.cc.o"
+  "CMakeFiles/reach_d_test.dir/reach_d_test.cc.o.d"
+  "reach_d_test"
+  "reach_d_test.pdb"
+  "reach_d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

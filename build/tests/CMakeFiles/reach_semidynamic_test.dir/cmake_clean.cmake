@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_semidynamic_test.dir/reach_semidynamic_test.cc.o"
+  "CMakeFiles/reach_semidynamic_test.dir/reach_semidynamic_test.cc.o.d"
+  "reach_semidynamic_test"
+  "reach_semidynamic_test.pdb"
+  "reach_semidynamic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_semidynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

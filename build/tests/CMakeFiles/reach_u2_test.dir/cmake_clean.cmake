@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_u2_test.dir/reach_u2_test.cc.o"
+  "CMakeFiles/reach_u2_test.dir/reach_u2_test.cc.o.d"
+  "reach_u2_test"
+  "reach_u2_test.pdb"
+  "reach_u2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_u2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

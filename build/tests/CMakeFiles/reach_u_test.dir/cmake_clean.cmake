@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_u_test.dir/reach_u_test.cc.o"
+  "CMakeFiles/reach_u_test.dir/reach_u_test.cc.o.d"
+  "reach_u_test"
+  "reach_u_test.pdb"
+  "reach_u_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_u_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

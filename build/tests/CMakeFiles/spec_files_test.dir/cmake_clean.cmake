@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_files_test.dir/spec_files_test.cc.o"
+  "CMakeFiles/spec_files_test.dir/spec_files_test.cc.o.d"
+  "spec_files_test"
+  "spec_files_test.pdb"
+  "spec_files_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_fo_test.dir/tree_fo_test.cc.o"
+  "CMakeFiles/tree_fo_test.dir/tree_fo_test.cc.o.d"
+  "tree_fo_test"
+  "tree_fo_test.pdb"
+  "tree_fo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_fo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynfo_cli.dir/dynfo_cli.cc.o"
+  "CMakeFiles/dynfo_cli.dir/dynfo_cli.cc.o.d"
+  "dynfo_cli"
+  "dynfo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynfo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
