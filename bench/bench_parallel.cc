@@ -1,0 +1,165 @@
+/// \file bench_parallel.cc
+/// Thread-scaling sweep for the parallel evaluation backend: threads in
+/// {1, 2, 4, 8} x universe size on the heaviest programs (REACH_u, maximal
+/// matching, multiplication). Each benchmark reports, as JSON counters:
+///   * threads            — EngineOptions::num_threads for this run;
+///   * speedup            — sequential seconds-per-request / this config's
+///                          (baseline measured once per (program, n));
+///   * thread_utilization — Engine::Stats::ThreadUtilization() (avg
+///                          concurrency achieved during update evaluation).
+/// Determinism is asserted before timing: the parallel engine's final data
+/// structure must equal the sequential engine's bit for bit.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "core/rng.h"
+#include "programs/matching.h"
+#include "programs/multiplication.h"
+#include "programs/reach_u.h"
+
+namespace dynfo {
+namespace {
+
+struct ParallelCase {
+  std::string name;
+  std::function<std::shared_ptr<const dyn::DynProgram>()> program;
+  std::function<void(dyn::Engine*)> post_init;
+  std::function<relational::RequestSequence(size_t)> workload;
+};
+
+dyn::EngineOptions ThreadedOptions(int threads) {
+  dyn::EngineOptions options;
+  options.num_threads = threads;
+  // Small grain: at bench-sized universes the operator row counts are in the
+  // hundreds-to-thousands, so the default server grain would leave most of
+  // the sweep on the inline fast path.
+  options.parallel_grain = 8;
+  return options;
+}
+
+double ReplaySeconds(dyn::Engine* engine, const relational::RequestSequence& requests) {
+  const auto start = std::chrono::steady_clock::now();
+  bench::ReplayWorkload(engine, requests);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Sequential (threads = 1) seconds per request, measured once per
+/// (program, n) and cached for the whole benchmark binary run.
+double SequentialBaseline(const ParallelCase& pcase, size_t n,
+                          const relational::RequestSequence& requests) {
+  static std::map<std::string, double> cache;
+  const std::string key = pcase.name + "/" + std::to_string(n);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  dyn::Engine engine(pcase.program(), n, ThreadedOptions(1));
+  pcase.post_init(&engine);
+  double per_request = ReplaySeconds(&engine, requests) / requests.size();
+  cache[key] = per_request;
+  return per_request;
+}
+
+void RunCase(benchmark::State& state, const ParallelCase& pcase) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  relational::RequestSequence requests = pcase.workload(n);
+
+  // Determinism gate: identical final structures, sequential vs. threaded.
+  {
+    dyn::Engine sequential(pcase.program(), n, ThreadedOptions(1));
+    dyn::Engine threaded(pcase.program(), n, ThreadedOptions(threads));
+    pcase.post_init(&sequential);
+    pcase.post_init(&threaded);
+    bench::ReplayWorkload(&sequential, requests);
+    bench::ReplayWorkload(&threaded, requests);
+    DYNFO_CHECK(sequential.data() == threaded.data())
+        << pcase.name << " diverged at n=" << n << " threads=" << threads;
+  }
+
+  const double baseline_per_request = SequentialBaseline(pcase, n, requests);
+  double measured_seconds = 0;
+  double utilization = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    dyn::Engine engine(pcase.program(), n, ThreadedOptions(threads));
+    pcase.post_init(&engine);
+    state.ResumeTiming();
+    measured_seconds += ReplaySeconds(&engine, requests);
+    utilization = engine.stats().ThreadUtilization();
+  }
+  const double per_request =
+      measured_seconds / (static_cast<double>(state.iterations()) * requests.size());
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["speedup"] = per_request > 0 ? baseline_per_request / per_request : 0;
+  state.counters["thread_utilization"] = utilization;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+
+ParallelCase ReachUCase() {
+  return {"reach_u", [] { return programs::MakeReachUProgram(); },
+          [](dyn::Engine*) {},
+          [](size_t n) {
+            dyn::GraphWorkloadOptions options;
+            options.num_requests = 24;
+            options.seed = 42;
+            options.undirected = true;
+            return dyn::MakeGraphWorkload(*programs::ReachUInputVocabulary(), "E", n,
+                                          options);
+          }};
+}
+
+ParallelCase MatchingCase() {
+  return {"matching", [] { return programs::MakeMatchingProgram(); },
+          [](dyn::Engine*) {},
+          [](size_t n) {
+            dyn::GraphWorkloadOptions options;
+            options.num_requests = 32;
+            options.seed = 13;
+            options.undirected = true;
+            return dyn::MakeGraphWorkload(*programs::MatchingInputVocabulary(), "E", n,
+                                          options);
+          }};
+}
+
+ParallelCase MultiplicationCase() {
+  return {"multiplication", [] { return programs::MakeMultiplicationProgram(false); },
+          [](dyn::Engine* engine) { programs::InstallPlusRelation(engine); },
+          [](size_t n) {
+            core::Rng rng(11);
+            relational::RequestSequence out;
+            relational::Structure shadow(programs::MultiplicationInputVocabulary(), n);
+            for (size_t i = 0; i < 32; ++i) {
+              const char* rel = rng.Chance(1, 2) ? "X" : "Y";
+              relational::Element bit =
+                  static_cast<relational::Element>(rng.Below(n / 2));
+              relational::Request request =
+                  shadow.relation(rel).Contains({bit})
+                      ? relational::Request::Delete(rel, {bit})
+                      : relational::Request::Insert(rel, {bit});
+              relational::ApplyRequest(&shadow, request);
+              out.push_back(request);
+            }
+            return out;
+          }};
+}
+
+void BM_ParallelReachU(benchmark::State& state) { RunCase(state, ReachUCase()); }
+BENCHMARK(BM_ParallelReachU)->ArgsProduct({{12, 16, 24}, {1, 2, 4, 8}});
+
+void BM_ParallelMatching(benchmark::State& state) { RunCase(state, MatchingCase()); }
+BENCHMARK(BM_ParallelMatching)->ArgsProduct({{16, 24, 32}, {1, 2, 4, 8}});
+
+void BM_ParallelMultiplication(benchmark::State& state) {
+  RunCase(state, MultiplicationCase());
+}
+BENCHMARK(BM_ParallelMultiplication)->ArgsProduct({{32, 48, 64}, {1, 2, 4, 8}});
+
+}  // namespace
+}  // namespace dynfo

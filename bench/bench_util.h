@@ -14,9 +14,10 @@
 
 namespace dynfo::bench {
 
-/// Replays a workload through a fresh engine once; returns the engine so the
-/// caller can asserts stats. The workload is applied fully per benchmark
-/// iteration (steady-state amortized cost per request = time / requests).
+/// Replays a workload through the given engine; the engine is left in its
+/// post-replay state so the caller can assert stats. The workload is applied
+/// fully per benchmark iteration (steady-state amortized cost per request =
+/// time / requests).
 inline void ReplayWorkload(dyn::Engine* engine,
                            const relational::RequestSequence& requests) {
   for (const relational::Request& request : requests) {

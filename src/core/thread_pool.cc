@@ -1,0 +1,156 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/check.h"
+
+namespace dynfo::core {
+
+/// One ParallelFor invocation: an atomically-claimed odometer of chunks.
+/// Helper tasks on the pool hold a shared_ptr, so a helper scheduled after
+/// the caller already drained every chunk just exits without touching freed
+/// state.
+struct ThreadPool::Batch {
+  std::function<void(size_t, size_t, size_t)> fn;
+  size_t begin = 0;
+  size_t chunk_size = 0;
+  size_t num_chunks = 0;
+  size_t end = 0;
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> chunks_done{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+};
+
+ThreadPool::ThreadPool(int num_workers) {
+  DYNFO_CHECK(num_workers >= 0);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    int workers = std::max(7, hw > 0 ? static_cast<int>(hw) - 1 : 7);
+    return new ThreadPool(workers);
+  }();
+  return *pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+size_t ThreadPool::PlanChunks(size_t begin, size_t end,
+                              const ParallelOptions& options) const {
+  if (end <= begin) return 0;
+  const size_t total = end - begin;
+  const size_t grain = std::max<size_t>(1, options.grain);
+  const int threads =
+      std::max(1, std::min(options.num_threads, num_workers() + 1));
+  if (threads == 1 || total <= grain) return 1;
+  // Over-partition by 4x the thread count so stragglers rebalance, but never
+  // below the grain.
+  const size_t target_chunks = static_cast<size_t>(threads) * 4;
+  const size_t chunk_size = std::max(grain, (total + target_chunks - 1) / target_chunks);
+  return (total + chunk_size - 1) / chunk_size;
+}
+
+void ThreadPool::RunChunks(Batch* batch) {
+  while (true) {
+    const size_t chunk = batch->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= batch->num_chunks) return;
+    const size_t chunk_begin = batch->begin + chunk * batch->chunk_size;
+    const size_t chunk_end = std::min(batch->end, chunk_begin + batch->chunk_size);
+    batch->fn(chunk, chunk_begin, chunk_end);
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    if (batch->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch->num_chunks) {
+      std::lock_guard<std::mutex> lock(batch->mutex);
+      batch->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, const ParallelOptions& options,
+                             const std::function<void(size_t, size_t, size_t)>& fn) {
+  const size_t num_chunks = PlanChunks(begin, end, options);
+  if (num_chunks == 0) return;
+  if (num_chunks == 1) {
+    fn(0, begin, end);
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    inline_batches_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = fn;
+  batch->begin = begin;
+  batch->end = end;
+  batch->num_chunks = num_chunks;
+  const size_t total = end - begin;
+  batch->chunk_size = (total + num_chunks - 1) / num_chunks;
+
+  const int threads = std::max(1, std::min(options.num_threads, num_workers() + 1));
+  const size_t helpers =
+      std::min<size_t>(static_cast<size_t>(threads) - 1, num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (size_t i = 0; i < helpers; ++i) {
+      queue_.push([this, batch] { RunChunks(batch.get()); });
+    }
+  }
+  for (size_t i = 0; i < helpers; ++i) queue_cv_.notify_one();
+  parallel_batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // The caller drains chunks too, then waits for in-flight helpers.
+  RunChunks(batch.get());
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done_cv.wait(lock, [&batch] {
+    return batch->chunks_done.load(std::memory_order_acquire) == batch->num_chunks;
+  });
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats out;
+  out.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  out.parallel_batches = parallel_batches_.load(std::memory_order_relaxed);
+  out.inline_batches = inline_batches_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void TaskGroup::RunAndWait(int num_threads) {
+  if (tasks_.empty()) return;
+  ParallelOptions options;
+  options.num_threads = num_threads;
+  options.grain = 1;
+  pool_->ParallelFor(0, tasks_.size(), options,
+                     [this](size_t, size_t chunk_begin, size_t chunk_end) {
+                       for (size_t i = chunk_begin; i < chunk_end; ++i) tasks_[i]();
+                     });
+  tasks_.clear();
+}
+
+}  // namespace dynfo::core

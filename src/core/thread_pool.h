@@ -1,0 +1,123 @@
+/// \file thread_pool.h
+/// Fixed-size worker pool for data-parallel evaluation.
+///
+/// The paper's headline is that Dyn-FO updates are *parallel* constant time
+/// (FO = AC⁰ = CRAM[1]): every row of an update formula's satisfying set can
+/// be computed independently. This pool is the shared-memory stand-in for the
+/// CRAM — callers split row ranges into chunks with ParallelFor, and results
+/// are merged deterministically by chunk index so output never depends on
+/// scheduling.
+///
+/// Design constraints:
+///   * The caller always participates: ParallelFor enqueues helper tasks and
+///     then drains chunks itself, so nested ParallelFor calls (rule-level
+///     parallelism invoking data-parallel operators) can never deadlock even
+///     when every worker is busy — the innermost caller just runs its whole
+///     range inline.
+///   * Ranges at or below `grain` run on the calling thread with no queue or
+///     lock traffic (the steal-free fast path, counted in Stats).
+///   * The global pool is seeded exactly once per process and sized so that
+///     small containers can still exercise real concurrency.
+
+#ifndef DYNFO_CORE_THREAD_POOL_H_
+#define DYNFO_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dynfo::core {
+
+/// How a data-parallel call may use the pool. `num_threads` counts the
+/// calling thread, so {1, grain} means strictly sequential execution.
+struct ParallelOptions {
+  int num_threads = 1;
+  size_t grain = 256;  ///< minimum items per chunk
+};
+
+class ThreadPool {
+ public:
+  /// Work counters (cumulative since construction).
+  struct Stats {
+    uint64_t tasks_run = 0;         ///< chunks executed, inline or on workers
+    uint64_t parallel_batches = 0;  ///< ParallelFor calls that fanned out
+    uint64_t inline_batches = 0;    ///< steal-free fast paths (ran fully inline)
+  };
+
+  /// A pool with `num_workers` background threads (>= 0; 0 means every
+  /// ParallelFor runs inline).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, created on first use with
+  /// max(7, hardware_concurrency - 1) workers — the floor guarantees that
+  /// thread-count sweeps and sanitizer runs exercise real concurrency even in
+  /// single-core containers (idle workers cost nothing).
+  static ThreadPool& Global();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// The number of chunks ParallelFor will split [begin, end) into under
+  /// `options` — callers size per-chunk output buffers with this before the
+  /// parallel call and merge them in chunk order afterwards.
+  size_t PlanChunks(size_t begin, size_t end, const ParallelOptions& options) const;
+
+  /// Runs fn(chunk_index, chunk_begin, chunk_end) over a partition of
+  /// [begin, end) into PlanChunks(...) contiguous chunks, using up to
+  /// options.num_threads threads including the caller. Blocks until every
+  /// chunk has run. `fn` must be safe to invoke concurrently from multiple
+  /// threads on disjoint chunks.
+  void ParallelFor(size_t begin, size_t end, const ParallelOptions& options,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+  Stats stats() const;
+
+ private:
+  struct Batch;
+
+  /// Drains chunks of `batch` on the calling thread until none remain.
+  void RunChunks(Batch* batch);
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> parallel_batches_{0};
+  std::atomic<uint64_t> inline_batches_{0};
+};
+
+/// Collects independent tasks and runs them with ParallelFor(grain = 1):
+/// the synchronous-semantics analogue of firing all of a request's update
+/// rules at once.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  void Add(std::function<void()> task) { tasks_.push_back(std::move(task)); }
+  size_t size() const { return tasks_.size(); }
+
+  /// Runs every added task using up to `num_threads` threads (caller
+  /// included); blocks until all complete, then clears the group.
+  void RunAndWait(int num_threads);
+
+ private:
+  ThreadPool* pool_;
+  std::vector<std::function<void()>> tasks_;
+};
+
+}  // namespace dynfo::core
+
+#endif  // DYNFO_CORE_THREAD_POOL_H_

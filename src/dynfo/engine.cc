@@ -1,8 +1,10 @@
 #include "dynfo/engine.h"
 
+#include <chrono>
 #include <set>
 #include <utility>
 
+#include "core/thread_pool.h"
 #include "fo/eval_naive.h"
 
 namespace dynfo::dyn {
@@ -43,7 +45,7 @@ Engine::Engine(std::shared_ptr<const DynProgram> program, size_t universe_size,
   // First-order initialization (f_n(empty), paper condition 4): rules run in
   // order, each seeing the results of the previous ones.
   for (const UpdateRule& rule : program_->init_rules()) {
-    fo::EvalContext ctx(data_);
+    fo::EvalContext ctx(data_, {}, eval_options());
     data_.relation(rule.target) = EvalRuleFull(rule, ctx);
   }
 }
@@ -101,16 +103,27 @@ void Engine::Apply(const relational::Request& request) {
   } else {
     for (int i = 0; i < request.tuple.size(); ++i) params.push_back(request.tuple[i]);
   }
-  fo::EvalContext ctx(data_, params);
+  fo::EvalContext ctx(data_, params, eval_options());
 
   const RequestRules* rules = program_->RulesFor(request.kind, request.target);
+  const auto phase_start = std::chrono::steady_clock::now();
+  auto seconds_since = [](std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
 
   // Temporaries: evaluated in order, committed immediately so later rules in
   // this same request can read them. They never shadow non-let relations'
-  // old values because validated programs use distinct let targets.
+  // old values because validated programs use distinct let targets. Lets
+  // feed each other, so they stay sequential (their operators still
+  // parallelize internally).
   if (rules != nullptr) {
     for (const UpdateRule& rule : rules->lets) {
+      const auto rule_start = std::chrono::steady_clock::now();
       relational::Relation result = EvalRuleFull(rule, ctx);
+      const double elapsed = seconds_since(rule_start);
+      stats_.rule_seconds[rule.target] += elapsed;
+      stats_.rule_eval_seconds += elapsed;
       ++stats_.relations_recomputed;
       stats_.tuples_written += result.size();
       data_.relation(rule.target) = std::move(result);
@@ -118,64 +131,96 @@ void Engine::Apply(const relational::Request& request) {
   }
 
   // Main updates: evaluate everything against the pre-request state (plus
-  // lets), then commit atomically.
+  // lets), then commit atomically. Synchronous semantics makes the rules
+  // independent — each reads only the old structure — so they evaluate
+  // concurrently when num_threads > 1 (the paper's rule-level parallelism).
   struct Staged {
-    const UpdateRule* rule;
-    bool full;
+    const UpdateRule* rule = nullptr;
+    const DeltaPlan* plan = nullptr;
+    bool full = false;
     relational::Relation replacement{0};
     std::vector<relational::Tuple> removals;
     relational::Relation additions{0};
+    double seconds = 0;
   };
   std::vector<Staged> staged;
   std::set<std::string> targeted;
   if (rules != nullptr) {
+    // Delta plans are cached in a map: compute them before fanning out.
     for (const UpdateRule& rule : rules->updates) {
       DYNFO_CHECK(targeted.insert(rule.target).second)
           << "two update rules target " << rule.target << " in one request";
       Staged s;
       s.rule = &rule;
-      const DeltaPlan& plan = PlanFor(rule);
-      const bool delta = options_.use_delta &&
-                         options_.eval_mode == EvalMode::kAlgebra && plan.applicable;
-      if (!delta) {
-        s.full = true;
-        s.replacement = EvalRuleFull(rule, ctx);
-        ++stats_.relations_recomputed;
-        stats_.tuples_written += s.replacement.size();
-        staged.push_back(std::move(s));
-        continue;
-      }
-      s.full = false;
-      ++stats_.delta_applications;
-      const relational::Relation& old = data_.relation(rule.target);
-      // Removals: old tuples failing the keep-filter.
-      if (plan.keep->kind() != fo::FormulaKind::kTrue) {
-        if (IsQuantifierFree(*plan.keep)) {
-          for (const relational::Tuple& t : old) {
-            fo::Env env;
-            for (size_t i = 0; i < rule.tuple_variables.size(); ++i) {
-              env.Push(rule.tuple_variables[i], t[static_cast<int>(i)]);
-            }
-            if (!fo::NaiveEvaluator::Holds(*plan.keep, ctx, &env)) s.removals.push_back(t);
-          }
-        } else {
-          relational::Relation keep_set =
-              algebra_.EvaluateAsRelation(plan.keep, rule.tuple_variables, ctx);
-          for (const relational::Tuple& t : old) {
-            if (!keep_set.Contains(t)) s.removals.push_back(t);
-          }
-        }
-      }
-      // Additions.
-      if (plan.additions->kind() != fo::FormulaKind::kFalse) {
-        s.additions =
-            algebra_.EvaluateAsRelation(plan.additions, rule.tuple_variables, ctx);
-      } else {
-        s.additions = relational::Relation(static_cast<int>(rule.tuple_variables.size()));
-      }
+      s.plan = &PlanFor(rule);
       staged.push_back(std::move(s));
     }
   }
+
+  auto evaluate_one = [&](Staged& s) {
+    const auto rule_start = std::chrono::steady_clock::now();
+    const UpdateRule& rule = *s.rule;
+    const bool delta = options_.use_delta &&
+                       options_.eval_mode == EvalMode::kAlgebra && s.plan->applicable;
+    if (!delta) {
+      s.full = true;
+      s.replacement = EvalRuleFull(rule, ctx);
+      s.seconds = seconds_since(rule_start);
+      return;
+    }
+    const DeltaPlan& plan = *s.plan;
+    const relational::Relation& old = data_.relation(rule.target);
+    // Removals: old tuples failing the keep-filter.
+    if (plan.keep->kind() != fo::FormulaKind::kTrue) {
+      if (IsQuantifierFree(*plan.keep)) {
+        for (const relational::Tuple& t : old) {
+          fo::Env env;
+          for (size_t i = 0; i < rule.tuple_variables.size(); ++i) {
+            env.Push(rule.tuple_variables[i], t[static_cast<int>(i)]);
+          }
+          if (!fo::NaiveEvaluator::Holds(*plan.keep, ctx, &env)) s.removals.push_back(t);
+        }
+      } else {
+        relational::Relation keep_set =
+            algebra_.EvaluateAsRelation(plan.keep, rule.tuple_variables, ctx);
+        for (const relational::Tuple& t : old) {
+          if (!keep_set.Contains(t)) s.removals.push_back(t);
+        }
+      }
+    }
+    // Additions.
+    if (plan.additions->kind() != fo::FormulaKind::kFalse) {
+      s.additions =
+          algebra_.EvaluateAsRelation(plan.additions, rule.tuple_variables, ctx);
+    } else {
+      s.additions = relational::Relation(static_cast<int>(rule.tuple_variables.size()));
+    }
+    s.seconds = seconds_since(rule_start);
+  };
+
+  if (options_.num_threads > 1 && staged.size() > 1) {
+    core::TaskGroup group(&core::ThreadPool::Global());
+    for (Staged& s : staged) {
+      group.Add([&evaluate_one, &s] { evaluate_one(s); });
+    }
+    group.RunAndWait(options_.num_threads);
+    ++stats_.parallel_update_batches;
+  } else {
+    for (Staged& s : staged) evaluate_one(s);
+  }
+
+  // Work accounting happens after the join so counters never race.
+  for (const Staged& s : staged) {
+    stats_.rule_seconds[s.rule->target] += s.seconds;
+    stats_.rule_eval_seconds += s.seconds;
+    if (s.full) {
+      ++stats_.relations_recomputed;
+      stats_.tuples_written += s.replacement.size();
+    } else {
+      ++stats_.delta_applications;
+    }
+  }
+  stats_.update_wall_seconds += seconds_since(phase_start);
 
   // Commit.
   for (Staged& s : staged) {
@@ -225,7 +270,7 @@ bool Engine::QueryBool(std::vector<relational::Element> params) const {
 
 bool Engine::QuerySentence(const fo::FormulaPtr& sentence,
                            std::vector<relational::Element> params) const {
-  fo::EvalContext ctx(data_, std::move(params));
+  fo::EvalContext ctx(data_, std::move(params), eval_options());
   if (options_.eval_mode == EvalMode::kNaive) {
     return fo::NaiveEvaluator::HoldsSentence(sentence, ctx);
   }
@@ -236,7 +281,7 @@ relational::Relation Engine::QueryRelation(const std::string& name,
                                            std::vector<relational::Element> params) const {
   const NamedQuery* query = program_->FindNamedQuery(name);
   DYNFO_CHECK(query != nullptr) << program_->name() << " has no query named " << name;
-  fo::EvalContext ctx(data_, std::move(params));
+  fo::EvalContext ctx(data_, std::move(params), eval_options());
   if (options_.eval_mode == EvalMode::kNaive) {
     return fo::NaiveEvaluator::EvaluateAsRelation(query->formula, query->tuple_variables,
                                                   ctx);

@@ -42,9 +42,20 @@ struct EngineOptions {
   /// Apply target-preserving rules as in-place diffs. Only honored in
   /// kAlgebra mode; kNaive always recomputes (it is the reference).
   bool use_delta = true;
+  /// Threads used per request (1 = fully sequential). Parallelism operates at
+  /// two levels, mirroring the paper's CRAM model: all of a request's update
+  /// rules evaluate concurrently (synchronous semantics — every rule reads
+  /// only the old structure), and within a rule the algebra operators
+  /// partition their row ranges. Results are identical for every thread
+  /// count; see DESIGN.md "Parallel execution".
+  int num_threads = 1;
+  /// Minimum rows per chunk for the data-parallel algebra operators.
+  size_t parallel_grain = 256;
 };
 
-/// Runs one DynProgram at one universe size. Not thread-safe.
+/// Runs one DynProgram at one universe size. Apply/Query must be called from
+/// one thread at a time; with EngineOptions::num_threads > 1 the engine fans
+/// work out internally over the global thread pool.
 class Engine {
  public:
   struct Stats {
@@ -54,6 +65,21 @@ class Engine {
     uint64_t tuples_inserted = 0;
     uint64_t tuples_erased = 0;
     uint64_t tuples_written = 0;  ///< total tuples materialized by full recomputes
+    /// Requests whose update rules were evaluated concurrently.
+    uint64_t parallel_update_batches = 0;
+    /// Summed wall time of individual update-rule evaluations (thread-seconds).
+    double rule_eval_seconds = 0;
+    /// Elapsed wall time of the update-evaluation phases across requests.
+    double update_wall_seconds = 0;
+    /// Cumulative evaluation seconds per target relation.
+    std::map<std::string, double> rule_seconds;
+
+    /// Average concurrency achieved during update evaluation: summed
+    /// per-rule time over elapsed time (1.0 = sequential; approaches
+    /// num_threads under perfect scaling).
+    double ThreadUtilization() const {
+      return update_wall_seconds > 0 ? rule_eval_seconds / update_wall_seconds : 0;
+    }
   };
 
   Engine(std::shared_ptr<const DynProgram> program, size_t universe_size,
@@ -97,6 +123,11 @@ class Engine {
   relational::Relation EvalRuleFull(const UpdateRule& rule,
                                     const fo::EvalContext& ctx) const;
   const DeltaPlan& PlanFor(const UpdateRule& rule);
+
+  /// Evaluation options derived from EngineOptions (operator-level threads).
+  fo::EvalOptions eval_options() const {
+    return {options_.num_threads, options_.parallel_grain};
+  }
 
   std::shared_ptr<const DynProgram> program_;
   EngineOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/thread_pool.h"
 #include "fo/eval_naive.h"
 
 namespace dynfo::fo {
@@ -37,6 +38,13 @@ Env EnvFromRow(const std::vector<std::string>& columns, const Row& row) {
   Env env;
   for (size_t i = 0; i < columns.size(); ++i) env.Push(columns[i], row[i]);
   return env;
+}
+
+std::vector<const Row*> GatherRows(const RowSet& rows) {
+  std::vector<const Row*> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) out.push_back(&row);
+  return out;
 }
 
 }  // namespace
@@ -197,17 +205,42 @@ NamedRelation AlgebraEvaluator::SatNot(const Formula& formula,
   const FormulaPtr& inner = formula.children()[0];
   NamedRelation sat = Sat(inner, ctx);
   ++stats_.complements;
-  return sat.ComplementWithin(ctx.universe_size());
+  return sat.ComplementWithin(ctx.universe_size(), ctx.options.Policy());
 }
 
 NamedRelation AlgebraEvaluator::FilterRows(const NamedRelation& acc,
                                            const FormulaPtr& conjunct,
                                            const EvalContext& ctx) const {
   NamedRelation out(acc.columns());
-  for (const Row& row : acc.rows()) {
-    Env env = EnvFromRow(acc.columns(), row);
-    ++stats_.filter_row_evals;
-    if (NaiveEvaluator::Holds(*conjunct, ctx, &env)) out.AddRow(row);
+  stats_.filter_row_evals.fetch_add(acc.size(), std::memory_order_relaxed);
+
+  core::ThreadPool& pool = core::ThreadPool::Global();
+  const core::ParallelOptions parallel = ctx.options.Policy();
+  const size_t num_chunks = pool.PlanChunks(0, acc.size(), parallel);
+  if (num_chunks <= 1) {
+    for (const Row& row : acc.rows()) {
+      Env env = EnvFromRow(acc.columns(), row);
+      if (NaiveEvaluator::Holds(*conjunct, ctx, &env)) out.AddRow(row);
+    }
+    return out;
+  }
+
+  // Each row is checked independently against the immutable structure;
+  // per-chunk keep-lists merge into the result set afterwards.
+  std::vector<const Row*> rows = GatherRows(acc.rows());
+  std::vector<std::vector<const Row*>> buffers(num_chunks);
+  pool.ParallelFor(0, rows.size(), parallel,
+                   [&](size_t chunk, size_t chunk_begin, size_t chunk_end) {
+                     std::vector<const Row*>& buffer = buffers[chunk];
+                     for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                       Env env = EnvFromRow(acc.columns(), *rows[i]);
+                       if (NaiveEvaluator::Holds(*conjunct, ctx, &env)) {
+                         buffer.push_back(rows[i]);
+                       }
+                     }
+                   });
+  for (const std::vector<const Row*>& buffer : buffers) {
+    for (const Row* row : buffer) out.AddRow(*row);
   }
   return out;
 }
@@ -239,18 +272,45 @@ NamedRelation AlgebraEvaluator::ExtendByFilter(const NamedRelation& acc,
   std::vector<std::string> columns = acc.columns();
   columns.push_back(var);
   NamedRelation out(columns);
-  for (const Row& row : acc.rows()) {
+  stats_.filter_row_evals.fetch_add(acc.size() * n, std::memory_order_relaxed);
+
+  auto extend_one = [&](const Row& row, std::vector<Row>* sink) {
     Env env = EnvFromRow(acc.columns(), row);
     env.Push(var, 0);
     for (size_t v = 0; v < n; ++v) {
       env.Set(static_cast<relational::Element>(v));
-      ++stats_.filter_row_evals;
       if (NaiveEvaluator::Holds(*conjunct, ctx, &env)) {
         Row extended = row;
         extended.push_back(static_cast<relational::Element>(v));
-        out.AddRow(std::move(extended));
+        sink->push_back(std::move(extended));
       }
     }
+  };
+
+  core::ThreadPool& pool = core::ThreadPool::Global();
+  const core::ParallelOptions parallel = ctx.options.Policy();
+  const size_t num_chunks = pool.PlanChunks(0, acc.size(), parallel);
+  if (num_chunks <= 1) {
+    std::vector<Row> extensions;
+    for (const Row& row : acc.rows()) {
+      extensions.clear();
+      extend_one(row, &extensions);
+      for (Row& extended : extensions) out.AddRow(std::move(extended));
+    }
+    return out;
+  }
+
+  std::vector<const Row*> rows = GatherRows(acc.rows());
+  std::vector<std::vector<Row>> buffers(num_chunks);
+  pool.ParallelFor(0, rows.size(), parallel,
+                   [&](size_t chunk, size_t chunk_begin, size_t chunk_end) {
+                     std::vector<Row>& buffer = buffers[chunk];
+                     for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                       extend_one(*rows[i], &buffer);
+                     }
+                   });
+  for (std::vector<Row>& buffer : buffers) {
+    for (Row& extended : buffer) out.AddRow(std::move(extended));
   }
   return out;
 }
@@ -284,10 +344,11 @@ NamedRelation AlgebraEvaluator::SatAnd(const Formula& formula,
         acc = FilterRows(acc, c, ctx);
       } else if (c->kind() == FormulaKind::kNot) {
         ++stats_.semi_joins;
-        acc = acc.SemiJoin(Sat(c->children()[0], ctx), /*anti=*/true);
+        acc = acc.SemiJoin(Sat(c->children()[0], ctx), /*anti=*/true,
+                           ctx.options.Policy());
       } else {
         ++stats_.semi_joins;
-        acc = acc.SemiJoin(Sat(c, ctx), /*anti=*/false);
+        acc = acc.SemiJoin(Sat(c, ctx), /*anti=*/false, ctx.options.Policy());
       }
       erase_at(i);
       progressed = true;
@@ -352,14 +413,14 @@ NamedRelation AlgebraEvaluator::SatAnd(const Formula& formula,
       }
       case Plan::kAtomJoin:
         ++stats_.joins;
-        acc = acc.Join(SatAtom(*c, ctx));
+        acc = acc.Join(SatAtom(*c, ctx), ctx.options.Policy());
         break;
       case Plan::kFilterExtend:
         acc = ExtendByFilter(acc, unbound[0], c, ctx);
         break;
       case Plan::kSatJoin:
         ++stats_.joins;
-        acc = acc.Join(Sat(c, ctx));
+        acc = acc.Join(Sat(c, ctx), ctx.options.Policy());
         break;
       case Plan::kNone:
         DYNFO_UNREACHABLE();

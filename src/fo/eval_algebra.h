@@ -17,6 +17,7 @@
 #ifndef DYNFO_FO_EVAL_ALGEBRA_H_
 #define DYNFO_FO_EVAL_ALGEBRA_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -57,8 +58,10 @@ class AlgebraEvaluator {
                                           const std::vector<std::string>& tuple_variables,
                                           const EvalContext& ctx) const;
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  /// A snapshot of the counters. (Internally they are atomics so that one
+  /// evaluator may serve concurrent rule evaluations; see EvalOptions.)
+  Stats stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
 
  private:
   NamedRelation SatAtom(const Formula& formula, const EvalContext& ctx) const;
@@ -80,7 +83,57 @@ class AlgebraEvaluator {
   NamedRelation FilterRows(const NamedRelation& acc, const FormulaPtr& conjunct,
                            const EvalContext& ctx) const;
 
-  mutable Stats stats_;
+  /// Lock-free counterpart of Stats: the evaluator is logically const and may
+  /// run on several threads at once (rule-level parallelism), so counters are
+  /// atomics updated with relaxed ordering (they are diagnostics, not
+  /// synchronization).
+  struct AtomicStats {
+    std::atomic<uint64_t> joins{0};
+    std::atomic<uint64_t> semi_joins{0};
+    std::atomic<uint64_t> equality_extensions{0};
+    std::atomic<uint64_t> filtered_extensions{0};
+    std::atomic<uint64_t> filter_row_evals{0};
+    std::atomic<uint64_t> complements{0};
+    std::atomic<uint64_t> pads{0};
+
+    AtomicStats() = default;
+    // Copying snapshots the counters (keeps AlgebraEvaluator — and Engine —
+    // copyable). Not meant to run concurrently with updates to `other`.
+    AtomicStats(const AtomicStats& other) { *this = other; }
+    AtomicStats& operator=(const AtomicStats& other) {
+      joins = other.joins.load(std::memory_order_relaxed);
+      semi_joins = other.semi_joins.load(std::memory_order_relaxed);
+      equality_extensions = other.equality_extensions.load(std::memory_order_relaxed);
+      filtered_extensions = other.filtered_extensions.load(std::memory_order_relaxed);
+      filter_row_evals = other.filter_row_evals.load(std::memory_order_relaxed);
+      complements = other.complements.load(std::memory_order_relaxed);
+      pads = other.pads.load(std::memory_order_relaxed);
+      return *this;
+    }
+
+    Stats Snapshot() const {
+      Stats out;
+      out.joins = joins.load(std::memory_order_relaxed);
+      out.semi_joins = semi_joins.load(std::memory_order_relaxed);
+      out.equality_extensions = equality_extensions.load(std::memory_order_relaxed);
+      out.filtered_extensions = filtered_extensions.load(std::memory_order_relaxed);
+      out.filter_row_evals = filter_row_evals.load(std::memory_order_relaxed);
+      out.complements = complements.load(std::memory_order_relaxed);
+      out.pads = pads.load(std::memory_order_relaxed);
+      return out;
+    }
+    void Reset() {
+      joins = 0;
+      semi_joins = 0;
+      equality_extensions = 0;
+      filtered_extensions = 0;
+      filter_row_evals = 0;
+      complements = 0;
+      pads = 0;
+    }
+  };
+
+  mutable AtomicStats stats_;
 };
 
 }  // namespace dynfo::fo

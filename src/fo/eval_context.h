@@ -9,20 +9,35 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "fo/term.h"
 #include "relational/structure.h"
 
 namespace dynfo::fo {
+
+/// Parallel-execution knobs for set-based evaluation. Defaults are strictly
+/// sequential; evaluators with num_threads > 1 partition row ranges across
+/// the global thread pool in chunks of at least `parallel_grain` items.
+/// Results are always identical to sequential execution (the operators merge
+/// per-chunk buffers deterministically).
+struct EvalOptions {
+  int num_threads = 1;
+  size_t parallel_grain = 256;
+
+  core::ParallelOptions Policy() const { return {num_threads, parallel_grain}; }
+};
 
 /// What a formula is evaluated against: a structure (universe, relations,
 /// constants) and the values of the request parameters $0, $1, ...
 struct EvalContext {
   const relational::Structure* structure = nullptr;
   std::vector<relational::Element> parameters;
+  EvalOptions options;
 
   explicit EvalContext(const relational::Structure& s,
-                       std::vector<relational::Element> params = {})
-      : structure(&s), parameters(std::move(params)) {}
+                       std::vector<relational::Element> params = {},
+                       EvalOptions opts = {})
+      : structure(&s), parameters(std::move(params)), options(opts) {}
 
   size_t universe_size() const { return structure->universe_size(); }
 };

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/thread_pool.h"
 #include "relational/tuple.h"
 
 namespace dynfo::fo {
@@ -68,17 +69,25 @@ class NamedRelation {
   NamedRelation Project(const std::vector<std::string>& keep) const;
 
   /// Natural join on the shared columns (cross product when none shared).
-  NamedRelation Join(const NamedRelation& other) const;
+  /// The probe side (*this) is partitioned across threads per `parallel`;
+  /// per-chunk outputs are merged in chunk order, so the result is identical
+  /// to sequential execution.
+  NamedRelation Join(const NamedRelation& other,
+                     const core::ParallelOptions& parallel = {}) const;
 
   /// Semi-join: rows of *this matching some row of `other` on the shared
-  /// columns. Requires other's columns ⊆ this's columns.
-  NamedRelation SemiJoin(const NamedRelation& other, bool anti) const;
+  /// columns. Requires other's columns ⊆ this's columns. The probe side is
+  /// partitioned like Join's.
+  NamedRelation SemiJoin(const NamedRelation& other, bool anti,
+                         const core::ParallelOptions& parallel = {}) const;
 
   /// Set union; the two column sets must be equal (order may differ).
   NamedRelation Union(const NamedRelation& other) const;
 
-  /// Rows of the full universe^k not in *this.
-  NamedRelation ComplementWithin(size_t n) const;
+  /// Rows of the full universe^k not in *this. The n^k grid is partitioned
+  /// across threads per `parallel`.
+  NamedRelation ComplementWithin(size_t n,
+                                 const core::ParallelOptions& parallel = {}) const;
 
   /// Extends with new columns ranging over the whole universe (cross
   /// product). New columns must be fresh.

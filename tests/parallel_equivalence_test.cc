@@ -1,0 +1,224 @@
+/// Property tests for the parallel evaluation backend: for thread counts
+/// {1, 2, 4, 8}, the data-parallel algebra operators and the rule-parallel
+/// engine must be observationally identical to the sequential naive
+/// reference — same satisfying sets, same data structures after every
+/// request, over long seeded random request sequences. A tiny grain forces
+/// the parallel paths to engage even at test-sized inputs.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "dynfo/engine.h"
+#include "dynfo/workload.h"
+#include "fo/eval_algebra.h"
+#include "fo/eval_naive.h"
+#include "programs/matching.h"
+#include "programs/multiplication.h"
+#include "programs/reach_u.h"
+#include "test_util.h"
+
+namespace dynfo {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+fo::EvalOptions ForcedParallel(int threads) {
+  fo::EvalOptions options;
+  options.num_threads = threads;
+  options.parallel_grain = 1;
+  return options;
+}
+
+TEST(ParallelEquivalence, AlgebraOperatorsMatchNaiveForAllThreadCounts) {
+  auto vocab = std::make_shared<relational::Vocabulary>();
+  vocab->AddRelation("E", 2);
+  vocab->AddRelation("U", 1);
+  relational::Structure structure(vocab, 5);
+  core::Rng rng(2024);
+  const std::vector<std::string> variables = {"x", "y"};
+
+  for (int trial = 0; trial < 60; ++trial) {
+    testing::RandomizeStructure(&structure, &rng, 0.3);
+    int fresh = 0;
+    fo::FormulaPtr formula =
+        testing::RandomFormula(&rng, *vocab, variables, structure.universe_size(),
+                               /*depth=*/3, &fresh);
+    fo::EvalContext naive_ctx(structure);
+    relational::Relation reference =
+        fo::NaiveEvaluator::EvaluateAsRelation(formula, variables, naive_ctx);
+    for (int threads : kThreadCounts) {
+      fo::EvalContext ctx(structure, {}, ForcedParallel(threads));
+      fo::AlgebraEvaluator evaluator;
+      relational::Relation result =
+          evaluator.EvaluateAsRelation(formula, variables, ctx);
+      ASSERT_EQ(result, reference)
+          << "trial " << trial << " threads " << threads << " formula "
+          << formula->ToString();
+    }
+  }
+}
+
+struct EngineScenario {
+  std::string name;
+  std::function<std::shared_ptr<const dyn::DynProgram>()> program;
+  std::function<void(dyn::Engine*)> post_init;  ///< e.g. Dyn-FO+ precomputation
+  std::function<relational::RequestSequence()> workload;
+  size_t universe;
+  /// Whether requests fire >1 update rule (rule-level fan-out observable).
+  bool expect_rule_fanout = true;
+};
+
+relational::RequestSequence BitEditWorkload(size_t n, size_t count, uint64_t seed) {
+  core::Rng rng(seed);
+  relational::RequestSequence out;
+  relational::Structure shadow(programs::MultiplicationInputVocabulary(), n);
+  for (size_t i = 0; i < count; ++i) {
+    const char* rel = rng.Chance(1, 2) ? "X" : "Y";
+    relational::Element bit = static_cast<relational::Element>(rng.Below(n / 2));
+    relational::Request request = shadow.relation(rel).Contains({bit})
+                                      ? relational::Request::Delete(rel, {bit})
+                                      : relational::Request::Insert(rel, {bit});
+    relational::ApplyRequest(&shadow, request);
+    out.push_back(request);
+  }
+  return out;
+}
+
+std::vector<EngineScenario> EngineScenarios() {
+  auto graph_churn = [](std::shared_ptr<const relational::Vocabulary> vocab, size_t n,
+                        size_t count, uint64_t seed) {
+    dyn::GraphWorkloadOptions options;
+    options.num_requests = count;
+    options.seed = seed;
+    options.undirected = true;
+    return dyn::MakeGraphWorkload(*vocab, "E", n, options);
+  };
+  std::vector<EngineScenario> out;
+  out.push_back({"reach_u", [] { return programs::MakeReachUProgram(); },
+                 [](dyn::Engine*) {},
+                 [graph_churn] {
+                   return graph_churn(programs::ReachUInputVocabulary(), 8, 120, 99);
+                 },
+                 8});
+  out.push_back({"matching", [] { return programs::MakeMatchingProgram(); },
+                 [](dyn::Engine*) {},
+                 [graph_churn] {
+                   return graph_churn(programs::MatchingInputVocabulary(), 8, 120, 31);
+                 },
+                 8});
+  out.push_back({"multiplication",
+                 [] { return programs::MakeMultiplicationProgram(false); },
+                 [](dyn::Engine* engine) { programs::InstallPlusRelation(engine); },
+                 [] { return BitEditWorkload(12, 80, 17); },
+                 12,
+                 /*expect_rule_fanout=*/false});
+  return out;
+}
+
+class ParallelEngineEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelEngineEquivalence, FinalStructuresIdenticalAcrossThreadCounts) {
+  const EngineScenario scenario = EngineScenarios()[GetParam()];
+  auto program = scenario.program();
+  relational::RequestSequence requests = scenario.workload();
+
+  // Reference: the sequential naive evaluator.
+  dyn::EngineOptions naive_options;
+  naive_options.eval_mode = dyn::EvalMode::kNaive;
+  naive_options.use_delta = false;
+  dyn::Engine naive(program, scenario.universe, naive_options);
+  scenario.post_init(&naive);
+
+  std::vector<std::unique_ptr<dyn::Engine>> parallel;
+  for (int threads : kThreadCounts) {
+    dyn::EngineOptions options;
+    options.num_threads = threads;
+    options.parallel_grain = 1;  // engage row partitioning at test sizes
+    parallel.push_back(
+        std::make_unique<dyn::Engine>(program, scenario.universe, options));
+    scenario.post_init(parallel.back().get());
+  }
+
+  size_t step = 0;
+  for (const relational::Request& request : requests) {
+    naive.Apply(request);
+    for (size_t i = 0; i < parallel.size(); ++i) {
+      parallel[i]->Apply(request);
+      ASSERT_EQ(naive.data(), parallel[i]->data())
+          << scenario.name << " diverged with " << kThreadCounts[i]
+          << " threads at step " << step << " after " << request.ToString();
+    }
+    ++step;
+  }
+  // Multi-thread engines really did fan out at rule level (when the program
+  // fires more than one update rule per request).
+  if (scenario.expect_rule_fanout) {
+    for (size_t i = 1; i < parallel.size(); ++i) {
+      EXPECT_GT(parallel[i]->stats().parallel_update_batches, 0u)
+          << scenario.name << " with " << kThreadCounts[i] << " threads";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ParallelEngineEquivalence,
+                         ::testing::Range<size_t>(0, 3),
+                         [](const ::testing::TestParamInfo<size_t>& param_info) {
+                           return EngineScenarios()[param_info.param].name;
+                         });
+
+TEST(ParallelEquivalence, GrainDoesNotAffectResults) {
+  auto program = programs::MakeReachUProgram();
+  dyn::GraphWorkloadOptions workload_options;
+  workload_options.num_requests = 60;
+  workload_options.seed = 5;
+  workload_options.undirected = true;
+  relational::RequestSequence requests =
+      dyn::MakeGraphWorkload(*programs::ReachUInputVocabulary(), "E", 8,
+                             workload_options);
+
+  std::vector<std::unique_ptr<dyn::Engine>> engines;
+  for (size_t grain : {size_t{1}, size_t{16}, size_t{4096}}) {
+    dyn::EngineOptions options;
+    options.num_threads = 4;
+    options.parallel_grain = grain;
+    engines.push_back(std::make_unique<dyn::Engine>(program, 8, options));
+  }
+  for (const relational::Request& request : requests) {
+    for (auto& engine : engines) engine->Apply(request);
+    ASSERT_EQ(engines[0]->data(), engines[1]->data());
+    ASSERT_EQ(engines[0]->data(), engines[2]->data());
+  }
+}
+
+TEST(ParallelEquivalence, QueryAnswersIdenticalAcrossThreadCounts) {
+  auto program = programs::MakeReachUProgram();
+  dyn::GraphWorkloadOptions workload_options;
+  workload_options.num_requests = 80;
+  workload_options.seed = 21;
+  workload_options.undirected = true;
+  workload_options.set_fraction = 0.1;
+  relational::RequestSequence requests =
+      dyn::MakeGraphWorkload(*programs::ReachUInputVocabulary(), "E", 8,
+                             workload_options);
+
+  dyn::EngineOptions sequential;
+  dyn::Engine reference(program, 8, sequential);
+  dyn::EngineOptions threaded = sequential;
+  threaded.num_threads = 4;
+  threaded.parallel_grain = 1;
+  dyn::Engine candidate(program, 8, threaded);
+  for (const relational::Request& request : requests) {
+    reference.Apply(request);
+    candidate.Apply(request);
+    ASSERT_EQ(reference.QueryBool(), candidate.QueryBool())
+        << "after " << request.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dynfo
