@@ -13,10 +13,12 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/rng.h"
@@ -32,6 +34,7 @@ struct ParallelCase {
   std::function<std::shared_ptr<const dyn::DynProgram>()> program;
   std::function<void(dyn::Engine*)> post_init;
   std::function<relational::RequestSequence(size_t)> workload;
+  size_t gate_universe;  ///< smallest n the 2x speedup gate applies to
 };
 
 dyn::EngineOptions ThreadedOptions(int threads) {
@@ -96,10 +99,34 @@ void RunCase(benchmark::State& state, const ParallelCase& pcase) {
   }
   const double per_request =
       measured_seconds / (static_cast<double>(state.iterations()) * requests.size());
+  const double speedup = per_request > 0 ? baseline_per_request / per_request : 0;
   state.counters["threads"] = static_cast<double>(threads);
-  state.counters["speedup"] = per_request > 0 ? baseline_per_request / per_request : 0;
+  state.counters["speedup"] = speedup;
   state.counters["thread_utilization"] = utilization;
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+
+  // Scaling gate: a 4-way run on a machine that actually has >= 4 hardware
+  // threads must reach a 2x speedup over sequential at the largest universe
+  // of its sweep (smaller universes are dominated by per-request fixed
+  // costs). Without the cores the gate is meaningless — oversubscribed
+  // threads cannot beat sequential — so it is skipped with the reason
+  // logged and reported as a counter.
+  if (threads == 4 && static_cast<size_t>(state.range(0)) >= pcase.gate_universe) {
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores >= 4) {
+      state.counters["speedup_gate"] = 1;
+      DYNFO_CHECK(speedup >= 2.0)
+          << pcase.name << " n=" << n << ": 4-thread speedup " << speedup
+          << " < 2x on a machine with " << cores << " hardware threads";
+    } else {
+      state.counters["speedup_gate"] = 0;
+      std::fprintf(stderr,
+                   "[bench_parallel] speedup gate SKIPPED for %s n=%zu: "
+                   "hardware_concurrency=%u < 4 threads (single-core host; "
+                   "speedups above 1x are physically impossible here)\n",
+                   pcase.name.c_str(), n, cores);
+    }
+  }
 }
 
 ParallelCase ReachUCase() {
@@ -112,7 +139,8 @@ ParallelCase ReachUCase() {
             options.undirected = true;
             return dyn::MakeGraphWorkload(*programs::ReachUInputVocabulary(), "E", n,
                                           options);
-          }};
+          },
+          24};
 }
 
 ParallelCase MatchingCase() {
@@ -125,7 +153,8 @@ ParallelCase MatchingCase() {
             options.undirected = true;
             return dyn::MakeGraphWorkload(*programs::MatchingInputVocabulary(), "E", n,
                                           options);
-          }};
+          },
+          32};
 }
 
 ParallelCase MultiplicationCase() {
@@ -147,7 +176,8 @@ ParallelCase MultiplicationCase() {
               out.push_back(request);
             }
             return out;
-          }};
+          },
+          64};
 }
 
 void BM_ParallelReachU(benchmark::State& state) { RunCase(state, ReachUCase()); }

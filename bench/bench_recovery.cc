@@ -1,0 +1,258 @@
+/// \file bench_recovery.cc
+/// The fault-injection campaign (EXPERIMENTS.md): a GuardedEngine absorbs
+/// request churn while a seeded FaultInjector flips tuples of load-bearing
+/// auxiliary relations at scheduled steps. Each benchmark reports, as JSON
+/// counters:
+///   * injections / detections / washed_out — every fault either persists
+///                                  to a cadence check and is DETECTED, or
+///                                  is overwritten by later legitimate
+///                                  updates before any check could see it
+///                                  (washed out: the state is consistent
+///                                  again, there is no corruption left to
+///                                  detect). detections + washed_out MUST
+///                                  equal injections — a persistent
+///                                  corruption that escapes detection
+///                                  aborts the run;
+///   * detection_latency_avg      — requests between planting a fault and
+///                                  the cadence check that caught it
+///                                  (bounded by check_cadence);
+///   * recovery_seconds_avg       — mean start-over rebuild time;
+///   * recompute_seconds          — rebuilding by replaying the FULL request
+///                                  history from scratch (the naive
+///                                  alternative recovery);
+///   * recovery_vs_recompute      — ratio of the two (start-over replays the
+///                                  current input, not the whole history, so
+///                                  it wins as histories grow).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/fault.h"
+#include "dynfo/recovery.h"
+#include "dynfo/workload.h"
+#include "programs/matching.h"
+#include "programs/multiplication.h"
+#include "programs/reach_u.h"
+
+namespace dynfo {
+namespace {
+
+struct RecoveryCase {
+  std::string name;
+  std::function<std::shared_ptr<const dyn::DynProgram>()> program;
+  std::function<void(dyn::Engine*)> post_init;  // may be null
+  dyn::Oracle oracle;                           // may be null
+  dyn::InvariantCheck invariant;
+  std::function<relational::RequestSequence(size_t)> workload;
+  std::vector<std::string> targets;  // load-bearing aux relations to corrupt
+};
+
+/// Everything in the data vocabulary except `target`.
+std::vector<std::string> ProtectAllBut(const relational::Vocabulary& vocab,
+                                       const std::string& target) {
+  std::vector<std::string> protect;
+  for (int r = 0; r < vocab.num_relations(); ++r) {
+    if (vocab.relation(r).name != target) protect.push_back(vocab.relation(r).name);
+  }
+  return protect;
+}
+
+struct CampaignResult {
+  size_t injections = 0;
+  size_t detections = 0;
+  size_t washed_out = 0;       // fault erased by churn before any check
+  uint64_t latency_total = 0;  // requests from injection to detection
+  dyn::RecoveryStats stats;
+};
+
+CampaignResult RunCampaign(const RecoveryCase& rcase, size_t n,
+                           const relational::RequestSequence& requests,
+                           uint64_t cadence, uint64_t seed) {
+  dyn::GuardedEngineOptions options;
+  options.check_every = cadence;
+  options.post_init = rcase.post_init;
+  dyn::GuardedEngine guarded(rcase.program(), n, rcase.oracle, rcase.invariant,
+                             options);
+  core::FaultInjector faults(seed);
+
+  CampaignResult result;
+  bool fault_pending = false;
+  uint64_t injected_at = 0;
+  // One injection per ~3 cadence windows, at a seeded offset inside the
+  // window so faults land at varying distances from the next check.
+  uint64_t next_injection = 2 + faults.rng().Below(cadence);
+  for (const relational::Request& request : requests) {
+    if (fault_pending &&
+        rcase.invariant(guarded.input(), guarded.engine()).empty()) {
+      // Later updates legitimately overwrote the flipped tuple before a
+      // cadence check ran: the state is consistent again and no evidence of
+      // the fault remains — nothing detectable was missed.
+      ++result.washed_out;
+      fault_pending = false;
+    }
+    if (!fault_pending && guarded.recovery_stats().requests >= next_injection) {
+      const std::string& target =
+          rcase.targets[result.injections % rcase.targets.size()];
+      faults.FlipTuple(guarded.mutable_engine()->mutable_data(),
+                       ProtectAllBut(guarded.engine().data().vocabulary(), target));
+      fault_pending = true;
+      injected_at = guarded.recovery_stats().requests;
+      ++result.injections;
+      next_injection += 3 * cadence + faults.rng().Below(cadence);
+    }
+    const uint64_t detected_before = guarded.recovery_stats().corruptions_detected;
+    core::Status status = guarded.Apply(request);
+    DYNFO_CHECK(status.ok()) << rcase.name << ": " << status.message();
+    if (fault_pending &&
+        guarded.recovery_stats().corruptions_detected > detected_before) {
+      result.latency_total +=
+          guarded.recovery_stats().last_detection_step - injected_at;
+      ++result.detections;
+      fault_pending = false;
+    }
+  }
+  if (fault_pending) {
+    // The workload ended inside a cadence window; the final check closes it.
+    const uint64_t detected_before = guarded.recovery_stats().corruptions_detected;
+    core::Status status = guarded.CheckNow();
+    DYNFO_CHECK(status.ok()) << rcase.name << ": " << status.message();
+    if (guarded.recovery_stats().corruptions_detected > detected_before) {
+      result.latency_total +=
+          guarded.recovery_stats().last_detection_step - injected_at;
+      ++result.detections;
+    }
+  }
+  // The campaign's completeness claim: every injected corruption either
+  // washed out before a check could see it (no evidence left) or was
+  // detected within the cadence. A persistent corruption escaping is a bug.
+  DYNFO_CHECK(result.detections + result.washed_out == result.injections)
+      << rcase.name << ": "
+      << result.injections - result.detections - result.washed_out
+      << " persistent corruption(s) escaped detection";
+  DYNFO_CHECK(result.detections > 0) << rcase.name << ": campaign too weak";
+  DYNFO_CHECK(guarded.recovery_stats().recoveries == result.detections)
+      << rcase.name << ": a detection did not recover";
+  result.stats = guarded.recovery_stats();
+  return result;
+}
+
+/// The naive alternative to start-over recovery: rebuild by replaying the
+/// entire request history into a fresh engine.
+double RecomputeSeconds(const RecoveryCase& rcase, size_t n,
+                        const relational::RequestSequence& requests) {
+  dyn::Engine engine(rcase.program(), n);
+  if (rcase.post_init) rcase.post_init(&engine);
+  const auto start = std::chrono::steady_clock::now();
+  bench::ReplayWorkload(&engine, requests);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void RunCase(benchmark::State& state, const RecoveryCase& rcase) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint64_t cadence = static_cast<uint64_t>(state.range(1));
+  const relational::RequestSequence requests = rcase.workload(n);
+  const double recompute_seconds = RecomputeSeconds(rcase, n, requests);
+
+  CampaignResult result;
+  for (auto _ : state) {
+    result = RunCampaign(rcase, n, requests, cadence, /*seed=*/7);
+  }
+
+  state.counters["check_cadence"] = static_cast<double>(cadence);
+  state.counters["injections"] = static_cast<double>(result.injections);
+  state.counters["detections"] = static_cast<double>(result.detections);
+  state.counters["washed_out"] = static_cast<double>(result.washed_out);
+  state.counters["detection_rate"] =
+      result.injections > result.washed_out
+          ? static_cast<double>(result.detections) /
+                static_cast<double>(result.injections - result.washed_out)
+          : 1.0;
+  state.counters["detection_latency_avg"] =
+      result.detections > 0
+          ? static_cast<double>(result.latency_total) / result.detections
+          : 0;
+  state.counters["recovery_seconds_avg"] =
+      result.stats.recoveries > 0
+          ? result.stats.recovery_seconds / result.stats.recoveries
+          : 0;
+  state.counters["recompute_seconds"] = recompute_seconds;
+  state.counters["recovery_vs_recompute"] =
+      recompute_seconds > 0 && result.stats.recoveries > 0
+          ? (result.stats.recovery_seconds / result.stats.recoveries) /
+                recompute_seconds
+          : 0;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
+}
+
+RecoveryCase ReachUCase() {
+  return {"reach_u",
+          [] { return programs::MakeReachUProgram(); },
+          nullptr,
+          programs::ReachUOracle,
+          programs::ReachUInvariant,
+          [](size_t n) {
+            dyn::GraphWorkloadOptions options;
+            options.num_requests = 160;
+            options.seed = 42;
+            options.undirected = true;
+            options.set_fraction = 0.05;
+            return dyn::MakeGraphWorkload(*programs::ReachUInputVocabulary(), "E", n,
+                                          options);
+          },
+          {"F", "PV"}};
+}
+
+RecoveryCase MatchingCase() {
+  return {"matching",
+          [] { return programs::MakeMatchingProgram(); },
+          nullptr,
+          nullptr,
+          programs::MatchingInvariant,
+          [](size_t n) {
+            dyn::GraphWorkloadOptions options;
+            options.num_requests = 160;
+            options.seed = 13;
+            options.undirected = true;
+            return dyn::MakeGraphWorkload(*programs::MatchingInputVocabulary(), "E", n,
+                                          options);
+          },
+          {"Match"}};
+}
+
+RecoveryCase MultiplicationCase() {
+  return {"multiplication",
+          [] { return programs::MakeMultiplicationProgram(false); },
+          [](dyn::Engine* engine) { programs::InstallPlusRelation(engine); },
+          nullptr,
+          programs::MultiplicationInvariant,
+          [](size_t n) {
+            dyn::GenericWorkloadOptions options;
+            options.num_requests = 120;
+            options.seed = 11;
+            options.set_fraction = 0.0;
+            return dyn::MakeGenericWorkload(*programs::MultiplicationInputVocabulary(),
+                                            n, options);
+          },
+          {"Prod"}};
+}
+
+void BM_RecoveryReachU(benchmark::State& state) { RunCase(state, ReachUCase()); }
+BENCHMARK(BM_RecoveryReachU)->ArgsProduct({{8, 12}, {4, 16}});
+
+void BM_RecoveryMatching(benchmark::State& state) { RunCase(state, MatchingCase()); }
+BENCHMARK(BM_RecoveryMatching)->ArgsProduct({{8, 12}, {4, 16}});
+
+void BM_RecoveryMultiplication(benchmark::State& state) {
+  RunCase(state, MultiplicationCase());
+}
+BENCHMARK(BM_RecoveryMultiplication)->ArgsProduct({{8, 16}, {4, 16}});
+
+}  // namespace
+}  // namespace dynfo

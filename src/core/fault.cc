@@ -1,0 +1,92 @@
+#include "core/fault.h"
+
+#include <algorithm>
+
+namespace dynfo::core {
+
+namespace {
+
+/// Offsets of the starts of every line after the first (the header line of
+/// the journal / snapshot formats is never a record).
+std::vector<std::pair<size_t, size_t>> BodyLineSpans(const std::string& text) {
+  std::vector<std::pair<size_t, size_t>> spans;  // [begin, end) incl. '\n'
+  size_t begin = 0;
+  bool first = true;
+  while (begin < text.size()) {
+    size_t nl = text.find('\n', begin);
+    size_t end = nl == std::string::npos ? text.size() : nl + 1;
+    if (!first) spans.emplace_back(begin, end);
+    first = false;
+    begin = end;
+  }
+  return spans;
+}
+
+}  // namespace
+
+std::string FaultInjector::FlipTuple(relational::Structure* structure,
+                                     const std::vector<std::string>& protect) {
+  const relational::Vocabulary& vocab = structure->vocabulary();
+  std::vector<int> eligible;
+  for (int r = 0; r < vocab.num_relations(); ++r) {
+    const std::string& name = vocab.relation(r).name;
+    if (std::find(protect.begin(), protect.end(), name) == protect.end()) {
+      eligible.push_back(r);
+    }
+  }
+  if (eligible.empty()) return "";
+  const int index = eligible[rng_.Below(eligible.size())];
+  relational::Relation& rel = structure->relation(index);
+  relational::Tuple t;
+  for (int p = 0; p < rel.arity(); ++p) {
+    t = t.Append(static_cast<relational::Element>(
+        rng_.Below(structure->universe_size())));
+  }
+  const bool was_present = rel.Contains(t);
+  if (was_present) {
+    rel.Erase(t);
+  } else {
+    rel.Insert(t);
+  }
+  return std::string(was_present ? "erased " : "inserted ") + t.ToString() +
+         " in " + vocab.relation(index).name;
+}
+
+std::string FaultInjector::FlipByte(std::string* blob) {
+  if (blob->empty()) return "";
+  const size_t offset = rng_.Below(blob->size());
+  const int bit = static_cast<int>(rng_.Below(8));
+  (*blob)[offset] = static_cast<char>((*blob)[offset] ^ (1 << bit));
+  return "flipped bit " + std::to_string(bit) + " of byte " +
+         std::to_string(offset);
+}
+
+std::string FaultInjector::TruncateTail(std::string* blob) {
+  if (blob->empty()) return "";
+  const size_t keep = rng_.Below(blob->size());
+  blob->resize(keep);
+  return "truncated to " + std::to_string(keep) + " bytes";
+}
+
+std::string FaultInjector::DropLine(std::string* text) {
+  auto spans = BodyLineSpans(*text);
+  if (spans.empty()) return "";
+  auto [begin, end] = spans[rng_.Below(spans.size())];
+  std::string dropped = text->substr(begin, end - begin);
+  text->erase(begin, end - begin);
+  if (!dropped.empty() && dropped.back() == '\n') dropped.pop_back();
+  return "dropped line '" + dropped + "'";
+}
+
+std::string FaultInjector::DuplicateLine(std::string* text) {
+  auto spans = BodyLineSpans(*text);
+  if (spans.empty()) return "";
+  auto [begin, end] = spans[rng_.Below(spans.size())];
+  std::string line = text->substr(begin, end - begin);
+  if (line.empty() || line.back() != '\n') line += '\n';  // keep lines intact
+  text->insert(end, line);
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  return "duplicated line '" + line + "'";
+}
+
+}  // namespace dynfo::core

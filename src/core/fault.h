@@ -1,0 +1,61 @@
+/// \file fault.h
+/// Seeded fault injection for the fault-tolerance campaign.
+///
+/// A FaultInjector models the failure modes the recovery layer must
+/// survive: bit rot in auxiliary relations (a cosmic-ray tuple flip),
+/// journal damage (a dropped or duplicated record), and a process killed
+/// mid-write (a truncated snapshot or torn journal tail). Every fault is
+/// drawn from a seeded Rng so campaigns are reproducible, and every
+/// injection returns a human-readable description for logging.
+///
+/// This header sits above the relational data model (it mutates
+/// structures); it lives in core/ alongside Rng because it is shared
+/// infrastructure for tests and benchmarks, not part of the engine proper.
+
+#ifndef DYNFO_CORE_FAULT_H_
+#define DYNFO_CORE_FAULT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "relational/structure.h"
+
+namespace dynfo::core {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  /// Toggles membership of a uniformly random tuple in a uniformly random
+  /// relation of `structure` whose name is not in `protect` (callers pass
+  /// the input-mirrored relation names to corrupt only auxiliary state).
+  /// Always changes the structure. Returns a description of the flip, or
+  /// an explanation if no eligible relation exists.
+  std::string FlipTuple(relational::Structure* structure,
+                        const std::vector<std::string>& protect);
+
+  /// Flips one random bit of one random byte of `blob` (bit rot on disk).
+  std::string FlipByte(std::string* blob);
+
+  /// Truncates `blob` at a random offset in [0, size) — a write killed
+  /// partway through.
+  std::string TruncateTail(std::string* blob);
+
+  /// Removes one random non-header line of a line-oriented blob (a lost
+  /// journal record). Returns empty description if there is no such line.
+  std::string DropLine(std::string* text);
+
+  /// Repeats one random non-header line immediately after itself (a
+  /// replayed/duplicated journal record).
+  std::string DuplicateLine(std::string* text);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace dynfo::core
+
+#endif  // DYNFO_CORE_FAULT_H_

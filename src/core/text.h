@@ -1,0 +1,78 @@
+/// \file text.h
+/// Strict number parsing and checksumming shared by the persistence formats
+/// (structure serialization, engine snapshots, request journals).
+///
+/// The persistence layer must never crash or silently mis-read hostile
+/// bytes, so every numeric field is parsed with full-token matching (unlike
+/// std::stoul, which accepts "12abc" as 12) and every blob carries an
+/// FNV-1a checksum that is verified before any contents are trusted.
+
+#ifndef DYNFO_CORE_TEXT_H_
+#define DYNFO_CORE_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dynfo::core {
+
+/// Parses a decimal uint64 strictly: the whole token must be digits, no
+/// sign, no leading/trailing junk, no overflow. Returns false on any
+/// violation (and leaves *out untouched).
+inline bool ParseU64(std::string_view token, uint64_t* out) {
+  if (token.empty() || token.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+/// FNV-1a over the bytes of `data`; stable across platforms, fast enough
+/// for whole-snapshot verification, and sensitive to any single-bit flip.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Fixed-width (16 digit) lowercase hex of a 64-bit value.
+inline std::string HexU64(uint64_t value) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Parses exactly 16 lowercase hex digits. Returns false otherwise.
+inline bool ParseHexU64(std::string_view token, uint64_t* out) {
+  if (token.size() != 16) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace dynfo::core
+
+#endif  // DYNFO_CORE_TEXT_H_

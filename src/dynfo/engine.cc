@@ -2,10 +2,13 @@
 
 #include <chrono>
 #include <set>
+#include <sstream>
 #include <utility>
 
+#include "core/text.h"
 #include "core/thread_pool.h"
 #include "fo/eval_naive.h"
+#include "relational/serialize.h"
 
 namespace dynfo::dyn {
 
@@ -260,6 +263,54 @@ void Engine::Apply(const relational::Request& request) {
       break;
     }
   }
+}
+
+std::string Engine::Snapshot() const {
+  std::ostringstream payload;
+  payload << "program " << program_->name() << "\n";
+  payload << "steps " << stats_.requests << "\n";
+  payload << relational::WriteStructure(data_);
+  return relational::WrapChecksummed("snapshot", payload.str());
+}
+
+core::Status Engine::Restore(const std::string& snapshot) {
+  core::Result<std::string> payload =
+      relational::UnwrapChecksummed("snapshot", snapshot);
+  if (!payload.ok()) return payload.status();
+
+  std::istringstream in(payload.value());
+  std::string keyword, name;
+  if (!(in >> keyword >> name) || keyword != "program") {
+    return core::Status::Error("snapshot missing 'program' line");
+  }
+  if (name != program_->name()) {
+    return core::Status::Error("snapshot is for program '" + name + "', engine runs '" +
+                               program_->name() + "'");
+  }
+  std::string steps_token;
+  uint64_t steps = 0;
+  if (!(in >> keyword >> steps_token) || keyword != "steps" ||
+      !core::ParseU64(steps_token, &steps)) {
+    return core::Status::Error("snapshot missing 'steps' line");
+  }
+  std::string rest;
+  std::getline(in, rest);  // consume the newline after the steps line
+  std::ostringstream structure_text;
+  structure_text << in.rdbuf();
+
+  core::Result<relational::Structure> restored =
+      relational::ReadStructure(structure_text.str(), program_->data_vocabulary());
+  if (!restored.ok()) {
+    return core::Status::Error("snapshot structure: " + restored.status().message());
+  }
+  if (restored.value().universe_size() != data_.universe_size()) {
+    return core::Status::Error(
+        "snapshot universe size " + std::to_string(restored.value().universe_size()) +
+        " != engine's " + std::to_string(data_.universe_size()));
+  }
+  data_ = std::move(restored).value();
+  stats_.requests = steps;
+  return core::Status();
 }
 
 bool Engine::QueryBool(std::vector<relational::Element> params) const {

@@ -86,6 +86,8 @@ class Engine {
          EngineOptions options = {});
 
   const DynProgram& program() const { return *program_; }
+  std::shared_ptr<const DynProgram> program_ptr() const { return program_; }
+  const EngineOptions& options() const { return options_; }
   size_t universe_size() const { return data_.universe_size(); }
 
   /// Responds to one request against the input vocabulary.
@@ -111,6 +113,23 @@ class Engine {
 
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
+
+  /// Serializes the full engine state — the data structure (auxiliary
+  /// relations plus mirrored input) and the request/step counter — as a
+  /// versioned, checksummed text blob. Execution options are NOT state and
+  /// are not serialized; a snapshot restores into an engine built with any
+  /// options (all modes are bit-identical, see program_equivalence_test).
+  std::string Snapshot() const;
+
+  /// Restores a snapshot produced by Snapshot() on an engine built from
+  /// the same program at the same universe size. Corrupt, truncated, or
+  /// mismatched snapshots yield an error Status and leave the engine
+  /// untouched — never a crash.
+  core::Status Restore(const std::string& snapshot);
+
+  /// Overrides the request/step counter; recovery paths use this to keep
+  /// the counter monotone across a start-over rebuild.
+  void set_request_counter(uint64_t requests) { stats_.requests = requests; }
 
  private:
   /// How a target-preserving update rule decomposes; see file comment.

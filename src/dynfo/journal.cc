@@ -1,0 +1,252 @@
+#include "dynfo/journal.h"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/text.h"
+
+namespace dynfo::dyn {
+
+namespace {
+
+using relational::Element;
+using relational::Request;
+using relational::RequestKind;
+using relational::Tuple;
+using relational::Vocabulary;
+
+std::string RecordBody(uint64_t seq, const Request& request) {
+  std::ostringstream body;
+  body << seq << " ";
+  switch (request.kind) {
+    case RequestKind::kInsert:
+      body << "ins " << request.target;
+      for (int i = 0; i < request.tuple.size(); ++i) body << " " << request.tuple[i];
+      break;
+    case RequestKind::kDelete:
+      body << "del " << request.target;
+      for (int i = 0; i < request.tuple.size(); ++i) body << " " << request.tuple[i];
+      break;
+    case RequestKind::kSetConstant:
+      body << "set " << request.target << " " << request.value;
+      break;
+  }
+  return body.str();
+}
+
+/// Parses one record line (without trailing '\n'). On failure, *error is a
+/// description and the return is false.
+bool ParseRecord(const std::string& line, uint64_t expected_seq,
+                 const Vocabulary& input, size_t universe_size, Request* out,
+                 std::string* error) {
+  const size_t marker = line.rfind(" c=");
+  if (marker == std::string::npos) {
+    *error = "record missing checksum";
+    return false;
+  }
+  const std::string body = line.substr(0, marker);
+  uint64_t recorded_sum = 0;
+  if (!core::ParseHexU64(line.substr(marker + 3), &recorded_sum)) {
+    *error = "record checksum malformed";
+    return false;
+  }
+  if (core::Fnv1a64(body) != recorded_sum) {
+    *error = "record checksum mismatch";
+    return false;
+  }
+
+  std::istringstream words(body);
+  std::string seq_token, keyword, target;
+  if (!(words >> seq_token >> keyword >> target)) {
+    *error = "record too short";
+    return false;
+  }
+  uint64_t seq = 0;
+  if (!core::ParseU64(seq_token, &seq)) {
+    *error = "bad sequence number";
+    return false;
+  }
+  if (seq != expected_seq) {
+    *error = "sequence broken (expected " + std::to_string(expected_seq) + ", found " +
+             std::to_string(seq) + "): a record was dropped or duplicated";
+    return false;
+  }
+
+  std::vector<uint64_t> values;
+  std::string token;
+  while (words >> token) {
+    uint64_t value = 0;
+    if (!core::ParseU64(token, &value)) {
+      *error = "malformed numeric field '" + token + "'";
+      return false;
+    }
+    values.push_back(value);
+  }
+  for (uint64_t value : values) {
+    if (value >= universe_size) {
+      *error = "element " + std::to_string(value) + " outside universe";
+      return false;
+    }
+  }
+
+  if (keyword == "ins" || keyword == "del") {
+    const int index = input.RelationIndex(target);
+    if (index < 0) {
+      *error = "unknown relation " + target;
+      return false;
+    }
+    const int arity = input.relation(index).arity;
+    if (values.size() != static_cast<size_t>(arity)) {
+      *error = "arity mismatch for " + target;
+      return false;
+    }
+    Tuple t;
+    for (uint64_t value : values) t = t.Append(static_cast<Element>(value));
+    *out = keyword == "ins" ? Request::Insert(target, t) : Request::Delete(target, t);
+    return true;
+  }
+  if (keyword == "set") {
+    if (input.ConstantIndex(target) < 0) {
+      *error = "unknown constant " + target;
+      return false;
+    }
+    if (values.size() != 1) {
+      *error = "set needs exactly one value";
+      return false;
+    }
+    *out = Request::SetConstant(target, static_cast<Element>(values[0]));
+    return true;
+  }
+  *error = "unknown request keyword " + keyword;
+  return false;
+}
+
+}  // namespace
+
+std::string JournalHeader() { return "dynfo-journal v1\n"; }
+
+std::string FormatJournalRecord(uint64_t seq, const Request& request) {
+  const std::string body = RecordBody(seq, request);
+  return body + " c=" + core::HexU64(core::Fnv1a64(body)) + "\n";
+}
+
+core::Result<JournalParse> ParseJournal(const std::string& text,
+                                        const Vocabulary& input,
+                                        size_t universe_size) {
+  JournalParse out;
+  const std::string header = JournalHeader();
+  if (text.size() < header.size()) {
+    // A crash can kill the process between creating the file and flushing
+    // the header; any prefix of the header is an empty journal, torn.
+    if (header.compare(0, text.size(), text) == 0) {
+      out.torn_tail = !text.empty();
+      return out;
+    }
+    return core::Status::Error("not a dynfo journal");
+  }
+  if (text.compare(0, header.size(), header) != 0) {
+    return core::Status::Error("not a dynfo journal (bad header)");
+  }
+  out.valid_bytes = header.size();
+
+  size_t pos = header.size();
+  size_t line_number = 1;
+  while (pos < text.size()) {
+    ++line_number;
+    const size_t nl = text.find('\n', pos);
+    const bool complete = nl != std::string::npos;
+    const std::string line =
+        complete ? text.substr(pos, nl - pos) : text.substr(pos);
+    std::string error = "incomplete record (no newline)";
+    Request request = Request::SetConstant("", 0);
+    const bool parsed =
+        complete && ParseRecord(line, out.requests.size(), input, universe_size,
+                                &request, &error);
+    if (!parsed) {
+      const bool is_final_line = !complete || nl + 1 >= text.size();
+      if (is_final_line) {
+        // Torn tail: the expected shape of a crash mid-append. The clean
+        // prefix stands; the damaged final record is dropped.
+        out.torn_tail = true;
+        return out;
+      }
+      return core::Status::Error("journal line " + std::to_string(line_number) + ": " +
+                                 error);
+    }
+    out.requests.push_back(request);
+    pos = nl + 1;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+core::Result<JournalWriter> JournalWriter::Open(const std::string& path,
+                                                const Vocabulary& input,
+                                                size_t universe_size,
+                                                JournalWriterOptions options) {
+  std::string existing;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+
+  JournalWriter writer;
+  writer.path_ = path;
+  writer.options_ = options;
+
+  bool need_header = existing.empty();
+  if (!existing.empty()) {
+    core::Result<JournalParse> parsed = ParseJournal(existing, input, universe_size);
+    if (!parsed.ok()) {
+      return core::Status::Error("journal " + path + ": " +
+                                 parsed.status().message());
+    }
+    writer.recovered_ = parsed.value().requests;
+    writer.torn_ = parsed.value().torn_tail;
+    writer.next_seq_ = writer.recovered_.size();
+    if (parsed.value().torn_tail) {
+      if (::truncate(path.c_str(), static_cast<off_t>(parsed.value().valid_bytes)) !=
+          0) {
+        return core::Status::Error("journal " + path + ": cannot drop torn tail");
+      }
+      need_header = parsed.value().valid_bytes == 0;
+    }
+  }
+
+  writer.file_.reset(std::fopen(path.c_str(), "ab"));
+  if (writer.file_ == nullptr) {
+    return core::Status::Error("journal " + path + ": cannot open for append");
+  }
+  if (need_header) {
+    const std::string header = JournalHeader();
+    if (std::fwrite(header.data(), 1, header.size(), writer.file_.get()) !=
+            header.size() ||
+        std::fflush(writer.file_.get()) != 0) {
+      return core::Status::Error("journal " + path + ": cannot write header");
+    }
+  }
+  return writer;
+}
+
+core::Status JournalWriter::Append(const Request& request) {
+  DYNFO_CHECK(file_ != nullptr) << "Append on a moved-from JournalWriter";
+  const std::string record = FormatJournalRecord(next_seq_, request);
+  if (std::fwrite(record.data(), 1, record.size(), file_.get()) != record.size() ||
+      std::fflush(file_.get()) != 0) {
+    return core::Status::Error("journal " + path_ + ": append failed");
+  }
+  if (options_.fsync_each_append && ::fsync(fileno(file_.get())) != 0) {
+    return core::Status::Error("journal " + path_ + ": fsync failed");
+  }
+  ++next_seq_;
+  return core::Status();
+}
+
+}  // namespace dynfo::dyn

@@ -1,0 +1,110 @@
+/// \file journal.h
+/// Append-only, crash-consistent journaling of applied requests.
+///
+/// The auxiliary relations are *live state* accumulated over an unbounded
+/// request stream, so a production engine must be reconstructible after a
+/// kill at any point. The journal records every applied request; together
+/// with a snapshot (engine.h) the state is rebuilt bit-identically:
+/// restore the snapshot, then replay the journal suffix past the
+/// snapshot's step counter.
+///
+/// Format (one record per line, written with a single fwrite + flush):
+///   dynfo-journal v1
+///   <seq> ins <relation> <e1> <e2> ... c=<16 hex>
+///   <seq> del <relation> <e1> <e2> ... c=<16 hex>
+///   <seq> set <constant> <value> c=<16 hex>
+///
+/// Each record carries its sequence number and an FNV-1a checksum of its
+/// body. The reader accepts the longest clean prefix: a damaged or
+/// incomplete FINAL record is a torn tail (the expected result of a crash
+/// mid-append) and is dropped with `torn_tail` set; any damage BEFORE the
+/// final record — a checksum mismatch, a sequence gap (dropped record), a
+/// repeated sequence number (duplicated record) — is unrecoverable
+/// corruption and yields an error Status. Every parsed request is
+/// validated against the input vocabulary and universe size, so replaying
+/// a parsed journal can never CHECK-crash the engine.
+
+#ifndef DYNFO_DYNFO_JOURNAL_H_
+#define DYNFO_DYNFO_JOURNAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/status.h"
+#include "relational/request.h"
+#include "relational/vocabulary.h"
+
+namespace dynfo::dyn {
+
+/// "dynfo-journal v1\n" — the first line of every journal.
+std::string JournalHeader();
+
+/// One record line (terminated by '\n'), checksum included.
+std::string FormatJournalRecord(uint64_t seq, const relational::Request& request);
+
+struct JournalParse {
+  relational::RequestSequence requests;  ///< the clean prefix, seq 0..k-1
+  size_t valid_bytes = 0;  ///< byte length of that prefix (incl. header)
+  bool torn_tail = false;  ///< a damaged/incomplete final record was dropped
+};
+
+/// Parses journal text, validating every record against the input
+/// vocabulary and universe size. See the file comment for the torn-tail
+/// vs. corruption contract.
+core::Result<JournalParse> ParseJournal(const std::string& text,
+                                        const relational::Vocabulary& input,
+                                        size_t universe_size);
+
+struct JournalWriterOptions {
+  /// fsync(2) after every append. Durability against power loss; off by
+  /// default (flush-per-append already survives process kills).
+  bool fsync_each_append = false;
+};
+
+/// Appends records to a journal file. Opening scans any existing journal,
+/// truncates a torn tail, and resumes the sequence numbering; appends are
+/// single-write + flush so a kill can only tear the final record.
+class JournalWriter {
+ public:
+  static core::Result<JournalWriter> Open(const std::string& path,
+                                          const relational::Vocabulary& input,
+                                          size_t universe_size,
+                                          JournalWriterOptions options = {});
+
+  JournalWriter(JournalWriter&&) = default;
+  JournalWriter& operator=(JournalWriter&&) = default;
+
+  core::Status Append(const relational::Request& request);
+
+  /// Sequence number the next Append will write (= records on disk).
+  uint64_t next_seq() const { return next_seq_; }
+
+  /// Records recovered from the file at Open (the clean prefix).
+  const relational::RequestSequence& recovered() const { return recovered_; }
+
+  /// Whether Open dropped a torn tail from the existing file.
+  bool truncated_torn_tail() const { return torn_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  JournalWriter() = default;
+
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::string path_;
+  JournalWriterOptions options_;
+  relational::RequestSequence recovered_;
+  bool torn_ = false;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace dynfo::dyn
+
+#endif  // DYNFO_DYNFO_JOURNAL_H_

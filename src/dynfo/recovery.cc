@@ -1,0 +1,164 @@
+#include "dynfo/recovery.h"
+
+#include <chrono>
+#include <utility>
+
+#include "relational/serialize.h"
+
+namespace dynfo::dyn {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+GuardedEngine::GuardedEngine(std::shared_ptr<const DynProgram> program,
+                             size_t universe_size, Oracle oracle,
+                             InvariantCheck invariant, GuardedEngineOptions options)
+    : program_(std::move(program)),
+      options_(std::move(options)),
+      oracle_(std::move(oracle)),
+      invariant_(std::move(invariant)),
+      engine_(std::make_unique<Engine>(program_, universe_size,
+                                       options_.engine_options)),
+      input_(program_->input_vocabulary(), universe_size) {
+  if (options_.post_init) options_.post_init(engine_.get());
+}
+
+std::string GuardedEngine::Violation() const {
+  if (oracle_ && program_->bool_query() != nullptr) {
+    const bool expected = oracle_(input_);
+    const bool actual = engine_->QueryBool();
+    if (expected != actual) {
+      return std::string("query mismatch (oracle ") + (expected ? "true" : "false") +
+             ", engine " + (actual ? "true" : "false") + ")";
+    }
+  }
+  if (invariant_) {
+    std::string violation = invariant_(input_, *engine_);
+    if (!violation.empty()) return violation;
+  }
+  return "";
+}
+
+core::Status GuardedEngine::Apply(const relational::Request& request) {
+  core::Status valid =
+      relational::ValidateRequest(*program_->input_vocabulary(),
+                                  input_.universe_size(), request);
+  if (!valid.ok()) return valid;
+  if (program_->semi_dynamic() &&
+      request.kind == relational::RequestKind::kDelete) {
+    return core::Status::Error(program_->name() +
+                               " is semi-dynamic: deletes are not supported");
+  }
+  if (journal_.has_value()) {
+    core::Status journaled = journal_->Append(request);
+    if (!journaled.ok()) return journaled;
+  }
+  engine_->Apply(request);
+  relational::ApplyRequest(&input_, request);
+  ++stats_.requests;
+  if (options_.check_every > 0 && stats_.requests % options_.check_every == 0) {
+    return CheckNow();
+  }
+  return core::Status();
+}
+
+core::Status GuardedEngine::CheckNow() {
+  ++stats_.checks_run;
+  const std::string violation = Violation();
+  if (violation.empty()) return core::Status();
+
+  ++stats_.corruptions_detected;
+  stats_.last_detection_step = stats_.requests;
+  // Quarantine before any rebuild touches the engine: the corrupt state is
+  // evidence, not garbage.
+  last_quarantine_ = "corruption detected at step " + std::to_string(stats_.requests) +
+                     ": " + violation + "\n" +
+                     DescribeAuxDivergence(*engine_, input_, options_.post_init) +
+                     "\n" + relational::WriteStructure(engine_->data());
+  return Recover(violation);
+}
+
+core::Status GuardedEngine::Recover(const std::string& reason) {
+  const auto start = std::chrono::steady_clock::now();
+  auto fresh = std::make_unique<Engine>(program_, input_.universe_size(),
+                                        options_.engine_options);
+  if (options_.post_init) options_.post_init(fresh.get());
+  const relational::RequestSequence replay =
+      relational::StructureAsRequests(input_);
+  for (const relational::Request& request : replay) {
+    fresh->Apply(request);
+  }
+  fresh->set_request_counter(stats_.requests);
+  stats_.rebuild_requests_replayed += replay.size();
+  engine_ = std::move(fresh);
+  const double elapsed = SecondsSince(start);
+  stats_.last_recovery_seconds = elapsed;
+  stats_.recovery_seconds += elapsed;
+
+  const std::string still_bad = Violation();
+  if (!still_bad.empty()) {
+    return core::Status::Error(
+        "start-over recovery failed: the rebuilt state still violates checks (" +
+        still_bad + "); original trigger: " + reason);
+  }
+  ++stats_.recoveries;
+  return core::Status();
+}
+
+core::Status GuardedEngine::AttachJournal(const std::string& path,
+                                          JournalWriterOptions options) {
+  if (stats_.requests != 0 || journal_.has_value()) {
+    return core::Status::Error(
+        "AttachJournal must be called on a fresh GuardedEngine");
+  }
+  core::Result<JournalWriter> writer = JournalWriter::Open(
+      path, *program_->input_vocabulary(), input_.universe_size(), options);
+  if (!writer.ok()) return writer.status();
+  journal_.emplace(std::move(writer).value());
+  for (const relational::Request& request : journal_->recovered()) {
+    if (program_->semi_dynamic() &&
+        request.kind == relational::RequestKind::kDelete) {
+      return core::Status::Error("journal replays a delete into semi-dynamic " +
+                                 program_->name());
+    }
+    engine_->Apply(request);
+    relational::ApplyRequest(&input_, request);
+    ++stats_.requests;
+  }
+  return core::Status();
+}
+
+core::Status RestoreFromSnapshotAndJournal(
+    Engine* engine, const std::string& snapshot,
+    const relational::RequestSequence& journal_requests) {
+  core::Status restored = engine->Restore(snapshot);
+  if (!restored.ok()) return restored;
+  const uint64_t steps = engine->stats().requests;
+  if (steps > journal_requests.size()) {
+    return core::Status::Error(
+        "journal has " + std::to_string(journal_requests.size()) +
+        " records but the snapshot was taken at step " + std::to_string(steps) +
+        ": journal records were lost");
+  }
+  for (size_t i = steps; i < journal_requests.size(); ++i) {
+    core::Status valid = relational::ValidateRequest(
+        *engine->program().input_vocabulary(), engine->universe_size(),
+        journal_requests[i]);
+    if (!valid.ok()) return valid;
+    if (engine->program().semi_dynamic() &&
+        journal_requests[i].kind == relational::RequestKind::kDelete) {
+      return core::Status::Error("journal replays a delete into semi-dynamic " +
+                                 engine->program().name());
+    }
+    engine->Apply(journal_requests[i]);
+  }
+  return core::Status();
+}
+
+}  // namespace dynfo::dyn

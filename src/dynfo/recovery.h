@@ -1,0 +1,141 @@
+/// \file recovery.h
+/// Corruption detection and start-over recovery: the fault-tolerant
+/// execution wrapper.
+///
+/// Datta et al.'s "start over and muddle through" observation is the
+/// theory-sanctioned recovery move for dynamic programs: when auxiliary
+/// state is suspect, discard it, rebuild from the (trusted) input
+/// structure via the program's own initialization, and catch up. The
+/// GuardedEngine turns that into engineering:
+///
+///   * it shadows the input structure (the ground truth the auxiliary
+///     relations are *about*);
+///   * on a configurable cadence it runs the same oracle/invariant hooks
+///     the verifier uses; a violation means the auxiliary state has
+///     diverged — bit rot, a bad restore, or a genuine program bug;
+///   * on detection it quarantines the corrupt state (serialized, with
+///     forensics) and performs start-over recovery: a fresh engine,
+///     post-init, and a replay of the input as its canonical request
+///     history. If the rebuilt state still fails the checks, the defect is
+///     in the program, not the state, and an error Status is returned;
+///   * optionally every applied request is journaled (journal.h), making
+///     the whole session reconstructible after a kill from the latest
+///     snapshot plus the journal suffix.
+///
+/// All failure paths return Status — nothing in this layer CHECK-crashes
+/// on bad input.
+
+#ifndef DYNFO_DYNFO_RECOVERY_H_
+#define DYNFO_DYNFO_RECOVERY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dynfo/engine.h"
+#include "dynfo/journal.h"
+#include "dynfo/verifier.h"
+#include "relational/request.h"
+
+namespace dynfo::dyn {
+
+struct GuardedEngineOptions {
+  EngineOptions engine_options;
+  /// Run the corruption check after every `check_every`-th request
+  /// (0 = only on explicit CheckNow calls). The cadence bounds detection
+  /// latency: a corruption is caught at most `check_every` requests after
+  /// it happens — if the checks can see it at all.
+  uint64_t check_every = 16;
+  /// Applied to every engine built by the wrapper, including start-over
+  /// rebuilds (e.g. InstallPlusRelation for Dyn-FO+ precomputation).
+  EnginePostInit post_init;
+};
+
+struct RecoveryStats {
+  uint64_t requests = 0;             ///< requests applied through the wrapper
+  uint64_t checks_run = 0;           ///< cadence + explicit checks
+  uint64_t corruptions_detected = 0; ///< checks that found a violation
+  uint64_t recoveries = 0;           ///< successful start-over rebuilds
+  uint64_t rebuild_requests_replayed = 0;  ///< start-over replay work
+  double recovery_seconds = 0;       ///< total time spent rebuilding
+  uint64_t last_detection_step = 0;  ///< request count at last detection
+  double last_recovery_seconds = 0;
+};
+
+/// An Engine wrapped with the fault-tolerance layer. Apply/Query from one
+/// thread at a time, like Engine.
+class GuardedEngine {
+ public:
+  /// `oracle` and `invariant` may each be null; corruption checks use
+  /// whichever are present (a wrapper with neither never detects anything
+  /// and only provides journaling).
+  GuardedEngine(std::shared_ptr<const DynProgram> program, size_t universe_size,
+                Oracle oracle, InvariantCheck invariant,
+                GuardedEngineOptions options = {});
+
+  /// Validates, journals (if attached), applies, and — on the cadence —
+  /// checks and recovers. An error Status means the request was rejected
+  /// (validation/journal failure, left unapplied) or recovery failed.
+  core::Status Apply(const relational::Request& request);
+
+  /// Runs the corruption check immediately; recovers on violation.
+  core::Status CheckNow();
+
+  /// Forces start-over recovery regardless of check results.
+  core::Status Recover(const std::string& reason);
+
+  /// Journals every subsequently applied request to `path`. Must be called
+  /// before any Apply; existing journal records are replayed through the
+  /// engine first (crash recovery), so after a successful attach the
+  /// wrapper has caught up to the journal's history.
+  core::Status AttachJournal(const std::string& path,
+                             JournalWriterOptions options = {});
+
+  bool QueryBool(std::vector<relational::Element> params = {}) const {
+    return engine_->QueryBool(std::move(params));
+  }
+
+  const Engine& engine() const { return *engine_; }
+  /// Mutable engine access — for Dyn-FO+ precomputation installs and for
+  /// fault-injection campaigns. State mutated through here is exactly what
+  /// the cadence checks exist to catch.
+  Engine* mutable_engine() { return engine_.get(); }
+
+  /// The shadowed input structure (ground truth).
+  const relational::Structure& input() const { return input_; }
+
+  const RecoveryStats& recovery_stats() const { return stats_; }
+
+  /// Serialized corrupt state + forensics from the most recent detection
+  /// (empty if none yet): the violation, the first diverging auxiliary
+  /// relation vs a start-over reference, and the full corrupt structure.
+  const std::string& last_quarantine() const { return last_quarantine_; }
+
+ private:
+  /// Empty string = state passes all configured checks.
+  std::string Violation() const;
+
+  std::shared_ptr<const DynProgram> program_;
+  GuardedEngineOptions options_;
+  Oracle oracle_;
+  InvariantCheck invariant_;
+  std::unique_ptr<Engine> engine_;
+  relational::Structure input_;
+  std::optional<JournalWriter> journal_;
+  RecoveryStats stats_;
+  std::string last_quarantine_;
+};
+
+/// Restores a killed session: `engine` must be freshly constructed for the
+/// snapshot's program and universe. Restores the snapshot, then replays
+/// the journal records past the snapshot's step counter. Errors (corrupt
+/// snapshot, journal shorter than the snapshot's step counter, invalid
+/// records) leave partial state behind — rebuild the engine before
+/// retrying with different inputs.
+core::Status RestoreFromSnapshotAndJournal(
+    Engine* engine, const std::string& snapshot,
+    const relational::RequestSequence& journal_requests);
+
+}  // namespace dynfo::dyn
+
+#endif  // DYNFO_DYNFO_RECOVERY_H_

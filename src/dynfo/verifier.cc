@@ -1,6 +1,65 @@
 #include "dynfo/verifier.h"
 
+#include <vector>
+
 namespace dynfo::dyn {
+
+namespace {
+
+/// Up to `limit` tuples of `rel` absent from `other`, rendered as text.
+std::string SampleDifference(const relational::Relation& rel,
+                             const relational::Relation& other, size_t limit) {
+  std::string out;
+  size_t shown = 0, total = 0;
+  for (const relational::Tuple& t : rel.SortedTuples()) {
+    if (other.Contains(t)) continue;
+    ++total;
+    if (shown < limit) {
+      if (!out.empty()) out += ", ";
+      out += t.ToString();
+      ++shown;
+    }
+  }
+  if (total > shown) out += ", ... (" + std::to_string(total) + " total)";
+  return out;
+}
+
+}  // namespace
+
+std::string DescribeAuxDivergence(const Engine& engine,
+                                  const relational::Structure& input,
+                                  const EnginePostInit& post_init) {
+  Engine reference(engine.program_ptr(), engine.universe_size(), engine.options());
+  if (post_init) post_init(&reference);
+  for (const relational::Request& request :
+       relational::StructureAsRequests(input)) {
+    reference.Apply(request);
+  }
+
+  const relational::Structure& actual = engine.data();
+  const relational::Structure& expected = reference.data();
+  const relational::Vocabulary& vocab = actual.vocabulary();
+  for (int r = 0; r < vocab.num_relations(); ++r) {
+    const relational::Relation& got = actual.relation(r);
+    const relational::Relation& want = expected.relation(r);
+    if (got == want) continue;
+    std::string description =
+        "first diverging relation vs start-over reference: " + vocab.relation(r).name;
+    const std::string extra = SampleDifference(got, want, 3);
+    const std::string missing = SampleDifference(want, got, 3);
+    if (!extra.empty()) description += "; engine-only tuples {" + extra + "}";
+    if (!missing.empty()) description += "; reference-only tuples {" + missing + "}";
+    return description;
+  }
+  for (int c = 0; c < vocab.num_constants(); ++c) {
+    if (actual.constant(c) != expected.constant(c)) {
+      return "first diverging constant vs start-over reference: " + vocab.constant(c) +
+             " (engine " + std::to_string(actual.constant(c)) + ", reference " +
+             std::to_string(expected.constant(c)) + ")";
+    }
+  }
+  return "data structure matches the start-over reference exactly";
+}
 
 VerifierResult VerifyProgram(std::shared_ptr<const DynProgram> program, Oracle oracle,
                              size_t universe_size,
@@ -8,6 +67,7 @@ VerifierResult VerifyProgram(std::shared_ptr<const DynProgram> program, Oracle o
                              const VerifierOptions& options) {
   VerifierResult result;
   Engine engine(program, universe_size, options.engine_options);
+  if (options.post_init) options.post_init(&engine);
   relational::Structure input(program->input_vocabulary(), universe_size);
 
   auto check = [&](const relational::Request* last) -> bool {
@@ -19,6 +79,8 @@ VerifierResult VerifyProgram(std::shared_ptr<const DynProgram> program, Oracle o
                        std::string(expected ? "true" : "false") + ", got " +
                        std::string(actual ? "true" : "false") + ")";
       if (last != nullptr) result.failure += " after " + last->ToString();
+      result.failure +=
+          "; " + DescribeAuxDivergence(engine, input, options.post_init);
       return false;
     }
     if (options.invariant) {
@@ -27,6 +89,8 @@ VerifierResult VerifyProgram(std::shared_ptr<const DynProgram> program, Oracle o
         result.ok = false;
         result.failure = "invariant violated: " + violation;
         if (last != nullptr) result.failure += " after " + last->ToString();
+        result.failure +=
+            "; " + DescribeAuxDivergence(engine, input, options.post_init);
         return false;
       }
     }

@@ -39,20 +39,41 @@ struct VerifierResult {
   }
 };
 
+/// Post-construction hook (e.g. InstallPlusRelation for Dyn-FO+ programs
+/// whose precomputation is installed natively).
+using EnginePostInit = std::function<void(Engine*)>;
+
 struct VerifierOptions {
   EngineOptions engine_options;
   /// Check the boolean query after every request (vs. only at the end).
   bool check_every_step = true;
   /// Additional structural invariant, may be null.
   InvariantCheck invariant;
+  /// Applied to every engine the verifier builds (the engine under test
+  /// and the start-over reference used for failure diagnostics).
+  EnginePostInit post_init;
 };
 
 /// Replays `requests` at universe size `universe_size`, cross-checking the
-/// program against the oracle. Stops at the first divergence.
+/// program against the oracle. Stops at the first divergence; the failure
+/// message names the first auxiliary relation diverging from a start-over
+/// reference (see DescribeAuxDivergence).
 VerifierResult VerifyProgram(std::shared_ptr<const DynProgram> program, Oracle oracle,
                              size_t universe_size,
                              const relational::RequestSequence& requests,
                              const VerifierOptions& options = {});
+
+/// Failure forensics: rebuilds a reference engine from scratch (program
+/// initialization + post_init + replay of the current input as the
+/// canonical request history) and names the FIRST data relation whose
+/// contents diverge from `engine`, with a symmetric-difference sample (up
+/// to three tuples per side) and differing constants. Returns a
+/// description of the divergence, or a note that the engine matches the
+/// start-over reference exactly (then the defect is in the query, or in
+/// legitimately history-dependent state).
+std::string DescribeAuxDivergence(const Engine& engine,
+                                  const relational::Structure& input,
+                                  const EnginePostInit& post_init = nullptr);
 
 }  // namespace dynfo::dyn
 

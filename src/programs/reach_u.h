@@ -26,7 +26,9 @@
 #define DYNFO_PROGRAMS_REACH_U_H_
 
 #include <memory>
+#include <string>
 
+#include "dynfo/engine.h"
 #include "dynfo/program.h"
 #include "relational/structure.h"
 
@@ -45,6 +47,17 @@ std::shared_ptr<const dyn::DynProgram> MakeReachUProgram();
 
 /// Static oracle: BFS over the input edge relation.
 bool ReachUOracle(const relational::Structure& input);
+
+/// Deep structural invariant for Theorem 4.1's auxiliary relations:
+///   * the mirrored E matches the input exactly (both orientations);
+///   * F is a symmetric subset of E forming a spanning forest of E;
+///   * PV(x, y, z) holds exactly when z lies on the unique F-path x..y
+///     (including the reflexive PV(x, x, x)).
+/// Returns an empty string when satisfied, else a description. Complete
+/// enough that ANY single-tuple corruption of E/F/PV is caught — the
+/// detector used by the fault-injection campaign and recovery tests.
+std::string ReachUInvariant(const relational::Structure& input,
+                            const dyn::Engine& engine);
 
 }  // namespace dynfo::programs
 

@@ -40,6 +40,39 @@ void ApplyRequest(Structure* structure, const Request& request) {
   DYNFO_UNREACHABLE();
 }
 
+core::Status ValidateRequest(const Vocabulary& vocabulary, size_t universe_size,
+                             const Request& request) {
+  switch (request.kind) {
+    case RequestKind::kInsert:
+    case RequestKind::kDelete: {
+      const int index = vocabulary.RelationIndex(request.target);
+      if (index < 0) {
+        return core::Status::Error("unknown relation " + request.target);
+      }
+      if (request.tuple.size() != vocabulary.relation(index).arity) {
+        return core::Status::Error("arity mismatch for " + request.target);
+      }
+      for (int i = 0; i < request.tuple.size(); ++i) {
+        if (request.tuple[i] >= universe_size) {
+          return core::Status::Error("element outside universe in " +
+                                     request.ToString());
+        }
+      }
+      return core::Status();
+    }
+    case RequestKind::kSetConstant:
+      if (vocabulary.ConstantIndex(request.target) < 0) {
+        return core::Status::Error("unknown constant " + request.target);
+      }
+      if (request.value >= universe_size) {
+        return core::Status::Error("constant value outside universe in " +
+                                   request.ToString());
+      }
+      return core::Status();
+  }
+  DYNFO_UNREACHABLE();
+}
+
 Structure EvalRequests(std::shared_ptr<const Vocabulary> vocabulary, size_t universe_size,
                        const RequestSequence& requests) {
   Structure structure(std::move(vocabulary), universe_size);
@@ -47,6 +80,22 @@ Structure EvalRequests(std::shared_ptr<const Vocabulary> vocabulary, size_t univ
     ApplyRequest(&structure, request);
   }
   return structure;
+}
+
+RequestSequence StructureAsRequests(const Structure& structure) {
+  RequestSequence out;
+  const Vocabulary& vocab = structure.vocabulary();
+  for (int r = 0; r < vocab.num_relations(); ++r) {
+    for (const Tuple& t : structure.relation(r).SortedTuples()) {
+      out.push_back(Request::Insert(vocab.relation(r).name, t));
+    }
+  }
+  for (int c = 0; c < vocab.num_constants(); ++c) {
+    if (structure.constant(c) != 0) {
+      out.push_back(Request::SetConstant(vocab.constant(c), structure.constant(c)));
+    }
+  }
+  return out;
 }
 
 }  // namespace dynfo::relational

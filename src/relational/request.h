@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "relational/structure.h"
 
 namespace dynfo::relational {
@@ -54,12 +55,28 @@ using RequestSequence = std::vector<Request>;
 /// Applies one request to a structure in place (the step function of
 /// eval_{n,sigma}). Inserting a present tuple / deleting an absent one is a
 /// no-op, as in the paper. CHECK-fails on unknown names, arity mismatches,
-/// or out-of-universe elements.
+/// or out-of-universe elements; callers replaying untrusted requests must
+/// ValidateRequest first.
 void ApplyRequest(Structure* structure, const Request& request);
+
+/// Checks a request against a vocabulary and universe size without
+/// applying it: the target must exist with the right shape and every
+/// element must be in range. The recoverable-error form of ApplyRequest's
+/// preconditions, used by the restore/replay paths.
+core::Status ValidateRequest(const Vocabulary& vocabulary, size_t universe_size,
+                             const Request& request);
 
 /// Replays a whole sequence from the empty structure: eval_{n,sigma}(r-bar).
 Structure EvalRequests(std::shared_ptr<const Vocabulary> vocabulary, size_t universe_size,
                        const RequestSequence& requests);
+
+/// The canonical request history reaching `structure` from empty: one
+/// insert per tuple (relations in vocabulary order, tuples sorted) and one
+/// set per nonzero constant. Deterministic; replaying it through
+/// EvalRequests reproduces `structure` exactly. This is the "start over"
+/// move of the recovery layer: a dynamic program re-initialized and fed
+/// this sequence rebuilds correct auxiliary state for the current input.
+RequestSequence StructureAsRequests(const Structure& structure);
 
 }  // namespace dynfo::relational
 

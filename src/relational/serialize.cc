@@ -3,6 +3,8 @@
 #include <sstream>
 #include <vector>
 
+#include "core/text.h"
+
 namespace dynfo::relational {
 
 std::string WriteStructure(const Structure& structure) {
@@ -30,6 +32,26 @@ core::Status Err(size_t line, const std::string& message) {
   return core::Status::Error("line " + std::to_string(line) + ": " + message);
 }
 
+/// Universes are {0..n-1} with n <= 2^32 (Element is uint32_t); accepting a
+/// larger header would make the per-element range checks wrap on the cast.
+constexpr uint64_t kMaxUniverse = uint64_t{1} << 32;
+
+/// Strictly parses the next whitespace token as an in-universe element.
+bool NextElement(std::istringstream* words, uint64_t universe_size,
+                 Element* out) {
+  std::string token;
+  if (!(*words >> token)) return false;
+  uint64_t value = 0;
+  if (!core::ParseU64(token, &value) || value >= universe_size) return false;
+  *out = static_cast<Element>(value);
+  return true;
+}
+
+bool HasTrailingTokens(std::istringstream* words) {
+  std::string extra;
+  return static_cast<bool>(*words >> extra);
+}
+
 }  // namespace
 
 core::Result<Structure> ReadStructure(const std::string& text,
@@ -55,14 +77,18 @@ core::Result<Structure> ReadStructure(const std::string& text,
       if (saw_header || !(words >> size_field) || size_field.rfind("n=", 0) != 0) {
         return Err(line_number, "expected a single 'structure n=<size>' header");
       }
-      size_t n = 0;
-      try {
-        n = std::stoul(size_field.substr(2));
-      } catch (...) {
+      uint64_t n = 0;
+      if (!core::ParseU64(size_field.substr(2), &n)) {
         return Err(line_number, "bad universe size: " + size_field);
       }
       if (n == 0) return Err(line_number, "universes are nonempty");
-      structure = std::make_unique<Structure>(vocabulary, n);
+      if (n > kMaxUniverse) {
+        return Err(line_number, "universe size above element range: " + size_field);
+      }
+      if (HasTrailingTokens(&words)) {
+        return Err(line_number, "trailing tokens after header");
+      }
+      structure = std::make_unique<Structure>(vocabulary, static_cast<size_t>(n));
       saw_header = true;
       continue;
     }
@@ -75,32 +101,35 @@ core::Result<Structure> ReadStructure(const std::string& text,
       if (index < 0) return Err(line_number, "unknown relation " + name);
       const int arity = vocabulary->relation(index).arity;
       Tuple t;
-      uint64_t value = 0;
       for (int p = 0; p < arity; ++p) {
-        if (!(words >> value)) return Err(line_number, name + " tuple too short");
-        if (value >= structure->universe_size()) {
-          return Err(line_number, "element outside universe");
+        Element value = 0;
+        if (!NextElement(&words, structure->universe_size(), &value)) {
+          return Err(line_number, name + " tuple malformed or outside universe");
         }
-        t = t.Append(static_cast<Element>(value));
+        t = t.Append(value);
       }
-      if (words >> value) return Err(line_number, name + " tuple too long");
+      if (HasTrailingTokens(&words)) return Err(line_number, name + " tuple too long");
       structure->relation(index).Insert(t);
       continue;
     }
     if (keyword == "const") {
       std::string name;
-      uint64_t value = 0;
-      if (!(words >> name >> value)) return Err(line_number, "const needs name value");
+      if (!(words >> name)) return Err(line_number, "const needs name value");
       if (vocabulary->ConstantIndex(name) < 0) {
         return Err(line_number, "unknown constant " + name);
       }
-      if (value >= structure->universe_size()) {
-        return Err(line_number, "constant outside universe");
+      Element value = 0;
+      if (!NextElement(&words, structure->universe_size(), &value)) {
+        return Err(line_number, "constant malformed or outside universe");
       }
-      structure->set_constant(name, static_cast<Element>(value));
+      if (HasTrailingTokens(&words)) {
+        return Err(line_number, "trailing tokens after const");
+      }
+      structure->set_constant(name, value);
       continue;
     }
     if (keyword == "end") {
+      if (HasTrailingTokens(&words)) return Err(line_number, "trailing tokens after end");
       saw_end = true;
       continue;
     }
@@ -109,6 +138,70 @@ core::Result<Structure> ReadStructure(const std::string& text,
   if (!saw_header) return core::Status::Error("empty input");
   if (!saw_end) return core::Status::Error("missing 'end'");
   return std::move(*structure);
+}
+
+std::string WrapChecksummed(const std::string& kind, const std::string& payload) {
+  std::string out = "dynfo " + kind + " v1 bytes=" + std::to_string(payload.size()) +
+                    "\n" + payload;
+  out += "checksum fnv1a " + core::HexU64(core::Fnv1a64(payload)) + "\n";
+  return out;
+}
+
+core::Result<std::string> UnwrapChecksummed(const std::string& kind,
+                                            const std::string& text) {
+  const size_t header_end = text.find('\n');
+  if (header_end == std::string::npos) {
+    return core::Status::Error("missing container header");
+  }
+  std::istringstream header(text.substr(0, header_end));
+  std::string magic, got_kind, version, bytes_field;
+  if (!(header >> magic >> got_kind >> version >> bytes_field) || magic != "dynfo" ||
+      version != "v1" || bytes_field.rfind("bytes=", 0) != 0) {
+    return core::Status::Error("malformed container header");
+  }
+  if (got_kind != kind) {
+    return core::Status::Error("container holds '" + got_kind + "', expected '" +
+                               kind + "'");
+  }
+  std::string extra;
+  if (header >> extra) return core::Status::Error("trailing tokens in header");
+  uint64_t bytes = 0;
+  if (!core::ParseU64(bytes_field.substr(6), &bytes)) {
+    return core::Status::Error("bad payload length");
+  }
+  const size_t payload_begin = header_end + 1;
+  if (text.size() < payload_begin + bytes) {
+    return core::Status::Error("container truncated (payload incomplete)");
+  }
+  std::string payload = text.substr(payload_begin, bytes);
+
+  // Trailer: byte-exact "checksum fnv1a <16 hex>\n" and nothing after it,
+  // so even whitespace damage or appended bytes are detected.
+  const std::string trailer = text.substr(payload_begin + bytes);
+  const std::string prefix = "checksum fnv1a ";
+  if (trailer.size() != prefix.size() + 17 ||
+      trailer.compare(0, prefix.size(), prefix) != 0 || trailer.back() != '\n') {
+    return core::Status::Error("container truncated (missing checksum trailer)");
+  }
+  uint64_t expected = 0;
+  if (!core::ParseHexU64(trailer.substr(prefix.size(), 16), &expected)) {
+    return core::Status::Error("malformed checksum");
+  }
+  if (core::Fnv1a64(payload) != expected) {
+    return core::Status::Error("checksum mismatch: container is corrupt");
+  }
+  return payload;
+}
+
+std::string WriteStructureChecksummed(const Structure& structure) {
+  return WrapChecksummed("structure", WriteStructure(structure));
+}
+
+core::Result<Structure> ReadStructureChecksummed(
+    const std::string& text, std::shared_ptr<const Vocabulary> vocabulary) {
+  core::Result<std::string> payload = UnwrapChecksummed("structure", text);
+  if (!payload.ok()) return payload.status();
+  return ReadStructure(payload.value(), std::move(vocabulary));
 }
 
 }  // namespace dynfo::relational

@@ -1,0 +1,216 @@
+/// Crash-consistency contract of the request journal: clean round trips,
+/// torn-tail tolerance, and hard errors for interior damage (dropped,
+/// duplicated, or bit-rotted records).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/fault.h"
+#include "dynfo/journal.h"
+#include "programs/reach_u.h"
+#include "relational/request.h"
+
+namespace dynfo::dyn {
+namespace {
+
+using relational::Request;
+using relational::RequestSequence;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "dynfo_journal_test_" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+RequestSequence SampleRequests() {
+  return {Request::SetConstant("s", 0), Request::Insert("E", {0, 1}),
+          Request::Insert("E", {1, 2}), Request::Delete("E", {0, 1}),
+          Request::SetConstant("t", 2)};
+}
+
+std::string SampleJournalText() {
+  std::string text = JournalHeader();
+  uint64_t seq = 0;
+  for (const Request& request : SampleRequests()) {
+    text += FormatJournalRecord(seq++, request);
+  }
+  return text;
+}
+
+TEST(JournalTest, FormatParseRoundTrip) {
+  auto vocab = programs::ReachUInputVocabulary();
+  core::Result<JournalParse> parsed = ParseJournal(SampleJournalText(), *vocab, 8);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_FALSE(parsed.value().torn_tail);
+  EXPECT_EQ(parsed.value().valid_bytes, SampleJournalText().size());
+  const RequestSequence expected = SampleRequests();
+  ASSERT_EQ(parsed.value().requests.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(parsed.value().requests[i].ToString(), expected[i].ToString());
+  }
+}
+
+TEST(JournalTest, EmptyAndHeaderOnlyJournalsParse) {
+  auto vocab = programs::ReachUInputVocabulary();
+  core::Result<JournalParse> empty = ParseJournal("", *vocab, 8);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().requests.empty());
+
+  core::Result<JournalParse> header_only = ParseJournal(JournalHeader(), *vocab, 8);
+  ASSERT_TRUE(header_only.ok());
+  EXPECT_TRUE(header_only.value().requests.empty());
+  EXPECT_FALSE(header_only.value().torn_tail);
+}
+
+TEST(JournalTest, TornFinalRecordIsDroppedNotFatal) {
+  auto vocab = programs::ReachUInputVocabulary();
+  const std::string full = SampleJournalText();
+  // Cut anywhere inside the final record: parse succeeds minus that record.
+  for (size_t cut = full.size() - 1; full[cut - 1] != '\n'; --cut) {
+    core::Result<JournalParse> parsed =
+        ParseJournal(full.substr(0, cut), *vocab, 8);
+    ASSERT_TRUE(parsed.ok()) << "cut at " << cut << ": "
+                             << parsed.status().message();
+    EXPECT_TRUE(parsed.value().torn_tail);
+    EXPECT_EQ(parsed.value().requests.size(), SampleRequests().size() - 1);
+  }
+}
+
+TEST(JournalTest, InteriorDamageIsAHardError) {
+  auto vocab = programs::ReachUInputVocabulary();
+  core::FaultInjector faults(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string text = SampleJournalText();
+    // Drop or duplicate a random record; pad the tail with two more clean
+    // records so the damage is interior even when the fault hits the last
+    // original record (a damaged FINAL record is indistinguishable from a
+    // torn tail and is dropped by design, not errored).
+    if (trial % 2 == 0) {
+      faults.DropLine(&text);
+    } else {
+      faults.DuplicateLine(&text);
+    }
+    const uint64_t n = SampleRequests().size();
+    text += FormatJournalRecord(n, Request::Insert("E", {3, 4}));
+    text += FormatJournalRecord(n + 1, Request::Insert("E", {4, 5}));
+    core::Result<JournalParse> parsed = ParseJournal(text, *vocab, 8);
+    EXPECT_FALSE(parsed.ok()) << "trial " << trial << " accepted damaged journal";
+  }
+}
+
+TEST(JournalTest, BitRotBeforeFinalRecordIsAHardError) {
+  auto vocab = programs::ReachUInputVocabulary();
+  const std::string clean = SampleJournalText();
+  // Flip each byte of the first record; every flip must be rejected (the
+  // record's checksum covers seq, kind, target, and elements).
+  const size_t first_record_begin = JournalHeader().size();
+  const size_t first_record_end = clean.find('\n', first_record_begin);
+  for (size_t i = first_record_begin; i < first_record_end; ++i) {
+    std::string text = clean;
+    text[i] ^= 0x20;
+    if (text[i] == clean[i]) continue;
+    core::Result<JournalParse> parsed = ParseJournal(text, *vocab, 8);
+    EXPECT_FALSE(parsed.ok()) << "byte " << i << " flip accepted";
+  }
+}
+
+TEST(JournalTest, RejectsRecordsFailingValidation) {
+  auto vocab = programs::ReachUInputVocabulary();
+  // Unknown relation, bad arity, out-of-universe element: all hard errors
+  // even with correct checksums.
+  // The bad record is followed by a clean one so the damage is interior (a
+  // lone damaged final record would be dropped as a torn tail instead).
+  for (const Request& bad :
+       {Request::Insert("Q", {0, 1}), Request::Insert("E", {0, 1, 2}),
+        Request::Insert("E", {0, 9}), Request::SetConstant("s", 9)}) {
+    std::string text = JournalHeader() + FormatJournalRecord(0, bad) +
+                       FormatJournalRecord(1, Request::Insert("E", {0, 1}));
+    core::Result<JournalParse> parsed = ParseJournal(text, *vocab, 8);
+    EXPECT_FALSE(parsed.ok()) << bad.ToString() << " accepted";
+  }
+}
+
+TEST(JournalTest, WriterAppendsAndReopensWithResumedSequence) {
+  const std::string path = TempPath("writer");
+  std::remove(path.c_str());
+  auto vocab = programs::ReachUInputVocabulary();
+  const RequestSequence requests = SampleRequests();
+
+  {
+    core::Result<JournalWriter> writer = JournalWriter::Open(path, *vocab, 8);
+    ASSERT_TRUE(writer.ok()) << writer.status().message();
+    EXPECT_EQ(writer.value().next_seq(), 0u);
+    for (size_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(writer.value().Append(requests[i]).ok());
+    }
+    EXPECT_EQ(writer.value().next_seq(), 3u);
+  }
+
+  core::Result<JournalWriter> reopened = JournalWriter::Open(path, *vocab, 8);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(reopened.value().next_seq(), 3u);
+  EXPECT_FALSE(reopened.value().truncated_torn_tail());
+  ASSERT_EQ(reopened.value().recovered().size(), 3u);
+  for (size_t i = 3; i < requests.size(); ++i) {
+    ASSERT_TRUE(reopened.value().Append(requests[i]).ok());
+  }
+
+  core::Result<JournalParse> parsed = ParseJournal(ReadFile(path), *vocab, 8);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().requests.size(), requests.size());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, OpenTruncatesTornTailAndResumes) {
+  const std::string path = TempPath("torn");
+  auto vocab = programs::ReachUInputVocabulary();
+  std::string text = SampleJournalText();
+  text.resize(text.size() - 3);  // kill mid-final-record
+  WriteFile(path, text);
+
+  core::Result<JournalWriter> writer = JournalWriter::Open(path, *vocab, 8);
+  ASSERT_TRUE(writer.ok()) << writer.status().message();
+  EXPECT_TRUE(writer.value().truncated_torn_tail());
+  EXPECT_EQ(writer.value().next_seq(), SampleRequests().size() - 1);
+  ASSERT_TRUE(writer.value().Append(Request::Insert("E", {5, 6})).ok());
+
+  core::Result<JournalParse> parsed = ParseJournal(ReadFile(path), *vocab, 8);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_FALSE(parsed.value().torn_tail);
+  EXPECT_EQ(parsed.value().requests.size(), SampleRequests().size());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, OpenRefusesInteriorCorruption) {
+  const std::string path = TempPath("corrupt");
+  auto vocab = programs::ReachUInputVocabulary();
+  // Journal with record seq 1 missing: an interior drop, unrecoverable.
+  std::string text = JournalHeader();
+  uint64_t seq = 0;
+  for (const Request& request : SampleRequests()) {
+    if (seq != 1) text += FormatJournalRecord(seq, request);
+    ++seq;
+  }
+  WriteFile(path, text);
+  core::Result<JournalWriter> writer = JournalWriter::Open(path, *vocab, 8);
+  EXPECT_FALSE(writer.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dynfo::dyn

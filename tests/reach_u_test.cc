@@ -1,10 +1,7 @@
 #include <gtest/gtest.h>
 
-#include <deque>
-
 #include "dynfo/verifier.h"
 #include "dynfo/workload.h"
-#include "graph/algorithms.h"
 #include "programs/reach_u.h"
 
 namespace dynfo::programs {
@@ -12,96 +9,7 @@ namespace {
 
 using dyn::Engine;
 using dyn::EvalMode;
-using graph::UndirectedGraph;
-using graph::Vertex;
 using relational::Request;
-using relational::Structure;
-
-/// Deep structural invariant for Theorem 4.1's auxiliary relations:
-///   * F is a symmetric subset of E forming a spanning forest of E;
-///   * PV(x, y, z) holds exactly when z lies on the unique F-path x..y
-///     (including the reflexive PV(x, x, x)).
-std::string ReachUInvariant(const Structure& input, const Engine& engine) {
-  const size_t n = input.universe_size();
-  const relational::Relation& e_rel = engine.data().relation("E");
-  const relational::Relation& f_rel = engine.data().relation("F");
-  const relational::Relation& pv = engine.data().relation("PV");
-
-  // Mirrored E must match the input exactly (both orientations).
-  for (const relational::Tuple& t : input.relation("E")) {
-    if (!e_rel.Contains(t) || !e_rel.Contains({t[1], t[0]})) {
-      return "mirrored E lost tuple " + t.ToString();
-    }
-  }
-  for (const relational::Tuple& t : e_rel) {
-    if (!input.relation("E").Contains(t) &&
-        !input.relation("E").Contains({t[1], t[0]})) {
-      return "mirrored E has phantom tuple " + t.ToString();
-    }
-  }
-
-  UndirectedGraph g = UndirectedGraph::FromRelation(input.relation("E"), n);
-  UndirectedGraph forest(n);
-  for (const relational::Tuple& t : f_rel) {
-    if (!f_rel.Contains({t[1], t[0]})) return "F not symmetric at " + t.ToString();
-    if (!e_rel.Contains(t)) return "forest edge not in E: " + t.ToString();
-    forest.AddEdge(t[0], t[1]);
-  }
-  // Forest: #edges = n - #components of F, and F-components == E-components.
-  std::vector<Vertex> g_comp = graph::ConnectedComponents(g);
-  std::vector<Vertex> f_comp = graph::ConnectedComponents(forest);
-  for (Vertex v = 0; v < n; ++v) {
-    for (Vertex w = v + 1; w < n; ++w) {
-      bool same_g = g_comp[v] == g_comp[w];
-      bool same_f = f_comp[v] == f_comp[w];
-      if (same_g != same_f) {
-        return "forest does not span: vertices " + std::to_string(v) + "," +
-               std::to_string(w);
-      }
-    }
-  }
-  if (forest.num_edges() + graph::CountComponents(forest) != n) {
-    return "F contains a cycle";
-  }
-
-  // PV == forest paths. BFS in the forest from each x recording parents.
-  for (Vertex x = 0; x < n; ++x) {
-    std::vector<int> parent(n, -1);
-    std::deque<Vertex> frontier{x};
-    parent[x] = static_cast<int>(x);
-    while (!frontier.empty()) {
-      Vertex u = frontier.front();
-      frontier.pop_front();
-      for (Vertex v : forest.Neighbors(u)) {
-        if (parent[v] < 0) {
-          parent[v] = static_cast<int>(u);
-          frontier.push_back(v);
-        }
-      }
-    }
-    for (Vertex y = 0; y < n; ++y) {
-      std::vector<bool> on_path(n, false);
-      if (parent[y] >= 0) {
-        Vertex cursor = y;
-        on_path[cursor] = true;
-        while (cursor != x) {
-          cursor = static_cast<Vertex>(parent[cursor]);
-          on_path[cursor] = true;
-        }
-      }
-      for (Vertex z = 0; z < n; ++z) {
-        bool expected = parent[y] >= 0 && on_path[z];
-        bool actual = pv.Contains({x, y, z});
-        if (expected != actual) {
-          return "PV(" + std::to_string(x) + "," + std::to_string(y) + "," +
-                 std::to_string(z) + ") = " + (actual ? "true" : "false") +
-                 ", expected " + (expected ? "true" : "false");
-        }
-      }
-    }
-  }
-  return "";
-}
 
 TEST(ReachUTest, ProgramValidates) {
   EXPECT_TRUE(MakeReachUProgram()->Validate().ok());

@@ -1,0 +1,324 @@
+/// The fault-tolerance pipeline end to end:
+///   * kill-and-recover: snapshot + journal suffix rebuilds bit-identical
+///     state after a simulated kill, over many seeded trials and three
+///     structurally different programs (REACH_u, matching, multiplication);
+///   * fault injection: every corrupting flip of a load-bearing auxiliary
+///     relation is detected by the GuardedEngine's checks and repaired by
+///     start-over recovery;
+///   * the error contracts: invalid requests are rejected before touching
+///     state, lost journal records are reported, recovery statistics add up.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fault.h"
+#include "core/rng.h"
+#include "dynfo/journal.h"
+#include "dynfo/recovery.h"
+#include "dynfo/workload.h"
+#include "programs/matching.h"
+#include "programs/multiplication.h"
+#include "programs/reach_u.h"
+#include "relational/serialize.h"
+
+namespace dynfo::dyn {
+namespace {
+
+using relational::Request;
+using relational::RequestSequence;
+
+struct RecoveryScenario {
+  std::string name;
+  std::function<std::shared_ptr<const DynProgram>()> program;
+  std::function<RequestSequence(uint64_t seed)> workload;
+  size_t universe;
+  EnginePostInit post_init;            // may be null
+  Oracle oracle;                       // may be null
+  InvariantCheck invariant;
+  std::vector<std::string> targets;    // load-bearing relations to corrupt
+};
+
+RequestSequence GraphChurn(std::shared_ptr<const relational::Vocabulary> vocab,
+                           size_t n, uint64_t seed) {
+  GraphWorkloadOptions options;
+  options.num_requests = 40;
+  options.seed = seed;
+  options.undirected = true;
+  options.set_fraction = vocab->num_constants() > 0 ? 0.05 : 0.0;
+  return MakeGraphWorkload(*vocab, "E", n, options);
+}
+
+std::vector<RecoveryScenario> Scenarios() {
+  std::vector<RecoveryScenario> out;
+  out.push_back({"reach_u", [] { return programs::MakeReachUProgram(); },
+                 [](uint64_t seed) {
+                   return GraphChurn(programs::ReachUInputVocabulary(), 8, seed);
+                 },
+                 8, nullptr, programs::ReachUOracle, programs::ReachUInvariant,
+                 {"F", "PV"}});
+  out.push_back({"matching", [] { return programs::MakeMatchingProgram(); },
+                 [](uint64_t seed) {
+                   return GraphChurn(programs::MatchingInputVocabulary(), 8, seed);
+                 },
+                 8, nullptr, nullptr, programs::MatchingInvariant, {"Match"}});
+  out.push_back({"multiplication",
+                 [] { return programs::MakeMultiplicationProgram(false); },
+                 [](uint64_t seed) {
+                   GenericWorkloadOptions o;
+                   o.num_requests = 30;
+                   o.seed = seed;
+                   o.set_fraction = 0.0;
+                   return MakeGenericWorkload(
+                       *programs::MultiplicationInputVocabulary(), 8, o);
+                 },
+                 8, programs::InstallPlusRelation, nullptr,
+                 programs::MultiplicationInvariant, {"Prod"}});
+  return out;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "dynfo_recovery_test_" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Everything in the data vocabulary except `target`, so FlipTuple can only
+/// corrupt the one relation under test.
+std::vector<std::string> ProtectAllBut(const relational::Vocabulary& vocab,
+                                       const std::string& target) {
+  std::vector<std::string> protect;
+  for (int r = 0; r < vocab.num_relations(); ++r) {
+    if (vocab.relation(r).name != target) protect.push_back(vocab.relation(r).name);
+  }
+  return protect;
+}
+
+class RecoveryPrograms : public ::testing::TestWithParam<size_t> {};
+
+/// ISSUE acceptance: kill-and-recover over >= 50 seeded trials across the
+/// three programs (17 x 3 = 51), each recovering BIT-IDENTICAL state from
+/// a snapshot plus the journal suffix, with a torn journal tail thrown in.
+TEST_P(RecoveryPrograms, KillAndRecoverIsBitIdentical) {
+  const RecoveryScenario scenario = Scenarios()[GetParam()];
+  auto program = scenario.program();
+  for (uint64_t seed = 1; seed <= 17; ++seed) {
+    const RequestSequence requests = scenario.workload(seed);
+    core::Rng rng(seed * 1000 + GetParam());
+    const size_t kill = rng.Range(5, requests.size());
+    const size_t snap = rng.Range(0, kill);
+    const std::string path =
+        TempPath(scenario.name + "_seed" + std::to_string(seed));
+    std::remove(path.c_str());
+
+    // The doomed session: journal every request, snapshot at `snap`, die
+    // after `kill` requests — mid-append half the time.
+    Engine session(program, scenario.universe);
+    if (scenario.post_init) scenario.post_init(&session);
+    std::string snapshot;
+    {
+      core::Result<JournalWriter> writer =
+          JournalWriter::Open(path, *program->input_vocabulary(), scenario.universe);
+      ASSERT_TRUE(writer.ok()) << writer.status().message();
+      for (size_t i = 0; i < kill; ++i) {
+        if (i == snap) snapshot = session.Snapshot();
+        ASSERT_TRUE(writer.value().Append(requests[i]).ok());
+        session.Apply(requests[i]);
+      }
+      if (snap == kill) snapshot = session.Snapshot();
+    }
+    if (seed % 2 == 0) {
+      std::ofstream torn(path, std::ios::binary | std::ios::app);
+      torn << "99 ins E 0";  // a record the kill cut short (no newline)
+    }
+
+    // The next process: parse the journal, restore, replay the suffix.
+    core::Result<JournalParse> parsed = ParseJournal(
+        ReadFile(path), *program->input_vocabulary(), scenario.universe);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    EXPECT_EQ(parsed.value().torn_tail, seed % 2 == 0);
+    ASSERT_EQ(parsed.value().requests.size(), kill);
+
+    Engine revived(program, scenario.universe);
+    core::Status status =
+        RestoreFromSnapshotAndJournal(&revived, snapshot, parsed.value().requests);
+    ASSERT_TRUE(status.ok()) << scenario.name << " seed " << seed << ": "
+                             << status.message();
+    ASSERT_EQ(revived.data(), session.data())
+        << scenario.name << " seed " << seed << " (snap " << snap << ", kill "
+        << kill << ")";
+    EXPECT_EQ(relational::WriteStructure(revived.data()),
+              relational::WriteStructure(session.data()));
+    EXPECT_EQ(revived.stats().requests, kill);
+    std::remove(path.c_str());
+  }
+}
+
+/// ISSUE acceptance: 100% of injected corruptions of load-bearing auxiliary
+/// relations are detected and repaired by start-over recovery.
+TEST_P(RecoveryPrograms, EveryInjectedCorruptionIsDetectedAndRepaired) {
+  const RecoveryScenario scenario = Scenarios()[GetParam()];
+  GuardedEngineOptions options;
+  options.check_every = 0;  // checks driven explicitly below
+  options.post_init = scenario.post_init;
+  GuardedEngine guarded(scenario.program(), scenario.universe, scenario.oracle,
+                        scenario.invariant, options);
+  core::FaultInjector faults(77 + GetParam());
+  const RequestSequence requests = scenario.workload(5);
+
+  size_t injections = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(guarded.Apply(requests[i]).ok());
+    if (i % 8 != 5) continue;
+    const std::string target = scenario.targets[injections % scenario.targets.size()];
+    const std::string flip = faults.FlipTuple(
+        guarded.mutable_engine()->mutable_data(),
+        ProtectAllBut(guarded.engine().data().vocabulary(), target));
+    const RecoveryStats before = guarded.recovery_stats();
+    core::Status status = guarded.CheckNow();
+    ASSERT_TRUE(status.ok()) << flip << ": " << status.message();
+    EXPECT_EQ(guarded.recovery_stats().corruptions_detected,
+              before.corruptions_detected + 1)
+        << scenario.name << ": undetected " << flip;
+    EXPECT_EQ(guarded.recovery_stats().recoveries, before.recoveries + 1);
+    EXPECT_FALSE(guarded.last_quarantine().empty());
+    EXPECT_NE(guarded.last_quarantine().find("corruption detected at step"),
+              std::string::npos);
+    ++injections;
+  }
+  EXPECT_GE(injections, 4u);
+  EXPECT_TRUE(guarded.CheckNow().ok());  // campaign leaves a healthy engine
+  EXPECT_EQ(guarded.recovery_stats().corruptions_detected, injections);
+  EXPECT_EQ(guarded.recovery_stats().recoveries, injections);
+  EXPECT_GT(guarded.recovery_stats().rebuild_requests_replayed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreePrograms, RecoveryPrograms,
+                         ::testing::Range<size_t>(0, 3),
+                         [](const ::testing::TestParamInfo<size_t>& param_info) {
+                           return Scenarios()[param_info.param].name;
+                         });
+
+/// Corruption planted between cadence checks is caught by the NEXT cadence
+/// check — detection latency is bounded by check_every.
+TEST(RecoveryTest, CadenceBoundsDetectionLatency) {
+  const RecoveryScenario scenario = Scenarios()[0];  // reach_u
+  GuardedEngineOptions options;
+  options.check_every = 4;
+  GuardedEngine guarded(scenario.program(), scenario.universe, scenario.oracle,
+                        scenario.invariant, options);
+  core::FaultInjector faults(3);
+  const RequestSequence requests = scenario.workload(9);
+
+  size_t injections = 0;
+  uint64_t expected_detections = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    // Plant a fault right after a cadence check, so only later requests'
+    // checks can see it.
+    if (guarded.recovery_stats().requests % 4 == 0 && i > 8 && injections < 3) {
+      faults.FlipTuple(guarded.mutable_engine()->mutable_data(),
+                       ProtectAllBut(guarded.engine().data().vocabulary(), "PV"));
+      ++injections;
+      ++expected_detections;
+    }
+    ASSERT_TRUE(guarded.Apply(requests[i]).ok());
+    if (guarded.recovery_stats().requests % 4 == 0) {
+      // A cadence check just ran inside Apply: all planted faults must have
+      // been detected by now — latency never exceeds check_every requests.
+      EXPECT_EQ(guarded.recovery_stats().corruptions_detected, expected_detections);
+    }
+  }
+  EXPECT_EQ(injections, 3u);
+  EXPECT_EQ(guarded.recovery_stats().corruptions_detected, 3u);
+}
+
+TEST(RecoveryTest, InvalidRequestsAreRejectedWithoutSideEffects) {
+  GuardedEngineOptions options;
+  GuardedEngine guarded(programs::MakeReachUProgram(), 6, programs::ReachUOracle,
+                        programs::ReachUInvariant, options);
+  ASSERT_TRUE(guarded.Apply(Request::Insert("E", {0, 1})).ok());
+  const relational::Structure before = guarded.engine().data();
+
+  EXPECT_FALSE(guarded.Apply(Request::Insert("Q", {0, 1})).ok());
+  EXPECT_FALSE(guarded.Apply(Request::Insert("E", {0, 1, 2})).ok());
+  EXPECT_FALSE(guarded.Apply(Request::Insert("E", {0, 7})).ok());
+  EXPECT_FALSE(guarded.Apply(Request::SetConstant("z", 0)).ok());
+
+  EXPECT_EQ(guarded.engine().data(), before);
+  EXPECT_EQ(guarded.recovery_stats().requests, 1u);
+}
+
+TEST(RecoveryTest, JournalAttachRecoversAKilledGuardedSession) {
+  const std::string path = TempPath("guarded_journal");
+  std::remove(path.c_str());
+  auto program = programs::MakeReachUProgram();
+  const RequestSequence requests =
+      GraphChurn(programs::ReachUInputVocabulary(), 8, 13);
+
+  GuardedEngine first(program, 8, programs::ReachUOracle,
+                      programs::ReachUInvariant, {});
+  ASSERT_TRUE(first.AttachJournal(path).ok());
+  for (const Request& request : requests) {
+    ASSERT_TRUE(first.Apply(request).ok());
+  }
+
+  // "Kill": drop `first`, start a new wrapper on the same journal. It must
+  // catch up to the identical state (same program, same request history).
+  GuardedEngine second(program, 8, programs::ReachUOracle,
+                       programs::ReachUInvariant, {});
+  ASSERT_TRUE(second.AttachJournal(path).ok());
+  EXPECT_EQ(second.engine().data(), first.engine().data());
+  EXPECT_EQ(second.input(), first.input());
+  EXPECT_EQ(second.recovery_stats().requests, first.recovery_stats().requests);
+  EXPECT_TRUE(second.CheckNow().ok());
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, LostJournalRecordsAreReported) {
+  auto program = programs::MakeReachUProgram();
+  Engine session(program, 6);
+  session.Apply(Request::Insert("E", {0, 1}));
+  session.Apply(Request::Insert("E", {1, 2}));
+  const std::string snapshot = session.Snapshot();
+
+  // The journal claims fewer records than the snapshot's step counter.
+  Engine revived(program, 6);
+  core::Status status = RestoreFromSnapshotAndJournal(
+      &revived, snapshot, {Request::Insert("E", {0, 1})});
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("lost"), std::string::npos);
+}
+
+TEST(RecoveryTest, CorruptSnapshotIsRejectedByRestore) {
+  auto program = programs::MakeReachUProgram();
+  Engine session(program, 6);
+  session.Apply(Request::Insert("E", {0, 1}));
+  core::FaultInjector faults(29);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string snapshot = session.Snapshot();
+    std::string description;
+    if (trial % 2 == 0) {
+      description = faults.FlipByte(&snapshot);
+    } else {
+      description = faults.TruncateTail(&snapshot);
+    }
+    Engine revived(program, 6);
+    EXPECT_FALSE(revived.Restore(snapshot).ok())
+        << "trial " << trial << " accepted a damaged snapshot (" << description
+        << ")";
+  }
+}
+
+}  // namespace
+}  // namespace dynfo::dyn

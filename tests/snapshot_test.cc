@@ -1,0 +1,235 @@
+/// Snapshot/restore round trips for EVERY program factory in the library:
+/// snapshot mid-run, restore into a fresh engine, continue, and the final
+/// data structure is bit-identical to an uninterrupted run. Also pins the
+/// error paths: a restore never half-applies (the engine is untouched on
+/// any failure).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynfo/engine.h"
+#include "dynfo/workload.h"
+#include "programs/bipartite.h"
+#include "programs/dyck.h"
+#include "programs/lca.h"
+#include "programs/matching.h"
+#include "programs/msf.h"
+#include "programs/multiplication.h"
+#include "programs/pad_reach_a.h"
+#include "programs/parity.h"
+#include "programs/reach_acyclic.h"
+#include "programs/reach_semidynamic.h"
+#include "programs/reach_u.h"
+#include "programs/reach_u2.h"
+#include "programs/transitive_reduction.h"
+#include "reductions/pad.h"
+#include "relational/serialize.h"
+
+namespace dynfo::programs {
+namespace {
+
+struct Scenario {
+  std::string name;
+  std::function<std::shared_ptr<const dyn::DynProgram>()> program;
+  std::function<relational::RequestSequence(size_t)> workload;
+  size_t universe;
+  std::function<void(dyn::Engine*)> post_init;  // may be null
+};
+
+relational::RequestSequence GraphChurn(
+    std::shared_ptr<const relational::Vocabulary> vocab, size_t n, bool undirected,
+    bool acyclic, bool forest, double insert_fraction = 0.6) {
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = 60;
+  options.seed = 91;
+  options.undirected = undirected;
+  options.preserve_acyclic = acyclic;
+  options.forest_shape = forest;
+  options.insert_fraction = insert_fraction;
+  options.set_fraction = vocab->num_constants() > 0 ? 0.05 : 0.0;
+  return dyn::MakeGraphWorkload(*vocab, "E", n, options);
+}
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> out;
+  out.push_back({"parity", [] { return MakeParityProgram(); },
+                 [](size_t n) {
+                   dyn::GenericWorkloadOptions o;
+                   o.num_requests = 80;
+                   o.seed = 9;
+                   return dyn::MakeGenericWorkload(*ParityInputVocabulary(), n, o);
+                 },
+                 9, nullptr});
+  out.push_back({"reach_u", [] { return MakeReachUProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(ReachUInputVocabulary(), n, true, false, false);
+                 },
+                 8, nullptr});
+  out.push_back({"reach_u2", [] { return MakeReachU2Program(); },
+                 [](size_t n) {
+                   return GraphChurn(ReachU2InputVocabulary(), n, true, false, false);
+                 },
+                 8, nullptr});
+  out.push_back({"reach_acyclic", [] { return MakeReachAcyclicProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(ReachAcyclicInputVocabulary(), n, false, true,
+                                     false);
+                 },
+                 8, nullptr});
+  out.push_back({"transitive_reduction",
+                 [] { return MakeTransitiveReductionProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(TransitiveReductionInputVocabulary(), n, false,
+                                     true, false);
+                 },
+                 8, nullptr});
+  out.push_back({"bipartite", [] { return MakeBipartiteProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(BipartiteInputVocabulary(), n, true, false, false);
+                 },
+                 8, nullptr});
+  out.push_back({"lca", [] { return MakeLcaProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(LcaInputVocabulary(), n, false, false, true);
+                 },
+                 8, nullptr});
+  out.push_back({"matching", [] { return MakeMatchingProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(MatchingInputVocabulary(), n, true, false, false);
+                 },
+                 8, nullptr});
+  out.push_back({"msf", [] { return MakeMsfProgram(); },
+                 [](size_t n) {
+                   dyn::WeightedGraphWorkloadOptions o;
+                   o.num_requests = 50;
+                   o.seed = 9;
+                   return dyn::MakeWeightedGraphWorkload(*MsfInputVocabulary(), "W", n,
+                                                         o);
+                 },
+                 8, nullptr});
+  out.push_back({"dyck", [] { return MakeDyckProgram(2, 12); },
+                 [](size_t n) {
+                   dyn::SlotStringWorkloadOptions o;
+                   o.num_requests = 60;
+                   o.seed = 9;
+                   o.max_chars = n / 2 - 2;
+                   return dyn::MakeSlotStringWorkload(
+                       {"Open_0", "Open_1", "Close_0", "Close_1"}, n, o);
+                 },
+                 12, nullptr});
+  out.push_back({"pad_reach_a", [] { return MakePadReachAProgram(); },
+                 [](size_t n) {
+                   dyn::GraphWorkloadOptions o;
+                   o.num_requests = 6;
+                   o.seed = 9;
+                   relational::RequestSequence underlying = dyn::MakeGraphWorkload(
+                       *ReachAUnderlyingVocabulary(), "E", n, o);
+                   relational::RequestSequence padded;
+                   for (const relational::Request& r : underlying) {
+                     for (const relational::Request& p : reductions::PadRequests(r, n)) {
+                       padded.push_back(p);
+                     }
+                   }
+                   return padded;
+                 },
+                 6, nullptr});
+  out.push_back({"multiplication", [] { return MakeMultiplicationProgram(false); },
+                 [](size_t n) {
+                   dyn::GenericWorkloadOptions o;
+                   o.num_requests = 40;
+                   o.seed = 9;
+                   o.set_fraction = 0.0;
+                   return dyn::MakeGenericWorkload(*MultiplicationInputVocabulary(), n,
+                                                   o);
+                 },
+                 8, InstallPlusRelation});
+  out.push_back({"reach_semidynamic", [] { return MakeReachSemiDynamicProgram(); },
+                 [](size_t n) {
+                   return GraphChurn(ReachSemiDynamicInputVocabulary(), n, true, false,
+                                     false, /*insert_fraction=*/1.0);
+                 },
+                 8, nullptr});
+  return out;
+}
+
+class SnapshotRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SnapshotRoundTrip, MidRunSnapshotRestoresBitIdentically) {
+  const Scenario scenario = Scenarios()[GetParam()];
+  auto program = scenario.program();
+  const relational::RequestSequence requests = scenario.workload(scenario.universe);
+  const size_t half = requests.size() / 2;
+
+  dyn::Engine original(program, scenario.universe);
+  if (scenario.post_init) scenario.post_init(&original);
+  for (size_t i = 0; i < half; ++i) original.Apply(requests[i]);
+  const std::string snapshot = original.Snapshot();
+  const relational::Structure at_half = original.data();
+  for (size_t i = half; i < requests.size(); ++i) original.Apply(requests[i]);
+
+  // Restore into a fresh engine: state and step counter come back exactly.
+  dyn::Engine restored(program, scenario.universe);
+  core::Status status = restored.Restore(snapshot);
+  ASSERT_TRUE(status.ok()) << scenario.name << ": " << status.message();
+  EXPECT_EQ(restored.stats().requests, half);
+  ASSERT_EQ(restored.data(), at_half) << scenario.name;
+
+  // Continuing from the restore converges with the uninterrupted run,
+  // bit-for-bit (same serialized form).
+  for (size_t i = half; i < requests.size(); ++i) restored.Apply(requests[i]);
+  ASSERT_EQ(restored.data(), original.data()) << scenario.name;
+  EXPECT_EQ(relational::WriteStructure(restored.data()),
+            relational::WriteStructure(original.data()));
+  EXPECT_EQ(restored.stats().requests, original.stats().requests);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, SnapshotRoundTrip,
+                         ::testing::Range<size_t>(0, 13),
+                         [](const ::testing::TestParamInfo<size_t>& param_info) {
+                           return Scenarios()[param_info.param].name;
+                         });
+
+TEST(SnapshotTest, RestoreRejectsWrongProgram) {
+  dyn::Engine reach(MakeReachUProgram(), 6);
+  dyn::Engine parity(MakeParityProgram(), 6);
+  core::Status status = parity.Restore(reach.Snapshot());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("reach_u"), std::string::npos);
+}
+
+TEST(SnapshotTest, RestoreRejectsWrongUniverseSize) {
+  dyn::Engine small(MakeReachUProgram(), 6);
+  dyn::Engine large(MakeReachUProgram(), 8);
+  EXPECT_FALSE(large.Restore(small.Snapshot()).ok());
+}
+
+TEST(SnapshotTest, FailedRestoreLeavesEngineUntouched) {
+  dyn::Engine engine(MakeReachUProgram(), 6);
+  engine.Apply(relational::Request::Insert("E", {0, 1}));
+  engine.Apply(relational::Request::SetConstant("s", 0));
+  engine.Apply(relational::Request::SetConstant("t", 1));
+  const relational::Structure before = engine.data();
+  const uint64_t steps_before = engine.stats().requests;
+
+  std::string corrupt = engine.Snapshot();
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  EXPECT_FALSE(engine.Restore(corrupt).ok());
+
+  std::string truncated = engine.Snapshot();
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(engine.Restore(truncated).ok());
+
+  EXPECT_FALSE(engine.Restore("").ok());
+  EXPECT_FALSE(engine.Restore("dynfo snapshot v1 bytes=0\n").ok());
+
+  EXPECT_EQ(engine.data(), before);
+  EXPECT_EQ(engine.stats().requests, steps_before);
+  EXPECT_TRUE(engine.QueryBool());
+}
+
+}  // namespace
+}  // namespace dynfo::programs

@@ -4,7 +4,17 @@
 /// dynamic query shell.
 ///
 /// Usage:
-///   dynfo_cli <program.dynfo> <universe-size> [script-file]
+///   dynfo_cli [--restore=FILE] [--journal=FILE]
+///             <program.dynfo> <universe-size> [script-file]
+///
+/// Flags:
+///   --restore=FILE   restore a checksummed snapshot (see `snapshot`) into
+///                    the engine before reading commands
+///   --journal=FILE   append every applied request to FILE (crash-
+///                    consistent); existing records are replayed first, so
+///                    restarting with the same journal resumes the session.
+///                    Combined with --restore, only the journal suffix past
+///                    the snapshot's step counter is replayed.
 ///
 /// Commands (one per line, from the script or stdin; '#' comments):
 ///   ins <relation> <e1> <e2> ...     insert a tuple
@@ -17,23 +27,31 @@
 ///   dump                             the whole data structure
 ///   save <file>                      serialize the data structure
 ///   load <file>                      restore a previously saved structure
+///   snapshot <file>                  write a checksummed engine snapshot
+///                                    (state + step counter)
+///   restore <file>                   restore a snapshot written by snapshot
 ///   quit
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/text.h"
 #include "dynfo/engine.h"
+#include "dynfo/journal.h"
 #include "dynfo/loader.h"
 #include "fo/parser.h"
+#include "relational/request.h"
 #include "relational/serialize.h"
 
 namespace {
 
 using dynfo::dyn::Engine;
+using dynfo::dyn::JournalWriter;
 using dynfo::relational::Element;
 using dynfo::relational::Request;
 using dynfo::relational::Tuple;
@@ -59,7 +77,34 @@ bool ParseElements(const std::vector<std::string>& words, size_t start,
   return true;
 }
 
-int Run(Engine* engine, std::istream& in, bool interactive) {
+/// Validates a request against the input vocabulary, journals it (when a
+/// journal is attached), then applies it. A malformed request is rejected
+/// with a printed error instead of CHECK-crashing the shell, and nothing
+/// reaches the journal or the engine.
+bool ApplyValidated(Engine* engine, JournalWriter* journal, const Request& request) {
+  dynfo::core::Status valid = dynfo::relational::ValidateRequest(
+      *engine->program().input_vocabulary(), engine->universe_size(), request);
+  if (valid.ok() && engine->program().semi_dynamic() &&
+      request.kind == dynfo::relational::RequestKind::kDelete) {
+    valid = dynfo::core::Status::Error("program '" + engine->program().name() +
+                                       "' is semi-dynamic: deletes are not supported");
+  }
+  if (!valid.ok()) {
+    std::printf("error: %s\n", valid.message().c_str());
+    return false;
+  }
+  if (journal != nullptr) {
+    dynfo::core::Status logged = journal->Append(request);
+    if (!logged.ok()) {
+      std::printf("error: journal append failed: %s\n", logged.message().c_str());
+      return false;
+    }
+  }
+  engine->Apply(request);
+  return true;
+}
+
+int Run(Engine* engine, JournalWriter* journal, std::istream& in, bool interactive) {
   auto program = engine->program().data_vocabulary();
   dynfo::fo::ParserEnvironment formulas(program);
   std::string line;
@@ -85,15 +130,18 @@ int Run(Engine* engine, std::istream& in, bool interactive) {
           for (Element e : elements) t = t.Append(e);
           Request request = command == "ins" ? Request::Insert(words[1], t)
                                              : Request::Delete(words[1], t);
-          engine->Apply(request);
-          std::printf("ok: %s\n", request.ToString().c_str());
+          if (ApplyValidated(engine, journal, request)) {
+            std::printf("ok: %s\n", request.ToString().c_str());
+          }
         }
       }
     } else if (command == "set") {
       std::vector<Element> elements;
       if (words.size() == 3 && ParseElements(words, 2, &elements)) {
-        engine->Apply(Request::SetConstant(words[1], elements[0]));
-        std::printf("ok: set(%s, %u)\n", words[1].c_str(), elements[0]);
+        if (ApplyValidated(engine, journal,
+                           Request::SetConstant(words[1], elements[0]))) {
+          std::printf("ok: set(%s, %u)\n", words[1].c_str(), elements[0]);
+        }
       } else {
         std::printf("error: usage: set <constant> <value>\n");
       }
@@ -163,6 +211,35 @@ int Run(Engine* engine, std::istream& in, bool interactive) {
           std::printf("loaded %s\n", words[1].c_str());
         }
       }
+    } else if (command == "snapshot" && words.size() == 2) {
+      std::ofstream out(words[1], std::ios::binary);
+      if (!out) {
+        std::printf("error: cannot write %s\n", words[1].c_str());
+      } else {
+        out << engine->Snapshot();
+        std::printf("snapshot written to %s (step %llu)\n", words[1].c_str(),
+                    static_cast<unsigned long long>(engine->stats().requests));
+      }
+    } else if (command == "restore" && words.size() == 2) {
+      std::ifstream file(words[1], std::ios::binary);
+      if (!file) {
+        std::printf("error: cannot read %s\n", words[1].c_str());
+      } else {
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        dynfo::core::Status status = engine->Restore(buffer.str());
+        if (!status.ok()) {
+          std::printf("error: %s\n", status.message().c_str());
+        } else {
+          std::printf("restored %s (step %llu)\n", words[1].c_str(),
+                      static_cast<unsigned long long>(engine->stats().requests));
+          if (journal != nullptr) {
+            std::printf(
+                "note: the journal's sequence no longer matches the restored "
+                "step counter; start a fresh journal for crash recovery\n");
+          }
+        }
+      }
     } else {
       std::printf("error: unknown command '%s'\n", command.c_str());
     }
@@ -174,36 +251,109 @@ int Run(Engine* engine, std::istream& in, bool interactive) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3 || argc > 4) {
-    std::fprintf(stderr, "usage: %s <program.dynfo> <universe-size> [script]\n",
+  std::string restore_path;
+  std::string journal_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--restore=", 0) == 0) {
+      restore_path = arg.substr(10);
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      journal_path = arg.substr(10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2 || positional.size() > 3) {
+    std::fprintf(stderr,
+                 "usage: %s [--restore=FILE] [--journal=FILE] <program.dynfo> "
+                 "<universe-size> [script]\n",
                  argv[0]);
     return 2;
   }
-  std::ifstream spec(argv[1]);
+  std::ifstream spec(positional[0]);
   if (!spec) {
-    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "error: cannot open %s\n", positional[0].c_str());
     return 2;
   }
   std::stringstream buffer;
   buffer << spec.rdbuf();
   auto program = dynfo::dyn::LoadProgramFromText(buffer.str());
   if (!program.ok()) {
-    std::fprintf(stderr, "error loading %s: %s\n", argv[1],
+    std::fprintf(stderr, "error loading %s: %s\n", positional[0].c_str(),
                  program.status().message().c_str());
     return 2;
   }
-  size_t n = std::stoul(argv[2]);
+  uint64_t parsed_n = 0;
+  if (!dynfo::core::ParseU64(positional[1], &parsed_n) || parsed_n == 0) {
+    std::fprintf(stderr, "error: bad universe size '%s'\n", positional[1].c_str());
+    return 2;
+  }
+  size_t n = static_cast<size_t>(parsed_n);
   Engine engine(program.value(), n);
   std::printf("loaded program '%s' (universe %zu)\n",
               program.value()->name().c_str(), n);
 
-  if (argc == 4) {
-    std::ifstream script(argv[3]);
-    if (!script) {
-      std::fprintf(stderr, "error: cannot open %s\n", argv[3]);
+  if (!restore_path.empty()) {
+    std::ifstream file(restore_path, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot read %s\n", restore_path.c_str());
       return 2;
     }
-    return Run(&engine, script, /*interactive=*/false);
+    std::stringstream snapshot;
+    snapshot << file.rdbuf();
+    dynfo::core::Status status = engine.Restore(snapshot.str());
+    if (!status.ok()) {
+      std::fprintf(stderr, "error restoring %s: %s\n", restore_path.c_str(),
+                   status.message().c_str());
+      return 2;
+    }
+    std::printf("restored snapshot %s (step %llu)\n", restore_path.c_str(),
+                static_cast<unsigned long long>(engine.stats().requests));
   }
-  return Run(&engine, std::cin, /*interactive=*/true);
+
+  std::optional<JournalWriter> journal;
+  if (!journal_path.empty()) {
+    auto opened = JournalWriter::Open(journal_path,
+                                      *program.value()->input_vocabulary(), n);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error opening journal %s: %s\n", journal_path.c_str(),
+                   opened.status().message().c_str());
+      return 2;
+    }
+    journal.emplace(std::move(opened).value());
+    const dynfo::relational::RequestSequence& recovered = journal->recovered();
+    const uint64_t steps = engine.stats().requests;
+    if (steps > recovered.size()) {
+      std::fprintf(stderr,
+                   "error: snapshot is at step %llu but journal %s holds only "
+                   "%zu record(s): journal records were lost\n",
+                   static_cast<unsigned long long>(steps), journal_path.c_str(),
+                   recovered.size());
+      return 2;
+    }
+    if (journal->truncated_torn_tail()) {
+      std::printf("journal %s: dropped a torn final record\n", journal_path.c_str());
+    }
+    for (size_t i = static_cast<size_t>(steps); i < recovered.size(); ++i) {
+      engine.Apply(recovered[i]);
+    }
+    std::printf("journal %s: replayed %zu of %zu recovered record(s)\n",
+                journal_path.c_str(), recovered.size() - static_cast<size_t>(steps),
+                recovered.size());
+  }
+  JournalWriter* journal_ptr = journal.has_value() ? &*journal : nullptr;
+
+  if (positional.size() == 3) {
+    std::ifstream script(positional[2]);
+    if (!script) {
+      std::fprintf(stderr, "error: cannot open %s\n", positional[2].c_str());
+      return 2;
+    }
+    return Run(&engine, journal_ptr, script, /*interactive=*/false);
+  }
+  return Run(&engine, journal_ptr, std::cin, /*interactive=*/true);
 }
