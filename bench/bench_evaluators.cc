@@ -1,56 +1,277 @@
 /// \file bench_evaluators.cc
-/// Cross-cutting ablation (DESIGN.md §3): the three execution strategies on
-/// the paper's own REACH_u update formulas —
+/// Cross-cutting evaluator ablation (DESIGN.md §3, §9) on the paper's own
+/// update programs (REACH_u and PARITY):
 ///   * naive substitute-and-test (reference semantics, O(n^arity) points);
-///   * relational-algebra compilation (joins + filters);
-///   * algebra + delta application (only changed tuples touched).
-/// Also reports quantifier depth, the paper's parallel-time measure.
+///   * algebra with per-call re-planning (the pre-plan-cache behavior);
+///   * algebra with compile-once plans (planner runs at load time only);
+///   * compiled plans probing persistent relation indexes (the default).
+/// Each run reports plan-cache hit rate and per-update planner invocations
+/// so the compile-once contract is visible in the numbers, plus quantifier
+/// depth, the paper's parallel-time measure.
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+
 #include "bench_util.h"
+#include "fo/builder.h"
+#include "programs/forest_rules.h"
+#include "programs/parity.h"
 #include "programs/reach_u.h"
 
 namespace dynfo {
 namespace {
 
-relational::RequestSequence Workload(size_t n) {
+// Long replays so the per-update figure reflects the steady-state hot path:
+// one-time costs (engine construction, load-time plan compilation, workload
+// structure allocation) amortize away instead of dominating the quotient.
+constexpr size_t kRequestsPerReplay = 192;
+/// The naive reference is orders of magnitude slower per update; a shorter
+/// replay keeps its curve affordable (per-update figures stay comparable —
+/// items processed is always the request count).
+constexpr size_t kNaiveRequestsPerReplay = 24;
+
+relational::RequestSequence ReachWorkload(size_t n, size_t num_requests) {
   dyn::GraphWorkloadOptions options;
-  options.num_requests = 24;
+  options.num_requests = num_requests;
   options.seed = 42;
   options.undirected = true;
   return dyn::MakeGraphWorkload(*programs::ReachUInputVocabulary(), "E", n, options);
 }
 
-void Run(benchmark::State& state, dyn::EvalMode mode, bool delta) {
+relational::RequestSequence ParityWorkload(size_t n, size_t num_requests) {
+  dyn::GenericWorkloadOptions options;
+  options.num_requests = num_requests;
+  options.seed = 42;
+  options.set_fraction = 0;  // the parity input vocabulary has no constants
+  return dyn::MakeGenericWorkload(*programs::ParityInputVocabulary(), n, options);
+}
+
+struct Variant {
+  dyn::EvalMode eval_mode = dyn::EvalMode::kAlgebra;
+  bool use_delta = false;
+  bool use_compiled_plans = false;
+  bool use_indexes = false;
+};
+
+// The algebra variants ablate ONLY the compile-once/index gates; everything
+// else (notably delta application) stays at the engine defaults, so the
+// comparison isolates the plan layer on the real hot Apply path. The naive
+// reference recomputes everything (it ignores the gates by construction).
+constexpr Variant kNaive{dyn::EvalMode::kNaive, false, false, false};
+constexpr Variant kReplan{dyn::EvalMode::kAlgebra, true, false, false};
+constexpr Variant kCompiled{dyn::EvalMode::kAlgebra, true, true, false};
+constexpr Variant kCompiledIndexed{dyn::EvalMode::kAlgebra, true, true, true};
+/// Full recompute with the plan layer on: isolates delta's contribution.
+constexpr Variant kNoDeltaIndexed{dyn::EvalMode::kAlgebra, false, true, true};
+
+dyn::EngineOptions ToOptions(const Variant& variant) {
+  dyn::EngineOptions options;
+  options.eval_mode = variant.eval_mode;
+  options.use_delta = variant.use_delta;
+  options.use_compiled_plans = variant.use_compiled_plans;
+  options.use_indexes = variant.use_indexes;
+  return options;
+}
+
+/// One full workload replay per iteration on a fresh engine (steady-state
+/// amortized cost per update = time / items). The last iteration's engine is
+/// inspected for the compile-once counters.
+void Run(benchmark::State& state, const Variant& variant,
+         std::shared_ptr<const dyn::DynProgram> program,
+         const relational::RequestSequence& requests) {
   const size_t n = static_cast<size_t>(state.range(0));
-  relational::RequestSequence requests = Workload(n);
+  fo::EvalStats at_load;
+  fo::EvalStats after;
   for (auto _ : state) {
-    dyn::Engine engine(programs::MakeReachUProgram(), n, {mode, delta});
+    dyn::Engine engine(program, n, ToOptions(variant));
+    at_load = engine.eval_stats();
     for (const relational::Request& request : requests) {
       engine.Apply(request);
       benchmark::DoNotOptimize(engine.QueryBool());
     }
+    after = engine.eval_stats();
   }
-  state.counters["quantifier_depth"] =
-      static_cast<double>(programs::MakeReachUProgram()->MaxQuantifierDepth());
+  state.counters["quantifier_depth"] = static_cast<double>(program->MaxQuantifierDepth());
+  state.counters["plan_cache_hit_rate"] = after.PlanCacheHitRate();
+  state.counters["planner_runs_per_update"] =
+      static_cast<double>(after.planner_runs - at_load.planner_runs) /
+      static_cast<double>(requests.size());
+  state.counters["index_probes_per_update"] =
+      static_cast<double>(after.index_probes) / static_cast<double>(requests.size());
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
 }
 
-void BM_EvalNaive(benchmark::State& state) {
-  Run(state, dyn::EvalMode::kNaive, false);
+size_t ReplayLength(const Variant& variant) {
+  return variant.eval_mode == dyn::EvalMode::kNaive ? kNaiveRequestsPerReplay
+                                                    : kRequestsPerReplay;
 }
+
+void RunReach(benchmark::State& state, const Variant& variant) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Run(state, variant, programs::MakeReachUProgram(),
+      ReachWorkload(n, ReplayLength(variant)));
+}
+
+void RunParity(benchmark::State& state, const Variant& variant) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Run(state, variant, programs::MakeParityProgram(),
+      ParityWorkload(n, ReplayLength(variant)));
+}
+
+void BM_EvalNaive(benchmark::State& state) { RunReach(state, kNaive); }
 BENCHMARK(BM_EvalNaive)->DenseRange(6, 12, 3);
 
-void BM_EvalAlgebra(benchmark::State& state) {
-  Run(state, dyn::EvalMode::kAlgebra, false);
-}
-BENCHMARK(BM_EvalAlgebra)->DenseRange(6, 12, 3)->DenseRange(16, 24, 8);
+void BM_EvalAlgebraReplan(benchmark::State& state) { RunReach(state, kReplan); }
+BENCHMARK(BM_EvalAlgebraReplan)->DenseRange(6, 12, 3)->DenseRange(16, 24, 8);
 
-void BM_EvalAlgebraDelta(benchmark::State& state) {
-  Run(state, dyn::EvalMode::kAlgebra, true);
+void BM_EvalAlgebraCompiled(benchmark::State& state) { RunReach(state, kCompiled); }
+BENCHMARK(BM_EvalAlgebraCompiled)->DenseRange(6, 12, 3)->DenseRange(16, 24, 8);
+
+void BM_EvalAlgebraCompiledIndexed(benchmark::State& state) {
+  RunReach(state, kCompiledIndexed);
 }
-BENCHMARK(BM_EvalAlgebraDelta)->DenseRange(6, 12, 3)->DenseRange(16, 24, 8);
+BENCHMARK(BM_EvalAlgebraCompiledIndexed)->DenseRange(6, 12, 3)->DenseRange(16, 24, 8);
+
+void BM_EvalAlgebraNoDelta(benchmark::State& state) { RunReach(state, kNoDeltaIndexed); }
+BENCHMARK(BM_EvalAlgebraNoDelta)->DenseRange(6, 12, 3)->DenseRange(16, 24, 8);
+
+/// A steady-state reach_u data structure (mirrored E, forest F, path
+/// relation PV) at universe n, built once and shared across variants — the
+/// locality benchmarks below measure evaluation only, not setup.
+const relational::Structure& ReachStructure(size_t n) {
+  static std::map<size_t, std::unique_ptr<dyn::Engine>>* cache =
+      new std::map<size_t, std::unique_ptr<dyn::Engine>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    auto engine = std::make_unique<dyn::Engine>(programs::MakeReachUProgram(), n);
+    dyn::GraphWorkloadOptions options;
+    options.num_requests = 4 * n;
+    options.seed = 7;
+    options.undirected = true;
+    for (const relational::Request& request : dyn::MakeGraphWorkload(
+             *programs::ReachUInputVocabulary(), "E", n, options)) {
+      engine->Apply(request);
+    }
+    it = cache->emplace(n, std::move(engine)).first;
+  }
+  return it->second->data();
+}
+
+/// The hot shape the plan/index layer targets: per-update evaluation of the
+/// paper's request-local subformulas. SameTree(x, $0) — "x is in the updated
+/// vertex's tree" — appears in every reach_u update rule; with re-planning
+/// each evaluation plans the formula and scans all of PV, while a compiled
+/// plan replays instantly and probes the persistent PV index with the pinned
+/// parameter. Output stays small (one tree), so this isolates evaluator
+/// overhead rather than inherent result materialization.
+void RunLocality(benchmark::State& state, const Variant& variant) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const relational::Structure& data = ReachStructure(n);
+  const fo::FormulaPtr phi = programs::SameTree(fo::V("x"), fo::P0()).ptr;
+  const std::vector<std::string> variables = {"x"};
+
+  fo::EvalOptions eval_options;
+  eval_options.use_compiled_plans = variant.use_compiled_plans;
+  eval_options.use_indexes = variant.use_indexes;
+  fo::AlgebraEvaluator evaluator;
+  // Warmup compiles the plan and builds the index, as engine load time does.
+  evaluator.EvaluateAsRelation(phi, variables,
+                               fo::EvalContext(data, {0}, eval_options));
+  const fo::EvalStats at_load = evaluator.stats();
+
+  relational::Element a = 0;
+  for (auto _ : state) {
+    fo::EvalContext ctx(data, {a}, eval_options);
+    benchmark::DoNotOptimize(evaluator.EvaluateAsRelation(phi, variables, ctx));
+    a = (a + 1) % static_cast<relational::Element>(n);
+  }
+  const fo::EvalStats after = evaluator.stats();
+  state.counters["plan_cache_hit_rate"] = after.PlanCacheHitRate();
+  state.counters["planner_runs_per_update"] =
+      state.iterations() > 0
+          ? static_cast<double>(after.planner_runs - at_load.planner_runs) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+  state.counters["index_probes_per_update"] =
+      state.iterations() > 0
+          ? static_cast<double>(after.index_probes - at_load.index_probes) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_UpdateLocalityReplan(benchmark::State& state) {
+  RunLocality(state, kReplan);
+}
+BENCHMARK(BM_UpdateLocalityReplan)->RangeMultiplier(2)->Range(16, 64);
+
+void BM_UpdateLocalityCompiled(benchmark::State& state) {
+  RunLocality(state, kCompiled);
+}
+BENCHMARK(BM_UpdateLocalityCompiled)->RangeMultiplier(2)->Range(16, 64);
+
+void BM_UpdateLocalityCompiledIndexed(benchmark::State& state) {
+  RunLocality(state, kCompiledIndexed);
+}
+BENCHMARK(BM_UpdateLocalityCompiledIndexed)->RangeMultiplier(2)->Range(16, 64);
+
+void BM_ParityNaive(benchmark::State& state) { RunParity(state, kNaive); }
+BENCHMARK(BM_ParityNaive)->RangeMultiplier(4)->Range(16, 256);
+
+void BM_ParityReplan(benchmark::State& state) { RunParity(state, kReplan); }
+BENCHMARK(BM_ParityReplan)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_ParityCompiled(benchmark::State& state) { RunParity(state, kCompiled); }
+BENCHMARK(BM_ParityCompiled)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_ParityCompiledIndexed(benchmark::State& state) {
+  RunParity(state, kCompiledIndexed);
+}
+BENCHMARK(BM_ParityCompiledIndexed)->RangeMultiplier(4)->Range(16, 1024);
+
+/// Parity's per-update evaluation in isolation: the paper's b' formula,
+/// evaluated with a pinned parameter against a populated M. All conjuncts
+/// are O(1) point lookups, so the quotient between these two benchmarks is
+/// purely the planning overhead the compile-once layer removes.
+void RunParityUpdateEval(benchmark::State& state, const Variant& variant) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto program = programs::MakeParityProgram();
+  relational::Structure data(program->data_vocabulary(), n);
+  core::Rng rng(3);
+  for (relational::Element v = 0; v < n; ++v) {
+    if (rng.Chance(1, 2)) data.relation("M").Insert({v});
+  }
+  const dyn::RequestRules* rules =
+      program->RulesFor(relational::RequestKind::kInsert, "M");
+  const fo::FormulaPtr& phi = rules->updates.front().formula;
+
+  fo::EvalOptions eval_options;
+  eval_options.use_compiled_plans = variant.use_compiled_plans;
+  eval_options.use_indexes = variant.use_indexes;
+  fo::AlgebraEvaluator evaluator;
+  evaluator.HoldsSentence(phi, fo::EvalContext(data, {0}, eval_options));
+
+  relational::Element a = 0;
+  for (auto _ : state) {
+    fo::EvalContext ctx(data, {a}, eval_options);
+    benchmark::DoNotOptimize(evaluator.HoldsSentence(phi, ctx));
+    a = (a + 1) % static_cast<relational::Element>(n);
+  }
+  state.counters["plan_cache_hit_rate"] = evaluator.stats().PlanCacheHitRate();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_ParityUpdateEvalReplan(benchmark::State& state) {
+  RunParityUpdateEval(state, kReplan);
+}
+BENCHMARK(BM_ParityUpdateEvalReplan)->Arg(1024);
+
+void BM_ParityUpdateEvalCompiled(benchmark::State& state) {
+  RunParityUpdateEval(state, kCompiledIndexed);
+}
+BENCHMARK(BM_ParityUpdateEvalCompiled)->Arg(1024);
 
 }  // namespace
 }  // namespace dynfo

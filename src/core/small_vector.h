@@ -1,0 +1,157 @@
+/// \file small_vector.h
+/// A small-buffer vector for trivially copyable element types.
+///
+/// Evaluation rows are short (a handful of universe elements), but the
+/// standard vector heap-allocates every one of them — on the hot Apply path
+/// that is one malloc/free per intermediate row. SmallVector keeps up to
+/// kInline elements in the object itself and only falls back to the heap for
+/// wider rows, so typical evaluation allocates nothing per row.
+///
+/// The element type must be trivially copyable: growth and copies are plain
+/// memcpy, which keeps the container simple and fast.
+
+#ifndef DYNFO_CORE_SMALL_VECTOR_H_
+#define DYNFO_CORE_SMALL_VECTOR_H_
+
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "core/check.h"
+
+namespace dynfo::core {
+
+template <typename T, size_t kInline>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector supports trivially copyable types only");
+  static_assert(kInline > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(size_t count, const T& value) {
+    reserve(count);
+    T* d = data();
+    for (size_t i = 0; i < count; ++i) d[i] = value;
+    size_ = count;
+  }
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    T* d = data();
+    size_t i = 0;
+    for (const T& v : init) d[i++] = v;
+    size_ = init.size();
+  }
+
+  SmallVector(const SmallVector& other) { *this = other; }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    reserve(other.size_);
+    std::memcpy(data(), other.data(), other.size_ * sizeof(T));
+    size_ = other.size_;
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(&other); }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = kInline;
+    MoveFrom(&other);
+    return *this;
+  }
+
+  ~SmallVector() { delete[] heap_; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  void reserve(size_t wanted) {
+    if (wanted <= capacity_) return;
+    size_t grown = capacity_ * 2;
+    if (grown < wanted) grown = wanted;
+    T* fresh = new T[grown];
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = fresh;
+    capacity_ = grown;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) reserve(size_ + 1);
+    data()[size_++] = value;
+  }
+
+  /// Grows (filling with `value`) or shrinks to exactly `count` elements.
+  void resize(size_t count, const T& value = T()) {
+    if (count > size_) {
+      reserve(count);
+      T* d = data();
+      for (size_t i = size_; i < count; ++i) d[i] = value;
+    }
+    size_ = count;
+  }
+
+  void pop_back() {
+    DYNFO_CHECK(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  bool operator==(const SmallVector& other) const {
+    if (size_ != other.size_) return false;
+    return std::memcmp(data(), other.data(), size_ * sizeof(T)) == 0;
+  }
+  bool operator!=(const SmallVector& other) const { return !(*this == other); }
+
+ private:
+  void MoveFrom(SmallVector* other) {
+    if (other->heap_ != nullptr) {
+      heap_ = other->heap_;
+      capacity_ = other->capacity_;
+      size_ = other->size_;
+      other->heap_ = nullptr;
+      other->capacity_ = kInline;
+      other->size_ = 0;
+    } else {
+      std::memcpy(inline_, other->inline_, other->size_ * sizeof(T));
+      size_ = other->size_;
+      other->size_ = 0;
+    }
+  }
+
+  size_t size_ = 0;
+  size_t capacity_ = kInline;
+  T* heap_ = nullptr;
+  T inline_[kInline];
+};
+
+}  // namespace dynfo::core
+
+#endif  // DYNFO_CORE_SMALL_VECTOR_H_

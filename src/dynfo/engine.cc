@@ -51,6 +51,57 @@ Engine::Engine(std::shared_ptr<const DynProgram> program, size_t universe_size,
     fo::EvalContext ctx(data_, {}, eval_options());
     data_.relation(rule.target) = EvalRuleFull(rule, ctx);
   }
+  PrecompileProgram();
+}
+
+void Engine::PrecompileProgram() {
+  if (options_.eval_mode != EvalMode::kAlgebra || !options_.use_compiled_plans) return;
+  fo::EvalContext ctx(data_, {}, eval_options());
+  auto precompile = [&](const fo::FormulaPtr& formula) {
+    if (formula == nullptr) return;
+    fo::PlanPtr plan = algebra_.Precompile(formula, ctx);
+    if (options_.use_indexes) fo::RegisterPlanIndexes(*plan, data_);
+  };
+  for (const auto& [key, rules] : program_->rules()) {
+    for (const UpdateRule& rule : rules.lets) precompile(rule.formula);
+    for (const UpdateRule& rule : rules.updates) {
+      const DeltaPlan& plan = PlanFor(rule);
+      if (options_.use_delta && plan.applicable) {
+        // Only the formulas Apply will actually evaluate get plans (and
+        // indexes): the keep-filter when it is evaluated set-wise, and the
+        // additions unless trivially empty.
+        if (plan.keep->kind() != fo::FormulaKind::kTrue &&
+            !IsQuantifierFree(*plan.keep)) {
+          precompile(plan.keep);
+        }
+        if (plan.additions->kind() != fo::FormulaKind::kFalse) {
+          precompile(plan.additions);
+        }
+      } else {
+        precompile(rule.formula);
+      }
+    }
+  }
+  if (program_->bool_query() != nullptr) precompile(program_->bool_query());
+}
+
+core::Status Engine::ReloadProgram(std::shared_ptr<const DynProgram> program) {
+  DYNFO_CHECK(program != nullptr);
+  core::Status status = program->Validate();
+  if (!status.ok()) return status;
+  if (program->data_vocabulary() != program_->data_vocabulary() ||
+      program->input_vocabulary() != program_->input_vocabulary()) {
+    return core::Status::Error(
+        "ReloadProgram requires the new program to share the old program's "
+        "vocabulary objects");
+  }
+  program_ = std::move(program);
+  // Both caches key on the old program's objects (rule addresses, formula
+  // identities) and would dangle or silently serve stale plans.
+  plans_.clear();
+  algebra_.ClearPlanCache();
+  PrecompileProgram();
+  return core::Status();
 }
 
 relational::Relation Engine::EvalRuleFull(const UpdateRule& rule,
@@ -310,6 +361,13 @@ core::Status Engine::Restore(const std::string& snapshot) {
   }
   data_ = std::move(restored).value();
   stats_.requests = steps;
+  // The restored structure carries no indexes and cached plans may have been
+  // compiled against pre-restore state assumptions: drop the delta-plan map
+  // and the plan cache, then recompile so the plans' indexes are registered
+  // on the restored relations before the next request.
+  plans_.clear();
+  algebra_.ClearPlanCache();
+  PrecompileProgram();
   return core::Status();
 }
 

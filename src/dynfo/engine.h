@@ -51,6 +51,14 @@ struct EngineOptions {
   int num_threads = 1;
   /// Minimum rows per chunk for the data-parallel algebra operators.
   size_t parallel_grain = 256;
+  /// Compile each formula to a reusable plan once at load time instead of
+  /// re-planning on every evaluation (fo/plan.h). Only meaningful in kAlgebra
+  /// mode; off = the pre-plan-cache behavior, kept for bench ablation.
+  bool use_compiled_plans = true;
+  /// Maintain persistent per-column-subset indexes on the stored relations
+  /// and let compiled atom joins probe them (relational/index.h). Only
+  /// effective with use_compiled_plans.
+  bool use_indexes = true;
 };
 
 /// Runs one DynProgram at one universe size. Apply/Query must be called from
@@ -114,6 +122,12 @@ class Engine {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 
+  /// Counters from the shared formula evaluator: operator counts, plan-cache
+  /// hit rate, index probes/builds. See fo/eval_stats.h.
+  fo::EvalStats eval_stats() const { return algebra_.stats(); }
+  void ResetEvalStats() { algebra_.ResetStats(); }
+  size_t plan_cache_size() const { return algebra_.plan_cache_size(); }
+
   /// Serializes the full engine state — the data structure (auxiliary
   /// relations plus mirrored input) and the request/step counter — as a
   /// versioned, checksummed text blob. Execution options are NOT state and
@@ -131,6 +145,13 @@ class Engine {
   /// the counter monotone across a start-over rebuild.
   void set_request_counter(uint64_t requests) { stats_.requests = requests; }
 
+  /// Swaps in a new program mid-run, keeping the data structure and request
+  /// counter. The programs must share vocabulary objects (same tau/sigma).
+  /// Every compiled artifact keyed to the old program — the delta-plan map
+  /// and the evaluator's plan cache — is invalidated, and the new program's
+  /// plans are compiled (and their indexes registered) before returning.
+  core::Status ReloadProgram(std::shared_ptr<const DynProgram> program);
+
  private:
   /// How a target-preserving update rule decomposes; see file comment.
   struct DeltaPlan {
@@ -143,9 +164,17 @@ class Engine {
                                     const fo::EvalContext& ctx) const;
   const DeltaPlan& PlanFor(const UpdateRule& rule);
 
-  /// Evaluation options derived from EngineOptions (operator-level threads).
+  /// Compiles every formula the program can execute (delta keeps/additions,
+  /// full rules, lets, queries) and registers the plans' indexes on `data_`,
+  /// so the hot Apply path never plans and its first probe never builds.
+  /// No-op outside kAlgebra mode or with use_compiled_plans off.
+  void PrecompileProgram();
+
+  /// Evaluation options derived from EngineOptions (operator-level threads
+  /// plus the compiled-plan/index gates).
   fo::EvalOptions eval_options() const {
-    return {options_.num_threads, options_.parallel_grain};
+    return {options_.num_threads, options_.parallel_grain,
+            options_.use_compiled_plans, options_.use_indexes};
   }
 
   std::shared_ptr<const DynProgram> program_;

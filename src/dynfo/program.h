@@ -96,6 +96,12 @@ class DynProgram {
   const RequestRules* RulesFor(relational::RequestKind kind,
                                const std::string& input_name) const;
 
+  using RuleKey = std::pair<relational::RequestKind, std::string>;
+
+  /// Every registered (request, rules) pair — the engine walks this at load
+  /// time to compile all update plans before the first request arrives.
+  const std::map<RuleKey, RequestRules>& rules() const { return rules_; }
+
   /// Structural well-formedness: every target exists in tau with matching
   /// arity, free variables are covered by tuple variables, mentioned
   /// relations exist (lets may be referenced only after definition), and
@@ -116,8 +122,6 @@ class DynProgram {
   bool semi_dynamic() const { return semi_dynamic_; }
 
  private:
-  using RuleKey = std::pair<relational::RequestKind, std::string>;
-
   std::string name_;
   std::shared_ptr<const relational::Vocabulary> input_;
   std::shared_ptr<const relational::Vocabulary> data_;

@@ -52,6 +52,53 @@ std::vector<const Row*> GatherRows(const RowSet& rows) {
 NamedRelation AlgebraEvaluator::Sat(const FormulaPtr& formula,
                                     const EvalContext& ctx) const {
   DYNFO_CHECK(formula != nullptr);
+  if (ctx.options.use_compiled_plans) {
+    return ExecutePlan(*PlanFor(formula, ctx), ctx, &stats_);
+  }
+  return SatClassic(formula, ctx);
+}
+
+PlanPtr AlgebraEvaluator::PlanFor(const FormulaPtr& formula,
+                                  const EvalContext& ctx) const {
+  const relational::Vocabulary* vocabulary = &ctx.structure->vocabulary();
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    auto it = plan_cache_.find(formula.get());
+    if (it != plan_cache_.end() && it->second.vocabulary == vocabulary) {
+      ++stats_.plan_cache_hits;
+      return it->second.plan;
+    }
+  }
+  ++stats_.plan_cache_misses;
+  ++stats_.planner_runs;
+  PlanPtr plan = PlanCompiler(*vocabulary).Compile(formula);
+  {
+    std::lock_guard<std::mutex> lock(plan_mutex_);
+    if (plan_cache_.size() >= kMaxCachedPlans) plan_cache_.clear();
+    plan_cache_[formula.get()] = {formula, vocabulary, plan};
+  }
+  return plan;
+}
+
+PlanPtr AlgebraEvaluator::Precompile(const FormulaPtr& formula,
+                                     const EvalContext& ctx) const {
+  DYNFO_CHECK(formula != nullptr);
+  return PlanFor(formula, ctx);
+}
+
+void AlgebraEvaluator::ClearPlanCache() const {
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  plan_cache_.clear();
+}
+
+size_t AlgebraEvaluator::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  return plan_cache_.size();
+}
+
+NamedRelation AlgebraEvaluator::SatClassic(const FormulaPtr& formula,
+                                           const EvalContext& ctx) const {
+  DYNFO_CHECK(formula != nullptr);
   switch (formula->kind()) {
     case FormulaKind::kTrue:
       return NamedRelation::Unit();
@@ -203,7 +250,7 @@ NamedRelation AlgebraEvaluator::SatNumeric(const Formula& formula,
 NamedRelation AlgebraEvaluator::SatNot(const Formula& formula,
                                        const EvalContext& ctx) const {
   const FormulaPtr& inner = formula.children()[0];
-  NamedRelation sat = Sat(inner, ctx);
+  NamedRelation sat = SatClassic(inner, ctx);
   ++stats_.complements;
   return sat.ComplementWithin(ctx.universe_size(), ctx.options.Policy());
 }
@@ -344,11 +391,11 @@ NamedRelation AlgebraEvaluator::SatAnd(const Formula& formula,
         acc = FilterRows(acc, c, ctx);
       } else if (c->kind() == FormulaKind::kNot) {
         ++stats_.semi_joins;
-        acc = acc.SemiJoin(Sat(c->children()[0], ctx), /*anti=*/true,
+        acc = acc.SemiJoin(SatClassic(c->children()[0], ctx), /*anti=*/true,
                            ctx.options.Policy());
       } else {
         ++stats_.semi_joins;
-        acc = acc.SemiJoin(Sat(c, ctx), /*anti=*/false, ctx.options.Policy());
+        acc = acc.SemiJoin(SatClassic(c, ctx), /*anti=*/false, ctx.options.Policy());
       }
       erase_at(i);
       progressed = true;
@@ -359,8 +406,8 @@ NamedRelation AlgebraEvaluator::SatAnd(const Formula& formula,
 
     // Phase 2: choose the cheapest generator for some unbound variable(s).
     constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
-    enum class Plan { kNone, kEqExtend, kAtomJoin, kFilterExtend, kSatJoin };
-    Plan best_plan = Plan::kNone;
+    enum class Choice { kNone, kEqExtend, kAtomJoin, kFilterExtend, kSatJoin };
+    Choice best_plan = Choice::kNone;
     size_t best_index = 0;
     uint64_t best_cost = kInf;
     const uint64_t n = ctx.universe_size();
@@ -369,7 +416,7 @@ NamedRelation AlgebraEvaluator::SatAnd(const Formula& formula,
       const FormulaPtr& c = pending[i];
       std::vector<std::string> unbound = SetMinus(free[i], acc.columns());
       uint64_t cost = kInf;
-      Plan plan = Plan::kNone;
+      Choice plan = Choice::kNone;
       if (c->kind() == FormulaKind::kEq && unbound.size() == 1) {
         // x = t with t computable per row: constant-cost extension.
         const Term& l = c->left();
@@ -377,20 +424,20 @@ NamedRelation AlgebraEvaluator::SatAnd(const Formula& formula,
         bool left_is_unbound = l.is_variable() && l.name() == unbound[0];
         const Term& other = left_is_unbound ? r : l;
         if (!other.is_variable() || other.name() != unbound[0]) {
-          plan = Plan::kEqExtend;
+          plan = Choice::kEqExtend;
           cost = acc.size() + 1;
         }
       }
-      if (plan == Plan::kNone && c->kind() == FormulaKind::kAtom) {
-        plan = Plan::kAtomJoin;
+      if (plan == Choice::kNone && c->kind() == FormulaKind::kAtom) {
+        plan = Choice::kAtomJoin;
         cost = ctx.structure->relation(c->relation()).size() + acc.size();
       }
-      if (plan == Plan::kNone && unbound.size() == 1 && IsQuantifierFree(*c)) {
-        plan = Plan::kFilterExtend;
+      if (plan == Choice::kNone && unbound.size() == 1 && IsQuantifierFree(*c)) {
+        plan = Choice::kFilterExtend;
         cost = acc.size() * n;
       }
-      if (plan == Plan::kNone) {
-        plan = Plan::kSatJoin;
+      if (plan == Choice::kNone) {
+        plan = Choice::kSatJoin;
         cost = kInf - 1;  // last resort, but always applicable
       }
       if (cost < best_cost) {
@@ -400,29 +447,29 @@ NamedRelation AlgebraEvaluator::SatAnd(const Formula& formula,
       }
     }
 
-    DYNFO_CHECK(best_plan != Plan::kNone);
+    DYNFO_CHECK(best_plan != Choice::kNone);
     const FormulaPtr c = pending[best_index];
     std::vector<std::string> unbound = SetMinus(free[best_index], acc.columns());
     switch (best_plan) {
-      case Plan::kEqExtend: {
+      case Choice::kEqExtend: {
         const Term& l = c->left();
         const Term& r = c->right();
         bool left_is_unbound = l.is_variable() && l.name() == unbound[0];
         acc = ExtendByEquality(acc, unbound[0], left_is_unbound ? r : l, ctx);
         break;
       }
-      case Plan::kAtomJoin:
+      case Choice::kAtomJoin:
         ++stats_.joins;
         acc = acc.Join(SatAtom(*c, ctx), ctx.options.Policy());
         break;
-      case Plan::kFilterExtend:
+      case Choice::kFilterExtend:
         acc = ExtendByFilter(acc, unbound[0], c, ctx);
         break;
-      case Plan::kSatJoin:
+      case Choice::kSatJoin:
         ++stats_.joins;
-        acc = acc.Join(Sat(c, ctx), ctx.options.Policy());
+        acc = acc.Join(SatClassic(c, ctx), ctx.options.Policy());
         break;
-      case Plan::kNone:
+      case Choice::kNone:
         DYNFO_UNREACHABLE();
     }
     erase_at(best_index);
@@ -440,7 +487,7 @@ NamedRelation AlgebraEvaluator::SatOr(const Formula& formula,
   NamedRelation out(target_columns);
   const size_t n = ctx.universe_size();
   for (const FormulaPtr& child : formula.children()) {
-    NamedRelation sat = Sat(child, ctx);
+    NamedRelation sat = SatClassic(child, ctx);
     std::vector<std::string> missing = SetMinus(target_columns, sat.columns());
     if (!missing.empty()) {
       ++stats_.pads;
@@ -453,7 +500,7 @@ NamedRelation AlgebraEvaluator::SatOr(const Formula& formula,
 
 NamedRelation AlgebraEvaluator::SatExists(const Formula& formula,
                                           const EvalContext& ctx) const {
-  NamedRelation sat = Sat(formula.children()[0], ctx);
+  NamedRelation sat = SatClassic(formula.children()[0], ctx);
   std::vector<std::string> keep = SetMinus(sat.columns(), formula.variables());
   return sat.Project(keep);
 }
@@ -461,7 +508,7 @@ NamedRelation AlgebraEvaluator::SatExists(const Formula& formula,
 NamedRelation AlgebraEvaluator::SatForall(const Formula& formula,
                                           const EvalContext& ctx) const {
   const FormulaPtr& body = formula.children()[0];
-  NamedRelation sat = Sat(body, ctx);
+  NamedRelation sat = SatClassic(body, ctx);
   // Quantified variables actually occurring free in the body.
   std::vector<std::string> quantified;
   for (const std::string& v : formula.variables()) {

@@ -9,6 +9,13 @@
 /// anti-semi-joins inside conjunctions and complements only as a last
 /// resort.
 ///
+/// By default (EvalOptions::use_compiled_plans) the greedy planning happens
+/// once per formula: Sat compiles the formula to a reusable operator tree
+/// (fo/plan.h), caches it keyed by formula identity, and replays it on every
+/// later call — the hot Apply path does zero per-update planning. With the
+/// gate off, each call re-plans from scratch (the pre-plan-cache behavior,
+/// kept for ablation).
+///
 /// The evaluator is observationally equivalent to NaiveEvaluator (enforced
 /// by property tests) but asymptotically faster on the paper's update
 /// formulas, whose bounded "request locality" the planner exploits: atoms
@@ -17,37 +24,53 @@
 #ifndef DYNFO_FO_EVAL_ALGEBRA_H_
 #define DYNFO_FO_EVAL_ALGEBRA_H_
 
-#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fo/eval_context.h"
+#include "fo/eval_stats.h"
 #include "fo/formula.h"
 #include "fo/named_relation.h"
+#include "fo/plan.h"
 #include "relational/relation.h"
 
 namespace dynfo::fo {
 
 class AlgebraEvaluator {
  public:
-  /// Work counters, exposed for the evaluator-ablation benchmark.
-  struct Stats {
-    uint64_t joins = 0;
-    uint64_t semi_joins = 0;
-    uint64_t equality_extensions = 0;
-    uint64_t filtered_extensions = 0;
-    uint64_t filter_row_evals = 0;
-    uint64_t complements = 0;
-    uint64_t pads = 0;
-  };
+  /// Work counters, exposed for the evaluator-ablation benchmark (see
+  /// fo/eval_stats.h; shared with the compiled-plan executor).
+  using Stats = EvalStats;
 
   AlgebraEvaluator() = default;
+  /// Copying snapshots the counters and drops the plan cache (plans are
+  /// recompiled lazily); keeps Engine copyable despite the cache mutex.
+  AlgebraEvaluator(const AlgebraEvaluator& other) : stats_(other.stats_) {}
+  AlgebraEvaluator& operator=(const AlgebraEvaluator& other) {
+    if (this != &other) {
+      stats_ = other.stats_;
+      ClearPlanCache();
+    }
+    return *this;
+  }
 
   /// The satisfying set of `formula`: one row per assignment of its free
   /// variables (columns == free variables, order unspecified) that makes the
   /// formula true. Parameters/constants are resolved through `ctx`.
   NamedRelation Sat(const FormulaPtr& formula, const EvalContext& ctx) const;
+
+  /// Compiles (or fetches) the cached plan for `formula` without executing
+  /// it, so callers can pay compilation at load time and register the plan's
+  /// indexes (RegisterPlanIndexes) before the first update arrives.
+  PlanPtr Precompile(const FormulaPtr& formula, const EvalContext& ctx) const;
+
+  /// Drops every cached plan. Call when formulas may be recompiled against a
+  /// different vocabulary or when the program is reloaded/restored.
+  void ClearPlanCache() const;
+  size_t plan_cache_size() const;
 
   /// Truth of a sentence (no free variables).
   bool HoldsSentence(const FormulaPtr& formula, const EvalContext& ctx) const;
@@ -64,6 +87,17 @@ class AlgebraEvaluator {
   void ResetStats() { stats_.Reset(); }
 
  private:
+  /// Legacy per-call evaluation (re-plans conjunctions every time); the
+  /// use_compiled_plans=false path, and the recursion entry for all Sat*
+  /// helpers below.
+  NamedRelation SatClassic(const FormulaPtr& formula, const EvalContext& ctx) const;
+
+  /// Cache lookup/compile for the compiled path. A cache entry pins the
+  /// FormulaPtr (so the pointer key cannot be reused by a new formula) and
+  /// remembers the vocabulary it was compiled against; a vocabulary mismatch
+  /// recompiles in place.
+  PlanPtr PlanFor(const FormulaPtr& formula, const EvalContext& ctx) const;
+
   NamedRelation SatAtom(const Formula& formula, const EvalContext& ctx) const;
   NamedRelation SatNumeric(const Formula& formula, const EvalContext& ctx) const;
   NamedRelation SatAnd(const Formula& formula, const EvalContext& ctx) const;
@@ -83,57 +117,26 @@ class AlgebraEvaluator {
   NamedRelation FilterRows(const NamedRelation& acc, const FormulaPtr& conjunct,
                            const EvalContext& ctx) const;
 
-  /// Lock-free counterpart of Stats: the evaluator is logically const and may
-  /// run on several threads at once (rule-level parallelism), so counters are
-  /// atomics updated with relaxed ordering (they are diagnostics, not
-  /// synchronization).
-  struct AtomicStats {
-    std::atomic<uint64_t> joins{0};
-    std::atomic<uint64_t> semi_joins{0};
-    std::atomic<uint64_t> equality_extensions{0};
-    std::atomic<uint64_t> filtered_extensions{0};
-    std::atomic<uint64_t> filter_row_evals{0};
-    std::atomic<uint64_t> complements{0};
-    std::atomic<uint64_t> pads{0};
-
-    AtomicStats() = default;
-    // Copying snapshots the counters (keeps AlgebraEvaluator — and Engine —
-    // copyable). Not meant to run concurrently with updates to `other`.
-    AtomicStats(const AtomicStats& other) { *this = other; }
-    AtomicStats& operator=(const AtomicStats& other) {
-      joins = other.joins.load(std::memory_order_relaxed);
-      semi_joins = other.semi_joins.load(std::memory_order_relaxed);
-      equality_extensions = other.equality_extensions.load(std::memory_order_relaxed);
-      filtered_extensions = other.filtered_extensions.load(std::memory_order_relaxed);
-      filter_row_evals = other.filter_row_evals.load(std::memory_order_relaxed);
-      complements = other.complements.load(std::memory_order_relaxed);
-      pads = other.pads.load(std::memory_order_relaxed);
-      return *this;
-    }
-
-    Stats Snapshot() const {
-      Stats out;
-      out.joins = joins.load(std::memory_order_relaxed);
-      out.semi_joins = semi_joins.load(std::memory_order_relaxed);
-      out.equality_extensions = equality_extensions.load(std::memory_order_relaxed);
-      out.filtered_extensions = filtered_extensions.load(std::memory_order_relaxed);
-      out.filter_row_evals = filter_row_evals.load(std::memory_order_relaxed);
-      out.complements = complements.load(std::memory_order_relaxed);
-      out.pads = pads.load(std::memory_order_relaxed);
-      return out;
-    }
-    void Reset() {
-      joins = 0;
-      semi_joins = 0;
-      equality_extensions = 0;
-      filtered_extensions = 0;
-      filter_row_evals = 0;
-      complements = 0;
-      pads = 0;
-    }
+  struct PlanCacheEntry {
+    FormulaPtr formula;  ///< pins the key pointer for the entry's lifetime
+    const relational::Vocabulary* vocabulary = nullptr;
+    PlanPtr plan;
   };
 
-  mutable AtomicStats stats_;
+  /// Counters are relaxed atomics: the evaluator is logically const and may
+  /// run on several threads at once (rule-level parallelism). See
+  /// fo/eval_stats.h.
+  mutable AtomicEvalStats stats_;
+
+  /// Compiled plans keyed by formula identity (formulas are immutable and
+  /// shared). Guarded by plan_mutex_; compilation happens outside the lock,
+  /// so a racing first call may compile twice — both results are identical
+  /// and one wins. Bounded: the cache clears wholesale if it ever exceeds
+  /// kMaxCachedPlans (a program has a fixed set of formulas, so this only
+  /// trips for pathological callers streaming fresh formulas).
+  static constexpr size_t kMaxCachedPlans = 4096;
+  mutable std::mutex plan_mutex_;
+  mutable std::unordered_map<const Formula*, PlanCacheEntry> plan_cache_;
 };
 
 }  // namespace dynfo::fo

@@ -23,6 +23,15 @@ namespace dynfo::fo {
 struct EvalOptions {
   int num_threads = 1;
   size_t parallel_grain = 256;
+  /// Compile formulas to reusable operator-tree plans once and execute the
+  /// cached plan thereafter (see fo/plan.h), instead of re-running the greedy
+  /// planner on every evaluation. Observationally equivalent; ablate with
+  /// bench_evaluators.
+  bool use_compiled_plans = true;
+  /// Let compiled atom joins probe persistent per-column-subset indexes on
+  /// the stored relations (see relational/index.h) instead of rebuilding a
+  /// hash build side per join. Only effective with use_compiled_plans.
+  bool use_indexes = true;
 
   core::ParallelOptions Policy() const { return {num_threads, parallel_grain}; }
 };

@@ -14,12 +14,16 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/small_vector.h"
 #include "core/thread_pool.h"
 #include "relational/tuple.h"
 
 namespace dynfo::fo {
 
-using Row = std::vector<relational::Element>;
+/// Intermediate rows use small-buffer storage: up to 8 variables live inline
+/// with no heap traffic (the paper's update formulas use ≤ 8 variables; wider
+/// joins spill to the heap transparently). See core/small_vector.h.
+using Row = core::SmallVector<relational::Element, 8>;
 
 struct RowHash {
   size_t operator()(const Row& row) const {

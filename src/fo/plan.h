@@ -1,0 +1,210 @@
+/// \file plan.h
+/// Compile-once query plans for formula evaluation.
+///
+/// The algebra evaluator's greedy conjunction planner (eval_algebra.cc) makes
+/// the same decisions on every Sat call: which conjuncts act as filters,
+/// which generator binds each variable, which atom positions are pinned by
+/// request parameters. None of those decisions depend on the structure's
+/// *contents* — only on the formula and the vocabulary — so this layer runs
+/// the planner once per formula at program-load time and emits a reusable
+/// operator tree that ExecutePlan() replays against any structure/parameter
+/// binding. The hot Apply path then does zero planning work per update.
+///
+/// Plans also record, per relation atom, the exact set of argument positions
+/// whose values are known before the atom is touched (bound variables and
+/// ground terms — including request parameters). Those position sets become
+/// persistent secondary indexes on the stored relations
+/// (relational/index.h), registered once at load time and probed on every
+/// execution, so an atom join costs O(matching rows) instead of O(|R|).
+///
+/// Both layers are gated by EvalOptions::use_compiled_plans and
+/// EvalOptions::use_indexes; with either off, execution degrades to the
+/// corresponding legacy shape, and in all configurations the result is
+/// observationally identical to NaiveEvaluator (property-tested).
+
+#ifndef DYNFO_FO_PLAN_H_
+#define DYNFO_FO_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fo/eval_context.h"
+#include "fo/eval_stats.h"
+#include "fo/formula.h"
+#include "fo/named_relation.h"
+#include "relational/structure.h"
+
+namespace dynfo::fo {
+
+class Plan;
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// Compiled access path for one relation atom R(t1..tk): which argument
+/// positions are checkable before scanning (the probe key) and which bind new
+/// output columns. Compiled against a fixed input schema (the bound columns
+/// at this point of the plan); ground term *values* (constants, parameters,
+/// min/max) are resolved per execution.
+struct AtomAccess {
+  std::string relation_name;
+  int relation_index = -1;
+  int arity = 0;
+
+  /// A key component: atom argument position `position` must equal the value
+  /// of input column `source_column`, or of the ground term when
+  /// source_column < 0. Sorted by position (the canonical index-key order).
+  struct KeyPart {
+    int position = 0;
+    int source_column = -1;
+    Term ground = Term::Min();
+  };
+  std::vector<KeyPart> key;
+
+  /// First-occurrence positions of new variables, in position order; the
+  /// output row appends the tuple component at each, named by `new_columns`.
+  std::vector<int> extend_positions;
+  std::vector<std::string> new_columns;
+
+  /// Later occurrences of a new variable: candidate[position] must equal
+  /// candidate[first_position].
+  struct DupCheck {
+    int position = 0;
+    int first_position = 0;
+  };
+  std::vector<DupCheck> dup_checks;
+
+  /// The sorted position subset to index on (extracted from `key`).
+  std::vector<int> KeyPositions() const;
+};
+
+/// One step of a compiled conjunction, in execution order. Mirrors the
+/// legacy greedy planner's operator classes (eval_algebra.cc, SatAnd).
+enum class ConjStepKind {
+  kFilterRows,    ///< fully-bound conjunct: keep rows where it holds
+  kSemiJoin,      ///< fully-bound quantified conjunct: (anti-)semi-join child
+  kEqExtend,      ///< x = t, t computable per row: append one column
+  kIndexJoin,     ///< relation atom: probe a persistent index (or hash join)
+  kFilterExtend,  ///< one unbound var, quantifier-free: extend + naive filter
+  kSatJoin,       ///< last resort: natural join with the child's full Sat
+};
+
+struct ConjStep {
+  ConjStepKind kind = ConjStepKind::kFilterRows;
+  /// The accumulator schema entering this step (for per-row environments).
+  std::vector<std::string> columns_before;
+
+  /// kFilterRows / kFilterExtend: conjunct evaluated naively per row.
+  FormulaPtr formula;
+
+  /// kSemiJoin / kSatJoin: compiled subplan; `anti` negates the semi-join.
+  PlanPtr child;
+  bool anti = false;
+
+  /// kEqExtend / kFilterExtend: the new column.
+  std::string var;
+  /// kEqExtend value source: an input column, or a ground term.
+  bool eq_from_column = false;
+  int eq_source_column = -1;
+  Term eq_term = Term::Min();
+
+  /// kIndexJoin: `probe` keys on bound columns + ground terms; `scan` is the
+  /// same atom compiled standalone, the build side of the hash-join fallback
+  /// used when indexes are disabled.
+  AtomAccess probe;
+  AtomAccess scan;
+};
+
+enum class PlanKind {
+  kUnit,         ///< one empty row ("true")
+  kEmpty,        ///< no rows ("false")
+  kAtomScan,     ///< standalone relation atom (key = ground terms only)
+  kNumeric,      ///< =, <=, BIT
+  kComplement,   ///< universe^k minus the child
+  kConjunction,  ///< greedy step sequence
+  kUnion,        ///< disjunction with per-child padding
+  kProject,      ///< exists: project the child
+  kForallGroup,  ///< forall: group-count the child
+};
+
+/// An immutable compiled operator tree. Output schema (`columns`) is fixed at
+/// compile time and matches what the legacy evaluator would produce for the
+/// same formula, column for column.
+class Plan {
+ public:
+  PlanKind kind = PlanKind::kUnit;
+  std::vector<std::string> columns;
+
+  /// kAtomScan (columns == atom.new_columns).
+  AtomAccess atom;
+
+  /// kNumeric.
+  FormulaKind numeric_kind = FormulaKind::kEq;
+  Term left = Term::Min();
+  Term right = Term::Min();
+
+  /// kComplement / kProject / kForallGroup: one child; kUnion: one per
+  /// disjunct.
+  std::vector<PlanPtr> children;
+
+  /// kConjunction.
+  std::vector<ConjStep> steps;
+
+  /// kUnion, per child: output column j takes child column union_sources[i][j]
+  /// when >= 0, else pad slot -(union_sources[i][j] + 1) ranging over the
+  /// universe. union_pad_counts[i] is the number of pad slots.
+  std::vector<std::vector<int>> union_sources;
+  std::vector<int> union_pad_counts;
+
+  /// kProject: positions into the child's columns, one per output column.
+  std::vector<int> project_positions;
+
+  /// kForallGroup: positions of the kept (non-quantified) child columns, and
+  /// the number of quantified variables present in the body (a group is full
+  /// when it has n^group_arity rows).
+  std::vector<int> keep_positions;
+  int group_arity = 0;
+};
+
+/// Compiles formulas against a fixed vocabulary. Stateless beyond the
+/// vocabulary reference; the compiled plan is valid for any structure over
+/// that vocabulary and any parameter binding.
+class PlanCompiler {
+ public:
+  explicit PlanCompiler(const relational::Vocabulary& vocabulary)
+      : vocabulary_(vocabulary) {}
+
+  PlanPtr Compile(const FormulaPtr& formula) const;
+
+ private:
+  PlanPtr CompileNode(const Formula& f) const;
+  PlanPtr CompileAtomScan(const Formula& f) const;
+  PlanPtr CompileNumeric(const Formula& f) const;
+  PlanPtr CompileAnd(const Formula& f) const;
+  PlanPtr CompileOr(const Formula& f) const;
+  PlanPtr CompileExists(const Formula& f) const;
+  PlanPtr CompileForall(const Formula& f) const;
+
+  /// Compiles one atom against the given bound schema: bound variables and
+  /// ground terms become key parts, fresh variables become extensions.
+  AtomAccess CompileAtom(const Formula& f,
+                         const std::vector<std::string>& bound) const;
+
+  const relational::Vocabulary& vocabulary_;
+};
+
+/// Executes a compiled plan. Honors ctx.options (thread policy and
+/// use_indexes); counter increments match the legacy evaluator's operator
+/// accounting, plus the index_* counters.
+NamedRelation ExecutePlan(const Plan& plan, const EvalContext& ctx,
+                          AtomicEvalStats* stats);
+
+/// Registers every index the plan will probe on the relations of
+/// `structure`, so the first execution pays no index builds. Increments
+/// stats->index_builds per index actually constructed (when non-null).
+void RegisterPlanIndexes(const Plan& plan, const relational::Structure& structure,
+                         AtomicEvalStats* stats = nullptr);
+
+}  // namespace dynfo::fo
+
+#endif  // DYNFO_FO_PLAN_H_

@@ -1,0 +1,482 @@
+/// \file plan_exec.cc
+/// Executes compiled plans (fo/plan.h). Operator semantics and counter
+/// accounting mirror the legacy evaluator (eval_algebra.cc) exactly — the
+/// only behavioral additions are persistent-index probes in place of scans
+/// and per-join hash builds, gated by EvalOptions::use_indexes.
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "core/check.h"
+#include "core/thread_pool.h"
+#include "fo/eval_naive.h"
+#include "fo/plan.h"
+#include "relational/index.h"
+#include "relational/relation.h"
+
+namespace dynfo::fo {
+
+namespace {
+
+Env EnvFromRow(const std::vector<std::string>& columns, const Row& row) {
+  Env env;
+  for (size_t i = 0; i < columns.size(); ++i) env.Push(columns[i], row[i]);
+  return env;
+}
+
+std::vector<const Row*> GatherRows(const RowSet& rows) {
+  std::vector<const Row*> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) out.push_back(&row);
+  return out;
+}
+
+void Count(std::atomic<uint64_t>& counter, uint64_t delta = 1) {
+  counter.fetch_add(delta, std::memory_order_relaxed);
+}
+
+/// Ground key-part values for one execution (constants, parameters, min/max
+/// resolve against the context; column-sourced parts are filled per row).
+std::vector<relational::Element> ResolveGroundKey(const AtomAccess& access,
+                                                  const EvalContext& ctx) {
+  std::vector<relational::Element> out(access.key.size(), 0);
+  for (size_t i = 0; i < access.key.size(); ++i) {
+    if (access.key[i].source_column >= 0) continue;
+    std::optional<relational::Element> value = GroundTerm(access.key[i].ground, ctx);
+    DYNFO_CHECK(value.has_value());
+    out[i] = *value;
+  }
+  return out;
+}
+
+bool DupChecksPass(const AtomAccess& access, const relational::Tuple& t) {
+  for (const AtomAccess::DupCheck& check : access.dup_checks) {
+    if (t[check.position] != t[check.first_position]) return false;
+  }
+  return true;
+}
+
+/// Standalone atom scan (key parts are all ground): the kAtomScan node and
+/// the build side of the index-less join fallback. Probes the ground-key
+/// index when enabled.
+NamedRelation ExecuteScan(const AtomAccess& access, const EvalContext& ctx,
+                          AtomicEvalStats* stats) {
+  const relational::Relation& rel = ctx.structure->relation(access.relation_index);
+  DYNFO_CHECK(rel.arity() == access.arity)
+      << "atom arity mismatch for " << access.relation_name;
+  NamedRelation out(access.new_columns);
+  const std::vector<relational::Element> ground = ResolveGroundKey(access, ctx);
+
+  auto emit = [&](const relational::Tuple& t) {
+    if (!DupChecksPass(access, t)) return;
+    Row row;
+    row.reserve(access.extend_positions.size());
+    for (int p : access.extend_positions) row.push_back(t[p]);
+    out.AddRow(std::move(row));
+  };
+
+  if (ctx.options.use_indexes && !access.key.empty()) {
+    bool built = false;
+    const relational::TupleIndex& index = rel.EnsureIndex(access.KeyPositions(), &built);
+    if (built) Count(stats->index_builds);
+    relational::Tuple key;
+    for (relational::Element value : ground) key = key.Append(value);
+    Count(stats->index_probes);
+    const std::vector<relational::Tuple>* bucket = index.Find(key);
+    if (bucket != nullptr) {
+      for (const relational::Tuple& t : *bucket) emit(t);
+    }
+    return out;
+  }
+
+  for (const relational::Tuple& t : rel) {
+    bool match = true;
+    for (size_t i = 0; i < access.key.size() && match; ++i) {
+      match = t[access.key[i].position] == ground[i];
+    }
+    if (match) emit(t);
+  }
+  return out;
+}
+
+NamedRelation ExecuteIndexJoin(const NamedRelation& acc, const ConjStep& step,
+                               const EvalContext& ctx, AtomicEvalStats* stats) {
+  Count(stats->joins);
+  if (!ctx.options.use_indexes) {
+    // Legacy shape: hash-join against a freshly scanned build side.
+    return acc.Join(ExecuteScan(step.scan, ctx, stats), ctx.options.Policy());
+  }
+
+  const AtomAccess& access = step.probe;
+  const relational::Relation& rel = ctx.structure->relation(access.relation_index);
+  DYNFO_CHECK(rel.arity() == access.arity)
+      << "atom arity mismatch for " << access.relation_name;
+  Count(stats->indexed_joins);
+  bool built = false;
+  const relational::TupleIndex& index = rel.EnsureIndex(access.KeyPositions(), &built);
+  if (built) Count(stats->index_builds);
+  const std::vector<relational::Element> ground = ResolveGroundKey(access, ctx);
+
+  std::vector<std::string> columns = acc.columns();
+  for (const std::string& name : access.new_columns) columns.push_back(name);
+  NamedRelation out(columns);
+  Count(stats->index_probes, acc.size());
+
+  auto probe_one = [&](const Row& row, std::vector<Row>* sink) {
+    relational::Tuple key;
+    for (size_t i = 0; i < access.key.size(); ++i) {
+      const int column = access.key[i].source_column;
+      key = key.Append(column >= 0 ? row[column] : ground[i]);
+    }
+    const std::vector<relational::Tuple>* bucket = index.Find(key);
+    if (bucket == nullptr) return;
+    for (const relational::Tuple& t : *bucket) {
+      if (!DupChecksPass(access, t)) continue;
+      Row extended = row;
+      for (int p : access.extend_positions) extended.push_back(t[p]);
+      sink->push_back(std::move(extended));
+    }
+  };
+
+  core::ThreadPool& pool = core::ThreadPool::Global();
+  const core::ParallelOptions parallel = ctx.options.Policy();
+  const size_t num_chunks = pool.PlanChunks(0, acc.size(), parallel);
+  if (num_chunks <= 1) {
+    std::vector<Row> matches;
+    for (const Row& row : acc.rows()) {
+      matches.clear();
+      probe_one(row, &matches);
+      for (Row& extended : matches) out.AddRow(std::move(extended));
+    }
+    return out;
+  }
+
+  // Per-chunk buffers merged in chunk order: identical to sequential.
+  std::vector<const Row*> rows = GatherRows(acc.rows());
+  std::vector<std::vector<Row>> buffers(num_chunks);
+  pool.ParallelFor(0, rows.size(), parallel,
+                   [&](size_t chunk, size_t chunk_begin, size_t chunk_end) {
+                     std::vector<Row>& buffer = buffers[chunk];
+                     for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                       probe_one(*rows[i], &buffer);
+                     }
+                   });
+  for (std::vector<Row>& buffer : buffers) {
+    for (Row& extended : buffer) out.AddRow(std::move(extended));
+  }
+  return out;
+}
+
+NamedRelation ExecuteFilterRows(const NamedRelation& acc, const ConjStep& step,
+                                const EvalContext& ctx, AtomicEvalStats* stats) {
+  NamedRelation out(acc.columns());
+  Count(stats->filter_row_evals, acc.size());
+
+  core::ThreadPool& pool = core::ThreadPool::Global();
+  const core::ParallelOptions parallel = ctx.options.Policy();
+  const size_t num_chunks = pool.PlanChunks(0, acc.size(), parallel);
+  if (num_chunks <= 1) {
+    for (const Row& row : acc.rows()) {
+      Env env = EnvFromRow(acc.columns(), row);
+      if (NaiveEvaluator::Holds(*step.formula, ctx, &env)) out.AddRow(row);
+    }
+    return out;
+  }
+
+  std::vector<const Row*> rows = GatherRows(acc.rows());
+  std::vector<std::vector<const Row*>> buffers(num_chunks);
+  pool.ParallelFor(0, rows.size(), parallel,
+                   [&](size_t chunk, size_t chunk_begin, size_t chunk_end) {
+                     std::vector<const Row*>& buffer = buffers[chunk];
+                     for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                       Env env = EnvFromRow(acc.columns(), *rows[i]);
+                       if (NaiveEvaluator::Holds(*step.formula, ctx, &env)) {
+                         buffer.push_back(rows[i]);
+                       }
+                     }
+                   });
+  for (const std::vector<const Row*>& buffer : buffers) {
+    for (const Row* row : buffer) out.AddRow(*row);
+  }
+  return out;
+}
+
+NamedRelation ExecuteEqExtend(const NamedRelation& acc, const ConjStep& step,
+                              const EvalContext& ctx, AtomicEvalStats* stats) {
+  Count(stats->equality_extensions);
+  std::vector<std::string> columns = acc.columns();
+  columns.push_back(step.var);
+  NamedRelation out(columns);
+  relational::Element ground = 0;
+  if (!step.eq_from_column) {
+    std::optional<relational::Element> value = GroundTerm(step.eq_term, ctx);
+    DYNFO_CHECK(value.has_value());
+    ground = *value;
+  }
+  for (const Row& row : acc.rows()) {
+    Row extended = row;
+    extended.push_back(step.eq_from_column ? row[step.eq_source_column] : ground);
+    out.AddRow(std::move(extended));
+  }
+  return out;
+}
+
+NamedRelation ExecuteFilterExtend(const NamedRelation& acc, const ConjStep& step,
+                                  const EvalContext& ctx, AtomicEvalStats* stats) {
+  Count(stats->filtered_extensions);
+  const size_t n = ctx.universe_size();
+  std::vector<std::string> columns = acc.columns();
+  columns.push_back(step.var);
+  NamedRelation out(columns);
+  Count(stats->filter_row_evals, acc.size() * n);
+
+  auto extend_one = [&](const Row& row, std::vector<Row>* sink) {
+    Env env = EnvFromRow(acc.columns(), row);
+    env.Push(step.var, 0);
+    for (size_t v = 0; v < n; ++v) {
+      env.Set(static_cast<relational::Element>(v));
+      if (NaiveEvaluator::Holds(*step.formula, ctx, &env)) {
+        Row extended = row;
+        extended.push_back(static_cast<relational::Element>(v));
+        sink->push_back(std::move(extended));
+      }
+    }
+  };
+
+  core::ThreadPool& pool = core::ThreadPool::Global();
+  const core::ParallelOptions parallel = ctx.options.Policy();
+  const size_t num_chunks = pool.PlanChunks(0, acc.size(), parallel);
+  if (num_chunks <= 1) {
+    std::vector<Row> extensions;
+    for (const Row& row : acc.rows()) {
+      extensions.clear();
+      extend_one(row, &extensions);
+      for (Row& extended : extensions) out.AddRow(std::move(extended));
+    }
+    return out;
+  }
+
+  std::vector<const Row*> rows = GatherRows(acc.rows());
+  std::vector<std::vector<Row>> buffers(num_chunks);
+  pool.ParallelFor(0, rows.size(), parallel,
+                   [&](size_t chunk, size_t chunk_begin, size_t chunk_end) {
+                     std::vector<Row>& buffer = buffers[chunk];
+                     for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                       extend_one(*rows[i], &buffer);
+                     }
+                   });
+  for (std::vector<Row>& buffer : buffers) {
+    for (Row& extended : buffer) out.AddRow(std::move(extended));
+  }
+  return out;
+}
+
+NamedRelation ExecuteConjunction(const Plan& plan, const EvalContext& ctx,
+                                 AtomicEvalStats* stats) {
+  NamedRelation acc = NamedRelation::Unit();
+  for (const ConjStep& step : plan.steps) {
+    switch (step.kind) {
+      case ConjStepKind::kFilterRows:
+        acc = ExecuteFilterRows(acc, step, ctx, stats);
+        break;
+      case ConjStepKind::kSemiJoin:
+        Count(stats->semi_joins);
+        acc = acc.SemiJoin(ExecutePlan(*step.child, ctx, stats), step.anti,
+                           ctx.options.Policy());
+        break;
+      case ConjStepKind::kEqExtend:
+        if (acc.empty()) return NamedRelation(plan.columns);
+        acc = ExecuteEqExtend(acc, step, ctx, stats);
+        break;
+      case ConjStepKind::kIndexJoin:
+        if (acc.empty()) return NamedRelation(plan.columns);
+        acc = ExecuteIndexJoin(acc, step, ctx, stats);
+        break;
+      case ConjStepKind::kFilterExtend:
+        if (acc.empty()) return NamedRelation(plan.columns);
+        acc = ExecuteFilterExtend(acc, step, ctx, stats);
+        break;
+      case ConjStepKind::kSatJoin:
+        if (acc.empty()) return NamedRelation(plan.columns);
+        Count(stats->joins);
+        acc = acc.Join(ExecutePlan(*step.child, ctx, stats), ctx.options.Policy());
+        break;
+    }
+  }
+  if (acc.empty()) return NamedRelation(plan.columns);
+  DYNFO_CHECK(acc.columns().size() == plan.columns.size());
+  return acc;
+}
+
+NamedRelation ExecuteNumeric(const Plan& plan, const EvalContext& ctx) {
+  const size_t n = ctx.universe_size();
+  const Term& lhs = plan.left;
+  const Term& rhs = plan.right;
+  std::optional<relational::Element> lg = GroundTerm(lhs, ctx);
+  std::optional<relational::Element> rg = GroundTerm(rhs, ctx);
+
+  auto holds = [&](relational::Element a, relational::Element b) {
+    switch (plan.numeric_kind) {
+      case FormulaKind::kEq:
+        return a == b;
+      case FormulaKind::kLe:
+        return a <= b;
+      case FormulaKind::kBit:
+        return b < 32 && ((a >> b) & 1u) != 0;
+      default:
+        DYNFO_UNREACHABLE();
+    }
+  };
+
+  if (lg && rg) {
+    return holds(*lg, *rg) ? NamedRelation::Unit() : NamedRelation({});
+  }
+  if (lg || rg) {
+    NamedRelation out(plan.columns);
+    for (size_t v = 0; v < n; ++v) {
+      relational::Element e = static_cast<relational::Element>(v);
+      bool ok = lg ? holds(*lg, e) : holds(e, *rg);
+      if (ok) out.AddRow({e});
+    }
+    return out;
+  }
+  if (lhs.name() == rhs.name()) {
+    NamedRelation out(plan.columns);
+    for (size_t v = 0; v < n; ++v) {
+      relational::Element e = static_cast<relational::Element>(v);
+      if (holds(e, e)) out.AddRow({e});
+    }
+    return out;
+  }
+  if (plan.numeric_kind == FormulaKind::kEq) {
+    NamedRelation out(plan.columns);
+    for (size_t v = 0; v < n; ++v) {
+      relational::Element e = static_cast<relational::Element>(v);
+      out.AddRow({e, e});
+    }
+    return out;
+  }
+  NamedRelation out(plan.columns);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (holds(static_cast<relational::Element>(a),
+                static_cast<relational::Element>(b))) {
+        out.AddRow({static_cast<relational::Element>(a),
+                    static_cast<relational::Element>(b)});
+      }
+    }
+  }
+  return out;
+}
+
+NamedRelation ExecuteUnion(const Plan& plan, const EvalContext& ctx,
+                           AtomicEvalStats* stats) {
+  NamedRelation out(plan.columns);
+  const size_t n = ctx.universe_size();
+  for (size_t i = 0; i < plan.children.size(); ++i) {
+    NamedRelation sat = ExecutePlan(*plan.children[i], ctx, stats);
+    const std::vector<int>& sources = plan.union_sources[i];
+    const int pads = plan.union_pad_counts[i];
+    if (pads > 0) Count(stats->pads);
+    if (pads == 0) {
+      for (const Row& row : sat.rows()) {
+        Row mapped;
+        mapped.reserve(sources.size());
+        for (int s : sources) mapped.push_back(row[s]);
+        out.AddRow(std::move(mapped));
+      }
+      continue;
+    }
+    if (n == 0) continue;  // padding over an empty universe yields nothing
+    std::vector<relational::Element> pad(pads, 0);
+    for (const Row& row : sat.rows()) {
+      std::fill(pad.begin(), pad.end(), 0);
+      while (true) {
+        Row mapped;
+        mapped.reserve(sources.size());
+        for (int s : sources) {
+          mapped.push_back(s >= 0 ? row[s] : pad[static_cast<size_t>(-s - 1)]);
+        }
+        out.AddRow(std::move(mapped));
+        int d = 0;
+        while (d < pads) {
+          if (static_cast<size_t>(++pad[d]) < n) break;
+          pad[d] = 0;
+          ++d;
+        }
+        if (d == pads) break;
+      }
+    }
+  }
+  return out;
+}
+
+NamedRelation ExecuteProject(const Plan& plan, const EvalContext& ctx,
+                             AtomicEvalStats* stats) {
+  NamedRelation sat = ExecutePlan(*plan.children[0], ctx, stats);
+  NamedRelation out(plan.columns);
+  for (const Row& row : sat.rows()) {
+    Row projected;
+    projected.reserve(plan.project_positions.size());
+    for (int p : plan.project_positions) projected.push_back(row[p]);
+    out.AddRow(std::move(projected));
+  }
+  return out;
+}
+
+NamedRelation ExecuteForallGroup(const Plan& plan, const EvalContext& ctx,
+                                 AtomicEvalStats* stats) {
+  NamedRelation sat = ExecutePlan(*plan.children[0], ctx, stats);
+  const size_t n = ctx.universe_size();
+  uint64_t required = 1;
+  for (int i = 0; i < plan.group_arity; ++i) {
+    DYNFO_CHECK(n > 0 && required <= std::numeric_limits<uint64_t>::max() / n)
+        << "forall group size overflow";
+    required *= n;
+  }
+  std::unordered_map<Row, uint64_t, RowHash> counts;
+  for (const Row& row : sat.rows()) {
+    Row key;
+    key.reserve(plan.keep_positions.size());
+    for (int p : plan.keep_positions) key.push_back(row[p]);
+    ++counts[key];
+  }
+  NamedRelation out(plan.columns);
+  for (const auto& [key, count] : counts) {
+    if (count == required) out.AddRow(key);
+  }
+  return out;
+}
+
+}  // namespace
+
+NamedRelation ExecutePlan(const Plan& plan, const EvalContext& ctx,
+                          AtomicEvalStats* stats) {
+  switch (plan.kind) {
+    case PlanKind::kUnit:
+      return NamedRelation::Unit();
+    case PlanKind::kEmpty:
+      return NamedRelation(plan.columns);
+    case PlanKind::kAtomScan:
+      return ExecuteScan(plan.atom, ctx, stats);
+    case PlanKind::kNumeric:
+      return ExecuteNumeric(plan, ctx);
+    case PlanKind::kComplement: {
+      NamedRelation sat = ExecutePlan(*plan.children[0], ctx, stats);
+      Count(stats->complements);
+      return sat.ComplementWithin(ctx.universe_size(), ctx.options.Policy());
+    }
+    case PlanKind::kConjunction:
+      return ExecuteConjunction(plan, ctx, stats);
+    case PlanKind::kUnion:
+      return ExecuteUnion(plan, ctx, stats);
+    case PlanKind::kProject:
+      return ExecuteProject(plan, ctx, stats);
+    case PlanKind::kForallGroup:
+      return ExecuteForallGroup(plan, ctx, stats);
+  }
+  DYNFO_UNREACHABLE();
+}
+
+}  // namespace dynfo::fo

@@ -1,0 +1,85 @@
+#include "relational/index.h"
+
+namespace dynfo::relational {
+
+TupleIndex::TupleIndex(std::vector<int> positions) : positions_(std::move(positions)) {
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    DYNFO_CHECK(positions_[i] >= 0 && positions_[i] < Tuple::kMaxArity);
+    DYNFO_CHECK(i == 0 || positions_[i - 1] < positions_[i])
+        << "index positions must be sorted and distinct";
+  }
+}
+
+Tuple TupleIndex::KeyFor(const Tuple& t) const {
+  Tuple key;
+  for (int p : positions_) key = key.Append(t[p]);
+  return key;
+}
+
+void TupleIndex::Add(const Tuple& t) {
+  buckets_[KeyFor(t)].push_back(t);
+  ++entries_;
+}
+
+void TupleIndex::Remove(const Tuple& t) {
+  auto it = buckets_.find(KeyFor(t));
+  if (it == buckets_.end()) return;
+  std::vector<Tuple>& bucket = it->second;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i] != t) continue;
+    bucket[i] = bucket.back();
+    bucket.pop_back();
+    --entries_;
+    if (bucket.empty()) buckets_.erase(it);
+    return;
+  }
+}
+
+void TupleIndex::Clear() {
+  buckets_.clear();
+  entries_ = 0;
+}
+
+std::string TupleIndex::CorruptForTest(core::Rng* rng) {
+  if (buckets_.empty()) return "";
+  size_t target = rng->Below(buckets_.size());
+  auto it = buckets_.begin();
+  for (size_t i = 0; i < target; ++i) ++it;
+  std::vector<Tuple>& bucket = it->second;
+  const size_t slot = rng->Below(bucket.size());
+  switch (rng->Below(3)) {
+    case 0: {  // drop an entry
+      std::string what = "dropped " + bucket[slot].ToString();
+      bucket[slot] = bucket.back();
+      bucket.pop_back();
+      --entries_;
+      if (bucket.empty()) buckets_.erase(it);
+      return what;
+    }
+    case 1: {  // duplicate an entry
+      std::string what = "duplicated " + bucket[slot].ToString();
+      bucket.push_back(bucket[slot]);
+      ++entries_;
+      return what;
+    }
+    default: {  // flip one component of an entry (bit rot)
+      const Tuple original = bucket[slot];
+      if (original.size() == 0) {  // nothing to flip in a 0-ary tuple
+        bucket[slot] = bucket.back();
+        bucket.pop_back();
+        --entries_;
+        if (bucket.empty()) buckets_.erase(it);
+        return "dropped ()";
+      }
+      const int flip = static_cast<int>(rng->Below(original.size()));
+      Tuple mutated;
+      for (int i = 0; i < original.size(); ++i) {
+        mutated = mutated.Append(i == flip ? original[i] ^ 1u : original[i]);
+      }
+      bucket[slot] = mutated;
+      return "mutated " + original.ToString() + " -> " + mutated.ToString();
+    }
+  }
+}
+
+}  // namespace dynfo::relational

@@ -4,6 +4,53 @@
 
 namespace dynfo::relational {
 
+const TupleIndex& Relation::EnsureIndex(const std::vector<int>& positions,
+                                        bool* built_now) const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  for (const std::unique_ptr<TupleIndex>& index : indexes_) {
+    if (index->positions() == positions) {
+      if (built_now != nullptr) *built_now = false;
+      return *index;
+    }
+  }
+  auto index = std::make_unique<TupleIndex>(positions);
+  for (int p : positions) {
+    DYNFO_CHECK(p < arity_) << "index position beyond relation arity";
+  }
+  for (const Tuple& t : tuples_) index->Add(t);
+  indexes_.push_back(std::move(index));
+  if (built_now != nullptr) *built_now = true;
+  return *indexes_.back();
+}
+
+core::Status Relation::ValidateIndexes() const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    const TupleIndex& index = *indexes_[i];
+    if (index.num_entries() != tuples_.size()) {
+      return core::Status::Error(
+          "index " + std::to_string(i) + " holds " +
+          std::to_string(index.num_entries()) + " entries, relation holds " +
+          std::to_string(tuples_.size()) + " tuples");
+    }
+    for (const Tuple& t : tuples_) {
+      const std::vector<Tuple>* bucket = index.Find(index.KeyFor(t));
+      size_t copies = 0;
+      if (bucket != nullptr) {
+        for (const Tuple& entry : *bucket) {
+          if (entry == t) ++copies;
+        }
+      }
+      if (copies != 1) {
+        return core::Status::Error("index " + std::to_string(i) + " holds " +
+                                   std::to_string(copies) + " copies of " +
+                                   t.ToString() + " (want exactly 1)");
+      }
+    }
+  }
+  return core::Status();
+}
+
 std::vector<Tuple> Relation::SortedTuples() const {
   std::vector<Tuple> out(tuples_.begin(), tuples_.end());
   std::sort(out.begin(), out.end());

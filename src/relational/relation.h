@@ -4,19 +4,55 @@
 #ifndef DYNFO_RELATIONAL_RELATION_H_
 #define DYNFO_RELATIONAL_RELATION_H_
 
-#include <unordered_set>
+#include <memory>
+#include <mutex>
 #include <vector>
 
-#include "relational/tuple.h"
+#include "core/status.h"
+#include "relational/index.h"
+#include "relational/tuple_set.h"
 
 namespace dynfo::relational {
 
-/// Mutable tuple set with O(1) expected membership/insert/erase. Iteration
-/// order is unspecified; use SortedTuples() where determinism matters.
+/// Mutable tuple set with O(1) expected membership/insert/erase, stored in an
+/// open-addressing flat table (see tuple_set.h). Iteration order is
+/// unspecified; use SortedTuples() where determinism matters.
+///
+/// A relation additionally owns persistent secondary indexes (see index.h),
+/// registered lazily by compiled query plans through EnsureIndex() and
+/// maintained incrementally by every Insert/Erase/Clear. Indexes are derived
+/// state: they never affect equality, are dropped (and lazily rebuilt) on
+/// copy, and follow the tuples on move.
+///
+/// Thread-safety: concurrent *readers* — including concurrent EnsureIndex
+/// calls, which synchronize on an internal mutex — are safe; mutation must
+/// be externally serialized against all access, which the engine's
+/// synchronous update semantics already guarantees (rules read the old
+/// structure concurrently, commits are single-threaded).
 class Relation {
  public:
   explicit Relation(int arity) : arity_(arity) {
     DYNFO_CHECK(arity >= 0 && arity <= Tuple::kMaxArity);
+  }
+
+  Relation(const Relation& other) : arity_(other.arity_), tuples_(other.tuples_) {}
+  Relation& operator=(const Relation& other) {
+    if (this == &other) return *this;
+    arity_ = other.arity_;
+    tuples_ = other.tuples_;
+    indexes_.clear();  // stale for the new contents; rebuilt on demand
+    return *this;
+  }
+  Relation(Relation&& other) noexcept
+      : arity_(other.arity_),
+        tuples_(std::move(other.tuples_)),
+        indexes_(std::move(other.indexes_)) {}
+  Relation& operator=(Relation&& other) noexcept {
+    if (this == &other) return *this;
+    arity_ = other.arity_;
+    tuples_ = std::move(other.tuples_);
+    indexes_ = std::move(other.indexes_);
+    return *this;
   }
 
   int arity() const { return arity_; }
@@ -25,30 +61,62 @@ class Relation {
 
   bool Contains(const Tuple& t) const {
     DYNFO_CHECK(t.size() == arity_);
-    return tuples_.find(t) != tuples_.end();
+    return tuples_.Contains(t);
   }
 
   /// Inserts a tuple; returns true if it was not already present.
   bool Insert(const Tuple& t) {
     DYNFO_CHECK(t.size() == arity_);
-    return tuples_.insert(t).second;
+    if (!tuples_.Insert(t)) return false;
+    for (const std::unique_ptr<TupleIndex>& index : indexes_) index->Add(t);
+    return true;
   }
 
   /// Erases a tuple; returns true if it was present.
   bool Erase(const Tuple& t) {
     DYNFO_CHECK(t.size() == arity_);
-    return tuples_.erase(t) > 0;
+    if (!tuples_.Erase(t)) return false;
+    for (const std::unique_ptr<TupleIndex>& index : indexes_) index->Remove(t);
+    return true;
   }
 
-  void Clear() { tuples_.clear(); }
+  void Clear() {
+    tuples_.Clear();
+    for (const std::unique_ptr<TupleIndex>& index : indexes_) index->Clear();
+  }
 
   auto begin() const { return tuples_.begin(); }
   auto end() const { return tuples_.end(); }
 
+  /// The index keyed on `positions` (sorted, distinct argument positions),
+  /// building it from the current contents on first request. Safe to call
+  /// from concurrent readers. `built_now`, when non-null, reports whether
+  /// this call constructed the index (for build-vs-probe accounting).
+  const TupleIndex& EnsureIndex(const std::vector<int>& positions,
+                                bool* built_now = nullptr) const;
+
+  size_t num_indexes() const {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    return indexes_.size();
+  }
+
+  /// Checks every index against the tuple set: each stored tuple appears in
+  /// its bucket exactly once and bucket totals match the relation size (so
+  /// there are no phantom entries either). Error describes the first
+  /// inconsistency found.
+  core::Status ValidateIndexes() const;
+
+  /// Test hook: mutable access to index `i` for fault-injection tests.
+  TupleIndex* MutableIndexForTest(size_t i) {
+    DYNFO_CHECK(i < indexes_.size());
+    return indexes_[i].get();
+  }
+
   /// All tuples in lexicographic order (deterministic).
   std::vector<Tuple> SortedTuples() const;
 
-  /// Set equality (arity and contents).
+  /// Set equality (arity and contents; indexes are derived state and do not
+  /// participate).
   bool operator==(const Relation& other) const {
     return arity_ == other.arity_ && tuples_ == other.tuples_;
   }
@@ -59,7 +127,13 @@ class Relation {
 
  private:
   int arity_;
-  std::unordered_set<Tuple, TupleHash> tuples_;
+  TupleSet tuples_;
+  /// Lazily registered, incrementally maintained. Mutable because
+  /// registration happens under const access during plan execution; guarded
+  /// by index_mutex_ (see thread-safety note above). unique_ptr elements
+  /// keep returned references stable across vector growth.
+  mutable std::vector<std::unique_ptr<TupleIndex>> indexes_;
+  mutable std::mutex index_mutex_;
 };
 
 }  // namespace dynfo::relational

@@ -1,0 +1,180 @@
+/// \file tuple_set.h
+/// An open-addressing flat hash set of Tuples.
+///
+/// Relation storage is the single hottest container in the engine: every
+/// membership probe, delta insert/erase, and full-relation scan goes through
+/// it. std::unordered_set allocates one node per tuple and chases a pointer
+/// per probe; this set stores tuples inline in a flat slot array with linear
+/// probing, so probes touch one cache line and inserts allocate only on
+/// growth.
+///
+/// Deletions leave tombstones; the table rehashes when full+tombstone slots
+/// exceed 7/8 of capacity (growing only when live tuples dominate, otherwise
+/// rehashing in place to purge tombstones). Iteration order is unspecified,
+/// matching the std::unordered_set contract the engine already had — callers
+/// needing determinism sort (Relation::SortedTuples).
+
+#ifndef DYNFO_RELATIONAL_TUPLE_SET_H_
+#define DYNFO_RELATIONAL_TUPLE_SET_H_
+
+#include <cstdint>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "relational/tuple.h"
+
+namespace dynfo::relational {
+
+class TupleSet {
+ public:
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Tuple;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Tuple*;
+    using reference = const Tuple&;
+
+    const_iterator(const TupleSet* set, size_t index) : set_(set), index_(index) {
+      SkipToFull();
+    }
+
+    const Tuple& operator*() const { return set_->slots_[index_]; }
+    const Tuple* operator->() const { return &set_->slots_[index_]; }
+
+    const_iterator& operator++() {
+      ++index_;
+      SkipToFull();
+      return *this;
+    }
+
+    bool operator==(const const_iterator& other) const {
+      return index_ == other.index_;
+    }
+    bool operator!=(const const_iterator& other) const { return !(*this == other); }
+
+   private:
+    void SkipToFull() {
+      while (index_ < set_->states_.size() && set_->states_[index_] != kFull) {
+        ++index_;
+      }
+    }
+
+    const TupleSet* set_;
+    size_t index_;
+  };
+
+  TupleSet() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Contains(const Tuple& t) const { return FindSlot(t) != kNotFound; }
+
+  /// Inserts a tuple; returns true if it was not already present.
+  bool Insert(const Tuple& t) {
+    if (states_.empty() || (used_ + 1) * 8 > states_.size() * 7) Rehash();
+    const size_t mask = states_.size() - 1;
+    size_t index = static_cast<size_t>(t.Hash()) & mask;
+    size_t target = kNotFound;  // first tombstone passed, reusable
+    while (true) {
+      const uint8_t state = states_[index];
+      if (state == kEmpty) {
+        if (target == kNotFound) {
+          target = index;
+          ++used_;  // consuming a fresh slot, not a tombstone
+        }
+        break;
+      }
+      if (state == kTombstone) {
+        if (target == kNotFound) target = index;
+      } else if (slots_[index] == t) {
+        return false;
+      }
+      index = (index + 1) & mask;
+    }
+    slots_[target] = t;
+    states_[target] = kFull;
+    ++size_;
+    return true;
+  }
+
+  /// Erases a tuple; returns true if it was present.
+  bool Erase(const Tuple& t) {
+    const size_t index = FindSlot(t);
+    if (index == kNotFound) return false;
+    states_[index] = kTombstone;
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    slots_.clear();
+    states_.clear();
+    size_ = 0;
+    used_ = 0;
+  }
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, states_.size()); }
+
+  /// Set equality, independent of slot layout and insertion history.
+  bool operator==(const TupleSet& other) const {
+    if (size_ != other.size_) return false;
+    for (const Tuple& t : *this) {
+      if (!other.Contains(t)) return false;
+    }
+    return true;
+  }
+  bool operator!=(const TupleSet& other) const { return !(*this == other); }
+
+ private:
+  static constexpr uint8_t kEmpty = 0;
+  static constexpr uint8_t kFull = 1;
+  static constexpr uint8_t kTombstone = 2;
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  static constexpr size_t kMinCapacity = 16;
+
+  size_t FindSlot(const Tuple& t) const {
+    if (states_.empty()) return kNotFound;
+    const size_t mask = states_.size() - 1;
+    size_t index = static_cast<size_t>(t.Hash()) & mask;
+    while (true) {
+      const uint8_t state = states_[index];
+      if (state == kEmpty) return kNotFound;
+      if (state == kFull && slots_[index] == t) return index;
+      index = (index + 1) & mask;
+    }
+  }
+
+  /// Rebuilds the table: doubles capacity when live tuples fill more than
+  /// half the slots, otherwise keeps the size and just purges tombstones.
+  void Rehash() {
+    size_t capacity = states_.empty() ? kMinCapacity : states_.size();
+    if ((size_ + 1) * 2 > capacity) capacity *= 2;
+    std::vector<Tuple> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_states = std::move(states_);
+    slots_.assign(capacity, Tuple());
+    states_.assign(capacity, kEmpty);
+    used_ = 0;
+    const size_t mask = capacity - 1;
+    for (size_t i = 0; i < old_states.size(); ++i) {
+      if (old_states[i] != kFull) continue;
+      size_t index = static_cast<size_t>(old_slots[i].Hash()) & mask;
+      while (states_[index] == kFull) index = (index + 1) & mask;
+      slots_[index] = old_slots[i];
+      states_[index] = kFull;
+      ++used_;
+    }
+  }
+
+  std::vector<Tuple> slots_;
+  std::vector<uint8_t> states_;
+  size_t size_ = 0;  ///< live tuples
+  size_t used_ = 0;  ///< full + tombstone slots (probe-chain occupancy)
+};
+
+}  // namespace dynfo::relational
+
+#endif  // DYNFO_RELATIONAL_TUPLE_SET_H_

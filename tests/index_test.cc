@@ -1,0 +1,240 @@
+/// Tests for the persistent-index layer: the open-addressing TupleSet that
+/// backs Relation storage, the TupleIndex secondary indexes, and the
+/// incremental index maintenance + consistency validation on Relation.
+/// Includes fault-injection coverage: a deliberately corrupted index must be
+/// caught by Relation::ValidateIndexes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "core/fault.h"
+#include "core/rng.h"
+#include "relational/index.h"
+#include "relational/relation.h"
+#include "relational/structure.h"
+#include "relational/tuple_set.h"
+
+namespace dynfo::relational {
+namespace {
+
+Tuple T(std::initializer_list<Element> values) {
+  Tuple t;
+  for (Element v : values) t = t.Append(v);
+  return t;
+}
+
+TEST(TupleSetTest, InsertEraseContains) {
+  TupleSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.Insert(T({1, 2})));
+  EXPECT_FALSE(set.Insert(T({1, 2})));  // duplicate
+  EXPECT_TRUE(set.Insert(T({2, 1})));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(T({1, 2})));
+  EXPECT_FALSE(set.Contains(T({3, 3})));
+  EXPECT_TRUE(set.Erase(T({1, 2})));
+  EXPECT_FALSE(set.Erase(T({1, 2})));  // already gone
+  EXPECT_FALSE(set.Contains(T({1, 2})));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(TupleSetTest, SurvivesTombstoneChurnAndGrowth) {
+  // Repeated insert/erase cycles exercise tombstone reuse and the in-place
+  // purge rehash; the growing tail exercises capacity doubling.
+  TupleSet set;
+  for (int round = 0; round < 50; ++round) {
+    for (Element v = 0; v < 40; ++v) ASSERT_TRUE(set.Insert(T({v, static_cast<Element>(round)})));
+    for (Element v = 0; v < 40; ++v) ASSERT_TRUE(set.Erase(T({v, static_cast<Element>(round)})));
+    ASSERT_TRUE(set.Insert(T({static_cast<Element>(round), 1000})));
+  }
+  EXPECT_EQ(set.size(), 50u);
+  size_t seen = 0;
+  for (const Tuple& t : set) {
+    EXPECT_EQ(t[1], 1000u);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 50u);
+}
+
+TEST(TupleSetTest, MatchesReferenceUnderRandomChurn) {
+  core::Rng rng(7);
+  TupleSet set;
+  std::unordered_set<Tuple, TupleHash> reference;
+  for (int step = 0; step < 5000; ++step) {
+    Tuple t = T({static_cast<Element>(rng.Below(12)), static_cast<Element>(rng.Below(12))});
+    if (rng.Chance(3, 5)) {
+      ASSERT_EQ(set.Insert(t), reference.insert(t).second);
+    } else {
+      ASSERT_EQ(set.Erase(t), reference.erase(t) > 0);
+    }
+    ASSERT_EQ(set.size(), reference.size());
+  }
+  for (const Tuple& t : reference) EXPECT_TRUE(set.Contains(t));
+  for (const Tuple& t : set) EXPECT_TRUE(reference.count(t) > 0);
+}
+
+TEST(TupleSetTest, EqualityIgnoresInsertionHistory) {
+  TupleSet a;
+  TupleSet b;
+  for (Element v = 0; v < 20; ++v) a.Insert(T({v}));
+  for (Element v = 19; v + 1 > 0; --v) b.Insert(T({v}));
+  b.Insert(T({99}));
+  b.Erase(T({99}));  // leaves a tombstone in b only
+  EXPECT_EQ(a, b);
+  b.Erase(T({0}));
+  EXPECT_NE(a, b);
+}
+
+TEST(TupleIndexTest, KeyForProjectsOntoPositions) {
+  TupleIndex index({0, 2});
+  EXPECT_EQ(index.KeyFor(T({5, 6, 7})), T({5, 7}));
+  EXPECT_EQ(index.positions(), (std::vector<int>{0, 2}));
+}
+
+TEST(TupleIndexTest, AddRemoveFind) {
+  TupleIndex index({0});
+  index.Add(T({1, 2}));
+  index.Add(T({1, 3}));
+  index.Add(T({2, 9}));
+  EXPECT_EQ(index.num_entries(), 3u);
+  EXPECT_EQ(index.num_keys(), 2u);
+  const std::vector<Tuple>* bucket = index.Find(T({1}));
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->size(), 2u);
+  EXPECT_EQ(index.Find(T({7})), nullptr);
+  index.Remove(T({1, 2}));
+  EXPECT_EQ(index.num_entries(), 2u);
+  index.Remove(T({2, 9}));
+  EXPECT_EQ(index.Find(T({2})), nullptr);  // emptied buckets are erased
+  index.Clear();
+  EXPECT_EQ(index.num_entries(), 0u);
+  EXPECT_EQ(index.num_keys(), 0u);
+}
+
+TEST(RelationIndexTest, EnsureIndexBuildsOnceAndIsShared) {
+  Relation rel(2);
+  rel.Insert(T({0, 1}));
+  rel.Insert(T({0, 2}));
+  bool built = false;
+  const TupleIndex& index = rel.EnsureIndex({0}, &built);
+  EXPECT_TRUE(built);
+  EXPECT_EQ(index.num_entries(), 2u);
+  const TupleIndex& again = rel.EnsureIndex({0}, &built);
+  EXPECT_FALSE(built);
+  EXPECT_EQ(&again, &index);
+  rel.EnsureIndex({1});
+  rel.EnsureIndex({0, 1});
+  EXPECT_EQ(rel.num_indexes(), 3u);
+}
+
+TEST(RelationIndexTest, IndexesMaintainedAcrossInsertEraseClear) {
+  core::Rng rng(13);
+  Relation rel(2);
+  rel.EnsureIndex({0});
+  rel.EnsureIndex({1});
+  rel.EnsureIndex({0, 1});
+  for (int step = 0; step < 2000; ++step) {
+    Tuple t = T({static_cast<Element>(rng.Below(8)), static_cast<Element>(rng.Below(8))});
+    if (rng.Chance(3, 5)) {
+      rel.Insert(t);
+    } else {
+      rel.Erase(t);
+    }
+    if (step % 509 == 0) rel.Clear();
+    if (step % 97 == 0) {
+      core::Status status = rel.ValidateIndexes();
+      ASSERT_TRUE(status.ok()) << "step " << step << ": " << status.message();
+    }
+  }
+  EXPECT_TRUE(rel.ValidateIndexes().ok());
+
+  // Every index answers point lookups identically to a scan.
+  const TupleIndex& by_first = rel.EnsureIndex({0});
+  for (Element v = 0; v < 8; ++v) {
+    std::set<Tuple> via_scan;
+    for (const Tuple& t : rel) {
+      if (t[0] == v) via_scan.insert(t);
+    }
+    std::set<Tuple> via_index;
+    const std::vector<Tuple>* bucket = by_first.Find(T({v}));
+    if (bucket != nullptr) via_index.insert(bucket->begin(), bucket->end());
+    EXPECT_EQ(via_index, via_scan) << "key " << v;
+  }
+}
+
+TEST(RelationIndexTest, CopyDropsIndexesMoveKeepsThem) {
+  Relation rel(1);
+  rel.Insert(T({3}));
+  rel.EnsureIndex({0});
+  ASSERT_EQ(rel.num_indexes(), 1u);
+
+  Relation copied(rel);
+  EXPECT_EQ(copied.num_indexes(), 0u);  // derived state: rebuilt on demand
+  EXPECT_EQ(copied, rel);               // equality ignores indexes
+
+  Relation moved(std::move(copied));
+  Relation target(1);
+  target = std::move(moved);
+  EXPECT_TRUE(target.Contains(T({3})));
+
+  Relation moved_with_index(std::move(rel));
+  EXPECT_EQ(moved_with_index.num_indexes(), 1u);
+  EXPECT_TRUE(moved_with_index.ValidateIndexes().ok());
+}
+
+TEST(RelationIndexTest, AssignmentInvalidatesStaleIndexes) {
+  Relation a(1);
+  a.Insert(T({1}));
+  a.EnsureIndex({0});
+  Relation b(1);
+  b.Insert(T({2}));
+  a = b;
+  EXPECT_EQ(a.num_indexes(), 0u);
+  // A fresh index reflects the assigned contents, not the old ones.
+  const TupleIndex& index = a.EnsureIndex({0});
+  EXPECT_EQ(index.Find(T({1})), nullptr);
+  EXPECT_NE(index.Find(T({2})), nullptr);
+  EXPECT_TRUE(a.ValidateIndexes().ok());
+}
+
+TEST(RelationIndexTest, CorruptionIsDetectedAcrossDamageModes) {
+  // CorruptForTest picks the damage mode (drop / duplicate / mutate) from the
+  // rng; across seeds all modes occur, and every one must trip validation.
+  int detected = 0;
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    core::FaultInjector injector(seed);
+    Relation rel(2);
+    for (Element v = 0; v < 6; ++v) rel.Insert(T({v, static_cast<Element>(5 - v)}));
+    rel.EnsureIndex({0});
+    ASSERT_TRUE(rel.ValidateIndexes().ok());
+    std::string damage = rel.MutableIndexForTest(0)->CorruptForTest(&injector.rng());
+    ASSERT_FALSE(damage.empty());
+    core::Status status = rel.ValidateIndexes();
+    EXPECT_FALSE(status.ok()) << "seed " << seed << " damage: " << damage;
+    if (!status.ok()) ++detected;
+  }
+  EXPECT_EQ(detected, 24);
+}
+
+TEST(RelationIndexTest, StructureCopySemantics) {
+  auto vocab = std::make_shared<Vocabulary>();
+  vocab->AddRelation("E", 2);
+  Structure structure(vocab, 4);
+  structure.relation("E").Insert(T({0, 1}));
+  structure.relation("E").EnsureIndex({0});
+
+  Structure copy = structure;  // snapshot-style copy
+  EXPECT_EQ(copy.relation("E").num_indexes(), 0u);
+  EXPECT_EQ(copy, structure);
+  copy.relation("E").Insert(T({2, 3}));
+  // The original's index is untouched by the copy's mutation.
+  EXPECT_TRUE(structure.relation("E").ValidateIndexes().ok());
+  EXPECT_EQ(structure.relation("E").size(), 1u);
+}
+
+}  // namespace
+}  // namespace dynfo::relational

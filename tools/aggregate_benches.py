@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Merges google-benchmark JSON outputs into one BENCH_core.json.
+
+Stdlib only. Alongside the raw per-benchmark rows it computes the derived
+ablation quotients the plan/index work is judged by (see EXPERIMENTS.md,
+"Evaluator ablation"): per-update evaluation speedups of compiled+indexed
+plans over the re-planning evaluator, plan-cache hit rates, and per-update
+planner invocations.
+"""
+
+import argparse
+import json
+import sys
+
+# Standard google-benchmark fields kept per row; everything else numeric is
+# treated as a user counter.
+KEEP_FIELDS = ("name", "iterations", "real_time", "cpu_time", "time_unit",
+               "items_per_second")
+STANDARD_FIELDS = KEEP_FIELDS + (
+    "run_name", "run_type", "repetitions", "repetition_index", "threads",
+    "family_index", "per_family_instance_index", "aggregate_name",
+    "label", "error_occurred", "error_message")
+
+
+def load_rows(paths):
+    rows = []
+    context = None
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        if context is None:
+            context = data.get("context", {})
+        binary = data.get("context", {}).get("executable", path)
+        binary = binary.rsplit("/", 1)[-1].removesuffix(".json")
+        for bench in data.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            row = {"binary": binary}
+            for field in KEEP_FIELDS:
+                if field in bench:
+                    row[field] = bench[field]
+            counters = {k: v for k, v in bench.items()
+                        if k not in STANDARD_FIELDS and isinstance(v, (int, float))}
+            if counters:
+                row["counters"] = counters
+            rows.append(row)
+    return context or {}, rows
+
+
+def by_name(rows):
+    return {row["name"]: row for row in rows}
+
+
+def largest_arg(rows, prefix):
+    """The row '<prefix>/<n>' with the largest n, or None."""
+    best = None
+    best_arg = -1
+    for row in rows:
+        name = row["name"]
+        if not name.startswith(prefix + "/"):
+            continue
+        try:
+            arg = int(name.rsplit("/", 1)[1])
+        except ValueError:
+            continue
+        if arg > best_arg:
+            best, best_arg = row, arg
+    return best
+
+
+def speedup(rows, slow_prefix, fast_prefix):
+    """real_time quotient slow/fast at the largest common benchmark size."""
+    slow = largest_arg(rows, slow_prefix)
+    fast = largest_arg(rows, fast_prefix)
+    if not slow or not fast or fast["real_time"] <= 0:
+        return None
+    if slow["name"].rsplit("/", 1)[1] != fast["name"].rsplit("/", 1)[1]:
+        return None
+    return {
+        "at": slow["name"].rsplit("/", 1)[1],
+        "slow": slow["name"],
+        "fast": fast["name"],
+        "speedup": round(slow["real_time"] / fast["real_time"], 3),
+    }
+
+
+def derive(rows):
+    derived = {}
+    # Per-update evaluation of the request-local reach_u subformula (the hot
+    # shape the plan/index layer targets) and parity's full update formula.
+    pairs = {
+        "reach_u_update_eval": ("BM_UpdateLocalityReplan",
+                                "BM_UpdateLocalityCompiledIndexed"),
+        "reach_u_update_eval_compiled_only": ("BM_UpdateLocalityReplan",
+                                              "BM_UpdateLocalityCompiled"),
+        "parity_update_eval": ("BM_ParityUpdateEvalReplan",
+                               "BM_ParityUpdateEvalCompiled"),
+        # End-to-end Apply (includes inherent result materialization, which
+        # the plan layer cannot remove — see EXPERIMENTS.md).
+        "reach_u_apply": ("BM_EvalAlgebraReplan", "BM_EvalAlgebraCompiledIndexed"),
+        "parity_apply": ("BM_ParityReplan", "BM_ParityCompiledIndexed"),
+    }
+    speedups = {}
+    for key, (slow, fast) in pairs.items():
+        result = speedup(rows, slow, fast)
+        if result is not None:
+            speedups[key] = result
+    derived["speedups"] = speedups
+
+    hit_rates = []
+    planner_runs = []
+    for row in rows:
+        counters = row.get("counters", {})
+        if "Compiled" in row["name"] and "plan_cache_hit_rate" in counters:
+            hit_rates.append(counters["plan_cache_hit_rate"])
+        if "Compiled" in row["name"] and "planner_runs_per_update" in counters:
+            planner_runs.append(counters["planner_runs_per_update"])
+    if hit_rates:
+        derived["plan_cache_hit_rate_min"] = round(min(hit_rates), 6)
+    if planner_runs:
+        derived["planner_runs_per_update_max"] = max(planner_runs)
+    return derived
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+", help="google-benchmark JSON files")
+    parser.add_argument("--out", required=True, help="aggregate destination")
+    args = parser.parse_args()
+
+    context, rows = load_rows(args.inputs)
+    out = {
+        "schema": 1,
+        "context": {k: context[k] for k in
+                    ("date", "host_name", "num_cpus", "mhz_per_cpu",
+                     "library_build_type") if k in context},
+        "derived": derive(rows),
+        "benchmarks": rows,
+    }
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"aggregated {len(rows)} benchmark rows from {len(args.inputs)} files",
+          file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

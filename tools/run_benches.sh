@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs the core benchmark set and aggregates the results into BENCH_core.json
+# at the repository root (tools/aggregate_benches.py does the merging and
+# computes the derived ablation speedups).
+#
+# Usage:
+#   tools/run_benches.sh [--build-dir DIR] [--smoke] [--out FILE]
+#
+#   --build-dir DIR  build tree containing bench/ binaries (default: build-rel)
+#   --smoke          short measurement windows — CI sanity run, not for
+#                    quoting numbers
+#   --out FILE       aggregate destination (default: <repo>/BENCH_core.json)
+#
+# Benchmarks should come from an optimized build, e.g.:
+#   cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release \
+#         -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
+#   cmake --build build-rel -j"$(nproc)" --target bench_evaluators bench_parity bench_reach_u
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build-rel"
+OUT="$ROOT/BENCH_core.json"
+EXTRA_FLAGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --smoke) EXTRA_FLAGS+=("--benchmark_min_time=0.02"); shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+CORE_BENCHES=(bench_evaluators bench_parity bench_reach_u)
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+for bench in "${CORE_BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "missing benchmark binary: $bin (build with -DDYNFO_BUILD_BENCHMARKS=ON)" >&2
+    exit 1
+  fi
+  echo "== $bench"
+  "$bin" --benchmark_out="$TMP_DIR/$bench.json" --benchmark_out_format=json \
+    "${EXTRA_FLAGS[@]+"${EXTRA_FLAGS[@]}"}"
+done
+
+mkdir -p "$(dirname "$OUT")"
+python3 "$ROOT/tools/aggregate_benches.py" --out "$OUT" "$TMP_DIR"/*.json
+echo "wrote $OUT"
