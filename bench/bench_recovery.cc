@@ -99,6 +99,7 @@ CampaignResult RunCampaign(const RecoveryCase& rcase, size_t n,
     if (!fault_pending && guarded.recovery_stats().requests >= next_injection) {
       const std::string& target =
           rcase.targets[result.injections % rcase.targets.size()];
+      faults.set_trial(result.injections);
       faults.FlipTuple(guarded.mutable_engine()->mutable_data(),
                        ProtectAllBut(guarded.engine().data().vocabulary(), target));
       fault_pending = true;
@@ -108,7 +109,8 @@ CampaignResult RunCampaign(const RecoveryCase& rcase, size_t n,
     }
     const uint64_t detected_before = guarded.recovery_stats().corruptions_detected;
     core::Status status = guarded.Apply(request);
-    DYNFO_CHECK(status.ok()) << rcase.name << ": " << status.message();
+    DYNFO_CHECK(status.ok()) << rcase.name << " [" << faults.Context()
+                             << "]: " << status.message();
     if (fault_pending &&
         guarded.recovery_stats().corruptions_detected > detected_before) {
       result.latency_total +=
@@ -121,7 +123,8 @@ CampaignResult RunCampaign(const RecoveryCase& rcase, size_t n,
     // The workload ended inside a cadence window; the final check closes it.
     const uint64_t detected_before = guarded.recovery_stats().corruptions_detected;
     core::Status status = guarded.CheckNow();
-    DYNFO_CHECK(status.ok()) << rcase.name << ": " << status.message();
+    DYNFO_CHECK(status.ok()) << rcase.name << " [" << faults.Context()
+                             << "]: " << status.message();
     if (guarded.recovery_stats().corruptions_detected > detected_before) {
       result.latency_total +=
           guarded.recovery_stats().last_detection_step - injected_at;
@@ -132,12 +135,13 @@ CampaignResult RunCampaign(const RecoveryCase& rcase, size_t n,
   // washed out before a check could see it (no evidence left) or was
   // detected within the cadence. A persistent corruption escaping is a bug.
   DYNFO_CHECK(result.detections + result.washed_out == result.injections)
-      << rcase.name << ": "
+      << rcase.name << " [" << faults.Context() << "]: "
       << result.injections - result.detections - result.washed_out
       << " persistent corruption(s) escaped detection";
-  DYNFO_CHECK(result.detections > 0) << rcase.name << ": campaign too weak";
+  DYNFO_CHECK(result.detections > 0)
+      << rcase.name << " [" << faults.Context() << "]: campaign too weak";
   DYNFO_CHECK(guarded.recovery_stats().recoveries == result.detections)
-      << rcase.name << ": a detection did not recover";
+      << rcase.name << " [" << faults.Context() << "]: a detection did not recover";
   result.stats = guarded.recovery_stats();
   return result;
 }

@@ -1,0 +1,42 @@
+#include "core/budget.h"
+
+namespace dynfo::core {
+
+bool ResourceBudget::Charge(uint64_t tuples, uint64_t bytes) {
+  if (breached_.load(std::memory_order_relaxed)) return false;
+  const uint64_t charge_index = charges_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t fail_at = fail_at_charge_.load(std::memory_order_relaxed);
+  if (fail_at != 0 && charge_index >= fail_at) {
+    injected_.store(true, std::memory_order_relaxed);
+    breached_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  const uint64_t total_tuples = tuples_.fetch_add(tuples, std::memory_order_relaxed) + tuples;
+  const uint64_t total_bytes = bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if ((limits_.max_tuples != 0 && total_tuples > limits_.max_tuples) ||
+      (limits_.max_bytes != 0 && total_bytes > limits_.max_bytes)) {
+    breached_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+std::string ResourceBudget::DescribeBreach() const {
+  if (injected_.load(std::memory_order_relaxed)) {
+    return "allocation failure injected at charge " +
+           std::to_string(fail_at_charge_.load(std::memory_order_relaxed));
+  }
+  const uint64_t tuples = tuples_.load(std::memory_order_relaxed);
+  const uint64_t bytes = bytes_.load(std::memory_order_relaxed);
+  if (limits_.max_tuples != 0 && tuples > limits_.max_tuples) {
+    return "budget breached: " + std::to_string(tuples) +
+           " tuples charged, limit " + std::to_string(limits_.max_tuples);
+  }
+  if (limits_.max_bytes != 0 && bytes > limits_.max_bytes) {
+    return "budget breached: " + std::to_string(bytes) + " bytes charged, limit " +
+           std::to_string(limits_.max_bytes);
+  }
+  return "budget breached";
+}
+
+}  // namespace dynfo::core

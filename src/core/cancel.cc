@@ -1,0 +1,61 @@
+#include "core/cancel.h"
+
+#include <thread>
+
+namespace dynfo::core {
+
+void ExecGovernor::Trip(StatusCode code, const std::string& message) const {
+  int expected = static_cast<int>(StatusCode::kOk);
+  // First trip wins; later trips (other threads, other causes) are dropped
+  // so status() reports the original cause.
+  if (code_.compare_exchange_strong(expected, static_cast<int>(code),
+                                    std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(message_mutex_);
+    message_ = message;
+  }
+}
+
+bool ExecGovernor::ShouldStop() const {
+  if (stopped()) return true;
+  const uint64_t check = checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (stall_at_check_ != 0 && check == stall_at_check_ && stall_millis_ > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_millis_));
+  }
+  if (trip_at_check_ != 0 && check >= trip_at_check_) {
+    Trip(StatusCode::kCancelled,
+         "cancelled (test trip at governor check " + std::to_string(check) + ")");
+    return true;
+  }
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    Trip(StatusCode::kCancelled, "cancelled by caller");
+    return true;
+  }
+  if (deadline_.expired()) {
+    Trip(StatusCode::kDeadlineExceeded,
+         "deadline exceeded after " + std::to_string(check) + " governor checks");
+    return true;
+  }
+  if (budget_ != nullptr && budget_->exhausted()) {
+    Trip(StatusCode::kResourceExhausted, budget_->DescribeBreach());
+    return true;
+  }
+  return false;
+}
+
+Status ExecGovernor::status() const {
+  const StatusCode code = this->code();
+  if (code == StatusCode::kOk) return Status();
+  std::lock_guard<std::mutex> lock(message_mutex_);
+  return Status::WithCode(code, message_);
+}
+
+bool ExecGovernor::ChargeRows(uint64_t rows, uint64_t row_bytes) const {
+  if (budget_ == nullptr) return !stopped();
+  if (!budget_->Charge(rows, rows * row_bytes)) {
+    Trip(StatusCode::kResourceExhausted, budget_->DescribeBreach());
+    return false;
+  }
+  return !stopped();
+}
+
+}  // namespace dynfo::core

@@ -16,6 +16,7 @@
 #define DYNFO_CORE_FAULT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/rng.h"
@@ -25,7 +26,41 @@ namespace dynfo::core {
 
 class FaultInjector {
  public:
-  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+  explicit FaultInjector(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  /// The campaign seed this injector was constructed with, and the current
+  /// trial index within the campaign: together they are the one-line repro
+  /// for any failure ("rerun with --seed=S, failure at trial T"). Every
+  /// chaos/recovery failure message must include Context().
+  uint64_t seed() const { return seed_; }
+  void set_trial(uint64_t trial) { trial_ = trial; }
+  uint64_t trial() const { return trial_; }
+  std::string Context() const {
+    return "seed=" + std::to_string(seed_) + " trial=" + std::to_string(trial_);
+  }
+
+  /// Chaos planners: draw the parameters of one injected fault for the
+  /// resource-governance layer (dynfo::ApplyGovernance's test knobs).
+  /// Returned values are 1-based positions; uniform in [1, max].
+
+  /// Allocation-failure injector: the budget charge index at which the
+  /// accountant reports failure (ResourceBudget::FailAfterCharges).
+  uint64_t PlanAllocationFailure(uint64_t max_charges) {
+    return 1 + rng_.Below(max_charges);
+  }
+
+  /// Worker-stall injector: the governor check that sleeps, and for how
+  /// long (ExecGovernor::StallAtCheck). Pair with a tight deadline to pin
+  /// the timeout path at a reproducible poll.
+  std::pair<uint64_t, int> PlanWorkerStall(uint64_t max_check, int max_millis) {
+    return {1 + rng_.Below(max_check), 1 + static_cast<int>(rng_.Below(
+                                               static_cast<uint64_t>(max_millis)))};
+  }
+
+  /// Deadline-jitter injector: a per-request deadline in [1, max_millis].
+  int64_t PlanDeadlineJitter(int max_millis) {
+    return 1 + static_cast<int64_t>(rng_.Below(static_cast<uint64_t>(max_millis)));
+  }
 
   /// Toggles membership of a uniformly random tuple in a uniformly random
   /// relation of `structure` whose name is not in `protect` (callers pass
@@ -53,6 +88,8 @@ class FaultInjector {
   Rng& rng() { return rng_; }
 
  private:
+  uint64_t seed_;
+  uint64_t trial_ = 0;
   Rng rng_;
 };
 

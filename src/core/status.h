@@ -16,15 +16,71 @@
 
 namespace dynfo::core {
 
+/// Machine-readable error taxonomy for the recoverable-failure paths.
+/// Governance failures (kCancelled/kDeadlineExceeded/kResourceExhausted) and
+/// detected state corruption (kCorruption) get dedicated codes so callers —
+/// the degradation ladder, the CLI's exit-code map — can branch on the class
+/// of failure without parsing messages. kError covers everything else
+/// (parse errors, schema mismatches, rejected requests).
+enum class StatusCode {
+  kOk = 0,
+  kError = 1,
+  kCancelled = 2,
+  kDeadlineExceeded = 3,
+  kResourceExhausted = 4,
+  kCorruption = 5,
+};
+
+/// Short stable name for a code, e.g. "DeadlineExceeded". These appear in
+/// Status::ToString() ("<Name>: <message>") and in CLI diagnostics.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kError:
+      return "Error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCorruption:
+      return "Corruption";
+  }
+  return "Unknown";
+}
+
 /// Success-or-error discriminant. A default-constructed Status is OK.
 class Status {
  public:
   Status() = default;
 
   /// Creates an error status with a human-readable message.
-  static Status Error(std::string message) { return Status(std::move(message)); }
+  static Status Error(std::string message) {
+    return Status(StatusCode::kError, std::move(message));
+  }
+  /// Typed constructors for the governance/corruption taxonomy.
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  static Status WithCode(StatusCode code, std::string message) {
+    DYNFO_CHECK(code != StatusCode::kOk) << "error status needs a non-OK code";
+    return Status(code, std::move(message));
+  }
 
   bool ok() const { return !message_.has_value(); }
+
+  StatusCode code() const { return ok() ? StatusCode::kOk : code_; }
 
   /// Error message; empty string when ok().
   const std::string& message() const {
@@ -32,11 +88,15 @@ class Status {
     return message_ ? *message_ : kEmpty;
   }
 
-  std::string ToString() const { return ok() ? "OK" : "Error: " + *message_; }
+  std::string ToString() const {
+    return ok() ? "OK" : std::string(StatusCodeName(code_)) + ": " + *message_;
+  }
 
  private:
-  explicit Status(std::string message) : message_(std::move(message)) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
 
+  StatusCode code_ = StatusCode::kError;
   std::optional<std::string> message_;
 };
 

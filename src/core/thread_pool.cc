@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/cancel.h"
 #include "core/check.h"
 
 namespace dynfo::core {
@@ -17,6 +18,7 @@ struct ThreadPool::Batch {
   size_t chunk_size = 0;
   size_t num_chunks = 0;
   size_t end = 0;
+  const ExecGovernor* governor = nullptr;
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> chunks_done{0};
   std::mutex mutex;
@@ -84,7 +86,14 @@ void ThreadPool::RunChunks(Batch* batch) {
     if (chunk >= batch->num_chunks) return;
     const size_t chunk_begin = batch->begin + chunk * batch->chunk_size;
     const size_t chunk_end = std::min(batch->end, chunk_begin + batch->chunk_size);
-    batch->fn(chunk, chunk_begin, chunk_end);
+    // A tripped governor turns remaining chunks into no-ops: they are still
+    // claimed and counted so every waiter unblocks, but the work function is
+    // skipped — this is the "bounded by one chunk boundary" half of the
+    // cancellation-latency guarantee (the operators' partial results are
+    // discarded by the aborting caller).
+    if (!GovernorStop(batch->governor)) {
+      batch->fn(chunk, chunk_begin, chunk_end);
+    }
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
     if (batch->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         batch->num_chunks) {
@@ -99,7 +108,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, const ParallelOptions& op
   const size_t num_chunks = PlanChunks(begin, end, options);
   if (num_chunks == 0) return;
   if (num_chunks == 1) {
-    fn(0, begin, end);
+    if (!GovernorStop(options.governor)) fn(0, begin, end);
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
     inline_batches_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -109,6 +118,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, const ParallelOptions& op
   batch->fn = fn;
   batch->begin = begin;
   batch->end = end;
+  batch->governor = options.governor;
   batch->num_chunks = num_chunks;
   const size_t total = end - begin;
   batch->chunk_size = (total + num_chunks - 1) / num_chunks;

@@ -33,11 +33,18 @@
 
 namespace dynfo::core {
 
+class ExecGovernor;
+
 /// How a data-parallel call may use the pool. `num_threads` counts the
 /// calling thread, so {1, grain} means strictly sequential execution.
 struct ParallelOptions {
   int num_threads = 1;
   size_t grain = 256;  ///< minimum items per chunk
+  /// Cooperative-cancellation authority (core/cancel.h), polled at every
+  /// chunk claim: once it trips, remaining chunks are drained without
+  /// running their work function (waiters still unblock; already-running
+  /// chunks finish). Null = ungoverned, zero overhead.
+  const ExecGovernor* governor = nullptr;
 };
 
 class ThreadPool {

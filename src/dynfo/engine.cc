@@ -49,7 +49,7 @@ Engine::Engine(std::shared_ptr<const DynProgram> program, size_t universe_size,
   // order, each seeing the results of the previous ones.
   for (const UpdateRule& rule : program_->init_rules()) {
     fo::EvalContext ctx(data_, {}, eval_options());
-    data_.relation(rule.target) = EvalRuleFull(rule, ctx);
+    data_.relation(rule.target) = EvalRuleFull(rule, ctx, options_.eval_mode);
   }
   PrecompileProgram();
 }
@@ -105,8 +105,9 @@ core::Status Engine::ReloadProgram(std::shared_ptr<const DynProgram> program) {
 }
 
 relational::Relation Engine::EvalRuleFull(const UpdateRule& rule,
-                                          const fo::EvalContext& ctx) const {
-  if (options_.eval_mode == EvalMode::kNaive) {
+                                          const fo::EvalContext& ctx,
+                                          EvalMode mode) const {
+  if (mode == EvalMode::kNaive) {
     return fo::NaiveEvaluator::EvaluateAsRelation(rule.formula, rule.tuple_variables,
                                                   ctx);
   }
@@ -147,17 +148,119 @@ const Engine::DeltaPlan& Engine::PlanFor(const UpdateRule& rule) {
 }
 
 void Engine::Apply(const relational::Request& request) {
+  core::Status status = TryApply(request);
+  DYNFO_CHECK(status.ok()) << status.ToString();
+}
+
+ExecTier Engine::ConfiguredTier() const {
+  if (options_.eval_mode == EvalMode::kNaive) return ExecTier::kNaive;
+  if (options_.use_compiled_plans && options_.use_indexes) {
+    return ExecTier::kCompiledIndexed;
+  }
+  return ExecTier::kCompiled;
+}
+
+core::Status Engine::ValidateIndexes() const {
+  for (int i = 0; i < data_.vocabulary().num_relations(); ++i) {
+    core::Status status = data_.relation(i).ValidateIndexes();
+    if (!status.ok()) {
+      return core::Status::Corruption("relation " +
+                                      data_.vocabulary().relation(i).name + ": " +
+                                      status.message());
+    }
+  }
+  return core::Status();
+}
+
+void Engine::RebuildCompiledState() {
+  for (int i = 0; i < data_.vocabulary().num_relations(); ++i) {
+    data_.relation(i).DropIndexes();
+  }
+  plans_.clear();
+  algebra_.ClearPlanCache();
+  PrecompileProgram();
+}
+
+core::Status Engine::TryApply(const relational::Request& request,
+                              const ApplyGovernance& governance,
+                              std::optional<ExecTier> tier, ApplyReport* report) {
   DYNFO_CHECK(!(program_->semi_dynamic() &&
                 request.kind == relational::RequestKind::kDelete))
       << program_->name() << " is semi-dynamic (Dyn_s): deletes are not supported";
-  ++stats_.requests;
+
+  // Governance setup. An inactive governance keeps `governor` null so every
+  // poll below is one pointer compare — the ungoverned hot path is the
+  // legacy Apply, unchanged.
+  const bool governed = governance.active();
+  core::ResourceBudget budget(governance.limits);
+  if (governance.fail_alloc_after_charges != 0) {
+    budget.FailAfterCharges(governance.fail_alloc_after_charges);
+  }
+  core::ExecGovernor governor_storage(
+      governance.deadline_ms == 0 ? core::Deadline::Infinite()
+                                  : core::Deadline::AfterMillis(governance.deadline_ms),
+      governance.cancel, &budget);
+  if (governance.trip_after_checks != 0) {
+    governor_storage.TripAtCheck(governance.trip_after_checks);
+  }
+  if (governance.stall_at_check != 0) {
+    governor_storage.StallAtCheck(governance.stall_at_check, governance.stall_ms);
+  }
+  const core::ExecGovernor* governor = governed ? &governor_storage : nullptr;
+
+  auto fill_report = [&] {
+    if (report == nullptr) return;
+    report->code = governed ? governor_storage.code() : core::StatusCode::kOk;
+    report->governor_checks = governed ? governor_storage.checks() : 0;
+    report->tuples_charged = budget.tuples_charged();
+    report->bytes_charged = budget.bytes_charged();
+  };
+
+  // Untrusted callers reach the engine through governance; malformed
+  // requests become typed errors instead of downstream CHECK failures.
+  // The ungoverned path keeps the legacy trusted-caller contract.
+  if (governed) {
+    core::Status valid = relational::ValidateRequest(
+        *program_->input_vocabulary(), data_.universe_size(), request);
+    if (!valid.ok()) {
+      fill_report();
+      return valid;
+    }
+  }
+
+  // Tier override: pin this request's evaluation mode and plan/index gates,
+  // leaving the engine's configured options untouched.
+  EvalMode mode = options_.eval_mode;
+  fo::EvalOptions eopts = eval_options();
+  bool use_delta = options_.use_delta;
+  if (tier.has_value()) {
+    switch (*tier) {
+      case ExecTier::kCompiledIndexed:
+        mode = EvalMode::kAlgebra;
+        eopts.use_compiled_plans = true;
+        eopts.use_indexes = true;
+        break;
+      case ExecTier::kCompiled:
+        mode = EvalMode::kAlgebra;
+        eopts.use_compiled_plans = true;
+        eopts.use_indexes = false;
+        break;
+      case ExecTier::kNaive:
+      case ExecTier::kStartOver:  // the rebuild itself happens above us
+        mode = EvalMode::kNaive;
+        use_delta = false;
+        break;
+    }
+  }
+
   std::vector<relational::Element> params;
   if (request.kind == relational::RequestKind::kSetConstant) {
     params = {request.value};
   } else {
     for (int i = 0; i < request.tuple.size(); ++i) params.push_back(request.tuple[i]);
   }
-  fo::EvalContext ctx(data_, params, eval_options());
+  fo::EvalContext ctx(data_, params, eopts);
+  ctx.governor = governor;
 
   const RequestRules* rules = program_->RulesFor(request.kind, request.target);
   const auto phase_start = std::chrono::steady_clock::now();
@@ -166,20 +269,45 @@ void Engine::Apply(const relational::Request& request) {
         .count();
   };
 
+  // Stats are accumulated locally and folded into stats_ only after the
+  // commit point: an aborted Apply leaves the counters (and therefore
+  // Snapshot(), which embeds the request count) untouched.
+  double lets_eval_seconds = 0;
+  uint64_t lets_recomputed = 0;
+  uint64_t lets_tuples_written = 0;
+  std::vector<std::pair<std::string, double>> let_seconds;
+
   // Temporaries: evaluated in order, committed immediately so later rules in
   // this same request can read them. They never shadow non-let relations'
   // old values because validated programs use distinct let targets. Lets
   // feed each other, so they stay sequential (their operators still
-  // parallelize internally).
+  // parallelize internally). Because lets mutate data_ before the request's
+  // commit point, a governed Apply snapshots each let's old value and rolls
+  // it back on abort (ungoverned Applies never abort and skip the copies).
+  std::vector<std::pair<std::string, relational::Relation>> let_rollback;
+  auto abort_with = [&](core::Status status) {
+    for (auto it = let_rollback.rbegin(); it != let_rollback.rend(); ++it) {
+      data_.relation(it->first) = std::move(it->second);
+    }
+    fill_report();
+    return status;
+  };
+
   if (rules != nullptr) {
     for (const UpdateRule& rule : rules->lets) {
       const auto rule_start = std::chrono::steady_clock::now();
-      relational::Relation result = EvalRuleFull(rule, ctx);
+      relational::Relation result = EvalRuleFull(rule, ctx, mode);
+      if (governed && governor_storage.stopped()) {
+        return abort_with(governor_storage.status());
+      }
       const double elapsed = seconds_since(rule_start);
-      stats_.rule_seconds[rule.target] += elapsed;
-      stats_.rule_eval_seconds += elapsed;
-      ++stats_.relations_recomputed;
-      stats_.tuples_written += result.size();
+      let_seconds.emplace_back(rule.target, elapsed);
+      lets_eval_seconds += elapsed;
+      ++lets_recomputed;
+      lets_tuples_written += result.size();
+      if (governed) {
+        let_rollback.emplace_back(rule.target, data_.relation(rule.target));
+      }
       data_.relation(rule.target) = std::move(result);
     }
   }
@@ -214,11 +342,11 @@ void Engine::Apply(const relational::Request& request) {
   auto evaluate_one = [&](Staged& s) {
     const auto rule_start = std::chrono::steady_clock::now();
     const UpdateRule& rule = *s.rule;
-    const bool delta = options_.use_delta &&
-                       options_.eval_mode == EvalMode::kAlgebra && s.plan->applicable;
+    const bool delta =
+        use_delta && mode == EvalMode::kAlgebra && s.plan->applicable;
     if (!delta) {
       s.full = true;
-      s.replacement = EvalRuleFull(rule, ctx);
+      s.replacement = EvalRuleFull(rule, ctx, mode);
       s.seconds = seconds_since(rule_start);
       return;
     }
@@ -226,8 +354,14 @@ void Engine::Apply(const relational::Request& request) {
     const relational::Relation& old = data_.relation(rule.target);
     // Removals: old tuples failing the keep-filter.
     if (plan.keep->kind() != fo::FormulaKind::kTrue) {
+      size_t polls = 0;
+      auto strided_stop = [&] {
+        return governor != nullptr &&
+               (polls++ % core::kGovernorStride) == 0 && ctx.ShouldStop();
+      };
       if (IsQuantifierFree(*plan.keep)) {
         for (const relational::Tuple& t : old) {
+          if (strided_stop()) break;
           fo::Env env;
           for (size_t i = 0; i < rule.tuple_variables.size(); ++i) {
             env.Push(rule.tuple_variables[i], t[static_cast<int>(i)]);
@@ -238,9 +372,11 @@ void Engine::Apply(const relational::Request& request) {
         relational::Relation keep_set =
             algebra_.EvaluateAsRelation(plan.keep, rule.tuple_variables, ctx);
         for (const relational::Tuple& t : old) {
+          if (strided_stop()) break;
           if (!keep_set.Contains(t)) s.removals.push_back(t);
         }
       }
+      ctx.Charge(s.removals.size(), rule.tuple_variables.size());
     }
     // Additions.
     if (plan.additions->kind() != fo::FormulaKind::kFalse) {
@@ -252,18 +388,34 @@ void Engine::Apply(const relational::Request& request) {
     s.seconds = seconds_since(rule_start);
   };
 
+  bool parallel_batch = false;
   if (options_.num_threads > 1 && staged.size() > 1) {
     core::TaskGroup group(&core::ThreadPool::Global());
     for (Staged& s : staged) {
       group.Add([&evaluate_one, &s] { evaluate_one(s); });
     }
     group.RunAndWait(options_.num_threads);
-    ++stats_.parallel_update_batches;
+    parallel_batch = true;
   } else {
     for (Staged& s : staged) evaluate_one(s);
   }
 
-  // Work accounting happens after the join so counters never race.
+  // The abort point: every result so far is staged (or rolled back below);
+  // nothing past this line can fail, so commit is all-or-nothing.
+  if (governed && governor_storage.stopped()) {
+    return abort_with(governor_storage.status());
+  }
+
+  // Work accounting happens after the join so counters never race, and
+  // after the abort point so a cancelled Apply leaves stats untouched.
+  ++stats_.requests;
+  if (parallel_batch) ++stats_.parallel_update_batches;
+  for (const auto& [target, elapsed] : let_seconds) {
+    stats_.rule_seconds[target] += elapsed;
+  }
+  stats_.rule_eval_seconds += lets_eval_seconds;
+  stats_.relations_recomputed += lets_recomputed;
+  stats_.tuples_written += lets_tuples_written;
   for (const Staged& s : staged) {
     stats_.rule_seconds[s.rule->target] += s.seconds;
     stats_.rule_eval_seconds += s.seconds;
@@ -314,6 +466,9 @@ void Engine::Apply(const relational::Request& request) {
       break;
     }
   }
+
+  fill_report();
+  return core::Status();
 }
 
 std::string Engine::Snapshot() const {

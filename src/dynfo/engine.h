@@ -21,9 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/cancel.h"
 #include "dynfo/program.h"
 #include "fo/eval_algebra.h"
 #include "fo/eval_context.h"
@@ -35,6 +37,64 @@ namespace dynfo::dyn {
 enum class EvalMode {
   kNaive,    ///< reference evaluator; O(n^arity) points per rule
   kAlgebra,  ///< relational-algebra compilation (default)
+};
+
+/// The degradation ladder's execution tiers, fastest first. A governed
+/// Apply may be pinned to a tier (overriding the engine's configured
+/// options for that one request); the recovery layer descends the ladder
+/// when a tier fails (see dynfo/recovery.h and DESIGN.md §10).
+enum class ExecTier {
+  kCompiledIndexed = 0,  ///< compiled plans probing persistent indexes
+  kCompiled = 1,         ///< compiled plans, index probes disabled
+  kNaive = 2,            ///< reference substitute-and-test evaluator
+  kStartOver = 3,        ///< rebuild from the input structure, then retry
+};
+
+inline const char* ExecTierName(ExecTier tier) {
+  switch (tier) {
+    case ExecTier::kCompiledIndexed:
+      return "compiled+indexed";
+    case ExecTier::kCompiled:
+      return "compiled";
+    case ExecTier::kNaive:
+      return "naive";
+    case ExecTier::kStartOver:
+      return "start-over";
+  }
+  return "?";
+}
+
+/// Per-Apply resource governance. Default-constructed = inactive: TryApply
+/// then runs exactly the legacy ungoverned path (no governor, no polls, no
+/// request validation). Any non-default field activates governed execution.
+struct ApplyGovernance {
+  /// Wall-clock budget per Apply in milliseconds. 0 = no deadline;
+  /// negative = already expired (pins the timeout path in tests).
+  int64_t deadline_ms = 0;
+  /// Caller-held cancellation flag, polled at chunk boundaries.
+  const core::CancelToken* cancel = nullptr;
+  /// Memory/cardinality budget for materialized intermediates.
+  core::ResourceLimits limits;
+
+  // Chaos/test injectors (core/cancel.h, core/budget.h).
+  uint64_t trip_after_checks = 0;        ///< cancel at the k-th governor poll
+  uint64_t stall_at_check = 0;           ///< stall the k-th poll ...
+  int stall_ms = 0;                      ///< ... for this many milliseconds
+  uint64_t fail_alloc_after_charges = 0; ///< injected allocation failure
+
+  bool active() const {
+    return deadline_ms != 0 || cancel != nullptr || limits.active() ||
+           trip_after_checks != 0 || stall_at_check != 0 ||
+           fail_alloc_after_charges != 0;
+  }
+};
+
+/// What a governed Apply observed, for callers tracking governance cost.
+struct ApplyReport {
+  core::StatusCode code = core::StatusCode::kOk;
+  uint64_t governor_checks = 0;
+  uint64_t tuples_charged = 0;
+  uint64_t bytes_charged = 0;
 };
 
 struct EngineOptions {
@@ -98,8 +158,35 @@ class Engine {
   const EngineOptions& options() const { return options_; }
   size_t universe_size() const { return data_.universe_size(); }
 
-  /// Responds to one request against the input vocabulary.
+  /// Responds to one request against the input vocabulary. CHECK-fails on
+  /// malformed requests; trusted-caller form of TryApply with no governance.
   void Apply(const relational::Request& request);
+
+  /// Governed Apply: evaluates under `governance` (deadline, cancellation,
+  /// resource budget), optionally pinned to an execution `tier` that
+  /// overrides the engine's configured evaluator/plan/index options for
+  /// this one request. On any non-OK return — kCancelled,
+  /// kDeadlineExceeded, kResourceExhausted, or kError for an invalid
+  /// request — the engine state is bit-identical to the pre-call state
+  /// (evaluate-then-commit; mid-request temporaries are rolled back) and
+  /// the stats counters are untouched. `report`, when non-null, receives
+  /// the governor's poll/charge accounting even on failure.
+  core::Status TryApply(const relational::Request& request,
+                        const ApplyGovernance& governance = {},
+                        std::optional<ExecTier> tier = std::nullopt,
+                        ApplyReport* report = nullptr);
+
+  /// The tier this engine's configured options correspond to.
+  ExecTier ConfiguredTier() const;
+
+  /// Cross-checks every relation's persistent indexes against its tuples;
+  /// kCorruption with the first inconsistency found. O(total tuples).
+  core::Status ValidateIndexes() const;
+
+  /// Drops every derived artifact — persistent indexes, delta plans, the
+  /// compiled-plan cache — and recompiles from the program. The repair move
+  /// for index/plan corruption: tuple data is untouched.
+  void RebuildCompiledState();
 
   /// Evaluates the program's boolean query (optionally parameterized).
   bool QueryBool(std::vector<relational::Element> params = {}) const;
@@ -160,8 +247,8 @@ class Engine {
     fo::FormulaPtr additions;  ///< tuples to add (may be False)
   };
 
-  relational::Relation EvalRuleFull(const UpdateRule& rule,
-                                    const fo::EvalContext& ctx) const;
+  relational::Relation EvalRuleFull(const UpdateRule& rule, const fo::EvalContext& ctx,
+                                    EvalMode mode) const;
   const DeltaPlan& PlanFor(const UpdateRule& rule);
 
   /// Compiles every formula the program can execute (delta keeps/additions,

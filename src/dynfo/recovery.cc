@@ -55,11 +55,23 @@ core::Status GuardedEngine::Apply(const relational::Request& request) {
     return core::Status::Error(program_->name() +
                                " is semi-dynamic: deletes are not supported");
   }
-  if (journal_.has_value()) {
-    core::Status journaled = journal_->Append(request);
-    if (!journaled.ok()) return journaled;
+  if (options_.governance.active()) {
+    // Governed path: apply first (a cancelled/timed-out request leaves the
+    // engine untouched and must not be journaled as history), journal only
+    // what actually happened.
+    core::Status applied = GovernedApply(request);
+    if (!applied.ok()) return applied;
+    if (journal_.has_value()) {
+      core::Status journaled = journal_->Append(request);
+      if (!journaled.ok()) return journaled;
+    }
+  } else {
+    if (journal_.has_value()) {
+      core::Status journaled = journal_->Append(request);
+      if (!journaled.ok()) return journaled;
+    }
+    engine_->Apply(request);
   }
-  engine_->Apply(request);
   relational::ApplyRequest(&input_, request);
   ++stats_.requests;
   if (options_.check_every > 0 && stats_.requests % options_.check_every == 0) {
@@ -68,8 +80,87 @@ core::Status GuardedEngine::Apply(const relational::Request& request) {
   return core::Status();
 }
 
+core::Status GuardedEngine::GovernedApply(const relational::Request& request) {
+  const GovernancePolicy& policy = options_.governance;
+  ExecTier tier = engine_->ConfiguredTier();
+  int attempts = 0;
+  bool repaired = false;
+  core::Status last;
+  while (true) {
+    ++stats_.tier_activations[static_cast<int>(tier)];
+    if (tier == ExecTier::kStartOver) {
+      // Last rung: rebuild auxiliary state from the trusted input, then
+      // muddle through ungoverned at the reference tier — correctness over
+      // latency once every governed tier has failed.
+      core::Status rebuilt =
+          Recover("degradation ladder exhausted: " + last.ToString());
+      if (!rebuilt.ok()) return rebuilt;
+      ++stats_.start_over_applies;
+      return engine_->TryApply(request, ApplyGovernance{}, ExecTier::kNaive);
+    }
+
+    core::Status status =
+        policy.inject_for_test ? policy.inject_for_test(tier) : core::Status();
+    if (status.ok()) {
+      status = engine_->TryApply(request, policy.governance, tier);
+    }
+    if (status.ok()) return status;
+    last = status;
+
+    switch (status.code()) {
+      case core::StatusCode::kCancelled:
+        // The caller stopped waiting; retrying on a slower tier is waste.
+        ++stats_.cancellations;
+        return status;
+      case core::StatusCode::kDeadlineExceeded:
+        ++stats_.deadlines_exceeded;
+        return status;
+      case core::StatusCode::kResourceExhausted:
+        ++stats_.budget_breaches;
+        break;  // descend: lower tiers hold smaller intermediates
+      case core::StatusCode::kCorruption:
+        if (!repaired) {
+          // Derived state (indexes, plans) is suspect but the tuples are
+          // not: rebuild in place and retry the same tier once.
+          engine_->RebuildCompiledState();
+          ++stats_.index_rebuilds;
+          repaired = true;
+          continue;
+        }
+        break;
+      default:
+        break;
+    }
+
+    if (!policy.enable_ladder) return status;
+    if (++attempts < policy.attempts_per_tier) continue;
+    attempts = 0;
+    ++stats_.ladder_fallbacks;
+    switch (tier) {
+      case ExecTier::kCompiledIndexed:
+        tier = ExecTier::kCompiled;
+        break;
+      case ExecTier::kCompiled:
+        tier = ExecTier::kNaive;
+        break;
+      case ExecTier::kNaive:
+      case ExecTier::kStartOver:
+        tier = ExecTier::kStartOver;
+        break;
+    }
+  }
+}
+
 core::Status GuardedEngine::CheckNow() {
   ++stats_.checks_run;
+  // Index (derived-state) corruption is repairable in place: the tuples
+  // are intact, so this is not a start-over event and does not count as a
+  // detected corruption of the auxiliary state.
+  core::Status indexes = engine_->ValidateIndexes();
+  if (!indexes.ok()) {
+    engine_->RebuildCompiledState();
+    ++stats_.index_rebuilds;
+  }
   const std::string violation = Violation();
   if (violation.empty()) return core::Status();
 

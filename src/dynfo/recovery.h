@@ -28,6 +28,7 @@
 #ifndef DYNFO_DYNFO_RECOVERY_H_
 #define DYNFO_DYNFO_RECOVERY_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,6 +40,33 @@
 
 namespace dynfo::dyn {
 
+/// Resource governance + degradation policy for every Apply through the
+/// wrapper. Inactive (default) = the legacy ungoverned path. Active = each
+/// request runs under `governance` at the engine's configured tier, and on
+/// failure descends the ladder (DESIGN.md §10):
+///
+///   compiled+indexed → compiled → naive → start-over
+///
+/// kCancelled / kDeadlineExceeded return immediately (a slower tier cannot
+/// help a caller who stopped waiting). kCorruption triggers one in-place
+/// RebuildCompiledState + same-tier retry before descending. Everything
+/// else descends after `attempts_per_tier` attempts. The final rung
+/// rebuilds from the input structure and applies ungoverned at the naive
+/// tier — the "start over and muddle through" move.
+struct GovernancePolicy {
+  ApplyGovernance governance;
+  bool enable_ladder = true;
+  int attempts_per_tier = 1;
+  /// Test hook: when set, each tier attempt first consults this; a non-OK
+  /// return stands in for the engine call (pins ladder paths
+  /// deterministically). OK = run the engine for real.
+  std::function<core::Status(ExecTier)> inject_for_test;
+
+  bool active() const {
+    return governance.active() || inject_for_test != nullptr;
+  }
+};
+
 struct GuardedEngineOptions {
   EngineOptions engine_options;
   /// Run the corruption check after every `check_every`-th request
@@ -49,6 +77,8 @@ struct GuardedEngineOptions {
   /// Applied to every engine built by the wrapper, including start-over
   /// rebuilds (e.g. InstallPlusRelation for Dyn-FO+ precomputation).
   EnginePostInit post_init;
+  /// Per-request resource governance and degradation-ladder policy.
+  GovernancePolicy governance;
 };
 
 struct RecoveryStats {
@@ -60,6 +90,15 @@ struct RecoveryStats {
   double recovery_seconds = 0;       ///< total time spent rebuilding
   uint64_t last_detection_step = 0;  ///< request count at last detection
   double last_recovery_seconds = 0;
+
+  // Governed-execution counters (all zero when governance is inactive).
+  uint64_t tier_activations[4] = {0, 0, 0, 0};  ///< attempts per ExecTier
+  uint64_t ladder_fallbacks = 0;     ///< tier descents
+  uint64_t cancellations = 0;        ///< requests ending kCancelled
+  uint64_t deadlines_exceeded = 0;   ///< requests ending kDeadlineExceeded
+  uint64_t budget_breaches = 0;      ///< kResourceExhausted trips observed
+  uint64_t index_rebuilds = 0;       ///< in-place compiled-state repairs
+  uint64_t start_over_applies = 0;   ///< requests that reached the last rung
 };
 
 /// An Engine wrapped with the fault-tolerance layer. Apply/Query from one
@@ -106,6 +145,10 @@ class GuardedEngine {
 
   const RecoveryStats& recovery_stats() const { return stats_; }
 
+  /// The live governance policy — chaos campaigns mutate it between
+  /// requests (deadline jitter, injected allocation failures).
+  GovernancePolicy* mutable_governance() { return &options_.governance; }
+
   /// Serialized corrupt state + forensics from the most recent detection
   /// (empty if none yet): the violation, the first diverging auxiliary
   /// relation vs a start-over reference, and the full corrupt structure.
@@ -114,6 +157,9 @@ class GuardedEngine {
  private:
   /// Empty string = state passes all configured checks.
   std::string Violation() const;
+
+  /// One request through the degradation ladder (see GovernancePolicy).
+  core::Status GovernedApply(const relational::Request& request);
 
   std::shared_ptr<const DynProgram> program_;
   GuardedEngineOptions options_;

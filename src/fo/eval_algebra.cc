@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/cancel.h"
 #include "core/thread_pool.h"
 #include "fo/eval_naive.h"
 
@@ -45,6 +46,12 @@ std::vector<const Row*> GatherRows(const RowSet& rows) {
   out.reserve(rows.size());
   for (const Row& row : rows) out.push_back(&row);
   return out;
+}
+
+/// Strided governor poll for sequential loops (see plan_exec.cc twin).
+bool StridedStop(const EvalContext& ctx, size_t* counter) {
+  if (ctx.governor == nullptr) return false;
+  return ((*counter)++ % core::kGovernorStride) == 0 && ctx.ShouldStop();
 }
 
 }  // namespace
@@ -99,6 +106,8 @@ size_t AlgebraEvaluator::plan_cache_size() const {
 NamedRelation AlgebraEvaluator::SatClassic(const FormulaPtr& formula,
                                            const EvalContext& ctx) const {
   DYNFO_CHECK(formula != nullptr);
+  // Entry poll: a tripped governor prunes whole subtrees before they start.
+  if (ctx.ShouldStop()) return NamedRelation(formula->FreeVariables());
   switch (formula->kind()) {
     case FormulaKind::kTrue:
       return NamedRelation::Unit();
@@ -159,7 +168,9 @@ NamedRelation AlgebraEvaluator::SatAtom(const Formula& formula,
 
   NamedRelation out(columns);
   Row row(columns.size(), 0);
+  size_t polls = 0;
   for (const relational::Tuple& t : rel) {
+    if (StridedStop(ctx, &polls)) break;
     bool match = true;
     // First pass: ground checks and variable binding; repeated variables must
     // agree, which we check with a second pass once all are bound.
@@ -178,6 +189,7 @@ NamedRelation AlgebraEvaluator::SatAtom(const Formula& formula,
     }
     if (match) out.AddRow(row);
   }
+  ctx.Charge(out.size(), out.width());
   return out;
 }
 
@@ -236,7 +248,9 @@ NamedRelation AlgebraEvaluator::SatNumeric(const Formula& formula,
     return out;
   }
   NamedRelation out({lhs.name(), rhs.name()});
+  size_t polls = 0;
   for (size_t a = 0; a < n; ++a) {
+    if (StridedStop(ctx, &polls)) break;
     for (size_t b = 0; b < n; ++b) {
       if (holds(static_cast<relational::Element>(a), static_cast<relational::Element>(b))) {
         out.AddRow({static_cast<relational::Element>(a),
@@ -244,6 +258,7 @@ NamedRelation AlgebraEvaluator::SatNumeric(const Formula& formula,
       }
     }
   }
+  ctx.Charge(out.size(), out.width());
   return out;
 }
 
@@ -252,7 +267,7 @@ NamedRelation AlgebraEvaluator::SatNot(const Formula& formula,
   const FormulaPtr& inner = formula.children()[0];
   NamedRelation sat = SatClassic(inner, ctx);
   ++stats_.complements;
-  return sat.ComplementWithin(ctx.universe_size(), ctx.options.Policy());
+  return sat.ComplementWithin(ctx.universe_size(), ctx.Policy());
 }
 
 NamedRelation AlgebraEvaluator::FilterRows(const NamedRelation& acc,
@@ -262,13 +277,16 @@ NamedRelation AlgebraEvaluator::FilterRows(const NamedRelation& acc,
   stats_.filter_row_evals.fetch_add(acc.size(), std::memory_order_relaxed);
 
   core::ThreadPool& pool = core::ThreadPool::Global();
-  const core::ParallelOptions parallel = ctx.options.Policy();
+  const core::ParallelOptions parallel = ctx.Policy();
   const size_t num_chunks = pool.PlanChunks(0, acc.size(), parallel);
   if (num_chunks <= 1) {
+    size_t polls = 0;
     for (const Row& row : acc.rows()) {
+      if (StridedStop(ctx, &polls)) break;
       Env env = EnvFromRow(acc.columns(), row);
       if (NaiveEvaluator::Holds(*conjunct, ctx, &env)) out.AddRow(row);
     }
+    ctx.Charge(out.size(), out.width());
     return out;
   }
 
@@ -285,6 +303,7 @@ NamedRelation AlgebraEvaluator::FilterRows(const NamedRelation& acc,
                          buffer.push_back(rows[i]);
                        }
                      }
+                     ctx.Charge(buffer.size(), out.width());
                    });
   for (const std::vector<const Row*>& buffer : buffers) {
     for (const Row* row : buffer) out.AddRow(*row);
@@ -300,13 +319,16 @@ NamedRelation AlgebraEvaluator::ExtendByEquality(const NamedRelation& acc,
   std::vector<std::string> columns = acc.columns();
   columns.push_back(var);
   NamedRelation out(columns);
+  size_t polls = 0;
   for (const Row& row : acc.rows()) {
+    if (StridedStop(ctx, &polls)) break;
     Env env = EnvFromRow(acc.columns(), row);
     relational::Element value = EvalTerm(term, ctx, env);
     Row extended = row;
     extended.push_back(value);
     out.AddRow(std::move(extended));
   }
+  ctx.Charge(out.size(), out.width());
   return out;
 }
 
@@ -335,15 +357,18 @@ NamedRelation AlgebraEvaluator::ExtendByFilter(const NamedRelation& acc,
   };
 
   core::ThreadPool& pool = core::ThreadPool::Global();
-  const core::ParallelOptions parallel = ctx.options.Policy();
+  const core::ParallelOptions parallel = ctx.Policy();
   const size_t num_chunks = pool.PlanChunks(0, acc.size(), parallel);
   if (num_chunks <= 1) {
     std::vector<Row> extensions;
+    size_t polls = 0;
     for (const Row& row : acc.rows()) {
+      if (StridedStop(ctx, &polls)) break;
       extensions.clear();
       extend_one(row, &extensions);
       for (Row& extended : extensions) out.AddRow(std::move(extended));
     }
+    ctx.Charge(out.size(), out.width());
     return out;
   }
 
@@ -355,6 +380,7 @@ NamedRelation AlgebraEvaluator::ExtendByFilter(const NamedRelation& acc,
                      for (size_t i = chunk_begin; i < chunk_end; ++i) {
                        extend_one(*rows[i], &buffer);
                      }
+                     ctx.Charge(buffer.size(), out.width());
                    });
   for (std::vector<Row>& buffer : buffers) {
     for (Row& extended : buffer) out.AddRow(std::move(extended));
@@ -379,6 +405,9 @@ NamedRelation AlgebraEvaluator::SatAnd(const Formula& formula,
   };
 
   while (!pending.empty()) {
+    // One governor poll per planner iteration: a trip aborts the whole
+    // conjunction with a partial (discarded) result.
+    if (ctx.ShouldStop()) return NamedRelation(target_columns);
     // Phase 1: conjuncts whose variables are all bound act as filters.
     bool progressed = false;
     for (size_t i = 0; i < pending.size(); ++i) {
@@ -392,10 +421,12 @@ NamedRelation AlgebraEvaluator::SatAnd(const Formula& formula,
       } else if (c->kind() == FormulaKind::kNot) {
         ++stats_.semi_joins;
         acc = acc.SemiJoin(SatClassic(c->children()[0], ctx), /*anti=*/true,
-                           ctx.options.Policy());
+                           ctx.Policy());
+        ctx.Charge(acc.size(), acc.width());
       } else {
         ++stats_.semi_joins;
-        acc = acc.SemiJoin(SatClassic(c, ctx), /*anti=*/false, ctx.options.Policy());
+        acc = acc.SemiJoin(SatClassic(c, ctx), /*anti=*/false, ctx.Policy());
+        ctx.Charge(acc.size(), acc.width());
       }
       erase_at(i);
       progressed = true;
@@ -460,14 +491,16 @@ NamedRelation AlgebraEvaluator::SatAnd(const Formula& formula,
       }
       case Choice::kAtomJoin:
         ++stats_.joins;
-        acc = acc.Join(SatAtom(*c, ctx), ctx.options.Policy());
+        acc = acc.Join(SatAtom(*c, ctx), ctx.Policy());
+        ctx.Charge(acc.size(), acc.width());
         break;
       case Choice::kFilterExtend:
         acc = ExtendByFilter(acc, unbound[0], c, ctx);
         break;
       case Choice::kSatJoin:
         ++stats_.joins;
-        acc = acc.Join(SatClassic(c, ctx), ctx.options.Policy());
+        acc = acc.Join(SatClassic(c, ctx), ctx.Policy());
+        ctx.Charge(acc.size(), acc.width());
         break;
       case Choice::kNone:
         DYNFO_UNREACHABLE();
@@ -487,13 +520,15 @@ NamedRelation AlgebraEvaluator::SatOr(const Formula& formula,
   NamedRelation out(target_columns);
   const size_t n = ctx.universe_size();
   for (const FormulaPtr& child : formula.children()) {
+    if (ctx.ShouldStop()) break;
     NamedRelation sat = SatClassic(child, ctx);
     std::vector<std::string> missing = SetMinus(target_columns, sat.columns());
     if (!missing.empty()) {
       ++stats_.pads;
-      sat = sat.PadWithUniverse(missing, n);
+      sat = sat.PadWithUniverse(missing, n, ctx.governor);
     }
     out = out.Union(sat);
+    ctx.Charge(out.size(), out.width());
   }
   return out;
 }
@@ -532,12 +567,15 @@ NamedRelation AlgebraEvaluator::SatForall(const Formula& formula,
   for (const std::string& name : keep) keep_positions.push_back(sat.ColumnIndex(name));
 
   std::unordered_map<Row, uint64_t, RowHash> counts;
+  size_t polls = 0;
   for (const Row& row : sat.rows()) {
+    if (StridedStop(ctx, &polls)) break;
     Row key;
     key.reserve(keep_positions.size());
     for (int p : keep_positions) key.push_back(row[p]);
     ++counts[key];
   }
+  ctx.Charge(counts.size(), keep_positions.size());
   NamedRelation out(keep);
   for (const auto& [key, count] : counts) {
     if (count == required) out.AddRow(key);
@@ -567,16 +605,19 @@ relational::Relation AlgebraEvaluator::EvaluateAsRelation(
   std::vector<std::string> missing = SetMinus(tuple_variables, sat.columns());
   if (!missing.empty()) {
     ++stats_.pads;
-    sat = sat.PadWithUniverse(missing, ctx.universe_size());
+    sat = sat.PadWithUniverse(missing, ctx.universe_size(), ctx.governor);
   }
   sat = sat.Reorder(tuple_variables);
 
   relational::Relation out(arity);
+  size_t polls = 0;
   for (const Row& row : sat.rows()) {
+    if (StridedStop(ctx, &polls)) break;
     relational::Tuple t;
     for (relational::Element e : row) t = t.Append(e);
     out.Insert(t);
   }
+  ctx.Charge(out.size(), static_cast<size_t>(arity));
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/thread_pool.h"
 #include "fo/term.h"
 #include "relational/structure.h"
@@ -42,6 +43,10 @@ struct EvalContext {
   const relational::Structure* structure = nullptr;
   std::vector<relational::Element> parameters;
   EvalOptions options;
+  /// Resource-governance authority for this evaluation (core/cancel.h).
+  /// Null = ungoverned: ShouldStop()/Charge() reduce to one pointer compare,
+  /// keeping the default hot path overhead-free.
+  const core::ExecGovernor* governor = nullptr;
 
   explicit EvalContext(const relational::Structure& s,
                        std::vector<relational::Element> params = {},
@@ -49,6 +54,27 @@ struct EvalContext {
       : structure(&s), parameters(std::move(params)), options(opts) {}
 
   size_t universe_size() const { return structure->universe_size(); }
+
+  /// Polls the governor; true = abort the current operator and return a
+  /// partial (to-be-discarded) result. Evaluator loops call this every
+  /// core::kGovernorStride rows and at operator entry.
+  bool ShouldStop() const { return core::GovernorStop(governor); }
+
+  /// Charges `rows` materialized rows of width `width` against the budget.
+  /// False = budget breached (the governor is now tripped); bail out.
+  bool Charge(size_t rows, size_t width) const {
+    if (governor == nullptr) return true;
+    // Estimated footprint: elements plus per-row container overhead.
+    return governor->ChargeRows(rows, width * sizeof(relational::Element) + 16);
+  }
+
+  /// Parallel policy with the governor attached, so chunk claims inside the
+  /// thread pool observe the same stop authority as sequential loops.
+  core::ParallelOptions Policy() const {
+    core::ParallelOptions policy = options.Policy();
+    policy.governor = governor;
+    return policy;
+  }
 };
 
 /// A stack-shaped variable environment (push on quantifier entry, pop on

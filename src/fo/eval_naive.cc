@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/cancel.h"
+
 namespace dynfo::fo {
 
 namespace {
@@ -17,8 +19,12 @@ bool QuantifierSearch(const Formula& quantifier, size_t index, const EvalContext
   }
   const bool existential = quantifier.kind() == FormulaKind::kExists;
   const size_t n = ctx.universe_size();
+  // Only the outermost quantifier level polls: inner levels are bounded by
+  // n iterations each and the caller discards results after a trip anyway.
+  const bool poll = index == 0 && ctx.governor != nullptr;
   env->Push(variables[index], 0);
   for (size_t value = 0; value < n; ++value) {
+    if (poll && (value % 64) == 0 && ctx.ShouldStop()) break;
     env->Set(static_cast<relational::Element>(value));
     bool result = QuantifierSearch(quantifier, index + 1, ctx, env);
     if (result == existential) {
@@ -102,7 +108,12 @@ relational::Relation NaiveEvaluator::EvaluateAsRelation(
 
   // Odometer enumeration of n^arity assignments.
   std::vector<relational::Element> point(arity, 0);
+  size_t polls = 0;
   while (true) {
+    if (ctx.governor != nullptr &&
+        (polls++ % core::kGovernorStride) == 0 && ctx.ShouldStop()) {
+      break;
+    }
     Env local;
     for (int i = 0; i < arity; ++i) local.Push(tuple_variables[i], point[i]);
     if (Holds(*formula, ctx, &local)) {
@@ -118,6 +129,7 @@ relational::Relation NaiveEvaluator::EvaluateAsRelation(
     if (i < 0) break;
     ++point[i];
   }
+  ctx.Charge(out.size(), static_cast<size_t>(arity));
   return out;
 }
 

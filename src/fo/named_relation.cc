@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "core/cancel.h"
+
 namespace dynfo::fo {
 
 namespace {
@@ -25,6 +27,13 @@ std::vector<const Row*> GatherRows(const RowSet& rows) {
   out.reserve(rows.size());
   for (const Row& row : rows) out.push_back(&row);
   return out;
+}
+
+/// Strided governor poll for the single-chunk (sequential) operator paths;
+/// the parallel paths are governed at chunk claims by the thread pool.
+bool StridedStop(const core::ExecGovernor* governor, size_t* counter) {
+  if (governor == nullptr) return false;
+  return ((*counter)++ % core::kGovernorStride) == 0 && governor->ShouldStop();
 }
 
 }  // namespace
@@ -123,7 +132,9 @@ NamedRelation NamedRelation::Join(const NamedRelation& other,
   const size_t num_chunks = pool.PlanChunks(0, rows_.size(), parallel);
   if (num_chunks <= 1) {
     std::vector<Row> matches;
+    size_t polls = 0;
     for (const Row& row : rows_) {
+      if (StridedStop(parallel.governor, &polls)) break;
       matches.clear();
       probe_one(row, &matches);
       for (Row& combined : matches) out.rows_.insert(std::move(combined));
@@ -166,7 +177,9 @@ NamedRelation NamedRelation::SemiJoin(const NamedRelation& other, bool anti,
   core::ThreadPool& pool = core::ThreadPool::Global();
   const size_t num_chunks = pool.PlanChunks(0, rows_.size(), parallel);
   if (num_chunks <= 1) {
+    size_t polls = 0;
     for (const Row& row : rows_) {
+      if (StridedStop(parallel.governor, &polls)) break;
       bool match = keys.find(ProjectRow(row, left_key)) != keys.end();
       if (match != anti) out.rows_.insert(row);
     }
@@ -228,7 +241,9 @@ NamedRelation NamedRelation::ComplementWithin(size_t n,
   auto scan = [&](uint64_t chunk_begin, uint64_t chunk_end, auto&& emit) {
     Row row(k, 0);
     decode(chunk_begin, &row);
+    size_t polls = 0;
     for (uint64_t code = chunk_begin; code < chunk_end; ++code) {
+      if (StridedStop(parallel.governor, &polls)) break;
       if (rows_.find(row) == rows_.end()) emit(row);
       int i = k - 1;
       while (i >= 0 && row[i] + 1 == n) {
@@ -259,7 +274,8 @@ NamedRelation NamedRelation::ComplementWithin(size_t n,
 }
 
 NamedRelation NamedRelation::PadWithUniverse(const std::vector<std::string>& new_columns,
-                                             size_t n) const {
+                                             size_t n,
+                                             const core::ExecGovernor* governor) const {
   if (new_columns.empty()) return *this;
   std::vector<std::string> out_columns = columns_;
   for (const std::string& name : new_columns) {
@@ -268,10 +284,13 @@ NamedRelation NamedRelation::PadWithUniverse(const std::vector<std::string>& new
   }
   NamedRelation out(out_columns);
   const int extra = static_cast<int>(new_columns.size());
+  size_t polls = 0;
   for (const Row& base : rows_) {
+    if (StridedStop(governor, &polls)) break;
     Row row = base;
     row.resize(base.size() + extra, 0);
     while (true) {
+      if (StridedStop(governor, &polls)) break;
       out.rows_.insert(row);
       int i = static_cast<int>(row.size()) - 1;
       while (i >= static_cast<int>(base.size()) && row[i] + 1 == n) {

@@ -94,9 +94,12 @@ class NamedRelation {
                                  const core::ParallelOptions& parallel = {}) const;
 
   /// Extends with new columns ranging over the whole universe (cross
-  /// product). New columns must be fresh.
+  /// product). New columns must be fresh. The output has |this| * n^new
+  /// rows, so governed callers pass their governor: the odometer polls it
+  /// every core::kGovernorStride emitted rows and stops early on a trip.
   NamedRelation PadWithUniverse(const std::vector<std::string>& new_columns,
-                                size_t n) const;
+                                size_t n,
+                                const core::ExecGovernor* governor = nullptr) const;
 
   /// Reorders columns to `order` (a permutation of columns()).
   NamedRelation Reorder(const std::vector<std::string>& order) const;

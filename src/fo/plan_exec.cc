@@ -8,6 +8,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "core/cancel.h"
 #include "core/check.h"
 #include "core/thread_pool.h"
 #include "fo/eval_naive.h"
@@ -34,6 +35,16 @@ std::vector<const Row*> GatherRows(const RowSet& rows) {
 
 void Count(std::atomic<uint64_t>& counter, uint64_t delta = 1) {
   counter.fetch_add(delta, std::memory_order_relaxed);
+}
+
+/// Strided governor poll for sequential operator loops: polls once every
+/// kGovernorStride iterations (and on the first), so cancellation latency
+/// stays bounded without a per-row atomic. Usage:
+///   size_t polls = 0;
+///   for (...) { if (StridedStop(ctx, &polls)) break; ... }
+bool StridedStop(const EvalContext& ctx, size_t* counter) {
+  if (ctx.governor == nullptr) return false;
+  return ((*counter)++ % core::kGovernorStride) == 0 && ctx.ShouldStop();
 }
 
 /// Ground key-part values for one execution (constants, parameters, min/max
@@ -87,16 +98,20 @@ NamedRelation ExecuteScan(const AtomAccess& access, const EvalContext& ctx,
     if (bucket != nullptr) {
       for (const relational::Tuple& t : *bucket) emit(t);
     }
+    ctx.Charge(out.size(), out.width());
     return out;
   }
 
+  size_t polls = 0;
   for (const relational::Tuple& t : rel) {
+    if (StridedStop(ctx, &polls)) break;
     bool match = true;
     for (size_t i = 0; i < access.key.size() && match; ++i) {
       match = t[access.key[i].position] == ground[i];
     }
     if (match) emit(t);
   }
+  ctx.Charge(out.size(), out.width());
   return out;
 }
 
@@ -140,15 +155,18 @@ NamedRelation ExecuteIndexJoin(const NamedRelation& acc, const ConjStep& step,
   };
 
   core::ThreadPool& pool = core::ThreadPool::Global();
-  const core::ParallelOptions parallel = ctx.options.Policy();
+  const core::ParallelOptions parallel = ctx.Policy();
   const size_t num_chunks = pool.PlanChunks(0, acc.size(), parallel);
   if (num_chunks <= 1) {
     std::vector<Row> matches;
+    size_t polls = 0;
     for (const Row& row : acc.rows()) {
+      if (StridedStop(ctx, &polls)) break;
       matches.clear();
       probe_one(row, &matches);
       for (Row& extended : matches) out.AddRow(std::move(extended));
     }
+    ctx.Charge(out.size(), out.width());
     return out;
   }
 
@@ -161,6 +179,7 @@ NamedRelation ExecuteIndexJoin(const NamedRelation& acc, const ConjStep& step,
                      for (size_t i = chunk_begin; i < chunk_end; ++i) {
                        probe_one(*rows[i], &buffer);
                      }
+                     ctx.Charge(buffer.size(), out.width());
                    });
   for (std::vector<Row>& buffer : buffers) {
     for (Row& extended : buffer) out.AddRow(std::move(extended));
@@ -174,13 +193,16 @@ NamedRelation ExecuteFilterRows(const NamedRelation& acc, const ConjStep& step,
   Count(stats->filter_row_evals, acc.size());
 
   core::ThreadPool& pool = core::ThreadPool::Global();
-  const core::ParallelOptions parallel = ctx.options.Policy();
+  const core::ParallelOptions parallel = ctx.Policy();
   const size_t num_chunks = pool.PlanChunks(0, acc.size(), parallel);
   if (num_chunks <= 1) {
+    size_t polls = 0;
     for (const Row& row : acc.rows()) {
+      if (StridedStop(ctx, &polls)) break;
       Env env = EnvFromRow(acc.columns(), row);
       if (NaiveEvaluator::Holds(*step.formula, ctx, &env)) out.AddRow(row);
     }
+    ctx.Charge(out.size(), out.width());
     return out;
   }
 
@@ -195,6 +217,7 @@ NamedRelation ExecuteFilterRows(const NamedRelation& acc, const ConjStep& step,
                          buffer.push_back(rows[i]);
                        }
                      }
+                     ctx.Charge(buffer.size(), out.width());
                    });
   for (const std::vector<const Row*>& buffer : buffers) {
     for (const Row* row : buffer) out.AddRow(*row);
@@ -214,11 +237,14 @@ NamedRelation ExecuteEqExtend(const NamedRelation& acc, const ConjStep& step,
     DYNFO_CHECK(value.has_value());
     ground = *value;
   }
+  size_t polls = 0;
   for (const Row& row : acc.rows()) {
+    if (StridedStop(ctx, &polls)) break;
     Row extended = row;
     extended.push_back(step.eq_from_column ? row[step.eq_source_column] : ground);
     out.AddRow(std::move(extended));
   }
+  ctx.Charge(out.size(), out.width());
   return out;
 }
 
@@ -245,15 +271,18 @@ NamedRelation ExecuteFilterExtend(const NamedRelation& acc, const ConjStep& step
   };
 
   core::ThreadPool& pool = core::ThreadPool::Global();
-  const core::ParallelOptions parallel = ctx.options.Policy();
+  const core::ParallelOptions parallel = ctx.Policy();
   const size_t num_chunks = pool.PlanChunks(0, acc.size(), parallel);
   if (num_chunks <= 1) {
     std::vector<Row> extensions;
+    size_t polls = 0;
     for (const Row& row : acc.rows()) {
+      if (StridedStop(ctx, &polls)) break;
       extensions.clear();
       extend_one(row, &extensions);
       for (Row& extended : extensions) out.AddRow(std::move(extended));
     }
+    ctx.Charge(out.size(), out.width());
     return out;
   }
 
@@ -265,6 +294,7 @@ NamedRelation ExecuteFilterExtend(const NamedRelation& acc, const ConjStep& step
                      for (size_t i = chunk_begin; i < chunk_end; ++i) {
                        extend_one(*rows[i], &buffer);
                      }
+                     ctx.Charge(buffer.size(), out.width());
                    });
   for (std::vector<Row>& buffer : buffers) {
     for (Row& extended : buffer) out.AddRow(std::move(extended));
@@ -276,6 +306,9 @@ NamedRelation ExecuteConjunction(const Plan& plan, const EvalContext& ctx,
                                  AtomicEvalStats* stats) {
   NamedRelation acc = NamedRelation::Unit();
   for (const ConjStep& step : plan.steps) {
+    // One governor poll per pipeline step: a tripped governor aborts the
+    // whole conjunction with a partial (discarded) result.
+    if (ctx.ShouldStop()) return NamedRelation(plan.columns);
     switch (step.kind) {
       case ConjStepKind::kFilterRows:
         acc = ExecuteFilterRows(acc, step, ctx, stats);
@@ -283,7 +316,7 @@ NamedRelation ExecuteConjunction(const Plan& plan, const EvalContext& ctx,
       case ConjStepKind::kSemiJoin:
         Count(stats->semi_joins);
         acc = acc.SemiJoin(ExecutePlan(*step.child, ctx, stats), step.anti,
-                           ctx.options.Policy());
+                           ctx.Policy());
         break;
       case ConjStepKind::kEqExtend:
         if (acc.empty()) return NamedRelation(plan.columns);
@@ -300,8 +333,13 @@ NamedRelation ExecuteConjunction(const Plan& plan, const EvalContext& ctx,
       case ConjStepKind::kSatJoin:
         if (acc.empty()) return NamedRelation(plan.columns);
         Count(stats->joins);
-        acc = acc.Join(ExecutePlan(*step.child, ctx, stats), ctx.options.Policy());
+        acc = acc.Join(ExecutePlan(*step.child, ctx, stats), ctx.Policy());
         break;
+    }
+    // The row-level operators charge internally; joins/semi-joins
+    // materialize through NamedRelation and are charged here.
+    if (step.kind == ConjStepKind::kSemiJoin || step.kind == ConjStepKind::kSatJoin) {
+      ctx.Charge(acc.size(), acc.width());
     }
   }
   if (acc.empty()) return NamedRelation(plan.columns);
@@ -358,7 +396,9 @@ NamedRelation ExecuteNumeric(const Plan& plan, const EvalContext& ctx) {
     return out;
   }
   NamedRelation out(plan.columns);
+  size_t polls = 0;
   for (size_t a = 0; a < n; ++a) {
+    if (StridedStop(ctx, &polls)) break;
     for (size_t b = 0; b < n; ++b) {
       if (holds(static_cast<relational::Element>(a),
                 static_cast<relational::Element>(b))) {
@@ -367,6 +407,7 @@ NamedRelation ExecuteNumeric(const Plan& plan, const EvalContext& ctx) {
       }
     }
   }
+  ctx.Charge(out.size(), out.width());
   return out;
 }
 
@@ -374,25 +415,33 @@ NamedRelation ExecuteUnion(const Plan& plan, const EvalContext& ctx,
                            AtomicEvalStats* stats) {
   NamedRelation out(plan.columns);
   const size_t n = ctx.universe_size();
+  size_t polls = 0;
   for (size_t i = 0; i < plan.children.size(); ++i) {
+    if (ctx.ShouldStop()) break;
     NamedRelation sat = ExecutePlan(*plan.children[i], ctx, stats);
     const std::vector<int>& sources = plan.union_sources[i];
     const int pads = plan.union_pad_counts[i];
     if (pads > 0) Count(stats->pads);
     if (pads == 0) {
       for (const Row& row : sat.rows()) {
+        if (StridedStop(ctx, &polls)) break;
         Row mapped;
         mapped.reserve(sources.size());
         for (int s : sources) mapped.push_back(row[s]);
         out.AddRow(std::move(mapped));
       }
+      ctx.Charge(out.size(), out.width());
       continue;
     }
     if (n == 0) continue;  // padding over an empty universe yields nothing
     std::vector<relational::Element> pad(pads, 0);
     for (const Row& row : sat.rows()) {
+      if (StridedStop(ctx, &polls)) break;
       std::fill(pad.begin(), pad.end(), 0);
       while (true) {
+        // The pad odometer emits n^pads rows per input row, so the poll
+        // must live inside the odometer, not just on the outer row loop.
+        if (StridedStop(ctx, &polls)) break;
         Row mapped;
         mapped.reserve(sources.size());
         for (int s : sources) {
@@ -408,6 +457,7 @@ NamedRelation ExecuteUnion(const Plan& plan, const EvalContext& ctx,
         if (d == pads) break;
       }
     }
+    ctx.Charge(out.size(), out.width());
   }
   return out;
 }
@@ -416,12 +466,15 @@ NamedRelation ExecuteProject(const Plan& plan, const EvalContext& ctx,
                              AtomicEvalStats* stats) {
   NamedRelation sat = ExecutePlan(*plan.children[0], ctx, stats);
   NamedRelation out(plan.columns);
+  size_t polls = 0;
   for (const Row& row : sat.rows()) {
+    if (StridedStop(ctx, &polls)) break;
     Row projected;
     projected.reserve(plan.project_positions.size());
     for (int p : plan.project_positions) projected.push_back(row[p]);
     out.AddRow(std::move(projected));
   }
+  ctx.Charge(out.size(), out.width());
   return out;
 }
 
@@ -436,12 +489,15 @@ NamedRelation ExecuteForallGroup(const Plan& plan, const EvalContext& ctx,
     required *= n;
   }
   std::unordered_map<Row, uint64_t, RowHash> counts;
+  size_t polls = 0;
   for (const Row& row : sat.rows()) {
+    if (StridedStop(ctx, &polls)) break;
     Row key;
     key.reserve(plan.keep_positions.size());
     for (int p : plan.keep_positions) key.push_back(row[p]);
     ++counts[key];
   }
+  ctx.Charge(counts.size(), plan.keep_positions.size());
   NamedRelation out(plan.columns);
   for (const auto& [key, count] : counts) {
     if (count == required) out.AddRow(key);
@@ -453,6 +509,8 @@ NamedRelation ExecuteForallGroup(const Plan& plan, const EvalContext& ctx,
 
 NamedRelation ExecutePlan(const Plan& plan, const EvalContext& ctx,
                           AtomicEvalStats* stats) {
+  // Entry poll: a tripped governor prunes whole subtrees before they start.
+  if (ctx.ShouldStop()) return NamedRelation(plan.columns);
   switch (plan.kind) {
     case PlanKind::kUnit:
       return NamedRelation::Unit();
@@ -465,7 +523,7 @@ NamedRelation ExecutePlan(const Plan& plan, const EvalContext& ctx,
     case PlanKind::kComplement: {
       NamedRelation sat = ExecutePlan(*plan.children[0], ctx, stats);
       Count(stats->complements);
-      return sat.ComplementWithin(ctx.universe_size(), ctx.options.Policy());
+      return sat.ComplementWithin(ctx.universe_size(), ctx.Policy());
     }
     case PlanKind::kConjunction:
       return ExecuteConjunction(plan, ctx, stats);

@@ -1,0 +1,153 @@
+#include "programs/registry.h"
+
+#include "dynfo/workload.h"
+#include "programs/bipartite.h"
+#include "programs/dyck.h"
+#include "programs/lca.h"
+#include "programs/matching.h"
+#include "programs/msf.h"
+#include "programs/multiplication.h"
+#include "programs/pad_reach_a.h"
+#include "programs/parity.h"
+#include "programs/reach_acyclic.h"
+#include "programs/reach_semidynamic.h"
+#include "programs/reach_u.h"
+#include "programs/reach_u2.h"
+#include "programs/transitive_reduction.h"
+#include "reductions/pad.h"
+
+namespace dynfo::programs {
+
+namespace {
+
+relational::RequestSequence GraphChurn(
+    std::shared_ptr<const relational::Vocabulary> vocab, size_t n, uint64_t seed,
+    bool undirected, bool acyclic, bool forest, double insert_fraction = 0.6) {
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = 60;
+  options.seed = seed;
+  options.undirected = undirected;
+  options.preserve_acyclic = acyclic;
+  options.forest_shape = forest;
+  options.insert_fraction = insert_fraction;
+  options.set_fraction = vocab->num_constants() > 0 ? 0.05 : 0.0;
+  return dyn::MakeGraphWorkload(*vocab, "E", n, options);
+}
+
+std::vector<ProgramScenario> BuildScenarios() {
+  std::vector<ProgramScenario> out;
+  out.push_back({"parity", [] { return MakeParityProgram(); },
+                 [](size_t n, uint64_t seed) {
+                   dyn::GenericWorkloadOptions o;
+                   o.num_requests = 80;
+                   o.seed = seed;
+                   return dyn::MakeGenericWorkload(*ParityInputVocabulary(), n, o);
+                 },
+                 9, nullptr});
+  out.push_back({"reach_u", [] { return MakeReachUProgram(); },
+                 [](size_t n, uint64_t seed) {
+                   return GraphChurn(ReachUInputVocabulary(), n, seed, true, false,
+                                     false);
+                 },
+                 8, nullptr});
+  out.push_back({"reach_u2", [] { return MakeReachU2Program(); },
+                 [](size_t n, uint64_t seed) {
+                   return GraphChurn(ReachU2InputVocabulary(), n, seed, true, false,
+                                     false);
+                 },
+                 8, nullptr});
+  out.push_back({"reach_acyclic", [] { return MakeReachAcyclicProgram(); },
+                 [](size_t n, uint64_t seed) {
+                   return GraphChurn(ReachAcyclicInputVocabulary(), n, seed, false,
+                                     true, false);
+                 },
+                 8, nullptr});
+  out.push_back({"transitive_reduction",
+                 [] { return MakeTransitiveReductionProgram(); },
+                 [](size_t n, uint64_t seed) {
+                   return GraphChurn(TransitiveReductionInputVocabulary(), n, seed,
+                                     false, true, false);
+                 },
+                 8, nullptr});
+  out.push_back({"bipartite", [] { return MakeBipartiteProgram(); },
+                 [](size_t n, uint64_t seed) {
+                   return GraphChurn(BipartiteInputVocabulary(), n, seed, true,
+                                     false, false);
+                 },
+                 8, nullptr});
+  out.push_back({"lca", [] { return MakeLcaProgram(); },
+                 [](size_t n, uint64_t seed) {
+                   return GraphChurn(LcaInputVocabulary(), n, seed, false, false,
+                                     true);
+                 },
+                 8, nullptr});
+  out.push_back({"matching", [] { return MakeMatchingProgram(); },
+                 [](size_t n, uint64_t seed) {
+                   return GraphChurn(MatchingInputVocabulary(), n, seed, true, false,
+                                     false);
+                 },
+                 8, nullptr});
+  out.push_back({"msf", [] { return MakeMsfProgram(); },
+                 [](size_t n, uint64_t seed) {
+                   dyn::WeightedGraphWorkloadOptions o;
+                   o.num_requests = 50;
+                   o.seed = seed;
+                   return dyn::MakeWeightedGraphWorkload(*MsfInputVocabulary(), "W",
+                                                         n, o);
+                 },
+                 8, nullptr});
+  out.push_back({"dyck", [] { return MakeDyckProgram(2, 12); },
+                 [](size_t n, uint64_t seed) {
+                   dyn::SlotStringWorkloadOptions o;
+                   o.num_requests = 60;
+                   o.seed = seed;
+                   o.max_chars = n / 2 - 2;
+                   return dyn::MakeSlotStringWorkload(
+                       {"Open_0", "Open_1", "Close_0", "Close_1"}, n, o);
+                 },
+                 12, nullptr});
+  out.push_back({"pad_reach_a", [] { return MakePadReachAProgram(); },
+                 [](size_t n, uint64_t seed) {
+                   dyn::GraphWorkloadOptions o;
+                   o.num_requests = 6;
+                   o.seed = seed;
+                   relational::RequestSequence underlying = dyn::MakeGraphWorkload(
+                       *ReachAUnderlyingVocabulary(), "E", n, o);
+                   relational::RequestSequence padded;
+                   for (const relational::Request& r : underlying) {
+                     for (const relational::Request& p :
+                          reductions::PadRequests(r, n)) {
+                       padded.push_back(p);
+                     }
+                   }
+                   return padded;
+                 },
+                 6, nullptr});
+  out.push_back({"multiplication", [] { return MakeMultiplicationProgram(false); },
+                 [](size_t n, uint64_t seed) {
+                   dyn::GenericWorkloadOptions o;
+                   o.num_requests = 40;
+                   o.seed = seed;
+                   o.set_fraction = 0.0;
+                   return dyn::MakeGenericWorkload(*MultiplicationInputVocabulary(),
+                                                   n, o);
+                 },
+                 8, InstallPlusRelation});
+  out.push_back({"reach_semidynamic", [] { return MakeReachSemiDynamicProgram(); },
+                 [](size_t n, uint64_t seed) {
+                   return GraphChurn(ReachSemiDynamicInputVocabulary(), n, seed,
+                                     true, false, false, /*insert_fraction=*/1.0);
+                 },
+                 8, nullptr});
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ProgramScenario>& AllScenarios() {
+  static const std::vector<ProgramScenario>* scenarios =
+      new std::vector<ProgramScenario>(BuildScenarios());
+  return *scenarios;
+}
+
+}  // namespace dynfo::programs

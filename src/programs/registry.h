@@ -1,0 +1,46 @@
+/// \file registry.h
+/// A registry of every runnable program factory paired with a seeded
+/// reference workload: one place that knows how to exercise each Dyn-FO
+/// program in the library end to end.
+///
+/// Cross-program harnesses — snapshot round-trips, cancellation-atomicity
+/// sweeps, the chaos soak — iterate AllScenarios() instead of hand-listing
+/// factories, so a newly added program is covered by every such harness the
+/// moment it registers here.
+
+#ifndef DYNFO_PROGRAMS_REGISTRY_H_
+#define DYNFO_PROGRAMS_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynfo/engine.h"
+#include "dynfo/program.h"
+#include "relational/request.h"
+
+namespace dynfo::programs {
+
+/// One program plus everything needed to run it: a factory, a deterministic
+/// workload generator, the universe size the workload was tuned for, and an
+/// optional precomputation install (Dyn-FO+ programs).
+struct ProgramScenario {
+  std::string name;
+  std::function<std::shared_ptr<const dyn::DynProgram>()> make_program;
+  /// Deterministic for fixed (n, seed): harnesses vary `seed` to widen
+  /// coverage and report it on failure for a one-line repro.
+  std::function<relational::RequestSequence(size_t n, uint64_t seed)>
+      make_workload;
+  size_t default_universe = 8;
+  /// May be null. Applied to every engine before any request — including
+  /// engines the recovery layer rebuilds (pass as EnginePostInit there).
+  std::function<void(dyn::Engine*)> post_init;
+};
+
+/// Every runnable scenario, in a stable order (tests index into it).
+const std::vector<ProgramScenario>& AllScenarios();
+
+}  // namespace dynfo::programs
+
+#endif  // DYNFO_PROGRAMS_REGISTRY_H_

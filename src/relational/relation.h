@@ -100,6 +100,14 @@ class Relation {
     return indexes_.size();
   }
 
+  /// Discards every secondary index (tuples untouched). The recovery path
+  /// calls this when ValidateIndexes() reports corruption: plans re-register
+  /// and rebuild indexes from the tuple set on their next execution.
+  void DropIndexes() {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    indexes_.clear();
+  }
+
   /// Checks every index against the tuple set: each stored tuple appears in
   /// its bucket exactly once and bucket totals match the relation size (so
   /// there are no phantom entries either). Error describes the first

@@ -1,170 +1,32 @@
-/// Snapshot/restore round trips for EVERY program factory in the library:
-/// snapshot mid-run, restore into a fresh engine, continue, and the final
-/// data structure is bit-identical to an uninterrupted run. Also pins the
-/// error paths: a restore never half-applies (the engine is untouched on
-/// any failure).
+/// Snapshot/restore round trips for EVERY program factory in the library
+/// (programs/registry.h): snapshot mid-run, restore into a fresh engine,
+/// continue, and the final data structure is bit-identical to an
+/// uninterrupted run. Also pins the error paths: a restore never
+/// half-applies (the engine is untouched on any failure).
 
 #include <gtest/gtest.h>
 
-#include <functional>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "dynfo/engine.h"
-#include "dynfo/workload.h"
-#include "programs/bipartite.h"
-#include "programs/dyck.h"
-#include "programs/lca.h"
-#include "programs/matching.h"
-#include "programs/msf.h"
-#include "programs/multiplication.h"
-#include "programs/pad_reach_a.h"
 #include "programs/parity.h"
-#include "programs/reach_acyclic.h"
-#include "programs/reach_semidynamic.h"
 #include "programs/reach_u.h"
-#include "programs/reach_u2.h"
-#include "programs/transitive_reduction.h"
-#include "reductions/pad.h"
+#include "programs/registry.h"
 #include "relational/serialize.h"
 
 namespace dynfo::programs {
 namespace {
 
-struct Scenario {
-  std::string name;
-  std::function<std::shared_ptr<const dyn::DynProgram>()> program;
-  std::function<relational::RequestSequence(size_t)> workload;
-  size_t universe;
-  std::function<void(dyn::Engine*)> post_init;  // may be null
-};
-
-relational::RequestSequence GraphChurn(
-    std::shared_ptr<const relational::Vocabulary> vocab, size_t n, bool undirected,
-    bool acyclic, bool forest, double insert_fraction = 0.6) {
-  dyn::GraphWorkloadOptions options;
-  options.num_requests = 60;
-  options.seed = 91;
-  options.undirected = undirected;
-  options.preserve_acyclic = acyclic;
-  options.forest_shape = forest;
-  options.insert_fraction = insert_fraction;
-  options.set_fraction = vocab->num_constants() > 0 ? 0.05 : 0.0;
-  return dyn::MakeGraphWorkload(*vocab, "E", n, options);
-}
-
-std::vector<Scenario> Scenarios() {
-  std::vector<Scenario> out;
-  out.push_back({"parity", [] { return MakeParityProgram(); },
-                 [](size_t n) {
-                   dyn::GenericWorkloadOptions o;
-                   o.num_requests = 80;
-                   o.seed = 9;
-                   return dyn::MakeGenericWorkload(*ParityInputVocabulary(), n, o);
-                 },
-                 9, nullptr});
-  out.push_back({"reach_u", [] { return MakeReachUProgram(); },
-                 [](size_t n) {
-                   return GraphChurn(ReachUInputVocabulary(), n, true, false, false);
-                 },
-                 8, nullptr});
-  out.push_back({"reach_u2", [] { return MakeReachU2Program(); },
-                 [](size_t n) {
-                   return GraphChurn(ReachU2InputVocabulary(), n, true, false, false);
-                 },
-                 8, nullptr});
-  out.push_back({"reach_acyclic", [] { return MakeReachAcyclicProgram(); },
-                 [](size_t n) {
-                   return GraphChurn(ReachAcyclicInputVocabulary(), n, false, true,
-                                     false);
-                 },
-                 8, nullptr});
-  out.push_back({"transitive_reduction",
-                 [] { return MakeTransitiveReductionProgram(); },
-                 [](size_t n) {
-                   return GraphChurn(TransitiveReductionInputVocabulary(), n, false,
-                                     true, false);
-                 },
-                 8, nullptr});
-  out.push_back({"bipartite", [] { return MakeBipartiteProgram(); },
-                 [](size_t n) {
-                   return GraphChurn(BipartiteInputVocabulary(), n, true, false, false);
-                 },
-                 8, nullptr});
-  out.push_back({"lca", [] { return MakeLcaProgram(); },
-                 [](size_t n) {
-                   return GraphChurn(LcaInputVocabulary(), n, false, false, true);
-                 },
-                 8, nullptr});
-  out.push_back({"matching", [] { return MakeMatchingProgram(); },
-                 [](size_t n) {
-                   return GraphChurn(MatchingInputVocabulary(), n, true, false, false);
-                 },
-                 8, nullptr});
-  out.push_back({"msf", [] { return MakeMsfProgram(); },
-                 [](size_t n) {
-                   dyn::WeightedGraphWorkloadOptions o;
-                   o.num_requests = 50;
-                   o.seed = 9;
-                   return dyn::MakeWeightedGraphWorkload(*MsfInputVocabulary(), "W", n,
-                                                         o);
-                 },
-                 8, nullptr});
-  out.push_back({"dyck", [] { return MakeDyckProgram(2, 12); },
-                 [](size_t n) {
-                   dyn::SlotStringWorkloadOptions o;
-                   o.num_requests = 60;
-                   o.seed = 9;
-                   o.max_chars = n / 2 - 2;
-                   return dyn::MakeSlotStringWorkload(
-                       {"Open_0", "Open_1", "Close_0", "Close_1"}, n, o);
-                 },
-                 12, nullptr});
-  out.push_back({"pad_reach_a", [] { return MakePadReachAProgram(); },
-                 [](size_t n) {
-                   dyn::GraphWorkloadOptions o;
-                   o.num_requests = 6;
-                   o.seed = 9;
-                   relational::RequestSequence underlying = dyn::MakeGraphWorkload(
-                       *ReachAUnderlyingVocabulary(), "E", n, o);
-                   relational::RequestSequence padded;
-                   for (const relational::Request& r : underlying) {
-                     for (const relational::Request& p : reductions::PadRequests(r, n)) {
-                       padded.push_back(p);
-                     }
-                   }
-                   return padded;
-                 },
-                 6, nullptr});
-  out.push_back({"multiplication", [] { return MakeMultiplicationProgram(false); },
-                 [](size_t n) {
-                   dyn::GenericWorkloadOptions o;
-                   o.num_requests = 40;
-                   o.seed = 9;
-                   o.set_fraction = 0.0;
-                   return dyn::MakeGenericWorkload(*MultiplicationInputVocabulary(), n,
-                                                   o);
-                 },
-                 8, InstallPlusRelation});
-  out.push_back({"reach_semidynamic", [] { return MakeReachSemiDynamicProgram(); },
-                 [](size_t n) {
-                   return GraphChurn(ReachSemiDynamicInputVocabulary(), n, true, false,
-                                     false, /*insert_fraction=*/1.0);
-                 },
-                 8, nullptr});
-  return out;
-}
-
 class SnapshotRoundTrip : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(SnapshotRoundTrip, MidRunSnapshotRestoresBitIdentically) {
-  const Scenario scenario = Scenarios()[GetParam()];
-  auto program = scenario.program();
-  const relational::RequestSequence requests = scenario.workload(scenario.universe);
+  const ProgramScenario& scenario = AllScenarios()[GetParam()];
+  auto program = scenario.make_program();
+  const relational::RequestSequence requests =
+      scenario.make_workload(scenario.default_universe, /*seed=*/9);
   const size_t half = requests.size() / 2;
 
-  dyn::Engine original(program, scenario.universe);
+  dyn::Engine original(program, scenario.default_universe);
   if (scenario.post_init) scenario.post_init(&original);
   for (size_t i = 0; i < half; ++i) original.Apply(requests[i]);
   const std::string snapshot = original.Snapshot();
@@ -172,7 +34,7 @@ TEST_P(SnapshotRoundTrip, MidRunSnapshotRestoresBitIdentically) {
   for (size_t i = half; i < requests.size(); ++i) original.Apply(requests[i]);
 
   // Restore into a fresh engine: state and step counter come back exactly.
-  dyn::Engine restored(program, scenario.universe);
+  dyn::Engine restored(program, scenario.default_universe);
   core::Status status = restored.Restore(snapshot);
   ASSERT_TRUE(status.ok()) << scenario.name << ": " << status.message();
   EXPECT_EQ(restored.stats().requests, half);
@@ -188,9 +50,9 @@ TEST_P(SnapshotRoundTrip, MidRunSnapshotRestoresBitIdentically) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPrograms, SnapshotRoundTrip,
-                         ::testing::Range<size_t>(0, 13),
+                         ::testing::Range<size_t>(0, AllScenarios().size()),
                          [](const ::testing::TestParamInfo<size_t>& param_info) {
-                           return Scenarios()[param_info.param].name;
+                           return AllScenarios()[param_info.param].name;
                          });
 
 TEST(SnapshotTest, RestoreRejectsWrongProgram) {

@@ -5,16 +5,30 @@
 ///
 /// Usage:
 ///   dynfo_cli [--restore=FILE] [--journal=FILE]
+///             [--deadline-ms=N] [--max-memory-mb=N]
 ///             <program.dynfo> <universe-size> [script-file]
 ///
 /// Flags:
-///   --restore=FILE   restore a checksummed snapshot (see `snapshot`) into
-///                    the engine before reading commands
-///   --journal=FILE   append every applied request to FILE (crash-
-///                    consistent); existing records are replayed first, so
-///                    restarting with the same journal resumes the session.
-///                    Combined with --restore, only the journal suffix past
-///                    the snapshot's step counter is replayed.
+///   --restore=FILE     restore a checksummed snapshot (see `snapshot`) into
+///                      the engine before reading commands
+///   --journal=FILE     append every applied request to FILE (crash-
+///                      consistent); existing records are replayed first, so
+///                      restarting with the same journal resumes the session.
+///                      Combined with --restore, only the journal suffix past
+///                      the snapshot's step counter is replayed.
+///   --deadline-ms=N    per-request wall-clock budget; a request that blows
+///                      it is abandoned at the next chunk boundary with the
+///                      engine left untouched
+///   --max-memory-mb=N  per-request budget for materialized intermediates;
+///                      a breach aborts the request instead of OOM-ing
+///
+/// Exit codes map the error taxonomy (core/status.h) so scripts can branch
+/// on what went wrong:
+///   0 success      1 generic error        2 usage / load error
+///   3 cancelled    4 deadline exceeded    5 resource budget exhausted
+///   6 corruption detected
+/// In script mode the first failed request stops the run with its mapped
+/// code; interactively, errors are printed and the shell keeps going.
 ///
 /// Commands (one per line, from the script or stdin; '#' comments):
 ///   ins <relation> <e1> <e2> ...     insert a tuple
@@ -56,6 +70,26 @@ using dynfo::relational::Element;
 using dynfo::relational::Request;
 using dynfo::relational::Tuple;
 
+/// Maps the status taxonomy to the CLI's documented exit codes. 2 is
+/// reserved for usage/load errors (set directly in main).
+int ExitCodeFor(dynfo::core::StatusCode code) {
+  switch (code) {
+    case dynfo::core::StatusCode::kOk:
+      return 0;
+    case dynfo::core::StatusCode::kError:
+      return 1;
+    case dynfo::core::StatusCode::kCancelled:
+      return 3;
+    case dynfo::core::StatusCode::kDeadlineExceeded:
+      return 4;
+    case dynfo::core::StatusCode::kResourceExhausted:
+      return 5;
+    case dynfo::core::StatusCode::kCorruption:
+      return 6;
+  }
+  return 1;
+}
+
 std::vector<std::string> Split(const std::string& line) {
   std::vector<std::string> out;
   std::stringstream ss(line);
@@ -78,10 +112,15 @@ bool ParseElements(const std::vector<std::string>& words, size_t start,
 }
 
 /// Validates a request against the input vocabulary, journals it (when a
-/// journal is attached), then applies it. A malformed request is rejected
-/// with a printed error instead of CHECK-crashing the shell, and nothing
-/// reaches the journal or the engine.
-bool ApplyValidated(Engine* engine, JournalWriter* journal, const Request& request) {
+/// journal is attached), then applies it under the session's governance
+/// (deadline / memory budget flags). A malformed, rejected, or governed-out
+/// request is reported via Status instead of CHECK-crashing the shell; a
+/// request that fails before or during Apply leaves the engine untouched
+/// (though an already-journaled record of a timed-out request stays — the
+/// journal is an intent log, replay re-attempts it without the deadline).
+dynfo::core::Status ApplyValidated(Engine* engine, JournalWriter* journal,
+                                   const dynfo::dyn::ApplyGovernance& governance,
+                                   const Request& request) {
   dynfo::core::Status valid = dynfo::relational::ValidateRequest(
       *engine->program().input_vocabulary(), engine->universe_size(), request);
   if (valid.ok() && engine->program().semi_dynamic() &&
@@ -89,22 +128,20 @@ bool ApplyValidated(Engine* engine, JournalWriter* journal, const Request& reque
     valid = dynfo::core::Status::Error("program '" + engine->program().name() +
                                        "' is semi-dynamic: deletes are not supported");
   }
-  if (!valid.ok()) {
-    std::printf("error: %s\n", valid.message().c_str());
-    return false;
-  }
+  if (!valid.ok()) return valid;
   if (journal != nullptr) {
     dynfo::core::Status logged = journal->Append(request);
     if (!logged.ok()) {
-      std::printf("error: journal append failed: %s\n", logged.message().c_str());
-      return false;
+      return dynfo::core::Status::Error("journal append failed: " +
+                                        std::string(logged.message()));
     }
   }
-  engine->Apply(request);
-  return true;
+  return engine->TryApply(request, governance);
 }
 
-int Run(Engine* engine, JournalWriter* journal, std::istream& in, bool interactive) {
+int Run(Engine* engine, JournalWriter* journal,
+        const dynfo::dyn::ApplyGovernance& governance, std::istream& in,
+        bool interactive) {
   auto program = engine->program().data_vocabulary();
   dynfo::fo::ParserEnvironment formulas(program);
   std::string line;
@@ -130,17 +167,26 @@ int Run(Engine* engine, JournalWriter* journal, std::istream& in, bool interacti
           for (Element e : elements) t = t.Append(e);
           Request request = command == "ins" ? Request::Insert(words[1], t)
                                              : Request::Delete(words[1], t);
-          if (ApplyValidated(engine, journal, request)) {
+          dynfo::core::Status applied =
+              ApplyValidated(engine, journal, governance, request);
+          if (applied.ok()) {
             std::printf("ok: %s\n", request.ToString().c_str());
+          } else {
+            std::printf("error: %s\n", applied.ToString().c_str());
+            if (!interactive) return ExitCodeFor(applied.code());
           }
         }
       }
     } else if (command == "set") {
       std::vector<Element> elements;
       if (words.size() == 3 && ParseElements(words, 2, &elements)) {
-        if (ApplyValidated(engine, journal,
-                           Request::SetConstant(words[1], elements[0]))) {
+        dynfo::core::Status applied = ApplyValidated(
+            engine, journal, governance, Request::SetConstant(words[1], elements[0]));
+        if (applied.ok()) {
           std::printf("ok: set(%s, %u)\n", words[1].c_str(), elements[0]);
+        } else {
+          std::printf("error: %s\n", applied.ToString().c_str());
+          if (!interactive) return ExitCodeFor(applied.code());
         }
       } else {
         std::printf("error: usage: set <constant> <value>\n");
@@ -253,6 +299,7 @@ int Run(Engine* engine, JournalWriter* journal, std::istream& in, bool interacti
 int main(int argc, char** argv) {
   std::string restore_path;
   std::string journal_path;
+  dynfo::dyn::ApplyGovernance governance;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -260,6 +307,22 @@ int main(int argc, char** argv) {
       restore_path = arg.substr(10);
     } else if (arg.rfind("--journal=", 0) == 0) {
       journal_path = arg.substr(10);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      uint64_t millis = 0;
+      if (!dynfo::core::ParseU64(arg.substr(14), &millis) || millis == 0) {
+        std::fprintf(stderr, "error: bad --deadline-ms value '%s'\n",
+                     arg.substr(14).c_str());
+        return 2;
+      }
+      governance.deadline_ms = static_cast<int64_t>(millis);
+    } else if (arg.rfind("--max-memory-mb=", 0) == 0) {
+      uint64_t megabytes = 0;
+      if (!dynfo::core::ParseU64(arg.substr(16), &megabytes) || megabytes == 0) {
+        std::fprintf(stderr, "error: bad --max-memory-mb value '%s'\n",
+                     arg.substr(16).c_str());
+        return 2;
+      }
+      governance.limits.max_bytes = megabytes * 1024 * 1024;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       return 2;
@@ -269,8 +332,8 @@ int main(int argc, char** argv) {
   }
   if (positional.size() < 2 || positional.size() > 3) {
     std::fprintf(stderr,
-                 "usage: %s [--restore=FILE] [--journal=FILE] <program.dynfo> "
-                 "<universe-size> [script]\n",
+                 "usage: %s [--restore=FILE] [--journal=FILE] [--deadline-ms=N] "
+                 "[--max-memory-mb=N] <program.dynfo> <universe-size> [script]\n",
                  argv[0]);
     return 2;
   }
@@ -353,7 +416,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot open %s\n", positional[2].c_str());
       return 2;
     }
-    return Run(&engine, journal_ptr, script, /*interactive=*/false);
+    return Run(&engine, journal_ptr, governance, script, /*interactive=*/false);
   }
-  return Run(&engine, journal_ptr, std::cin, /*interactive=*/true);
+  return Run(&engine, journal_ptr, governance, std::cin, /*interactive=*/true);
 }
