@@ -84,6 +84,7 @@ void Run(benchmark::State& state, const Variant& variant,
   const size_t n = static_cast<size_t>(state.range(0));
   fo::EvalStats at_load;
   fo::EvalStats after;
+  dyn::Engine::Stats engine_stats;
   for (auto _ : state) {
     dyn::Engine engine(program, n, ToOptions(variant));
     at_load = engine.eval_stats();
@@ -92,6 +93,7 @@ void Run(benchmark::State& state, const Variant& variant,
       benchmark::DoNotOptimize(engine.QueryBool());
     }
     after = engine.eval_stats();
+    engine_stats = engine.stats();
   }
   state.counters["quantifier_depth"] = static_cast<double>(program->MaxQuantifierDepth());
   state.counters["plan_cache_hit_rate"] = after.PlanCacheHitRate();
@@ -100,6 +102,20 @@ void Run(benchmark::State& state, const Variant& variant,
       static_cast<double>(requests.size());
   state.counters["index_probes_per_update"] =
       static_cast<double>(after.index_probes) / static_cast<double>(requests.size());
+  // Delta-materialization exposure (DESIGN.md §11): how much of the replay's
+  // tuple traffic went through O(delta) paths vs full rematerialization.
+  const double per_update = static_cast<double>(requests.size());
+  state.counters["tuples_delta_written_per_update"] =
+      static_cast<double>(engine_stats.tuples_delta_written) / per_update;
+  state.counters["delta_rules_per_update"] =
+      static_cast<double>(engine_stats.delta_rules) / per_update;
+  state.counters["fallback_recomputes_per_update"] =
+      static_cast<double>(engine_stats.fallback_recomputes) / per_update;
+  state.counters["delta_write_ratio"] =
+      engine_stats.tuples_written == 0
+          ? 0.0
+          : static_cast<double>(engine_stats.tuples_delta_written) /
+                static_cast<double>(engine_stats.tuples_written);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * requests.size()));
 }
 
@@ -123,19 +139,31 @@ void RunParity(benchmark::State& state, const Variant& variant) {
 void BM_EvalNaive(benchmark::State& state) { RunReach(state, kNaive); }
 BENCHMARK(BM_EvalNaive)->DenseRange(6, 12, 3);
 
+// The large sizes are where the O(delta)-vs-O(state) separation shows: the
+// per-update cost of the semi-naive path stays flat as the universe grows
+// (the request's delta is local) while every full-rematerialization variant
+// pays universe-proportional work per update.
 void BM_EvalAlgebraReplan(benchmark::State& state) { RunReach(state, kReplan); }
-BENCHMARK(BM_EvalAlgebraReplan)->DenseRange(6, 12, 3)->DenseRange(16, 24, 8);
+BENCHMARK(BM_EvalAlgebraReplan)
+    ->DenseRange(6, 12, 3)->DenseRange(16, 24, 8)
+    ->RangeMultiplier(2)->Range(96, 384);
 
 void BM_EvalAlgebraCompiled(benchmark::State& state) { RunReach(state, kCompiled); }
-BENCHMARK(BM_EvalAlgebraCompiled)->DenseRange(6, 12, 3)->DenseRange(16, 24, 8);
+BENCHMARK(BM_EvalAlgebraCompiled)
+    ->DenseRange(6, 12, 3)->DenseRange(16, 24, 8)
+    ->RangeMultiplier(2)->Range(96, 384);
 
 void BM_EvalAlgebraCompiledIndexed(benchmark::State& state) {
   RunReach(state, kCompiledIndexed);
 }
-BENCHMARK(BM_EvalAlgebraCompiledIndexed)->DenseRange(6, 12, 3)->DenseRange(16, 24, 8);
+BENCHMARK(BM_EvalAlgebraCompiledIndexed)
+    ->DenseRange(6, 12, 3)->DenseRange(16, 24, 8)
+    ->RangeMultiplier(2)->Range(96, 384);
 
 void BM_EvalAlgebraNoDelta(benchmark::State& state) { RunReach(state, kNoDeltaIndexed); }
-BENCHMARK(BM_EvalAlgebraNoDelta)->DenseRange(6, 12, 3)->DenseRange(16, 24, 8);
+BENCHMARK(BM_EvalAlgebraNoDelta)
+    ->DenseRange(6, 12, 3)->DenseRange(16, 24, 8)
+    ->RangeMultiplier(2)->Range(96, 384);
 
 /// A steady-state reach_u data structure (mirrored E, forest F, path
 /// relation PV) at universe n, built once and shared across variants — the

@@ -1,6 +1,7 @@
 #include "dynfo/engine.h"
 
 #include <chrono>
+#include <map>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "core/text.h"
 #include "core/thread_pool.h"
 #include "fo/eval_naive.h"
+#include "fo/normalize.h"
 #include "relational/serialize.h"
 
 namespace dynfo::dyn {
@@ -24,16 +26,25 @@ bool IsQuantifierFree(const fo::Formula& f) {
   return true;
 }
 
-/// True iff `f` is Atom(target, x1, ..., xk) with args exactly the tuple
-/// variables, in order.
-bool IsTargetAtom(const fo::Formula& f, const UpdateRule& rule) {
-  if (f.kind() != fo::FormulaKind::kAtom || f.relation() != rule.target) return false;
+/// True iff `f` is Atom(R, x1, ..., xk) with args exactly the rule's tuple
+/// variables, in order — the anchor shape a delta decomposition reads.
+bool IsBaseAtom(const fo::Formula& f, const UpdateRule& rule) {
+  if (f.kind() != fo::FormulaKind::kAtom) return false;
   if (f.args().size() != rule.tuple_variables.size()) return false;
   for (size_t i = 0; i < f.args().size(); ++i) {
     const fo::Term& t = f.args()[i];
     if (!t.is_variable() || t.name() != rule.tuple_variables[i]) return false;
   }
   return true;
+}
+
+bool HasDuplicates(const std::vector<std::string>& names) {
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      if (names[i] == names[j]) return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -62,22 +73,50 @@ void Engine::PrecompileProgram() {
     fo::PlanPtr plan = algebra_.Precompile(formula, ctx);
     if (options_.use_indexes) fo::RegisterPlanIndexes(*plan, data_);
   };
+  // Mirrors TryApply's path selection exactly so the hot path runs zero
+  // planner invocations in every gate configuration: the semi-naive paths
+  // need persistent indexes, so with use_indexes off Apply takes the legacy
+  // delta (or full) path and needs those formulas compiled instead.
   for (const auto& [key, rules] : program_->rules()) {
-    for (const UpdateRule& rule : rules.lets) precompile(rule.formula);
+    for (const UpdateRule& rule : rules.lets) {
+      const DeltaPlan& plan = PlanFor(rule);
+      const bool bounded = plan.applicable && plan.removals != nullptr &&
+                           plan.removals->bounded;
+      if (options_.use_delta && options_.use_indexes && bounded) {
+        // Semi-naive let: Apply evaluates the removal program and the
+        // additions, never the full formula (which stays lazily compilable
+        // for tier-override fallbacks).
+        if (plan.additions->kind() != fo::FormulaKind::kFalse) {
+          precompile(plan.additions);
+        }
+        fo::RegisterDeltaProgramIndexes(*plan.removals, data_);
+      } else {
+        precompile(rule.formula);
+      }
+    }
     for (const UpdateRule& rule : rules.updates) {
       const DeltaPlan& plan = PlanFor(rule);
-      if (options_.use_delta && plan.applicable) {
-        // Only the formulas Apply will actually evaluate get plans (and
-        // indexes): the keep-filter when it is evaluated set-wise, and the
+      const bool bounded = plan.removals != nullptr && plan.removals->bounded;
+      const bool semi = options_.use_delta && options_.use_indexes &&
+                        plan.applicable && bounded;
+      if (options_.use_delta && plan.applicable &&
+          (semi || plan.base == rule.target)) {
+        // Delta path: the keep-filter when it is evaluated set-wise (the
+        // legacy removal scan; the semi-naive program replaces it), and the
         // additions unless trivially empty.
-        if (plan.keep->kind() != fo::FormulaKind::kTrue &&
+        if (!semi && plan.keep->kind() != fo::FormulaKind::kTrue &&
             !IsQuantifierFree(*plan.keep)) {
           precompile(plan.keep);
         }
         if (plan.additions->kind() != fo::FormulaKind::kFalse) {
           precompile(plan.additions);
         }
+        if (semi) {
+          fo::RegisterDeltaProgramIndexes(*plan.removals, data_);
+        }
       } else {
+        // Full rematerialization: not decomposable, delta off, or a chained
+        // base without an active semi-naive removal program.
         precompile(rule.formula);
       }
     }
@@ -125,24 +164,54 @@ const Engine::DeltaPlan& Engine::PlanFor(const UpdateRule& rule) {
   } else {
     disjuncts = {rule.formula};
   }
-  for (size_t i = 0; i < disjuncts.size() && !plan.applicable; ++i) {
-    std::vector<fo::FormulaPtr> conjuncts;
-    if (disjuncts[i]->kind() == fo::FormulaKind::kAnd) {
-      conjuncts = disjuncts[i]->children();
-    } else {
-      conjuncts = {disjuncts[i]};
+  // Pass 1 anchors on the rule's own target atom (the classic in-place
+  // shape); pass 2 accepts any other data relation's atom, which lets
+  // deltas chain through lets (e.g. reach_u's PV' = T | additions reads the
+  // T let, itself a delta over PV).
+  auto decompose = [&](bool target_only) {
+    for (size_t i = 0; i < disjuncts.size() && !plan.applicable; ++i) {
+      std::vector<fo::FormulaPtr> conjuncts;
+      if (disjuncts[i]->kind() == fo::FormulaKind::kAnd) {
+        conjuncts = disjuncts[i]->children();
+      } else {
+        conjuncts = {disjuncts[i]};
+      }
+      for (size_t j = 0; j < conjuncts.size(); ++j) {
+        if (!IsBaseAtom(*conjuncts[j], rule)) continue;
+        if (target_only != (conjuncts[j]->relation() == rule.target)) continue;
+        std::vector<fo::FormulaPtr> keep(conjuncts);
+        keep.erase(keep.begin() + static_cast<ptrdiff_t>(j));
+        std::vector<fo::FormulaPtr> additions(disjuncts);
+        additions.erase(additions.begin() + static_cast<ptrdiff_t>(i));
+        plan.applicable = true;
+        plan.base = conjuncts[j]->relation();
+        plan.keep = fo::Formula::And(std::move(keep));
+        plan.additions = fo::Formula::Or(std::move(additions));
+        break;
+      }
     }
-    for (size_t j = 0; j < conjuncts.size(); ++j) {
-      if (!IsTargetAtom(*conjuncts[j], rule)) continue;
-      std::vector<fo::FormulaPtr> keep(conjuncts);
-      keep.erase(keep.begin() + static_cast<ptrdiff_t>(j));
-      std::vector<fo::FormulaPtr> additions(disjuncts);
-      additions.erase(additions.begin() + static_cast<ptrdiff_t>(i));
-      plan.applicable = true;
-      plan.keep = fo::Formula::And(std::move(keep));
-      plan.additions = fo::Formula::Or(std::move(additions));
-      break;
-    }
+  };
+  decompose(/*target_only=*/true);
+  if (!plan.applicable) decompose(/*target_only=*/false);
+
+  // Compile the semi-naive removal program while we are here, under the same
+  // gates the hot path checks, so Apply never plans.
+  const bool trivial_keep =
+      plan.applicable && plan.keep->kind() == fo::FormulaKind::kTrue;
+  if (plan.applicable && options_.eval_mode == EvalMode::kAlgebra &&
+      options_.use_delta && options_.use_compiled_plans &&
+      // Duplicate tuple variables make position→column mapping ambiguous
+      // for a removal plan (harmless when nothing is ever removed).
+      (trivial_keep || !HasDuplicates(rule.tuple_variables))) {
+    const fo::FormulaPtr not_keep =
+        trivial_keep ? nullptr : fo::ToNnf(fo::Formula::Not(plan.keep));
+    const int base_index = data_.vocabulary().RelationIndex(plan.base);
+    DYNFO_CHECK(base_index >= 0) << "unknown base relation " << plan.base;
+    fo::EvalContext ctx(data_, {}, eval_options());
+    plan.removals = std::make_shared<const fo::DeltaProgram>(
+        algebra_.CompileDeltaRemovals(
+            not_keep, rule.tuple_variables, base_index,
+            static_cast<int>(rule.tuple_variables.size()), ctx));
   }
   return plans_.emplace(&rule, std::move(plan)).first->second;
 }
@@ -275,7 +344,31 @@ core::Status Engine::TryApply(const relational::Request& request,
   double lets_eval_seconds = 0;
   uint64_t lets_recomputed = 0;
   uint64_t lets_tuples_written = 0;
+  uint64_t lets_delta_rules = 0;
+  uint64_t lets_fallbacks = 0;
+  uint64_t lets_delta_written = 0;
   std::vector<std::pair<std::string, double>> let_seconds;
+
+  // One semi-naive step: erase `removals` from a relation, then insert
+  // `additions`. A let computed as base ± op records its op chain back to a
+  // root relation (LetProvenance) so an update rule whose decomposition base
+  // is that let can replay the chain onto its own target in place — keeping
+  // the target's persistent indexes alive across the Apply.
+  struct DeltaOps {
+    std::vector<relational::Tuple> removals;
+    std::vector<relational::Tuple> additions;
+  };
+  struct LetProvenance {
+    std::string root;           ///< the non-let relation the chain starts from
+    std::vector<DeltaOps> ops;  ///< replay in order: root ± ops == let value
+  };
+  std::map<std::string, LetProvenance> let_provenance;
+
+  const bool delta_configured = use_delta && mode == EvalMode::kAlgebra;
+  auto semi_naive = [&](const DeltaPlan& plan) {
+    return delta_configured && eopts.use_compiled_plans && eopts.use_indexes &&
+           plan.applicable && plan.removals != nullptr && plan.removals->bounded;
+  };
 
   // Temporaries: evaluated in order, committed immediately so later rules in
   // this same request can read them. They never shadow non-let relations'
@@ -296,15 +389,44 @@ core::Status Engine::TryApply(const relational::Request& request,
   if (rules != nullptr) {
     for (const UpdateRule& rule : rules->lets) {
       const auto rule_start = std::chrono::steady_clock::now();
-      relational::Relation result = EvalRuleFull(rule, ctx, mode);
+      const DeltaPlan& plan = PlanFor(rule);
+      relational::Relation result{0};
+      if (semi_naive(plan)) {
+        // Semi-naive: the let is base ± a small delta. Share the base's
+        // storage (copy-on-write) and touch only the changed tuples.
+        DeltaOps op;
+        op.removals = algebra_.DeltaRemovals(*plan.removals, ctx);
+        if (plan.additions->kind() != fo::FormulaKind::kFalse) {
+          relational::Relation adds =
+              algebra_.EvaluateAsRelation(plan.additions, rule.tuple_variables, ctx);
+          op.additions.assign(adds.begin(), adds.end());
+        }
+        result = data_.relation(plan.base);
+        for (const relational::Tuple& t : op.removals) result.Erase(t);
+        for (const relational::Tuple& t : op.additions) result.Insert(t);
+        lets_delta_written += op.removals.size() + op.additions.size();
+        ++lets_delta_rules;
+        LetProvenance prov;
+        auto chained = let_provenance.find(plan.base);
+        if (chained != let_provenance.end()) {
+          prov = chained->second;
+        } else {
+          prov.root = plan.base;
+        }
+        prov.ops.push_back(std::move(op));
+        let_provenance[rule.target] = std::move(prov);
+      } else {
+        result = EvalRuleFull(rule, ctx, mode);
+        ++lets_recomputed;
+        lets_tuples_written += result.size();
+        if (delta_configured) ++lets_fallbacks;
+      }
       if (governed && governor_storage.stopped()) {
         return abort_with(governor_storage.status());
       }
       const double elapsed = seconds_since(rule_start);
       let_seconds.emplace_back(rule.target, elapsed);
       lets_eval_seconds += elapsed;
-      ++lets_recomputed;
-      lets_tuples_written += result.size();
       if (governed) {
         let_rollback.emplace_back(rule.target, data_.relation(rule.target));
       }
@@ -320,9 +442,20 @@ core::Status Engine::TryApply(const relational::Request& request,
     const UpdateRule* rule = nullptr;
     const DeltaPlan* plan = nullptr;
     bool full = false;
+    bool fallback = false;  ///< delta was configured but this rule ran full
+    bool semi = false;      ///< removals came from the compiled delta program
+    /// Commit strategy when the decomposition base is another relation:
+    /// replace_with_delta swaps in a copy-on-write copy of base ± delta;
+    /// in_place_compose replays the base let's op chain (plus this rule's own
+    /// delta) onto the target, preserving its persistent indexes.
+    bool replace_with_delta = false;
+    bool in_place_compose = false;
     relational::Relation replacement{0};
     std::vector<relational::Tuple> removals;
     relational::Relation additions{0};
+    std::vector<DeltaOps> compose_ops;
+    uint64_t staged_erased = 0;
+    uint64_t staged_inserted = 0;
     double seconds = 0;
   };
   std::vector<Staged> staged;
@@ -342,18 +475,28 @@ core::Status Engine::TryApply(const relational::Request& request,
   auto evaluate_one = [&](Staged& s) {
     const auto rule_start = std::chrono::steady_clock::now();
     const UpdateRule& rule = *s.rule;
-    const bool delta =
-        use_delta && mode == EvalMode::kAlgebra && s.plan->applicable;
-    if (!delta) {
+    const DeltaPlan& plan = *s.plan;
+    const bool delta = delta_configured && plan.applicable;
+    const bool semi = semi_naive(plan);
+    const bool base_is_target = plan.applicable && plan.base == rule.target;
+    // Full rematerialization: no decomposition, or the base is a different
+    // relation and the compiled removal program is unavailable (the chained
+    // paths below require it).
+    if (!delta || (!base_is_target && !semi)) {
       s.full = true;
+      s.fallback = delta_configured;
       s.replacement = EvalRuleFull(rule, ctx, mode);
       s.seconds = seconds_since(rule_start);
       return;
     }
-    const DeltaPlan& plan = *s.plan;
-    const relational::Relation& old = data_.relation(rule.target);
-    // Removals: old tuples failing the keep-filter.
-    if (plan.keep->kind() != fo::FormulaKind::kTrue) {
+    // Removals: base tuples failing the keep-filter. With a bounded removal
+    // program they come straight out of the compiled plan (O(delta)); the
+    // legacy scans below walk the whole stored relation.
+    if (semi) {
+      s.semi = true;
+      s.removals = algebra_.DeltaRemovals(*plan.removals, ctx);
+    } else if (plan.keep->kind() != fo::FormulaKind::kTrue) {
+      const relational::Relation& old = data_.relation(rule.target);
       size_t polls = 0;
       auto strided_stop = [&] {
         return governor != nullptr &&
@@ -385,6 +528,25 @@ core::Status Engine::TryApply(const relational::Request& request,
     } else {
       s.additions = relational::Relation(static_cast<int>(rule.tuple_variables.size()));
     }
+    // Base is another relation: either the base is a let whose delta chain
+    // roots at this rule's target (replay in place at commit), or the new
+    // value is a copy-on-write copy of the base with this delta applied.
+    if (!base_is_target) {
+      auto prov = let_provenance.find(plan.base);
+      if (prov != let_provenance.end() && prov->second.root == rule.target) {
+        s.in_place_compose = true;
+        s.compose_ops = prov->second.ops;
+      } else {
+        s.replace_with_delta = true;
+        s.replacement = data_.relation(plan.base);
+        for (const relational::Tuple& t : s.removals) {
+          if (s.replacement.Erase(t)) ++s.staged_erased;
+        }
+        for (const relational::Tuple& t : s.additions) {
+          if (s.replacement.Insert(t)) ++s.staged_inserted;
+        }
+      }
+    }
     s.seconds = seconds_since(rule_start);
   };
 
@@ -415,25 +577,52 @@ core::Status Engine::TryApply(const relational::Request& request,
   }
   stats_.rule_eval_seconds += lets_eval_seconds;
   stats_.relations_recomputed += lets_recomputed;
-  stats_.tuples_written += lets_tuples_written;
+  stats_.tuples_written += lets_tuples_written + lets_delta_written;
+  stats_.tuples_delta_written += lets_delta_written;
+  stats_.delta_rules += lets_delta_rules;
+  stats_.fallback_recomputes += lets_fallbacks;
   for (const Staged& s : staged) {
     stats_.rule_seconds[s.rule->target] += s.seconds;
     stats_.rule_eval_seconds += s.seconds;
     if (s.full) {
       ++stats_.relations_recomputed;
       stats_.tuples_written += s.replacement.size();
+      if (s.fallback) ++stats_.fallback_recomputes;
     } else {
       ++stats_.delta_applications;
+      if (s.semi) ++stats_.delta_rules;
+      // Replayed compose_ops were counted when their lets ran; charge only
+      // this rule's own delta.
+      const uint64_t delta_written =
+          s.replace_with_delta ? s.staged_erased + s.staged_inserted
+                               : s.removals.size() + s.additions.size();
+      stats_.tuples_delta_written += delta_written;
+      stats_.tuples_written += delta_written;
+      // Case C applied its delta to the staged copy at eval time; fold the
+      // counts the commit loop would otherwise have recorded.
+      stats_.tuples_erased += s.staged_erased;
+      stats_.tuples_inserted += s.staged_inserted;
     }
   }
   stats_.update_wall_seconds += seconds_since(phase_start);
 
   // Commit.
+  const auto commit_start = std::chrono::steady_clock::now();
   for (Staged& s : staged) {
     relational::Relation& target = data_.relation(s.rule->target);
-    if (s.full) {
+    if (s.full || s.replace_with_delta) {
       target = std::move(s.replacement);
       continue;
+    }
+    if (s.in_place_compose) {
+      for (const DeltaOps& op : s.compose_ops) {
+        for (const relational::Tuple& t : op.removals) {
+          if (target.Erase(t)) ++stats_.tuples_erased;
+        }
+        for (const relational::Tuple& t : op.additions) {
+          if (target.Insert(t)) ++stats_.tuples_inserted;
+        }
+      }
     }
     for (const relational::Tuple& t : s.removals) {
       if (target.Erase(t)) ++stats_.tuples_erased;
@@ -466,6 +655,8 @@ core::Status Engine::TryApply(const relational::Request& request,
       break;
     }
   }
+
+  stats_.commit_seconds += seconds_since(commit_start);
 
   fill_report();
   return core::Status();

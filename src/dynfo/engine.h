@@ -9,11 +9,17 @@
 /// so by tests):
 ///   * eval_mode — which evaluator computes formula results (naive
 ///     substitute-and-test vs. the relational-algebra compiler);
-///   * use_delta — when an update formula syntactically preserves its target
-///     ("R(x-bar) | delta" or "(R(x-bar) & keep) | delta"), apply it as an
-///     in-place diff instead of rebuilding the relation. This is the
-///     sequential-implementation analogue of the paper's parallel O(1)-time
-///     update: only the changed tuples are touched.
+///   * use_delta — when an update formula syntactically decomposes over a
+///     base relation ("(B(x-bar) & keep) | delta", with B the target itself
+///     or any other data relation), apply it as a diff instead of rebuilding
+///     the relation. With compiled plans and indexes on, the removal side
+///     runs a semi-naive program (fo/plan.h, DeltaProgram) that emits only
+///     the changed tuples, deltas propagate between lets and update targets
+///     across the rule DAG within one Apply (copy-on-write relation versions
+///     plus op-chain provenance), and non-delta-safe rules fall back to the
+///     full-materialization path. This is the sequential-implementation
+///     analogue of the paper's parallel O(1)-time update: only the changed
+///     tuples are touched. See DESIGN.md §11.
 
 #ifndef DYNFO_DYNFO_ENGINE_H_
 #define DYNFO_DYNFO_ENGINE_H_
@@ -132,13 +138,32 @@ class Engine {
     uint64_t delta_applications = 0;
     uint64_t tuples_inserted = 0;
     uint64_t tuples_erased = 0;
-    uint64_t tuples_written = 0;  ///< total tuples materialized by full recomputes
+    /// Total tuples materialized across ALL paths: full-recompute result
+    /// sizes plus every tuple applied through a delta path. The O(delta)
+    /// claim is tuples_delta_written / tuples_written approaching 1 on
+    /// delta-friendly workloads.
+    uint64_t tuples_written = 0;
+    /// Tuples applied (successful erases + inserts) through delta paths —
+    /// in-place diffs, copy-on-write versions, and op-chain replays — rather
+    /// than full rematerialization.
+    uint64_t tuples_delta_written = 0;
+    /// Rule applications (lets and updates) whose removal side ran a bounded
+    /// semi-naive program (or had keep ≡ true) — the O(delta) path.
+    uint64_t delta_rules = 0;
+    /// Rule applications that had delta configured (use_delta, algebra mode)
+    /// but fell back to full rematerialization — not decomposable, removal
+    /// side not delta-safe, or the semi-naive gates (compiled plans +
+    /// indexes) off for the request.
+    uint64_t fallback_recomputes = 0;
     /// Requests whose update rules were evaluated concurrently.
     uint64_t parallel_update_batches = 0;
     /// Summed wall time of individual update-rule evaluations (thread-seconds).
     double rule_eval_seconds = 0;
     /// Elapsed wall time of the update-evaluation phases across requests.
     double update_wall_seconds = 0;
+    /// Elapsed wall time of the post-evaluation commit phases (delta
+    /// replays, relation swaps, index maintenance) across requests.
+    double commit_seconds = 0;
     /// Cumulative evaluation seconds per target relation.
     std::map<std::string, double> rule_seconds;
 
@@ -240,11 +265,20 @@ class Engine {
   core::Status ReloadProgram(std::shared_ptr<const DynProgram> program);
 
  private:
-  /// How a target-preserving update rule decomposes; see file comment.
+  /// How a rule decomposes as `(base(x-bar) ∧ keep) ∨ additions`; see file
+  /// comment. `base` is the rule's own target when the formula is
+  /// target-preserving (the classic shape), otherwise any data relation
+  /// whose atom carries exactly the tuple variables — which is how deltas
+  /// propagate through lets across the rule DAG.
   struct DeltaPlan {
     bool applicable = false;
-    fo::FormulaPtr keep;       ///< old tuple survives iff this holds (may be True)
+    std::string base;          ///< relation the decomposition reads
+    fo::FormulaPtr keep;       ///< old base tuple survives iff this holds (may be True)
     fo::FormulaPtr additions;  ///< tuples to add (may be False)
+    /// Compiled semi-naive removal program for the keep-filter (fo/plan.h);
+    /// null until compiled, bounded only when delta-safe. Compiled lazily by
+    /// PlanFor under the kAlgebra + use_delta + use_compiled_plans gates.
+    std::shared_ptr<const fo::DeltaProgram> removals;
   };
 
   relational::Relation EvalRuleFull(const UpdateRule& rule, const fo::EvalContext& ctx,

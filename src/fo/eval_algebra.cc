@@ -93,6 +93,20 @@ PlanPtr AlgebraEvaluator::Precompile(const FormulaPtr& formula,
   return PlanFor(formula, ctx);
 }
 
+DeltaProgram AlgebraEvaluator::CompileDeltaRemovals(
+    const FormulaPtr& not_keep, const std::vector<std::string>& tuple_variables,
+    int base_relation_index, int base_arity, const EvalContext& ctx) const {
+  if (not_keep != nullptr) ++stats_.planner_runs;
+  return fo::CompileDeltaRemovals(PlanCompiler(ctx.structure->vocabulary()),
+                                  not_keep, tuple_variables,
+                                  base_relation_index, base_arity);
+}
+
+std::vector<relational::Tuple> AlgebraEvaluator::DeltaRemovals(
+    const DeltaProgram& program, const EvalContext& ctx) const {
+  return ExecuteDeltaRemovals(program, ctx, &stats_);
+}
+
 void AlgebraEvaluator::ClearPlanCache() const {
   std::lock_guard<std::mutex> lock(plan_mutex_);
   plan_cache_.clear();

@@ -81,6 +81,20 @@ class AlgebraEvaluator {
                                           const std::vector<std::string>& tuple_variables,
                                           const EvalContext& ctx) const;
 
+  /// Compiles the removal side of delta rule R' = (R ∧ keep) ∨ additions
+  /// (see fo/plan.h, DeltaProgram). `not_keep` is ¬keep in NNF, or null when
+  /// keep ≡ true. Counted as a planner run; the caller owns the result, so
+  /// no cache entry is created.
+  DeltaProgram CompileDeltaRemovals(const FormulaPtr& not_keep,
+                                    const std::vector<std::string>& tuple_variables,
+                                    int base_relation_index, int base_arity,
+                                    const EvalContext& ctx) const;
+
+  /// Runs a bounded removal program (ExecuteDeltaRemovals) with this
+  /// evaluator's shared counters.
+  std::vector<relational::Tuple> DeltaRemovals(const DeltaProgram& program,
+                                               const EvalContext& ctx) const;
+
   /// A snapshot of the counters. (Internally they are atomics so that one
   /// evaluator may serve concurrent rule evaluations; see EvalOptions.)
   Stats stats() const { return stats_.Snapshot(); }

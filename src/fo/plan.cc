@@ -207,8 +207,40 @@ PlanPtr PlanCompiler::CompileAnd(const Formula& f) const {
     constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
     constexpr uint64_t kCostEqExtend = 1;
     constexpr uint64_t kCostAtomBase = 1000;
+    constexpr uint64_t kCostUnionExtend = 100 * 1000;
     constexpr uint64_t kCostFilterExtend = 1000 * 1000;
-    enum class Choice { kNone, kEqExtend, kAtomJoin, kFilterExtend, kSatJoin };
+    enum class Choice {
+      kNone, kEqExtend, kAtomJoin, kUnionExtend, kFilterExtend, kSatJoin
+    };
+
+    // True when disjunct `d` can feed a kUnionExtend step for `var`: a
+    // relation atom whose only fresh variable is `var`, or an equality
+    // pinning `var` to a bound variable or ground term. Either way the
+    // branch yields candidate values without ranging over the universe.
+    auto union_branch_ok = [&](const Formula& d, const std::string& var) {
+      if (d.kind() == FormulaKind::kAtom) {
+        bool contains_var = false;
+        for (const Term& t : d.args()) {
+          if (!t.is_variable()) continue;
+          if (t.name() == var) {
+            contains_var = true;
+          } else if (IndexOf(bound, t.name()) < 0) {
+            return false;  // a second fresh variable
+          }
+        }
+        return contains_var;
+      }
+      if (d.kind() == FormulaKind::kEq) {
+        const Term& l = d.left();
+        const Term& r = d.right();
+        const bool left_is_var = l.is_variable() && l.name() == var;
+        const bool right_is_var = r.is_variable() && r.name() == var;
+        if (left_is_var == right_is_var) return false;  // neither, or var = var
+        const Term& other = left_is_var ? r : l;
+        return !other.is_variable() || IndexOf(bound, other.name()) >= 0;
+      }
+      return false;
+    };
     Choice best_choice = Choice::kNone;
     size_t best_index = 0;
     uint64_t best_cost = kInf;
@@ -238,6 +270,20 @@ PlanPtr PlanCompiler::CompileAnd(const Formula& f) const {
           if (!t.is_variable() || IndexOf(bound, t.name()) >= 0) ++keyed;
         }
         cost = kCostAtomBase + 100 * fresh - 10 * keyed;
+      }
+      if (choice == Choice::kNone && c->kind() == FormulaKind::kOr &&
+          unbound.size() == 1) {
+        bool all_branches_ok = true;
+        for (const FormulaPtr& d : c->children()) {
+          if (!union_branch_ok(*d, unbound[0])) {
+            all_branches_ok = false;
+            break;
+          }
+        }
+        if (all_branches_ok) {
+          choice = Choice::kUnionExtend;
+          cost = kCostUnionExtend;
+        }
       }
       if (choice == Choice::kNone && unbound.size() == 1 && IsQuantifierFree(*c)) {
         choice = Choice::kFilterExtend;
@@ -282,6 +328,34 @@ PlanPtr PlanCompiler::CompileAnd(const Formula& f) const {
         step.probe = CompileAtom(*c, bound);
         step.scan = CompileAtom(*c, /*bound=*/{});
         for (const std::string& name : step.probe.new_columns) bound.push_back(name);
+        break;
+      }
+      case Choice::kUnionExtend: {
+        step.kind = ConjStepKind::kUnionExtend;
+        step.var = unbound[0];
+        step.formula = c;  // the index-less fallback filters with this
+        for (const FormulaPtr& d : c->children()) {
+          ExtendBranch branch;
+          if (d->kind() == FormulaKind::kAtom) {
+            branch.is_atom = true;
+            branch.atom = CompileAtom(*d, bound);
+            DYNFO_CHECK(branch.atom.new_columns ==
+                        std::vector<std::string>{unbound[0]});
+          } else {
+            const Term& l = d->left();
+            const bool left_is_var = l.is_variable() && l.name() == unbound[0];
+            const Term& other = left_is_var ? d->right() : d->left();
+            if (other.is_variable()) {
+              branch.eq_from_column = true;
+              branch.eq_source_column = IndexOf(bound, other.name());
+              DYNFO_CHECK(branch.eq_source_column >= 0);
+            } else {
+              branch.eq_term = other;
+            }
+          }
+          step.union_branches.push_back(std::move(branch));
+        }
+        bound.push_back(unbound[0]);
         break;
       }
       case Choice::kFilterExtend: {
@@ -375,6 +449,91 @@ PlanPtr PlanCompiler::CompileForall(const Formula& f) const {
   return plan;
 }
 
+bool PlanIsDeltaBounded(const Plan& plan) {
+  switch (plan.kind) {
+    case PlanKind::kUnit:
+    case PlanKind::kEmpty:
+    case PlanKind::kAtomScan:  // rows come from a stored relation
+      return true;
+    case PlanKind::kNumeric:
+      // Ground comparisons are constant; a variable side ranges over the
+      // whole universe.
+      return plan.columns.empty();
+    case PlanKind::kComplement:
+      return false;
+    case PlanKind::kConjunction:
+      for (const ConjStep& step : plan.steps) {
+        switch (step.kind) {
+          case ConjStepKind::kFilterRows:
+          case ConjStepKind::kEqExtend:
+          case ConjStepKind::kIndexJoin:
+          // Every kUnionExtend branch draws values from a stored relation or
+          // a bound term, never the universe.
+          case ConjStepKind::kUnionExtend:
+            break;
+          case ConjStepKind::kSemiJoin:
+          case ConjStepKind::kSatJoin:
+            if (!PlanIsDeltaBounded(*step.child)) return false;
+            break;
+          case ConjStepKind::kFilterExtend:
+            return false;
+        }
+      }
+      return true;
+    case PlanKind::kUnion:
+      for (int pads : plan.union_pad_counts) {
+        if (pads > 0) return false;
+      }
+      for (const PlanPtr& child : plan.children) {
+        if (!PlanIsDeltaBounded(*child)) return false;
+      }
+      return true;
+    case PlanKind::kProject:
+    case PlanKind::kForallGroup:
+      return PlanIsDeltaBounded(*plan.children[0]);
+  }
+  DYNFO_UNREACHABLE();
+}
+
+DeltaProgram CompileDeltaRemovals(const PlanCompiler& compiler,
+                                  const FormulaPtr& not_keep,
+                                  const std::vector<std::string>& tuple_variables,
+                                  int base_relation_index, int base_arity) {
+  DYNFO_CHECK(static_cast<int>(tuple_variables.size()) == base_arity);
+  DeltaProgram program;
+  program.base_relation_index = base_relation_index;
+  program.base_arity = base_arity;
+  if (not_keep == nullptr) {
+    program.bounded = true;  // keep ≡ true: the removal side is empty
+    return program;
+  }
+  program.remove_plan = compiler.Compile(not_keep);
+  if (!PlanIsDeltaBounded(*program.remove_plan)) return program;
+
+  // Map each plan column to the base position its tuple variable names.
+  std::vector<std::pair<int, int>> position_column;  // (base position, column)
+  const std::vector<std::string>& columns = program.remove_plan->columns;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const int position = IndexOf(tuple_variables, columns[c]);
+    if (position < 0) return program;  // a free variable outside the tuple
+    position_column.push_back({position, static_cast<int>(c)});
+  }
+  std::sort(position_column.begin(), position_column.end());
+  for (const auto& [position, column] : position_column) {
+    program.key_positions.push_back(position);
+    program.key_source_columns.push_back(column);
+  }
+  if (position_column.size() == tuple_variables.size()) {
+    program.covers_all_positions = true;
+    program.full_tuple_sources.assign(tuple_variables.size(), -1);
+    for (const auto& [position, column] : position_column) {
+      program.full_tuple_sources[static_cast<size_t>(position)] = column;
+    }
+  }
+  program.bounded = true;
+  return program;
+}
+
 void RegisterPlanIndexes(const Plan& plan, const relational::Structure& structure,
                          AtomicEvalStats* stats) {
   auto ensure = [&](const AtomAccess& access) {
@@ -390,10 +549,29 @@ void RegisterPlanIndexes(const Plan& plan, const relational::Structure& structur
     // `step.scan` is only exercised with indexes disabled, so only the probe
     // access registers an index.
     if (step.kind == ConjStepKind::kIndexJoin) ensure(step.probe);
+    if (step.kind == ConjStepKind::kUnionExtend) {
+      for (const ExtendBranch& branch : step.union_branches) {
+        if (branch.is_atom) ensure(branch.atom);
+      }
+    }
     if (step.child != nullptr) RegisterPlanIndexes(*step.child, structure, stats);
   }
   for (const PlanPtr& child : plan.children) {
     RegisterPlanIndexes(*child, structure, stats);
+  }
+}
+
+void RegisterDeltaProgramIndexes(const DeltaProgram& program,
+                                 const relational::Structure& structure,
+                                 AtomicEvalStats* stats) {
+  if (!program.bounded || program.remove_plan == nullptr) return;
+  RegisterPlanIndexes(*program.remove_plan, structure, stats);
+  if (program.covers_all_positions || program.key_positions.empty()) return;
+  bool built = false;
+  structure.relation(program.base_relation_index)
+      .EnsureIndex(program.key_positions, &built);
+  if (built && stats != nullptr) {
+    stats->index_builds.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

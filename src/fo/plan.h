@@ -79,14 +79,31 @@ struct AtomAccess {
 };
 
 /// One step of a compiled conjunction, in execution order. Mirrors the
-/// legacy greedy planner's operator classes (eval_algebra.cc, SatAnd).
+/// legacy greedy planner's operator classes (eval_algebra.cc, SatAnd),
+/// plus kUnionExtend, a compiled-only operator with no legacy counterpart.
 enum class ConjStepKind {
   kFilterRows,    ///< fully-bound conjunct: keep rows where it holds
   kSemiJoin,      ///< fully-bound quantified conjunct: (anti-)semi-join child
   kEqExtend,      ///< x = t, t computable per row: append one column
   kIndexJoin,     ///< relation atom: probe a persistent index (or hash join)
+  kUnionExtend,   ///< one unbound var, disjunction of atoms/equalities:
+                  ///< extend by the union of per-branch index probes
   kFilterExtend,  ///< one unbound var, quantifier-free: extend + naive filter
   kSatJoin,       ///< last resort: natural join with the child's full Sat
+};
+
+/// One branch of a kUnionExtend step: a source of candidate values for the
+/// step's single new variable, given a bound row. Either a relation atom
+/// whose only fresh variable is that variable (index probe → bucket values)
+/// or an equality pinning it to an input column / ground term. Every branch
+/// derives values from stored tuples or bound terms — never the universe —
+/// which is what makes the operator delta-safe (PlanIsDeltaBounded).
+struct ExtendBranch {
+  bool is_atom = false;
+  AtomAccess atom;  ///< is_atom: new_columns == {var}
+  bool eq_from_column = false;
+  int eq_source_column = -1;
+  Term eq_term = Term::Min();
 };
 
 struct ConjStep {
@@ -113,6 +130,10 @@ struct ConjStep {
   /// used when indexes are disabled.
   AtomAccess probe;
   AtomAccess scan;
+
+  /// kUnionExtend: one branch per disjunct. With indexes disabled the step
+  /// degrades to the kFilterExtend shape via `formula` (the disjunction).
+  std::vector<ExtendBranch> union_branches;
 };
 
 enum class PlanKind {
@@ -193,17 +214,82 @@ class PlanCompiler {
   const relational::Vocabulary& vocabulary_;
 };
 
+/// Semi-naive removal program for one delta rule R' = (R ∧ keep) ∨ additions.
+/// The removal side is compiled from ¬keep (normalized to NNF): its
+/// satisfying rows, expanded against the tuples already stored in the base
+/// relation, are exactly Δ⁻ — the stored tuples the update deletes. The
+/// additions side already produces Δ⁺ directly (it is unioned into the
+/// target), so together the two sides let Apply touch only changed tuples.
+///
+/// A program is *bounded* ("delta-safe") when the compiled removal plan
+/// derives every row from stored tuples and bound terms — no operator ranges
+/// over the whole universe (see PlanIsDeltaBounded). Unbounded programs make
+/// the caller fall back to full rematerialization, which stays the
+/// unconditional correctness path.
+struct DeltaProgram {
+  bool bounded = false;
+  int base_relation_index = -1;
+  int base_arity = 0;
+
+  /// Compiled NNF of ¬keep; null when keep ≡ true (nothing is ever removed).
+  PlanPtr remove_plan;
+
+  /// Base argument positions covered by the remove plan's output columns
+  /// (sorted ascending — the canonical index-key order) and, parallel to
+  /// them, the plan column each position reads from.
+  std::vector<int> key_positions;
+  std::vector<int> key_source_columns;
+
+  /// When the plan binds every base position, each removal row *is* a full
+  /// candidate tuple: full_tuple_sources[p] is the plan column for base
+  /// position p, and expansion is a membership check instead of an index
+  /// probe.
+  bool covers_all_positions = false;
+  std::vector<int> full_tuple_sources;
+};
+
+/// Compiles the removal side of the delta rule
+/// `R'(x-bar) = (R(x-bar) ∧ keep) ∨ additions` with x-bar = `tuple_variables`
+/// in order. `not_keep` must be ¬keep in negation normal form (or null when
+/// keep ≡ true). The result is bounded only when the compiled plan is
+/// delta-safe and every plan column maps to a tuple variable.
+DeltaProgram CompileDeltaRemovals(const PlanCompiler& compiler,
+                                  const FormulaPtr& not_keep,
+                                  const std::vector<std::string>& tuple_variables,
+                                  int base_relation_index, int base_arity);
+
+/// True when every row `plan` emits derives from stored tuples and bound
+/// terms: rejects complements, union padding, universe-ranging numeric
+/// comparisons, and filtered extensions, recursing into joined subplans.
+bool PlanIsDeltaBounded(const Plan& plan);
+
 /// Executes a compiled plan. Honors ctx.options (thread policy and
 /// use_indexes); counter increments match the legacy evaluator's operator
 /// accounting, plus the index_* counters.
 NamedRelation ExecutePlan(const Plan& plan, const EvalContext& ctx,
                           AtomicEvalStats* stats);
 
+/// Executes a bounded removal program against the base relation stored in
+/// ctx.structure: runs the remove plan, then expands each row to stored
+/// tuples — by membership check when the plan binds every position, else by
+/// probing the base's persistent index on key_positions (an empty key with a
+/// nonempty plan result clears the whole relation, which is what the rule
+/// demands). Returned tuples are distinct.
+std::vector<relational::Tuple> ExecuteDeltaRemovals(const DeltaProgram& program,
+                                                    const EvalContext& ctx,
+                                                    AtomicEvalStats* stats);
+
 /// Registers every index the plan will probe on the relations of
 /// `structure`, so the first execution pays no index builds. Increments
 /// stats->index_builds per index actually constructed (when non-null).
 void RegisterPlanIndexes(const Plan& plan, const relational::Structure& structure,
                          AtomicEvalStats* stats = nullptr);
+
+/// Same, for a removal program: the remove plan's own probe indexes plus the
+/// base-relation expansion index on key_positions.
+void RegisterDeltaProgramIndexes(const DeltaProgram& program,
+                                 const relational::Structure& structure,
+                                 AtomicEvalStats* stats = nullptr);
 
 }  // namespace dynfo::fo
 

@@ -302,6 +302,120 @@ NamedRelation ExecuteFilterExtend(const NamedRelation& acc, const ConjStep& step
   return out;
 }
 
+/// Extends each row by the union of per-branch candidate values: index-probe
+/// buckets for atom branches, single pinned values for equality branches.
+/// Output-proportional — never visits the universe — unlike the
+/// kFilterExtend shape it replaces for disjunctive conjuncts. Duplicate
+/// values across branches collapse in the output RowSet.
+NamedRelation ExecuteUnionExtend(const NamedRelation& acc, const ConjStep& step,
+                                 const EvalContext& ctx, AtomicEvalStats* stats) {
+  if (!ctx.options.use_indexes) {
+    // Without persistent indexes the per-branch probes would degenerate to
+    // per-row relation scans; the legacy extend-and-filter shape is simpler
+    // and identically correct.
+    return ExecuteFilterExtend(acc, step, ctx, stats);
+  }
+  Count(stats->filtered_extensions);
+  Count(stats->indexed_joins);
+
+  struct BranchState {
+    const ExtendBranch* branch;
+    const relational::TupleIndex* index = nullptr;  // atom branches
+    std::vector<relational::Element> ground;        // atom branches
+    relational::Element eq_value = 0;               // ground eq branches
+  };
+  std::vector<BranchState> states;
+  states.reserve(step.union_branches.size());
+  for (const ExtendBranch& branch : step.union_branches) {
+    BranchState state;
+    state.branch = &branch;
+    if (branch.is_atom) {
+      const relational::Relation& rel =
+          ctx.structure->relation(branch.atom.relation_index);
+      DYNFO_CHECK(rel.arity() == branch.atom.arity)
+          << "atom arity mismatch for " << branch.atom.relation_name;
+      bool built = false;
+      state.index = &rel.EnsureIndex(branch.atom.KeyPositions(), &built);
+      if (built) Count(stats->index_builds);
+      state.ground = ResolveGroundKey(branch.atom, ctx);
+    } else if (!branch.eq_from_column) {
+      std::optional<relational::Element> value = GroundTerm(branch.eq_term, ctx);
+      DYNFO_CHECK(value.has_value());
+      state.eq_value = *value;
+    }
+    states.push_back(std::move(state));
+  }
+
+  std::vector<std::string> columns = acc.columns();
+  columns.push_back(step.var);
+  NamedRelation out(columns);
+  Count(stats->index_probes, acc.size() * states.size());
+
+  auto extend_one = [&](const Row& row, std::vector<Row>* sink) {
+    // Values from different branches may coincide; dedup locally so parallel
+    // chunks emit the same multiset the output RowSet would keep anyway.
+    std::vector<relational::Element> values;
+    for (const BranchState& state : states) {
+      const ExtendBranch& branch = *state.branch;
+      if (!branch.is_atom) {
+        values.push_back(branch.eq_from_column ? row[branch.eq_source_column]
+                                               : state.eq_value);
+        continue;
+      }
+      const AtomAccess& access = branch.atom;
+      relational::Tuple key;
+      for (size_t i = 0; i < access.key.size(); ++i) {
+        const int column = access.key[i].source_column;
+        key = key.Append(column >= 0 ? row[column] : state.ground[i]);
+      }
+      const std::vector<relational::Tuple>* bucket = state.index->Find(key);
+      if (bucket == nullptr) continue;
+      for (const relational::Tuple& t : *bucket) {
+        if (!DupChecksPass(access, t)) continue;
+        values.push_back(t[access.extend_positions[0]]);
+      }
+    }
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    for (relational::Element value : values) {
+      Row extended = row;
+      extended.push_back(value);
+      sink->push_back(std::move(extended));
+    }
+  };
+
+  core::ThreadPool& pool = core::ThreadPool::Global();
+  const core::ParallelOptions parallel = ctx.Policy();
+  const size_t num_chunks = pool.PlanChunks(0, acc.size(), parallel);
+  if (num_chunks <= 1) {
+    std::vector<Row> extensions;
+    size_t polls = 0;
+    for (const Row& row : acc.rows()) {
+      if (StridedStop(ctx, &polls)) break;
+      extensions.clear();
+      extend_one(row, &extensions);
+      for (Row& extended : extensions) out.AddRow(std::move(extended));
+    }
+    ctx.Charge(out.size(), out.width());
+    return out;
+  }
+
+  std::vector<const Row*> rows = GatherRows(acc.rows());
+  std::vector<std::vector<Row>> buffers(num_chunks);
+  pool.ParallelFor(0, rows.size(), parallel,
+                   [&](size_t chunk, size_t chunk_begin, size_t chunk_end) {
+                     std::vector<Row>& buffer = buffers[chunk];
+                     for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                       extend_one(*rows[i], &buffer);
+                     }
+                     ctx.Charge(buffer.size(), out.width());
+                   });
+  for (std::vector<Row>& buffer : buffers) {
+    for (Row& extended : buffer) out.AddRow(std::move(extended));
+  }
+  return out;
+}
+
 NamedRelation ExecuteConjunction(const Plan& plan, const EvalContext& ctx,
                                  AtomicEvalStats* stats) {
   NamedRelation acc = NamedRelation::Unit();
@@ -325,6 +439,10 @@ NamedRelation ExecuteConjunction(const Plan& plan, const EvalContext& ctx,
       case ConjStepKind::kIndexJoin:
         if (acc.empty()) return NamedRelation(plan.columns);
         acc = ExecuteIndexJoin(acc, step, ctx, stats);
+        break;
+      case ConjStepKind::kUnionExtend:
+        if (acc.empty()) return NamedRelation(plan.columns);
+        acc = ExecuteUnionExtend(acc, step, ctx, stats);
         break;
       case ConjStepKind::kFilterExtend:
         if (acc.empty()) return NamedRelation(plan.columns);
@@ -535,6 +653,60 @@ NamedRelation ExecutePlan(const Plan& plan, const EvalContext& ctx,
       return ExecuteForallGroup(plan, ctx, stats);
   }
   DYNFO_UNREACHABLE();
+}
+
+std::vector<relational::Tuple> ExecuteDeltaRemovals(const DeltaProgram& program,
+                                                    const EvalContext& ctx,
+                                                    AtomicEvalStats* stats) {
+  DYNFO_CHECK(program.bounded) << "removal program is not delta-safe";
+  std::vector<relational::Tuple> out;
+  if (program.remove_plan == nullptr) return out;  // keep ≡ true
+  const relational::Relation& base =
+      ctx.structure->relation(program.base_relation_index);
+  DYNFO_CHECK(base.arity() == program.base_arity);
+  NamedRelation rows = ExecutePlan(*program.remove_plan, ctx, stats);
+  if (rows.empty()) return out;
+
+  if (program.covers_all_positions) {
+    // The plan binds every position: rows map bijectively to candidate
+    // tuples, so a membership check suffices and no duplicates arise.
+    size_t polls = 0;
+    for (const Row& row : rows.rows()) {
+      if (StridedStop(ctx, &polls)) break;
+      relational::Tuple t;
+      for (int c : program.full_tuple_sources) t = t.Append(row[c]);
+      if (base.Contains(t)) out.push_back(t);
+    }
+    ctx.Charge(out.size(), static_cast<size_t>(base.arity()));
+    return out;
+  }
+
+  if (program.key_positions.empty()) {
+    // A sentence-shaped condition held: the rule removes every stored tuple.
+    out.assign(base.begin(), base.end());
+    ctx.Charge(out.size(), static_cast<size_t>(base.arity()));
+    return out;
+  }
+
+  // Partial cover: expand each (distinct) key row through the base's
+  // persistent index. Distinct rows project to distinct keys — every plan
+  // column is a key column — so buckets never overlap.
+  bool built = false;
+  const relational::TupleIndex& index =
+      base.EnsureIndex(program.key_positions, &built);
+  if (built) Count(stats->index_builds);
+  size_t polls = 0;
+  for (const Row& row : rows.rows()) {
+    if (StridedStop(ctx, &polls)) break;
+    relational::Tuple key;
+    for (int c : program.key_source_columns) key = key.Append(row[c]);
+    Count(stats->index_probes);
+    const std::vector<relational::Tuple>* bucket = index.Find(key);
+    if (bucket == nullptr) continue;
+    out.insert(out.end(), bucket->begin(), bucket->end());
+  }
+  ctx.Charge(out.size(), static_cast<size_t>(base.arity()));
+  return out;
 }
 
 }  // namespace dynfo::fo

@@ -17,7 +17,7 @@ const TupleIndex& Relation::EnsureIndex(const std::vector<int>& positions,
   for (int p : positions) {
     DYNFO_CHECK(p < arity_) << "index position beyond relation arity";
   }
-  for (const Tuple& t : tuples_) index->Add(t);
+  for (const Tuple& t : *this) index->Add(t);
   indexes_.push_back(std::move(index));
   if (built_now != nullptr) *built_now = true;
   return *indexes_.back();
@@ -27,13 +27,13 @@ core::Status Relation::ValidateIndexes() const {
   std::lock_guard<std::mutex> lock(index_mutex_);
   for (size_t i = 0; i < indexes_.size(); ++i) {
     const TupleIndex& index = *indexes_[i];
-    if (index.num_entries() != tuples_.size()) {
+    if (index.num_entries() != size_) {
       return core::Status::Error(
           "index " + std::to_string(i) + " holds " +
           std::to_string(index.num_entries()) + " entries, relation holds " +
-          std::to_string(tuples_.size()) + " tuples");
+          std::to_string(size_) + " tuples");
     }
-    for (const Tuple& t : tuples_) {
+    for (const Tuple& t : *this) {
       const std::vector<Tuple>* bucket = index.Find(index.KeyFor(t));
       size_t copies = 0;
       if (bucket != nullptr) {
@@ -52,7 +52,7 @@ core::Status Relation::ValidateIndexes() const {
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {
-  std::vector<Tuple> out(tuples_.begin(), tuples_.end());
+  std::vector<Tuple> out(begin(), end());
   std::sort(out.begin(), out.end());
   return out;
 }

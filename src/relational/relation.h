@@ -1,5 +1,6 @@
 /// \file relation.h
-/// A finite relation: a set of tuples of fixed arity over {0..n-1}.
+/// A finite relation: a set of tuples of fixed arity over {0..n-1}, stored
+/// copy-on-write.
 
 #ifndef DYNFO_RELATIONAL_RELATION_H_
 #define DYNFO_RELATIONAL_RELATION_H_
@@ -14,9 +15,19 @@
 
 namespace dynfo::relational {
 
-/// Mutable tuple set with O(1) expected membership/insert/erase, stored in an
-/// open-addressing flat table (see tuple_set.h). Iteration order is
-/// unspecified; use SortedTuples() where determinism matters.
+/// Mutable tuple set with O(1) expected membership/insert/erase and O(1)
+/// copies. Storage is copy-on-write versioned: a relation holds a shared
+/// immutable base table (see tuple_set.h) plus a private overlay diff, so
+/// Engine::Snapshot() and the evaluate-then-commit staging copies inside
+/// Engine::TryApply share the base instead of deep-copying O(state) tuples.
+/// A tuple is present iff it is in `added`, or in `base` and not in
+/// `removed`. The base is mutated directly while uniquely owned; once it is
+/// shared, writes land in the overlay, which is folded into a fresh private
+/// base when it outgrows half the base (amortized O(1) per write) or folded
+/// back in place as soon as the relation is sole owner again.
+///
+/// Iteration order is unspecified; use SortedTuples() where determinism
+/// matters.
 ///
 /// A relation additionally owns persistent secondary indexes (see index.h),
 /// registered lazily by compiled query plans through EnsureIndex() and
@@ -25,49 +36,121 @@ namespace dynfo::relational {
 /// copy, and follow the tuples on move.
 ///
 /// Thread-safety: concurrent *readers* — including concurrent EnsureIndex
-/// calls, which synchronize on an internal mutex — are safe; mutation must
-/// be externally serialized against all access, which the engine's
-/// synchronous update semantics already guarantees (rules read the old
-/// structure concurrently, commits are single-threaded).
+/// calls, which synchronize on an internal mutex, and concurrent copies,
+/// which only bump the shared base's refcount — are safe; mutation must be
+/// externally serialized against all access, which the engine's synchronous
+/// update semantics already guarantees (rules read the old structure
+/// concurrently, commits are single-threaded). A staged copy may be mutated
+/// while other threads read the original: the base is shared then, so writes
+/// go to the copy's private overlay and never touch shared slots.
 class Relation {
  public:
+  /// Iterates `added` first, then `base` minus `removed`.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Tuple;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Tuple*;
+    using reference = const Tuple&;
+
+    const Tuple& operator*() const { return *it_; }
+    const Tuple* operator->() const { return &*it_; }
+
+    const_iterator& operator++() {
+      ++it_;
+      Settle();
+      return *this;
+    }
+
+    bool operator==(const const_iterator& other) const {
+      return in_added_ == other.in_added_ && it_ == other.it_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return !(*this == other);
+    }
+
+   private:
+    friend class Relation;
+    const_iterator(const Relation* rel, bool at_end)
+        : rel_(rel),
+          in_added_(!at_end),
+          it_(at_end ? rel->BaseOrEmpty().end() : rel->added_.begin()) {
+      Settle();
+    }
+
+    void Settle() {
+      if (in_added_ && it_ == rel_->added_.end()) {
+        in_added_ = false;
+        it_ = rel_->BaseOrEmpty().begin();
+      }
+      if (!in_added_ && !rel_->removed_.empty()) {
+        const TupleSet::const_iterator base_end = rel_->BaseOrEmpty().end();
+        while (it_ != base_end && rel_->removed_.Contains(*it_)) ++it_;
+      }
+    }
+
+    const Relation* rel_;
+    bool in_added_;
+    TupleSet::const_iterator it_;
+  };
+
   explicit Relation(int arity) : arity_(arity) {
     DYNFO_CHECK(arity >= 0 && arity <= Tuple::kMaxArity);
   }
 
-  Relation(const Relation& other) : arity_(other.arity_), tuples_(other.tuples_) {}
+  Relation(const Relation& other)
+      : arity_(other.arity_),
+        base_(other.base_),
+        added_(other.added_),
+        removed_(other.removed_),
+        size_(other.size_) {}
   Relation& operator=(const Relation& other) {
     if (this == &other) return *this;
     arity_ = other.arity_;
-    tuples_ = other.tuples_;
+    base_ = other.base_;
+    added_ = other.added_;
+    removed_ = other.removed_;
+    size_ = other.size_;
     indexes_.clear();  // stale for the new contents; rebuilt on demand
     return *this;
   }
   Relation(Relation&& other) noexcept
       : arity_(other.arity_),
-        tuples_(std::move(other.tuples_)),
+        base_(std::move(other.base_)),
+        added_(std::move(other.added_)),
+        removed_(std::move(other.removed_)),
+        size_(other.size_),
         indexes_(std::move(other.indexes_)) {}
   Relation& operator=(Relation&& other) noexcept {
     if (this == &other) return *this;
     arity_ = other.arity_;
-    tuples_ = std::move(other.tuples_);
+    base_ = std::move(other.base_);
+    added_ = std::move(other.added_);
+    removed_ = std::move(other.removed_);
+    size_ = other.size_;
     indexes_ = std::move(other.indexes_);
     return *this;
   }
 
   int arity() const { return arity_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   bool Contains(const Tuple& t) const {
     DYNFO_CHECK(t.size() == arity_);
-    return tuples_.Contains(t);
+    if (added_.empty() && removed_.empty()) {
+      return base_ != nullptr && base_->Contains(t);
+    }
+    if (added_.Contains(t)) return true;
+    return base_ != nullptr && !removed_.Contains(t) && base_->Contains(t);
   }
 
   /// Inserts a tuple; returns true if it was not already present.
   bool Insert(const Tuple& t) {
     DYNFO_CHECK(t.size() == arity_);
-    if (!tuples_.Insert(t)) return false;
+    if (!InsertTuple(t)) return false;
+    ++size_;
     for (const std::unique_ptr<TupleIndex>& index : indexes_) index->Add(t);
     return true;
   }
@@ -75,18 +158,33 @@ class Relation {
   /// Erases a tuple; returns true if it was present.
   bool Erase(const Tuple& t) {
     DYNFO_CHECK(t.size() == arity_);
-    if (!tuples_.Erase(t)) return false;
+    if (!EraseTuple(t)) return false;
+    --size_;
     for (const std::unique_ptr<TupleIndex>& index : indexes_) index->Remove(t);
     return true;
   }
 
   void Clear() {
-    tuples_.Clear();
+    base_.reset();
+    added_.Clear();
+    removed_.Clear();
+    size_ = 0;
     for (const std::unique_ptr<TupleIndex>& index : indexes_) index->Clear();
   }
 
-  auto begin() const { return tuples_.begin(); }
-  auto end() const { return tuples_.end(); }
+  const_iterator begin() const { return const_iterator(this, false); }
+  const_iterator end() const { return const_iterator(this, true); }
+
+  /// True when this relation and `other` currently share the same base
+  /// version with no private divergence (an O(1) structural check; used by
+  /// tests and stats, never required for correctness).
+  bool SharesStorageWith(const Relation& other) const {
+    return base_ != nullptr && base_ == other.base_;
+  }
+
+  /// Tuples living in the private overlay rather than the shared base
+  /// (observability hook for copy-on-write behaviour).
+  size_t OverlaySize() const { return added_.size() + removed_.size(); }
 
   /// The index keyed on `positions` (sorted, distinct argument positions),
   /// building it from the current contents on first request. Safe to call
@@ -126,7 +224,15 @@ class Relation {
   /// Set equality (arity and contents; indexes are derived state and do not
   /// participate).
   bool operator==(const Relation& other) const {
-    return arity_ == other.arity_ && tuples_ == other.tuples_;
+    if (arity_ != other.arity_ || size_ != other.size_) return false;
+    if (base_ == other.base_ && added_.empty() && other.added_.empty() &&
+        removed_.empty() && other.removed_.empty()) {
+      return true;  // same version, trivially equal
+    }
+    for (const Tuple& t : *this) {
+      if (!other.Contains(t)) return false;
+    }
+    return true;
   }
   bool operator!=(const Relation& other) const { return !(*this == other); }
 
@@ -134,8 +240,81 @@ class Relation {
   std::string ToString() const;
 
  private:
+  /// Overlay writes are only worth folding away once they dominate probe and
+  /// iteration cost; the slack keeps tiny relations from compacting eagerly.
+  static constexpr size_t kCompactSlack = 64;
+
+  const TupleSet& BaseOrEmpty() const {
+    static const TupleSet* const kEmptySet = new TupleSet();
+    return base_ != nullptr ? *base_ : *kEmptySet;
+  }
+
+  bool BaseShared() const { return base_ != nullptr && base_.use_count() > 1; }
+
+  TupleSet& OwnedBase() {
+    if (base_ == nullptr) base_ = std::make_shared<TupleSet>();
+    return *base_;
+  }
+
+  bool InsertTuple(const Tuple& t) {
+    if (!BaseShared()) {
+      if (!added_.empty() || !removed_.empty()) FlattenOverlay();
+      return OwnedBase().Insert(t);
+    }
+    if (removed_.Erase(t)) return true;  // resurrects a base tuple
+    if (base_->Contains(t)) return false;
+    if (!added_.Insert(t)) return false;
+    MaybeCompact();
+    return true;
+  }
+
+  bool EraseTuple(const Tuple& t) {
+    if (!BaseShared()) {
+      if (!added_.empty() || !removed_.empty()) FlattenOverlay();
+      return base_ != nullptr && base_->Erase(t);
+    }
+    if (added_.Erase(t)) return true;
+    if (!base_->Contains(t) || !removed_.Insert(t)) return false;
+    MaybeCompact();
+    return true;
+  }
+
+  /// Folds the overlay into the base in place. Only legal while the base is
+  /// uniquely owned (or absent): shared slots are never written.
+  void FlattenOverlay() {
+    TupleSet& base = OwnedBase();
+    for (const Tuple& t : added_) base.Insert(t);
+    for (const Tuple& t : removed_) base.Erase(t);
+    added_.Clear();
+    removed_.Clear();
+  }
+
+  /// Rebuilds a fresh private base from the logical contents once the
+  /// overlay outgrows half the shared base — bounds per-probe overhead and
+  /// amortizes the O(state) rebuild against the overlay writes that paid
+  /// for it.
+  void MaybeCompact() {
+    if (added_.size() + removed_.size() <=
+        base_->size() / 2 + kCompactSlack) {
+      return;
+    }
+    auto merged = std::make_shared<TupleSet>();
+    merged->Reserve(base_->size() + added_.size());
+    for (const Tuple& t : *this) merged->Insert(t);
+    base_ = std::move(merged);
+    added_.Clear();
+    removed_.Clear();
+  }
+
   int arity_;
-  TupleSet tuples_;
+  /// Copy-on-write versioned storage (see class comment): nullable shared
+  /// base, immutable while shared, plus the private overlay diff. Invariant:
+  /// the overlay is empty whenever base_ is null, added_ ∩ base = ∅, and
+  /// removed_ ⊆ base. size_ caches |added| + |base| − |removed|.
+  std::shared_ptr<TupleSet> base_;
+  TupleSet added_;
+  TupleSet removed_;
+  size_t size_ = 0;
   /// Lazily registered, incrementally maintained. Mutable because
   /// registration happens under const access during plan execution; guarded
   /// by index_mutex_ (see thread-safety note above). unique_ptr elements

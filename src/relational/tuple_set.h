@@ -116,6 +116,14 @@ class TupleSet {
     used_ = 0;
   }
 
+  /// Pre-sizes the table so ~n live tuples fit without further growth (used
+  /// by Relation compaction, where the merged cardinality is known up front).
+  void Reserve(size_t n) {
+    size_t capacity = kMinCapacity;
+    while ((n + 1) * 8 > capacity * 7 || (n + 1) * 2 > capacity) capacity *= 2;
+    if (capacity > states_.size()) RehashTo(capacity);
+  }
+
   const_iterator begin() const { return const_iterator(this, 0); }
   const_iterator end() const { return const_iterator(this, states_.size()); }
 
@@ -153,6 +161,10 @@ class TupleSet {
   void Rehash() {
     size_t capacity = states_.empty() ? kMinCapacity : states_.size();
     if ((size_ + 1) * 2 > capacity) capacity *= 2;
+    RehashTo(capacity);
+  }
+
+  void RehashTo(size_t capacity) {
     std::vector<Tuple> old_slots = std::move(slots_);
     std::vector<uint8_t> old_states = std::move(states_);
     slots_.assign(capacity, Tuple());

@@ -4,8 +4,18 @@
 Stdlib only. Alongside the raw per-benchmark rows it computes the derived
 ablation quotients the plan/index work is judged by (see EXPERIMENTS.md,
 "Evaluator ablation"): per-update evaluation speedups of compiled+indexed
-plans over the re-planning evaluator, plan-cache hit rates, and per-update
-planner invocations.
+plans over the re-planning evaluator, plan-cache hit rates, per-update
+planner invocations, and the delta-materialization counters (DESIGN.md §11).
+
+Debug-built inputs are rejected (the numbers are meaningless to quote or
+gate on). The JSON context's library_build_type describes the *benchmark
+library* — a system-packaged libbenchmark reports "debug" even under a fully
+optimized build of this repo — so tools/run_benches.sh forwards the build
+tree's CMAKE_BUILD_TYPE via --binary-build-type as the authoritative word on
+the binaries themselves; either source saying "release" is accepted. Pass
+--allow-debug only for tooling tests.
+--min-speedup KEY:RATIO and --min-delta-write-ratio turn derived metrics
+into hard CI gates: the script exits non-zero when a gate fails.
 """
 
 import argparse
@@ -119,22 +129,91 @@ def derive(rows):
         derived["plan_cache_hit_rate_min"] = round(min(hit_rates), 6)
     if planner_runs:
         derived["planner_runs_per_update_max"] = max(planner_runs)
+
+    # Delta-materialization counters from the default-configuration engine
+    # replay (semi-naive plan execution; see DESIGN.md §11). delta_write_ratio
+    # = tuples_delta_written / tuples_written: the share of materialized
+    # tuples that came from O(delta) paths rather than full rematerialization.
+    delta_row = largest_arg(rows, "BM_EvalAlgebraCompiledIndexed")
+    if delta_row is not None:
+        counters = delta_row.get("counters", {})
+        delta = {k: counters[k] for k in
+                 ("delta_write_ratio", "tuples_delta_written_per_update",
+                  "delta_rules_per_update", "fallback_recomputes_per_update")
+                 if k in counters}
+        if delta:
+            delta["at"] = delta_row["name"]
+            derived["delta"] = delta
     return derived
+
+
+def check_gates(derived, args):
+    """Returns a list of human-readable gate failures (empty = all pass)."""
+    failures = []
+    for spec in args.min_speedup or []:
+        key, _, threshold = spec.partition(":")
+        if not threshold:
+            failures.append(f"malformed --min-speedup '{spec}' (want KEY:RATIO)")
+            continue
+        entry = derived.get("speedups", {}).get(key)
+        if entry is None:
+            failures.append(f"gate {key}: no derived speedup (benchmark missing?)")
+        elif entry["speedup"] < float(threshold):
+            failures.append(
+                f"gate {key}: speedup {entry['speedup']} < required {threshold} "
+                f"({entry['slow']} vs {entry['fast']})")
+    if args.min_delta_write_ratio is not None:
+        ratio = derived.get("delta", {}).get("delta_write_ratio")
+        if ratio is None:
+            failures.append("gate delta_write_ratio: counter missing from "
+                            "BM_EvalAlgebraCompiledIndexed")
+        elif ratio < args.min_delta_write_ratio:
+            failures.append(f"gate delta_write_ratio: {ratio} < required "
+                            f"{args.min_delta_write_ratio}")
+    return failures
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("inputs", nargs="+", help="google-benchmark JSON files")
     parser.add_argument("--out", required=True, help="aggregate destination")
+    parser.add_argument("--allow-debug", action="store_true",
+                        help="accept debug-built benchmark inputs (tooling "
+                             "tests only; never for quoted numbers)")
+    parser.add_argument("--binary-build-type", default="",
+                        help="CMAKE_BUILD_TYPE of the benchmark binaries "
+                             "(authoritative over the benchmark library's "
+                             "self-reported library_build_type)")
+    parser.add_argument("--min-speedup", action="append", metavar="KEY:RATIO",
+                        help="fail unless derived speedup KEY >= RATIO "
+                             "(repeatable)")
+    parser.add_argument("--min-delta-write-ratio", type=float, metavar="R",
+                        help="fail unless tuples_delta_written/tuples_written "
+                             ">= R on the default-configuration replay")
     args = parser.parse_args()
 
     context, rows = load_rows(args.inputs)
+    library_type = context.get("library_build_type", "")
+    binary_type = args.binary_build_type.lower()
+    optimized = (library_type == "release" or
+                 binary_type in ("release", "relwithdebinfo", "minsizerel"))
+    if not optimized and not args.allow_debug:
+        sys.exit(f"error: benchmark inputs report library_build_type="
+                 f"'{library_type or '<missing>'}' and no optimized "
+                 "--binary-build-type was supplied; refusing to aggregate "
+                 "non-release numbers. Run via tools/run_benches.sh (which "
+                 "verifies CMAKE_BUILD_TYPE=Release and forwards it) or pass "
+                 "--allow-debug for tooling tests.")
+
+    derived = derive(rows)
     out = {
         "schema": 1,
         "context": {k: context[k] for k in
                     ("date", "host_name", "num_cpus", "mhz_per_cpu",
-                     "library_build_type") if k in context},
-        "derived": derive(rows),
+                     "library_build_type") if k in context} |
+                   ({"binary_build_type": args.binary_build_type}
+                    if args.binary_build_type else {}),
+        "derived": derived,
         "benchmarks": rows,
     }
     with open(args.out, "w") as f:
@@ -142,6 +221,12 @@ def main():
         f.write("\n")
     print(f"aggregated {len(rows)} benchmark rows from {len(args.inputs)} files",
           file=sys.stderr)
+
+    failures = check_gates(derived, args)
+    if failures:
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

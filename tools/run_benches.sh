@@ -4,33 +4,65 @@
 # computes the derived ablation speedups).
 #
 # Usage:
-#   tools/run_benches.sh [--build-dir DIR] [--smoke] [--out FILE]
+#   tools/run_benches.sh [--build-dir DIR] [--smoke] [--out FILE] \
+#                        [--min-speedup KEY:RATIO]... [--min-delta-write-ratio R]
 #
 #   --build-dir DIR  build tree containing bench/ binaries (default: build-rel)
 #   --smoke          short measurement windows — CI sanity run, not for
 #                    quoting numbers
 #   --out FILE       aggregate destination (default: <repo>/BENCH_core.json)
+#   --min-speedup KEY:RATIO
+#                    forwarded gate: fail unless derived speedup KEY >= RATIO
+#   --min-delta-write-ratio R
+#                    forwarded gate: fail unless the delta write ratio >= R
 #
-# Benchmarks should come from an optimized build, e.g.:
-#   cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release \
-#         -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
-#   cmake --build build-rel -j"$(nproc)" --target bench_evaluators bench_parity bench_reach_u
+# The build directory is configured and built here if needed, always as an
+# optimized Release tree: quoting (or gating on) numbers from a debug build
+# is meaningless, so a debug-configured --build-dir is rejected outright and
+# aggregate_benches.py double-checks the library_build_type each binary
+# reports at run time.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build-rel"
 OUT="$ROOT/BENCH_core.json"
 EXTRA_FLAGS=()
+AGG_FLAGS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --smoke) EXTRA_FLAGS+=("--benchmark_min_time=0.02"); shift ;;
     --out) OUT="$2"; shift 2 ;;
+    --min-speedup) AGG_FLAGS+=("--min-speedup" "$2"); shift 2 ;;
+    --min-delta-write-ratio) AGG_FLAGS+=("--min-delta-write-ratio" "$2"); shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
 
 CORE_BENCHES=(bench_evaluators bench_parity bench_reach_u)
+
+cache_build_type() {
+  sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$1/CMakeCache.txt" 2>/dev/null || true
+}
+
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  echo "== configuring $BUILD_DIR (Release -O2)"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
+fi
+BUILD_TYPE="$(cache_build_type "$BUILD_DIR")"
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *)
+    echo "error: $BUILD_DIR is configured as '${BUILD_TYPE:-<unset>}';" \
+         "benchmarks must come from an optimized build. Reconfigure with" \
+         "-DCMAKE_BUILD_TYPE=Release or point --build-dir elsewhere." >&2
+    exit 1
+    ;;
+esac
+echo "== building core benchmarks in $BUILD_DIR ($BUILD_TYPE)"
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${CORE_BENCHES[@]}"
+
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
@@ -46,5 +78,7 @@ for bench in "${CORE_BENCHES[@]}"; do
 done
 
 mkdir -p "$(dirname "$OUT")"
-python3 "$ROOT/tools/aggregate_benches.py" --out "$OUT" "$TMP_DIR"/*.json
+python3 "$ROOT/tools/aggregate_benches.py" --out "$OUT" \
+  --binary-build-type "$BUILD_TYPE" \
+  "${AGG_FLAGS[@]+"${AGG_FLAGS[@]}"}" "$TMP_DIR"/*.json
 echo "wrote $OUT"
