@@ -23,22 +23,43 @@
 ///   * recovery_vs_recompute      — ratio of the two (start-over replays the
 ///                                  current input, not the whole history, so
 ///                                  it wins as histories grow).
+///
+/// The durability campaign (DESIGN.md §12) adds three more benchmarks:
+///   * BM_CrashMatrix     — kills a durable session at EVERY I/O boundary
+///                          (cycling the legal damage modes), revives, and
+///                          hard-checks bit-identical state. Counters:
+///                          crash_points, crash_recovery_rate (CHECKed
+///                          == 1.0), max_replay_records (CHECKed <= the
+///                          checkpoint interval), recovery_seconds_avg/max;
+///   * BM_DurableOverhead — the same workload with and without per-append
+///                          fsync; durable_overhead is the wall-clock ratio
+///                          (gated <= 1.25x in CI);
+///   * BM_RecoveryCurve   — revival time vs history length: checkpointed
+///                          revival stays flat while replay-from-zero grows
+///                          O(history) (EXPERIMENTS.md recovery-time curve).
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/durable_io.h"
 #include "core/fault.h"
+#include "dynfo/journal.h"
 #include "dynfo/recovery.h"
 #include "dynfo/workload.h"
 #include "programs/matching.h"
 #include "programs/multiplication.h"
+#include "programs/parity.h"
 #include "programs/reach_u.h"
+#include "relational/serialize.h"
 
 namespace dynfo {
 namespace {
@@ -246,6 +267,272 @@ RecoveryCase MultiplicationCase() {
           },
           {"Prod"}};
 }
+
+// ---------------------------------------------------------------------------
+// Durability campaign: crash matrix, fsync overhead, recovery-time curve
+// ---------------------------------------------------------------------------
+
+std::string BenchTempDir(const std::string& name) {
+  const char* base = std::getenv("TMPDIR");
+  return std::string(base != nullptr ? base : "/tmp") + "/dynfo_bench_" + name;
+}
+
+void RemoveTree(const std::string& dir) {
+  core::Result<std::vector<std::string>> names = core::ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : names.value()) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+relational::RequestSequence MatrixWorkload(size_t n, size_t count) {
+  dyn::GraphWorkloadOptions options;
+  options.num_requests = count;
+  options.seed = 42;
+  options.undirected = true;
+  options.set_fraction = 0.05;
+  return dyn::MakeGraphWorkload(*programs::ReachUInputVocabulary(), "E", n,
+                                options);
+}
+
+dyn::GuardedEngineOptions PureOptions() {
+  dyn::GuardedEngineOptions options;
+  options.check_every = 0;  // state = pure function of the applied prefix
+  return options;
+}
+
+/// Runs the workload through a fresh durable session at `dir` under the
+/// currently installed shim (if any). Returns acknowledged applies; sets
+/// *crashed when a simulated kill ended the run early. Any other failure
+/// aborts the campaign.
+size_t RunDurableSession(std::shared_ptr<const dyn::DynProgram> program,
+                         size_t n, const relational::RequestSequence& requests,
+                         const std::string& dir,
+                         const dyn::DurabilityOptions& durability,
+                         bool* crashed) {
+  dyn::GuardedEngine session(program, n, nullptr, nullptr, PureOptions());
+  core::Status attached = session.AttachDurability(dir, durability);
+  if (!attached.ok()) {
+    DYNFO_CHECK(core::IsSimulatedCrash(attached)) << attached.ToString();
+    *crashed = true;
+    return 0;
+  }
+  size_t acked = 0;
+  for (const relational::Request& request : requests) {
+    core::Status applied = session.Apply(request);
+    if (applied.ok()) {
+      ++acked;
+      continue;
+    }
+    DYNFO_CHECK(core::IsSimulatedCrash(applied)) << applied.ToString();
+    *crashed = true;
+    break;
+  }
+  return acked;
+}
+
+/// The exhaustive kill-point campaign: every I/O boundary of a durable
+/// reach_u session is killed once (damage modes cycled), each crash site is
+/// revived, and revival is hard-checked bit-identical to a clean replay of
+/// the durable prefix. crash_recovery_rate is CHECKed == 1.0 in-binary; the
+/// CI gate re-reads it from the JSON.
+void BM_CrashMatrix(benchmark::State& state) {
+  const size_t n = 8;
+  auto program = programs::MakeReachUProgram();
+  const relational::RequestSequence requests = MatrixWorkload(n, 18);
+  dyn::DurabilityOptions durability;
+  durability.store.records_per_segment = 5;
+  durability.store.full_snapshot_every = 2;
+  const std::string dir = BenchTempDir("crash_matrix");
+  const core::CrashTailMode kTails[] = {core::CrashTailMode::kKeepNone,
+                                        core::CrashTailMode::kKeepHalf,
+                                        core::CrashTailMode::kKeepAll};
+
+  uint64_t points = 0;
+  uint64_t recovered = 0;
+  uint64_t max_replay = 0;
+  double recovery_total = 0;
+  double recovery_max = 0;
+  for (auto _ : state) {
+    // Count pass: boundaries are deterministic, one clean run learns M.
+    RemoveTree(dir);
+    core::CrashPointShim::Options count_options;
+    core::CrashPointShim counter(count_options);
+    core::InstallIoShim(&counter);
+    bool crashed = false;
+    RunDurableSession(program, n, requests, dir, durability, &crashed);
+    core::InstallIoShim(nullptr);
+    DYNFO_CHECK(!crashed);
+    const uint64_t total_ops = counter.ops_seen();
+
+    points = total_ops;
+    recovered = 0;
+    max_replay = 0;
+    recovery_total = 0;
+    recovery_max = 0;
+    for (uint64_t kill = 1; kill <= total_ops; ++kill) {
+      RemoveTree(dir);
+      core::CrashPointShim::Options shim_options;
+      shim_options.kill_at_op = kill;
+      shim_options.tail_mode = kTails[kill % 3];
+      shim_options.undo_pending_renames = (kill % 2) == 0;
+      core::CrashPointShim shim(shim_options);
+      core::InstallIoShim(&shim);
+      crashed = false;
+      const size_t acked =
+          RunDurableSession(program, n, requests, dir, durability, &crashed);
+      core::InstallIoShim(nullptr);
+      DYNFO_CHECK(crashed && shim.killed()) << "op " << kill << " never reached";
+      core::Status damaged = shim.ApplyCrashDamage();
+      DYNFO_CHECK(damaged.ok()) << damaged.ToString();
+
+      const auto start = std::chrono::steady_clock::now();
+      dyn::GuardedEngine revived(program, n, nullptr, nullptr, PureOptions());
+      core::Status attached = revived.AttachDurability(dir, durability);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      DYNFO_CHECK(attached.ok())
+          << shim.DescribeKill() << ": " << attached.ToString();
+      const uint64_t steps = revived.engine().stats().requests;
+      DYNFO_CHECK(steps >= acked && steps <= acked + 1)
+          << shim.DescribeKill() << ": acked " << acked << " recovered " << steps;
+      const uint64_t replayed = revived.recovery_stats().replayed_on_recovery;
+      DYNFO_CHECK(replayed <= durability.store.records_per_segment)
+          << shim.DescribeKill() << ": replay " << replayed
+          << " exceeds one segment";
+
+      dyn::Engine oracle(program, n);
+      for (uint64_t i = 0; i < steps; ++i) oracle.Apply(requests[i]);
+      DYNFO_CHECK(relational::WriteStructure(revived.engine().data()) ==
+                  relational::WriteStructure(oracle.data()))
+          << shim.DescribeKill() << ": silent divergence at step " << steps;
+
+      ++recovered;
+      if (replayed > max_replay) max_replay = replayed;
+      recovery_total += seconds;
+      if (seconds > recovery_max) recovery_max = seconds;
+    }
+  }
+  RemoveTree(dir);
+  DYNFO_CHECK(points > 0 && recovered == points)
+      << recovered << "/" << points << " crash points recovered";
+  DYNFO_CHECK(max_replay <= durability.store.records_per_segment);
+  state.counters["crash_points"] = static_cast<double>(points);
+  state.counters["crash_recovery_rate"] =
+      static_cast<double>(recovered) / static_cast<double>(points);
+  state.counters["max_replay_records"] = static_cast<double>(max_replay);
+  state.counters["recovery_seconds_avg"] = recovery_total / static_cast<double>(points);
+  state.counters["recovery_seconds_max"] = recovery_max;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * points));
+}
+BENCHMARK(BM_CrashMatrix)->Unit(benchmark::kMillisecond);
+
+/// Wall-clock cost of durability: the identical workload through the store
+/// with fsync-per-append on (durable mode, the default) vs off. The engine
+/// work is sized to dominate, as in production; the counter is the ratio CI
+/// gates at <= 1.25x.
+void BM_DurableOverhead(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto program = programs::MakeReachUProgram();
+  const relational::RequestSequence requests = MatrixWorkload(n, 160);
+  const std::string dir = BenchTempDir("durable_overhead");
+
+  double durable_seconds = 0;
+  double buffered_seconds = 0;
+  uint64_t fsyncs = 0;
+  for (auto _ : state) {
+    for (bool fsync_on : {true, false}) {
+      RemoveTree(dir);
+      dyn::DurabilityOptions durability;
+      durability.store.fsync_each_append = fsync_on;
+      dyn::GuardedEngine session(program, n, nullptr, nullptr, PureOptions());
+      const auto start = std::chrono::steady_clock::now();
+      core::Status attached = session.AttachDurability(dir, durability);
+      DYNFO_CHECK(attached.ok()) << attached.ToString();
+      for (const relational::Request& request : requests) {
+        core::Status applied = session.Apply(request);
+        DYNFO_CHECK(applied.ok()) << applied.ToString();
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      if (fsync_on) {
+        durable_seconds += seconds;
+        fsyncs = session.durable_store()->counters().fsyncs;
+        DYNFO_CHECK(fsyncs >= requests.size());
+      } else {
+        buffered_seconds += seconds;
+        DYNFO_CHECK(session.durable_store()->counters().fsyncs == 0);
+      }
+    }
+  }
+  RemoveTree(dir);
+  state.counters["fsyncs"] = static_cast<double>(fsyncs);
+  state.counters["durable_seconds"] = durable_seconds / state.iterations();
+  state.counters["buffered_seconds"] = buffered_seconds / state.iterations();
+  state.counters["durable_overhead"] =
+      buffered_seconds > 0 ? durable_seconds / buffered_seconds : 0;
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * requests.size() * 2));
+}
+BENCHMARK(BM_DurableOverhead)->Arg(48)->Unit(benchmark::kMillisecond);
+
+/// Revival time as history grows: with incremental checkpoints the replay
+/// is bounded by one segment, so revival stays flat while the naive
+/// replay-from-zero alternative grows linearly (EXPERIMENTS.md).
+void BM_RecoveryCurve(benchmark::State& state) {
+  const size_t history = static_cast<size_t>(state.range(0));
+  const size_t n = 8;
+  auto program = programs::MakeParityProgram();
+  dyn::GenericWorkloadOptions options;
+  options.num_requests = history;
+  options.seed = 17;
+  options.set_fraction = 0.0;
+  const relational::RequestSequence requests =
+      dyn::MakeGenericWorkload(*programs::ParityInputVocabulary(), n, options);
+  dyn::DurabilityOptions durability;  // default interval: 64-record segments
+  const std::string dir = BenchTempDir("curve_" + std::to_string(history));
+
+  RemoveTree(dir);
+  std::string final_state;
+  {
+    dyn::GuardedEngine session(program, n, nullptr, nullptr, PureOptions());
+    DYNFO_CHECK(session.AttachDurability(dir, durability).ok());
+    for (const relational::Request& request : requests) {
+      DYNFO_CHECK(session.Apply(request).ok());
+    }
+    final_state = relational::WriteStructure(session.engine().data());
+  }
+
+  // Each iteration is one revival of the full-history store.
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    dyn::GuardedEngine revived(program, n, nullptr, nullptr, PureOptions());
+    core::Status attached = revived.AttachDurability(dir, durability);
+    DYNFO_CHECK(attached.ok()) << attached.ToString();
+    DYNFO_CHECK(relational::WriteStructure(revived.engine().data()) ==
+                final_state);
+    replayed = revived.recovery_stats().replayed_on_recovery;
+    DYNFO_CHECK(replayed <= durability.store.records_per_segment);
+  }
+
+  // The naive alternative: replay the entire history from scratch.
+  dyn::Engine scratch(program, n);
+  const auto start = std::chrono::steady_clock::now();
+  bench::ReplayWorkload(&scratch, requests);
+  const double replay_from_zero =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  RemoveTree(dir);
+
+  state.counters["history"] = static_cast<double>(history);
+  state.counters["replayed_on_recovery"] = static_cast<double>(replayed);
+  state.counters["replay_from_zero_seconds"] = replay_from_zero;
+}
+BENCHMARK(BM_RecoveryCurve)->Arg(90)->Arg(300)->Arg(1050)->Unit(benchmark::kMillisecond);
 
 void BM_RecoveryReachU(benchmark::State& state) { RunCase(state, ReachUCase()); }
 BENCHMARK(BM_RecoveryReachU)->ArgsProduct({{8, 12}, {4, 16}});

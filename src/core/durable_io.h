@@ -1,0 +1,139 @@
+/// \file durable_io.h
+/// The atomic write discipline for everything that must survive a kill.
+///
+/// Every durable artifact — snapshots, checkpoints, journal segments, the
+/// manifest — reaches disk through this one layer, so the crash-consistency
+/// argument is made exactly once:
+///
+///   * whole files are replaced atomically: write a sibling temp file,
+///     fsync it, rename() over the target, fsync the parent directory.
+///     A kill at any boundary leaves either the old bytes or the new bytes,
+///     never a mixture and never a missing target;
+///   * appends go through AppendFile, which exposes the write and fsync
+///     boundaries separately so callers choose their durability point
+///     (the journal fsyncs per record in durable mode);
+///   * file creation and deletion fsync the parent directory before any
+///     other artifact is allowed to reference (or forget) the entry.
+///
+/// Every primitive boundary consults an installable IoShim first. The crash
+/// matrix (core/fault.h CrashPointShim) uses this to simulate a process
+/// kill at every single write/fsync/rename/create/unlink/truncate in the
+/// sequence, including torn (partial) writes and post-crash loss of bytes
+/// that were written but never fsynced.
+
+#ifndef DYNFO_CORE_DURABLE_IO_H_
+#define DYNFO_CORE_DURABLE_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dynfo::core {
+
+/// The primitive durable-I/O boundaries, in the granularity the crash
+/// matrix kills at. Reads are not boundaries: a kill during a read damages
+/// nothing.
+enum class IoOp {
+  kCreate,    ///< open(O_CREAT) of a new durable file (temp or segment)
+  kWrite,     ///< write(2) of a byte range to an open durable file
+  kFsync,     ///< fsync(2) of an open durable file
+  kRename,    ///< rename(2) of a temp file over its target
+  kDirFsync,  ///< fsync(2) of a parent directory (persists dirents)
+  kTruncate,  ///< truncate(2) dropping a torn journal tail
+  kUnlink,    ///< unlink(2) of a garbage-collected file
+};
+
+const char* IoOpName(IoOp op);
+
+/// Interceptor consulted at every primitive boundary. Install in tests and
+/// crash campaigns only; durable I/O must be externally serialized while a
+/// shim is installed (the engine's single-writer discipline already is).
+class IoShim {
+ public:
+  virtual ~IoShim() = default;
+
+  /// Called immediately BEFORE the op executes. `path` is the target path
+  /// (for kRename, the destination). Returning false simulates the process
+  /// dying at this boundary: the op is not performed — except that for
+  /// kWrite the shim may set *partial_bytes < bytes to model a torn write
+  /// whose prefix reached the file — and the caller receives an error
+  /// Status recognized by IsSimulatedCrash().
+  virtual bool BeforeOp(IoOp op, const std::string& path, size_t bytes,
+                        size_t* partial_bytes) = 0;
+
+  /// Called after the op really executed, so shims can track durability
+  /// state (bytes not yet fsynced, renames not yet dir-fsynced).
+  virtual void AfterOp(IoOp op, const std::string& path, size_t bytes) = 0;
+};
+
+/// Installs `shim` for all subsequent durable I/O (nullptr restores real
+/// I/O). Returns the previously installed shim.
+IoShim* InstallIoShim(IoShim* shim);
+
+/// True when `status` is the death of a simulated crash (an IoShim vetoed a
+/// boundary), as opposed to a real I/O failure.
+bool IsSimulatedCrash(const Status& status);
+
+/// Reads an entire file. Missing file is an error (callers that tolerate
+/// absence check FileExists first).
+Result<std::string> ReadFileToString(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+/// Creates `path` as a directory if it does not exist (one level).
+Status EnsureDir(const std::string& path);
+
+/// Names of the regular files directly inside `dir` (no order guarantee).
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Atomically replaces `path` with `contents`: temp sibling → write →
+/// fsync → rename → parent dir fsync. On ANY failure (including a
+/// simulated crash at any boundary) the previous contents of `path` are
+/// intact on disk.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Unlinks `path` and fsyncs its parent directory.
+Status RemoveFileDurable(const std::string& path);
+
+/// Truncates `path` to `size` bytes and fsyncs it.
+Status TruncateFileDurable(const std::string& path, uint64_t size);
+
+/// fsync(2) on the directory itself, persisting its entries.
+Status FsyncDir(const std::string& dir);
+
+/// An append-only durable file whose writes and fsyncs route through the
+/// shim. Used for journal segments; creation fsyncs the parent directory so
+/// the entry is durable before anything references the file.
+class AppendFile {
+ public:
+  /// Opens for append, creating (durably) if absent.
+  static Result<AppendFile> Open(const std::string& path);
+
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  /// One write(2) call (plus the shim boundary). Not yet durable.
+  Status Append(std::string_view data);
+
+  /// fsync(2): everything appended so far survives power loss.
+  Status Fsync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  AppendFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace dynfo::core
+
+#endif  // DYNFO_CORE_DURABLE_IO_H_

@@ -1,10 +1,45 @@
 #include "core/fault.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 
 namespace dynfo::core {
 
 namespace {
+
+std::string FaultParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Raw (un-shimmed) full-file replace, used only to apply post-crash
+/// damage; by then the simulated process is dead and the shim uninstalled.
+Status RawWriteFile(const std::string& path, const std::string& contents) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Error("damage write open " + path + ": " +
+                         std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Error("damage write " + path + ": " + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return Status();
+}
 
 /// Offsets of the starts of every line after the first (the header line of
 /// the journal / snapshot formats is never a record).
@@ -87,6 +122,191 @@ std::string FaultInjector::DuplicateLine(std::string* text) {
   text->insert(end, line);
   if (!line.empty() && line.back() == '\n') line.pop_back();
   return "duplicated line '" + line + "'";
+}
+
+const char* CrashTailModeName(CrashTailMode mode) {
+  switch (mode) {
+    case CrashTailMode::kKeepNone:
+      return "keep-none";
+    case CrashTailMode::kKeepHalf:
+      return "keep-half";
+    case CrashTailMode::kKeepAll:
+      return "keep-all";
+  }
+  return "unknown";
+}
+
+CrashPointShim::FileState& CrashPointShim::Track(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    // First touch: whatever the file held before the shim saw it is
+    // treated as durable (it was written under the real-I/O regime).
+    struct stat st;
+    uint64_t size =
+        ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size) : 0;
+    it = files_.emplace(path, FileState{size, size}).first;
+  }
+  return it->second;
+}
+
+bool CrashPointShim::BeforeOp(IoOp op, const std::string& path, size_t bytes,
+                              size_t* partial_bytes) {
+  if (dead_) {
+    // The process is gone; no further I/O reaches disk.
+    if (partial_bytes != nullptr) *partial_bytes = 0;
+    return false;
+  }
+  ++ops_seen_;
+
+  if (op == IoOp::kRename) {
+    // Snapshot the victim's bytes now — AfterOp is too late to read them.
+    PendingRename staged;
+    staged.target = path;
+    if (FileExists(path)) {
+      auto content = ReadFileToString(path);
+      if (content.ok()) staged.old_content = std::move(content).value();
+    }
+    staged_rename_ = std::move(staged);
+  }
+
+  if (options_.kill_at_op != 0 && ops_seen_ == options_.kill_at_op) {
+    dead_ = true;
+    kill_description_ = std::string(IoOpName(op)) + " " + path;
+    staged_rename_.reset();  // a vetoed rename never happened
+    if (op == IoOp::kWrite && partial_bytes != nullptr) {
+      // Let the whole write land in the (simulated) page cache; the bytes
+      // are unsynced, so ApplyCrashDamage's tail mode decides how many
+      // survive — including the torn-prefix case via kKeepHalf.
+      *partial_bytes = bytes;
+      Track(path).current += bytes;
+    }
+    return false;
+  }
+  return true;
+}
+
+void CrashPointShim::AfterOp(IoOp op, const std::string& path, size_t bytes) {
+  switch (op) {
+    case IoOp::kCreate:
+      files_[path] = FileState{0, 0};
+      pending_creates_.push_back(path);
+      break;
+    case IoOp::kWrite:
+      Track(path).current += bytes;
+      break;
+    case IoOp::kFsync: {
+      FileState& state = Track(path);
+      state.durable = state.current;
+      break;
+    }
+    case IoOp::kRename: {
+      // AtomicWriteFile's temp convention: the source is target + ".tmp".
+      // Its (fully fsynced) state becomes the target's.
+      const std::string tmp = path + ".tmp";
+      auto it = files_.find(tmp);
+      if (it != files_.end()) {
+        files_[path] = it->second;
+        files_.erase(tmp);
+      }
+      pending_creates_.erase(
+          std::remove(pending_creates_.begin(), pending_creates_.end(), tmp),
+          pending_creates_.end());
+      if (staged_rename_.has_value()) {
+        pending_renames_.push_back(std::move(*staged_rename_));
+        staged_rename_.reset();
+      }
+      break;
+    }
+    case IoOp::kDirFsync: {
+      // Every dirent in this directory is now durable.
+      auto in_dir = [&path](const std::string& file) {
+        return FaultParentDir(file) == path;
+      };
+      pending_renames_.erase(
+          std::remove_if(pending_renames_.begin(), pending_renames_.end(),
+                         [&in_dir](const PendingRename& r) {
+                           return in_dir(r.target);
+                         }),
+          pending_renames_.end());
+      pending_creates_.erase(std::remove_if(pending_creates_.begin(),
+                                            pending_creates_.end(), in_dir),
+                             pending_creates_.end());
+      break;
+    }
+    case IoOp::kTruncate: {
+      FileState& state = Track(path);
+      state.current = bytes;
+      state.durable = std::min(state.durable, static_cast<uint64_t>(bytes));
+      break;
+    }
+    case IoOp::kUnlink:
+      files_.erase(path);
+      pending_creates_.erase(
+          std::remove(pending_creates_.begin(), pending_creates_.end(), path),
+          pending_creates_.end());
+      break;
+  }
+}
+
+std::string CrashPointShim::DescribeKill() const {
+  if (!dead_) return "no kill (count-only pass, " + std::to_string(ops_seen_) +
+                     " boundaries)";
+  return "killed at op " + std::to_string(options_.kill_at_op) + " (" +
+         kill_description_ + ") tail=" + CrashTailModeName(options_.tail_mode) +
+         " undo_renames=" + (options_.undo_pending_renames ? "1" : "0");
+}
+
+Status CrashPointShim::ApplyCrashDamage() {
+  if (options_.undo_pending_renames) {
+    // Undo in reverse order so a twice-renamed target regains its oldest
+    // surviving content; restored files are fully durable, so drop their
+    // tail tracking.
+    for (auto it = pending_renames_.rbegin(); it != pending_renames_.rend();
+         ++it) {
+      if (it->old_content.has_value()) {
+        Status status = RawWriteFile(it->target, *it->old_content);
+        if (!status.ok()) return status;
+      } else if (::unlink(it->target.c_str()) != 0 && errno != ENOENT) {
+        return Status::Error("damage unlink " + it->target + ": " +
+                             std::strerror(errno));
+      }
+      files_.erase(it->target);
+    }
+    for (auto it = pending_creates_.rbegin(); it != pending_creates_.rend();
+         ++it) {
+      if (::unlink(it->c_str()) != 0 && errno != ENOENT) {
+        return Status::Error("damage unlink " + *it + ": " +
+                             std::strerror(errno));
+      }
+      files_.erase(*it);
+    }
+  }
+
+  for (const auto& [path, state] : files_) {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) continue;  // already gone
+    const uint64_t actual = static_cast<uint64_t>(st.st_size);
+    const uint64_t unsynced = state.current > state.durable
+                                  ? state.current - state.durable
+                                  : 0;
+    uint64_t keep = state.durable;
+    switch (options_.tail_mode) {
+      case CrashTailMode::kKeepNone:
+        break;
+      case CrashTailMode::kKeepHalf:
+        keep += unsynced / 2;
+        break;
+      case CrashTailMode::kKeepAll:
+        keep += unsynced;
+        break;
+    }
+    if (keep < actual &&
+        ::truncate(path.c_str(), static_cast<off_t>(keep)) != 0) {
+      return Status::Error("damage truncate " + path + ": " +
+                           std::strerror(errno));
+    }
+  }
+  return Status();
 }
 
 }  // namespace dynfo::core

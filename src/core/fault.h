@@ -15,11 +15,16 @@
 #ifndef DYNFO_CORE_FAULT_H_
 #define DYNFO_CORE_FAULT_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/durable_io.h"
 #include "core/rng.h"
+#include "core/status.h"
 #include "relational/structure.h"
 
 namespace dynfo::core {
@@ -91,6 +96,87 @@ class FaultInjector {
   uint64_t seed_;
   uint64_t trial_ = 0;
   Rng rng_;
+};
+
+/// What happens, after a simulated kill, to bytes that were written but
+/// never fsynced. Real filesystems may keep all of them (they reached disk
+/// from the page cache before power failed), a prefix (a torn write), or
+/// none. The crash matrix runs every kill point under each mode.
+enum class CrashTailMode {
+  kKeepNone,  ///< every unsynced byte is lost
+  kKeepHalf,  ///< half the unsynced tail survives (torn write)
+  kKeepAll,   ///< the page cache made it to disk anyway
+};
+
+const char* CrashTailModeName(CrashTailMode mode);
+
+/// IoShim that simulates a process kill at exactly one durable-I/O boundary
+/// and then reproduces the legal post-crash filesystem states.
+///
+/// Operation: install via InstallIoShim, run the workload. Boundaries are
+/// numbered 1, 2, ... in execution order. With kill_at_op == 0 the shim
+/// only counts (use one pass to learn the matrix size); with kill_at_op = k
+/// the k-th boundary is vetoed — the caller sees an IsSimulatedCrash()
+/// status — and every later boundary fails too (the process is dead).
+///
+/// Throughout, the shim tracks what the filesystem is *guaranteed* to hold:
+/// per-file synced vs unsynced byte counts, renames whose parent directory
+/// was not yet fsynced, and created files whose dirent is not yet durable.
+/// After the kill, ApplyCrashDamage() rewrites the real files into one
+/// legal post-crash state: pending renames are undone (old target content
+/// restored), pending creates removed, and each unsynced tail kept or cut
+/// per CrashTailMode. Recovery then runs against that damaged directory.
+///
+/// Single-threaded by design, like all durable I/O in the engine.
+class CrashPointShim : public IoShim {
+ public:
+  struct Options {
+    uint64_t kill_at_op = 0;  ///< 1-based boundary to die at; 0 = count only
+    CrashTailMode tail_mode = CrashTailMode::kKeepNone;
+    /// Undo renames not covered by a directory fsync. When false, the
+    /// rename is treated as having survived (also legal).
+    bool undo_pending_renames = true;
+  };
+
+  explicit CrashPointShim(Options options) : options_(options) {}
+
+  bool BeforeOp(IoOp op, const std::string& path, size_t bytes,
+                size_t* partial_bytes) override;
+  void AfterOp(IoOp op, const std::string& path, size_t bytes) override;
+
+  /// Boundaries encountered so far (including the one died at).
+  uint64_t ops_seen() const { return ops_seen_; }
+  bool killed() const { return dead_; }
+
+  /// One-line repro: which boundary was killed, under which damage mode.
+  std::string DescribeKill() const;
+
+  /// Applies the post-crash damage to the real filesystem. Call after the
+  /// workload died and the shim is uninstalled; uses raw I/O.
+  Status ApplyCrashDamage();
+
+ private:
+  struct FileState {
+    uint64_t durable = 0;  ///< bytes guaranteed on disk
+    uint64_t current = 0;  ///< bytes written (≥ durable)
+  };
+  struct PendingRename {
+    std::string target;
+    std::optional<std::string> old_content;  ///< nullopt: did not exist
+  };
+
+  FileState& Track(const std::string& path);
+
+  Options options_;
+  uint64_t ops_seen_ = 0;
+  bool dead_ = false;
+  std::string kill_description_;
+  std::unordered_map<std::string, FileState> files_;
+  std::vector<PendingRename> pending_renames_;
+  std::vector<std::string> pending_creates_;
+  /// Snapshot taken at BeforeOp(kRename); committed to pending_renames_
+  /// only once AfterOp confirms the rename executed.
+  std::optional<PendingRename> staged_rename_;
 };
 
 }  // namespace dynfo::core

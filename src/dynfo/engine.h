@@ -253,6 +253,21 @@ class Engine {
   /// untouched — never a crash.
   core::Status Restore(const std::string& snapshot);
 
+  /// Serializes only the difference between `base` — a copy of data() taken
+  /// at step `base_steps`, O(1) via copy-on-write — and the current state,
+  /// as a checksummed "snapshot-delta" blob. With the CoW base still shared
+  /// this costs O(changed tuples), not O(state): the incremental-checkpoint
+  /// seam (DESIGN.md §12).
+  std::string SnapshotDelta(const relational::Structure& base,
+                            uint64_t base_steps) const;
+
+  /// Applies a snapshot delta on top of the engine's current state, which
+  /// must be at exactly the delta's base step count (i.e. the full snapshot
+  /// the delta was written against has just been restored). Atomic: on any
+  /// error the engine is untouched. Unlike Restore, compiled plans and the
+  /// plan cache survive — the program and vocabulary are unchanged.
+  core::Status RestoreDelta(const std::string& blob);
+
   /// Overrides the request/step counter; recovery paths use this to keep
   /// the counter monotone across a start-over rebuild.
   void set_request_counter(uint64_t requests) { stats_.requests = requests; }

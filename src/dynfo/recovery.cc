@@ -1,8 +1,10 @@
 #include "dynfo/recovery.h"
 
 #include <chrono>
+#include <sstream>
 #include <utility>
 
+#include "core/text.h"
 #include "relational/serialize.h"
 
 namespace dynfo::dyn {
@@ -12,6 +14,63 @@ namespace {
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Parsed form of a "session" / "session-delta" checkpoint blob: the step
+/// counter(s) plus the two length-prefixed sections — the engine's own
+/// (checksummed) snapshot blob and the shadowed input structure text.
+struct SessionParse {
+  uint64_t base = 0;  ///< delta blobs only: the full snapshot's step count
+  uint64_t steps = 0;
+  std::string engine_blob;
+  std::string input_text;
+};
+
+core::Result<SessionParse> ParseSession(const std::string& blob, bool is_delta) {
+  const char* kind = is_delta ? "session-delta" : "session";
+  core::Result<std::string> payload = relational::UnwrapChecksummed(kind, blob);
+  if (!payload.ok()) return payload.status();
+  const std::string& text = payload.value();
+  size_t pos = 0;
+
+  auto parse_kv = [&text, &pos](const char* key, uint64_t* out) {
+    const size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    const std::string line = text.substr(pos, nl - pos);
+    const std::string prefix = std::string(key) + " ";
+    if (line.rfind(prefix, 0) != 0 ||
+        !core::ParseU64(line.substr(prefix.size()), out)) {
+      return false;
+    }
+    pos = nl + 1;
+    return true;
+  };
+  auto read_section = [&text, &pos, &parse_kv](const char* key,
+                                               std::string* dest) {
+    uint64_t bytes = 0;
+    if (!parse_kv(key, &bytes)) return false;
+    if (text.size() - pos < bytes) return false;
+    *dest = text.substr(pos, bytes);
+    pos += bytes;
+    return true;
+  };
+  auto err = [kind](const std::string& message) {
+    return core::Status::Error(std::string(kind) + " blob: " + message);
+  };
+
+  SessionParse out;
+  if (is_delta && !parse_kv("base", &out.base)) {
+    return err("missing 'base' line");
+  }
+  if (!parse_kv("steps", &out.steps)) return err("missing 'steps' line");
+  if (!read_section("engine", &out.engine_blob)) {
+    return err("missing engine section");
+  }
+  if (!read_section("input", &out.input_text)) {
+    return err("missing input section");
+  }
+  if (pos != text.size()) return err("trailing bytes");
+  return out;
 }
 
 }  // namespace
@@ -72,8 +131,19 @@ core::Status GuardedEngine::Apply(const relational::Request& request) {
     }
     engine_->Apply(request);
   }
+  if (store_.has_value()) {
+    // Applied requests only reach the durable journal (matching the
+    // governed path's contract); an append failure here means the caller
+    // never gets an OK and recovery serves the pre-request state.
+    core::Status appended = store_->Append(request);
+    if (!appended.ok()) return appended;
+  }
   relational::ApplyRequest(&input_, request);
   ++stats_.requests;
+  if (store_.has_value() && store_->checkpoint_due()) {
+    core::Status checkpointed = WriteCheckpoint(/*force_full=*/false);
+    if (!checkpointed.ok()) return checkpointed;
+  }
   if (options_.check_every > 0 && stats_.requests % options_.check_every == 0) {
     return CheckNow();
   }
@@ -204,9 +274,10 @@ core::Status GuardedEngine::Recover(const std::string& reason) {
 
 core::Status GuardedEngine::AttachJournal(const std::string& path,
                                           JournalWriterOptions options) {
-  if (stats_.requests != 0 || journal_.has_value()) {
+  if (stats_.requests != 0 || journal_.has_value() || store_.has_value()) {
     return core::Status::Error(
-        "AttachJournal must be called on a fresh GuardedEngine");
+        "AttachJournal must be called on a fresh GuardedEngine (and is "
+        "mutually exclusive with AttachDurability)");
   }
   core::Result<JournalWriter> writer = JournalWriter::Open(
       path, *program_->input_vocabulary(), input_.universe_size(), options);
@@ -221,6 +292,175 @@ core::Status GuardedEngine::AttachJournal(const std::string& path,
     engine_->Apply(request);
     relational::ApplyRequest(&input_, request);
     ++stats_.requests;
+  }
+  return core::Status();
+}
+
+std::string GuardedEngine::MakeSessionBlob() const {
+  const std::string engine_blob = engine_->Snapshot();
+  const std::string input_text = relational::WriteStructure(input_);
+  std::ostringstream payload;
+  payload << "steps " << stats_.requests << "\n";
+  payload << "engine " << engine_blob.size() << "\n" << engine_blob;
+  payload << "input " << input_text.size() << "\n" << input_text;
+  return relational::WrapChecksummed("session", payload.str());
+}
+
+std::string GuardedEngine::MakeSessionDeltaBlob() const {
+  DYNFO_CHECK(base_data_.has_value() && base_input_.has_value())
+      << "delta checkpoint without a base snapshot";
+  const std::string engine_blob = engine_->SnapshotDelta(*base_data_, base_steps_);
+  const std::string input_text =
+      relational::WriteStructureDelta(*base_input_, input_);
+  std::ostringstream payload;
+  payload << "base " << base_steps_ << "\n";
+  payload << "steps " << stats_.requests << "\n";
+  payload << "engine " << engine_blob.size() << "\n" << engine_blob;
+  payload << "input " << input_text.size() << "\n" << input_text;
+  return relational::WrapChecksummed("session-delta", payload.str());
+}
+
+core::Status GuardedEngine::WriteCheckpoint(bool force_full) {
+  DYNFO_CHECK(store_.has_value()) << "checkpoint without an attached store";
+  const bool is_full = force_full || store_->full_due();
+  const std::string blob = is_full ? MakeSessionBlob() : MakeSessionDeltaBlob();
+  core::Status status = store_->Checkpoint(blob, is_full);
+  if (!status.ok()) return status;
+  if (is_full) {
+    // Fresh delta base: O(1) copy-on-write copies of both structures.
+    base_data_ = engine_->data();
+    base_input_ = input_;
+    base_steps_ = stats_.requests;
+    ++stats_.full_snapshots_written;
+  } else {
+    ++stats_.checkpoints_written;
+  }
+  return core::Status();
+}
+
+core::Status GuardedEngine::Compact() {
+  if (!store_.has_value()) {
+    return core::Status::Error("Compact requires AttachDurability");
+  }
+  return WriteCheckpoint(/*force_full=*/true);
+}
+
+core::Status GuardedEngine::AttachDurability(const std::string& dir,
+                                             DurabilityOptions options) {
+  if (stats_.requests != 0 || journal_.has_value() || store_.has_value()) {
+    return core::Status::Error(
+        "AttachDurability must be called on a fresh GuardedEngine (and is "
+        "mutually exclusive with AttachJournal)");
+  }
+
+  if (!DurableStore::Exists(dir)) {
+    // Fresh directory: seed it with the current session (which includes any
+    // post_init precomputation) as the first full snapshot.
+    core::Result<DurableStore> created = DurableStore::Create(
+        dir, program_->name(), input_.universe_size(), MakeSessionBlob(),
+        stats_.requests, options.store);
+    if (!created.ok()) return created.status();
+    store_.emplace(std::move(created).value());
+    base_data_ = engine_->data();
+    base_input_ = input_;
+    base_steps_ = stats_.requests;
+    return core::Status();
+  }
+
+  // Revive: full snapshot, then the delta checkpoint, then at most one
+  // segment of journal replay. On any error the wrapper is partially
+  // restored — rebuild it before retrying (same contract as
+  // RestoreFromSnapshotAndJournal).
+  core::Result<DurableStore> opened = DurableStore::Open(
+      dir, *program_->input_vocabulary(), input_.universe_size(), options.store);
+  if (!opened.ok()) return opened.status();
+  DurableStore store = std::move(opened).value();
+  if (store.manifest().program != program_->name()) {
+    return core::Status::Error("durable store " + dir + " is for program '" +
+                               store.manifest().program + "', wrapper runs '" +
+                               program_->name() + "'");
+  }
+
+  core::Result<SessionParse> full =
+      ParseSession(store.recovered().full_blob, /*is_delta=*/false);
+  if (!full.ok()) {
+    return core::Status::Corruption("durable store " + dir + ": " +
+                                    full.status().message());
+  }
+  core::Status restored = engine_->Restore(full.value().engine_blob);
+  if (!restored.ok()) return restored;
+  core::Result<relational::Structure> input_restored = relational::ReadStructure(
+      full.value().input_text, program_->input_vocabulary());
+  if (!input_restored.ok()) {
+    return core::Status::Corruption("durable store " + dir + ": session input: " +
+                                    input_restored.status().message());
+  }
+  if (input_restored.value().universe_size() != input_.universe_size()) {
+    return core::Status::Error("durable store " + dir +
+                               ": session input universe size mismatch");
+  }
+  input_ = std::move(input_restored).value();
+  if (engine_->stats().requests != full.value().steps) {
+    return core::Status::Corruption(
+        "durable store " + dir + ": session step counters disagree");
+  }
+  // The delta base is the state at the last FULL snapshot.
+  base_data_ = engine_->data();
+  base_input_ = input_;
+  base_steps_ = full.value().steps;
+
+  if (!store.recovered().delta_blob.empty()) {
+    core::Result<SessionParse> delta =
+        ParseSession(store.recovered().delta_blob, /*is_delta=*/true);
+    if (!delta.ok()) {
+      return core::Status::Corruption("durable store " + dir + ": " +
+                                      delta.status().message());
+    }
+    if (delta.value().base != base_steps_) {
+      return core::Status::Corruption(
+          "durable store " + dir +
+          ": delta checkpoint is not chained on the full snapshot");
+    }
+    core::Status applied = engine_->RestoreDelta(delta.value().engine_blob);
+    if (!applied.ok()) return applied;
+    applied = relational::ApplyStructureDelta(&input_, delta.value().input_text);
+    if (!applied.ok()) {
+      return core::Status::Corruption("durable store " + dir +
+                                      ": session input delta: " +
+                                      applied.message());
+    }
+  }
+  stats_.requests = engine_->stats().requests;
+  if (stats_.requests != store.recovered().checkpoint_steps) {
+    return core::Status::Corruption(
+        "durable store " + dir +
+        ": checkpoint step counters disagree with the manifest");
+  }
+
+  for (const relational::Request& request : store.recovered().replay) {
+    if (program_->semi_dynamic() &&
+        request.kind == relational::RequestKind::kDelete) {
+      return core::Status::Error("journal replays a delete into semi-dynamic " +
+                                 program_->name());
+    }
+    engine_->Apply(request);
+    relational::ApplyRequest(&input_, request);
+    ++stats_.requests;
+    ++stats_.replayed_on_recovery;
+  }
+  if (stats_.requests != store.next_seq()) {
+    return core::Status::Corruption(
+        "durable store " + dir + ": replay ends at step " +
+        std::to_string(stats_.requests) + ", store expects " +
+        std::to_string(store.next_seq()));
+  }
+
+  store_.emplace(std::move(store));
+  // Self-heal: if the previous run died in its checkpoint loop, the active
+  // segment may already be full — checkpoint now so the replay bound holds
+  // for the next recovery too.
+  if (store_->checkpoint_due()) {
+    return WriteCheckpoint(/*force_full=*/false);
   }
   return core::Status();
 }

@@ -81,6 +81,12 @@ struct GuardedEngineOptions {
   GovernancePolicy governance;
 };
 
+/// Configuration for AttachDurability — the segmented-journal +
+/// incremental-checkpoint store (journal.h, DESIGN.md §12).
+struct DurabilityOptions {
+  DurableStoreOptions store;
+};
+
 struct RecoveryStats {
   uint64_t requests = 0;             ///< requests applied through the wrapper
   uint64_t checks_run = 0;           ///< cadence + explicit checks
@@ -90,6 +96,13 @@ struct RecoveryStats {
   double recovery_seconds = 0;       ///< total time spent rebuilding
   uint64_t last_detection_step = 0;  ///< request count at last detection
   double last_recovery_seconds = 0;
+
+  // Durability counters (all zero without AttachDurability).
+  uint64_t checkpoints_written = 0;      ///< delta checkpoints
+  uint64_t full_snapshots_written = 0;   ///< full consolidations
+  /// Journal records replayed while attaching — the replay bound the crash
+  /// matrix hard-checks stays ≤ the checkpoint interval.
+  uint64_t replayed_on_recovery = 0;
 
   // Governed-execution counters (all zero when governance is inactive).
   uint64_t tier_activations[4] = {0, 0, 0, 0};  ///< attempts per ExecTier
@@ -126,9 +139,36 @@ class GuardedEngine {
   /// Journals every subsequently applied request to `path`. Must be called
   /// before any Apply; existing journal records are replayed through the
   /// engine first (crash recovery), so after a successful attach the
-  /// wrapper has caught up to the journal's history.
+  /// wrapper has caught up to the journal's history. Durable by default:
+  /// each append is fsynced so an acknowledged request survives power
+  /// loss, not just a process kill (the overhead is measured and gated in
+  /// bench_recovery).
   core::Status AttachJournal(const std::string& path,
-                             JournalWriterOptions options = {});
+                             JournalWriterOptions options = {
+                                 /*fsync_each_append=*/true});
+
+  /// Attaches the segmented durable store at `dir` (journal.h): every
+  /// applied request is appended (fsynced) to the active segment, every
+  /// filled segment triggers an incremental checkpoint — a session delta
+  /// computed from the CoW overlays against the last full snapshot — and
+  /// periodically a full-snapshot consolidation, after which covered
+  /// segments are garbage-collected. Must be called on a fresh wrapper
+  /// (like AttachJournal, with which it is mutually exclusive). If `dir`
+  /// already holds a store, the session is revived first: full snapshot +
+  /// delta checkpoint + at most one segment of replay, so recovery time is
+  /// O(checkpoint interval) regardless of history length.
+  core::Status AttachDurability(const std::string& dir,
+                                DurabilityOptions options = {});
+
+  /// Forces a full-snapshot consolidation now: writes the session as a new
+  /// full snapshot, drops the delta chain, collects covered segments.
+  core::Status Compact();
+
+  bool durability_attached() const { return store_.has_value(); }
+  /// The attached store (null when not attached) — counters and manifest.
+  const DurableStore* durable_store() const {
+    return store_.has_value() ? &*store_ : nullptr;
+  }
 
   bool QueryBool(std::vector<relational::Element> params = {}) const {
     return engine_->QueryBool(std::move(params));
@@ -161,6 +201,16 @@ class GuardedEngine {
   /// One request through the degradation ladder (see GovernancePolicy).
   core::Status GovernedApply(const relational::Request& request);
 
+  /// The full session (engine state + shadowed input + step counter) as a
+  /// checksummed "session" blob, and the delta form against the base
+  /// copies held since the last full snapshot.
+  std::string MakeSessionBlob() const;
+  std::string MakeSessionDeltaBlob() const;
+
+  /// Writes the due checkpoint (delta, or full when consolidation is due)
+  /// and refreshes the CoW base copies after a full one.
+  core::Status WriteCheckpoint(bool force_full);
+
   std::shared_ptr<const DynProgram> program_;
   GuardedEngineOptions options_;
   Oracle oracle_;
@@ -168,6 +218,12 @@ class GuardedEngine {
   std::unique_ptr<Engine> engine_;
   relational::Structure input_;
   std::optional<JournalWriter> journal_;
+  std::optional<DurableStore> store_;
+  /// Copy-on-write copies of the engine data and input at the last full
+  /// snapshot — the delta base. O(1) to take, O(overlay) to diff against.
+  std::optional<relational::Structure> base_data_;
+  std::optional<relational::Structure> base_input_;
+  uint64_t base_steps_ = 0;
   RecoveryStats stats_;
   std::string last_quarantine_;
 };

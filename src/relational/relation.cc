@@ -57,6 +57,38 @@ std::vector<Tuple> Relation::SortedTuples() const {
   return out;
 }
 
+void Relation::DiffFrom(const Relation& old, std::vector<Tuple>* added,
+                        std::vector<Tuple>* removed) const {
+  DYNFO_CHECK(arity_ == old.arity_) << "diff across arities";
+  const size_t added_start = added->size();
+  const size_t removed_start = removed->size();
+  if (base_ != nullptr && base_ == old.base_) {
+    // Shared base: only overlay tuples can differ. Dedup candidates with a
+    // scratch set so a tuple in both overlays is classified once.
+    TupleSet candidates;
+    auto consider = [&](const Tuple& t) {
+      if (!candidates.Insert(t)) return;
+      const bool now = Contains(t);
+      const bool before = old.Contains(t);
+      if (now && !before) added->push_back(t);
+      if (!now && before) removed->push_back(t);
+    };
+    for (const Tuple& t : added_) consider(t);
+    for (const Tuple& t : removed_) consider(t);
+    for (const Tuple& t : old.added_) consider(t);
+    for (const Tuple& t : old.removed_) consider(t);
+  } else {
+    for (const Tuple& t : *this) {
+      if (!old.Contains(t)) added->push_back(t);
+    }
+    for (const Tuple& t : old) {
+      if (!Contains(t)) removed->push_back(t);
+    }
+  }
+  std::sort(added->begin() + added_start, added->end());
+  std::sort(removed->begin() + removed_start, removed->end());
+}
+
 std::string Relation::ToString() const {
   std::string s = "{";
   bool first = true;

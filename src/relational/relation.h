@@ -221,6 +221,16 @@ class Relation {
   /// All tuples in lexicographic order (deterministic).
   std::vector<Tuple> SortedTuples() const;
 
+  /// The set difference against an older version of this relation:
+  /// `added` receives this∖old, `removed` receives old∖this, both in
+  /// lexicographic order (appended to the given vectors). When the two
+  /// relations still share a base version — the incremental-checkpoint
+  /// case, where `old` is the CoW copy taken at the last snapshot — the
+  /// cost is O(overlay), independent of relation size; otherwise it falls
+  /// back to a full O(|this| + |old|) scan.
+  void DiffFrom(const Relation& old, std::vector<Tuple>* added,
+                std::vector<Tuple>* removed) const;
+
   /// Set equality (arity and contents; indexes are derived state and do not
   /// participate).
   bool operator==(const Relation& other) const {

@@ -61,6 +61,24 @@ std::string WriteStructureChecksummed(const Structure& structure);
 core::Result<Structure> ReadStructureChecksummed(
     const std::string& text, std::shared_ptr<const Vocabulary> vocabulary);
 
+/// Serializes only the difference current − base (incremental checkpoints:
+/// base is the CoW copy taken at the last full snapshot, so the diff costs
+/// O(overlay), not O(state)). Format, same line discipline as structures:
+///   delta n=<universe size>
+///   add <name> <e1> <e2> ...      # tuple in current, not in base
+///   del <name> <e1> <e2> ...      # tuple in base, not in current
+///   const <name> <value>          # changed constants only
+///   end
+/// Both structures must share vocabulary and universe size.
+std::string WriteStructureDelta(const Structure& base, const Structure& current);
+
+/// Applies a delta in place. STRICT: an `add` of a tuple already present,
+/// a `del` of a tuple absent, or a `const` equal to the current value is an
+/// error — a delta only composes with the exact base it was written
+/// against, and silently tolerating mismatches would let a checkpoint
+/// apply to the wrong snapshot undetected.
+core::Status ApplyStructureDelta(Structure* structure, const std::string& text);
+
 }  // namespace dynfo::relational
 
 #endif  // DYNFO_RELATIONAL_SERIALIZE_H_

@@ -4,8 +4,8 @@
 /// dynamic query shell.
 ///
 /// Usage:
-///   dynfo_cli [--restore=FILE] [--journal=FILE]
-///             [--deadline-ms=N] [--max-memory-mb=N]
+///   dynfo_cli [--restore=FILE] [--journal=FILE] [--durable-dir=DIR]
+///             [--checkpoint-interval=N] [--deadline-ms=N] [--max-memory-mb=N]
 ///             <program.dynfo> <universe-size> [script-file]
 ///
 /// Flags:
@@ -16,6 +16,17 @@
 ///                      restarting with the same journal resumes the session.
 ///                      Combined with --restore, only the journal suffix past
 ///                      the snapshot's step counter is replayed.
+///   --durable-dir=DIR  run against the segmented durable store in DIR:
+///                      every applied request is fsynced into the active
+///                      segment and every filled segment triggers an
+///                      incremental checkpoint. If DIR already holds a
+///                      store the session is revived from it (full snapshot
+///                      + delta + at most one segment of replay). Mutually
+///                      exclusive with --restore/--journal; `restore` and
+///                      `load` are disabled in this mode.
+///   --checkpoint-interval=N
+///                      records per segment (= checkpoint interval and the
+///                      recovery replay bound) for --durable-dir; default 64
 ///   --deadline-ms=N    per-request wall-clock budget; a request that blows
 ///                      it is abandoned at the next chunk boundary with the
 ///                      engine left untouched
@@ -44,6 +55,8 @@
 ///   snapshot <file>                  write a checksummed engine snapshot
 ///                                    (state + step counter)
 ///   restore <file>                   restore a snapshot written by snapshot
+///   compact                          (--durable-dir only) force a full-
+///                                    snapshot consolidation now
 ///   quit
 
 #include <cstdio>
@@ -54,10 +67,12 @@
 #include <string>
 #include <vector>
 
+#include "core/durable_io.h"
 #include "core/text.h"
 #include "dynfo/engine.h"
 #include "dynfo/journal.h"
 #include "dynfo/loader.h"
+#include "dynfo/recovery.h"
 #include "fo/parser.h"
 #include "relational/request.h"
 #include "relational/serialize.h"
@@ -65,6 +80,7 @@
 namespace {
 
 using dynfo::dyn::Engine;
+using dynfo::dyn::GuardedEngine;
 using dynfo::dyn::JournalWriter;
 using dynfo::relational::Element;
 using dynfo::relational::Request;
@@ -111,16 +127,30 @@ bool ParseElements(const std::vector<std::string>& words, size_t start,
   return true;
 }
 
+/// The shell's mutable state: either a bare Engine (optionally with a
+/// legacy journal) or a GuardedEngine owning the durable store. `engine`
+/// always points at the live engine either way.
+struct Session {
+  Engine* engine = nullptr;
+  JournalWriter* journal = nullptr;
+  GuardedEngine* guarded = nullptr;  ///< non-null in --durable-dir mode
+  dynfo::dyn::ApplyGovernance governance;
+
+  bool durable() const { return guarded != nullptr; }
+};
+
 /// Validates a request against the input vocabulary, journals it (when a
 /// journal is attached), then applies it under the session's governance
-/// (deadline / memory budget flags). A malformed, rejected, or governed-out
-/// request is reported via Status instead of CHECK-crashing the shell; a
-/// request that fails before or during Apply leaves the engine untouched
-/// (though an already-journaled record of a timed-out request stays — the
-/// journal is an intent log, replay re-attempts it without the deadline).
-dynfo::core::Status ApplyValidated(Engine* engine, JournalWriter* journal,
-                                   const dynfo::dyn::ApplyGovernance& governance,
-                                   const Request& request) {
+/// (deadline / memory budget flags). In durable mode the GuardedEngine does
+/// all of that itself (validate, fsynced append, governed apply,
+/// checkpoint-on-rotation). A malformed, rejected, or governed-out request
+/// is reported via Status instead of CHECK-crashing the shell; a request
+/// that fails before or during Apply leaves the engine untouched (though an
+/// already-journaled record of a timed-out request stays — the journal is
+/// an intent log, replay re-attempts it without the deadline).
+dynfo::core::Status ApplyValidated(Session* session, const Request& request) {
+  if (session->durable()) return session->guarded->Apply(request);
+  Engine* engine = session->engine;
   dynfo::core::Status valid = dynfo::relational::ValidateRequest(
       *engine->program().input_vocabulary(), engine->universe_size(), request);
   if (valid.ok() && engine->program().semi_dynamic() &&
@@ -129,19 +159,18 @@ dynfo::core::Status ApplyValidated(Engine* engine, JournalWriter* journal,
                                        "' is semi-dynamic: deletes are not supported");
   }
   if (!valid.ok()) return valid;
-  if (journal != nullptr) {
-    dynfo::core::Status logged = journal->Append(request);
+  if (session->journal != nullptr) {
+    dynfo::core::Status logged = session->journal->Append(request);
     if (!logged.ok()) {
       return dynfo::core::Status::Error("journal append failed: " +
                                         std::string(logged.message()));
     }
   }
-  return engine->TryApply(request, governance);
+  return engine->TryApply(request, session->governance);
 }
 
-int Run(Engine* engine, JournalWriter* journal,
-        const dynfo::dyn::ApplyGovernance& governance, std::istream& in,
-        bool interactive) {
+int Run(Session* session, std::istream& in, bool interactive) {
+  Engine* engine = session->engine;
   auto program = engine->program().data_vocabulary();
   dynfo::fo::ParserEnvironment formulas(program);
   std::string line;
@@ -167,8 +196,7 @@ int Run(Engine* engine, JournalWriter* journal,
           for (Element e : elements) t = t.Append(e);
           Request request = command == "ins" ? Request::Insert(words[1], t)
                                              : Request::Delete(words[1], t);
-          dynfo::core::Status applied =
-              ApplyValidated(engine, journal, governance, request);
+          dynfo::core::Status applied = ApplyValidated(session, request);
           if (applied.ok()) {
             std::printf("ok: %s\n", request.ToString().c_str());
           } else {
@@ -180,8 +208,8 @@ int Run(Engine* engine, JournalWriter* journal,
     } else if (command == "set") {
       std::vector<Element> elements;
       if (words.size() == 3 && ParseElements(words, 2, &elements)) {
-        dynfo::core::Status applied = ApplyValidated(
-            engine, journal, governance, Request::SetConstant(words[1], elements[0]));
+        dynfo::core::Status applied =
+            ApplyValidated(session, Request::SetConstant(words[1], elements[0]));
         if (applied.ok()) {
           std::printf("ok: set(%s, %u)\n", words[1].c_str(), elements[0]);
         } else {
@@ -226,19 +254,36 @@ int Run(Engine* engine, JournalWriter* journal,
                   static_cast<unsigned long long>(stats.delta_applications),
                   static_cast<unsigned long long>(stats.tuples_inserted),
                   static_cast<unsigned long long>(stats.tuples_erased));
+      if (session->durable()) {
+        const dynfo::dyn::DurableStore::Counters& c =
+            session->guarded->durable_store()->counters();
+        std::printf(
+            "durable: appends=%llu fsyncs=%llu checkpoints=%llu full=%llu "
+            "rotated=%llu collected=%llu\n",
+            static_cast<unsigned long long>(c.appends),
+            static_cast<unsigned long long>(c.fsyncs),
+            static_cast<unsigned long long>(c.checkpoints),
+            static_cast<unsigned long long>(c.full_snapshots),
+            static_cast<unsigned long long>(c.segments_rotated),
+            static_cast<unsigned long long>(c.files_collected));
+      }
     } else if (command == "dump") {
       std::printf("%s", engine->data().ToString().c_str());
     } else if (command == "save" && words.size() == 2) {
-      std::ofstream out(words[1]);
-      if (!out) {
-        std::printf("error: cannot write %s\n", words[1].c_str());
+      dynfo::core::Status written = dynfo::core::AtomicWriteFile(
+          words[1], dynfo::relational::WriteStructure(engine->data()));
+      if (!written.ok()) {
+        std::printf("error: %s\n", written.ToString().c_str());
       } else {
-        out << dynfo::relational::WriteStructure(engine->data());
         std::printf("saved to %s\n", words[1].c_str());
       }
     } else if (command == "load" && words.size() == 2) {
       std::ifstream file(words[1]);
-      if (!file) {
+      if (session->durable()) {
+        std::printf(
+            "error: load would desynchronize the durable store; use a fresh "
+            "--durable-dir instead\n");
+      } else if (!file) {
         std::printf("error: cannot read %s\n", words[1].c_str());
       } else {
         std::stringstream buffer;
@@ -258,17 +303,21 @@ int Run(Engine* engine, JournalWriter* journal,
         }
       }
     } else if (command == "snapshot" && words.size() == 2) {
-      std::ofstream out(words[1], std::ios::binary);
-      if (!out) {
-        std::printf("error: cannot write %s\n", words[1].c_str());
+      dynfo::core::Status written =
+          dynfo::core::AtomicWriteFile(words[1], engine->Snapshot());
+      if (!written.ok()) {
+        std::printf("error: %s\n", written.ToString().c_str());
       } else {
-        out << engine->Snapshot();
         std::printf("snapshot written to %s (step %llu)\n", words[1].c_str(),
                     static_cast<unsigned long long>(engine->stats().requests));
       }
     } else if (command == "restore" && words.size() == 2) {
       std::ifstream file(words[1], std::ios::binary);
-      if (!file) {
+      if (session->durable()) {
+        std::printf(
+            "error: restore would desynchronize the durable store; use a "
+            "fresh --durable-dir instead\n");
+      } else if (!file) {
         std::printf("error: cannot read %s\n", words[1].c_str());
       } else {
         std::stringstream buffer;
@@ -279,11 +328,24 @@ int Run(Engine* engine, JournalWriter* journal,
         } else {
           std::printf("restored %s (step %llu)\n", words[1].c_str(),
                       static_cast<unsigned long long>(engine->stats().requests));
-          if (journal != nullptr) {
+          if (session->journal != nullptr) {
             std::printf(
                 "note: the journal's sequence no longer matches the restored "
                 "step counter; start a fresh journal for crash recovery\n");
           }
+        }
+      }
+    } else if (command == "compact") {
+      if (!session->durable()) {
+        std::printf("error: compact needs --durable-dir\n");
+      } else {
+        dynfo::core::Status compacted = session->guarded->Compact();
+        if (!compacted.ok()) {
+          std::printf("error: %s\n", compacted.ToString().c_str());
+          if (!interactive) return ExitCodeFor(compacted.code());
+        } else {
+          std::printf("compacted at step %llu\n",
+                      static_cast<unsigned long long>(engine->stats().requests));
         }
       }
     } else {
@@ -299,6 +361,8 @@ int Run(Engine* engine, JournalWriter* journal,
 int main(int argc, char** argv) {
   std::string restore_path;
   std::string journal_path;
+  std::string durable_dir;
+  uint64_t checkpoint_interval = 0;  // 0 = DurableStoreOptions default
   dynfo::dyn::ApplyGovernance governance;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -307,6 +371,15 @@ int main(int argc, char** argv) {
       restore_path = arg.substr(10);
     } else if (arg.rfind("--journal=", 0) == 0) {
       journal_path = arg.substr(10);
+    } else if (arg.rfind("--durable-dir=", 0) == 0) {
+      durable_dir = arg.substr(14);
+    } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
+      if (!dynfo::core::ParseU64(arg.substr(22), &checkpoint_interval) ||
+          checkpoint_interval == 0) {
+        std::fprintf(stderr, "error: bad --checkpoint-interval value '%s'\n",
+                     arg.substr(22).c_str());
+        return 2;
+      }
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       uint64_t millis = 0;
       if (!dynfo::core::ParseU64(arg.substr(14), &millis) || millis == 0) {
@@ -332,9 +405,21 @@ int main(int argc, char** argv) {
   }
   if (positional.size() < 2 || positional.size() > 3) {
     std::fprintf(stderr,
-                 "usage: %s [--restore=FILE] [--journal=FILE] [--deadline-ms=N] "
-                 "[--max-memory-mb=N] <program.dynfo> <universe-size> [script]\n",
+                 "usage: %s [--restore=FILE] [--journal=FILE] "
+                 "[--durable-dir=DIR] [--checkpoint-interval=N] "
+                 "[--deadline-ms=N] [--max-memory-mb=N] "
+                 "<program.dynfo> <universe-size> [script]\n",
                  argv[0]);
+    return 2;
+  }
+  if (!durable_dir.empty() && (!restore_path.empty() || !journal_path.empty())) {
+    std::fprintf(stderr,
+                 "error: --durable-dir is mutually exclusive with "
+                 "--restore/--journal (the store revives the session itself)\n");
+    return 2;
+  }
+  if (checkpoint_interval != 0 && durable_dir.empty()) {
+    std::fprintf(stderr, "error: --checkpoint-interval needs --durable-dir\n");
     return 2;
   }
   std::ifstream spec(positional[0]);
@@ -356,9 +441,50 @@ int main(int argc, char** argv) {
     return 2;
   }
   size_t n = static_cast<size_t>(parsed_n);
-  Engine engine(program.value(), n);
-  std::printf("loaded program '%s' (universe %zu)\n",
-              program.value()->name().c_str(), n);
+  std::optional<Engine> engine;
+  std::optional<GuardedEngine> guarded;
+  Session session;
+  session.governance = governance;
+
+  if (!durable_dir.empty()) {
+    dynfo::dyn::GuardedEngineOptions options;
+    options.check_every = 0;  // no oracle/invariant: the wrapper only journals
+    options.governance.governance = governance;
+    guarded.emplace(program.value(), n, /*oracle=*/nullptr,
+                    /*invariant=*/nullptr, options);
+    dynfo::dyn::DurabilityOptions durability;
+    if (checkpoint_interval != 0) {
+      durability.store.records_per_segment = checkpoint_interval;
+    }
+    const bool revived = dynfo::dyn::DurableStore::Exists(durable_dir);
+    dynfo::core::Status attached =
+        guarded->AttachDurability(durable_dir, durability);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "error attaching durable store %s: %s\n",
+                   durable_dir.c_str(), attached.ToString().c_str());
+      int code = ExitCodeFor(attached.code());
+      return code == 0 ? 2 : code;
+    }
+    session.guarded = &*guarded;
+    session.engine = guarded->mutable_engine();
+    std::printf("loaded program '%s' (universe %zu)\n",
+                program.value()->name().c_str(), n);
+    if (revived) {
+      std::printf(
+          "durable store %s: revived at step %llu (%llu record(s) replayed)\n",
+          durable_dir.c_str(),
+          static_cast<unsigned long long>(session.engine->stats().requests),
+          static_cast<unsigned long long>(
+              guarded->recovery_stats().replayed_on_recovery));
+    } else {
+      std::printf("durable store %s: initialized\n", durable_dir.c_str());
+    }
+  } else {
+    engine.emplace(program.value(), n);
+    session.engine = &*engine;
+    std::printf("loaded program '%s' (universe %zu)\n",
+                program.value()->name().c_str(), n);
+  }
 
   if (!restore_path.empty()) {
     std::ifstream file(restore_path, std::ios::binary);
@@ -368,14 +494,14 @@ int main(int argc, char** argv) {
     }
     std::stringstream snapshot;
     snapshot << file.rdbuf();
-    dynfo::core::Status status = engine.Restore(snapshot.str());
+    dynfo::core::Status status = engine->Restore(snapshot.str());
     if (!status.ok()) {
       std::fprintf(stderr, "error restoring %s: %s\n", restore_path.c_str(),
                    status.message().c_str());
       return 2;
     }
     std::printf("restored snapshot %s (step %llu)\n", restore_path.c_str(),
-                static_cast<unsigned long long>(engine.stats().requests));
+                static_cast<unsigned long long>(engine->stats().requests));
   }
 
   std::optional<JournalWriter> journal;
@@ -389,7 +515,7 @@ int main(int argc, char** argv) {
     }
     journal.emplace(std::move(opened).value());
     const dynfo::relational::RequestSequence& recovered = journal->recovered();
-    const uint64_t steps = engine.stats().requests;
+    const uint64_t steps = engine->stats().requests;
     if (steps > recovered.size()) {
       std::fprintf(stderr,
                    "error: snapshot is at step %llu but journal %s holds only "
@@ -402,13 +528,13 @@ int main(int argc, char** argv) {
       std::printf("journal %s: dropped a torn final record\n", journal_path.c_str());
     }
     for (size_t i = static_cast<size_t>(steps); i < recovered.size(); ++i) {
-      engine.Apply(recovered[i]);
+      engine->Apply(recovered[i]);
     }
     std::printf("journal %s: replayed %zu of %zu recovered record(s)\n",
                 journal_path.c_str(), recovered.size() - static_cast<size_t>(steps),
                 recovered.size());
   }
-  JournalWriter* journal_ptr = journal.has_value() ? &*journal : nullptr;
+  session.journal = journal.has_value() ? &*journal : nullptr;
 
   if (positional.size() == 3) {
     std::ifstream script(positional[2]);
@@ -416,7 +542,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot open %s\n", positional[2].c_str());
       return 2;
     }
-    return Run(&engine, journal_ptr, governance, script, /*interactive=*/false);
+    return Run(&session, script, /*interactive=*/false);
   }
-  return Run(&engine, journal_ptr, governance, std::cin, /*interactive=*/true);
+  return Run(&session, std::cin, /*interactive=*/true);
 }
