@@ -62,10 +62,92 @@ Engine::Engine(std::shared_ptr<const DynProgram> program, size_t universe_size,
     fo::EvalContext ctx(data_, {}, eval_options());
     data_.relation(rule.target) = EvalRuleFull(rule, ctx, options_.eval_mode);
   }
+  backend_conversions_ += data_.ConfigureBackends(backend_policy());
   PrecompileProgram();
 }
 
+relational::BackendPolicy Engine::backend_policy() const {
+  if (options_.eval_mode != EvalMode::kAlgebra || !options_.use_dense_relations) {
+    return relational::BackendPolicy::kHashOnly;
+  }
+  return options_.force_dense_backend ? relational::BackendPolicy::kForceDense
+                                      : relational::BackendPolicy::kAuto;
+}
+
+void Engine::ReapplyBackend(int relation_index) {
+  if (data_.relation(relation_index).ConfigureBackend(backend_policy(),
+                                                      data_.universe_size())) {
+    ++backend_conversions_;
+  }
+}
+
+void Engine::BuildDenseBundles() {
+  dense_rules_.clear();
+  dense_memo_.Clear();
+  dense_query_ = nullptr;
+  dense_query_bit_ = -1;
+  if (backend_policy() == relational::BackendPolicy::kHashOnly ||
+      !options_.use_compiled_plans) {
+    return;
+  }
+  // Stack-array bound in TryDenseApply; no real program comes close.
+  constexpr size_t kMaxDenseRules = 16;
+  const relational::Vocabulary& vocab = data_.vocabulary();
+  for (const auto& [key, rules] : program_->rules()) {
+    DenseRuleBundle bundle;
+    bundle.eligible =
+        rules.lets.empty() && !rules.updates.empty() &&
+        rules.updates.size() <= kMaxDenseRules;
+    std::set<int> views;
+    for (const UpdateRule& rule : rules.updates) {
+      if (!bundle.eligible) break;
+      DenseRuleEntry entry;
+      entry.target_index = vocab.RelationIndex(rule.target);
+      entry.arity = static_cast<int>(rule.tuple_variables.size());
+      // Duplicate tuple variables would need a diagonal restriction after
+      // the kernel; the legacy path handles them instead.
+      if (entry.target_index < 0 ||
+          entry.arity > relational::DenseSet::kMaxDenseArity ||
+          HasDuplicates(rule.tuple_variables)) {
+        bundle.eligible = false;
+        break;
+      }
+      entry.program = fo::LowerToDense(rule.formula, rule.tuple_variables, vocab);
+      if (entry.program == nullptr) {
+        bundle.eligible = false;
+        break;
+      }
+      views.insert(entry.program->view_relations.begin(),
+                   entry.program->view_relations.end());
+      bundle.entries.push_back(std::move(entry));
+    }
+    if (!bundle.eligible) bundle.entries.clear();
+    bundle.view_inputs.assign(views.begin(), views.end());
+    // Mirror plumbing, precomputed to mirror TryApply's tail exactly.
+    if (key.first == relational::RequestKind::kSetConstant) {
+      bundle.mirror_constant = vocab.ConstantIndex(key.second);
+    } else {
+      bool shadowed = false;
+      for (const UpdateRule& rule : rules.updates) {
+        if (rule.target == key.second) shadowed = true;
+      }
+      if (!shadowed) bundle.mirror_relation = vocab.RelationIndex(key.second);
+    }
+    dense_rules_.emplace(&rules, std::move(bundle));
+  }
+  if (program_->bool_query() != nullptr) {
+    dense_query_ = fo::LowerToDense(program_->bool_query(), {}, vocab);
+    if (dense_query_ != nullptr &&
+        dense_query_->root->kind == fo::DenseOpKind::kAtom &&
+        dense_query_->root->relation_arity == 0 &&
+        dense_query_->root->args.empty()) {
+      dense_query_bit_ = dense_query_->root->relation_index;
+    }
+  }
+}
+
 void Engine::PrecompileProgram() {
+  BuildDenseBundles();
   if (options_.eval_mode != EvalMode::kAlgebra || !options_.use_compiled_plans) return;
   fo::EvalContext ctx(data_, {}, eval_options());
   auto precompile = [&](const fo::FormulaPtr& formula) {
@@ -221,6 +303,119 @@ void Engine::Apply(const relational::Request& request) {
   DYNFO_CHECK(status.ok()) << status.ToString();
 }
 
+Engine::DenseApplyOutcome Engine::TryDenseApply(
+    const relational::Request& request, const core::ExecGovernor* governor) {
+  DenseLookupMemo::Entry& memo =
+      dense_memo_.by_kind[static_cast<int>(request.kind)];
+  if (memo.bundle == nullptr || memo.target != request.target) {
+    const RequestRules* rules = program_->RulesFor(request.kind, request.target);
+    if (rules == nullptr) return DenseApplyOutcome::kIneligible;
+    const auto found = dense_rules_.find(rules);
+    if (found == dense_rules_.end()) return DenseApplyOutcome::kIneligible;
+    memo.target = request.target;
+    memo.bundle = &found->second;
+  }
+  const DenseRuleBundle& bundle = *memo.bundle;
+  if (!bundle.eligible) return DenseApplyOutcome::kIneligible;
+  // Per-request conditions: every target currently dense-backed with no
+  // live indexes (a whole-plane rewrite would drop them), every
+  // slot-probed input dense-backed. Any miss falls back to the legacy
+  // path, which is always correct.
+  for (const DenseRuleEntry& entry : bundle.entries) {
+    const relational::Relation& target = data_.relation(entry.target_index);
+    if (target.backend() != relational::RelationBackend::kDense ||
+        target.num_indexes() != 0) {
+      return DenseApplyOutcome::kIneligible;
+    }
+  }
+  for (int index : bundle.view_inputs) {
+    if (data_.relation(index).backend() != relational::RelationBackend::kDense) {
+      return DenseApplyOutcome::kIneligible;
+    }
+  }
+  // Committed to the kernel path. Fold overlays so every slot-probed input
+  // answers from its bit planes (deterministic: depends only on state).
+  for (int index : bundle.view_inputs) data_.relation(index).PrepareDenseView();
+
+  relational::Element params[relational::Tuple::kMaxArity] = {0, 0, 0, 0};
+  int num_params = 0;
+  if (request.kind == relational::RequestKind::kSetConstant) {
+    params[num_params++] = request.value;
+  } else {
+    for (int i = 0; i < request.tuple.size(); ++i) {
+      params[num_params++] = request.tuple[i];
+    }
+  }
+  fo::DenseExecContext ctx;
+  ctx.structure = &data_;
+  ctx.params = params;
+  ctx.num_params = num_params;
+  ctx.governor = governor;
+  ctx.stats = algebra_.live_stats();
+  ctx.parallel = {options_.num_threads, options_.parallel_grain, governor};
+
+  // Evaluate-then-commit: every program reads the old planes and writes an
+  // exec-local result (synchronous semantics), so a governor stop aborts
+  // with nothing mutated.
+  constexpr size_t kMaxDenseRules = 16;  // enforced by BuildDenseBundles
+  fo::DenseResult results[kMaxDenseRules];
+  for (size_t i = 0; i < bundle.entries.size(); ++i) {
+    if (!fo::ExecuteDenseProgram(*bundle.entries[i].program, ctx, &results[i])) {
+      return DenseApplyOutcome::kAborted;
+    }
+  }
+
+  // Commit: whole-plane rewrites, then the usual input mirror; re-run the
+  // cost model on everything touched (the commit-boundary contract).
+  const size_t n = data_.universe_size();
+  uint64_t written = 0;
+  for (size_t i = 0; i < bundle.entries.size(); ++i) {
+    const DenseRuleEntry& entry = bundle.entries[i];
+    relational::Relation& target = data_.relation(entry.target_index);
+    uint64_t* words = target.BeginDenseRewrite(n)->mutable_words();
+    if (entry.arity == 0) {
+      if (results[i].bit) words[0] = 1;
+    } else {
+      std::copy(results[i].words.begin(), results[i].words.end(), words);
+    }
+    target.FinishDenseRewrite();
+    written += target.size();
+  }
+  switch (request.kind) {
+    case relational::RequestKind::kInsert:
+    case relational::RequestKind::kDelete: {
+      if (bundle.mirror_relation < 0) break;
+      relational::Relation& rel = data_.relation(bundle.mirror_relation);
+      DYNFO_CHECK(rel.arity() == request.tuple.size());
+      if (request.kind == relational::RequestKind::kInsert) {
+        if (rel.Insert(request.tuple)) ++stats_.tuples_inserted;
+      } else {
+        if (rel.Erase(request.tuple)) ++stats_.tuples_erased;
+      }
+      // Arity <= 1 wants dense under every non-hash policy regardless of
+      // size (see Relation::WantsDense), and this path only runs on dense
+      // relations under such a policy — the cost model can only flip an
+      // arity-2 plane, so skip the guaranteed no-ops on the hot path.
+      if (rel.arity() == 2) ReapplyBackend(bundle.mirror_relation);
+      break;
+    }
+    case relational::RequestKind::kSetConstant:
+      if (bundle.mirror_constant >= 0) {
+        data_.set_constant(bundle.mirror_constant, request.value);
+      }
+      break;
+  }
+  for (const DenseRuleEntry& entry : bundle.entries) {
+    if (entry.arity == 2) ReapplyBackend(entry.target_index);
+  }
+
+  ++stats_.requests;
+  ++stats_.dense_applies;
+  stats_.relations_recomputed += bundle.entries.size();
+  stats_.tuples_written += written;
+  return DenseApplyOutcome::kApplied;
+}
+
 ExecTier Engine::ConfiguredTier() const {
   if (options_.eval_mode == EvalMode::kNaive) return ExecTier::kNaive;
   if (options_.use_compiled_plans && options_.use_indexes) {
@@ -256,6 +451,23 @@ core::Status Engine::TryApply(const relational::Request& request,
   DYNFO_CHECK(!(program_->semi_dynamic() &&
                 request.kind == relational::RequestKind::kDelete))
       << program_->name() << " is semi-dynamic (Dyn_s): deletes are not supported";
+
+  // Dense whole-request fast path, ungoverned form: checked before any
+  // governance scaffolding or clocks — the kernels answer small-universe
+  // requests in well under the cost of a steady_clock read. `report`
+  // callers fall through (the legacy path owns report bookkeeping), as do
+  // tier-pinned requests (the ladder's tiers are the hash evaluators).
+  if (!governance.active() && report == nullptr && !tier.has_value() &&
+      !dense_rules_.empty()) {
+    switch (TryDenseApply(request, nullptr)) {
+      case DenseApplyOutcome::kApplied:
+        return core::Status();
+      case DenseApplyOutcome::kAborted:
+        DYNFO_UNREACHABLE();  // no governor attached
+      case DenseApplyOutcome::kIneligible:
+        break;
+    }
+  }
 
   // Governance setup. An inactive governance keeps `governor` null so every
   // poll below is one pointer compare — the ungoverned hot path is the
@@ -318,6 +530,21 @@ core::Status Engine::TryApply(const relational::Request& request,
       case ExecTier::kStartOver:  // the rebuild itself happens above us
         mode = EvalMode::kNaive;
         use_delta = false;
+        break;
+    }
+  }
+
+  // Governed (or report-carrying) dense path: the same kernels with the
+  // governor polled at op and chunk boundaries. An abort mutates nothing.
+  if (!tier.has_value() && !dense_rules_.empty()) {
+    switch (TryDenseApply(request, governor)) {
+      case DenseApplyOutcome::kApplied:
+        fill_report();
+        return core::Status();
+      case DenseApplyOutcome::kAborted:
+        fill_report();
+        return governor_storage.status();
+      case DenseApplyOutcome::kIneligible:
         break;
     }
   }
@@ -634,6 +861,7 @@ core::Status Engine::TryApply(const relational::Request& request,
 
   // Mirror the raw input change into a same-named data symbol unless the
   // program redefined it explicitly.
+  int mirror_index = -1;
   switch (request.kind) {
     case relational::RequestKind::kInsert:
     case relational::RequestKind::kDelete: {
@@ -647,6 +875,7 @@ core::Status Engine::TryApply(const relational::Request& request,
       } else {
         if (rel.Erase(request.tuple)) ++stats_.tuples_erased;
       }
+      mirror_index = index;
       break;
     }
     case relational::RequestKind::kSetConstant: {
@@ -654,6 +883,22 @@ core::Status Engine::TryApply(const relational::Request& request,
       if (index >= 0) data_.set_constant(index, request.value);
       break;
     }
+  }
+
+  // Commit boundary: re-run the backend cost model on everything this
+  // request wrote, so backend choice is a deterministic function of the
+  // committed state (same options + same history => byte-identical
+  // snapshots, whichever paths the requests took).
+  if (backend_policy() != relational::BackendPolicy::kHashOnly) {
+    if (rules != nullptr) {
+      for (const UpdateRule& rule : rules->lets) {
+        ReapplyBackend(data_.vocabulary().RelationIndex(rule.target));
+      }
+    }
+    for (const Staged& s : staged) {
+      ReapplyBackend(data_.vocabulary().RelationIndex(s.rule->target));
+    }
+    if (mirror_index >= 0) ReapplyBackend(mirror_index);
   }
 
   stats_.commit_seconds += seconds_since(commit_start);
@@ -707,6 +952,11 @@ core::Status Engine::Restore(const std::string& snapshot) {
   }
   data_ = std::move(restored).value();
   stats_.requests = steps;
+  // Snapshots carry each relation's backend but not this engine's policy;
+  // stamp it. Inside the hysteresis band this converts nothing (the band
+  // test honors the serialized backend), so restoring a writer's snapshot
+  // under the writer's options reproduces its state byte-for-byte.
+  backend_conversions_ += data_.ConfigureBackends(backend_policy());
   // The restored structure carries no indexes and cached plans may have been
   // compiled against pre-restore state assumptions: drop the delta-plan map
   // and the plan cache, then recompile so the plans' indexes are registered
@@ -785,6 +1035,30 @@ core::Status Engine::RestoreDelta(const std::string& blob) {
 bool Engine::QueryBool(std::vector<relational::Element> params) const {
   const fo::FormulaPtr& query = program_->bool_query();
   DYNFO_CHECK(query != nullptr) << program_->name() << " has no boolean query";
+  // A nullary-atom query is a stored bit: read it off the plane directly —
+  // no kernel, no evaluator. Falls through when an overlay is pending.
+  if (dense_query_bit_ >= 0 && params.empty()) {
+    if (const relational::DenseSet* view =
+            data_.relation(dense_query_bit_).DenseBaseView()) {
+      return (view->words()[0] & uint64_t{1}) != 0;
+    }
+  }
+  // Dense route when the query lowered: a rank-0 kernel over the stored
+  // planes. Read-only (missing views degrade to per-tuple probes inside the
+  // executor), so it never perturbs state — queries stay "free".
+  if (dense_query_ != nullptr &&
+      params.size() <= static_cast<size_t>(relational::Tuple::kMaxArity)) {
+    relational::Element pbuf[relational::Tuple::kMaxArity] = {0, 0, 0, 0};
+    for (size_t i = 0; i < params.size(); ++i) pbuf[i] = params[i];
+    fo::DenseExecContext ctx;
+    ctx.structure = &data_;
+    ctx.params = pbuf;
+    ctx.num_params = static_cast<int>(params.size());
+    ctx.stats = algebra_.live_stats();
+    ctx.parallel = {options_.num_threads, options_.parallel_grain, nullptr};
+    fo::DenseResult result;
+    if (fo::ExecuteDenseProgram(*dense_query_, ctx, &result)) return result.bit;
+  }
   return QuerySentence(query, std::move(params));
 }
 

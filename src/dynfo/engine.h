@@ -35,6 +35,7 @@
 #include "dynfo/program.h"
 #include "fo/eval_algebra.h"
 #include "fo/eval_context.h"
+#include "fo/plan.h"
 #include "relational/request.h"
 #include "relational/structure.h"
 
@@ -125,6 +126,18 @@ struct EngineOptions {
   /// and let compiled atom joins probe them (relational/index.h). Only
   /// effective with use_compiled_plans.
   bool use_indexes = true;
+  /// Let eligible stored relations (arity <= 2) use the packed-bitmap
+  /// backend, chosen per relation by a density cost model at commit
+  /// boundaries, and answer whole requests through lowered word-parallel
+  /// kernels when every update rule of the request class lowers
+  /// (DESIGN.md §13). Off by default: the hash backend stays the reference;
+  /// the CLI and benchmarks opt in. Only meaningful in kAlgebra mode with
+  /// compiled plans.
+  bool use_dense_relations = false;
+  /// With use_dense_relations, pin every representable relation to the
+  /// dense backend instead of consulting the cost model (CLI
+  /// --backend=dense; conversion-churn tests).
+  bool force_dense_backend = false;
 };
 
 /// Runs one DynProgram at one universe size. Apply/Query must be called from
@@ -157,6 +170,12 @@ class Engine {
     uint64_t fallback_recomputes = 0;
     /// Requests whose update rules were evaluated concurrently.
     uint64_t parallel_update_batches = 0;
+    /// Requests answered entirely by the dense kernel fast path: every
+    /// update rule executed as word-parallel bitmap kernels and committed
+    /// as a whole-plane rewrite. The path skips the wall-clock timers
+    /// (chrono reads would dominate its sub-microsecond budget), so these
+    /// requests contribute nothing to *_seconds.
+    uint64_t dense_applies = 0;
     /// Summed wall time of individual update-rule evaluations (thread-seconds).
     double rule_eval_seconds = 0;
     /// Elapsed wall time of the update-evaluation phases across requests.
@@ -235,9 +254,21 @@ class Engine {
   void ResetStats() { stats_ = Stats(); }
 
   /// Counters from the shared formula evaluator: operator counts, plan-cache
-  /// hit rate, index probes/builds. See fo/eval_stats.h.
-  fo::EvalStats eval_stats() const { return algebra_.stats(); }
-  void ResetEvalStats() { algebra_.ResetStats(); }
+  /// hit rate, index probes/builds, dense kernel work. See fo/eval_stats.h.
+  /// backend_conversions is engine-owned (conversions happen at commit
+  /// boundaries, outside any evaluator call) and folded in here.
+  fo::EvalStats eval_stats() const {
+    fo::EvalStats stats = algebra_.stats();
+    stats.backend_conversions += backend_conversions_;
+    return stats;
+  }
+  void ResetEvalStats() {
+    algebra_.ResetStats();
+    backend_conversions_ = 0;
+  }
+
+  /// The per-relation backend policy this engine's options induce.
+  relational::BackendPolicy backend_policy() const;
   size_t plan_cache_size() const { return algebra_.plan_cache_size(); }
 
   /// Serializes the full engine state — the data structure (auxiliary
@@ -296,9 +327,67 @@ class Engine {
     std::shared_ptr<const fo::DeltaProgram> removals;
   };
 
+  /// One update rule lowered to a dense kernel program; part of a bundle.
+  struct DenseRuleEntry {
+    int target_index = -1;  ///< data-vocabulary index of the rule's target
+    int arity = 0;
+    fo::DenseProgramPtr program;
+  };
+  /// A request class's update rules lowered as a unit. Eligible only when
+  /// the class has no lets, every update rule lowers, and every target is
+  /// dense-representable — the remaining per-request conditions (targets
+  /// currently dense-backed, no live indexes) are checked at Apply time.
+  struct DenseRuleBundle {
+    bool eligible = false;
+    std::vector<DenseRuleEntry> entries;
+    std::vector<int> view_inputs;  ///< relations probed with slot arguments
+    int mirror_relation = -1;      ///< same-named input mirror, -1 if shadowed
+    int mirror_constant = -1;      ///< constant index for kSetConstant
+  };
+  /// One-entry-per-request-kind memo for TryDenseApply's lookup chain
+  /// (target name → rules → bundle): workloads hammer the same few request
+  /// classes, so the two map walks almost always resolve to the previous
+  /// answer. Pointers alias this engine's program_/dense_rules_, so copies
+  /// reset to empty (the copied-from maps are not ours) and
+  /// BuildDenseBundles invalidates.
+  struct DenseLookupMemo {
+    DenseLookupMemo() = default;
+    DenseLookupMemo(const DenseLookupMemo&) {}
+    DenseLookupMemo& operator=(const DenseLookupMemo&) {
+      Clear();
+      return *this;
+    }
+    struct Entry {
+      std::string target;
+      const DenseRuleBundle* bundle = nullptr;  ///< null = memo slot empty
+    };
+    Entry by_kind[3];  ///< indexed by RequestKind
+    void Clear() {
+      for (Entry& entry : by_kind) entry = Entry();
+    }
+  };
+
   relational::Relation EvalRuleFull(const UpdateRule& rule, const fo::EvalContext& ctx,
                                     EvalMode mode) const;
   const DeltaPlan& PlanFor(const UpdateRule& rule);
+
+  /// Lowers every request class's update rules to dense bundles (and the
+  /// boolean query); no-op unless the dense gates are on.
+  void BuildDenseBundles();
+
+  enum class DenseApplyOutcome {
+    kIneligible,  ///< conditions not met; caller runs the legacy path
+    kApplied,     ///< committed (stats updated); caller returns OK
+    kAborted,     ///< governor stopped mid-kernel; nothing was mutated
+  };
+  /// The whole-request dense kernel path: executes every lowered update rule
+  /// into exec-local planes, then commits them as whole-plane rewrites.
+  DenseApplyOutcome TryDenseApply(const relational::Request& request,
+                                  const core::ExecGovernor* governor);
+
+  /// Re-runs the backend cost model on one relation after a commit-point
+  /// mutation, accumulating conversions into the engine's counter.
+  void ReapplyBackend(int relation_index);
 
   /// Compiles every formula the program can execute (delta keeps/additions,
   /// full rules, lets, queries) and registers the plans' indexes on `data_`,
@@ -318,6 +407,20 @@ class Engine {
   relational::Structure data_;
   fo::AlgebraEvaluator algebra_;
   std::map<const UpdateRule*, DeltaPlan> plans_;
+  /// Dense bundles keyed by the program's RequestRules objects (stable for
+  /// the program's lifetime; invalidated wherever plans_ is).
+  std::map<const RequestRules*, DenseRuleBundle> dense_rules_;
+  DenseLookupMemo dense_memo_;
+  fo::DenseProgramPtr dense_query_;  ///< bool_query lowered to rank 0
+  /// When the lowered bool query is a single slot-free nullary atom (PARITY's
+  /// `b`), the relation index whose stored bit IS the answer; -1 otherwise.
+  /// QueryBool then reads the bit plane directly instead of launching a
+  /// kernel for one bit.
+  int dense_query_bit_ = -1;
+  /// Backend conversions decided by this engine at commit boundaries.
+  /// Engine-owned rather than summed from relations: relation copies (CoW
+  /// staging, rollback) would double- or under-count per-value counters.
+  uint64_t backend_conversions_ = 0;
   Stats stats_;
 };
 

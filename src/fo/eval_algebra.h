@@ -100,6 +100,11 @@ class AlgebraEvaluator {
   Stats stats() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
 
+  /// The live atomic counters, for executors that run outside this
+  /// evaluator's call tree but account into the same budget (the engine's
+  /// dense kernel path).
+  AtomicEvalStats* live_stats() const { return &stats_; }
+
  private:
   /// Legacy per-call evaluation (re-plans conjunctions every time); the
   /// use_compiled_plans=false path, and the recursion entry for all Sat*

@@ -33,6 +33,10 @@ struct EvalStats {
   uint64_t indexed_joins = 0;  ///< atom joins served by a persistent index
   uint64_t index_probes = 0;   ///< per-row index lookups
   uint64_t index_builds = 0;   ///< lazy (re)constructions of an index
+  // Dense bit-parallel layer.
+  uint64_t dense_kernel_launches = 0;  ///< lowered-program executions
+  uint64_t words_scanned = 0;          ///< 64-bit words touched by kernels
+  uint64_t backend_conversions = 0;    ///< hash<->dense rebuilds (engine-filled)
 
   double PlanCacheHitRate() const {
     const uint64_t total = plan_cache_hits + plan_cache_misses;
@@ -56,6 +60,9 @@ struct AtomicEvalStats {
   std::atomic<uint64_t> indexed_joins{0};
   std::atomic<uint64_t> index_probes{0};
   std::atomic<uint64_t> index_builds{0};
+  std::atomic<uint64_t> dense_kernel_launches{0};
+  std::atomic<uint64_t> words_scanned{0};
+  std::atomic<uint64_t> backend_conversions{0};
 
   AtomicEvalStats() = default;
   // Copying snapshots the counters (keeps AlgebraEvaluator — and Engine —
@@ -82,6 +89,11 @@ struct AtomicEvalStats {
     out.indexed_joins = indexed_joins.load(std::memory_order_relaxed);
     out.index_probes = index_probes.load(std::memory_order_relaxed);
     out.index_builds = index_builds.load(std::memory_order_relaxed);
+    out.dense_kernel_launches =
+        dense_kernel_launches.load(std::memory_order_relaxed);
+    out.words_scanned = words_scanned.load(std::memory_order_relaxed);
+    out.backend_conversions =
+        backend_conversions.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -99,6 +111,11 @@ struct AtomicEvalStats {
     indexed_joins.store(snapshot.indexed_joins, std::memory_order_relaxed);
     index_probes.store(snapshot.index_probes, std::memory_order_relaxed);
     index_builds.store(snapshot.index_builds, std::memory_order_relaxed);
+    dense_kernel_launches.store(snapshot.dense_kernel_launches,
+                                std::memory_order_relaxed);
+    words_scanned.store(snapshot.words_scanned, std::memory_order_relaxed);
+    backend_conversions.store(snapshot.backend_conversions,
+                              std::memory_order_relaxed);
   }
 
   void Reset() { Store(EvalStats()); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "core/check.h"
 
@@ -573,6 +574,172 @@ void RegisterDeltaProgramIndexes(const DeltaProgram& program,
   if (built && stats != nullptr) {
     stats->index_builds.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Dense kernel lowering (see plan.h). The lowerer walks the formula with a
+// slot *stack*: the free slots first, quantified variables pushed on top (so
+// the quantified variable is always the highest slot, which is what the
+// row-wise reductions in plan_exec.cc expect). Any refusal makes the whole
+// lowering fail — there are no partially dense programs.
+
+namespace {
+
+class DenseLowerer {
+ public:
+  explicit DenseLowerer(const relational::Vocabulary& vocabulary)
+      : vocabulary_(vocabulary) {}
+
+  DenseOpPtr Lower(const Formula& f, std::vector<std::string>* slots) {
+    const int rank = static_cast<int>(slots->size());
+    if (rank > 2) return nullptr;
+    auto op = std::make_shared<DenseOp>();
+    op->rank = rank;
+    switch (f.kind()) {
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+        op->kind = DenseOpKind::kConst;
+        op->const_value = f.kind() == FormulaKind::kTrue;
+        return op;
+      case FormulaKind::kAtom: {
+        op->kind = DenseOpKind::kAtom;
+        op->relation_index = vocabulary_.RelationIndex(f.relation());
+        if (op->relation_index < 0) return nullptr;
+        op->relation_arity = vocabulary_.relation(op->relation_index).arity;
+        bool has_slot_arg = false;
+        for (const Term& arg : f.args()) {
+          std::optional<DenseTerm> lowered = LowerTerm(arg, *slots);
+          if (!lowered.has_value()) return nullptr;
+          has_slot_arg |= lowered->kind == DenseTerm::Kind::kSlot;
+          op->args.push_back(*lowered);
+        }
+        if (has_slot_arg) {
+          // Slot-dependent atoms read packed words, so the relation must be
+          // dense-representable; ground-only atoms stay scalar probes and
+          // work against any backend and arity.
+          if (op->relation_arity > relational::DenseSet::kMaxDenseArity) {
+            return nullptr;
+          }
+          view_relations_.push_back(op->relation_index);
+        }
+        return op;
+      }
+      case FormulaKind::kEq:
+      case FormulaKind::kLe:
+      case FormulaKind::kBit: {
+        op->kind = DenseOpKind::kNumeric;
+        op->numeric_kind = f.kind();
+        std::optional<DenseTerm> left = LowerTerm(f.left(), *slots);
+        std::optional<DenseTerm> right = LowerTerm(f.right(), *slots);
+        if (!left.has_value() || !right.has_value()) return nullptr;
+        op->left = *left;
+        op->right = *right;
+        return op;
+      }
+      case FormulaKind::kNot: {
+        op->kind = DenseOpKind::kNot;
+        DenseOpPtr child = Lower(*f.children()[0], slots);
+        if (child == nullptr) return nullptr;
+        op->children.push_back(std::move(child));
+        return op;
+      }
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        op->kind = f.kind() == FormulaKind::kAnd ? DenseOpKind::kAnd
+                                                 : DenseOpKind::kOr;
+        for (const FormulaPtr& child_formula : f.children()) {
+          DenseOpPtr child = Lower(*child_formula, slots);
+          if (child == nullptr) return nullptr;
+          op->children.push_back(std::move(child));
+        }
+        return op;
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        op->kind = f.kind() == FormulaKind::kExists ? DenseOpKind::kExists
+                                                    : DenseOpKind::kForall;
+        op->quantified = static_cast<int>(f.variables().size());
+        if (rank + op->quantified > 2) return nullptr;
+        for (const std::string& v : f.variables()) slots->push_back(v);
+        DenseOpPtr child = Lower(*f.children()[0], slots);
+        slots->resize(static_cast<size_t>(rank));
+        if (child == nullptr) return nullptr;
+        op->children.push_back(std::move(child));
+        return op;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<int> TakeViewRelations() {
+    std::sort(view_relations_.begin(), view_relations_.end());
+    view_relations_.erase(
+        std::unique(view_relations_.begin(), view_relations_.end()),
+        view_relations_.end());
+    return std::move(view_relations_);
+  }
+
+ private:
+  std::optional<DenseTerm> LowerTerm(const Term& term,
+                                     const std::vector<std::string>& slots) {
+    DenseTerm out;
+    switch (term.kind()) {
+      case TermKind::kVariable: {
+        // Innermost binding wins, mirroring Env shadowing.
+        for (int i = static_cast<int>(slots.size()) - 1; i >= 0; --i) {
+          if (slots[static_cast<size_t>(i)] == term.name()) {
+            out.kind = DenseTerm::Kind::kSlot;
+            out.index = i;
+            return out;
+          }
+        }
+        return std::nullopt;
+      }
+      case TermKind::kConstantSymbol: {
+        const int index = vocabulary_.ConstantIndex(term.name());
+        if (index < 0) return std::nullopt;
+        out.kind = DenseTerm::Kind::kConstant;
+        out.index = index;
+        return out;
+      }
+      case TermKind::kParameter:
+        out.kind = DenseTerm::Kind::kParam;
+        out.index = term.index();
+        return out;
+      case TermKind::kMin:
+        out.kind = DenseTerm::Kind::kLiteral;
+        out.value = 0;
+        return out;
+      case TermKind::kMax:
+        out.kind = DenseTerm::Kind::kMax;
+        return out;
+      case TermKind::kNumber:
+        out.kind = DenseTerm::Kind::kLiteral;
+        out.value = term.value();
+        return out;
+    }
+    return std::nullopt;
+  }
+
+  const relational::Vocabulary& vocabulary_;
+  std::vector<int> view_relations_;
+};
+
+}  // namespace
+
+DenseProgramPtr LowerToDense(const FormulaPtr& formula,
+                             const std::vector<std::string>& slots,
+                             const relational::Vocabulary& vocabulary) {
+  if (formula == nullptr || slots.size() > 2) return nullptr;
+  DenseLowerer lowerer(vocabulary);
+  std::vector<std::string> scope = slots;
+  DenseOpPtr root = lowerer.Lower(*formula, &scope);
+  if (root == nullptr) return nullptr;
+  auto program = std::make_shared<DenseProgram>();
+  program->rank = static_cast<int>(slots.size());
+  program->root = std::move(root);
+  program->view_relations = lowerer.TakeViewRelations();
+  return program;
 }
 
 }  // namespace dynfo::fo

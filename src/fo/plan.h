@@ -291,6 +291,103 @@ void RegisterDeltaProgramIndexes(const DeltaProgram& program,
                                  const relational::Structure& structure,
                                  AtomicEvalStats* stats = nullptr);
 
+// ---------------------------------------------------------------------------
+// Dense bit-parallel kernel lowering.
+//
+// A second, lower compilation tier below the operator-tree plans: formulas
+// whose variables fit in at most two "slots" lower to a DenseProgram whose
+// execution works on whole 64-bit words of packed DenseSet bitmaps (AND /
+// ANDNOT / OR / complement-with-tail-mask + popcount reductions) instead of
+// interpreting operator trees row by row. Slot 0 indexes bitmap rows, slot 1
+// bitmap columns; a rank-0 value is a single bit, rank 1 a bit vector over
+// the universe, rank 2 an n-row plane. Quantifiers push their variables as
+// the highest slots and reduce them with row-wise any/all. Lowering is total
+// or refused: LowerToDense returns null whenever any subformula would need
+// more than two slots or a slot-dependent atom over a relation wider than
+// DenseSet::kMaxDenseArity, and the caller falls back to the plan executor.
+
+/// A term pre-resolved at lowering time: exec resolves kParam against the
+/// request tuple, kConstant against the structure's constant table (by index,
+/// so kSetConstant updates are honored), kMax against n-1.
+struct DenseTerm {
+  enum class Kind : uint8_t { kSlot, kParam, kConstant, kLiteral, kMax };
+  Kind kind = Kind::kLiteral;
+  int index = 0;                  ///< slot / parameter / constant index
+  relational::Element value = 0;  ///< kLiteral
+};
+
+enum class DenseOpKind {
+  kConst,    ///< true / false
+  kAtom,     ///< R(t1..tk); ground-only atoms stay scalar Contains probes
+  kNumeric,  ///< =, <=, BIT lowered to masks (BIT per-bit)
+  kNot,      ///< complement + tail mask
+  kAnd,      ///< word-wise AND fold
+  kOr,       ///< word-wise OR fold
+  kExists,   ///< reduce the highest slot(s) by row-any
+  kForall,   ///< reduce the highest slot(s) by row-all
+};
+
+struct DenseOp;
+using DenseOpPtr = std::shared_ptr<const DenseOp>;
+
+struct DenseOp {
+  DenseOpKind kind = DenseOpKind::kConst;
+  int rank = 0;  ///< slots in scope at this node (0..2)
+  bool const_value = false;
+  int relation_index = -1;  ///< kAtom
+  int relation_arity = 0;
+  std::vector<DenseTerm> args;  ///< kAtom arguments
+  FormulaKind numeric_kind = FormulaKind::kEq;
+  DenseTerm left, right;  ///< kNumeric
+  int quantified = 0;     ///< kExists / kForall: slots reduced
+  std::vector<DenseOpPtr> children;
+};
+
+/// A lowered formula plus the inputs its kernels read word-wise.
+struct DenseProgram {
+  int rank = 0;  ///< output rank == number of free slots
+  DenseOpPtr root;
+  /// Relations referenced with slot arguments: execution reads their packed
+  /// words, so the engine must hold a DenseBaseView for each (ground-only
+  /// atom relations are probed through Relation::Contains and may stay hash).
+  std::vector<int> view_relations;
+};
+using DenseProgramPtr = std::shared_ptr<const DenseProgram>;
+
+/// Lowers `formula`, whose free variables are exactly `slots` (in slot
+/// order), against the vocabulary. Returns null when the formula does not
+/// fit the dense tier (see file comment above).
+DenseProgramPtr LowerToDense(const FormulaPtr& formula,
+                             const std::vector<std::string>& slots,
+                             const relational::Vocabulary& vocabulary);
+
+/// Everything dense execution needs; no Env, no heap beyond rank>=1 scratch.
+struct DenseExecContext {
+  const relational::Structure* structure = nullptr;
+  const relational::Element* params = nullptr;  ///< request tuple components
+  int num_params = 0;
+  const core::ExecGovernor* governor = nullptr;  ///< polled strided; nullable
+  AtomicEvalStats* stats = nullptr;              ///< nullable
+  /// Word loops above `parallel.grain` words chunk through the global pool;
+  /// the attached governor is polled at every chunk claim.
+  core::ParallelOptions parallel;
+};
+
+/// A dense value: rank 0 is `bit`; rank 1 `words` holds ceil(n/64) words;
+/// rank 2 holds n rows of ceil(n/64) words. Tail bits are always zero.
+struct DenseResult {
+  int rank = 0;
+  bool bit = false;
+  std::vector<uint64_t> words;
+};
+
+/// Executes a lowered program. Returns false when the governor stopped the
+/// run mid-kernel (out is unspecified then); nothing observable is mutated
+/// either way. Missing DenseBaseViews degrade to per-bit Contains probes, so
+/// results are correct for any backend mix.
+bool ExecuteDenseProgram(const DenseProgram& program,
+                         const DenseExecContext& ctx, DenseResult* out);
+
 }  // namespace dynfo::fo
 
 #endif  // DYNFO_FO_PLAN_H_

@@ -1,0 +1,27 @@
+#include "relational/dense_set.h"
+
+#include <bit>
+
+namespace dynfo::relational {
+
+void DenseSet::RecountSize() {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  size_ = total;
+}
+
+bool DenseSet::CheckTailBitsZero() const {
+  const uint64_t mask = tail_mask();
+  if (mask == ~uint64_t{0}) return true;
+  if (arity_ <= 1) {
+    return (words_.back() & ~mask) == 0;
+  }
+  for (size_t row = 0; row < universe_; ++row) {
+    if ((words_[row * words_per_row_ + words_per_row_ - 1] & ~mask) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dynfo::relational

@@ -1,0 +1,245 @@
+/// \file dense_set.h
+/// Packed-bitmap storage for low-arity relations over {0..n-1}.
+///
+/// Dyn-FO is the paper's *parallel* class (FO = CRAM[1] = AC^0); the hardware
+/// analogue of a bounded-depth parallel circuit is word-level bit-parallelism.
+/// DenseSet stores a relation of arity 0, 1, or 2 over universe {0..n-1} as a
+/// packed array of uint64_t words:
+///
+///   * arity 0 — one word, bit 0 is the proposition;
+///   * arity 1 — ceil(n/64) words, element e lives at word e/64, bit e%64;
+///   * arity 2 — n row-major planes of ceil(n/64) words each: tuple (a, b)
+///     lives at word a*words_per_row + b/64, bit b%64.
+///
+/// Membership, insertion, and deletion are single word ops; cardinality is a
+/// popcount sweep; iteration is a ctz scan. Word-parallel kernels (fo/plan
+/// lowering) operate on the words() span directly.
+///
+/// Invariant: bits outside the valid range (the tail of the last word of each
+/// row, for universes not divisible by 64) are always zero. Kernels rely on
+/// this to make whole-word AND/OR/NOT + popcount exact; writers through
+/// mutable_words() must preserve it (see CheckTailBitsZero).
+
+#ifndef DYNFO_RELATIONAL_DENSE_SET_H_
+#define DYNFO_RELATIONAL_DENSE_SET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/check.h"
+#include "relational/tuple.h"
+
+namespace dynfo::relational {
+
+/// A dense bitmap set of tuples with arity <= 2 over universe {0..n-1}.
+/// Value-semantic; copy is a word-array copy.
+class DenseSet {
+ public:
+  /// Largest arity a DenseSet can store.
+  static constexpr int kMaxDenseArity = 2;
+
+  /// Words needed per row (arity 2) or per vector (arity <= 1).
+  static size_t WordsPerRowFor(int arity, size_t universe) {
+    DYNFO_CHECK(arity >= 0 && arity <= kMaxDenseArity);
+    DYNFO_CHECK(universe > 0);
+    return arity == 0 ? 1 : (universe + 63) / 64;
+  }
+
+  /// Total word count for a given shape.
+  static size_t WordsFor(int arity, size_t universe) {
+    const size_t per_row = WordsPerRowFor(arity, universe);
+    return arity == 2 ? universe * per_row : per_row;
+  }
+
+  DenseSet(int arity, size_t universe)
+      : arity_(arity),
+        universe_(universe),
+        words_per_row_(WordsPerRowFor(arity, universe)),
+        size_(0),
+        words_(WordsFor(arity, universe), 0) {}
+
+  int arity() const { return arity_; }
+  size_t universe() const { return universe_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t num_words() const { return words_.size(); }
+  size_t words_per_row() const { return words_per_row_; }
+
+  /// Valid-bit mask for the last word of a row (all-ones when the universe is
+  /// a multiple of 64, and for the arity-0 proposition word bit 0 only).
+  uint64_t tail_mask() const {
+    if (arity_ == 0) return uint64_t{1};
+    const size_t rem = universe_ % 64;
+    return rem == 0 ? ~uint64_t{0} : ((uint64_t{1} << rem) - 1);
+  }
+
+  const uint64_t* words() const { return words_.data(); }
+
+  /// Raw write access for deserialization and kernels. The caller must keep
+  /// tail bits zero and call RecountSize() before the set is read again.
+  uint64_t* mutable_words() { return words_.data(); }
+
+  /// Recomputes the cached cardinality from the words (popcount sweep).
+  void RecountSize();
+
+  /// True when every invalid (tail) bit is zero. Used to validate words
+  /// arriving from deserialization.
+  bool CheckTailBitsZero() const;
+
+  bool Contains(const Tuple& t) const {
+    const size_t w = WordIndex(t);
+    return (words_[w] >> BitIndex(t)) & uint64_t{1};
+  }
+
+  /// Inserts `t`; returns true when it was newly added.
+  bool Insert(const Tuple& t) {
+    const size_t w = WordIndex(t);
+    const uint64_t mask = uint64_t{1} << BitIndex(t);
+    if ((words_[w] & mask) != 0) return false;
+    words_[w] |= mask;
+    ++size_;
+    return true;
+  }
+
+  /// Erases `t`; returns true when it was present.
+  bool Erase(const Tuple& t) {
+    const size_t w = WordIndex(t);
+    const uint64_t mask = uint64_t{1} << BitIndex(t);
+    if ((words_[w] & mask) == 0) return false;
+    words_[w] &= ~mask;
+    --size_;
+    return true;
+  }
+
+  void Clear() {
+    std::fill(words_.begin(), words_.end(), uint64_t{0});
+    size_ = 0;
+  }
+
+  /// Start of the word plane for row `a` (arity 2 only).
+  const uint64_t* row(Element a) const {
+    DYNFO_CHECK(arity_ == 2 && a < universe_);
+    return words_.data() + static_cast<size_t>(a) * words_per_row_;
+  }
+
+  /// Forward iteration in lexicographic tuple order via ctz scan.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Tuple;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Tuple*;
+    using reference = const Tuple&;
+
+    const_iterator() : set_(nullptr), word_(0), bits_(0) {}
+
+    const_iterator(const DenseSet* set, bool at_end) : set_(set) {
+      if (at_end) {
+        word_ = set->words_.size();
+        bits_ = 0;
+      } else {
+        // Settle() advances to word 0 first (unsigned wraparound).
+        word_ = static_cast<size_t>(-1);
+        bits_ = 0;
+        Settle();
+      }
+    }
+
+    reference operator*() const { return current_; }
+    pointer operator->() const { return &current_; }
+
+    const_iterator& operator++() {
+      bits_ &= bits_ - 1;  // consume lowest set bit
+      Settle();
+      return *this;
+    }
+
+    const_iterator operator++(int) {
+      const_iterator out = *this;
+      ++*this;
+      return out;
+    }
+
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.word_ == b.word_ && a.bits_ == b.bits_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    void Settle() {
+      while (bits_ == 0) {
+        ++word_;
+        if (word_ >= set_->words_.size()) {
+          word_ = set_->words_.size();
+          return;
+        }
+        bits_ = set_->words_[word_];
+      }
+      const Element bit = static_cast<Element>(std::countr_zero(bits_));
+      switch (set_->arity_) {
+        case 0:
+          current_ = Tuple{};
+          break;
+        case 1:
+          current_ = Tuple{static_cast<Element>(word_ * 64 + bit)};
+          break;
+        default: {
+          const size_t per_row = set_->words_per_row_;
+          current_ = Tuple{static_cast<Element>(word_ / per_row),
+                           static_cast<Element>((word_ % per_row) * 64 + bit)};
+          break;
+        }
+      }
+    }
+
+    const DenseSet* set_;
+    size_t word_;    // word currently being scanned; words_.size() at end
+    uint64_t bits_;  // unconsumed bits of words_[word_]
+    Tuple current_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, /*at_end=*/false); }
+  const_iterator end() const { return const_iterator(this, /*at_end=*/true); }
+
+  bool operator==(const DenseSet& other) const {
+    return arity_ == other.arity_ && universe_ == other.universe_ &&
+           words_ == other.words_;
+  }
+  bool operator!=(const DenseSet& other) const { return !(*this == other); }
+
+ private:
+  size_t WordIndex(const Tuple& t) const {
+    DYNFO_CHECK(t.size() == arity_) << "tuple arity mismatch";
+    switch (arity_) {
+      case 0:
+        return 0;
+      case 1:
+        DYNFO_CHECK(t[0] < universe_) << "element outside dense universe";
+        return static_cast<size_t>(t[0]) / 64;
+      default:
+        DYNFO_CHECK(t[0] < universe_ && t[1] < universe_)
+            << "element outside dense universe";
+        return static_cast<size_t>(t[0]) * words_per_row_ +
+               static_cast<size_t>(t[1]) / 64;
+    }
+  }
+
+  unsigned BitIndex(const Tuple& t) const {
+    return arity_ == 0 ? 0u
+                       : static_cast<unsigned>(t[arity_ - 1] % 64);
+  }
+
+  int arity_;
+  size_t universe_;
+  size_t words_per_row_;
+  size_t size_;  // cached popcount of words_
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace dynfo::relational
+
+#endif  // DYNFO_RELATIONAL_DENSE_SET_H_

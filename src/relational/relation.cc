@@ -3,6 +3,116 @@
 #include <algorithm>
 
 namespace dynfo::relational {
+namespace {
+
+/// Cost-model constants. Arity <= 1 bitmaps cost n/8 bytes — effectively
+/// free — so any representable universe goes dense under kAuto. Arity-2
+/// planes cost n^2/8 bytes, so they are capped, always dense for tiny
+/// universes, and otherwise density-gated with hysteresis (enter at 1/64
+/// occupancy, leave below 1/256) so churn around the threshold does not
+/// thrash O(n^2/64) conversions.
+constexpr size_t kMaxDenseVectorUniverse = size_t{1} << 22;  // 512 KiB bitmap
+constexpr size_t kMaxDensePlaneUniverse = 8192;              // 8 MiB plane
+constexpr size_t kAlwaysDensePairUniverse = 64;
+constexpr size_t kDenseEnterDivisor = 64;
+constexpr size_t kDenseExitDivisor = 256;
+
+}  // namespace
+
+bool Relation::WantsDense() const {
+  if (universe_ == 0 || arity_ > DenseSet::kMaxDenseArity) return false;
+  switch (policy_) {
+    case BackendPolicy::kHashOnly:
+      return false;
+    case BackendPolicy::kForceDense:
+      return arity_ <= 1 ? universe_ <= kMaxDenseVectorUniverse
+                         : universe_ <= kMaxDensePlaneUniverse;
+    case BackendPolicy::kAuto:
+      break;
+  }
+  if (arity_ <= 1) return universe_ <= kMaxDenseVectorUniverse;
+  if (universe_ > kMaxDensePlaneUniverse) return false;
+  if (universe_ <= kAlwaysDensePairUniverse) return true;
+  const size_t cells = universe_ * universe_;
+  const size_t divisor =
+      dense_ != nullptr ? kDenseExitDivisor : kDenseEnterDivisor;
+  return size_ * divisor >= cells;
+}
+
+bool Relation::ReconsiderBackend() {
+  const bool want_dense = WantsDense();
+  if (want_dense == (dense_ != nullptr)) return false;
+  ConvertBackendInternal(want_dense);
+  return true;
+}
+
+void Relation::ForceBackend(RelationBackend backend, size_t universe) {
+  if (universe != 0) universe_ = universe;
+  const bool to_dense = backend == RelationBackend::kDense;
+  if (to_dense == (dense_ != nullptr)) return;
+  DYNFO_CHECK(!to_dense ||
+              (universe_ > 0 && arity_ <= DenseSet::kMaxDenseArity))
+      << "dense backend needs a known universe and arity <= 2";
+  ConvertBackendInternal(to_dense);
+}
+
+void Relation::ConvertBackendInternal(bool to_dense) {
+  if (to_dense) {
+    DYNFO_CHECK(universe_ > 0 && arity_ <= DenseSet::kMaxDenseArity);
+    auto rebuilt = std::make_shared<DenseSet>(arity_, universe_);
+    for (const Tuple& t : *this) rebuilt->Insert(t);
+    dense_ = std::move(rebuilt);
+    base_.reset();
+  } else {
+    auto rebuilt = std::make_shared<TupleSet>();
+    rebuilt->Reserve(size_);
+    for (const Tuple& t : *this) rebuilt->Insert(t);
+    base_ = std::move(rebuilt);
+    dense_.reset();
+  }
+  added_.Clear();
+  removed_.Clear();
+  ++conversions_;
+}
+
+const DenseSet* Relation::PrepareDenseView() {
+  if (dense_ == nullptr) return nullptr;
+  if (!added_.empty() || !removed_.empty()) {
+    if (dense_.use_count() > 1) {
+      auto folded = std::make_shared<DenseSet>(DenseContents());
+      dense_ = std::move(folded);
+      added_.Clear();
+      removed_.Clear();
+    } else {
+      FlattenOverlay();
+    }
+  }
+  return dense_.get();
+}
+
+DenseSet* Relation::BeginDenseRewrite(size_t universe) {
+  DYNFO_CHECK(universe > 0 && arity_ <= DenseSet::kMaxDenseArity);
+  universe_ = universe;
+  if (dense_ == nullptr || dense_.use_count() > 1 ||
+      dense_->universe() != universe) {
+    dense_ = std::make_shared<DenseSet>(arity_, universe);
+  } else {
+    dense_->Clear();
+  }
+  base_.reset();
+  added_.Clear();
+  removed_.Clear();
+  indexes_.clear();
+  return dense_.get();
+}
+
+DenseSet Relation::DenseContents() const {
+  DYNFO_CHECK(dense_ != nullptr);
+  DenseSet out = *dense_;
+  for (const Tuple& t : added_) out.Insert(t);
+  for (const Tuple& t : removed_) out.Erase(t);
+  return out;
+}
 
 const TupleIndex& Relation::EnsureIndex(const std::vector<int>& positions,
                                         bool* built_now) const {
@@ -62,7 +172,8 @@ void Relation::DiffFrom(const Relation& old, std::vector<Tuple>* added,
   DYNFO_CHECK(arity_ == old.arity_) << "diff across arities";
   const size_t added_start = added->size();
   const size_t removed_start = removed->size();
-  if (base_ != nullptr && base_ == old.base_) {
+  if ((base_ != nullptr && base_ == old.base_) ||
+      (dense_ != nullptr && dense_ == old.dense_)) {
     // Shared base: only overlay tuples can differ. Dedup candidates with a
     // scratch set so a tuple in both overlays is classified once.
     TupleSet candidates;

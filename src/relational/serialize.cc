@@ -7,13 +7,45 @@
 
 namespace dynfo::relational {
 
+namespace {
+
+/// Emits a dense bitmap page: the word array with zero runs run-length
+/// encoded as "z<count>" and live words as 16-digit hex. The overlay is
+/// folded by the caller, so page bytes are a pure function of the logical
+/// contents plus the backend flag — flattening never changes a snapshot.
+void WriteDensePage(std::ostringstream* out, const std::string& name,
+                    const DenseSet& set) {
+  *out << "dense " << name << " words=" << set.num_words();
+  const uint64_t* words = set.words();
+  const size_t count = set.num_words();
+  for (size_t i = 0; i < count;) {
+    if (words[i] == 0) {
+      size_t run = 1;
+      while (i + run < count && words[i + run] == 0) ++run;
+      *out << " z" << run;
+      i += run;
+    } else {
+      *out << " " << core::HexU64(words[i]);
+      ++i;
+    }
+  }
+  *out << "\n";
+}
+
+}  // namespace
+
 std::string WriteStructure(const Structure& structure) {
   std::ostringstream out;
   out << "structure n=" << structure.universe_size() << "\n";
   const Vocabulary& vocab = structure.vocabulary();
   for (int i = 0; i < vocab.num_relations(); ++i) {
     const std::string& name = vocab.relation(i).name;
-    for (const Tuple& t : structure.relation(i).SortedTuples()) {
+    const Relation& rel = structure.relation(i);
+    if (rel.backend() == RelationBackend::kDense) {
+      WriteDensePage(&out, name, rel.DenseContents());
+      continue;
+    }
+    for (const Tuple& t : rel.SortedTuples()) {
       out << "rel " << name;
       for (int p = 0; p < t.size(); ++p) out << " " << t[p];
       out << "\n";
@@ -110,6 +142,63 @@ core::Result<Structure> ReadStructure(const std::string& text,
       }
       if (HasTrailingTokens(&words)) return Err(line_number, name + " tuple too long");
       structure->relation(index).Insert(t);
+      continue;
+    }
+    if (keyword == "dense") {
+      std::string name;
+      if (!(words >> name)) return Err(line_number, "dense needs a relation name");
+      int index = vocabulary->RelationIndex(name);
+      if (index < 0) return Err(line_number, "unknown relation " + name);
+      const int arity = vocabulary->relation(index).arity;
+      if (arity > DenseSet::kMaxDenseArity) {
+        return Err(line_number, name + " has arity above the dense maximum");
+      }
+      Relation& rel = structure->relation(index);
+      if (rel.backend() == RelationBackend::kDense || !rel.empty()) {
+        return Err(line_number, "duplicate page for relation " + name);
+      }
+      const size_t n = structure->universe_size();
+      const size_t expected_words = DenseSet::WordsFor(arity, n);
+      std::string words_field;
+      if (!(words >> words_field) || words_field.rfind("words=", 0) != 0) {
+        return Err(line_number, "dense needs a words=<count> field");
+      }
+      uint64_t declared = 0;
+      if (!core::ParseU64(words_field.substr(6), &declared) ||
+          declared != expected_words) {
+        return Err(line_number, "dense word count does not match " + name +
+                                    "'s shape over this universe");
+      }
+      DenseSet* target = rel.BeginDenseRewrite(n);
+      uint64_t* page = target->mutable_words();
+      size_t filled = 0;
+      std::string token;
+      while (words >> token) {
+        if (token[0] == 'z') {
+          uint64_t run = 0;
+          if (!core::ParseU64(token.substr(1), &run) || run == 0 ||
+              run > expected_words - filled) {
+            return Err(line_number, "bad zero run in dense page");
+          }
+          filled += static_cast<size_t>(run);  // page starts zeroed
+          continue;
+        }
+        uint64_t value = 0;
+        if (token.size() != 16 || !core::ParseHexU64(token, &value) ||
+            filled >= expected_words) {
+          return Err(line_number, "bad word in dense page");
+        }
+        page[filled++] = value;
+      }
+      if (filled != expected_words) {
+        return Err(line_number, "dense page for " + name + " holds " +
+                                    std::to_string(filled) + " words, want " +
+                                    std::to_string(expected_words));
+      }
+      if (!target->CheckTailBitsZero()) {
+        return Err(line_number, "dense page sets bits outside the universe");
+      }
+      rel.FinishDenseRewrite();
       continue;
     }
     if (keyword == "const") {
@@ -219,6 +308,13 @@ std::string WriteStructureDelta(const Structure& base, const Structure& current)
     removed.clear();
     current.relation(i).DiffFrom(base.relation(i), &added, &removed);
     const std::string& name = vocab.relation(i).name;
+    if (current.relation(i).backend() != base.relation(i).backend()) {
+      out << "backend " << name << " "
+          << (current.relation(i).backend() == RelationBackend::kDense
+                  ? "dense"
+                  : "hash")
+          << "\n";
+    }
     for (const Tuple& t : added) {
       out << "add " << name;
       for (int p = 0; p < t.size(); ++p) out << " " << t[p];
@@ -308,6 +404,32 @@ core::Status ApplyStructureDelta(Structure* structure, const std::string& text) 
                                       "the wrong base)");
         }
       }
+      continue;
+    }
+    if (keyword == "backend") {
+      std::string name, which;
+      if (!(words >> name >> which) || (which != "dense" && which != "hash")) {
+        return Err(line_number, "backend needs <relation> dense|hash");
+      }
+      int index = vocab.RelationIndex(name);
+      if (index < 0) return Err(line_number, "unknown relation " + name);
+      if (HasTrailingTokens(&words)) {
+        return Err(line_number, "trailing tokens after backend");
+      }
+      const RelationBackend want = which == "dense" ? RelationBackend::kDense
+                                                    : RelationBackend::kHash;
+      Relation& rel = structure->relation(index);
+      if (rel.backend() == want) {
+        return Err(line_number, "delta sets " + name + " to its current " +
+                                    which +
+                                    " backend (delta applied to the wrong "
+                                    "base)");
+      }
+      if (want == RelationBackend::kDense &&
+          (rel.arity() > DenseSet::kMaxDenseArity)) {
+        return Err(line_number, name + " has arity above the dense maximum");
+      }
+      rel.ForceBackend(want, structure->universe_size());
       continue;
     }
     if (keyword == "const") {

@@ -43,6 +43,14 @@ void Structure::set_constant(const std::string& name, Element value) {
   set_constant(index, value);
 }
 
+size_t Structure::ConfigureBackends(BackendPolicy policy) {
+  size_t conversions = 0;
+  for (Relation& r : relations_) {
+    if (r.ConfigureBackend(policy, universe_size_)) ++conversions;
+  }
+  return conversions;
+}
+
 bool Structure::operator==(const Structure& other) const {
   if (universe_size_ != other.universe_size_) return false;
   if (relations_.size() != other.relations_.size()) return false;

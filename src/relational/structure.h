@@ -53,6 +53,11 @@ class Structure {
   void set_constant(int index, Element value);
   void set_constant(const std::string& name, Element value);
 
+  /// Stamps `policy` (with this structure's universe) on every relation,
+  /// converting backends where the cost model asks for it. Returns the
+  /// number of conversions performed.
+  size_t ConfigureBackends(BackendPolicy policy);
+
   /// Structures are equal iff same universe size and identical relation
   /// contents and constant values (vocabularies must be compatible).
   bool operator==(const Structure& other) const;

@@ -4,11 +4,16 @@
 /// dynamic query shell.
 ///
 /// Usage:
-///   dynfo_cli [--restore=FILE] [--journal=FILE] [--durable-dir=DIR]
-///             [--checkpoint-interval=N] [--deadline-ms=N] [--max-memory-mb=N]
-///             <program.dynfo> <universe-size> [script-file]
+///   dynfo_cli [--backend=MODE] [--restore=FILE] [--journal=FILE]
+///             [--durable-dir=DIR] [--checkpoint-interval=N] [--deadline-ms=N]
+///             [--max-memory-mb=N] <program.dynfo> <universe-size> [script-file]
 ///
 /// Flags:
+///   --backend=MODE     relation storage backend: `auto` (default; the
+///                      density cost model picks hash or packed-bitmap per
+///                      relation), `hash` (hash sets only), or `dense` (pin
+///                      every arity<=2 relation to bit planes). See
+///                      DESIGN.md §13; `stats` reports the live choice.
 ///   --restore=FILE     restore a checksummed snapshot (see `snapshot`) into
 ///                      the engine before reading commands
 ///   --journal=FILE     append every applied request to FILE (crash-
@@ -254,6 +259,20 @@ int Run(Session* session, std::istream& in, bool interactive) {
                   static_cast<unsigned long long>(stats.delta_applications),
                   static_cast<unsigned long long>(stats.tuples_inserted),
                   static_cast<unsigned long long>(stats.tuples_erased));
+      const dynfo::fo::EvalStats eval = engine->eval_stats();
+      std::printf("backend:");
+      for (int i = 0; i < program->num_relations(); ++i) {
+        const bool dense = engine->data().relation(i).backend() ==
+                           dynfo::relational::RelationBackend::kDense;
+        std::printf(" %s=%s", program->relation(i).name.c_str(),
+                    dense ? "dense" : "hash");
+      }
+      std::printf(
+          " conversions=%llu dense_applies=%llu kernels=%llu words=%llu\n",
+          static_cast<unsigned long long>(eval.backend_conversions),
+          static_cast<unsigned long long>(stats.dense_applies),
+          static_cast<unsigned long long>(eval.dense_kernel_launches),
+          static_cast<unsigned long long>(eval.words_scanned));
       if (session->durable()) {
         const dynfo::dyn::DurableStore::Counters& c =
             session->guarded->durable_store()->counters();
@@ -364,10 +383,29 @@ int main(int argc, char** argv) {
   std::string durable_dir;
   uint64_t checkpoint_interval = 0;  // 0 = DurableStoreOptions default
   dynfo::dyn::ApplyGovernance governance;
+  dynfo::dyn::EngineOptions engine_options;
+  engine_options.use_dense_relations = true;  // --backend=auto
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--restore=", 0) == 0) {
+    if (arg.rfind("--backend=", 0) == 0) {
+      const std::string mode = arg.substr(10);
+      if (mode == "auto") {
+        engine_options.use_dense_relations = true;
+        engine_options.force_dense_backend = false;
+      } else if (mode == "hash") {
+        engine_options.use_dense_relations = false;
+        engine_options.force_dense_backend = false;
+      } else if (mode == "dense") {
+        engine_options.use_dense_relations = true;
+        engine_options.force_dense_backend = true;
+      } else {
+        std::fprintf(stderr,
+                     "error: bad --backend value '%s' (want auto|hash|dense)\n",
+                     mode.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--restore=", 0) == 0) {
       restore_path = arg.substr(10);
     } else if (arg.rfind("--journal=", 0) == 0) {
       journal_path = arg.substr(10);
@@ -405,10 +443,11 @@ int main(int argc, char** argv) {
   }
   if (positional.size() < 2 || positional.size() > 3) {
     std::fprintf(stderr,
-                 "usage: %s [--restore=FILE] [--journal=FILE] "
-                 "[--durable-dir=DIR] [--checkpoint-interval=N] "
-                 "[--deadline-ms=N] [--max-memory-mb=N] "
-                 "<program.dynfo> <universe-size> [script]\n",
+                 "usage: %s [--backend=auto|hash|dense] [--restore=FILE] "
+                 "[--journal=FILE] [--durable-dir=DIR] "
+                 "[--checkpoint-interval=N] [--deadline-ms=N] "
+                 "[--max-memory-mb=N] <program.dynfo> <universe-size> "
+                 "[script]\n",
                  argv[0]);
     return 2;
   }
@@ -448,6 +487,7 @@ int main(int argc, char** argv) {
 
   if (!durable_dir.empty()) {
     dynfo::dyn::GuardedEngineOptions options;
+    options.engine_options = engine_options;
     options.check_every = 0;  // no oracle/invariant: the wrapper only journals
     options.governance.governance = governance;
     guarded.emplace(program.value(), n, /*oracle=*/nullptr,
@@ -480,7 +520,7 @@ int main(int argc, char** argv) {
       std::printf("durable store %s: initialized\n", durable_dir.c_str());
     }
   } else {
-    engine.emplace(program.value(), n);
+    engine.emplace(program.value(), n, engine_options);
     session.engine = &*engine;
     std::printf("loaded program '%s' (universe %zu)\n",
                 program.value()->name().c_str(), n);

@@ -21,6 +21,11 @@
 # is meaningless, so a debug-configured --build-dir is rejected outright and
 # aggregate_benches.py double-checks the library_build_type each binary
 # reports at run time.
+#
+# The dense-backend ablation (DESIGN.md §13) runs inside bench_evaluators:
+# the *Dense benchmark variants replay the identical workloads with
+# use_dense_relations on while their hash twins run it off, so the derived
+# dense-vs-hash speedups always compare the same binary and build flags.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -73,7 +78,11 @@ for bench in "${CORE_BENCHES[@]}"; do
     exit 1
   fi
   echo "== $bench"
+  # 3 repetitions, aggregates only: the gates and quoted numbers come from
+  # the per-benchmark *median*, so a single descheduled measurement window
+  # (common on shared hosts) cannot decide a pass/fail.
   "$bin" --benchmark_out="$TMP_DIR/$bench.json" --benchmark_out_format=json \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
     "${EXTRA_FLAGS[@]+"${EXTRA_FLAGS[@]}"}"
 done
 
