@@ -1,0 +1,182 @@
+/// \file bench_batch.cc
+/// Batched group-commit throughput (DESIGN.md §14): requests/second of a
+/// durable session replaying a fixed workload through
+/// GuardedEngine::ApplyBatch at batch sizes 1, 16, 256, 4096, 10000.
+///
+/// Batch-1 is fsync-bound: every request pays one group commit (one journal
+/// record + one fsync, milliseconds on a real disk). Growing the batch
+/// amortizes the commit across the whole group, so throughput rises until
+/// engine work dominates. The store lives on a real filesystem (TMPDIR or
+/// /tmp — NOT /dev/shm; a ram-backed fsync is free and would fake the
+/// amortization), with a segment size large enough that no checkpoint or
+/// rotation runs inside the timed region.
+///
+/// Counters, per benchmark:
+///   * batch_size                — the ApplyBatch group size;
+///   * fsyncs_per_request        — store fsyncs / requests applied. 1.0 at
+///                                 batch-1 by construction; CI gates
+///                                 <= 0.05 at batch >= 256;
+///   * journal_bytes_per_request — journal bytes / requests applied (batch
+///                                 records share one seq + checksum frame).
+///
+/// tools/aggregate_benches.py derives batch-256 / batch-1 items_per_second
+/// per program into BENCH_core.json's derived.batch block; CI gates the
+/// reach_u ratio >= 5x.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "core/durable_io.h"
+#include "dynfo/journal.h"
+#include "dynfo/recovery.h"
+#include "dynfo/workload.h"
+#include "programs/parity.h"
+#include "programs/reach_u.h"
+
+namespace dynfo {
+namespace {
+
+struct BatchCase {
+  std::string name;
+  std::function<std::shared_ptr<const dyn::DynProgram>()> program;
+  std::function<relational::RequestSequence(size_t)> workload;
+  size_t n;
+};
+
+std::string BenchTempDir(const std::string& name) {
+  const char* base = std::getenv("TMPDIR");
+  return std::string(base != nullptr ? base : "/tmp") + "/dynfo_bench_" + name;
+}
+
+void RemoveTree(const std::string& dir) {
+  core::Result<std::vector<std::string>> names = core::ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : names.value()) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+/// One durable session per benchmark; each timed iteration applies ONE
+/// batch of `state.range(0)` requests, cycling through the workload (the
+/// request mix repeats, which only re-treads already-converged state — the
+/// per-request engine cost stays representative). items_per_second is
+/// therefore requests/second at that batch size.
+void RunBatchReplay(benchmark::State& state, const BatchCase& bcase) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const relational::RequestSequence requests = bcase.workload(bcase.n);
+  DYNFO_CHECK(batch <= requests.size());
+  const std::string dir =
+      BenchTempDir("batch_" + bcase.name + "_" + std::to_string(batch));
+  RemoveTree(dir);
+
+  dyn::GuardedEngineOptions options;
+  options.check_every = 0;  // no oracle/invariant: measure the commit path
+  dyn::GuardedEngine session(bcase.program(), bcase.n, /*oracle=*/nullptr,
+                             /*invariant=*/nullptr, options);
+  dyn::DurabilityOptions durability;
+  // One giant segment: no rotation and no checkpoint inside the timed
+  // region, so the measurement isolates group commit vs per-request fsync.
+  durability.store.records_per_segment = uint64_t{1} << 30;
+  core::Status attached = session.AttachDurability(dir, durability);
+  DYNFO_CHECK(attached.ok()) << attached.ToString();
+
+  const dyn::DurableStore::Counters& counters =
+      session.durable_store()->counters();
+  const uint64_t fsyncs_before = counters.fsyncs;
+  const uint64_t bytes_before = counters.bytes_appended;
+
+  size_t offset = 0;
+  uint64_t applied = 0;
+  for (auto _ : state) {
+    if (offset + batch > requests.size()) offset = 0;
+    const std::span<const relational::Request> group(requests.data() + offset,
+                                                     batch);
+    dyn::BatchReport report;
+    core::Status status = session.ApplyBatch(group, &report);
+    DYNFO_CHECK(status.ok()) << status.ToString();
+    DYNFO_CHECK(report.applied == batch);
+    offset += batch;
+    applied += batch;
+  }
+
+  const double per_request = applied > 0 ? 1.0 / static_cast<double>(applied) : 0;
+  state.counters["batch_size"] = static_cast<double>(batch);
+  state.counters["fsyncs_per_request"] =
+      static_cast<double>(counters.fsyncs - fsyncs_before) * per_request;
+  state.counters["journal_bytes_per_request"] =
+      static_cast<double>(counters.bytes_appended - bytes_before) * per_request;
+  state.SetItemsProcessed(static_cast<int64_t>(applied));
+  RemoveTree(dir);
+}
+
+BatchCase ReachUCase() {
+  return {"reach_u",
+          [] { return programs::MakeReachUProgram(); },
+          [](size_t n) {
+            dyn::GraphWorkloadOptions options;
+            options.num_requests = 20000;
+            options.seed = 42;
+            options.undirected = true;
+            options.set_fraction = 0.05;
+            return dyn::MakeGraphWorkload(*programs::ReachUInputVocabulary(),
+                                          "E", n, options);
+          },
+          // n = 5 keeps the arity-3 PV maintenance small enough that
+          // batch-1 stays fsync-bound — the regime the group-commit gate
+          // (256-vs-1 >= 5x) is meant to measure. The amortization ceiling
+          // is (engine + fsync) / engine per request; at larger n the
+          // engine work dominates and the ratio measures the program, not
+          // the commit path (n = 8 already caps it below 5x on fast NVMe).
+          /*n=*/5};
+}
+
+BatchCase ParityCase() {
+  return {"parity",
+          [] { return programs::MakeParityProgram(); },
+          [](size_t n) {
+            dyn::GenericWorkloadOptions options;
+            options.num_requests = 20000;
+            options.seed = 42;
+            return dyn::MakeGenericWorkload(*programs::ParityInputVocabulary(),
+                                            n, options);
+          },
+          /*n=*/64};
+}
+
+void BM_BatchApplyReachU(benchmark::State& state) {
+  RunBatchReplay(state, ReachUCase());
+}
+BENCHMARK(BM_BatchApplyReachU)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(10000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchApplyParity(benchmark::State& state) {
+  RunBatchReplay(state, ParityCase());
+}
+BENCHMARK(BM_BatchApplyParity)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Arg(10000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dynfo

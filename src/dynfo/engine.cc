@@ -1,5 +1,6 @@
 #include "dynfo/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <set>
@@ -509,6 +510,143 @@ core::Status Engine::TryApply(const relational::Request& request,
     }
   }
 
+  core::Status status = ApplyCore(request, governor, tier);
+  fill_report();
+  return status;
+}
+
+void Engine::ApplyBatch(std::span<const relational::Request> requests) {
+  core::Status status = TryApplyBatch(requests);
+  DYNFO_CHECK(status.ok()) << status.ToString();
+}
+
+core::Status Engine::TryApplyBatch(std::span<const relational::Request> requests,
+                                   const ApplyGovernance& governance,
+                                   BatchReport* report) {
+  for (const relational::Request& request : requests) {
+    DYNFO_CHECK(!(program_->semi_dynamic() &&
+                  request.kind == relational::RequestKind::kDelete))
+        << program_->name()
+        << " is semi-dynamic (Dyn_s): deletes are not supported";
+  }
+
+  // One governor for the whole batch: the deadline, cancellation token, and
+  // resource budget cover every request in it, and the setup cost — the
+  // per-request constant a batch amortizes — is paid once.
+  const bool governed = governance.active();
+  core::ResourceBudget budget(governance.limits);
+  if (governance.fail_alloc_after_charges != 0) {
+    budget.FailAfterCharges(governance.fail_alloc_after_charges);
+  }
+  core::ExecGovernor governor_storage(
+      governance.deadline_ms == 0 ? core::Deadline::Infinite()
+                                  : core::Deadline::AfterMillis(governance.deadline_ms),
+      governance.cancel, &budget);
+  if (governance.trip_after_checks != 0) {
+    governor_storage.TripAtCheck(governance.trip_after_checks);
+  }
+  if (governance.stall_at_check != 0) {
+    governor_storage.StallAtCheck(governance.stall_at_check, governance.stall_ms);
+  }
+  const core::ExecGovernor* governor = governed ? &governor_storage : nullptr;
+
+  size_t applied = 0;
+  auto fill_report = [&] {
+    if (report == nullptr) return;
+    report->code = governed ? governor_storage.code() : core::StatusCode::kOk;
+    report->applied = applied;
+    report->governor_checks = governed ? governor_storage.checks() : 0;
+    report->tuples_charged = budget.tuples_charged();
+    report->bytes_charged = budget.bytes_charged();
+  };
+  auto fold_batch_stats = [&] {
+    if (applied == 0) return;
+    ++stats_.batches;
+    stats_.batch_requests += applied;
+  };
+
+  // One validation sweep up front: a malformed request anywhere in the
+  // batch rejects the WHOLE batch before any request applies, so a group
+  // commit never records a batch that was only partially acceptable.
+  if (governed) {
+    for (const relational::Request& request : requests) {
+      core::Status valid = relational::ValidateRequest(
+          *program_->input_vocabulary(), data_.universe_size(), request);
+      if (!valid.ok()) {
+        fill_report();
+        return valid;
+      }
+    }
+  }
+
+  // Sequential synchronous steps — the ONLY evaluation order that is
+  // bit-identical to per-request Apply in general, since request k+1's
+  // update formulas must read the structure as request k left it. Each
+  // request stays individually atomic (evaluate-then-commit), so a governor
+  // stop leaves the engine at the last fully-applied prefix.
+  for (const relational::Request& request : requests) {
+    core::Status status = ApplyCore(request, governor, std::nullopt);
+    if (!status.ok()) {
+      fold_batch_stats();
+      fill_report();
+      return status;
+    }
+    ++applied;
+  }
+  fold_batch_stats();
+  fill_report();
+  return core::Status();
+}
+
+relational::RequestSequence Engine::MaterializeDefinableChange(
+    const DefinableChange& change) const {
+  DYNFO_CHECK(change.mode != relational::RequestKind::kSetConstant)
+      << "definable changes insert or delete tuple sets";
+  const int index = program_->input_vocabulary()->RelationIndex(change.target);
+  DYNFO_CHECK(index >= 0) << "definable change targets unknown input relation "
+                          << change.target;
+  DYNFO_CHECK(program_->input_vocabulary()->relation(index).arity ==
+              static_cast<int>(change.tuple_variables.size()))
+      << "definable change arity mismatch for " << change.target;
+  DYNFO_CHECK(change.formula != nullptr) << "definable change without a formula";
+
+  // The change set, evaluated like an update rule's right-hand side: the
+  // configured evaluator compiles the formula through the plan cache (and
+  // probes persistent indexes) exactly as the per-request hot path does.
+  fo::EvalContext ctx(data_, {}, eval_options());
+  relational::Relation result =
+      options_.eval_mode == EvalMode::kNaive
+          ? fo::NaiveEvaluator::EvaluateAsRelation(change.formula,
+                                                   change.tuple_variables, ctx)
+          : algebra_.EvaluateAsRelation(change.formula, change.tuple_variables, ctx);
+
+  // Canonical order: sorted tuples, so the expansion — and therefore the
+  // journal and every downstream state — is identical whichever evaluator
+  // or backend materialized the set.
+  std::vector<relational::Tuple> tuples(result.begin(), result.end());
+  std::sort(tuples.begin(), tuples.end());
+  relational::RequestSequence out;
+  out.reserve(tuples.size());
+  for (const relational::Tuple& t : tuples) {
+    out.push_back(change.mode == relational::RequestKind::kInsert
+                      ? relational::Request::Insert(change.target, t)
+                      : relational::Request::Delete(change.target, t));
+  }
+  return out;
+}
+
+core::Status Engine::TryApplyDefinable(const DefinableChange& change,
+                                       const ApplyGovernance& governance,
+                                       BatchReport* report) {
+  const relational::RequestSequence requests = MaterializeDefinableChange(change);
+  return TryApplyBatch(requests, governance, report);
+}
+
+core::Status Engine::ApplyCore(const relational::Request& request,
+                               const core::ExecGovernor* governor,
+                               std::optional<ExecTier> tier) {
+  const bool governed = governor != nullptr;
+
   // Tier override: pin this request's evaluation mode and plan/index gates,
   // leaving the engine's configured options untouched.
   EvalMode mode = options_.eval_mode;
@@ -539,11 +677,9 @@ core::Status Engine::TryApply(const relational::Request& request,
   if (!tier.has_value() && !dense_rules_.empty()) {
     switch (TryDenseApply(request, governor)) {
       case DenseApplyOutcome::kApplied:
-        fill_report();
         return core::Status();
       case DenseApplyOutcome::kAborted:
-        fill_report();
-        return governor_storage.status();
+        return governor->status();
       case DenseApplyOutcome::kIneligible:
         break;
     }
@@ -609,7 +745,6 @@ core::Status Engine::TryApply(const relational::Request& request,
     for (auto it = let_rollback.rbegin(); it != let_rollback.rend(); ++it) {
       data_.relation(it->first) = std::move(it->second);
     }
-    fill_report();
     return status;
   };
 
@@ -648,8 +783,8 @@ core::Status Engine::TryApply(const relational::Request& request,
         lets_tuples_written += result.size();
         if (delta_configured) ++lets_fallbacks;
       }
-      if (governed && governor_storage.stopped()) {
-        return abort_with(governor_storage.status());
+      if (governed && governor->stopped()) {
+        return abort_with(governor->status());
       }
       const double elapsed = seconds_since(rule_start);
       let_seconds.emplace_back(rule.target, elapsed);
@@ -791,8 +926,8 @@ core::Status Engine::TryApply(const relational::Request& request,
 
   // The abort point: every result so far is staged (or rolled back below);
   // nothing past this line can fail, so commit is all-or-nothing.
-  if (governed && governor_storage.stopped()) {
-    return abort_with(governor_storage.status());
+  if (governed && governor->stopped()) {
+    return abort_with(governor->status());
   }
 
   // Work accounting happens after the join so counters never race, and
@@ -903,7 +1038,6 @@ core::Status Engine::TryApply(const relational::Request& request,
 
   stats_.commit_seconds += seconds_since(commit_start);
 
-  fill_report();
   return core::Status();
 }
 

@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,37 @@ struct ApplyReport {
   uint64_t bytes_charged = 0;
 };
 
+/// What a batched Apply observed. On a non-OK TryApplyBatch the engine
+/// holds exactly the first `applied` requests of the batch (the
+/// fully-applied prefix); the failing request and everything after it are
+/// untouched.
+struct BatchReport {
+  core::StatusCode code = core::StatusCode::kOk;
+  size_t applied = 0;  ///< length of the fully-applied prefix
+  uint64_t governor_checks = 0;
+  uint64_t tuples_charged = 0;
+  uint64_t bytes_charged = 0;
+};
+
+/// An FO-definable bulk change (Schwentick, Vortmeier & Zeume, "Dynamic
+/// Complexity under Definable Changes"): one synchronous step inserting or
+/// deleting the WHOLE definable tuple set { tuple_variables : formula }
+/// into/from an input relation, instead of a single tuple. The formula is
+/// evaluated against the engine's current data structure (auxiliary
+/// relations included), then the change set is expanded into a
+/// canonically-ordered sequence of single-tuple requests and fed through
+/// the batched Apply pipeline — the faithful simulation of a definable
+/// change by the paper's single-tuple model.
+struct DefinableChange {
+  /// kInsert or kDelete (kSetConstant has no definable form).
+  relational::RequestKind mode = relational::RequestKind::kInsert;
+  std::string target;  ///< input relation receiving the change set
+  /// Columns of the change set; the formula's free variables must be among
+  /// these, like an UpdateRule's.
+  std::vector<std::string> tuple_variables;
+  fo::FormulaPtr formula;  ///< selects the change set over the data structure
+};
+
 struct EngineOptions {
   EvalMode eval_mode = EvalMode::kAlgebra;
   /// Apply target-preserving rules as in-place diffs. Only honored in
@@ -170,6 +202,10 @@ class Engine {
     uint64_t fallback_recomputes = 0;
     /// Requests whose update rules were evaluated concurrently.
     uint64_t parallel_update_batches = 0;
+    /// ApplyBatch/TryApplyBatch calls that applied at least one request,
+    /// and the requests they applied (each also counted in `requests`).
+    uint64_t batches = 0;
+    uint64_t batch_requests = 0;
     /// Requests answered entirely by the dense kernel fast path: every
     /// update rule executed as word-parallel bitmap kernels and committed
     /// as a whole-plane rewrite. The path skips the wall-clock timers
@@ -219,6 +255,41 @@ class Engine {
                         const ApplyGovernance& governance = {},
                         std::optional<ExecTier> tier = std::nullopt,
                         ApplyReport* report = nullptr);
+
+  /// Applies a whole batch of requests as consecutive synchronous Dyn-FO
+  /// steps — bit-identical to calling Apply on each request in order (each
+  /// request sees its predecessors' effects) — while paying the batch-level
+  /// constants once: one governance/governor setup, one validation sweep,
+  /// and (through the recovery layer) one group-commit journal record and
+  /// one fsync. CHECK-fails on malformed requests; trusted-caller form of
+  /// TryApplyBatch with no governance.
+  void ApplyBatch(std::span<const relational::Request> requests);
+
+  /// Governed batched Apply. The governance budget (deadline, cancellation,
+  /// resource limits) covers the WHOLE batch under a single governor.
+  /// Abort contract (prefix atomicity): each request remains individually
+  /// atomic, so a mid-batch stop returns non-OK with the engine at the last
+  /// fully-applied prefix — `report->applied` says how long it is — and no
+  /// effect of the failing request. A validation failure rejects the whole
+  /// batch before anything applies. An empty batch is an OK no-op.
+  core::Status TryApplyBatch(std::span<const relational::Request> requests,
+                             const ApplyGovernance& governance = {},
+                             BatchReport* report = nullptr);
+
+  /// Materializes a definable change against the CURRENT data structure:
+  /// evaluates the formula through the configured evaluator (compiled plans
+  /// and indexes included) and expands the result into single-tuple
+  /// requests in canonical (sorted-tuple) order — deterministic across
+  /// every engine configuration. The result feeds TryApplyBatch (or the
+  /// recovery layer's batched pipeline). CHECK-fails if the target is not
+  /// an input relation of matching arity or the mode is kSetConstant.
+  relational::RequestSequence MaterializeDefinableChange(
+      const DefinableChange& change) const;
+
+  /// Materialize + TryApplyBatch in one synchronous step.
+  core::Status TryApplyDefinable(const DefinableChange& change,
+                                 const ApplyGovernance& governance = {},
+                                 BatchReport* report = nullptr);
 
   /// The tier this engine's configured options correspond to.
   ExecTier ConfiguredTier() const;
@@ -370,6 +441,16 @@ class Engine {
   relational::Relation EvalRuleFull(const UpdateRule& rule, const fo::EvalContext& ctx,
                                     EvalMode mode) const;
   const DeltaPlan& PlanFor(const UpdateRule& rule);
+
+  /// The per-request core shared by TryApply and TryApplyBatch: tier
+  /// resolution, the governed dense path, lets, staged evaluation, the
+  /// abort point, and the commit. `governor` null = the legacy ungoverned
+  /// path; non-null = governed under the CALLER's governor, which a batch
+  /// shares across all of its requests (one deadline/budget for the whole
+  /// batch). The caller owns request validation and report filling.
+  core::Status ApplyCore(const relational::Request& request,
+                         const core::ExecGovernor* governor,
+                         std::optional<ExecTier> tier);
 
   /// Lowers every request class's update rules to dense bundles (and the
   /// boolean query); no-op unless the dense gates are on.

@@ -20,9 +20,10 @@ using relational::RequestKind;
 using relational::Tuple;
 using relational::Vocabulary;
 
-std::string RecordBody(uint64_t seq, const Request& request) {
+/// "ins E 1 2" / "del E 1 2" / "set s 3" — the request part of a record
+/// body, shared by plain records and the sub-records of a batch line.
+std::string RequestBody(const Request& request) {
   std::ostringstream body;
-  body << seq << " ";
   switch (request.kind) {
     case RequestKind::kInsert:
       body << "ins " << request.target;
@@ -39,61 +40,21 @@ std::string RecordBody(uint64_t seq, const Request& request) {
   return body.str();
 }
 
-/// Parses one record line (without trailing '\n'). On failure, *error is a
-/// description and the return is false.
-bool ParseRecord(const std::string& line, uint64_t expected_seq,
-                 const Vocabulary& input, size_t universe_size, Request* out,
-                 std::string* error) {
-  const size_t marker = line.rfind(" c=");
-  if (marker == std::string::npos) {
-    *error = "record missing checksum";
-    return false;
-  }
-  const std::string body = line.substr(0, marker);
-  uint64_t recorded_sum = 0;
-  if (!core::ParseHexU64(line.substr(marker + 3), &recorded_sum)) {
-    *error = "record checksum malformed";
-    return false;
-  }
-  if (core::Fnv1a64(body) != recorded_sum) {
-    *error = "record checksum mismatch";
-    return false;
-  }
+std::string RecordBody(uint64_t seq, const Request& request) {
+  return std::to_string(seq) + " " + RequestBody(request);
+}
 
-  std::istringstream words(body);
-  std::string seq_token, keyword, target;
-  if (!(words >> seq_token >> keyword >> target)) {
-    *error = "record too short";
-    return false;
-  }
-  uint64_t seq = 0;
-  if (!core::ParseU64(seq_token, &seq)) {
-    *error = "bad sequence number";
-    return false;
-  }
-  if (seq != expected_seq) {
-    *error = "sequence broken (expected " + std::to_string(expected_seq) + ", found " +
-             std::to_string(seq) + "): a record was dropped or duplicated";
-    return false;
-  }
-
-  std::vector<uint64_t> values;
-  std::string token;
-  while (words >> token) {
-    uint64_t value = 0;
-    if (!core::ParseU64(token, &value)) {
-      *error = "malformed numeric field '" + token + "'";
-      return false;
-    }
-    values.push_back(value);
-  }
+/// Builds one request from its parsed tokens, validating target/arity/
+/// universe exactly like the single-record path always has.
+bool BuildRequest(const std::string& keyword, const std::string& target,
+                  const std::vector<uint64_t>& values, const Vocabulary& input,
+                  size_t universe_size, Request* out, std::string* error) {
   for (uint64_t value : values) {
     if (value >= universe_size) {
       *error = "element " + std::to_string(value) + " outside universe";
       return false;
     }
   }
-
   if (keyword == "ins" || keyword == "del") {
     const int index = input.RelationIndex(target);
     if (index < 0) {
@@ -126,6 +87,126 @@ bool ParseRecord(const std::string& line, uint64_t expected_seq,
   return false;
 }
 
+/// Parses one record line (without trailing '\n'), appending its request(s)
+/// to `out` — one for a plain record, `count` for a batch record (their
+/// sequence numbers occupy [expected_seq, expected_seq + count)). Appends
+/// nothing on failure: *error is a description and the return is false.
+bool ParseRecord(const std::string& line, uint64_t expected_seq,
+                 const Vocabulary& input, size_t universe_size,
+                 relational::RequestSequence* out, std::string* error) {
+  const size_t marker = line.rfind(" c=");
+  if (marker == std::string::npos) {
+    *error = "record missing checksum";
+    return false;
+  }
+  const std::string body = line.substr(0, marker);
+  uint64_t recorded_sum = 0;
+  if (!core::ParseHexU64(line.substr(marker + 3), &recorded_sum)) {
+    *error = "record checksum malformed";
+    return false;
+  }
+  if (core::Fnv1a64(body) != recorded_sum) {
+    *error = "record checksum mismatch";
+    return false;
+  }
+
+  std::istringstream words(body);
+  std::string seq_token, keyword;
+  if (!(words >> seq_token >> keyword)) {
+    *error = "record too short";
+    return false;
+  }
+  uint64_t seq = 0;
+  if (!core::ParseU64(seq_token, &seq)) {
+    *error = "bad sequence number";
+    return false;
+  }
+  if (seq != expected_seq) {
+    *error = "sequence broken (expected " + std::to_string(expected_seq) + ", found " +
+             std::to_string(seq) + "): a record was dropped or duplicated";
+    return false;
+  }
+
+  if (keyword == "batch") {
+    // Group-commit record: "<seq> batch <count> | <req> | <req> ...". The
+    // sub-request arity is known from the vocabulary, so each sub-record's
+    // token count is exact and a '|' separator must follow it (or the end).
+    std::string count_token;
+    uint64_t count = 0;
+    if (!(words >> count_token) || !core::ParseU64(count_token, &count) ||
+        count == 0) {
+      *error = "batch record with bad count";
+      return false;
+    }
+    relational::RequestSequence batch;
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string sep, sub_keyword, sub_target;
+      if (!(words >> sep >> sub_keyword >> sub_target) || sep != "|") {
+        *error = "malformed batch sub-record";
+        return false;
+      }
+      size_t num_values = 1;
+      if (sub_keyword == "ins" || sub_keyword == "del") {
+        const int index = input.RelationIndex(sub_target);
+        if (index < 0) {
+          *error = "unknown relation " + sub_target;
+          return false;
+        }
+        num_values = static_cast<size_t>(input.relation(index).arity);
+      } else if (sub_keyword != "set") {
+        *error = "unknown request keyword " + sub_keyword;
+        return false;
+      }
+      std::vector<uint64_t> values;
+      for (size_t v = 0; v < num_values; ++v) {
+        std::string token;
+        uint64_t value = 0;
+        if (!(words >> token) || !core::ParseU64(token, &value)) {
+          *error = "malformed numeric field in batch sub-record";
+          return false;
+        }
+        values.push_back(value);
+      }
+      Request request = Request::SetConstant("", 0);
+      if (!BuildRequest(sub_keyword, sub_target, values, input, universe_size,
+                        &request, error)) {
+        return false;
+      }
+      batch.push_back(request);
+    }
+    std::string extra;
+    if (words >> extra) {
+      *error = "trailing tokens after batch record";
+      return false;
+    }
+    out->insert(out->end(), batch.begin(), batch.end());
+    return true;
+  }
+
+  std::string target;
+  if (!(words >> target)) {
+    *error = "record too short";
+    return false;
+  }
+  std::vector<uint64_t> values;
+  std::string token;
+  while (words >> token) {
+    uint64_t value = 0;
+    if (!core::ParseU64(token, &value)) {
+      *error = "malformed numeric field '" + token + "'";
+      return false;
+    }
+    values.push_back(value);
+  }
+  Request request = Request::SetConstant("", 0);
+  if (!BuildRequest(keyword, target, values, input, universe_size, &request,
+                    error)) {
+    return false;
+  }
+  out->push_back(request);
+  return true;
+}
+
 }  // namespace
 
 std::string JournalHeader() { return "dynfo-journal v1\n"; }
@@ -133,6 +214,17 @@ std::string JournalHeader() { return "dynfo-journal v1\n"; }
 std::string FormatJournalRecord(uint64_t seq, const Request& request) {
   const std::string body = RecordBody(seq, request);
   return body + " c=" + core::HexU64(core::Fnv1a64(body)) + "\n";
+}
+
+std::string FormatBatchRecord(uint64_t first_seq,
+                              std::span<const Request> requests) {
+  DYNFO_CHECK(!requests.empty()) << "empty batch record";
+  std::ostringstream body;
+  body << first_seq << " batch " << requests.size();
+  for (const Request& request : requests) {
+    body << " | " << RequestBody(request);
+  }
+  return body.str() + " c=" + core::HexU64(core::Fnv1a64(body.str())) + "\n";
 }
 
 core::Result<JournalParse> ParseJournal(const std::string& text,
@@ -163,22 +255,22 @@ core::Result<JournalParse> ParseJournal(const std::string& text,
     const std::string line =
         complete ? text.substr(pos, nl - pos) : text.substr(pos);
     std::string error = "incomplete record (no newline)";
-    Request request = Request::SetConstant("", 0);
     const bool parsed =
         complete && ParseRecord(line, out.requests.size(), input, universe_size,
-                                &request, &error);
+                                &out.requests, &error);
     if (!parsed) {
       const bool is_final_line = !complete || nl + 1 >= text.size();
       if (is_final_line) {
         // Torn tail: the expected shape of a crash mid-append. The clean
-        // prefix stands; the damaged final record is dropped.
+        // prefix stands; the damaged final record is dropped. For a batch
+        // record this drops the WHOLE batch — a torn line never yields a
+        // partial batch.
         out.torn_tail = true;
         return out;
       }
       return core::Status::Error("journal line " + std::to_string(line_number) + ": " +
                                  error);
     }
-    out.requests.push_back(request);
     pos = nl + 1;
     out.valid_bytes = pos;
   }
@@ -248,6 +340,22 @@ core::Status JournalWriter::Append(const Request& request) {
     return core::Status::Error("journal " + path_ + ": fsync failed");
   }
   ++next_seq_;
+  return core::Status();
+}
+
+core::Status JournalWriter::AppendBatch(std::span<const Request> requests) {
+  if (requests.empty()) return core::Status();
+  if (requests.size() == 1) return Append(requests[0]);
+  DYNFO_CHECK(file_ != nullptr) << "AppendBatch on a moved-from JournalWriter";
+  const std::string record = FormatBatchRecord(next_seq_, requests);
+  if (std::fwrite(record.data(), 1, record.size(), file_.get()) != record.size() ||
+      std::fflush(file_.get()) != 0) {
+    return core::Status::Error("journal " + path_ + ": batch append failed");
+  }
+  if (options_.fsync_each_append && ::fsync(fileno(file_.get())) != 0) {
+    return core::Status::Error("journal " + path_ + ": fsync failed");
+  }
+  next_seq_ += requests.size();
   return core::Status();
 }
 
@@ -329,10 +437,9 @@ core::Result<SegmentParse> ParseSegment(const std::string& text,
     const std::string line =
         complete ? text.substr(pos, nl - pos) : text.substr(pos);
     std::string error = "incomplete record (no newline)";
-    Request request = Request::SetConstant("", 0);
     const bool parsed =
         complete && ParseRecord(line, expected_first + out.requests.size(),
-                                input, universe_size, &request, &error);
+                                input, universe_size, &out.requests, &error);
     if (!parsed) {
       const bool is_final_line = !complete || nl + 1 >= text.size();
       if (is_final_line) {
@@ -342,7 +449,6 @@ core::Result<SegmentParse> ParseSegment(const std::string& text,
       return core::Status::Error("segment line " + std::to_string(line_number) +
                                  ": " + error);
     }
-    out.requests.push_back(request);
     pos = nl + 1;
     out.valid_bytes = pos;
   }
@@ -674,6 +780,27 @@ core::Status DurableStore::Append(const Request& request) {
   ++next_seq_;
   ++active_records_;
   ++counters_.appends;
+  counters_.bytes_appended += record.size();
+  return core::Status();
+}
+
+core::Status DurableStore::AppendBatch(std::span<const Request> requests) {
+  if (requests.empty()) return core::Status();
+  if (requests.size() == 1) return Append(requests[0]);
+  DYNFO_CHECK(active_.has_value()) << "AppendBatch on a moved-from DurableStore";
+  const std::string record = FormatBatchRecord(next_seq_, requests);
+  core::Status status = active_->Append(record);
+  if (!status.ok()) return status;
+  if (options_.fsync_each_append) {
+    status = active_->Fsync();
+    if (!status.ok()) return status;
+    ++counters_.fsyncs;
+  }
+  next_seq_ += requests.size();
+  active_records_ += requests.size();
+  counters_.appends += requests.size();
+  ++counters_.batch_appends;
+  counters_.bytes_appended += record.size();
   return core::Status();
 }
 

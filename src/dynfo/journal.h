@@ -13,16 +13,21 @@
 ///   <seq> ins <relation> <e1> <e2> ... c=<16 hex>
 ///   <seq> del <relation> <e1> <e2> ... c=<16 hex>
 ///   <seq> set <constant> <value> c=<16 hex>
+///   <seq> batch <count> | ins <relation> <e...> | set <constant> <v> ... c=<16 hex>
 ///
 /// Each record carries its sequence number and an FNV-1a checksum of its
-/// body. The reader accepts the longest clean prefix: a damaged or
-/// incomplete FINAL record is a torn tail (the expected result of a crash
-/// mid-append) and is dropped with `torn_tail` set; any damage BEFORE the
-/// final record — a checksum mismatch, a sequence gap (dropped record), a
-/// repeated sequence number (duplicated record) — is unrecoverable
-/// corruption and yields an error Status. Every parsed request is
-/// validated against the input vocabulary and universe size, so replaying
-/// a parsed journal can never CHECK-crash the engine.
+/// body. A `batch` record is one group-committed line holding `count`
+/// sub-requests; it occupies sequence numbers [seq, seq+count) and is
+/// written — like every record — with a single fwrite + flush (+ one
+/// fsync), so a crash can only drop the WHOLE batch, never a prefix of it.
+/// The reader accepts the longest clean prefix: a damaged or incomplete
+/// FINAL record is a torn tail (the expected result of a crash mid-append)
+/// and is dropped with `torn_tail` set; any damage BEFORE the final record
+/// — a checksum mismatch, a sequence gap (dropped record), a repeated
+/// sequence number (duplicated record) — is unrecoverable corruption and
+/// yields an error Status. Every parsed request is validated against the
+/// input vocabulary and universe size, so replaying a parsed journal can
+/// never CHECK-crash the engine.
 
 #ifndef DYNFO_DYNFO_JOURNAL_H_
 #define DYNFO_DYNFO_JOURNAL_H_
@@ -30,6 +35,7 @@
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +51,12 @@ std::string JournalHeader();
 
 /// One record line (terminated by '\n'), checksum included.
 std::string FormatJournalRecord(uint64_t seq, const relational::Request& request);
+
+/// One group-commit batch record line holding every request in `requests`
+/// (which must be non-empty), occupying sequence numbers
+/// [first_seq, first_seq + requests.size()).
+std::string FormatBatchRecord(uint64_t first_seq,
+                              std::span<const relational::Request> requests);
 
 struct JournalParse {
   relational::RequestSequence requests;  ///< the clean prefix, seq 0..k-1
@@ -80,7 +92,13 @@ class JournalWriter {
 
   core::Status Append(const relational::Request& request);
 
-  /// Sequence number the next Append will write (= records on disk).
+  /// Group commit: appends the whole batch as ONE record line with one
+  /// fwrite + flush (+ one fsync per options), so a crash either keeps the
+  /// whole batch or drops it entirely. Advances next_seq() by the batch
+  /// size. Batches of one fall back to a plain record; empty is a no-op.
+  core::Status AppendBatch(std::span<const relational::Request> requests);
+
+  /// Sequence number the next Append will write (= requests on disk).
   uint64_t next_seq() const { return next_seq_; }
 
   /// Records recovered from the file at Open (the clean prefix).
@@ -238,6 +256,14 @@ class DurableStore {
   /// before further appends to keep the replay bound.
   core::Status Append(const relational::Request& request);
 
+  /// Group commit: appends the whole batch as ONE segment record with a
+  /// single write and a single fsync, advancing next_seq() by the batch
+  /// size — the per-request fsync cost becomes O(1) per batch. A crash
+  /// mid-append drops the whole batch (single-line torn-tail contract),
+  /// never a prefix of it. Batches of one fall back to a plain record;
+  /// empty is a no-op. checkpoint_due() may overshoot by one batch.
+  core::Status AppendBatch(std::span<const relational::Request> requests);
+
   /// The active segment has reached records_per_segment.
   bool checkpoint_due() const {
     return active_records_ >= options_.records_per_segment;
@@ -267,8 +293,10 @@ class DurableStore {
   uint64_t active_records() const { return active_records_; }
 
   struct Counters {
-    uint64_t appends = 0;
+    uint64_t appends = 0;            ///< requests appended (batch members too)
+    uint64_t batch_appends = 0;      ///< group-commit batch records written
     uint64_t fsyncs = 0;
+    uint64_t bytes_appended = 0;     ///< journal bytes written by appends
     uint64_t checkpoints = 0;        ///< delta checkpoints written
     uint64_t full_snapshots = 0;     ///< full consolidations written
     uint64_t segments_rotated = 0;

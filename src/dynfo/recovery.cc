@@ -150,6 +150,89 @@ core::Status GuardedEngine::Apply(const relational::Request& request) {
   return core::Status();
 }
 
+core::Status GuardedEngine::ApplyBatch(std::span<const relational::Request> requests,
+                                       BatchReport* report) {
+  if (report != nullptr) *report = BatchReport{};
+  if (requests.empty()) return core::Status();
+
+  // One validation sweep before anything applies: the group commit must
+  // never record a batch the wrapper would have rejected piecewise.
+  for (const relational::Request& request : requests) {
+    core::Status valid =
+        relational::ValidateRequest(*program_->input_vocabulary(),
+                                    input_.universe_size(), request);
+    if (!valid.ok()) return valid;
+    if (program_->semi_dynamic() &&
+        request.kind == relational::RequestKind::kDelete) {
+      return core::Status::Error(program_->name() +
+                                 " is semi-dynamic: deletes are not supported");
+    }
+  }
+
+  // Engine first, then journal: the applied prefix is only known after the
+  // batch runs, and a crash between apply and append is safe — the caller
+  // never got an OK, and recovery replays the pre-batch journal state.
+  BatchReport local;
+  core::Status status =
+      engine_->TryApplyBatch(requests, options_.governance.governance, &local);
+  if (report != nullptr) *report = local;
+  switch (local.code) {
+    case core::StatusCode::kCancelled:
+      ++stats_.cancellations;
+      break;
+    case core::StatusCode::kDeadlineExceeded:
+      ++stats_.deadlines_exceeded;
+      break;
+    case core::StatusCode::kResourceExhausted:
+      ++stats_.budget_breaches;
+      break;
+    default:
+      break;
+  }
+
+  // Group-commit exactly the applied prefix — one record, one fsync —
+  // whether the batch finished or aborted partway. The journal must match
+  // the engine, and on abort the engine holds the prefix.
+  const std::span<const relational::Request> applied = requests.first(local.applied);
+  if (!applied.empty()) {
+    if (journal_.has_value()) {
+      core::Status journaled = journal_->AppendBatch(applied);
+      if (!journaled.ok()) return journaled;
+    }
+    if (store_.has_value()) {
+      core::Status appended = store_->AppendBatch(applied);
+      if (!appended.ok()) return appended;
+    }
+    for (const relational::Request& request : applied) {
+      relational::ApplyRequest(&input_, request);
+    }
+    const uint64_t before = stats_.requests;
+    stats_.requests += applied.size();
+    ++stats_.batches;
+    stats_.batch_requests += applied.size();
+    if (store_.has_value() && store_->checkpoint_due()) {
+      core::Status checkpointed = WriteCheckpoint(/*force_full=*/false);
+      if (!checkpointed.ok()) return checkpointed;
+    }
+    if (!status.ok()) return status;
+    // Cadence: at most one check per batch, when the batch crossed a
+    // check_every boundary (per-request Apply would have checked in between;
+    // batches trade that latency for throughput, see DESIGN.md §14).
+    if (options_.check_every > 0 &&
+        before / options_.check_every != stats_.requests / options_.check_every) {
+      return CheckNow();
+    }
+  }
+  return status;
+}
+
+core::Status GuardedEngine::ApplyDefinable(const DefinableChange& change,
+                                           BatchReport* report) {
+  const relational::RequestSequence requests =
+      engine_->MaterializeDefinableChange(change);
+  return ApplyBatch(requests, report);
+}
+
 core::Status GuardedEngine::GovernedApply(const relational::Request& request) {
   const GovernancePolicy& policy = options_.governance;
   ExecTier tier = engine_->ConfiguredTier();

@@ -31,6 +31,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "dynfo/engine.h"
@@ -89,6 +90,8 @@ struct DurabilityOptions {
 
 struct RecoveryStats {
   uint64_t requests = 0;             ///< requests applied through the wrapper
+  uint64_t batches = 0;              ///< ApplyBatch calls that applied >= 1 request
+  uint64_t batch_requests = 0;       ///< requests applied via ApplyBatch
   uint64_t checks_run = 0;           ///< cadence + explicit checks
   uint64_t corruptions_detected = 0; ///< checks that found a violation
   uint64_t recoveries = 0;           ///< successful start-over rebuilds
@@ -129,6 +132,30 @@ class GuardedEngine {
   /// checks and recovers. An error Status means the request was rejected
   /// (validation/journal failure, left unapplied) or recovery failed.
   core::Status Apply(const relational::Request& request);
+
+  /// Applies `requests` as one group-committed batch (DESIGN.md §14).
+  ///
+  /// Semantics are bit-identical to calling Apply once per request, but the
+  /// per-request constants are paid once per batch: one validation sweep, one
+  /// governor, one journal record, one fsync, at most one checkpoint + one
+  /// cadence check. A malformed request anywhere in the batch rejects the
+  /// WHOLE batch before anything applies.
+  ///
+  /// Abort contract (prefix atomicity): if governance trips mid-batch, the
+  /// engine is left at the last fully-applied prefix; exactly that prefix is
+  /// group-committed to the journal/store and mirrored into the input, and
+  /// `report->applied` says how long it is. The degradation ladder does not
+  /// run for batches — a caller who wants ladder semantics applies requests
+  /// one at a time.
+  core::Status ApplyBatch(std::span<const relational::Request> requests,
+                          BatchReport* report = nullptr);
+
+  /// Materializes `change`'s FO-definable tuple set against the CURRENT
+  /// engine state and applies the expansion through ApplyBatch. The journal
+  /// records the expanded requests, so replay does not re-evaluate the
+  /// formula (the structure it was defined over is gone by then).
+  core::Status ApplyDefinable(const DefinableChange& change,
+                              BatchReport* report = nullptr);
 
   /// Runs the corruption check immediately; recovers on violation.
   core::Status CheckNow();

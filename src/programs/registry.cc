@@ -1,6 +1,7 @@
 #include "programs/registry.h"
 
 #include "dynfo/workload.h"
+#include "fo/builder.h"
 #include "programs/bipartite.h"
 #include "programs/dyck.h"
 #include "programs/lca.h"
@@ -34,6 +35,41 @@ relational::RequestSequence GraphChurn(
   return dyn::MakeGraphWorkload(*vocab, "E", n, options);
 }
 
+/// Parity's definable-change workload: insert the prefix {x : x <= k} not
+/// yet in M, then delete the suffix {x : M(x) & j <= x}. The guards (not
+/// M(x) on insert, M(x) on delete) keep each expanded request a genuine
+/// change, matching the paper's absent-insert/present-delete request model.
+std::vector<dyn::DefinableChange> ParityDefinableChanges(size_t n, uint64_t seed) {
+  using namespace fo;  // NOLINT(build/namespaces) — formula DSL
+  const relational::Element k =
+      static_cast<relational::Element>(seed % n);
+  const relational::Element j =
+      static_cast<relational::Element>((seed / 2) % n);
+  Term x = V("x");
+  std::vector<dyn::DefinableChange> out;
+  out.push_back({relational::RequestKind::kInsert, "M", {"x"},
+                 !Rel("M", {x}) && LeT(x, N(k))});
+  out.push_back({relational::RequestKind::kDelete, "M", {"x"},
+                 Rel("M", {x}) && LeT(N(j), x)});
+  return out;
+}
+
+/// reach_u's definable-change workload: isolate vertex 0 by deleting every
+/// incident edge, then insert the missing edges of the clique on {0..k}
+/// (canonical x < y orientation, matching the generated graph workloads).
+std::vector<dyn::DefinableChange> ReachUDefinableChanges(size_t n, uint64_t seed) {
+  using namespace fo;  // NOLINT(build/namespaces) — formula DSL
+  const relational::Element k =
+      static_cast<relational::Element>(2 + seed % (n > 3 ? n - 3 : 1));
+  Term x = V("x"), y = V("y");
+  std::vector<dyn::DefinableChange> out;
+  out.push_back({relational::RequestKind::kDelete, "E", {"x", "y"},
+                 Rel("E", {x, y}) && (EqT(x, N(0)) || EqT(y, N(0)))});
+  out.push_back({relational::RequestKind::kInsert, "E", {"x", "y"},
+                 !Rel("E", {x, y}) && LtT(x, y) && LeT(y, N(k))});
+  return out;
+}
+
 std::vector<ProgramScenario> BuildScenarios() {
   std::vector<ProgramScenario> out;
   out.push_back({"parity", [] { return MakeParityProgram(); },
@@ -43,50 +79,50 @@ std::vector<ProgramScenario> BuildScenarios() {
                    o.seed = seed;
                    return dyn::MakeGenericWorkload(*ParityInputVocabulary(), n, o);
                  },
-                 9, nullptr});
+                 9, nullptr, ParityDefinableChanges});
   out.push_back({"reach_u", [] { return MakeReachUProgram(); },
                  [](size_t n, uint64_t seed) {
                    return GraphChurn(ReachUInputVocabulary(), n, seed, true, false,
                                      false);
                  },
-                 8, nullptr});
+                 8, nullptr, ReachUDefinableChanges});
   out.push_back({"reach_u2", [] { return MakeReachU2Program(); },
                  [](size_t n, uint64_t seed) {
                    return GraphChurn(ReachU2InputVocabulary(), n, seed, true, false,
                                      false);
                  },
-                 8, nullptr});
+                 8, nullptr, nullptr});
   out.push_back({"reach_acyclic", [] { return MakeReachAcyclicProgram(); },
                  [](size_t n, uint64_t seed) {
                    return GraphChurn(ReachAcyclicInputVocabulary(), n, seed, false,
                                      true, false);
                  },
-                 8, nullptr});
+                 8, nullptr, nullptr});
   out.push_back({"transitive_reduction",
                  [] { return MakeTransitiveReductionProgram(); },
                  [](size_t n, uint64_t seed) {
                    return GraphChurn(TransitiveReductionInputVocabulary(), n, seed,
                                      false, true, false);
                  },
-                 8, nullptr});
+                 8, nullptr, nullptr});
   out.push_back({"bipartite", [] { return MakeBipartiteProgram(); },
                  [](size_t n, uint64_t seed) {
                    return GraphChurn(BipartiteInputVocabulary(), n, seed, true,
                                      false, false);
                  },
-                 8, nullptr});
+                 8, nullptr, nullptr});
   out.push_back({"lca", [] { return MakeLcaProgram(); },
                  [](size_t n, uint64_t seed) {
                    return GraphChurn(LcaInputVocabulary(), n, seed, false, false,
                                      true);
                  },
-                 8, nullptr});
+                 8, nullptr, nullptr});
   out.push_back({"matching", [] { return MakeMatchingProgram(); },
                  [](size_t n, uint64_t seed) {
                    return GraphChurn(MatchingInputVocabulary(), n, seed, true, false,
                                      false);
                  },
-                 8, nullptr});
+                 8, nullptr, nullptr});
   out.push_back({"msf", [] { return MakeMsfProgram(); },
                  [](size_t n, uint64_t seed) {
                    dyn::WeightedGraphWorkloadOptions o;
@@ -95,7 +131,7 @@ std::vector<ProgramScenario> BuildScenarios() {
                    return dyn::MakeWeightedGraphWorkload(*MsfInputVocabulary(), "W",
                                                          n, o);
                  },
-                 8, nullptr});
+                 8, nullptr, nullptr});
   out.push_back({"dyck", [] { return MakeDyckProgram(2, 12); },
                  [](size_t n, uint64_t seed) {
                    dyn::SlotStringWorkloadOptions o;
@@ -105,7 +141,7 @@ std::vector<ProgramScenario> BuildScenarios() {
                    return dyn::MakeSlotStringWorkload(
                        {"Open_0", "Open_1", "Close_0", "Close_1"}, n, o);
                  },
-                 12, nullptr});
+                 12, nullptr, nullptr});
   out.push_back({"pad_reach_a", [] { return MakePadReachAProgram(); },
                  [](size_t n, uint64_t seed) {
                    dyn::GraphWorkloadOptions o;
@@ -122,7 +158,7 @@ std::vector<ProgramScenario> BuildScenarios() {
                    }
                    return padded;
                  },
-                 6, nullptr});
+                 6, nullptr, nullptr});
   out.push_back({"multiplication", [] { return MakeMultiplicationProgram(false); },
                  [](size_t n, uint64_t seed) {
                    dyn::GenericWorkloadOptions o;
@@ -132,13 +168,13 @@ std::vector<ProgramScenario> BuildScenarios() {
                    return dyn::MakeGenericWorkload(*MultiplicationInputVocabulary(),
                                                    n, o);
                  },
-                 8, InstallPlusRelation});
+                 8, InstallPlusRelation, nullptr});
   out.push_back({"reach_semidynamic", [] { return MakeReachSemiDynamicProgram(); },
                  [](size_t n, uint64_t seed) {
                    return GraphChurn(ReachSemiDynamicInputVocabulary(), n, seed,
                                      true, false, false, /*insert_fraction=*/1.0);
                  },
-                 8, nullptr});
+                 8, nullptr, nullptr});
   return out;
 }
 

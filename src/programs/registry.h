@@ -36,6 +36,13 @@ struct ProgramScenario {
   /// May be null. Applied to every engine before any request — including
   /// engines the recovery layer rebuilds (pass as EnginePostInit there).
   std::function<void(dyn::Engine*)> post_init;
+  /// Optional FO-definable bulk-change workload (Schwentick–Vortmeier–
+  /// Zeume, "Dynamic Complexity under Definable Changes"): a deterministic
+  /// sequence of DefinableChange steps for (n, seed), each materialized
+  /// against the engine state current when it runs. Null for programs
+  /// without one.
+  std::function<std::vector<dyn::DefinableChange>(size_t n, uint64_t seed)>
+      make_definable;
 };
 
 /// Every runnable scenario, in a stable order (tests index into it).

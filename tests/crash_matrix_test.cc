@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -229,6 +230,157 @@ TEST_P(CrashMatrix, EveryKillPointRevivesBitIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllDamageModes, CrashMatrix,
+                         ::testing::Range<size_t>(
+                             0, sizeof(kDamageModes) / sizeof(kDamageModes[0])),
+                         [](const ::testing::TestParamInfo<size_t>& param_info) {
+                           return std::string(kDamageModes[param_info.param].name);
+                         });
+
+// ---------------------------------------------------------------------------
+// Batch-boundary kill points: a group commit is one journal record and one
+// fsync, so a crash anywhere in a batched session must revive to a WHOLE
+// number of batches — acked-batches <= state <= acked-batches + 1, never a
+// torn batch (a torn batch record drops the whole batch on replay).
+
+constexpr size_t kBatch = 4;
+
+DurabilityOptions BatchMatrixDurability() {
+  DurabilityOptions durability;
+  durability.store.records_per_segment = 8;
+  durability.store.full_snapshot_every = 2;
+  return durability;
+}
+
+/// Like RunDoomedSession, in batches of kBatch. Returns acknowledged
+/// REQUESTS (a multiple of kBatch).
+size_t RunDoomedBatchSession(const ProgramScenario& scenario,
+                             const RequestSequence& requests,
+                             const std::string& dir, bool* crashed) {
+  GuardedEngine doomed(scenario.make_program(), scenario.default_universe,
+                       nullptr, nullptr, PureOptions(scenario));
+  core::Status attached = doomed.AttachDurability(dir, BatchMatrixDurability());
+  if (!attached.ok()) {
+    EXPECT_TRUE(core::IsSimulatedCrash(attached)) << attached.ToString();
+    *crashed = true;
+    return 0;
+  }
+  size_t acked = 0;
+  for (size_t i = 0; i + kBatch <= requests.size(); i += kBatch) {
+    core::Status applied =
+        doomed.ApplyBatch(std::span<const Request>(requests.data() + i, kBatch));
+    if (applied.ok()) {
+      acked += kBatch;
+      continue;
+    }
+    EXPECT_TRUE(core::IsSimulatedCrash(applied)) << applied.ToString();
+    *crashed = true;
+    break;
+  }
+  return acked;
+}
+
+class BatchCrashMatrix : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchCrashMatrix, EveryKillPointRevivesWholeBatches) {
+  const DamageMode mode = kDamageModes[GetParam()];
+  for (const char* program_name : kMatrixPrograms) {
+    const ProgramScenario& scenario = ScenarioNamed(program_name);
+    auto program = scenario.make_program();
+    const size_t n = scenario.default_universe;
+    RequestSequence requests = scenario.make_workload(n, /*seed=*/21);
+    ASSERT_GE(requests.size(), 4 * kBatch) << program_name;
+    requests.resize(4 * kBatch);  // a whole number of batches
+    const std::string dir =
+        TempDirFor(std::string("batch_") + program_name + "_" + mode.name);
+
+    // Count-only pass to size the matrix.
+    RemoveTree(dir);
+    uint64_t total_ops = 0;
+    {
+      CrashPointShim::Options options;
+      options.kill_at_op = 0;
+      CrashPointShim shim(options);
+      core::InstallIoShim(&shim);
+      bool crashed = false;
+      const size_t acked = RunDoomedBatchSession(scenario, requests, dir, &crashed);
+      core::InstallIoShim(nullptr);
+      ASSERT_FALSE(crashed);
+      ASSERT_EQ(acked, requests.size());
+      total_ops = shim.ops_seen();
+      RemoveTree(dir);
+    }
+    // Group commit means FEWER boundaries than one per request — that is
+    // the point of batching; the matrix still covers every one of them.
+    ASSERT_GT(total_ops, 0u) << program_name;
+
+    Engine full_oracle(program, n);
+    if (scenario.post_init) scenario.post_init(&full_oracle);
+    for (const Request& request : requests) full_oracle.Apply(request);
+    const std::string full_state = relational::WriteStructure(full_oracle.data());
+
+    for (uint64_t kill = 1; kill <= total_ops; ++kill) {
+      RemoveTree(dir);
+      CrashPointShim::Options shim_options;
+      shim_options.kill_at_op = kill;
+      shim_options.tail_mode = mode.tail;
+      shim_options.undo_pending_renames = mode.undo_renames;
+      CrashPointShim shim(shim_options);
+      core::InstallIoShim(&shim);
+      bool crashed = false;
+      const size_t acked = RunDoomedBatchSession(scenario, requests, dir, &crashed);
+      core::InstallIoShim(nullptr);
+      ASSERT_TRUE(crashed) << program_name << " op " << kill;
+      ASSERT_TRUE(shim.killed());
+      ASSERT_TRUE(shim.ApplyCrashDamage().ok()) << shim.DescribeKill();
+
+      GuardedEngine revived(program, n, nullptr, nullptr, PureOptions(scenario));
+      core::Status attached =
+          revived.AttachDurability(dir, BatchMatrixDurability());
+      ASSERT_TRUE(attached.ok())
+          << program_name << " " << shim.DescribeKill() << ": "
+          << attached.ToString();
+
+      const uint64_t steps = revived.engine().stats().requests;
+      // Whole batches only: acked <= state <= acked + one in-flight batch,
+      // and NEVER a partial batch.
+      ASSERT_EQ(steps % kBatch, 0u)
+          << program_name << " " << shim.DescribeKill()
+          << ": revived to a PARTIAL batch (" << steps << " requests)";
+      ASSERT_GE(steps, acked) << program_name << " " << shim.DescribeKill()
+                              << ": an acknowledged batch was lost";
+      ASSERT_LE(steps, acked + kBatch)
+          << program_name << " " << shim.DescribeKill()
+          << ": revival conjured unacknowledged batches";
+      // A batch record can overshoot the segment's record budget by at most
+      // one batch, so the replay bound is interval + batch.
+      ASSERT_LE(revived.recovery_stats().replayed_on_recovery,
+                BatchMatrixDurability().store.records_per_segment + kBatch)
+          << program_name << " " << shim.DescribeKill();
+
+      Engine oracle(program, n);
+      if (scenario.post_init) scenario.post_init(&oracle);
+      for (uint64_t i = 0; i < steps; ++i) oracle.Apply(requests[i]);
+      ASSERT_EQ(relational::WriteStructure(revived.engine().data()),
+                relational::WriteStructure(oracle.data()))
+          << program_name << " " << shim.DescribeKill() << " at step " << steps;
+
+      // Finish the workload in batches; converge with the clean run.
+      for (size_t i = static_cast<size_t>(steps); i < requests.size();
+           i += kBatch) {
+        ASSERT_TRUE(revived
+                        .ApplyBatch(std::span<const Request>(
+                            requests.data() + i, kBatch))
+                        .ok())
+            << program_name << " " << shim.DescribeKill() << " batch at " << i;
+      }
+      ASSERT_EQ(relational::WriteStructure(revived.engine().data()), full_state)
+          << program_name << " " << shim.DescribeKill();
+    }
+    RemoveTree(dir);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDamageModes, BatchCrashMatrix,
                          ::testing::Range<size_t>(
                              0, sizeof(kDamageModes) / sizeof(kDamageModes[0])),
                          [](const ::testing::TestParamInfo<size_t>& param_info) {

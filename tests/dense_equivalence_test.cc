@@ -96,6 +96,38 @@ TEST(DenseSetTest, TailMaskAndShapes) {
   EXPECT_EQ(plane.row(69)[1] >> (69 % 64), 1u);
 }
 
+// Cost-model regression (PR 8's honest negative: reach_u apply ran 0.84x
+// under dense-vs-hash because wide auxiliary relations were pushed onto the
+// bitmap backend): the AUTO backend must never select dense for an arity-3
+// relation — reach_u's PV(x,y,u) is the canonical shape. A bitmap plane per
+// leading pair is O(n^2) words of scan per probe, so the hysteresis band
+// has no business converting these; only arity <= kMaxDenseArity (= 2)
+// relations are dense candidates.
+TEST(DenseCostModelTest, AutoBackendNeverSelectsDenseForArity3) {
+  static_assert(relational::DenseSet::kMaxDenseArity == 2,
+                "dense representability widened — revisit the cost model and "
+                "this regression test");
+  const programs::ProgramScenario* reach_u = nullptr;
+  for (const programs::ProgramScenario& scenario : programs::AllScenarios()) {
+    if (scenario.name == "reach_u") reach_u = &scenario;
+  }
+  ASSERT_NE(reach_u, nullptr);
+  const size_t n = reach_u->default_universe;
+  for (uint64_t seed : {5u, 21u}) {
+    Engine engine(reach_u->make_program(), n, DenseOptions());
+    const int pv = engine.data().vocabulary().RelationIndex("PV");
+    ASSERT_GE(pv, 0);
+    ASSERT_EQ(engine.data().vocabulary().relation(pv).arity, 3);
+    for (const relational::Request& request : reach_u->make_workload(n, seed)) {
+      engine.Apply(request);
+      ASSERT_EQ(engine.data().relation(pv).backend(),
+                relational::RelationBackend::kHash)
+          << "auto backend chose dense for arity-3 PV after "
+          << request.ToString() << " (seed=" << seed << ")";
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Engine sweep: dense == hash after every request, across the registry.
 

@@ -20,6 +20,7 @@ into hard CI gates: the script exits non-zero when a gate fails.
 
 import argparse
 import json
+import re
 import sys
 
 # Standard google-benchmark fields kept per row; everything else numeric is
@@ -199,7 +200,57 @@ def derive(rows):
         if dense:
             dense["at"] = dense_row["name"]
             derived["dense"] = dense
+
+    batch = derive_batch(rows)
+    if batch:
+        derived["batch"] = batch
     return derived
+
+
+def derive_batch(rows):
+    """derived.batch: group-commit amortization per program (DESIGN.md §14).
+
+    From each bench_batch family BM_BatchApply<Program>/<batch-size> (names
+    carry a /real_time suffix — the fsync wait is the point, so those rows
+    are timed on the wall clock): the batch-256 vs batch-1 requests/second
+    ratio, the commit counters at batch 256, and the worst fsyncs-per-request
+    over every batch size >= 256 (the CI gate's subject — one group commit
+    per batch means 1/256 = 0.0039, far under the 0.05 ceiling unless the
+    batching path regresses to per-request fsync).
+    """
+    families = {}
+    for row in rows:
+        m = re.fullmatch(r"BM_BatchApply(\w+)/(\d+)(?:/real_time)?",
+                         row["name"])
+        if not m:
+            continue
+        program = re.sub(r"(?<!^)(?=[A-Z])", "_", m.group(1)).lower()
+        families.setdefault(program, {})[int(m.group(2))] = row
+    batch = {}
+    for program, sizes in families.items():
+        base = sizes.get(1)
+        best = sizes.get(256)
+        if (base is None or best is None or
+                not base.get("items_per_second") or
+                not best.get("items_per_second")):
+            continue
+        entry = {
+            "at": best["name"],
+            "batch_1_items_per_second": round(base["items_per_second"], 3),
+            "batch_256_items_per_second": round(best["items_per_second"], 3),
+            "speedup_256_vs_1": round(best["items_per_second"] /
+                                      base["items_per_second"], 3),
+        }
+        for key in ("fsyncs_per_request", "journal_bytes_per_request"):
+            if key in best.get("counters", {}):
+                entry[key] = best["counters"][key]
+        worst = [row["counters"]["fsyncs_per_request"]
+                 for size, row in sizes.items()
+                 if size >= 256 and "fsyncs_per_request" in row.get("counters", {})]
+        if worst:
+            entry["fsyncs_per_request_max_at_256plus"] = max(worst)
+        batch[program] = entry
+    return batch
 
 
 def check_gates(derived, args):
@@ -225,6 +276,34 @@ def check_gates(derived, args):
         elif ratio < args.min_delta_write_ratio:
             failures.append(f"gate delta_write_ratio: {ratio} < required "
                             f"{args.min_delta_write_ratio}")
+    for spec in args.min_batch_speedup or []:
+        key, _, threshold = spec.partition(":")
+        if not threshold:
+            failures.append(
+                f"malformed --min-batch-speedup '{spec}' (want PROGRAM:RATIO)")
+            continue
+        entry = derived.get("batch", {}).get(key)
+        if entry is None:
+            failures.append(f"gate batch_speedup[{key}]: no derived.batch row "
+                            "(bench_batch missing?)")
+        elif entry["speedup_256_vs_1"] < float(threshold):
+            failures.append(
+                f"gate batch_speedup[{key}]: 256-vs-1 throughput ratio "
+                f"{entry['speedup_256_vs_1']} < required {threshold}")
+    if args.max_batch_fsyncs is not None:
+        batch = derived.get("batch", {})
+        if not batch:
+            failures.append("gate batch_fsyncs: no derived.batch rows "
+                            "(bench_batch missing?)")
+        for program, entry in sorted(batch.items()):
+            worst = entry.get("fsyncs_per_request_max_at_256plus")
+            if worst is None:
+                failures.append(f"gate batch_fsyncs[{program}]: "
+                                "fsyncs_per_request counter missing")
+            elif worst > args.max_batch_fsyncs:
+                failures.append(
+                    f"gate batch_fsyncs[{program}]: {worst} fsyncs/request at "
+                    f"batch >= 256 exceeds {args.max_batch_fsyncs}")
     return failures
 
 
@@ -245,6 +324,13 @@ def main():
     parser.add_argument("--min-delta-write-ratio", type=float, metavar="R",
                         help="fail unless tuples_delta_written/tuples_written "
                              ">= R on the default-configuration replay")
+    parser.add_argument("--min-batch-speedup", action="append",
+                        metavar="PROGRAM:RATIO",
+                        help="fail unless derived.batch[PROGRAM] 256-vs-1 "
+                             "throughput ratio >= RATIO (repeatable)")
+    parser.add_argument("--max-batch-fsyncs", type=float, metavar="F",
+                        help="fail unless every derived.batch program stays "
+                             "<= F fsyncs/request at batch sizes >= 256")
     args = parser.parse_args()
 
     context, rows = load_rows(args.inputs)

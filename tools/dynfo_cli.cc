@@ -6,7 +6,8 @@
 /// Usage:
 ///   dynfo_cli [--backend=MODE] [--restore=FILE] [--journal=FILE]
 ///             [--durable-dir=DIR] [--checkpoint-interval=N] [--deadline-ms=N]
-///             [--max-memory-mb=N] <program.dynfo> <universe-size> [script-file]
+///             [--max-memory-mb=N] [--batch-size=N]
+///             <program.dynfo> <universe-size> [script-file]
 ///
 /// Flags:
 ///   --backend=MODE     relation storage backend: `auto` (default; the
@@ -37,6 +38,11 @@
 ///                      engine left untouched
 ///   --max-memory-mb=N  per-request budget for materialized intermediates;
 ///                      a breach aborts the request instead of OOM-ing
+///   --batch-size=N     script (replay) mode only: auto-group consecutive
+///                      mutation commands (ins/del/set) into ApplyBatch
+///                      calls of up to N requests — one group commit and one
+///                      fsync per batch. A non-mutation command, a full
+///                      batch, or end-of-script flushes the pending group.
 ///
 /// Exit codes map the error taxonomy (core/status.h) so scripts can branch
 /// on what went wrong:
@@ -50,6 +56,13 @@
 ///   ins <relation> <e1> <e2> ...     insert a tuple
 ///   del <relation> <e1> <e2> ...     delete a tuple
 ///   set <constant> <value>           assign a constant
+///   batch ... end                    group the enclosed ins/del/set lines
+///                                    into ONE ApplyBatch (one group commit,
+///                                    one fsync). Only mutations may appear
+///                                    inside; a malformed block (unknown
+///                                    command, nested batch, EOF before end)
+///                                    applies nothing and exits 2 in script
+///                                    mode
 ///   query                            evaluate the boolean query
 ///   show <name> [params...]          print a named query / data relation
 ///   eval <formula>                   evaluate an ad-hoc FO sentence
@@ -68,6 +81,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -132,6 +146,37 @@ bool ParseElements(const std::vector<std::string>& words, size_t start,
   return true;
 }
 
+/// Parses one mutation command (`ins`, `del`, or `set`) into a Request.
+/// Prints the reason and returns false when the words don't form one; the
+/// caller decides whether that aborts (batch block) or skips the line
+/// (single-command mode, matching the historical behavior).
+bool ParseMutation(const std::vector<std::string>& words, Request* out) {
+  const std::string& command = words[0];
+  if (command == "ins" || command == "del") {
+    if (words.size() < 2) {
+      std::printf("error: %s needs a relation name\n", command.c_str());
+      return false;
+    }
+    std::vector<Element> elements;
+    if (!ParseElements(words, 2, &elements)) return false;
+    Tuple t;
+    for (Element e : elements) t = t.Append(e);
+    *out = command == "ins" ? Request::Insert(words[1], t)
+                            : Request::Delete(words[1], t);
+    return true;
+  }
+  if (command == "set") {
+    std::vector<Element> elements;
+    if (words.size() != 3 || !ParseElements(words, 2, &elements)) {
+      std::printf("error: usage: set <constant> <value>\n");
+      return false;
+    }
+    *out = Request::SetConstant(words[1], elements[0]);
+    return true;
+  }
+  return false;
+}
+
 /// The shell's mutable state: either a bare Engine (optionally with a
 /// legacy journal) or a GuardedEngine owning the durable store. `engine`
 /// always points at the live engine either way.
@@ -140,6 +185,7 @@ struct Session {
   JournalWriter* journal = nullptr;
   GuardedEngine* guarded = nullptr;  ///< non-null in --durable-dir mode
   dynfo::dyn::ApplyGovernance governance;
+  size_t batch_size = 0;  ///< --batch-size=N auto-grouping; 0 = off
 
   bool durable() const { return guarded != nullptr; }
 };
@@ -174,10 +220,62 @@ dynfo::core::Status ApplyValidated(Session* session, const Request& request) {
   return engine->TryApply(request, session->governance);
 }
 
+/// Batched counterpart of ApplyValidated: one journal record and one fsync
+/// for the whole group. Durable mode delegates to GuardedEngine::ApplyBatch
+/// (group commit + prefix-atomic abort); otherwise every member is
+/// validated up front — a batch with any invalid member applies nothing —
+/// then the group is journaled as a single record and applied under the
+/// session's governance with one governor for the whole batch.
+dynfo::core::Status ApplyBatchValidated(Session* session,
+                                        std::span<const Request> requests,
+                                        dynfo::dyn::BatchReport* report) {
+  if (session->durable()) return session->guarded->ApplyBatch(requests, report);
+  Engine* engine = session->engine;
+  for (const Request& request : requests) {
+    dynfo::core::Status valid = dynfo::relational::ValidateRequest(
+        *engine->program().input_vocabulary(), engine->universe_size(), request);
+    if (valid.ok() && engine->program().semi_dynamic() &&
+        request.kind == dynfo::relational::RequestKind::kDelete) {
+      valid = dynfo::core::Status::Error("program '" + engine->program().name() +
+                                         "' is semi-dynamic: deletes are not supported");
+    }
+    if (!valid.ok()) return valid;
+  }
+  if (session->journal != nullptr) {
+    dynfo::core::Status logged = session->journal->AppendBatch(requests);
+    if (!logged.ok()) {
+      return dynfo::core::Status::Error("journal append failed: " +
+                                        std::string(logged.message()));
+    }
+  }
+  return engine->TryApplyBatch(requests, session->governance, report);
+}
+
 int Run(Session* session, std::istream& in, bool interactive) {
   Engine* engine = session->engine;
   auto program = engine->program().data_vocabulary();
   dynfo::fo::ParserEnvironment formulas(program);
+
+  // --batch-size replay mode: consecutive mutations accumulate here and go
+  // through one group-committed ApplyBatch per full group. Any non-mutation
+  // command (and end-of-script) flushes first so reads still observe every
+  // preceding write, exactly as in unbatched replay.
+  std::vector<Request> pending;
+  auto flush_pending = [&]() -> int {
+    if (pending.empty()) return 0;
+    dynfo::dyn::BatchReport report;
+    dynfo::core::Status applied = ApplyBatchValidated(session, pending, &report);
+    const size_t size = pending.size();
+    pending.clear();
+    if (applied.ok()) {
+      std::printf("ok: batch applied %zu request(s)\n", size);
+      return 0;
+    }
+    std::printf("error: %s (batch applied %zu of %zu)\n",
+                applied.ToString().c_str(), report.applied, size);
+    return ExitCodeFor(applied.code());
+  };
+
   std::string line;
   if (interactive) std::printf("dynfo> ");
   while (std::getline(in, line)) {
@@ -189,18 +287,24 @@ int Run(Session* session, std::istream& in, bool interactive) {
       continue;
     }
     const std::string& command = words[0];
+    const bool mutation =
+        command == "ins" || command == "del" || command == "set";
+    if (!mutation && command != "batch") {
+      int flushed = flush_pending();
+      if (flushed != 0 && !interactive) return flushed;
+    }
     if (command == "quit" || command == "exit") break;
 
-    if (command == "ins" || command == "del") {
-      if (words.size() < 2) {
-        std::printf("error: %s needs a relation name\n", command.c_str());
-      } else {
-        std::vector<Element> elements;
-        if (ParseElements(words, 2, &elements)) {
-          Tuple t;
-          for (Element e : elements) t = t.Append(e);
-          Request request = command == "ins" ? Request::Insert(words[1], t)
-                                             : Request::Delete(words[1], t);
+    if (mutation) {
+      Request request;
+      if (ParseMutation(words, &request)) {
+        if (session->batch_size > 0) {
+          pending.push_back(request);
+          if (pending.size() >= session->batch_size) {
+            int flushed = flush_pending();
+            if (flushed != 0 && !interactive) return flushed;
+          }
+        } else {
           dynfo::core::Status applied = ApplyValidated(session, request);
           if (applied.ok()) {
             std::printf("ok: %s\n", request.ToString().c_str());
@@ -210,19 +314,63 @@ int Run(Session* session, std::istream& in, bool interactive) {
           }
         }
       }
-    } else if (command == "set") {
-      std::vector<Element> elements;
-      if (words.size() == 3 && ParseElements(words, 2, &elements)) {
+    } else if (command == "batch") {
+      // An explicit group-commit block: collect mutations until `end`, then
+      // apply them as ONE batch. A malformed block (anything that is not a
+      // well-formed mutation inside it, a nested `batch`, arguments after
+      // `batch`, or EOF before `end`) applies nothing — exit 2 in script
+      // mode, per the documented usage-error code.
+      int flushed = flush_pending();
+      if (flushed != 0 && !interactive) return flushed;
+      bool malformed = false;
+      bool closed = false;
+      std::vector<Request> group;
+      if (words.size() != 1) {
+        std::printf("error: batch takes no arguments (batch ... end)\n");
+        malformed = true;
+        closed = true;  // do not consume the rest of the block
+      }
+      std::string inner;
+      while (!closed && std::getline(in, inner)) {
+        size_t inner_hash = inner.find('#');
+        if (inner_hash != std::string::npos) inner.erase(inner_hash);
+        std::vector<std::string> body = Split(inner);
+        if (body.empty()) continue;
+        if (body[0] == "end") {
+          closed = true;
+          break;
+        }
+        if (body[0] != "ins" && body[0] != "del" && body[0] != "set") {
+          std::printf("error: '%s' is not allowed inside a batch block\n",
+                      body[0].c_str());
+          malformed = true;
+          break;
+        }
+        Request request;
+        if (!ParseMutation(body, &request)) {
+          malformed = true;
+          break;
+        }
+        group.push_back(request);
+      }
+      if (!malformed && !closed) {
+        std::printf("error: batch block not closed with 'end'\n");
+        malformed = true;
+      }
+      if (malformed) {
+        std::printf("error: malformed batch block; nothing applied\n");
+        if (!interactive) return 2;
+      } else {
+        dynfo::dyn::BatchReport report;
         dynfo::core::Status applied =
-            ApplyValidated(session, Request::SetConstant(words[1], elements[0]));
+            ApplyBatchValidated(session, group, &report);
         if (applied.ok()) {
-          std::printf("ok: set(%s, %u)\n", words[1].c_str(), elements[0]);
+          std::printf("ok: batch applied %zu request(s)\n", group.size());
         } else {
-          std::printf("error: %s\n", applied.ToString().c_str());
+          std::printf("error: %s (batch applied %zu of %zu)\n",
+                      applied.ToString().c_str(), report.applied, group.size());
           if (!interactive) return ExitCodeFor(applied.code());
         }
-      } else {
-        std::printf("error: usage: set <constant> <value>\n");
       }
     } else if (command == "query") {
       std::printf("%s\n", engine->QueryBool() ? "true" : "false");
@@ -253,12 +401,16 @@ int Run(Session* session, std::istream& in, bool interactive) {
       }
     } else if (command == "stats") {
       const Engine::Stats& stats = engine->stats();
-      std::printf("requests=%llu recomputed=%llu delta=%llu +%llu/-%llu tuples\n",
-                  static_cast<unsigned long long>(stats.requests),
-                  static_cast<unsigned long long>(stats.relations_recomputed),
-                  static_cast<unsigned long long>(stats.delta_applications),
-                  static_cast<unsigned long long>(stats.tuples_inserted),
-                  static_cast<unsigned long long>(stats.tuples_erased));
+      std::printf(
+          "requests=%llu recomputed=%llu delta=%llu +%llu/-%llu tuples "
+          "batches=%llu batch_requests=%llu\n",
+          static_cast<unsigned long long>(stats.requests),
+          static_cast<unsigned long long>(stats.relations_recomputed),
+          static_cast<unsigned long long>(stats.delta_applications),
+          static_cast<unsigned long long>(stats.tuples_inserted),
+          static_cast<unsigned long long>(stats.tuples_erased),
+          static_cast<unsigned long long>(stats.batches),
+          static_cast<unsigned long long>(stats.batch_requests));
       const dynfo::fo::EvalStats eval = engine->eval_stats();
       std::printf("backend:");
       for (int i = 0; i < program->num_relations(); ++i) {
@@ -277,9 +429,11 @@ int Run(Session* session, std::istream& in, bool interactive) {
         const dynfo::dyn::DurableStore::Counters& c =
             session->guarded->durable_store()->counters();
         std::printf(
-            "durable: appends=%llu fsyncs=%llu checkpoints=%llu full=%llu "
-            "rotated=%llu collected=%llu\n",
+            "durable: appends=%llu batch_appends=%llu bytes=%llu fsyncs=%llu "
+            "checkpoints=%llu full=%llu rotated=%llu collected=%llu\n",
             static_cast<unsigned long long>(c.appends),
+            static_cast<unsigned long long>(c.batch_appends),
+            static_cast<unsigned long long>(c.bytes_appended),
             static_cast<unsigned long long>(c.fsyncs),
             static_cast<unsigned long long>(c.checkpoints),
             static_cast<unsigned long long>(c.full_snapshots),
@@ -372,7 +526,7 @@ int Run(Session* session, std::istream& in, bool interactive) {
     }
     if (interactive) std::printf("dynfo> ");
   }
-  return 0;
+  return flush_pending();
 }
 
 }  // namespace
@@ -382,6 +536,7 @@ int main(int argc, char** argv) {
   std::string journal_path;
   std::string durable_dir;
   uint64_t checkpoint_interval = 0;  // 0 = DurableStoreOptions default
+  size_t batch_size = 0;             // 0 = unbatched replay
   dynfo::dyn::ApplyGovernance governance;
   dynfo::dyn::EngineOptions engine_options;
   engine_options.use_dense_relations = true;  // --backend=auto
@@ -434,6 +589,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       governance.limits.max_bytes = megabytes * 1024 * 1024;
+    } else if (arg.rfind("--batch-size=", 0) == 0) {
+      uint64_t size = 0;
+      if (!dynfo::core::ParseU64(arg.substr(13), &size) || size == 0) {
+        std::fprintf(stderr, "error: bad --batch-size value '%s'\n",
+                     arg.substr(13).c_str());
+        return 2;
+      }
+      batch_size = static_cast<size_t>(size);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       return 2;
@@ -446,8 +609,8 @@ int main(int argc, char** argv) {
                  "usage: %s [--backend=auto|hash|dense] [--restore=FILE] "
                  "[--journal=FILE] [--durable-dir=DIR] "
                  "[--checkpoint-interval=N] [--deadline-ms=N] "
-                 "[--max-memory-mb=N] <program.dynfo> <universe-size> "
-                 "[script]\n",
+                 "[--max-memory-mb=N] [--batch-size=N] "
+                 "<program.dynfo> <universe-size> [script]\n",
                  argv[0]);
     return 2;
   }
@@ -459,6 +622,12 @@ int main(int argc, char** argv) {
   }
   if (checkpoint_interval != 0 && durable_dir.empty()) {
     std::fprintf(stderr, "error: --checkpoint-interval needs --durable-dir\n");
+    return 2;
+  }
+  if (batch_size != 0 && positional.size() != 3) {
+    std::fprintf(stderr,
+                 "error: --batch-size is a script (replay) mode flag; use a "
+                 "`batch ... end` block interactively\n");
     return 2;
   }
   std::ifstream spec(positional[0]);
@@ -484,6 +653,7 @@ int main(int argc, char** argv) {
   std::optional<GuardedEngine> guarded;
   Session session;
   session.governance = governance;
+  session.batch_size = batch_size;
 
   if (!durable_dir.empty()) {
     dynfo::dyn::GuardedEngineOptions options;

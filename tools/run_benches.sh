@@ -5,7 +5,8 @@
 #
 # Usage:
 #   tools/run_benches.sh [--build-dir DIR] [--smoke] [--out FILE] \
-#                        [--min-speedup KEY:RATIO]... [--min-delta-write-ratio R]
+#                        [--min-speedup KEY:RATIO]... [--min-delta-write-ratio R] \
+#                        [--min-batch-speedup PROGRAM:RATIO]... [--max-batch-fsyncs F]
 #
 #   --build-dir DIR  build tree containing bench/ binaries (default: build-rel)
 #   --smoke          short measurement windows — CI sanity run, not for
@@ -15,6 +16,12 @@
 #                    forwarded gate: fail unless derived speedup KEY >= RATIO
 #   --min-delta-write-ratio R
 #                    forwarded gate: fail unless the delta write ratio >= R
+#   --min-batch-speedup PROGRAM:RATIO
+#                    forwarded gate: fail unless the group-commit 256-vs-1
+#                    throughput ratio for PROGRAM >= RATIO (bench_batch)
+#   --max-batch-fsyncs F
+#                    forwarded gate: fail unless every bench_batch program
+#                    stays <= F fsyncs/request at batch sizes >= 256
 #
 # The build directory is configured and built here if needed, always as an
 # optimized Release tree: quoting (or gating on) numbers from a debug build
@@ -40,11 +47,13 @@ while [[ $# -gt 0 ]]; do
     --out) OUT="$2"; shift 2 ;;
     --min-speedup) AGG_FLAGS+=("--min-speedup" "$2"); shift 2 ;;
     --min-delta-write-ratio) AGG_FLAGS+=("--min-delta-write-ratio" "$2"); shift 2 ;;
+    --min-batch-speedup) AGG_FLAGS+=("--min-batch-speedup" "$2"); shift 2 ;;
+    --max-batch-fsyncs) AGG_FLAGS+=("--max-batch-fsyncs" "$2"); shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
 
-CORE_BENCHES=(bench_evaluators bench_parity bench_reach_u)
+CORE_BENCHES=(bench_evaluators bench_parity bench_reach_u bench_batch)
 
 cache_build_type() {
   sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$1/CMakeCache.txt" 2>/dev/null || true
