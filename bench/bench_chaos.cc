@@ -8,6 +8,11 @@
 /// the binary via DYNFO_CHECK with the seed/trial context in the message
 /// (a one-line repro). CI runs this with fixed seeds as the chaos-soak job.
 ///
+/// --repro=SEED:SCENARIO replays exactly one trial (SCENARIO is the
+/// registry index or the scenario name printed in the failure message)
+/// single-threaded and exits 0 if it survives — the one-line repro for any
+/// soak failure.
+///
 /// Reported counters per run:
 ///   * trials / faults_injected      — soak coverage (13 scenarios x seeds);
 ///   * apply_p50_us / apply_p99_us   — governed Apply latency percentiles;
@@ -25,11 +30,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/fault.h"
+#include "core/text.h"
 #include "dynfo/recovery.h"
 #include "dynfo/workload.h"
 #include "programs/reach_u.h"
@@ -264,4 +271,61 @@ void BM_GovernanceOverhead(benchmark::State& state) {
 BENCHMARK(BM_GovernanceOverhead)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+/// --repro=SEED:SCENARIO — one trial, single-threaded, same checks as the
+/// soak. SCENARIO is a registry index or a scenario name.
+int RunChaosRepro(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  uint64_t seed = 0;
+  if (colon == std::string::npos ||
+      !core::ParseU64(spec.substr(0, colon), &seed)) {
+    std::fprintf(stderr, "error: bad --repro spec '%s' (want SEED:SCENARIO)\n",
+                 spec.c_str());
+    return 2;
+  }
+  const std::string which = spec.substr(colon + 1);
+  const std::vector<programs::ProgramScenario>& scenarios =
+      programs::AllScenarios();
+  const programs::ProgramScenario* scenario = nullptr;
+  uint64_t index = 0;
+  if (core::ParseU64(which, &index) && index < scenarios.size()) {
+    scenario = &scenarios[index];
+  } else {
+    for (const programs::ProgramScenario& candidate : scenarios) {
+      if (candidate.name == which) scenario = &candidate;
+    }
+  }
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "error: unknown scenario '%s'; known:\n",
+                 which.c_str());
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+      std::fprintf(stderr, "  %zu  %s\n", i, scenarios[i].name.c_str());
+    }
+    return 2;
+  }
+  SoakTotals totals;
+  RunChaosTrial(*scenario, seed, &totals);
+  std::printf(
+      "repro ok: %s seed=%llu requests=%llu faults=%llu deadline_trips=%llu\n",
+      scenario->name.c_str(), static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(totals.requests),
+      static_cast<unsigned long long>(totals.faults),
+      static_cast<unsigned long long>(totals.deadline_trips));
+  return 0;
+}
+
 }  // namespace dynfo
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--repro=", 0) == 0) {
+      return dynfo::RunChaosRepro(arg.substr(8));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -342,6 +342,23 @@ class Engine {
   relational::BackendPolicy backend_policy() const;
   size_t plan_cache_size() const { return algebra_.plan_cache_size(); }
 
+  /// A point-in-time view of the engine state: a copy-on-write copy of the
+  /// data structure plus the request counter it was taken at. The copy is
+  /// O(#relations + overlay), never O(stored tuples) — relation copies
+  /// share their base storage (relational/relation.h) and only private
+  /// overlays are duplicated — so taking a view on every committed write is
+  /// cheap. Queries against the view are read-only and never mutate the
+  /// shared base, so any number of views coexist with the live engine.
+  struct StateView {
+    relational::Structure data;
+    uint64_t version = 0;  ///< stats().requests at capture time
+  };
+
+  /// O(1) structural snapshot for concurrent readers (DESIGN.md §15). The
+  /// serializing Snapshot() below walks every tuple; this only copies
+  /// relation handles.
+  StateView SnapshotView() const { return {data_, stats_.requests}; }
+
   /// Serializes the full engine state — the data structure (auxiliary
   /// relations plus mirrored input) and the request/step counter — as a
   /// versioned, checksummed text blob. Execution options are NOT state and

@@ -1,0 +1,642 @@
+#include "dynfo/service.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "core/check.h"
+#include "core/text.h"
+#include "fo/eval_naive.h"
+#include "fo/parser.h"
+
+namespace dynfo::dyn {
+
+namespace {
+
+using relational::Element;
+using relational::Request;
+
+/// Read-path evaluation options for a tier: the ladder's first three rungs
+/// expressed as plan/index gates. Readers run single-threaded — the service
+/// gets its parallelism from concurrent sessions, not from fanning one
+/// query out.
+fo::EvalOptions ReadOptionsFor(ExecTier tier) {
+  fo::EvalOptions options;
+  options.num_threads = 1;
+  switch (tier) {
+    case ExecTier::kCompiledIndexed:
+      options.use_compiled_plans = true;
+      options.use_indexes = true;
+      break;
+    case ExecTier::kCompiled:
+      options.use_compiled_plans = true;
+      options.use_indexes = false;
+      break;
+    default:
+      options.use_compiled_plans = false;
+      options.use_indexes = false;
+      break;
+  }
+  return options;
+}
+
+}  // namespace
+
+ExecTier ChooseReadTier(size_t waiting, size_t queue_limit,
+                        double shed_compiled_at, double shed_naive_at) {
+  if (queue_limit == 0 || waiting == 0) return ExecTier::kCompiledIndexed;
+  const double load =
+      static_cast<double>(waiting) / static_cast<double>(queue_limit);
+  if (load >= shed_naive_at) return ExecTier::kNaive;
+  if (load >= shed_compiled_at) return ExecTier::kCompiled;
+  return ExecTier::kCompiledIndexed;
+}
+
+EngineService::EngineService(std::shared_ptr<const DynProgram> program,
+                             size_t universe_size, ServiceOptions options,
+                             Oracle oracle, InvariantCheck invariant)
+    : options_(std::move(options)),
+      guarded_(std::move(program), universe_size, std::move(oracle),
+               std::move(invariant), options_.engine) {
+  // Version 0: the post-init initial state, so readers that arrive before
+  // the first write have something to pin.
+  PublishLocked();
+}
+
+core::Result<EngineService::SessionId> EngineService::OpenSession(
+    ApplyGovernance governance) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (options_.max_sessions != 0 && sessions_.size() >= options_.max_sessions) {
+    sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return core::Status::ResourceExhausted(
+        "session limit reached (" + std::to_string(sessions_.size()) + " of " +
+        std::to_string(options_.max_sessions) + " open)");
+  }
+  const SessionId id = next_session_++;
+  sessions_[id] = governance;
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void EngineService::CloseSession(SessionId session) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  if (sessions_.erase(session) > 0) {
+    sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+core::Status EngineService::SetSessionGovernance(
+    SessionId session, const ApplyGovernance& governance) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return core::Status::Error("unknown session " + std::to_string(session));
+  }
+  it->second = governance;
+  return core::Status();
+}
+
+ApplyGovernance EngineService::SessionGovernance(SessionId session) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  auto it = sessions_.find(session);
+  if (it != sessions_.end() && it->second.active()) return it->second;
+  return options_.engine.governance.governance;
+}
+
+core::Status EngineService::AdmitWriter(const ApplyGovernance& governance) {
+  const size_t limit = options_.admission_queue_limit;
+  const size_t waiting =
+      waiting_writers_.fetch_add(1, std::memory_order_acq_rel);
+  if (limit != 0 && waiting >= limit) {
+    waiting_writers_.fetch_sub(1, std::memory_order_acq_rel);
+    admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return core::Status::ResourceExhausted(
+        "admission queue full: " + std::to_string(waiting) +
+        " writer(s) already waiting (limit " + std::to_string(limit) + ")");
+  }
+  bool locked = false;
+  if (governance.deadline_ms > 0) {
+    // The session's deadline bounds the WAIT too: a writer that cannot even
+    // start before its budget expires reports the timeout instead of
+    // arriving at the engine pre-expired.
+    locked = writer_mutex_.try_lock_for(
+        std::chrono::milliseconds(governance.deadline_ms));
+  } else if (governance.deadline_ms < 0) {
+    locked = writer_mutex_.try_lock();  // already-expired: at most a free try
+  } else {
+    writer_mutex_.lock();
+    locked = true;
+  }
+  waiting_writers_.fetch_sub(1, std::memory_order_acq_rel);
+  if (!locked) {
+    admission_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return core::Status::DeadlineExceeded(
+        "timed out waiting for the writer lock (deadline " +
+        std::to_string(governance.deadline_ms) + " ms)");
+  }
+  return core::Status();
+}
+
+void EngineService::SetWriteGovernanceLocked(
+    const ApplyGovernance& governance) {
+  // The ladder/attempt policy is service-wide; only the per-session budget
+  // swaps per write.
+  guarded_.mutable_governance()->governance = governance;
+}
+
+void EngineService::PublishLocked() {
+  Engine::StateView view = guarded_.engine().SnapshotView();
+  auto version = std::make_shared<Version>(std::move(view.data), view.version,
+                                           /*epoch=*/0,
+                                           guarded_.engine().program_ptr());
+  {
+    std::lock_guard<std::mutex> lock(versions_mutex_);
+    version->epoch = next_epoch_++;
+    versions_.push_back(std::move(version));
+  }
+  snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EngineService::Reclaim() {
+  // Destroy retired versions outside the lock: dropping a Structure frees
+  // relation storage, which is not a constant-time critical section.
+  std::vector<std::shared_ptr<Version>> retired;
+  {
+    std::lock_guard<std::mutex> lock(versions_mutex_);
+    while (versions_.size() > 1 &&
+           versions_.front()->pins.load(std::memory_order_acquire) == 0) {
+      retired.push_back(std::move(versions_.front()));
+      versions_.pop_front();
+    }
+  }
+  if (!retired.empty()) {
+    snapshots_reclaimed_.fetch_add(retired.size(), std::memory_order_relaxed);
+  }
+}
+
+void EngineService::FinishWrite(bool publish) {
+  if (publish) PublishLocked();
+  writer_mutex_.unlock();
+  Reclaim();
+}
+
+core::Status EngineService::Apply(SessionId session, const Request& request) {
+  const ApplyGovernance governance = SessionGovernance(session);
+  core::Status admitted = AdmitWriter(governance);
+  if (!admitted.ok()) return admitted;
+  SetWriteGovernanceLocked(governance);
+  core::Status applied = guarded_.Apply(request);
+  if (applied.ok()) {
+    writes_applied_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.record_applied_history) applied_history_.push_back(request);
+  } else {
+    write_calls_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  FinishWrite(/*publish=*/applied.ok());
+  return applied;
+}
+
+core::Status EngineService::ApplyBatch(SessionId session,
+                                       std::span<const Request> requests,
+                                       BatchReport* report) {
+  BatchReport local;
+  if (report == nullptr) report = &local;
+  const ApplyGovernance governance = SessionGovernance(session);
+  core::Status admitted = AdmitWriter(governance);
+  if (!admitted.ok()) {
+    *report = BatchReport{};
+    report->code = admitted.code();
+    return admitted;
+  }
+  SetWriteGovernanceLocked(governance);
+  core::Status applied = guarded_.ApplyBatch(requests, report);
+  // Prefix atomicity: whatever prefix committed is real history even when
+  // the batch as a whole failed.
+  if (report->applied > 0) {
+    writes_applied_.fetch_add(report->applied, std::memory_order_relaxed);
+    if (options_.record_applied_history) {
+      applied_history_.insert(applied_history_.end(), requests.begin(),
+                              requests.begin() + report->applied);
+    }
+  }
+  if (!applied.ok()) {
+    write_calls_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  FinishWrite(/*publish=*/report->applied > 0);
+  return applied;
+}
+
+core::Status EngineService::ApplyDefinable(SessionId session,
+                                           const DefinableChange& change,
+                                           BatchReport* report) {
+  BatchReport local;
+  if (report == nullptr) report = &local;
+  const ApplyGovernance governance = SessionGovernance(session);
+  core::Status admitted = AdmitWriter(governance);
+  if (!admitted.ok()) {
+    *report = BatchReport{};
+    report->code = admitted.code();
+    return admitted;
+  }
+  SetWriteGovernanceLocked(governance);
+  // Materialize under the writer lock (the change set is defined over the
+  // CURRENT state) and push the expansion through the batched pipeline —
+  // the same move GuardedEngine::ApplyDefinable makes, unrolled here so the
+  // applied history records the expanded single-tuple requests.
+  relational::RequestSequence expanded =
+      guarded_.engine().MaterializeDefinableChange(change);
+  core::Status applied = guarded_.ApplyBatch(expanded, report);
+  if (report->applied > 0) {
+    writes_applied_.fetch_add(report->applied, std::memory_order_relaxed);
+    if (options_.record_applied_history) {
+      applied_history_.insert(applied_history_.end(), expanded.begin(),
+                              expanded.begin() + report->applied);
+    }
+  }
+  if (!applied.ok()) {
+    write_calls_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  FinishWrite(/*publish=*/report->applied > 0);
+  return applied;
+}
+
+core::Status EngineService::Restore(const std::string& snapshot) {
+  writer_mutex_.lock();
+  core::Status restored = guarded_.mutable_engine()->Restore(snapshot);
+  FinishWrite(/*publish=*/restored.ok());
+  return restored;
+}
+
+core::Status EngineService::ReloadProgram(
+    std::shared_ptr<const DynProgram> program) {
+  writer_mutex_.lock();
+  core::Status reloaded =
+      guarded_.mutable_engine()->ReloadProgram(std::move(program));
+  FinishWrite(/*publish=*/reloaded.ok());
+  return reloaded;
+}
+
+std::string EngineService::Snapshot() {
+  std::lock_guard<WriterLock> lock(writer_mutex_);
+  return guarded_.engine().Snapshot();
+}
+
+EngineService::ReadPin EngineService::PinVersion() {
+  const ExecTier tier = ChooseReadTier(
+      waiting_writers_.load(std::memory_order_relaxed),
+      options_.admission_queue_limit, options_.shed_compiled_at,
+      options_.shed_naive_at);
+  std::shared_ptr<Version> version;
+  {
+    std::lock_guard<std::mutex> lock(versions_mutex_);
+    version = versions_.back();
+    version->pins.fetch_add(1, std::memory_order_acq_rel);
+  }
+  reads_tier_[static_cast<int>(tier)].fetch_add(1, std::memory_order_relaxed);
+  return ReadPin(this, std::move(version), tier);
+}
+
+void EngineService::ReadPin::Release() {
+  if (version_ == nullptr) return;
+  version_->pins.fetch_sub(1, std::memory_order_acq_rel);
+  version_ = nullptr;
+  if (service_ != nullptr) {
+    service_->Reclaim();
+    service_ = nullptr;
+  }
+}
+
+bool EngineService::QueryBool(const ReadPin& pin,
+                              std::vector<Element> params) const {
+  const fo::FormulaPtr& query = pin.program().bool_query();
+  DYNFO_CHECK(query != nullptr)
+      << pin.program().name() << " has no boolean query";
+  return QuerySentence(pin, query, std::move(params));
+}
+
+bool EngineService::QuerySentence(const ReadPin& pin,
+                                  const fo::FormulaPtr& sentence,
+                                  std::vector<Element> params) const {
+  reads_served_.fetch_add(1, std::memory_order_relaxed);
+  fo::EvalContext ctx(pin.data(), std::move(params),
+                      ReadOptionsFor(pin.tier()));
+  if (pin.tier() == ExecTier::kNaive) {
+    return fo::NaiveEvaluator::HoldsSentence(sentence, ctx);
+  }
+  return read_algebra_.HoldsSentence(sentence, ctx);
+}
+
+core::Result<relational::Relation> EngineService::QueryRelation(
+    const ReadPin& pin, const std::string& name,
+    std::vector<Element> params) const {
+  const NamedQuery* query = pin.program().FindNamedQuery(name);
+  if (query == nullptr) {
+    return core::Status::Error(pin.program().name() + " has no query named " +
+                               name);
+  }
+  reads_served_.fetch_add(1, std::memory_order_relaxed);
+  fo::EvalContext ctx(pin.data(), std::move(params),
+                      ReadOptionsFor(pin.tier()));
+  if (pin.tier() == ExecTier::kNaive) {
+    return fo::NaiveEvaluator::EvaluateAsRelation(
+        query->formula, query->tuple_variables, ctx);
+  }
+  return read_algebra_.EvaluateAsRelation(query->formula,
+                                          query->tuple_variables, ctx);
+}
+
+bool EngineService::ReadQueryBool(std::vector<Element> params) {
+  ReadPin pin = PinVersion();
+  return QueryBool(pin, std::move(params));
+}
+
+ServiceStats EngineService::stats() const {
+  ServiceStats out;
+  out.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  out.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  out.sessions_rejected = sessions_rejected_.load(std::memory_order_relaxed);
+  out.writes_applied = writes_applied_.load(std::memory_order_relaxed);
+  out.write_calls_failed =
+      write_calls_failed_.load(std::memory_order_relaxed);
+  out.admission_rejections =
+      admission_rejections_.load(std::memory_order_relaxed);
+  out.admission_timeouts =
+      admission_timeouts_.load(std::memory_order_relaxed);
+  out.reads_served = reads_served_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumReadTiers; ++i) {
+    out.reads_tier[i] = reads_tier_[i].load(std::memory_order_relaxed);
+  }
+  out.snapshots_published =
+      snapshots_published_.load(std::memory_order_relaxed);
+  out.snapshots_reclaimed =
+      snapshots_reclaimed_.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t EngineService::retained_versions() const {
+  std::lock_guard<std::mutex> lock(versions_mutex_);
+  return versions_.size();
+}
+
+// -- ServiceServer ----------------------------------------------------------
+
+ServiceServer::ServiceServer(EngineService* service, wire::Address address)
+    : service_(service), address_(std::move(address)) {}
+
+ServiceServer::~ServiceServer() { Stop(); }
+
+core::Status ServiceServer::Start() {
+  core::Result<int> listened = wire::Listen(address_);
+  if (!listened.ok()) return listened.status();
+  listen_fd_ = listened.value();
+  if (address_.kind == wire::Address::Kind::kTcp && address_.port == 0) {
+    core::Result<int> port = wire::BoundPort(listen_fd_);
+    if (!port.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return port.status();
+    }
+    address_.port = port.value();
+  }
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread(&ServiceServer::AcceptLoop, this);
+  return core::Status();
+}
+
+void ServiceServer::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Joining drains the vector; ServeConnection closes its own fd.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    threads.swap(connection_threads_);
+    connection_fds_.clear();
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (address_.kind == wire::Address::Kind::kUnix) {
+    ::unlink(address_.path.c_str());
+  }
+}
+
+void ServiceServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (Stop) or fatal
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back(&ServiceServer::ServeConnection, this, fd);
+  }
+}
+
+void ServiceServer::ServeConnection(int fd) {
+  core::Result<EngineService::SessionId> opened = service_->OpenSession();
+  if (!opened.ok()) {
+    // Typed rejection at the door: the client's retry policy treats wire
+    // code 5 as "back off and try again", which is exactly right for a
+    // session-limit rejection.
+    (void)wire::WriteFrame(
+        fd, wire::EncodeResponse(wire::ExitCodeFor(opened.status().code()),
+                                 opened.status().message()));
+    ::close(fd);
+    return;
+  }
+  const EngineService::SessionId session = opened.value();
+  std::string request;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    core::Status got = wire::ReadFrame(fd, &request);
+    if (!got.ok()) break;  // orderly close, churn kill, or transport error
+    std::vector<std::string> words = wire::SplitWords(
+        request.substr(0, request.find('\n')));
+    if (!words.empty() && (words[0] == "quit" || words[0] == "exit")) {
+      (void)wire::WriteFrame(fd, wire::EncodeResponse(0, "bye"));
+      break;
+    }
+    std::string response = Dispatch(session, request);
+    if (!wire::WriteFrame(fd, response).ok()) break;
+  }
+  service_->CloseSession(session);
+  ::close(fd);
+}
+
+std::string ServiceServer::Dispatch(EngineService::SessionId session,
+                                    const std::string& request) {
+  using wire::EncodeResponse;
+  using wire::ExitCodeFor;
+  const size_t first_newline = request.find('\n');
+  const std::string first_line = request.substr(0, first_newline);
+  std::vector<std::string> words = wire::SplitWords(first_line);
+  if (words.empty()) return EncodeResponse(2, "empty request");
+  const std::string& command = words[0];
+
+  if (wire::IsMutationCommand(command)) {
+    Request parsed;
+    std::string error;
+    if (!wire::ParseMutation(words, &parsed, &error)) {
+      return EncodeResponse(2, error);
+    }
+    core::Status applied = service_->Apply(session, parsed);
+    if (!applied.ok()) {
+      return EncodeResponse(ExitCodeFor(applied.code()), applied.ToString());
+    }
+    return EncodeResponse(0, "ok");
+  }
+
+  if (command == "batch") {
+    if (words.size() != 1) {
+      return EncodeResponse(2, "batch takes no arguments (batch ... end)");
+    }
+    if (first_newline == std::string::npos) {
+      return EncodeResponse(2, "batch frame holds no block");
+    }
+    std::vector<Request> group;
+    std::istringstream body(request.substr(first_newline + 1));
+    std::string line;
+    bool closed = false;
+    while (std::getline(body, line)) {
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::vector<std::string> inner = wire::SplitWords(line);
+      if (inner.empty()) continue;
+      if (inner[0] == "end") {
+        closed = true;
+        break;
+      }
+      if (!wire::IsMutationCommand(inner[0])) {
+        return EncodeResponse(
+            2, "'" + inner[0] + "' is not allowed inside a batch block");
+      }
+      Request parsed;
+      std::string error;
+      if (!wire::ParseMutation(inner, &parsed, &error)) {
+        return EncodeResponse(2, error);
+      }
+      group.push_back(parsed);
+    }
+    if (!closed) return EncodeResponse(2, "batch block not closed with 'end'");
+    BatchReport report;
+    core::Status applied = service_->ApplyBatch(session, group, &report);
+    if (!applied.ok()) {
+      return EncodeResponse(ExitCodeFor(applied.code()),
+                            applied.ToString() + " (batch applied " +
+                                std::to_string(report.applied) + " of " +
+                                std::to_string(group.size()) + ")");
+    }
+    return EncodeResponse(
+        0, "ok applied=" + std::to_string(group.size()));
+  }
+
+  if (command == "query") {
+    std::vector<Element> params;
+    std::string error;
+    if (!wire::ParseElements(words, 1, &params, &error)) {
+      return EncodeResponse(2, error);
+    }
+    EngineService::ReadPin pin = service_->PinVersion();
+    const bool answer = service_->QueryBool(pin, std::move(params));
+    return EncodeResponse(
+        0, std::string(answer ? "true" : "false") +
+               " v=" + std::to_string(pin.version()) +
+               " tier=" + ExecTierName(pin.tier()));
+  }
+
+  if (command == "eval") {
+    const size_t at = first_line.find("eval");
+    const std::string text = first_line.substr(at + 4);
+    EngineService::ReadPin pin = service_->PinVersion();
+    fo::ParserEnvironment formulas(pin.program().data_vocabulary());
+    auto parsed = formulas.Parse(text);
+    if (!parsed.ok()) return EncodeResponse(2, parsed.status().message());
+    if (!parsed.value()->FreeVariables().empty()) {
+      return EncodeResponse(2, "eval needs a sentence (no free variables)");
+    }
+    const bool answer = service_->QuerySentence(pin, parsed.value());
+    return EncodeResponse(
+        0, std::string(answer ? "true" : "false") +
+               " v=" + std::to_string(pin.version()) +
+               " tier=" + ExecTierName(pin.tier()));
+  }
+
+  if (command == "show") {
+    if (words.size() < 2) return EncodeResponse(2, "show needs a name");
+    std::vector<Element> params;
+    std::string error;
+    if (!wire::ParseElements(words, 2, &params, &error)) {
+      return EncodeResponse(2, error);
+    }
+    EngineService::ReadPin pin = service_->PinVersion();
+    std::string body = "v=" + std::to_string(pin.version()) + "\n";
+    if (pin.program().FindNamedQuery(words[1]) != nullptr) {
+      core::Result<relational::Relation> result =
+          service_->QueryRelation(pin, words[1], std::move(params));
+      if (!result.ok()) return EncodeResponse(1, result.status().message());
+      return EncodeResponse(0, body + result.value().ToString());
+    }
+    if (pin.program().data_vocabulary()->RelationIndex(words[1]) >= 0) {
+      return EncodeResponse(0,
+                            body + pin.data().relation(words[1]).ToString());
+    }
+    return EncodeResponse(2, "no query or relation named " + words[1]);
+  }
+
+  if (command == "deadline") {
+    uint64_t millis = 0;
+    if (words.size() != 2 || !core::ParseU64(words[1], &millis)) {
+      return EncodeResponse(2, "usage: deadline <ms> (0 clears)");
+    }
+    ApplyGovernance governance =
+        service_->options().engine.governance.governance;
+    governance.deadline_ms = static_cast<int64_t>(millis);
+    core::Status set = service_->SetSessionGovernance(session, governance);
+    if (!set.ok()) return EncodeResponse(1, set.message());
+    return EncodeResponse(0, "ok");
+  }
+
+  if (command == "stats") {
+    const ServiceStats stats = service_->stats();
+    std::ostringstream out;
+    out << "sessions=" << (stats.sessions_opened - stats.sessions_closed)
+        << " writes_applied=" << stats.writes_applied
+        << " write_calls_failed=" << stats.write_calls_failed
+        << " admission_rejections=" << stats.admission_rejections
+        << " admission_timeouts=" << stats.admission_timeouts
+        << " reads_served=" << stats.reads_served
+        << " reads_tier0=" << stats.reads_tier[0]
+        << " reads_tier1=" << stats.reads_tier[1]
+        << " reads_tier2=" << stats.reads_tier[2]
+        << " snapshots_published=" << stats.snapshots_published
+        << " snapshots_reclaimed=" << stats.snapshots_reclaimed
+        << " retained_versions=" << service_->retained_versions();
+    return EncodeResponse(0, out.str());
+  }
+
+  if (command == "ping") return EncodeResponse(0, "pong");
+
+  return EncodeResponse(2, "unknown command '" + command + "'");
+}
+
+}  // namespace dynfo::dyn

@@ -204,7 +204,54 @@ def derive(rows):
     batch = derive_batch(rows)
     if batch:
         derived["batch"] = batch
+
+    service = derive_service(rows)
+    if service:
+        derived["service"] = service
     return derived
+
+
+def derive_service(rows):
+    """derived.service: the multi-session soak scoreboard (DESIGN.md §15).
+
+    From the largest BM_ServiceSoak run: the survival gates (crashes,
+    read linearizability against the applied history, bit-identical oracle
+    state), the admission-control counters, read amortization
+    (reads_served_per_snapshot), and the shed-tier distribution. From
+    BM_SnapshotViewO1: the worst copy-on-write-view vs deep-snapshot cost
+    quotient across benched universe sizes — the O(1) publish claim as a
+    number.
+    """
+    service = {}
+    # The soak registers with Iterations(1), so its name carries an
+    # "/iterations:1" suffix that largest_arg's trailing-int parse rejects.
+    soak = None
+    soak_arg = -1
+    for row in rows:
+        m = re.match(r"BM_ServiceSoak/(\d+)(?:/|$)", row["name"])
+        if m and int(m.group(1)) > soak_arg:
+            soak, soak_arg = row, int(m.group(1))
+    if soak is not None:
+        counters = soak.get("counters", {})
+        entry = {k: counters[k] for k in
+                 ("crashes", "read_linearizability", "oracle_identical",
+                  "reads_checked", "admission_rejections",
+                  "admission_timeouts", "reads_served_per_snapshot",
+                  "sessions", "reconnects", "faults_injected",
+                  "deadline_trips")
+                 if k in counters}
+        tiers = [counters.get(f"shed_tier{i}_rate") for i in range(3)]
+        if all(t is not None for t in tiers):
+            entry["shed_tier_rates"] = [round(t, 6) for t in tiers]
+        if entry:
+            entry["at"] = soak["name"]
+            service["soak"] = entry
+    ratios = [row["counters"]["o1_ratio"] for row in rows
+              if row["name"].startswith("BM_SnapshotViewO1/") and
+              "o1_ratio" in row.get("counters", {})]
+    if ratios:
+        service["snapshot_view_o1_ratio_max"] = round(max(ratios), 6)
+    return service
 
 
 def derive_batch(rows):
@@ -304,6 +351,33 @@ def check_gates(derived, args):
                 failures.append(
                     f"gate batch_fsyncs[{program}]: {worst} fsyncs/request at "
                     f"batch >= 256 exceeds {args.max_batch_fsyncs}")
+    if args.require_service_soak:
+        soak = derived.get("service", {}).get("soak")
+        if soak is None:
+            failures.append("gate service_soak: no BM_ServiceSoak row "
+                            "(bench_service missing?)")
+        else:
+            if soak.get("crashes") != 0:
+                failures.append(
+                    f"gate service_soak: crashes {soak.get('crashes')} != 0")
+            if soak.get("read_linearizability") != 1.0:
+                failures.append(
+                    "gate service_soak: read_linearizability "
+                    f"{soak.get('read_linearizability')} != 1.0")
+            if soak.get("oracle_identical") != 1.0:
+                failures.append(
+                    "gate service_soak: oracle_identical "
+                    f"{soak.get('oracle_identical')} != 1.0")
+    if args.max_snapshot_o1_ratio is not None:
+        ratio = derived.get("service", {}).get("snapshot_view_o1_ratio_max")
+        if ratio is None:
+            failures.append("gate snapshot_o1_ratio: no BM_SnapshotViewO1 "
+                            "rows (bench_service missing?)")
+        elif ratio > args.max_snapshot_o1_ratio:
+            failures.append(
+                f"gate snapshot_o1_ratio: SnapshotView costs {ratio} of a "
+                f"deep snapshot, over the {args.max_snapshot_o1_ratio} "
+                "ceiling — the O(1) publish claim regressed")
     return failures
 
 
@@ -331,6 +405,13 @@ def main():
     parser.add_argument("--max-batch-fsyncs", type=float, metavar="F",
                         help="fail unless every derived.batch program stays "
                              "<= F fsyncs/request at batch sizes >= 256")
+    parser.add_argument("--require-service-soak", action="store_true",
+                        help="fail unless the BM_ServiceSoak row exists with "
+                             "crashes == 0, read_linearizability == 1.0, and "
+                             "oracle_identical == 1.0")
+    parser.add_argument("--max-snapshot-o1-ratio", type=float, metavar="R",
+                        help="fail unless the worst BM_SnapshotViewO1 "
+                             "view-vs-deep-snapshot cost quotient is <= R")
     args = parser.parse_args()
 
     context, rows = load_rows(args.inputs)

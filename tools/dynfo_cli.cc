@@ -92,88 +92,51 @@
 #include "dynfo/journal.h"
 #include "dynfo/loader.h"
 #include "dynfo/recovery.h"
+#include "dynfo/wire.h"
 #include "fo/parser.h"
 #include "relational/request.h"
 #include "relational/serialize.h"
 
 namespace {
 
+namespace wire = dynfo::dyn::wire;
+
 using dynfo::dyn::Engine;
 using dynfo::dyn::GuardedEngine;
 using dynfo::dyn::JournalWriter;
 using dynfo::relational::Element;
 using dynfo::relational::Request;
-using dynfo::relational::Tuple;
 
-/// Maps the status taxonomy to the CLI's documented exit codes. 2 is
-/// reserved for usage/load errors (set directly in main).
+/// Maps the status taxonomy to the CLI's documented exit codes (shared with
+/// the wire protocol, dynfo/wire.h). 2 is reserved for usage/load errors
+/// (set directly in main).
 int ExitCodeFor(dynfo::core::StatusCode code) {
-  switch (code) {
-    case dynfo::core::StatusCode::kOk:
-      return 0;
-    case dynfo::core::StatusCode::kError:
-      return 1;
-    case dynfo::core::StatusCode::kCancelled:
-      return 3;
-    case dynfo::core::StatusCode::kDeadlineExceeded:
-      return 4;
-    case dynfo::core::StatusCode::kResourceExhausted:
-      return 5;
-    case dynfo::core::StatusCode::kCorruption:
-      return 6;
-  }
-  return 1;
+  return wire::ExitCodeFor(code);
 }
 
 std::vector<std::string> Split(const std::string& line) {
-  std::vector<std::string> out;
-  std::stringstream ss(line);
-  std::string word;
-  while (ss >> word) out.push_back(word);
-  return out;
+  return wire::SplitWords(line);
 }
 
 bool ParseElements(const std::vector<std::string>& words, size_t start,
                    std::vector<Element>* out) {
-  for (size_t i = start; i < words.size(); ++i) {
-    try {
-      out->push_back(static_cast<Element>(std::stoul(words[i])));
-    } catch (...) {
-      std::printf("error: '%s' is not a universe element\n", words[i].c_str());
-      return false;
-    }
+  std::string error;
+  if (!wire::ParseElements(words, start, out, &error)) {
+    std::printf("error: %s\n", error.c_str());
+    return false;
   }
   return true;
 }
 
-/// Parses one mutation command (`ins`, `del`, or `set`) into a Request.
-/// Prints the reason and returns false when the words don't form one; the
-/// caller decides whether that aborts (batch block) or skips the line
-/// (single-command mode, matching the historical behavior).
+/// Parses one mutation command (`ins`, `del`, or `set`) into a Request via
+/// the shared wire grammar. Prints the reason and returns false when the
+/// words don't form one; the caller decides whether that aborts (batch
+/// block) or skips the line (single-command mode, matching the historical
+/// behavior).
 bool ParseMutation(const std::vector<std::string>& words, Request* out) {
-  const std::string& command = words[0];
-  if (command == "ins" || command == "del") {
-    if (words.size() < 2) {
-      std::printf("error: %s needs a relation name\n", command.c_str());
-      return false;
-    }
-    std::vector<Element> elements;
-    if (!ParseElements(words, 2, &elements)) return false;
-    Tuple t;
-    for (Element e : elements) t = t.Append(e);
-    *out = command == "ins" ? Request::Insert(words[1], t)
-                            : Request::Delete(words[1], t);
-    return true;
-  }
-  if (command == "set") {
-    std::vector<Element> elements;
-    if (words.size() != 3 || !ParseElements(words, 2, &elements)) {
-      std::printf("error: usage: set <constant> <value>\n");
-      return false;
-    }
-    *out = Request::SetConstant(words[1], elements[0]);
-    return true;
-  }
+  std::string error;
+  if (wire::ParseMutation(words, out, &error)) return true;
+  if (!error.empty()) std::printf("error: %s\n", error.c_str());
   return false;
 }
 

@@ -1,0 +1,161 @@
+/// \file dynfo_client.cc
+/// Command-line client for dynfo_server: sends script-grammar commands over
+/// the framed wire protocol (dynfo/wire.h) with retry/backoff on admission
+/// rejections and reconnect on transport failures.
+///
+/// Usage:
+///   dynfo_client [--connect=ADDR] [--retries=N] [--backoff-ms=N]
+///                [--max-backoff-ms=N] [--jitter-seed=N] [script-file]
+///
+/// With a script file, commands replay in order and the first failure stops
+/// the run with the wire code as the exit code (the dynfo_cli taxonomy:
+/// 0 ok, 1 error, 2 usage, 3 cancelled, 4 deadline, 5 resource,
+/// 6 corruption). Without one, reads commands from stdin interactively.
+/// `batch ... end` blocks are collected locally and sent as ONE frame so
+/// the server applies them as one group commit.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/text.h"
+#include "dynfo/wire.h"
+
+namespace {
+
+namespace wire = dynfo::dyn::wire;
+
+/// Reads commands from `in`, folding batch blocks into single frames.
+/// Returns the process exit code.
+int Run(wire::Client* client, std::istream& in, bool interactive) {
+  std::string line;
+  if (interactive) std::printf("dynfo> ");
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::vector<std::string> words = wire::SplitWords(line);
+    if (words.empty()) {
+      if (interactive) std::printf("dynfo> ");
+      continue;
+    }
+    std::string request = line;
+    if (words[0] == "batch") {
+      // Collect the block locally; an unclosed block is a usage error
+      // before anything reaches the server.
+      std::string inner;
+      bool closed = false;
+      while (std::getline(in, inner)) {
+        request.push_back('\n');
+        request.append(inner);
+        const size_t inner_hash = inner.find('#');
+        if (inner_hash != std::string::npos) inner.erase(inner_hash);
+        std::vector<std::string> body = wire::SplitWords(inner);
+        if (!body.empty() && body[0] == "end") {
+          closed = true;
+          break;
+        }
+      }
+      if (!closed) {
+        std::printf("error: batch block not closed with 'end'\n");
+        if (!interactive) return 2;
+        if (interactive) std::printf("dynfo> ");
+        continue;
+      }
+    }
+    wire::Response response;
+    dynfo::core::Status status = client->Call(request, &response);
+    const bool quitting = words[0] == "quit" || words[0] == "exit";
+    if (status.ok()) {
+      std::printf("%s\n", response.body.c_str());
+    } else {
+      std::printf("error[%d]: %s\n", response.code,
+                  status.message().c_str());
+      if (!interactive) {
+        return response.code != 0 ? response.code
+                                  : wire::ExitCodeFor(status.code());
+      }
+    }
+    if (quitting) break;
+    if (interactive) std::printf("dynfo> ");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect_spec = "unix:/tmp/dynfo.sock";
+  wire::RetryPolicy policy;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    uint64_t parsed = 0;
+    if (arg.rfind("--connect=", 0) == 0) {
+      connect_spec = arg.substr(10);
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      if (!dynfo::core::ParseU64(arg.substr(10), &parsed) || parsed == 0) {
+        std::fprintf(stderr, "error: bad --retries value\n");
+        return 2;
+      }
+      policy.max_attempts = static_cast<int>(parsed);
+    } else if (arg.rfind("--backoff-ms=", 0) == 0) {
+      if (!dynfo::core::ParseU64(arg.substr(13), &parsed) || parsed == 0) {
+        std::fprintf(stderr, "error: bad --backoff-ms value\n");
+        return 2;
+      }
+      policy.initial_backoff_ms = static_cast<int>(parsed);
+    } else if (arg.rfind("--max-backoff-ms=", 0) == 0) {
+      if (!dynfo::core::ParseU64(arg.substr(17), &parsed) || parsed == 0) {
+        std::fprintf(stderr, "error: bad --max-backoff-ms value\n");
+        return 2;
+      }
+      policy.max_backoff_ms = static_cast<int>(parsed);
+    } else if (arg.rfind("--jitter-seed=", 0) == 0) {
+      if (!dynfo::core::ParseU64(arg.substr(14), &parsed)) {
+        std::fprintf(stderr, "error: bad --jitter-seed value\n");
+        return 2;
+      }
+      policy.jitter_seed = parsed;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() > 1) {
+    std::fprintf(stderr,
+                 "usage: %s [--connect=unix:/path|tcp:[host:]port] "
+                 "[--retries=N] [--backoff-ms=N] [--max-backoff-ms=N] "
+                 "[--jitter-seed=N] [script]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  wire::Address address;
+  std::string error;
+  if (!wire::ParseAddress(connect_spec, &address, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  wire::Client client(address, policy);
+  dynfo::core::Status connected = client.Connect();
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error connecting to %s: %s\n", connect_spec.c_str(),
+                 connected.message().c_str());
+    return 1;
+  }
+
+  if (positional.size() == 1) {
+    std::ifstream script(positional[0]);
+    if (!script) {
+      std::fprintf(stderr, "error: cannot open %s\n", positional[0].c_str());
+      return 2;
+    }
+    return Run(&client, script, /*interactive=*/false);
+  }
+  return Run(&client, std::cin, /*interactive=*/true);
+}

@@ -22,6 +22,13 @@
 #   --max-batch-fsyncs F
 #                    forwarded gate: fail unless every bench_batch program
 #                    stays <= F fsyncs/request at batch sizes >= 256
+#   --with-service-soak
+#                    also run bench_service (the multi-session soak +
+#                    SnapshotView O(1) probe; DESIGN.md §15) and gate on it:
+#                    zero crashes, read linearizability == 1.0, bit-identical
+#                    oracle state, and snapshot_view_o1_ratio <= 0.05. Smoke
+#                    runs the 65536-request soak; the full run soaks 1M
+#                    requests.
 #
 # The build directory is configured and built here if needed, always as an
 # optimized Release tree: quoting (or gating on) numbers from a debug build
@@ -40,20 +47,29 @@ BUILD_DIR="$ROOT/build-rel"
 OUT="$ROOT/BENCH_core.json"
 EXTRA_FLAGS=()
 AGG_FLAGS=()
+SMOKE=0
+WITH_SERVICE=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
-    --smoke) EXTRA_FLAGS+=("--benchmark_min_time=0.02"); shift ;;
+    --smoke) SMOKE=1; EXTRA_FLAGS+=("--benchmark_min_time=0.02"); shift ;;
     --out) OUT="$2"; shift 2 ;;
     --min-speedup) AGG_FLAGS+=("--min-speedup" "$2"); shift 2 ;;
     --min-delta-write-ratio) AGG_FLAGS+=("--min-delta-write-ratio" "$2"); shift 2 ;;
     --min-batch-speedup) AGG_FLAGS+=("--min-batch-speedup" "$2"); shift 2 ;;
     --max-batch-fsyncs) AGG_FLAGS+=("--max-batch-fsyncs" "$2"); shift 2 ;;
+    --with-service-soak)
+      WITH_SERVICE=1
+      AGG_FLAGS+=("--require-service-soak" "--max-snapshot-o1-ratio" "0.05")
+      shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
 
 CORE_BENCHES=(bench_evaluators bench_parity bench_reach_u bench_batch)
+if [[ "$WITH_SERVICE" == 1 ]]; then
+  CORE_BENCHES+=(bench_service)
+fi
 
 cache_build_type() {
   sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$1/CMakeCache.txt" 2>/dev/null || true
@@ -87,6 +103,19 @@ for bench in "${CORE_BENCHES[@]}"; do
     exit 1
   fi
   echo "== $bench"
+  if [[ "$bench" == bench_service ]]; then
+    # The soak runs exactly once (it is a survival campaign with in-binary
+    # aborts, not a timing measurement) against a fixed seed; smoke scales
+    # the request target down, the full run soaks 1M requests. The O(1)
+    # SnapshotView probe rides along in the same JSON.
+    soak_filter="BM_ServiceSoak/1048576|BM_SnapshotViewO1"
+    if [[ "$SMOKE" == 1 ]]; then
+      soak_filter="BM_ServiceSoak/65536|BM_SnapshotViewO1"
+    fi
+    "$bin" --benchmark_out="$TMP_DIR/$bench.json" --benchmark_out_format=json \
+      --benchmark_filter="$soak_filter" --benchmark_repetitions=1
+    continue
+  fi
   # 3 repetitions, aggregates only: the gates and quoted numbers come from
   # the per-benchmark *median*, so a single descheduled measurement window
   # (common on shared hosts) cannot decide a pass/fail.
